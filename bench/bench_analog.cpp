@@ -1,0 +1,65 @@
+// E13 (extension) — Analog design across nodes (paper §III-B).
+//
+// "The following considerations apply similarly to analog design. ...
+// Tasks such as component sizing or manual layout demand meticulous
+// attention and cannot be easily automated." This bench regenerates the
+// quantitative backdrop: intrinsic gain and supply headroom collapse at
+// advanced nodes (analog does not ride digital scaling), and the sizing
+// engine shows how much search a single OTA spec costs per node.
+#include <cmath>
+#include <cstdio>
+
+#include "eurochip/analog/device.hpp"
+#include "eurochip/analog/ota.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/util/strings.hpp"
+#include "eurochip/util/table.hpp"
+
+using namespace eurochip;
+
+int main() {
+  // --- E13a: device figures of merit per node. -------------------------------
+  util::Table d("E13a: Analog device figures of merit (min-L device, 50 uA)");
+  d.set_header({"node", "supply_V", "vth_V", "headroom_V", "gm/Id_1_V",
+                "intrinsic_gain", "gain_dB"});
+  for (const auto& node : pdk::standard_nodes()) {
+    const analog::MosParams p = analog::mos_params(node);
+    analog::Device dev;
+    dev.l_um = p.lmin_um;
+    dev.w_um = 20.0 * p.lmin_um;
+    dev.id_ua = 50.0;
+    const double gain = analog::intrinsic_gain(p, dev);
+    d.add_row({node.name, util::fmt(p.supply_v, 2), util::fmt(p.vth_v, 2),
+               util::fmt(p.supply_v - p.vth_v, 2),
+               util::fmt(analog::gm_ua_v(p, dev) / dev.id_ua, 2),
+               util::fmt(gain, 1),
+               util::fmt(20.0 * std::log10(gain), 1)});
+  }
+  std::printf("%s\n", d.render().c_str());
+
+  // --- E13b: the same OTA spec sized on every node. ---------------------------
+  analog::OtaSpec spec;
+  spec.min_gain_db = 42.0;
+  spec.min_gbw_mhz = 30.0;
+  spec.max_power_uw = 300.0;
+  util::Table s("E13b: 5T-OTA sizing (42 dB, 30 MHz GBW, 300 uW budget)");
+  s.set_header({"node", "met", "iterations", "gain_dB", "gbw_MHz",
+                "power_uW", "Vov_in_mV"});
+  for (const auto& node : pdk::standard_nodes()) {
+    const analog::MosParams p = analog::mos_params(node);
+    const auto r = analog::size_ota(p, spec, /*seed=*/11);
+    s.add_row({node.name, r.met ? "yes" : "NO",
+               std::to_string(r.iterations_used),
+               util::fmt(r.performance.dc_gain_db, 1),
+               util::fmt(r.performance.gbw_mhz, 1),
+               util::fmt(r.performance.power_uw, 1),
+               util::fmt(1000.0 * r.performance.input_overdrive_v, 0)});
+  }
+  std::printf("%s", s.render().c_str());
+  std::printf("\nShape check: intrinsic gain and headroom fall monotonically "
+              "toward advanced nodes; the identical OTA spec closes easily "
+              "at 130-180 nm and becomes hard/impossible at 7-2 nm — why "
+              "analog does not simply 'port' to new nodes and why the paper "
+              "treats analog enablement as its own problem.\n");
+  return 0;
+}

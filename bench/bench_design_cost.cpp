@@ -1,0 +1,41 @@
+// E4 — Design cost by technology node (paper §III-C).
+//
+// Regenerates "The prohibitive costs ... range from $5 million for a
+// 130 nm chip to $725 million for a 2 nm chip" as a cost curve (log-scale
+// ASCII figure) plus the IBS-style cost breakdown per node.
+#include <cstdio>
+
+#include "eurochip/econ/cost_model.hpp"
+#include "eurochip/util/strings.hpp"
+#include "eurochip/util/table.hpp"
+
+using namespace eurochip;
+
+int main() {
+  const auto model = econ::DesignCostModel::paper_baseline();
+
+  util::AsciiChart fig("E4a: Production-design NRE vs node (paper: $5M @130nm "
+                       "-> $725M @2nm)",
+                       "node", "cost M$");
+  util::Table t("E4b: Design cost and breakdown per node");
+  t.set_header({"node_nm", "cost_M$", "rtl_%", "verif_%", "physical_%",
+                "software_%", "ip_%", "arch_%"});
+
+  for (double f : {180.0, 130.0, 65.0, 28.0, 16.0, 7.0, 5.0, 3.0, 2.0}) {
+    const double cost = model.cost_musd(f);
+    fig.add_point(util::fmt(f, 0) + "nm", cost);
+    const auto b = model.breakdown(f);
+    t.add_row({util::fmt(f, 0), util::fmt(cost, 1),
+               util::fmt(100 * b.rtl_design, 0),
+               util::fmt(100 * b.verification, 0),
+               util::fmt(100 * b.physical, 0),
+               util::fmt(100 * b.software, 0),
+               util::fmt(100 * b.ip_licensing, 0),
+               util::fmt(100 * b.architecture, 0)});
+  }
+  std::printf("%s\n", fig.render(50, /*log_scale=*/true).c_str());
+  std::printf("%s", t.render().c_str());
+  std::printf("\nCheck: 2nm/130nm cost ratio = %.0fx (paper: 145x).\n",
+              model.cost_musd(2) / model.cost_musd(130));
+  return 0;
+}

@@ -1,0 +1,59 @@
+// E8 — Open vs commercial flow PPA gap (paper §III-D).
+//
+// "Open-source flows are not yet competitive with proprietary ones in
+// terms of PPA metrics." Both presets run the same engines; the
+// commercial preset spends more optimization effort (see
+// flow::knobs_for). The bench reports per-design PPA for both presets and
+// the geometric-mean gap — the paper's claim holds if the commercial
+// preset wins on fmax with comparable area.
+#include <cstdio>
+
+#include "eurochip/flow/flow.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/rtl/designs.hpp"
+#include "eurochip/util/stats.hpp"
+#include "eurochip/util/strings.hpp"
+#include "eurochip/util/table.hpp"
+
+using namespace eurochip;
+
+int main() {
+  util::Table t("E8: PPA, open vs commercial flow preset (sky130ish)");
+  t.set_header({"design", "open_area", "comm_area", "open_fmax", "comm_fmax",
+                "open_power", "comm_power", "fmax_gain"});
+
+  std::vector<double> fmax_ratio;
+  std::vector<double> area_ratio;
+  std::vector<double> power_ratio;
+
+  for (auto& e : rtl::designs::standard_catalog()) {
+    flow::FlowConfig open_cfg;
+    open_cfg.node = pdk::standard_node("sky130ish").value();
+    open_cfg.quality = flow::FlowQuality::kOpen;
+    flow::FlowConfig comm_cfg = open_cfg;
+    comm_cfg.quality = flow::FlowQuality::kCommercial;
+
+    const auto open_res = flow::run_reference_flow(e.module, open_cfg);
+    const auto comm_res = flow::run_reference_flow(e.module, comm_cfg);
+    if (!open_res.ok() || !comm_res.ok()) {
+      std::fprintf(stderr, "%s skipped\n", e.name.c_str());
+      continue;
+    }
+    const auto& po = open_res->ppa;
+    const auto& pc = comm_res->ppa;
+    t.add_row({e.name, util::fmt(po.area_um2, 0), util::fmt(pc.area_um2, 0),
+               util::fmt(po.fmax_mhz, 0), util::fmt(pc.fmax_mhz, 0),
+               util::fmt(po.power_uw, 1), util::fmt(pc.power_uw, 1),
+               util::fmt(pc.fmax_mhz / po.fmax_mhz, 2) + "x"});
+    fmax_ratio.push_back(pc.fmax_mhz / po.fmax_mhz);
+    area_ratio.push_back(pc.area_um2 / po.area_um2);
+    power_ratio.push_back(pc.power_uw / po.power_uw);
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("Geomean commercial/open: fmax %.2fx, area %.2fx, power %.2fx\n",
+              util::geomean(fmax_ratio), util::geomean(area_ratio),
+              util::geomean(power_ratio));
+  std::printf("Paper claim reproduced when fmax geomean > 1 at comparable "
+              "area: the higher-effort (proprietary-grade) preset wins.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// E14 (extension) — FPGA prototyping vs the ASIC flow (paper §III-B).
+//
+// "While FPGAs offer an alternative for digital design, they only
+// partially cover the design flow. FPGAs are useful for prototyping but
+// fall short in providing insights into the full backend design process."
+// This bench maps the catalog to 4-LUTs (the FPGA path) and runs the same
+// designs through the ASIC flow, then tabulates what each path teaches:
+// the FPGA path ends after mapping; placement, CTS, routing, signoff, and
+// GDSII exist only on the ASIC side.
+#include <cstdio>
+
+#include "eurochip/flow/flow.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/rtl/designs.hpp"
+#include "eurochip/synth/elaborate.hpp"
+#include "eurochip/synth/lutmap.hpp"
+#include "eurochip/synth/opt.hpp"
+#include "eurochip/util/strings.hpp"
+#include "eurochip/util/table.hpp"
+
+using namespace eurochip;
+
+int main() {
+  // --- E14a: per-design comparison. -------------------------------------------
+  util::Table t("E14a: FPGA (4-LUT) vs ASIC (sky130ish) per design");
+  t.set_header({"design", "luts", "lut_depth", "fpga_fmax_MHz", "asic_cells",
+                "asic_fmax_MHz", "asic_die_mm2"});
+  int designs_run = 0;
+  for (auto& e : rtl::designs::standard_catalog()) {
+    const auto aig = synth::elaborate(e.module);
+    if (!aig.ok()) continue;
+    const auto opt_aig = synth::optimize(*aig, 2);
+    const auto luts = synth::map_to_luts(opt_aig);
+    flow::FlowConfig cfg;
+    cfg.node = pdk::standard_node("sky130ish").value();
+    const auto asic = flow::run_reference_flow(e.module, cfg);
+    if (!luts.ok() || !asic.ok()) continue;
+    t.add_row({e.name, std::to_string(luts->lut_count()),
+               std::to_string(luts->depth),
+               util::fmt(luts->estimated_fmax_mhz, 0),
+               std::to_string(asic->ppa.cell_count),
+               util::fmt(asic->ppa.fmax_mhz, 0),
+               util::fmt(asic->ppa.die_area_mm2, 4)});
+    ++designs_run;
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // --- E14b: what each path covers (the paper's actual claim). ----------------
+  util::Table c("E14b: Design-flow coverage, FPGA prototyping vs ASIC");
+  c.set_header({"flow stage", "FPGA path", "ASIC path"});
+  c.add_row({"RTL design + simulation", "yes", "yes"});
+  c.add_row({"logic synthesis / mapping", "yes (LUTs)", "yes (std cells)"});
+  c.add_row({"floorplanning & placement", "hidden by vendor tool", "yes"});
+  c.add_row({"clock-tree synthesis", "fixed fabric clocking", "yes"});
+  c.add_row({"routing & congestion", "hidden by vendor tool", "yes"});
+  c.add_row({"STA against a PDK", "fabric timing only", "yes"});
+  c.add_row({"power signoff", "coarse estimate", "yes"});
+  c.add_row({"DRC / physical signoff", "-", "yes"});
+  c.add_row({"GDSII / tape-out", "-", "yes"});
+  std::printf("%s", c.render().c_str());
+  std::printf("\nShape check (%d designs): the FPGA path stops at mapping — "
+              "5 of 9 flow stages that the paper's 'backend productivity' "
+              "discussion is about exist only on the ASIC side.\n",
+              designs_run);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E12 (extension) — Open-source IP reuse (paper Recommendation 5).
+//
+// "The main advantage of open-source IP is accessibility ... However,
+// high IP quality is extremely important, not only in terms of
+// verification maturity, but also in terms of availability of collaterals
+// (documentation, synthesis and simulation scripts, integration
+// harness)." This bench regenerates that argument quantitatively:
+// integrate-vs-rewrite effort across the quality spectrum, the break-even
+// quality per block size, and a system-level build from the catalog.
+#include <cstdio>
+
+#include "eurochip/core/ip_reuse.hpp"
+#include "eurochip/util/strings.hpp"
+#include "eurochip/util/table.hpp"
+
+using namespace eurochip;
+
+int main() {
+  const core::ReuseEffortModel model;
+
+  // --- E12a: the catalog with quality scores. --------------------------------
+  const core::IpCatalog catalog = core::example_catalog();
+  util::Table c("E12a: IP catalog (Recommendation 5 quality axes)");
+  c.set_header({"block", "gates", "verif", "collaterals", "license",
+                "quality", "scratch_days", "integrate_days", "reuse_wins"});
+  for (const auto& b : catalog.blocks()) {
+    c.add_row({b.name, std::to_string(b.gates),
+               util::fmt(b.verification_maturity, 2),
+               std::to_string(b.collateral.count()) + "/5",
+               b.liberal_license ? "liberal" : "NDA",
+               util::fmt(b.quality(), 2),
+               util::fmt(model.scratch_days(b), 1),
+               util::fmt(model.integration_days(b), 1),
+               model.savings_days(b) > 0 ? "yes" : "NO"});
+  }
+  std::printf("%s\n", c.render().c_str());
+
+  // --- E12b: savings vs quality sweep (1000-gate block). ----------------------
+  util::AsciiChart fig("E12b: Reuse savings vs IP quality (1000-gate block)",
+                       "verification maturity", "days saved");
+  for (double verif : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    core::IpBlock b;
+    b.name = "sweep";
+    b.gates = 1000;
+    b.verification_maturity = verif;
+    const bool full = verif >= 0.6;
+    b.collateral = {full, full, full, full, full};
+    fig.add_point(util::fmt(verif, 1),
+                  std::max(0.0, model.savings_days(b)));
+  }
+  std::printf("%s\n", fig.render(40).c_str());
+
+  // --- E12c: break-even quality per block size. -------------------------------
+  util::Table be("E12c: Quality below which rewriting beats reuse");
+  be.set_header({"block_gates", "breakeven_quality"});
+  for (std::size_t gates : {200u, 500u, 1000u, 2000u, 5000u}) {
+    be.add_row({std::to_string(gates),
+                util::fmt(model.breakeven_quality(gates), 2)});
+  }
+  std::printf("%s\n", be.render().c_str());
+
+  // --- E12d: building a system from the catalog. ------------------------------
+  const auto good = catalog.system_savings_days(
+      {"alu_gold", "fir_decent", "mult_nda"}, model);
+  const auto risky = catalog.system_savings_days(
+      {"alu_gold", "cpu_thesisware"}, model);
+  std::printf("E12d: system from quality blocks saves %.0f days; mixing in "
+              "thesisware drops savings to %.0f days.\n",
+              good.value_or(0), risky.value_or(0));
+  std::printf("\nShape check: reuse wins only above a quality threshold — "
+              "exactly the paper's 'high IP quality is extremely important' "
+              "claim; NDA friction (mult_nda) eats part of the benefit, the "
+              "open-source advantage of Section II.\n");
+  return 0;
+}

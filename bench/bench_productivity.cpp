@@ -1,0 +1,86 @@
+// E2 — Frontend productivity: gates per RTL line (paper §I and §III-B).
+//
+// Regenerates "A single line of RTL code typically generates only 5 to 20
+// gates" by synthesizing the design catalog with the real flow and
+// counting mapped cells per builder line; contrasts against the software
+// reference ("a single line of Python can generate thousands of assembly
+// instructions").
+#include <cstdio>
+
+#include "eurochip/edu/productivity.hpp"
+#include "eurochip/rtl/hls.hpp"
+#include "eurochip/pdk/library_gen.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/rtl/designs.hpp"
+#include "eurochip/synth/elaborate.hpp"
+#include "eurochip/synth/mapper.hpp"
+#include "eurochip/synth/opt.hpp"
+#include "eurochip/util/stats.hpp"
+#include "eurochip/util/strings.hpp"
+#include "eurochip/util/table.hpp"
+
+using namespace eurochip;
+
+int main() {
+  const auto node = pdk::standard_node("sky130ish").value();
+  const auto lib = pdk::build_library(node);
+
+  util::Table t("E2a: Gates generated per RTL line (measured, sky130ish)");
+  t.set_header({"design", "rtl_lines", "gates", "gates_per_line"});
+  util::RunningStats stats;
+  std::vector<double> per_line;
+
+  for (auto& e : rtl::designs::standard_catalog()) {
+    const auto aig = synth::elaborate(e.module);
+    if (!aig.ok()) continue;
+    const auto mapped = synth::map_to_library(synth::optimize(*aig, 2), lib);
+    if (!mapped.ok()) continue;
+    const auto p = edu::measure_frontend(e.module, *mapped);
+    t.add_row({e.name, std::to_string(p.rtl_lines), std::to_string(p.gates),
+               util::fmt(p.gates_per_line, 1)});
+    stats.add(p.gates_per_line);
+    per_line.push_back(p.gates_per_line);
+  }
+  t.add_row({"MEAN", "", "", util::fmt(stats.mean(), 1)});
+  t.add_row({"MEDIAN", "", "", util::fmt(util::median(per_line), 1)});
+  std::printf("%s\n", t.render().c_str());
+
+  // E2c: abstraction raising via the HLS frontend (Recommendations 1/4):
+  // the same streaming filter written at HLS level vs builder-RTL level.
+  {
+    rtl::hls::Program prog("hls_filter", 12);
+    const auto x = prog.input("x");
+    const auto smooth = prog.sliding_sum(x, 8);
+    const auto clamped = prog.clamp(smooth, 0, 4000);
+    prog.output("y", prog.pipeline(clamped));
+    const auto compiled = prog.compile();
+    const auto aig = synth::elaborate(*compiled);
+    const auto mapped = synth::map_to_library(synth::optimize(*aig, 2), lib);
+    const auto fp = edu::measure_frontend(*compiled, *mapped);
+
+    util::Table h("E2c: Abstraction raising (HLS frontend, Recs 1 & 4)");
+    h.set_header({"metric", "value"});
+    h.add_row({"HLS lines", std::to_string(prog.hls_lines())});
+    h.add_row({"expanded RTL lines", std::to_string(compiled->rtl_lines())});
+    h.add_row({"gates", std::to_string(fp.gates)});
+    h.add_row({"gates per RTL line", util::fmt(fp.gates_per_line, 1)});
+    h.add_row({"gates per HLS line",
+               util::fmt(static_cast<double>(fp.gates) /
+                             static_cast<double>(prog.hls_lines()),
+                         1)});
+    std::printf("%s\n", h.render().c_str());
+  }
+
+  util::Table s("E2b: Software expansion reference (paper Section I)");
+  s.set_header({"language", "machine_instructions_per_line"});
+  for (const auto& r : edu::software_references()) {
+    s.add_row({r.language, util::fmt(r.instructions_per_line, 0)});
+  }
+  std::printf("%s", s.render().c_str());
+
+  std::printf("\nPaper claim: 5-20 gates per RTL line. Measured median: "
+              "%.1f. Python expands ~100x more per line than RTL -> the "
+              "frontend-productivity gap the paper describes.\n",
+              util::median(per_line));
+  return 0;
+}

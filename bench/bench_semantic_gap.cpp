@@ -1,0 +1,66 @@
+// E3 — The semantic gap (paper §III-B).
+//
+// "Multiple high-level descriptions in the logic design stage can lead to
+// equal simulation behavior but produce different underlying physical
+// implementations ... substantial impacts on the PPA metrics."
+//
+// Four functionally-equivalent adder descriptions and three equivalent
+// multiplier descriptions run through the full flow; the table shows the
+// PPA spread. Equivalence itself is asserted by the test suite.
+#include <cstdio>
+
+#include "eurochip/flow/flow.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/rtl/designs.hpp"
+#include "eurochip/util/strings.hpp"
+#include "eurochip/util/table.hpp"
+
+using namespace eurochip;
+
+namespace {
+
+void run_family(const char* title, int variants,
+                rtl::Module (*make)(int, int), int width) {
+  util::Table t(title);
+  t.set_header({"variant", "cells", "area_um2", "depth", "fmax_MHz",
+                "power_uW"});
+  double min_area = 1e18;
+  double max_area = 0.0;
+  double min_fmax = 1e18;
+  double max_fmax = 0.0;
+  for (int v = 0; v < variants; ++v) {
+    const rtl::Module m = make(width, v);
+    flow::FlowConfig cfg;
+    cfg.node = pdk::standard_node("sky130ish").value();
+    const auto result = flow::run_reference_flow(m, cfg);
+    if (!result.ok()) {
+      std::fprintf(stderr, "variant %d failed: %s\n", v,
+                   result.status().to_string().c_str());
+      continue;
+    }
+    const auto& ppa = result->ppa;
+    t.add_row({m.name(), std::to_string(ppa.cell_count),
+               util::fmt(ppa.area_um2, 1),
+               std::to_string(result->artifacts.mapped->logic_depth()),
+               util::fmt(ppa.fmax_mhz, 1), util::fmt(ppa.power_uw, 1)});
+    min_area = std::min(min_area, ppa.area_um2);
+    max_area = std::max(max_area, ppa.area_um2);
+    min_fmax = std::min(min_fmax, ppa.fmax_mhz);
+    max_fmax = std::max(max_fmax, ppa.fmax_mhz);
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("spread: area %.2fx, fmax %.2fx — equal behavior, different "
+              "PPA\n\n",
+              max_area / min_area, max_fmax / min_fmax);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E3 — semantic gap: equivalent RTL, different implementations\n\n");
+  run_family("E3a: 16-bit adder, 4 equivalent descriptions",
+             4, rtl::designs::adder_variant, 16);
+  run_family("E3b: 8-bit multiplier, 3 equivalent descriptions",
+             3, rtl::designs::multiplier_variant, 8);
+  return 0;
+}

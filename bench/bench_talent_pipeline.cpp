@@ -1,0 +1,78 @@
+// E9 — Talent pipeline under the paper's recommendations (paper §I,
+// §III-A, Recommendations 1-3).
+//
+// Regenerates: "The number of graduates in semiconductor-related fields
+// has stagnated ... and even declined in some countries" (baseline), and
+// the counterfactual growth when low-barrier programs (Rec 1),
+// information campaigns (Rec 2), and coordinated funding (Rec 3) are
+// deployed, separately and combined.
+#include <cstdio>
+
+#include "eurochip/edu/pipeline.hpp"
+#include "eurochip/util/strings.hpp"
+#include "eurochip/util/table.hpp"
+
+using namespace eurochip;
+
+namespace {
+
+std::vector<edu::YearResult> simulate(
+    const std::vector<edu::Intervention>& interventions, int years) {
+  edu::TalentPipeline p(edu::PipelineParams{}, /*seed=*/2025);
+  for (const auto& iv : interventions) p.add_intervention(iv);
+  return p.run(years);
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kYears = 15;
+  const auto baseline = simulate({}, kYears);
+  const auto rec1 = simulate({edu::low_barrier_programs()}, kYears);
+  const auto rec2 = simulate({edu::information_campaigns()}, kYears);
+  const auto rec3 = simulate({edu::coordinated_funding()}, kYears);
+  const auto all = simulate({edu::low_barrier_programs(),
+                             edu::information_campaigns(),
+                             edu::coordinated_funding()},
+                            kYears);
+
+  util::Table t("E9a: MSc chip-design graduates per year");
+  t.set_header({"year", "baseline", "rec1_schools", "rec2_campaigns",
+                "rec3_funding", "all_recs"});
+  for (int y = 5; y < kYears; ++y) {  // skip pipeline fill years
+    t.add_row({std::to_string(y),
+               util::fmt(baseline[static_cast<std::size_t>(y)].msc_graduates, 0),
+               util::fmt(rec1[static_cast<std::size_t>(y)].msc_graduates, 0),
+               util::fmt(rec2[static_cast<std::size_t>(y)].msc_graduates, 0),
+               util::fmt(rec3[static_cast<std::size_t>(y)].msc_graduates, 0),
+               util::fmt(all[static_cast<std::size_t>(y)].msc_graduates, 0)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  util::AsciiChart fig("E9b: Designers entering industry, year 14",
+                       "scenario", "designers/yr");
+  fig.add_point("baseline", baseline.back().designers_into_industry);
+  fig.add_point("rec1", rec1.back().designers_into_industry);
+  fig.add_point("rec2", rec2.back().designers_into_industry);
+  fig.add_point("rec3", rec3.back().designers_into_industry);
+  fig.add_point("all", all.back().designers_into_industry);
+  std::printf("%s\n", fig.render().c_str());
+
+  util::Table d("E9c: Cumulative designers and diversity share (15 years)");
+  d.set_header({"scenario", "total_designers", "final_diversity_%"});
+  const auto row = [&d](const char* name,
+                        const std::vector<edu::YearResult>& s) {
+    d.add_row({name, util::fmt(edu::TalentPipeline::total_designers(s), 0),
+               util::fmt(100 * s.back().diversity_share, 0)});
+  };
+  row("baseline", baseline);
+  row("rec1_schools", rec1);
+  row("rec2_campaigns", rec2);
+  row("rec3_funding", rec3);
+  row("all_recs", all);
+  std::printf("%s", d.render().c_str());
+  std::printf("\nShape check: baseline flat-to-declining (software/AI pull); "
+              "every recommendation lifts the curve; combined bundle "
+              "compounds.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// E1 — Value-chain shares (paper §I).
+//
+// Regenerates the paper's market-structure claims as a table: segment
+// shares of added value, Europe's contribution per segment (fabrication
+// 8%, design 10%, equipment 40%, materials 20%), Europe's 55% share in
+// industrial/automotive, and the growth scenario if Europe's design share
+// rose to the EU Chips Act ambitions.
+#include <cstdio>
+
+#include "eurochip/econ/value_chain.hpp"
+#include "eurochip/util/strings.hpp"
+#include "eurochip/util/table.hpp"
+
+using namespace eurochip;
+
+int main() {
+  const auto model = econ::ValueChainModel::paper_baseline();
+
+  util::Table t("E1a: Semiconductor value chain (paper Section I)");
+  t.set_header({"segment", "share_of_added_value_%", "eu_contribution_%",
+                "eu_value_B$"});
+  for (const auto& s : model.segments()) {
+    t.add_row({s.name, util::fmt(100 * s.share_of_added_value, 0),
+               util::fmt(100 * s.eu_contribution, 0),
+               util::fmt(model.world_value_busd() * s.share_of_added_value *
+                             s.eu_contribution,
+                         1)});
+  }
+  t.add_row({"TOTAL", util::fmt(100 * model.total_share(), 0),
+             util::fmt(100 * model.eu_overall_share(), 1),
+             util::fmt(model.eu_value_busd(), 1)});
+  std::printf("%s\n", t.render().c_str());
+
+  util::Table a("E1b: Europe's share by application area (paper: 55% in "
+                "industrial/automotive)");
+  a.set_header({"area", "eu_share_%"});
+  for (const auto& area : econ::paper_application_areas()) {
+    a.add_row({area.area, util::fmt(100 * area.eu_share, 0)});
+  }
+  std::printf("%s\n", a.render().c_str());
+
+  util::Table s("E1c: Scenario — Europe's design contribution grows");
+  s.set_header({"design_eu_share_%", "overall_eu_share_%", "eu_value_B$",
+                "delta_B$_per_year"});
+  const double base_value = model.eu_value_busd();
+  for (double design_share : {0.10, 0.15, 0.20, 0.30}) {
+    const auto scenario = model.with_eu_contribution("design", design_share);
+    s.add_row({util::fmt(100 * design_share, 0),
+               util::fmt(100 * scenario->eu_overall_share(), 1),
+               util::fmt(scenario->eu_value_busd(), 1),
+               util::fmt(scenario->eu_value_busd() - base_value, 1)});
+  }
+  std::printf("%s", s.render().c_str());
+  std::printf("\nPaper checkpoints: fabrication 34%% / design 30%% of added "
+              "value; Europe contributes 8%% / 10%%.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// A TinyTapeout-style community shuttle (paper §II / Recommendation 1):
+// many small student designs share one die. Each submission runs through
+// the real RTL-to-GDSII flow on the open node; the resulting layouts are
+// tiled onto a shared shuttle die, one merged GDSII is written, and the
+// per-participant cost share is computed — the economics that make
+// beginner tape-outs affordable.
+//
+//   ./examples/community_shuttle
+#include <cmath>
+#include <cstdio>
+
+#include "eurochip/econ/cost_model.hpp"
+#include "eurochip/flow/flow.hpp"
+#include "eurochip/gds/gds.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/rtl/designs.hpp"
+#include "eurochip/util/strings.hpp"
+#include "eurochip/util/table.hpp"
+
+using namespace eurochip;
+
+int main() {
+  const auto node = pdk::standard_node("sky130ish").value();
+
+  // The shuttle manifest: what ten student teams submitted.
+  std::vector<rtl::Module> submissions;
+  submissions.push_back(rtl::designs::counter(8));
+  submissions.push_back(rtl::designs::traffic_fsm());
+  submissions.push_back(rtl::designs::gray_encoder(8));
+  submissions.push_back(rtl::designs::lfsr(8));
+  submissions.push_back(rtl::designs::popcount(12));
+  submissions.push_back(rtl::designs::adder(12));
+  submissions.push_back(rtl::designs::priority_encoder(16));
+  submissions.push_back(rtl::designs::shift_register(8, 4));
+  submissions.push_back(rtl::designs::alu(8));
+  submissions.push_back(rtl::designs::fir_filter(8, 4));
+
+  util::Table t("Community shuttle manifest (sky130ish, open flow)");
+  t.set_header({"slot", "design", "cells", "slot_die_mm2", "fmax_MHz",
+                "drc"});
+
+  gds::Library shuttle;
+  shuttle.name = "COMMUNITY_SHUTTLE";
+  gds::Structure top;
+  top.name = "SHUTTLE_TOP";
+
+  double total_area_mm2 = 0.0;
+  std::int64_t cursor_x = 0;
+  std::int64_t cursor_y = 0;
+  std::int64_t row_height = 0;
+  const int slots_per_row = 4;
+  int slot = 0;
+  int ok_slots = 0;
+
+  for (auto& design : submissions) {
+    flow::FlowConfig cfg;
+    cfg.node = node;
+    cfg.quality = flow::FlowQuality::kOpen;
+    const auto result = flow::run_reference_flow(design, cfg);
+    if (!result.ok()) {
+      std::fprintf(stderr, "slot %d (%s) failed: %s\n", slot,
+                   design.name().c_str(),
+                   result.status().to_string().c_str());
+      ++slot;
+      continue;
+    }
+    const auto& placed = *result->artifacts.placed;
+    const util::Rect die = placed.floorplan.die();
+
+    // Tile the slot onto the shuttle grid (translate all rectangles).
+    if (slot % slots_per_row == 0 && slot != 0) {
+      cursor_x = 0;
+      cursor_y += row_height + 20000;
+      row_height = 0;
+    }
+    const gds::Library sub =
+        gds::layout_to_gds(placed, design.name());
+    for (const gds::Boundary& b : sub.structures[0].boundaries) {
+      gds::Boundary moved = b;
+      for (util::Point& p : moved.points) {
+        p.x += cursor_x;
+        p.y += cursor_y;
+      }
+      top.boundaries.push_back(std::move(moved));
+    }
+    cursor_x += die.width() + 20000;
+    row_height = std::max(row_height, die.height());
+
+    total_area_mm2 += result->ppa.die_area_mm2;
+    t.add_row({std::to_string(slot), design.name(),
+               std::to_string(result->ppa.cell_count),
+               util::fmt(result->ppa.die_area_mm2, 4),
+               util::fmt(result->ppa.fmax_mhz, 0),
+               result->ppa.drc_violations == 0 ? "clean" : "DIRTY"});
+    ++slot;
+    ++ok_slots;
+  }
+  shuttle.structures.push_back(std::move(top));
+  std::printf("%s\n", t.render().c_str());
+
+  // Economics: what one shared shuttle costs vs ten individual runs.
+  const econ::MpwCostModel mpw;
+  const double shared_cost =
+      mpw.slot_cost_keur(node, total_area_mm2, econ::europractice_like());
+  double individual_cost = 0.0;
+  // Individually, each team pays the 1 mm^2 minimum slot granularity.
+  for (int i = 0; i < ok_slots; ++i) {
+    individual_cost +=
+        mpw.slot_cost_keur(node, total_area_mm2 / ok_slots,
+                           econ::europractice_like());
+  }
+  util::Table e("Shuttle economics");
+  e.set_header({"metric", "value"});
+  e.add_row({"participants", std::to_string(ok_slots)});
+  e.add_row({"total silicon (mm2)", util::fmt(total_area_mm2, 3)});
+  e.add_row({"one shared shuttle (kEUR)", util::fmt(shared_cost, 2)});
+  e.add_row({"ten individual runs (kEUR)", util::fmt(individual_cost, 2)});
+  e.add_row({"cost per participant, shared (kEUR)",
+             util::fmt(shared_cost / ok_slots, 3)});
+  std::printf("%s\n", e.render().c_str());
+
+  const auto status = gds::write_file(shuttle, "community_shuttle.gds");
+  if (!status.ok()) {
+    std::fprintf(stderr, "GDS write failed: %s\n",
+                 status.to_string().c_str());
+    return 1;
+  }
+  const auto bytes = gds::write(shuttle);
+  std::printf("Merged shuttle GDSII: %zu boundaries, %s -> "
+              "community_shuttle.gds\n",
+              shuttle.structures[0].boundaries.size(),
+              util::fmt_si(static_cast<double>(bytes.size()), 1).c_str());
+  return 0;
+}

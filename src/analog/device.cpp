@@ -1,0 +1,52 @@
+#include "eurochip/analog/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eurochip::analog {
+
+MosParams mos_params(const pdk::TechnologyNode& node) {
+  MosParams p;
+  p.supply_v = node.supply_v;
+  p.lmin_um = node.feature_nm * 1e-3;
+  // Mobility-related gain factor improves slowly toward fine nodes.
+  p.kp_ua_v2 = 80.0 + 6000.0 / node.feature_nm;
+  // Threshold does not scale with supply — the analog headroom squeeze.
+  p.vth_v = std::max(0.25, 0.45 - 0.0005 * (180.0 - node.feature_nm));
+  // Short channels are leaky: channel-length modulation worsens.
+  p.lambda_per_v = 0.05 + 8.0 / node.feature_nm;
+  p.cox_ff_um2 = 3.0 + 300.0 / node.feature_nm;
+  return p;
+}
+
+double drain_current_ua(const MosParams& p, const Device& d, double vov_v) {
+  if (vov_v <= 0.0) return 0.0;
+  return 0.5 * p.kp_ua_v2 * (d.w_um / d.l_um) * vov_v * vov_v;
+}
+
+double overdrive_v(const MosParams& p, const Device& d) {
+  // Invert the square law: Vov = sqrt(2 Id / (kp W/L)).
+  return std::sqrt(2.0 * d.id_ua / (p.kp_ua_v2 * (d.w_um / d.l_um)));
+}
+
+double gm_ua_v(const MosParams& p, const Device& d) {
+  const double vov = overdrive_v(p, d);
+  return vov > 0.0 ? 2.0 * d.id_ua / vov : 0.0;
+}
+
+double ro_mohm(const MosParams& p, const Device& d) {
+  const double lambda_eff = p.lambda_per_v * (p.lmin_um / d.l_um);
+  // ro = 1 / (lambda * Id); Id in uA -> ro in MOhm.
+  return 1.0 / (lambda_eff * d.id_ua);
+}
+
+double cgs_ff(const MosParams& p, const Device& d) {
+  // Cgs ~ (2/3) W L Cox.
+  return (2.0 / 3.0) * d.w_um * d.l_um * p.cox_ff_um2;
+}
+
+double intrinsic_gain(const MosParams& p, const Device& d) {
+  return gm_ua_v(p, d) * ro_mohm(p, d);
+}
+
+}  // namespace eurochip::analog

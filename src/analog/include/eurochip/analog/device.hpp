@@ -1,0 +1,58 @@
+// First-order MOS device models for the analog substrate.
+//
+// The paper (§III-B) argues analog design is where productivity is worst:
+// no FPGA-like alternative exists, and "tasks such as component sizing or
+// manual layout demand meticulous attention and cannot be easily
+// automated". This module provides the square-law device physics that the
+// sizing engine and the analog benches are built on, with per-node
+// parameters derived from the shared TechnologyNode registry.
+#pragma once
+
+#include "eurochip/pdk/node.hpp"
+
+namespace eurochip::analog {
+
+/// Square-law MOSFET parameters for one technology node (long-channel
+/// abstraction with a simple channel-length-modulation term).
+struct MosParams {
+  double kp_ua_v2 = 100.0;    ///< transconductance parameter uA/V^2 (NMOS)
+  double vth_v = 0.4;         ///< threshold voltage
+  double lambda_per_v = 0.1;  ///< channel-length modulation at L = Lmin
+  double lmin_um = 0.13;      ///< minimum channel length
+  double supply_v = 1.8;
+  double cox_ff_um2 = 5.0;    ///< gate capacitance per um^2
+};
+
+/// Per-node analog parameters: supply shrinks and lambda grows toward
+/// advanced nodes — the reason analog does NOT benefit from scaling the
+/// way digital does (the bench regenerates this).
+[[nodiscard]] MosParams mos_params(const pdk::TechnologyNode& node);
+
+/// One sized transistor.
+struct Device {
+  double w_um = 1.0;
+  double l_um = 0.13;
+  double id_ua = 10.0;  ///< bias drain current
+};
+
+/// Saturation drain current at a given overdrive (vgs - vth), uA.
+[[nodiscard]] double drain_current_ua(const MosParams& p, const Device& d,
+                                      double vov_v);
+
+/// Overdrive needed for the device's bias current, V.
+[[nodiscard]] double overdrive_v(const MosParams& p, const Device& d);
+
+/// Transconductance at bias, uA/V (gm = 2 Id / Vov).
+[[nodiscard]] double gm_ua_v(const MosParams& p, const Device& d);
+
+/// Output resistance at bias, MOhm (ro = 1 / (lambda_eff * Id)); lambda
+/// improves with longer channels (lambda_eff = lambda * Lmin / L).
+[[nodiscard]] double ro_mohm(const MosParams& p, const Device& d);
+
+/// Gate capacitance, fF.
+[[nodiscard]] double cgs_ff(const MosParams& p, const Device& d);
+
+/// Intrinsic gain gm * ro (dimensionless).
+[[nodiscard]] double intrinsic_gain(const MosParams& p, const Device& d);
+
+}  // namespace eurochip::analog

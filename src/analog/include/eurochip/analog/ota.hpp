@@ -1,0 +1,57 @@
+// A five-transistor OTA (differential pair + mirror) and its automated
+// sizing: the canonical "component sizing" task the paper says resists
+// automation. The sizer is a deterministic seeded random search over
+// W/L/Ibias — the kind of loop a student would otherwise run by hand.
+#pragma once
+
+#include "eurochip/analog/device.hpp"
+#include "eurochip/util/result.hpp"
+#include "eurochip/util/rng.hpp"
+
+namespace eurochip::analog {
+
+/// Design variables of the 5T OTA.
+struct OtaSizing {
+  Device input_pair;   ///< M1/M2
+  Device mirror;       ///< M3/M4
+  Device tail;         ///< M5 (carries 2x input-pair current)
+  double load_cap_ff = 100.0;
+};
+
+/// Small-signal performance at bias.
+struct OtaPerformance {
+  double dc_gain = 0.0;          ///< |A0| (linear, not dB)
+  double dc_gain_db = 0.0;
+  double gbw_mhz = 0.0;          ///< gain-bandwidth product
+  double power_uw = 0.0;
+  double input_overdrive_v = 0.0;
+  bool bias_feasible = false;    ///< devices saturate under the supply
+};
+
+/// Evaluates a sizing on a node.
+[[nodiscard]] OtaPerformance evaluate_ota(const MosParams& params,
+                                          const OtaSizing& sizing);
+
+/// Target specification.
+struct OtaSpec {
+  double min_gain_db = 30.0;
+  double min_gbw_mhz = 20.0;
+  double max_power_uw = 200.0;
+  double load_cap_ff = 100.0;
+};
+
+struct SizingResult {
+  OtaSizing sizing;
+  OtaPerformance performance;
+  int iterations_used = 0;
+  bool met = false;
+};
+
+/// Randomized sizing search (deterministic for a seed). Returns the best
+/// sizing found; `met` says whether the full spec closed within
+/// `max_iterations`.
+[[nodiscard]] SizingResult size_ota(const MosParams& params,
+                                    const OtaSpec& spec, std::uint64_t seed,
+                                    int max_iterations = 4000);
+
+}  // namespace eurochip::analog

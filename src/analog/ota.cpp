@@ -1,0 +1,89 @@
+#include "eurochip/analog/ota.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eurochip::analog {
+
+OtaPerformance evaluate_ota(const MosParams& p, const OtaSizing& s) {
+  OtaPerformance perf;
+  // Bias consistency: tail carries twice the input-pair current.
+  const Device& m1 = s.input_pair;
+  const Device& m3 = s.mirror;
+  Device tail = s.tail;
+  tail.id_ua = 2.0 * m1.id_ua;
+
+  const double vov1 = overdrive_v(p, m1);
+  const double vov3 = overdrive_v(p, m3);
+  const double vov5 = overdrive_v(p, tail);
+  perf.input_overdrive_v = vov1;
+
+  // Headroom: Vov5 + Vov1 + Vov3 + margin must fit under the supply; this
+  // is what kills classic topologies at advanced-node supplies.
+  perf.bias_feasible = vov5 + vov1 + vov3 + 0.2 < p.supply_v &&
+                       vov1 > 0.03 && vov3 > 0.03 && vov5 > 0.03;
+
+  // A0 = gm1 * (ro2 || ro4); GBW = gm1 / (2 pi CL).
+  const double gm1 = gm_ua_v(p, m1);
+  const double ro2 = ro_mohm(p, m1);
+  const double ro4 = ro_mohm(p, m3);
+  const double rout = (ro2 * ro4) / (ro2 + ro4);
+  perf.dc_gain = gm1 * rout;
+  perf.dc_gain_db = 20.0 * std::log10(std::max(1e-9, perf.dc_gain));
+  // gm in uA/V = uS; CL in fF: f = gm / (2 pi C) -> (1e-6 S)/(1e-15 F) Hz.
+  perf.gbw_mhz = gm1 * 1e-6 / (2.0 * M_PI * s.load_cap_ff * 1e-15) / 1e6;
+  perf.power_uw = p.supply_v * tail.id_ua;
+  return perf;
+}
+
+SizingResult size_ota(const MosParams& p, const OtaSpec& spec,
+                      std::uint64_t seed, int max_iterations) {
+  util::Rng rng(seed);
+  SizingResult best;
+  double best_score = -1e18;
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    OtaSizing s;
+    s.load_cap_ff = spec.load_cap_ff;
+    const double l_scale = rng.uniform(1.0, 10.0);
+    s.input_pair.l_um = p.lmin_um * l_scale;
+    s.input_pair.w_um = s.input_pair.l_um * rng.uniform(2.0, 200.0);
+    s.input_pair.id_ua = rng.uniform(1.0, spec.max_power_uw / (2.0 * p.supply_v));
+    s.mirror.l_um = p.lmin_um * rng.uniform(1.0, 10.0);
+    s.mirror.w_um = s.mirror.l_um * rng.uniform(2.0, 100.0);
+    s.mirror.id_ua = s.input_pair.id_ua;
+    s.tail.l_um = p.lmin_um * rng.uniform(1.0, 6.0);
+    s.tail.w_um = s.tail.l_um * rng.uniform(4.0, 200.0);
+    s.tail.id_ua = 2.0 * s.input_pair.id_ua;
+
+    const OtaPerformance perf = evaluate_ota(p, s);
+    if (!perf.bias_feasible) continue;
+
+    // Score: how far past (or short of) each spec, saturating credit at
+    // the target so the search pushes the worst axis.
+    const double g = std::min(1.0, perf.dc_gain_db / spec.min_gain_db);
+    const double b = std::min(1.0, perf.gbw_mhz / spec.min_gbw_mhz);
+    const double w = std::min(1.0, spec.max_power_uw / std::max(1e-9, perf.power_uw));
+    const double score = g + b + w;
+    const bool met = perf.dc_gain_db >= spec.min_gain_db &&
+                     perf.gbw_mhz >= spec.min_gbw_mhz &&
+                     perf.power_uw <= spec.max_power_uw;
+    if (score > best_score) {
+      best_score = score;
+      best.sizing = s;
+      best.performance = perf;
+      best.iterations_used = iter + 1;
+      best.met = met;
+    }
+    if (met) {
+      best.met = true;
+      best.sizing = s;
+      best.performance = perf;
+      best.iterations_used = iter + 1;
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace eurochip::analog

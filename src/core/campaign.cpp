@@ -1,0 +1,73 @@
+#include "eurochip/core/campaign.hpp"
+
+#include <algorithm>
+
+namespace eurochip::core {
+
+namespace {
+
+/// Shared tail: run the real flow, price the shuttle, check the schedule.
+util::Result<CampaignReport> finish_campaign(
+    const pdk::TechnologyNode& node, double enablement_days,
+    const rtl::Module& design, const CampaignConfig& config) {
+  CampaignReport report;
+  report.node_name = node.name;
+  report.access_granted = true;
+  report.access_reason = "granted";
+  report.enablement_days = enablement_days;
+
+  // Pick the tier's recommended flow preset.
+  auto pathway = edu::pathway_for(config.tier);
+  flow::FlowConfig fc;
+  fc.node = node;
+  fc.quality = pathway.ok() ? pathway->flow_quality : flow::FlowQuality::kOpen;
+  fc.seed = config.seed;
+  auto flow_result = flow::run_reference_flow(design, fc);
+  if (!flow_result.ok()) return flow_result.status();
+
+  report.ppa = flow_result->ppa;
+  report.die_area_mm2 = flow_result->ppa.die_area_mm2;
+  report.flow_runtime_ms = flow_result->total_runtime_ms;
+
+  const econ::MpwCostModel mpw;
+  report.mpw_cost_keur =
+      mpw.slot_cost_keur(node, report.die_area_mm2, config.mpw_program);
+  report.turnaround_months = mpw.turnaround_months(node);
+  report.total_months = enablement_days / 30.0 + config.design_months +
+                        report.turnaround_months;
+  report.fits_schedule = report.total_months <= config.available_months;
+  return report;
+}
+
+}  // namespace
+
+util::Result<CampaignReport> run_campaign(EnablementHub& hub,
+                                          std::size_t member,
+                                          const rtl::Module& design,
+                                          const CampaignConfig& config) {
+  if (util::Status s =
+          hub.check_member_access(member, config.tier, config.node_name);
+      !s.ok()) {
+    return s;
+  }
+  const auto node = hub.registry().find(config.node_name);
+  if (!node.ok()) return node.status();
+  return finish_campaign(*node, hub.member_calendar_days(member), design,
+                         config);
+}
+
+util::Result<CampaignReport> run_campaign_diy(
+    const UniversityProfile& university, const rtl::Module& design,
+    const CampaignConfig& config) {
+  const auto node = pdk::standard_node(config.node_name);
+  if (!node.ok()) return node.status();
+  // DIY: the university's own legal profile must satisfy everything.
+  if (util::Status s = pdk::require_access(*node, university.legal); !s.ok()) {
+    return s;
+  }
+  const EnablementEstimate est =
+      estimate_diy(university, /*with_flow_templates=*/false);
+  return finish_campaign(*node, est.calendar_days, design, config);
+}
+
+}  // namespace eurochip::core

@@ -1,0 +1,233 @@
+#include "eurochip/core/enablement.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace eurochip::core {
+
+std::vector<EnablementTask> standard_task_catalog() {
+  // Straight from §III-D: IT setup, EDA installation/updates, management of
+  // technology databases, technology-specific configuration, flow
+  // automation, user interfaces, plus the licensing administration the
+  // paper files under "Technology, Cost, and Law".
+  return {
+      {"it_infrastructure", 15.0, 10.0, false},
+      {"eda_installation", 10.0, 8.0, false},
+      {"pdk_database", 8.0, 4.0, true},
+      {"library_ip_management", 12.0, 3.0, true},
+      {"tool_configuration", 15.0, 5.0, true},
+      {"flow_automation", 25.0, 6.0, true},
+      {"user_interfaces", 10.0, 4.0, false},
+      {"licensing_admin", 6.0, 6.0, false},
+  };
+}
+
+EnablementEstimate estimate_diy(const UniversityProfile& university,
+                                bool with_flow_templates) {
+  EnablementEstimate est;
+  const double exp_mult =
+      1.0 - 0.5 * std::clamp(university.experience, 0.0, 1.0);
+  for (const EnablementTask& t : standard_task_catalog()) {
+    const double reps =
+        t.per_technology ? std::max(1, university.technologies_needed) : 1;
+    double setup = t.setup_person_days * reps;
+    double annual = t.annual_person_days * reps;
+    if (with_flow_templates && t.name == "flow_automation") {
+      // Recommendation 4: templates replace most per-technology scripting.
+      setup *= 0.35;
+      annual *= 0.5;
+    }
+    est.setup_person_days += setup * exp_mult;
+    est.annual_person_days += annual * exp_mult;
+  }
+  const double staff = std::max(0.1, university.support_staff_fte);
+  est.calendar_days = est.setup_person_days / staff;
+  return est;
+}
+
+EnablementHub::EnablementHub(pdk::PdkRegistry registry, Options options)
+    : registry_(std::move(registry)), options_(options) {}
+
+util::Status EnablementHub::enable_technology(const std::string& node_name) {
+  const auto node = registry_.find(node_name);
+  if (!node.ok()) return node.status();
+  if (std::find(enabled_nodes_.begin(), enabled_nodes_.end(), node_name) !=
+      enabled_nodes_.end()) {
+    return util::Status::AlreadyExists(node_name + " already enabled");
+  }
+  // Hub staff are experts (experience 1.0) and use templates; the hub pays
+  // per-technology setup once for the whole membership.
+  UniversityProfile hub_staff;
+  hub_staff.experience = 1.0;
+  hub_staff.technologies_needed = 1;
+  const EnablementEstimate est = estimate_diy(hub_staff, true);
+  hub_setup_days_ += est.setup_person_days;
+  enabled_nodes_.push_back(node_name);
+  return util::Status::Ok();
+}
+
+std::size_t EnablementHub::add_member(UniversityProfile profile) {
+  members_.push_back(std::move(profile));
+  return members_.size() - 1;
+}
+
+std::vector<std::string> EnablementHub::accessible_nodes(
+    std::size_t member, edu::LearnerTier tier) const {
+  std::vector<std::string> out;
+  for (const std::string& name : enabled_nodes_) {
+    if (check_member_access(member, tier, name).ok()) out.push_back(name);
+  }
+  return out;
+}
+
+util::Status EnablementHub::check_member_access(
+    std::size_t member, edu::LearnerTier tier,
+    const std::string& node_name) const {
+  if (member >= members_.size()) {
+    return util::Status::InvalidArgument("unknown member index");
+  }
+  if (std::find(enabled_nodes_.begin(), enabled_nodes_.end(), node_name) ==
+      enabled_nodes_.end()) {
+    return util::Status::NotFound(node_name + " is not enabled on the hub");
+  }
+  const auto node = registry_.find(node_name);
+  if (!node.ok()) return node.status();
+
+  if (options_.tiered_access && tier == edu::LearnerTier::kBeginner &&
+      !node->is_open()) {
+    return util::Status::PermissionDenied(
+        "beginner tier is limited to open-PDK nodes");
+  }
+  // The hub supplies the institutional prerequisites: NDA umbrella,
+  // isolated infrastructure, and its own tape-out track record. Personal
+  // export-control status cannot be waived.
+  pdk::UserProfile via_hub = members_[member].legal;
+  via_hub.has_signed_nda = true;
+  via_hub.has_isolated_it = true;
+  via_hub.has_secured_funding = true;
+  via_hub.completed_tapeouts =
+      std::max(via_hub.completed_tapeouts, node->required_prior_tapeouts);
+  return pdk::require_access(*node, via_hub);
+}
+
+double EnablementHub::member_calendar_days(std::size_t member) const {
+  (void)member;
+  return options_.onboarding_days;
+}
+
+EnablementHub::AmortizationReport EnablementHub::amortization(
+    const UniversityProfile& typical, int num_universities,
+    bool with_flow_templates) const {
+  AmortizationReport rep;
+  const EnablementEstimate diy = estimate_diy(typical, with_flow_templates);
+  rep.diy_total_days =
+      static_cast<double>(num_universities) * diy.setup_person_days;
+  rep.hub_total_days =
+      hub_setup_days_ +
+      static_cast<double>(num_universities) *
+          (options_.onboarding_days + options_.member_annual_days);
+  rep.savings_factor =
+      rep.hub_total_days > 0 ? rep.diy_total_days / rep.hub_total_days : 0.0;
+  return rep;
+}
+
+EnablementHub::QueueReport EnablementHub::simulate_queue(
+    std::vector<Job> jobs) const {
+  QueueReport rep;
+  rep.outcomes.resize(jobs.size());
+  // FCFS by submit time (stable for ties).
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&jobs](std::size_t a, std::size_t b) {
+                     return jobs[a].submit_time_h < jobs[b].submit_time_h;
+                   });
+  // Min-heap of server free times.
+  std::priority_queue<double, std::vector<double>, std::greater<>> servers;
+  for (int s = 0; s < std::max(1, options_.job_capacity); ++s) {
+    servers.push(0.0);
+  }
+  double busy_hours = 0.0;
+  double makespan = 0.0;
+  double wait_sum = 0.0;
+  for (std::size_t idx : order) {
+    const Job& job = jobs[idx];
+    const double free_at = servers.top();
+    servers.pop();
+    const double start = std::max(free_at, job.submit_time_h);
+    const double finish = start + job.duration_h;
+    servers.push(finish);
+    JobOutcome& out = rep.outcomes[idx];
+    out.start_h = start;
+    out.finish_h = finish;
+    out.wait_h = start - job.submit_time_h;
+    wait_sum += out.wait_h;
+    rep.max_wait_h = std::max(rep.max_wait_h, out.wait_h);
+    busy_hours += job.duration_h;
+    makespan = std::max(makespan, finish);
+  }
+  rep.makespan_h = makespan;
+  rep.mean_wait_h = jobs.empty() ? 0.0 : wait_sum / static_cast<double>(jobs.size());
+  rep.utilization =
+      makespan > 0
+          ? busy_hours / (makespan * std::max(1, options_.job_capacity))
+          : 0.0;
+  return rep;
+}
+
+std::vector<AdoptionYear> simulate_adoption(const AdoptionParams& params,
+                                            const UniversityProfile& typical) {
+  std::vector<AdoptionYear> series;
+  series.reserve(static_cast<std::size_t>(params.years));
+
+  // Hub staff are experts with templates; per-technology bring-up cost.
+  UniversityProfile hub_staff;
+  hub_staff.experience = 1.0;
+  hub_staff.technologies_needed = 1;
+  const double hub_tech_days = estimate_diy(hub_staff, true).setup_person_days;
+
+  // Counterfactual per-university effort (self-enabling every technology
+  // the hub would have offered, capped at what a group realistically runs).
+  double members = params.initial_members;
+  int technologies = 0;
+  double hub_days = 0.0;
+  double diy_days = 0.0;
+  double campaigns = 0.0;
+  EnablementHub::Options opt;
+
+  for (int year = 0; year < params.years; ++year) {
+    const int new_tech = year == 0 ? params.technologies_first_year
+                                   : params.technologies_per_later_year;
+    technologies += new_tech;
+    hub_days += hub_tech_days * new_tech;
+
+    const double prev_members = year == 0 ? 0.0 : members;
+    if (year > 0) members *= 1.0 + params.member_growth_per_year;
+    const double joined = members - prev_members;
+    hub_days += joined * opt.onboarding_days;
+    hub_days += members * opt.member_annual_days;
+
+    // DIY counterfactual: each member self-enables up to 3 technologies
+    // once, then pays annual maintenance.
+    UniversityProfile diy = typical;
+    diy.technologies_needed = std::min(3, technologies);
+    const EnablementEstimate est = estimate_diy(diy, false);
+    diy_days += joined * est.setup_person_days;
+    diy_days += members * est.annual_person_days;
+
+    campaigns += members * params.campaigns_per_member_year;
+
+    AdoptionYear y;
+    y.year = year;
+    y.members = static_cast<int>(members);
+    y.technologies = technologies;
+    y.hub_person_days = hub_days;
+    y.diy_person_days = diy_days;
+    y.savings_factor = hub_days > 0 ? diy_days / hub_days : 0.0;
+    y.campaigns_run = campaigns;
+    series.push_back(y);
+  }
+  return series;
+}
+
+}  // namespace eurochip::core

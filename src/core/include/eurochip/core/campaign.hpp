@@ -1,0 +1,55 @@
+// DesignCampaign: the end-to-end "university tapes out a chip" scenario —
+// access check, enablement lead time, a real RTL-to-GDSII flow run, MPW
+// pricing, and schedule feasibility. This is the public API the examples
+// and the enablement/tiered-access benches drive.
+#pragma once
+
+#include <string>
+
+#include "eurochip/core/enablement.hpp"
+#include "eurochip/econ/cost_model.hpp"
+#include "eurochip/flow/flow.hpp"
+#include "eurochip/rtl/ir.hpp"
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::core {
+
+struct CampaignConfig {
+  std::string node_name = "sky130ish";
+  edu::LearnerTier tier = edu::LearnerTier::kIntermediate;
+  /// True: run through an EnablementHub member account; false: DIY.
+  bool via_hub = true;
+  econ::AcademicProgram mpw_program;  ///< pricing program for the shuttle
+  double design_months = 3.0;         ///< RTL + verification time budgeted
+  double available_months = 12.0;     ///< thesis/project duration
+  std::uint64_t seed = 1;
+};
+
+struct CampaignReport {
+  std::string node_name;
+  bool access_granted = false;
+  std::string access_reason;
+  double enablement_days = 0.0;       ///< lead time before design starts
+  flow::PpaReport ppa;                ///< from the real flow run
+  double die_area_mm2 = 0.0;
+  double mpw_cost_keur = 0.0;
+  double turnaround_months = 0.0;     ///< MPW fab + packaging
+  double total_months = 0.0;          ///< enablement + design + turnaround
+  bool fits_schedule = false;
+  double flow_runtime_ms = 0.0;
+};
+
+/// Runs a full campaign for `university` implementing `design`.
+/// The flow genuinely executes (synthesis through GDSII); economics and
+/// schedule wrap around it. Fails fast if PDK access is denied.
+[[nodiscard]] util::Result<CampaignReport> run_campaign(
+    EnablementHub& hub, std::size_t member, const rtl::Module& design,
+    const CampaignConfig& config);
+
+/// DIY variant: no hub; the university self-enables (longer lead time) and
+/// must satisfy every access requirement itself.
+[[nodiscard]] util::Result<CampaignReport> run_campaign_diy(
+    const UniversityProfile& university, const rtl::Module& design,
+    const CampaignConfig& config);
+
+}  // namespace eurochip::core

@@ -1,0 +1,176 @@
+// Design-enablement modeling (paper §III-D and Recommendation 7).
+//
+// The paper distinguishes *availability* (tools and PDKs exist and may be
+// licensed) from *enablement* (the resource-intensive work of standing up
+// and maintaining a working flow). EnablementTask catalogs that work;
+// DiyEnablement prices it for a single university; EnablementHub amortizes
+// it across member universities through a centralized, cloud-style
+// platform with a shared job queue.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eurochip/edu/tiers.hpp"
+#include "eurochip/pdk/access.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::core {
+
+/// One enablement task from the paper's §III-D list.
+struct EnablementTask {
+  std::string name;
+  double setup_person_days = 0.0;    ///< one-time bring-up effort
+  double annual_person_days = 0.0;   ///< recurring maintenance
+  bool per_technology = false;       ///< repeats for every PDK brought up
+};
+
+/// The paper's enablement-task list.
+[[nodiscard]] std::vector<EnablementTask> standard_task_catalog();
+
+/// A university (or research group) profile.
+struct UniversityProfile {
+  std::string name;
+  double support_staff_fte = 0.5;   ///< FTEs available for infrastructure
+  double experience = 0.2;          ///< 0 = none, 1 = veteran group
+  int technologies_needed = 1;
+  pdk::UserProfile legal;           ///< NDA/export situation
+};
+
+/// Do-it-yourself enablement estimate.
+struct EnablementEstimate {
+  double setup_person_days = 0.0;
+  double annual_person_days = 0.0;
+  double calendar_days = 0.0;       ///< setup divided over available staff
+};
+
+/// Effort for `university` to self-enable `technologies_needed` nodes.
+/// Experience discounts effort by up to 50%; templates (Recommendation 4)
+/// discount the flow-automation share further.
+[[nodiscard]] EnablementEstimate estimate_diy(
+    const UniversityProfile& university, bool with_flow_templates);
+
+/// A centralized enablement hub (Recommendation 7).
+class EnablementHub {
+ public:
+  struct Options {
+    int job_capacity = 4;              ///< concurrent flow jobs
+    double onboarding_days = 3.0;      ///< per member university
+    double member_annual_days = 2.0;   ///< residual local admin per member
+    /// Tier gating: beginners are restricted to open nodes regardless of
+    /// hub licenses (Recommendation 8).
+    bool tiered_access = true;
+  };
+
+  EnablementHub(pdk::PdkRegistry registry, Options options);
+
+  /// Brings up a technology on the hub (counts hub-side setup once).
+  util::Status enable_technology(const std::string& node_name);
+
+  /// Registers a member; returns its index.
+  std::size_t add_member(UniversityProfile profile);
+
+  /// Nodes `member` can use through the hub at `tier`. The hub holds the
+  /// commercial NDAs and isolated infrastructure, so a member inherits
+  /// those capabilities — but export-control restrictions still bind the
+  /// individual user, and beginners stay on open nodes.
+  [[nodiscard]] std::vector<std::string> accessible_nodes(
+      std::size_t member, edu::LearnerTier tier) const;
+
+  /// Access check for one node through the hub.
+  [[nodiscard]] util::Status check_member_access(
+      std::size_t member, edu::LearnerTier tier,
+      const std::string& node_name) const;
+
+  /// Time for a member to reach a working flow: onboarding only, because
+  /// hub-side setup is already amortized.
+  [[nodiscard]] double member_calendar_days(std::size_t member) const;
+
+  /// Total hub-side setup effort invested so far (person-days).
+  [[nodiscard]] double hub_setup_person_days() const {
+    return hub_setup_days_;
+  }
+
+  /// Cost comparison: total person-days across `n` identical universities
+  /// doing DIY vs the hub serving all of them.
+  struct AmortizationReport {
+    double diy_total_days = 0.0;
+    double hub_total_days = 0.0;
+    double savings_factor = 0.0;
+  };
+  [[nodiscard]] AmortizationReport amortization(
+      const UniversityProfile& typical, int num_universities,
+      bool with_flow_templates) const;
+
+  // --- job queue (discrete-event, deterministic) -------------------------
+
+  struct Job {
+    std::size_t member = 0;
+    double submit_time_h = 0.0;
+    double duration_h = 0.0;
+  };
+  struct JobOutcome {
+    double start_h = 0.0;
+    double finish_h = 0.0;
+    double wait_h = 0.0;
+  };
+  struct QueueReport {
+    std::vector<JobOutcome> outcomes;  ///< by submission order
+    double mean_wait_h = 0.0;
+    double max_wait_h = 0.0;
+    double makespan_h = 0.0;
+    double utilization = 0.0;          ///< busy server-hours / capacity
+  };
+
+  /// FCFS simulation of flow jobs over the hub's capacity.
+  [[nodiscard]] QueueReport simulate_queue(std::vector<Job> jobs) const;
+
+  [[nodiscard]] const pdk::PdkRegistry& registry() const { return registry_; }
+  [[nodiscard]] const Options& options() const { return options_; }
+  [[nodiscard]] const std::vector<std::string>& enabled_nodes() const {
+    return enabled_nodes_;
+  }
+  [[nodiscard]] std::size_t member_count() const { return members_.size(); }
+
+ private:
+  pdk::PdkRegistry registry_;
+  Options options_;
+  std::vector<std::string> enabled_nodes_;
+  std::vector<UniversityProfile> members_;
+  double hub_setup_days_ = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Multi-year hub adoption (Recommendation 7's long-term argument).
+// ---------------------------------------------------------------------------
+
+/// Parameters of a multi-year hub rollout.
+struct AdoptionParams {
+  int years = 10;
+  int initial_members = 3;
+  double member_growth_per_year = 0.5;   ///< fractional membership growth
+  int technologies_first_year = 2;
+  int technologies_per_later_year = 1;   ///< bring-up waves
+  double campaigns_per_member_year = 2.0;
+};
+
+/// One simulated year of hub operation.
+struct AdoptionYear {
+  int year = 0;
+  int members = 0;
+  int technologies = 0;
+  double hub_person_days = 0.0;   ///< cumulative hub-side + onboarding
+  double diy_person_days = 0.0;   ///< counterfactual: everyone DIY
+  double savings_factor = 0.0;
+  double campaigns_run = 0.0;     ///< cumulative design campaigns enabled
+};
+
+/// Simulates `params.years` of operating a hub for a population of
+/// universities shaped like `typical`. Deterministic (no RNG needed: the
+/// model is deliberately mean-field). The returned series backs E7e.
+[[nodiscard]] std::vector<AdoptionYear> simulate_adoption(
+    const AdoptionParams& params, const UniversityProfile& typical);
+
+}  // namespace eurochip::core

@@ -1,0 +1,106 @@
+#include "eurochip/core/ip_reuse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eurochip::core {
+
+double IpBlock::quality() const {
+  const double verif = std::clamp(verification_maturity, 0.0, 1.0);
+  const double coll = collateral.count() / 5.0;
+  double q = 0.6 * verif + 0.3 * coll + 0.1 * (liberal_license ? 1.0 : 0.0);
+  return std::clamp(q, 0.0, 1.0);
+}
+
+double ReuseEffortModel::scratch_days(const IpBlock& block) const {
+  return days_per_gate_scratch * static_cast<double>(block.gates);
+}
+
+double ReuseEffortModel::integration_days(const IpBlock& block) const {
+  const double q = block.quality();
+  double days = base_integration_days;
+  // Missing quality turns into debugging/reverse-engineering effort that
+  // scales with block complexity.
+  days += (1.0 - q) * worst_case_penalty_days_per_kgate *
+          static_cast<double>(block.gates) / 1000.0;
+  if (!block.liberal_license) days += license_friction_days;
+  return days;
+}
+
+double ReuseEffortModel::savings_days(const IpBlock& block) const {
+  return scratch_days(block) - integration_days(block);
+}
+
+double ReuseEffortModel::breakeven_quality(std::size_t gates) const {
+  const auto block_at = [gates](double verif) {
+    IpBlock b;
+    b.name = "probe";
+    b.gates = gates;
+    b.verification_maturity = verif;
+    // Collateral tracks verification discipline in this probe.
+    const bool full = verif > 0.5;
+    b.collateral = {full, full, full, full, full};
+    return b;
+  };
+  double lo = 0.0;
+  double hi = 1.0;
+  if (savings_days(block_at(lo)) >= 0.0) return 0.0;   // reuse always wins
+  if (savings_days(block_at(hi)) < 0.0) return 1.0;    // reuse never wins
+  for (int iter = 0; iter < 40; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (savings_days(block_at(mid)) >= 0.0) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return block_at(hi).quality();
+}
+
+void IpCatalog::add(IpBlock block) { blocks_.push_back(std::move(block)); }
+
+util::Result<IpBlock> IpCatalog::find(const std::string& name) const {
+  for (const IpBlock& b : blocks_) {
+    if (b.name == name) return b;
+  }
+  return util::Status::NotFound("unknown IP block: " + name);
+}
+
+util::Result<double> IpCatalog::system_savings_days(
+    const std::vector<std::string>& block_names,
+    const ReuseEffortModel& model) const {
+  double total = 0.0;
+  for (const std::string& name : block_names) {
+    const auto block = find(name);
+    if (!block.ok()) return block.status();
+    total += model.savings_days(*block);
+  }
+  return total;
+}
+
+IpCatalog example_catalog() {
+  IpCatalog cat;
+  // Gate counts correspond to the EuroChip design catalog on sky130ish.
+  const auto mk = [](std::string name, std::size_t gates, double verif,
+                     IpCollateral coll, bool liberal) {
+    IpBlock b;
+    b.name = std::move(name);
+    b.gates = gates;
+    b.verification_maturity = verif;
+    b.collateral = coll;
+    b.liberal_license = liberal;
+    return b;
+  };
+  // A PULP-grade block: silicon-proven, full collateral, liberal license.
+  cat.add(mk("alu_gold", 360, 0.95, {true, true, true, true, true}, true));
+  // Decent academic block: verified, partial collateral.
+  cat.add(mk("fir_decent", 200, 0.7, {true, false, true, false, true}, true));
+  // Thesis-ware: barely verified, no collateral (the paper's warning).
+  cat.add(mk("cpu_thesisware", 430, 0.2, {false, false, false, false, false},
+             true));
+  // Good block behind an NDA: quality high, friction real.
+  cat.add(mk("mult_nda", 360, 0.9, {true, true, true, true, true}, false));
+  return cat;
+}
+
+}  // namespace eurochip::core

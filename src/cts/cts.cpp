@@ -1,0 +1,226 @@
+#include "eurochip/cts/cts.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace eurochip::cts {
+
+namespace {
+
+using netlist::CellId;
+using place::PlacedDesign;
+using util::Point;
+
+std::vector<std::pair<CellId, Point>> clock_sinks(const PlacedDesign& placed) {
+  std::vector<std::pair<CellId, Point>> sinks;
+  for (CellId ff : placed.netlist->sequential_cells()) {
+    sinks.push_back({ff, placed.cell_pin(ff)});
+  }
+  return sinks;
+}
+
+Point centroid(const std::vector<std::pair<CellId, Point>>& sinks) {
+  std::int64_t sx = 0;
+  std::int64_t sy = 0;
+  for (const auto& [id, p] : sinks) {
+    sx += p.x;
+    sy += p.y;
+  }
+  const auto n = static_cast<std::int64_t>(sinks.size());
+  return {sx / n, sy / n};
+}
+
+/// Per-segment Elmore-like delay: wire R * (wire C / 2 + downstream C) plus
+/// a fixed buffer delay at internal nodes. Downstream C is approximated by
+/// the subtree's sink count (regular trees make this a good proxy).
+struct DelayModel {
+  double res_ohm_per_um;
+  double cap_ff_per_um;
+  double sink_cap_ff;
+  double buffer_delay_ps;
+
+  [[nodiscard]] double segment_ps(double len_um, double downstream_ff) const {
+    const double r_kohm = res_ohm_per_um * len_um * 1e-3;
+    const double c_wire = cap_ff_per_um * len_um;
+    return r_kohm * (c_wire / 2.0 + downstream_ff);
+  }
+};
+
+DelayModel delay_model(const pdk::TechnologyNode& node) {
+  DelayModel m{};
+  m.res_ohm_per_um = node.layers.front().res_ohm_per_um;
+  m.cap_ff_per_um = node.layers.front().cap_ff_per_um;
+  m.sink_cap_ff = node.gate_cap_ff * 1.2;  // DFF clock pin
+  m.buffer_delay_ps = node.fo4_delay_ps * 0.8;
+  return m;
+}
+
+/// Recursive means-and-medians partitioning.
+class HtreeBuilder {
+ public:
+  HtreeBuilder(ClockTree& tree, const DelayModel& model, int leaf_size)
+      : tree_(tree), model_(model), leaf_size_(leaf_size) {}
+
+  std::uint32_t build(std::vector<std::pair<CellId, Point>> sinks, int level,
+                      Point parent_at) {
+    const Point here = centroid(sinks);
+    const std::uint32_t index = static_cast<std::uint32_t>(tree_.nodes.size());
+    tree_.nodes.emplace_back();
+    {
+      TreeNode& n = tree_.nodes.back();
+      n.location = here;
+      n.level = level;
+      n.segment_length_um =
+          level == 0 ? 0.0
+                     : static_cast<double>(util::manhattan(parent_at, here)) * 1e-3;
+    }
+    tree_.depth = std::max(tree_.depth, level);
+
+    if (static_cast<int>(sinks.size()) <= leaf_size_) {
+      tree_.nodes[index].sinks.reserve(sinks.size());
+      for (const auto& [id, p] : sinks) tree_.nodes[index].sinks.push_back(id);
+      leaf_sink_points_.emplace_back(index, std::move(sinks));
+      return index;
+    }
+
+    // Split along the longer axis at the median.
+    util::BoundingBox bb;
+    for (const auto& [id, p] : sinks) bb.add(p);
+    const bool split_x = bb.rect().width() >= bb.rect().height();
+    std::sort(sinks.begin(), sinks.end(),
+              [split_x](const auto& a, const auto& b) {
+                return split_x ? a.second.x < b.second.x
+                               : a.second.y < b.second.y;
+              });
+    const std::size_t half = sinks.size() / 2;
+    std::vector<std::pair<CellId, Point>> lo(sinks.begin(),
+                                             sinks.begin() + static_cast<std::ptrdiff_t>(half));
+    std::vector<std::pair<CellId, Point>> hi(sinks.begin() + static_cast<std::ptrdiff_t>(half),
+                                             sinks.end());
+    const std::uint32_t left = build(std::move(lo), level + 1, here);
+    const std::uint32_t right = build(std::move(hi), level + 1, here);
+    tree_.nodes[index].children = {left, right};
+    ++tree_.buffer_count;  // buffer at every internal node
+    return index;
+  }
+
+  /// Post-pass: insertion delays and capacitance.
+  void finalize() {
+    // Downstream sink counts per node (for the Elmore load proxy).
+    std::vector<double> downstream_ff(tree_.nodes.size(), 0.0);
+    for (std::size_t i = tree_.nodes.size(); i-- > 0;) {
+      const TreeNode& n = tree_.nodes[i];
+      double ff = static_cast<double>(n.sinks.size()) * model_.sink_cap_ff;
+      for (std::uint32_t c : n.children) ff += downstream_ff[c];
+      downstream_ff[i] = ff;
+    }
+    // Root-to-node delays.
+    std::vector<double> delay(tree_.nodes.size(), 0.0);
+    tree_.max_insertion_delay_ps = 0.0;
+    tree_.min_insertion_delay_ps = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < tree_.nodes.size(); ++i) {
+      const TreeNode& n = tree_.nodes[i];
+      tree_.total_wirelength_um += n.segment_length_um;
+      tree_.clock_cap_ff += model_.cap_ff_per_um * n.segment_length_um;
+      for (std::uint32_t c : n.children) {
+        delay[c] = delay[i] + model_.buffer_delay_ps +
+                   model_.segment_ps(tree_.nodes[c].segment_length_um,
+                                     downstream_ff[c]);
+      }
+      if (!n.sinks.empty()) {
+        // Leaf: add the final fanout stub (mean sink distance).
+        double stub = 0.0;
+        for (const auto& [leaf_index, pts] : leaf_sink_points_) {
+          if (leaf_index != i) continue;
+          for (const auto& [id, p] : pts) {
+            stub += static_cast<double>(util::manhattan(n.location, p)) * 1e-3;
+          }
+          stub /= static_cast<double>(pts.size());
+        }
+        tree_.total_wirelength_um +=
+            stub * static_cast<double>(n.sinks.size());
+        tree_.clock_cap_ff +=
+            model_.cap_ff_per_um * stub * static_cast<double>(n.sinks.size());
+        const double d =
+            delay[i] + model_.segment_ps(stub, model_.sink_cap_ff);
+        tree_.max_insertion_delay_ps = std::max(tree_.max_insertion_delay_ps, d);
+        tree_.min_insertion_delay_ps = std::min(tree_.min_insertion_delay_ps, d);
+      }
+    }
+    tree_.clock_cap_ff +=
+        static_cast<double>(tree_.num_sinks) * model_.sink_cap_ff;
+    if (!std::isfinite(tree_.min_insertion_delay_ps)) {
+      tree_.min_insertion_delay_ps = 0.0;
+    }
+  }
+
+ private:
+  ClockTree& tree_;
+  DelayModel model_;
+  int leaf_size_;
+  std::vector<std::pair<std::size_t, std::vector<std::pair<CellId, Point>>>>
+      leaf_sink_points_;
+};
+
+}  // namespace
+
+util::Result<ClockTree> build_htree(const PlacedDesign& placed,
+                                    const pdk::TechnologyNode& node,
+                                    const CtsOptions& options) {
+  auto sinks = clock_sinks(placed);
+  if (sinks.empty()) {
+    return util::Status::FailedPrecondition(
+        "design has no sequential cells: nothing to clock");
+  }
+  ClockTree tree;
+  tree.num_sinks = sinks.size();
+  const DelayModel model = delay_model(node);
+  HtreeBuilder builder(tree, model,
+                       std::max(1, options.max_sinks_per_leaf));
+  const Point core_center = placed.floorplan.core().center();
+  builder.build(std::move(sinks), 0, core_center);
+  builder.finalize();
+  return tree;
+}
+
+util::Result<ClockTree> build_star(const PlacedDesign& placed,
+                                   const pdk::TechnologyNode& node) {
+  auto sinks = clock_sinks(placed);
+  if (sinks.empty()) {
+    return util::Status::FailedPrecondition(
+        "design has no sequential cells: nothing to clock");
+  }
+  ClockTree tree;
+  tree.num_sinks = sinks.size();
+  const DelayModel model = delay_model(node);
+  const Point root = placed.floorplan.core().center();
+
+  tree.nodes.emplace_back();
+  tree.nodes[0].location = root;
+  tree.max_insertion_delay_ps = 0.0;
+  tree.min_insertion_delay_ps = std::numeric_limits<double>::infinity();
+  // The star drives the whole load through one net: every sink's Elmore
+  // delay sees the full wire capacitance — this is what makes it bad.
+  double total_cap = static_cast<double>(sinks.size()) * model.sink_cap_ff;
+  for (const auto& [id, p] : sinks) {
+    const double len_um = static_cast<double>(util::manhattan(root, p)) * 1e-3;
+    tree.total_wirelength_um += len_um;
+    total_cap += model.cap_ff_per_um * len_um;
+  }
+  for (const auto& [id, p] : sinks) {
+    const double len_um = static_cast<double>(util::manhattan(root, p)) * 1e-3;
+    const double r_kohm = model.res_ohm_per_um * len_um * 1e-3;
+    const double d = r_kohm * total_cap;
+    tree.max_insertion_delay_ps = std::max(tree.max_insertion_delay_ps, d);
+    tree.min_insertion_delay_ps = std::min(tree.min_insertion_delay_ps, d);
+    tree.nodes[0].sinks.push_back(id);
+  }
+  tree.clock_cap_ff = total_cap;
+  if (!std::isfinite(tree.min_insertion_delay_ps)) {
+    tree.min_insertion_delay_ps = 0.0;
+  }
+  return tree;
+}
+
+}  // namespace eurochip::cts

@@ -1,0 +1,59 @@
+// Clock-tree synthesis: recursive geometric (means-and-medians) H-tree
+// construction over the placed DFF sinks, with buffer insertion at
+// internal nodes, Elmore-style insertion-delay and skew estimation, and
+// clock-network capacitance for the power model.
+//
+// A naive star topology (root wired directly to every sink) is provided
+// as the ablation baseline — it shows why real flows need CTS.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eurochip/pdk/node.hpp"
+#include "eurochip/place/placer.hpp"
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::cts {
+
+struct CtsOptions {
+  int max_sinks_per_leaf = 8;   ///< leaf cluster size
+  int buffer_drive = 4;         ///< drive strength used for clock buffers
+};
+
+struct TreeNode {
+  util::Point location;
+  std::vector<std::uint32_t> children;     ///< indices into ClockTree::nodes
+  std::vector<netlist::CellId> sinks;      ///< leaf nodes only
+  int level = 0;
+  double segment_length_um = 0.0;          ///< wire from parent to here
+};
+
+struct ClockTree {
+  std::vector<TreeNode> nodes;             ///< [0] is the root
+  std::size_t num_sinks = 0;
+  int buffer_count = 0;                    ///< one per internal node
+  int depth = 0;
+  double total_wirelength_um = 0.0;
+  double max_insertion_delay_ps = 0.0;
+  double min_insertion_delay_ps = 0.0;
+  double clock_cap_ff = 0.0;               ///< wire + sink clock-pin cap
+
+  /// Skew: spread of insertion delays across sinks.
+  [[nodiscard]] double skew_ps() const {
+    return max_insertion_delay_ps - min_insertion_delay_ps;
+  }
+};
+
+/// Builds a balanced H-tree over the design's DFF sinks.
+/// Fails (kFailedPrecondition) if the design has no sequential cells.
+[[nodiscard]] util::Result<ClockTree> build_htree(
+    const place::PlacedDesign& placed, const pdk::TechnologyNode& node,
+    const CtsOptions& options = {});
+
+/// Ablation baseline: one driver at the core center wired directly to
+/// every sink (no buffering, no balancing).
+[[nodiscard]] util::Result<ClockTree> build_star(
+    const place::PlacedDesign& placed, const pdk::TechnologyNode& node);
+
+}  // namespace eurochip::cts

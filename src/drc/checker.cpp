@@ -1,0 +1,114 @@
+#include "eurochip/drc/checker.hpp"
+
+#include <algorithm>
+
+#include "eurochip/util/strings.hpp"
+
+namespace eurochip::drc {
+
+const char* to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kOffRow: return "off-row";
+    case ViolationKind::kOffSite: return "off-site";
+    case ViolationKind::kOutsideCore: return "outside-core";
+    case ViolationKind::kOverlap: return "overlap";
+    case ViolationKind::kDensity: return "density";
+    case ViolationKind::kUnrouted: return "unrouted";
+    case ViolationKind::kOverflow: return "overflow";
+  }
+  return "?";
+}
+
+std::size_t DrcReport::count(ViolationKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(violations.begin(), violations.end(),
+                    [kind](const Violation& v) { return v.kind == kind; }));
+}
+
+DrcReport check(const place::PlacedDesign& placed,
+                const pdk::TechnologyNode& node,
+                const route::RoutedDesign* routing) {
+  DrcReport report;
+  const auto& nl = *placed.netlist;
+  const auto& fp = placed.floorplan;
+
+  // Per-cell geometry checks.
+  for (netlist::CellId id : nl.all_cells()) {
+    ++report.cells_checked;
+    const util::Rect r = placed.cell_rect(id);
+    const std::string& name = nl.cell(id).name;
+    if (r.lx < fp.core().lx || r.ux > fp.core().ux || r.ly < fp.core().ly ||
+        r.uy > fp.core().uy) {
+      report.violations.push_back(
+          {ViolationKind::kOutsideCore, name + " at " + r.to_string()});
+      continue;
+    }
+    bool on_row = false;
+    for (const auto& row : fp.rows()) {
+      if (r.ly == row.y()) {
+        on_row = true;
+        break;
+      }
+    }
+    if (!on_row) {
+      report.violations.push_back({ViolationKind::kOffRow, name});
+    }
+    if ((r.lx - fp.core().lx) % fp.site_width() != 0) {
+      report.violations.push_back({ViolationKind::kOffSite, name});
+    }
+  }
+
+  // Overlaps: sweep within rows.
+  std::vector<netlist::CellId> sorted = nl.all_cells();
+  std::sort(sorted.begin(), sorted.end(),
+            [&placed](netlist::CellId a, netlist::CellId b) {
+              const auto& pa = placed.cell_origin[a.value];
+              const auto& pb = placed.cell_origin[b.value];
+              if (pa.y != pb.y) return pa.y < pb.y;
+              return pa.x < pb.x;
+            });
+  for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+    const auto& pa = placed.cell_origin[sorted[i].value];
+    const auto& pb = placed.cell_origin[sorted[i + 1].value];
+    if (pa.y != pb.y) continue;
+    if (placed.cell_rect(sorted[i]).overlaps(placed.cell_rect(sorted[i + 1]))) {
+      report.violations.push_back(
+          {ViolationKind::kOverlap, nl.cell(sorted[i]).name + " / " +
+                                        nl.cell(sorted[i + 1]).name});
+    }
+  }
+
+  // Density.
+  double cell_area = 0.0;
+  for (netlist::CellId id : nl.all_cells()) {
+    cell_area += static_cast<double>(placed.cell_rect(id).area());
+  }
+  const double density = cell_area / static_cast<double>(fp.core().area());
+  if (density > node.rules.max_utilization + 1e-9) {
+    report.violations.push_back(
+        {ViolationKind::kDensity,
+         "core density " + util::fmt(density, 3) + " exceeds max " +
+             util::fmt(node.rules.max_utilization, 3)});
+  }
+
+  // Connectivity and congestion.
+  if (routing != nullptr) {
+    for (netlist::NetId id : nl.all_nets()) {
+      const auto pins = placed.net_pins(id);
+      if (pins.size() < 2) continue;
+      ++report.nets_checked;
+      if (id.value >= routing->nets.size() || !routing->nets[id.value].routed) {
+        report.violations.push_back(
+            {ViolationKind::kUnrouted, nl.net(id).name});
+      }
+    }
+    if (routing->overflowed_edges > 0) {
+      report.violations.push_back(
+          {ViolationKind::kOverflow,
+           std::to_string(routing->overflowed_edges) + " gcell edges over capacity"});
+    }
+  }
+  return report;
+}
+
+}  // namespace eurochip::drc

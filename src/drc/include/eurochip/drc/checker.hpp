@@ -1,0 +1,47 @@
+// Design-rule and connectivity checking on the placed/routed abstraction:
+// row alignment, site snapping, core containment, cell overlaps, density,
+// and net-connectivity (every multi-pin net routed).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eurochip/place/placer.hpp"
+#include "eurochip/route/router.hpp"
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::drc {
+
+enum class ViolationKind {
+  kOffRow,          ///< cell not aligned to a row
+  kOffSite,         ///< cell x not on the site grid
+  kOutsideCore,     ///< cell outside the core area
+  kOverlap,         ///< two cells overlap
+  kDensity,         ///< utilization above the node maximum
+  kUnrouted,        ///< multi-pin net without a route
+  kOverflow,        ///< routing congestion above capacity
+};
+
+const char* to_string(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind;
+  std::string detail;
+};
+
+struct DrcReport {
+  std::vector<Violation> violations;
+  std::size_t cells_checked = 0;
+  std::size_t nets_checked = 0;
+
+  [[nodiscard]] bool clean() const { return violations.empty(); }
+  [[nodiscard]] std::size_t count(ViolationKind kind) const;
+};
+
+/// Checks a placed design; `routing` adds connectivity/congestion checks
+/// when provided (may be null for placement-only signoff).
+[[nodiscard]] DrcReport check(const place::PlacedDesign& placed,
+                              const pdk::TechnologyNode& node,
+                              const route::RoutedDesign* routing = nullptr);
+
+}  // namespace eurochip::drc

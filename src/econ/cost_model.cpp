@@ -1,0 +1,118 @@
+#include "eurochip/econ/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "eurochip/pdk/registry.hpp"
+
+namespace eurochip::econ {
+
+DesignCostModel DesignCostModel::paper_baseline() {
+  std::vector<std::pair<double, double>> anchors;
+  for (const auto& node : pdk::standard_nodes()) {
+    anchors.emplace_back(static_cast<double>(node.feature_nm),
+                         node.design_cost_musd);
+  }
+  return DesignCostModel(std::move(anchors));
+}
+
+DesignCostModel::DesignCostModel(
+    std::vector<std::pair<double, double>> anchors)
+    : anchors_(std::move(anchors)) {
+  if (anchors_.size() < 2) {
+    throw std::invalid_argument("cost model needs at least two anchors");
+  }
+  std::sort(anchors_.begin(), anchors_.end());
+  // Collapse duplicate feature sizes (keep the max cost).
+  std::vector<std::pair<double, double>> dedup;
+  for (const auto& a : anchors_) {
+    if (!dedup.empty() && dedup.back().first == a.first) {
+      dedup.back().second = std::max(dedup.back().second, a.second);
+    } else {
+      dedup.push_back(a);
+    }
+  }
+  anchors_ = std::move(dedup);
+  for (const auto& [f, c] : anchors_) {
+    if (f <= 0 || c <= 0) {
+      throw std::invalid_argument("anchors must be positive");
+    }
+  }
+}
+
+double DesignCostModel::cost_musd(double feature_nm) const {
+  if (feature_nm <= 0) {
+    throw std::invalid_argument("feature size must be positive");
+  }
+  // Log-log piecewise-linear interpolation, clamped extrapolation slope.
+  const double lf = std::log(feature_nm);
+  std::size_t hi = anchors_.size() - 1;
+  for (std::size_t i = 1; i < anchors_.size(); ++i) {
+    if (feature_nm <= anchors_[i].first) {
+      hi = i;
+      break;
+    }
+  }
+  const std::size_t lo = hi - 1;
+  const double lf0 = std::log(anchors_[lo].first);
+  const double lf1 = std::log(anchors_[hi].first);
+  const double lc0 = std::log(anchors_[lo].second);
+  const double lc1 = std::log(anchors_[hi].second);
+  const double t = (lf - lf1) / (lf0 - lf1);
+  // Note: costs DECREASE with larger feature size, so interpolate toward
+  // the lo anchor as feature approaches it.
+  return std::exp(lc1 + t * (lc0 - lc1));
+}
+
+DesignCostModel::Breakdown DesignCostModel::breakdown(
+    double feature_nm) const {
+  // Advanced nodes shift cost into verification and software (IBS trend).
+  const double adv = std::clamp((130.0 - feature_nm) / 128.0, 0.0, 1.0);
+  Breakdown b;
+  b.verification = 0.20 + 0.15 * adv;
+  b.software = 0.10 + 0.15 * adv;
+  b.physical = 0.20 - 0.05 * adv;
+  b.ip_licensing = 0.10 + 0.02 * adv;
+  b.architecture = 0.10 - 0.02 * adv;
+  b.rtl_design = 1.0 - b.verification - b.software - b.physical -
+                 b.ip_licensing - b.architecture;
+  return b;
+}
+
+AcademicProgram no_program() { return {"none", 0.0, 0.0}; }
+
+AcademicProgram europractice_like() {
+  return {"europractice-like", 0.40, 0.0};
+}
+
+AcademicProgram sponsored_open_mpw() {
+  // Recommendation 6: corporate-sponsorship program akin to the Efabless
+  // Open MPW program — the shuttle slot is fully covered for academia.
+  return {"sponsored-open-mpw", 0.0, 1.0};
+}
+
+double MpwCostModel::slot_cost_keur(const pdk::TechnologyNode& node,
+                                    double area_mm2,
+                                    const AcademicProgram& program) const {
+  if (area_mm2 <= 0) return 0.0;
+  // Minimum slot size of 1 mm^2 (shuttles sell fixed slot granularity).
+  const double billed_mm2 = std::max(1.0, area_mm2);
+  double cost = node.mpw_cost_keur_mm2 * billed_mm2;
+  cost *= (1.0 - program.discount);
+  cost *= (1.0 - program.sponsorship_coverage);
+  return cost;
+}
+
+double MpwCostModel::turnaround_months(
+    const pdk::TechnologyNode& node) const {
+  return node.mpw_turnaround_months + packaging_months;
+}
+
+bool MpwCostModel::fits_schedule(const pdk::TechnologyNode& node,
+                                 double design_months,
+                                 double duration_months) const {
+  return design_months + turnaround_months(node) <= duration_months;
+}
+
+}  // namespace eurochip::econ

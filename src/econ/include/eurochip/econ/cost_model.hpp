@@ -1,0 +1,85 @@
+// Design-cost and MPW-cost models (paper §III-C).
+//
+// DesignCostModel fits the paper's anchor claim — "$5 million for a 130 nm
+// chip to $725 million for a 2 nm chip" — with a log-log interpolation
+// through per-node anchors, and splits cost into the usual IBS-style
+// categories. MpwCostModel prices academic multi-project-wafer runs and
+// checks turnaround feasibility against course/thesis durations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eurochip/pdk/node.hpp"
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::econ {
+
+/// Production-design NRE cost model over feature size.
+class DesignCostModel {
+ public:
+  /// Anchored on the standard registry's per-node design_cost_musd values
+  /// (which encode the paper's $5M@130nm .. $725M@2nm citation).
+  static DesignCostModel paper_baseline();
+
+  /// `anchors` = (feature_nm, cost_musd), at least two, features distinct.
+  explicit DesignCostModel(std::vector<std::pair<double, double>> anchors);
+
+  /// Interpolated/extrapolated full design cost at a node, M$.
+  [[nodiscard]] double cost_musd(double feature_nm) const;
+
+  /// IBS-style cost split; fractions sum to 1. Verification and software
+  /// shares grow toward advanced nodes.
+  struct Breakdown {
+    double architecture = 0.0;
+    double rtl_design = 0.0;
+    double verification = 0.0;
+    double physical = 0.0;
+    double software = 0.0;
+    double ip_licensing = 0.0;
+  };
+  [[nodiscard]] Breakdown breakdown(double feature_nm) const;
+
+ private:
+  std::vector<std::pair<double, double>> anchors_;  ///< sorted by feature
+};
+
+/// Academic program modifiers for MPW pricing (Recommendation 6).
+struct AcademicProgram {
+  std::string name = "none";
+  double discount = 0.0;             ///< fractional price reduction
+  double sponsorship_coverage = 0.0; ///< fraction covered by industry funds
+};
+
+[[nodiscard]] AcademicProgram no_program();
+[[nodiscard]] AcademicProgram europractice_like();   ///< 40% academic discount
+[[nodiscard]] AcademicProgram sponsored_open_mpw();  ///< Rec 6: sponsored
+
+/// Multi-project-wafer cost and schedule model.
+class MpwCostModel {
+ public:
+  /// Price of an MPW slot of `area_mm2` on `node` under `program`, k€.
+  [[nodiscard]] double slot_cost_keur(const pdk::TechnologyNode& node,
+                                      double area_mm2,
+                                      const AcademicProgram& program) const;
+
+  /// End-to-end turnaround: MPW fab time plus packaging/test, months.
+  [[nodiscard]] double turnaround_months(const pdk::TechnologyNode& node) const;
+
+  /// True if a tape-out on `node` fits within `duration_months` including
+  /// `design_months` of design time before submission.
+  [[nodiscard]] bool fits_schedule(const pdk::TechnologyNode& node,
+                                   double design_months,
+                                   double duration_months) const;
+
+  double packaging_months = 1.5;
+};
+
+/// Typical academic activity durations, months (used by E5).
+struct AcademicDurations {
+  double course = 4.0;       ///< one semester project
+  double msc_thesis = 6.0;
+  double phd_project = 36.0;
+};
+
+}  // namespace eurochip::econ

@@ -1,0 +1,69 @@
+// Semiconductor value-chain model (paper §I): segment shares of added
+// value and per-region contribution, used to regenerate the paper's
+// market-share claims (E1) and to run "what if Europe's design share grew"
+// scenarios.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::econ {
+
+/// One segment of the semiconductor value chain.
+struct Segment {
+  std::string name;
+  double share_of_added_value = 0.0;  ///< fraction of total added value
+  double eu_contribution = 0.0;       ///< Europe's share within the segment
+};
+
+class ValueChainModel {
+ public:
+  /// The paper's numbers: fabrication 34% / design 30% of added value with
+  /// Europe contributing 8% / 10%; equipment 40% EU share, materials 20%.
+  static ValueChainModel paper_baseline();
+
+  explicit ValueChainModel(std::vector<Segment> segments);
+
+  [[nodiscard]] const std::vector<Segment>& segments() const {
+    return segments_;
+  }
+  [[nodiscard]] util::Result<Segment> find(const std::string& name) const;
+
+  /// Europe's value-weighted share of the whole chain.
+  [[nodiscard]] double eu_overall_share() const;
+
+  /// Returns a copy with one segment's EU contribution changed (scenario
+  /// analysis, e.g. "design share doubles").
+  [[nodiscard]] util::Result<ValueChainModel> with_eu_contribution(
+      const std::string& segment, double new_share) const;
+
+  /// Total world semiconductor added value assumed, B$/year (scales
+  /// absolute-value outputs; default 600 B$).
+  [[nodiscard]] double world_value_busd() const { return world_value_busd_; }
+  void set_world_value_busd(double v) { world_value_busd_ = v; }
+
+  /// Europe's captured added value in B$/year.
+  [[nodiscard]] double eu_value_busd() const {
+    return eu_overall_share() * world_value_busd_;
+  }
+
+  /// Share of segment shares that sum to 1 (validation).
+  [[nodiscard]] double total_share() const;
+
+ private:
+  std::vector<Segment> segments_;
+  double world_value_busd_ = 600.0;
+};
+
+/// Europe's market share within its strength areas (paper: 55% of the
+/// global market for industrial & automotive semiconductors).
+struct ApplicationAreaShare {
+  std::string area;
+  double eu_share;
+};
+
+[[nodiscard]] std::vector<ApplicationAreaShare> paper_application_areas();
+
+}  // namespace eurochip::econ

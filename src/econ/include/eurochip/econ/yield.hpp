@@ -1,0 +1,70 @@
+// Die yield and chiplet-vs-monolithic cost modeling.
+//
+// The paper (§III-C/D) points to 3D integration and the chiplet
+// mix-and-match approach as the direction that makes advanced silicon
+// accessible again. This module provides the standard quantitative
+// backbone of that argument: negative-binomial die yield, per-node wafer
+// and die costs, and the monolithic-vs-chiplet cost crossover.
+#pragma once
+
+#include "eurochip/pdk/node.hpp"
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::econ {
+
+/// Negative-binomial (Murphy-style) yield model.
+struct YieldModel {
+  double defect_density_per_cm2 = 0.1;
+  double clustering_alpha = 2.0;
+
+  /// Y = (1 + A * D0 / alpha)^(-alpha) for die area A.
+  [[nodiscard]] double die_yield(double die_area_mm2) const;
+};
+
+/// Typical defect density per node: mature nodes are clean, young advanced
+/// nodes defect-rich (the economics behind the chiplet argument).
+[[nodiscard]] YieldModel yield_for_node(const pdk::TechnologyNode& node);
+
+/// Wafer and die cost.
+class DieCostModel {
+ public:
+  explicit DieCostModel(YieldModel yield) : yield_(yield) {}
+  static DieCostModel for_node(const pdk::TechnologyNode& node);
+
+  /// Processed 300 mm wafer price for the node, EUR.
+  [[nodiscard]] static double wafer_cost_eur(const pdk::TechnologyNode& node);
+
+  /// Gross dice per 300 mm wafer for a die area (with edge loss factor).
+  [[nodiscard]] static double dice_per_wafer(double die_area_mm2);
+
+  /// Cost of one *good* die: wafer cost / (gross dice * yield).
+  [[nodiscard]] double good_die_cost_eur(const pdk::TechnologyNode& node,
+                                         double die_area_mm2) const;
+
+  /// Total silicon cost of a monolithic implementation.
+  [[nodiscard]] double monolithic_cost_eur(const pdk::TechnologyNode& node,
+                                           double total_area_mm2) const;
+
+  /// Total cost when the same logic is split into `num_chiplets` equal
+  /// dies: per-chiplet interface overhead, interposer, assembly and
+  /// known-good-die test included.
+  [[nodiscard]] double chiplet_cost_eur(const pdk::TechnologyNode& node,
+                                        double total_area_mm2,
+                                        int num_chiplets) const;
+
+  /// Smallest total area (mm^2, searched in [1, 2000]) where the chiplet
+  /// implementation becomes cheaper than monolithic; 0 if never.
+  [[nodiscard]] double crossover_area_mm2(const pdk::TechnologyNode& node,
+                                          int num_chiplets) const;
+
+  /// Knobs (public so benches can run sensitivity sweeps).
+  double interface_area_overhead = 0.07;   ///< per chiplet, fraction
+  double interposer_eur_per_mm2 = 0.04;
+  double assembly_eur_per_chiplet = 0.80;
+  double kgd_test_eur_per_chiplet = 0.50;
+
+ private:
+  YieldModel yield_;
+};
+
+}  // namespace eurochip::econ

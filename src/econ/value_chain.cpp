@@ -1,0 +1,83 @@
+#include "eurochip/econ/value_chain.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eurochip::econ {
+
+ValueChainModel ValueChainModel::paper_baseline() {
+  // Shares follow the paper's §I citations; the remaining segments use the
+  // conventional SIA/BCG decomposition so the total reaches 100%.
+  return ValueChainModel({
+      {"design", 0.30, 0.10},
+      {"fabrication", 0.34, 0.08},
+      {"equipment", 0.11, 0.40},
+      {"materials", 0.05, 0.20},
+      {"eda_ip", 0.03, 0.05},
+      {"assembly_test_packaging", 0.06, 0.05},
+      {"other", 0.11, 0.10},
+  });
+}
+
+ValueChainModel::ValueChainModel(std::vector<Segment> segments)
+    : segments_(std::move(segments)) {
+  if (segments_.empty()) {
+    throw std::invalid_argument("value chain needs at least one segment");
+  }
+  for (const Segment& s : segments_) {
+    if (s.share_of_added_value < 0 || s.eu_contribution < 0 ||
+        s.eu_contribution > 1) {
+      throw std::invalid_argument("segment shares must be fractions");
+    }
+  }
+}
+
+util::Result<Segment> ValueChainModel::find(const std::string& name) const {
+  for (const Segment& s : segments_) {
+    if (s.name == name) return s;
+  }
+  return util::Status::NotFound("unknown value-chain segment: " + name);
+}
+
+double ValueChainModel::eu_overall_share() const {
+  double share = 0.0;
+  for (const Segment& s : segments_) {
+    share += s.share_of_added_value * s.eu_contribution;
+  }
+  return share;
+}
+
+util::Result<ValueChainModel> ValueChainModel::with_eu_contribution(
+    const std::string& segment, double new_share) const {
+  if (new_share < 0.0 || new_share > 1.0) {
+    return util::Status::InvalidArgument("share must be a fraction");
+  }
+  std::vector<Segment> segments = segments_;
+  for (Segment& s : segments) {
+    if (s.name == segment) {
+      s.eu_contribution = new_share;
+      ValueChainModel m(std::move(segments));
+      m.world_value_busd_ = world_value_busd_;
+      return m;
+    }
+  }
+  return util::Status::NotFound("unknown value-chain segment: " + segment);
+}
+
+double ValueChainModel::total_share() const {
+  double total = 0.0;
+  for (const Segment& s : segments_) total += s.share_of_added_value;
+  return total;
+}
+
+std::vector<ApplicationAreaShare> paper_application_areas() {
+  return {
+      {"industrial", 0.55},
+      {"automotive", 0.55},
+      {"consumer", 0.10},
+      {"computing_datacenter", 0.05},
+      {"mobile", 0.06},
+  };
+}
+
+}  // namespace eurochip::econ

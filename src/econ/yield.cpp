@@ -1,0 +1,96 @@
+#include "eurochip/econ/yield.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eurochip::econ {
+
+double YieldModel::die_yield(double die_area_mm2) const {
+  if (die_area_mm2 <= 0.0) return 1.0;
+  const double area_cm2 = die_area_mm2 / 100.0;
+  return std::pow(1.0 + area_cm2 * defect_density_per_cm2 / clustering_alpha,
+                  -clustering_alpha);
+}
+
+YieldModel yield_for_node(const pdk::TechnologyNode& node) {
+  YieldModel y;
+  // Mature nodes are clean; leading-edge nodes carry high early-life
+  // defect densities (per public foundry disclosures, order of magnitude).
+  if (node.feature_nm >= 130) {
+    y.defect_density_per_cm2 = 0.05;
+  } else if (node.feature_nm >= 65) {
+    y.defect_density_per_cm2 = 0.08;
+  } else if (node.feature_nm >= 28) {
+    y.defect_density_per_cm2 = 0.10;
+  } else if (node.feature_nm >= 7) {
+    y.defect_density_per_cm2 = 0.20;
+  } else {
+    y.defect_density_per_cm2 = 0.30;
+  }
+  return y;
+}
+
+DieCostModel DieCostModel::for_node(const pdk::TechnologyNode& node) {
+  return DieCostModel(yield_for_node(node));
+}
+
+double DieCostModel::wafer_cost_eur(const pdk::TechnologyNode& node) {
+  // Processed 300 mm wafer prices, public order-of-magnitude figures.
+  if (node.feature_nm >= 180) return 1200.0;
+  if (node.feature_nm >= 130) return 1700.0;
+  if (node.feature_nm >= 65) return 2600.0;
+  if (node.feature_nm >= 28) return 4200.0;
+  if (node.feature_nm >= 7) return 9000.0;
+  return 20000.0;  // 2 nm class
+}
+
+double DieCostModel::dice_per_wafer(double die_area_mm2) {
+  if (die_area_mm2 <= 0.0) return 0.0;
+  constexpr double kWaferDiameterMm = 300.0;
+  constexpr double kUsableFraction = 0.92;  // edge exclusion + scribe
+  const double wafer_area =
+      M_PI * (kWaferDiameterMm / 2.0) * (kWaferDiameterMm / 2.0);
+  // First-order edge-loss correction (de-rating for peripheral partials).
+  const double edge_loss =
+      M_PI * kWaferDiameterMm / std::sqrt(2.0 * die_area_mm2);
+  return std::max(1.0, wafer_area * kUsableFraction / die_area_mm2 - edge_loss);
+}
+
+double DieCostModel::good_die_cost_eur(const pdk::TechnologyNode& node,
+                                       double die_area_mm2) const {
+  const double gross = dice_per_wafer(die_area_mm2);
+  const double yield = yield_.die_yield(die_area_mm2);
+  return wafer_cost_eur(node) / (gross * std::max(1e-9, yield));
+}
+
+double DieCostModel::monolithic_cost_eur(const pdk::TechnologyNode& node,
+                                         double total_area_mm2) const {
+  return good_die_cost_eur(node, total_area_mm2);
+}
+
+double DieCostModel::chiplet_cost_eur(const pdk::TechnologyNode& node,
+                                      double total_area_mm2,
+                                      int num_chiplets) const {
+  num_chiplets = std::max(1, num_chiplets);
+  if (num_chiplets == 1) return monolithic_cost_eur(node, total_area_mm2);
+  const double chiplet_area =
+      total_area_mm2 / num_chiplets * (1.0 + interface_area_overhead);
+  double cost = num_chiplets * (good_die_cost_eur(node, chiplet_area) +
+                                assembly_eur_per_chiplet +
+                                kgd_test_eur_per_chiplet);
+  cost += interposer_eur_per_mm2 * total_area_mm2 * 1.15;  // interposer margin
+  return cost;
+}
+
+double DieCostModel::crossover_area_mm2(const pdk::TechnologyNode& node,
+                                        int num_chiplets) const {
+  for (double area = 1.0; area <= 2000.0; area *= 1.05) {
+    if (chiplet_cost_eur(node, area, num_chiplets) <
+        monolithic_cost_eur(node, area)) {
+      return area;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace eurochip::econ

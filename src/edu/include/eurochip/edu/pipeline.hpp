@@ -1,0 +1,87 @@
+// Stochastic talent-pipeline simulator (paper §I, §III-A, Recs 1-3).
+//
+// Models yearly cohorts flowing school -> BSc(EE) -> MSc(chip design) ->
+// (PhD |) industry. Stage conversion rates are shaped by awareness,
+// perceived attractiveness, and retention; intervention bundles
+// (Recommendations 1-3) modify those parameters. E9 regenerates the
+// paper's "graduates stagnate without action" trend and the intervention
+// counterfactuals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eurochip/util/rng.hpp"
+
+namespace eurochip::edu {
+
+struct PipelineParams {
+  /// Yearly school-leaver population entering STEM-capable tracks.
+  double school_cohort = 100000.0;
+  /// Fraction aware of chip design as a career (paper: low visibility).
+  double awareness = 0.05;
+  /// Of the aware, fraction choosing an EE/semiconductor bachelor.
+  double attraction_bsc = 0.06;
+  /// BSc -> chip-design MSc conversion (competes with software/AI pull).
+  double attraction_msc = 0.12;
+  /// MSc completion rate.
+  double completion = 0.85;
+  /// Graduates lost to other industries/regions after graduation.
+  double retention = 0.70;
+  /// MSc -> PhD branch rate.
+  double phd_rate = 0.15;
+  /// Yearly drift of attraction toward software/AI (negative pressure,
+  /// applied multiplicatively to attraction_msc each year).
+  double software_pull_per_year = 0.97;
+  /// Women / under-represented share entering the funnel; interventions
+  /// can raise it (paper's diversity-gap discussion).
+  double diversity_share = 0.18;
+};
+
+/// An intervention bundle mapped to the paper's recommendations.
+struct Intervention {
+  std::string name;
+  double awareness_boost = 0.0;        ///< additive, Rec 1+2
+  double attraction_boost = 0.0;       ///< multiplicative on attraction_msc
+  double retention_boost = 0.0;        ///< additive, industry ties
+  double diversity_boost = 0.0;        ///< additive share
+  double stops_software_drift = 0.0;   ///< 1 = fully cancels drift, Rec 3
+  int start_year = 0;                  ///< takes effect from this year
+};
+
+[[nodiscard]] Intervention low_barrier_programs();   ///< Recommendation 1
+[[nodiscard]] Intervention information_campaigns();  ///< Recommendation 2
+[[nodiscard]] Intervention coordinated_funding();    ///< Recommendation 3
+
+/// One simulated year.
+struct YearResult {
+  int year = 0;
+  double bsc_entrants = 0.0;
+  double msc_graduates = 0.0;
+  double phd_entrants = 0.0;
+  double designers_into_industry = 0.0;
+  double diversity_share = 0.0;
+};
+
+class TalentPipeline {
+ public:
+  TalentPipeline(PipelineParams params, std::uint64_t seed);
+
+  void add_intervention(Intervention intervention);
+
+  /// Simulates `years` and returns the per-year series. Stochastic noise
+  /// (cohort sampling) is seeded — identical seeds reproduce exactly.
+  [[nodiscard]] std::vector<YearResult> run(int years);
+
+  /// Sum of designers entering industry over a run.
+  [[nodiscard]] static double total_designers(
+      const std::vector<YearResult>& series);
+
+ private:
+  PipelineParams params_;
+  std::vector<Intervention> interventions_;
+  util::Rng rng_;
+};
+
+}  // namespace eurochip::edu

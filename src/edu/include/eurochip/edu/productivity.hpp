@@ -1,0 +1,55 @@
+// Frontend/backend productivity models (paper §III-B).
+//
+// The frontend metric — gates per RTL line — is *measured* by running the
+// real EuroChip synthesis flow over a design (E2 regenerates the paper's
+// "a single line of RTL code typically generates only 5 to 20 gates"
+// claim). The software side uses the paper's order-of-magnitude comparison
+// ("a single line of Python can generate thousands of assembly
+// instructions") as a fixed reference model.
+#pragma once
+
+#include "eurochip/netlist/netlist.hpp"
+#include "eurochip/pdk/node.hpp"
+#include "eurochip/rtl/ir.hpp"
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::edu {
+
+/// Measured frontend productivity of one design.
+struct FrontendProductivity {
+  std::size_t rtl_lines = 0;
+  std::size_t gates = 0;
+  double gates_per_line = 0.0;
+};
+
+/// Counts mapped gates per RTL builder line.
+[[nodiscard]] FrontendProductivity measure_frontend(
+    const rtl::Module& design, const netlist::Netlist& mapped);
+
+/// The software-productivity reference: assembly instructions generated
+/// per line of code for common stacks (paper's comparison point).
+struct SoftwareReference {
+  const char* language;
+  double instructions_per_line;
+};
+
+[[nodiscard]] std::vector<SoftwareReference> software_references();
+
+/// Backend setup-effort model: person-days to bring up a working
+/// RTL-to-GDSII flow for a technology (paper §III-B/D). Effort grows with
+/// node complexity (layer count, NDA handling) and shrinks with prior
+/// experience and flow-template reuse (Recommendation 4).
+struct BackendSetupModel {
+  double base_days = 20.0;            ///< minimal bring-up, open 130nm-class
+  double days_per_metal_layer = 3.0;
+  double nda_overhead_days = 25.0;    ///< legal/isolated-IT overhead
+  double experience_factor = 0.5;     ///< multiplier at full experience
+  double template_factor = 0.35;      ///< multiplier with flow templates
+
+  /// Setup days for `node` given experience in [0,1] and template reuse.
+  [[nodiscard]] double setup_days(const pdk::TechnologyNode& node,
+                                  double experience,
+                                  bool with_templates) const;
+};
+
+}  // namespace eurochip::edu

@@ -1,0 +1,46 @@
+// Target-group-oriented enablement tiers (Recommendation 8): beginner /
+// intermediate / advanced learner pathways, each mapped to the technology
+// node, flow preset, and support level the paper recommends.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eurochip/flow/flow.hpp"
+#include "eurochip/pdk/access.hpp"
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::edu {
+
+enum class LearnerTier { kBeginner, kIntermediate, kAdvanced };
+
+const char* to_string(LearnerTier tier);
+
+/// The recommended pathway for a tier.
+struct TierPathway {
+  LearnerTier tier;
+  std::string description;          ///< e.g. "TinyTapeout-like shared shuttle"
+  std::string node_name;            ///< recommended technology node
+  flow::FlowQuality flow_quality;
+  bool needs_flow_internals;        ///< learner customizes the flow
+  bool needs_commercial_access;     ///< NDA-gated PDKs/EDA required
+  double base_success_rate;         ///< completion probability with support
+  double unsupported_penalty;       ///< success drop without matched support
+  double expected_weeks;            ///< time to first successful tape-in
+};
+
+/// The paper's three pathways (§IV, Recommendation 8).
+[[nodiscard]] std::vector<TierPathway> recommended_pathways();
+
+[[nodiscard]] util::Result<TierPathway> pathway_for(LearnerTier tier);
+
+/// Completion probability for a learner of `tier` following `pathway`.
+/// A mismatched pathway (e.g. beginner on an advanced commercial flow)
+/// incurs the pathway's unsupported penalty plus a tier-gap penalty.
+[[nodiscard]] double success_probability(LearnerTier learner,
+                                         const TierPathway& pathway);
+
+/// The pdk::UserProfile a tier's typical learner presents to access checks.
+[[nodiscard]] pdk::UserProfile typical_profile(LearnerTier tier);
+
+}  // namespace eurochip::edu

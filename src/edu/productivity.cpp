@@ -1,0 +1,49 @@
+#include "eurochip/edu/productivity.hpp"
+
+#include <algorithm>
+
+namespace eurochip::edu {
+
+FrontendProductivity measure_frontend(const rtl::Module& design,
+                                      const netlist::Netlist& mapped) {
+  FrontendProductivity p;
+  p.rtl_lines = design.rtl_lines();
+  // "Gates" in the paper's sense: logic cells of the mapped netlist
+  // (registers included, tie cells excluded).
+  for (netlist::CellId id : mapped.all_cells()) {
+    const auto fn = mapped.lib_cell(id).fn;
+    if (fn == netlist::CellFn::kTie0 || fn == netlist::CellFn::kTie1) continue;
+    ++p.gates;
+  }
+  p.gates_per_line =
+      p.rtl_lines > 0
+          ? static_cast<double>(p.gates) / static_cast<double>(p.rtl_lines)
+          : 0.0;
+  return p;
+}
+
+std::vector<SoftwareReference> software_references() {
+  // The paper: "a single line of Python code can generate thousands of
+  // assembly instructions" — with C and Java as conventional midpoints.
+  return {
+      {"assembly", 1.0},
+      {"c", 8.0},
+      {"java", 30.0},
+      {"python", 2000.0},
+  };
+}
+
+double BackendSetupModel::setup_days(const pdk::TechnologyNode& node,
+                                     double experience,
+                                     bool with_templates) const {
+  experience = std::clamp(experience, 0.0, 1.0);
+  double days = base_days +
+                days_per_metal_layer * static_cast<double>(node.layers.size());
+  if (!node.is_open()) days += nda_overhead_days;
+  // Experience interpolates the multiplier from 1 down to experience_factor.
+  days *= 1.0 - (1.0 - experience_factor) * experience;
+  if (with_templates) days *= template_factor;
+  return days;
+}
+
+}  // namespace eurochip::edu

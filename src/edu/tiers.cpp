@@ -1,0 +1,87 @@
+#include "eurochip/edu/tiers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eurochip::edu {
+
+const char* to_string(LearnerTier tier) {
+  switch (tier) {
+    case LearnerTier::kBeginner: return "beginner";
+    case LearnerTier::kIntermediate: return "intermediate";
+    case LearnerTier::kAdvanced: return "advanced";
+  }
+  return "?";
+}
+
+std::vector<TierPathway> recommended_pathways() {
+  // Paper §IV Rec 8: TinyTapeout-like for beginners; IHP OpenPDK +
+  // OpenROAD-class flow for intermediates; commercial enablement services
+  // or the Europractice cloud for advanced learners.
+  return {
+      {LearnerTier::kBeginner,
+       "shared community shuttle with a fixed easy flow (TinyTapeout-like)",
+       "sky130ish", flow::FlowQuality::kOpen,
+       /*needs_flow_internals=*/false, /*needs_commercial_access=*/false,
+       /*base_success_rate=*/0.90, /*unsupported_penalty=*/0.50,
+       /*expected_weeks=*/4.0},
+      {LearnerTier::kIntermediate,
+       "open PDK with a customizable open flow (IHP OpenPDK + OpenROAD-like)",
+       "ihp130ish", flow::FlowQuality::kOpen,
+       /*needs_flow_internals=*/true, /*needs_commercial_access=*/false,
+       /*base_success_rate=*/0.80, /*unsupported_penalty=*/0.35,
+       /*expected_weeks=*/10.0},
+      {LearnerTier::kAdvanced,
+       "commercial PDK and tools via enablement services / cloud platform",
+       "commercial28", flow::FlowQuality::kCommercial,
+       /*needs_flow_internals=*/true, /*needs_commercial_access=*/true,
+       /*base_success_rate=*/0.75, /*unsupported_penalty=*/0.40,
+       /*expected_weeks=*/24.0},
+  };
+}
+
+util::Result<TierPathway> pathway_for(LearnerTier tier) {
+  for (const TierPathway& p : recommended_pathways()) {
+    if (p.tier == tier) return p;
+  }
+  return util::Status::NotFound("no pathway for tier");
+}
+
+double success_probability(LearnerTier learner, const TierPathway& pathway) {
+  double p = pathway.base_success_rate;
+  const int gap = static_cast<int>(pathway.tier) - static_cast<int>(learner);
+  if (gap > 0) {
+    // Pathway is above the learner's level: each tier of mismatch costs
+    // the pathway's unsupported penalty.
+    p -= pathway.unsupported_penalty * gap;
+  } else if (gap < 0) {
+    // Overqualified learners succeed, but gain little; mild boredom cost.
+    p -= 0.05 * static_cast<double>(-gap);
+  }
+  return std::clamp(p, 0.02, 0.99);
+}
+
+pdk::UserProfile typical_profile(LearnerTier tier) {
+  pdk::UserProfile u;
+  switch (tier) {
+    case LearnerTier::kBeginner:
+      u.name = "high-school student";
+      u.affiliation = pdk::Affiliation::kHighSchool;
+      break;
+    case LearnerTier::kIntermediate:
+      u.name = "MSc student";
+      u.affiliation = pdk::Affiliation::kUniversity;
+      break;
+    case LearnerTier::kAdvanced:
+      u.name = "PhD candidate";
+      u.affiliation = pdk::Affiliation::kUniversity;
+      u.has_signed_nda = true;
+      u.has_secured_funding = true;
+      u.has_isolated_it = true;
+      u.completed_tapeouts = 1;
+      break;
+  }
+  return u;
+}
+
+}  // namespace eurochip::edu

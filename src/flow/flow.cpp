@@ -1,0 +1,456 @@
+#include "eurochip/flow/flow.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "eurochip/pdk/library_gen.hpp"
+#include "eurochip/synth/elaborate.hpp"
+#include "eurochip/synth/netopt.hpp"
+#include "eurochip/synth/scan.hpp"
+#include "eurochip/synth/opt.hpp"
+#include "eurochip/util/strings.hpp"
+#include "eurochip/util/table.hpp"
+
+namespace eurochip::flow {
+
+const char* to_string(FlowQuality q) {
+  switch (q) {
+    case FlowQuality::kOpen: return "open";
+    case FlowQuality::kCommercial: return "commercial";
+  }
+  return "?";
+}
+
+EffortKnobs knobs_for(FlowQuality quality, std::uint64_t seed,
+                      double utilization) {
+  EffortKnobs k{};
+  if (quality == FlowQuality::kOpen) {
+    k.synth_iterations = 1;
+    k.map_options.objective = synth::MapObjective::kArea;
+    k.map_options.use_complex_cells = true;
+    k.map_options.size_for_load = false;
+    k.place_options.global_iterations = 30;
+    k.place_options.spreading_rounds = 4;
+    k.place_options.detailed_passes = 1;
+    k.route_options.max_ripup_iterations = 3;
+    k.buffer_max_fanout = 0;
+  } else {
+    k.synth_iterations = 6;
+    k.map_options.objective = synth::MapObjective::kDelay;
+    k.map_options.use_complex_cells = true;
+    k.map_options.size_for_load = true;
+    k.place_options.global_iterations = 100;
+    k.place_options.spreading_rounds = 8;
+    k.place_options.detailed_passes = 4;
+    k.route_options.max_ripup_iterations = 12;
+    k.buffer_max_fanout = 16;
+  }
+  k.place_options.seed = seed;
+  k.place_options.target_utilization = utilization;
+  return k;
+}
+
+bool FlowTemplate::remove_step(const std::string& step_name) {
+  const auto it = std::find_if(
+      steps_.begin(), steps_.end(),
+      [&step_name](const FlowStep& s) { return s.name == step_name; });
+  if (it == steps_.end()) return false;
+  steps_.erase(it);
+  return true;
+}
+
+bool FlowTemplate::replace_step(
+    const std::string& step_name,
+    std::function<util::Status(FlowContext&)> run) {
+  for (FlowStep& s : steps_) {
+    if (s.name == step_name) {
+      s.run = std::move(run);
+      return true;
+    }
+  }
+  return false;
+}
+
+util::Result<FlowResult> FlowTemplate::execute(const rtl::Module& design,
+                                               FlowConfig config) const {
+  FlowContext ctx;
+  ctx.config = std::move(config);
+  ctx.artifacts.design = &design;
+
+  const auto t_start = std::chrono::steady_clock::now();
+  for (const FlowStep& step : steps_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    util::Status s = step.run(ctx);
+    const auto t1 = std::chrono::steady_clock::now();
+    StepRecord rec;
+    rec.name = step.name;
+    rec.runtime_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (!ctx.steps.empty() && ctx.steps.back().name == step.name) {
+      // Step appended its own detail record; merge the timing in.
+      ctx.steps.back().runtime_ms = rec.runtime_ms;
+    } else {
+      ctx.steps.push_back(rec);
+    }
+    if (!s.ok()) {
+      return util::Status(s.code(),
+                          "flow step '" + step.name + "': " + s.message());
+    }
+  }
+  const auto t_end = std::chrono::steady_clock::now();
+
+  FlowResult result;
+  result.steps = std::move(ctx.steps);
+  result.total_runtime_ms =
+      std::chrono::duration<double, std::milli>(t_end - t_start).count();
+
+  // Assemble the PPA report from whichever artifacts the template produced.
+  PpaReport& ppa = result.ppa;
+  const FlowArtifacts& a = ctx.artifacts;
+  if (a.mapped) {
+    ppa.cell_count = a.mapped->num_cells();
+    ppa.area_um2 = a.mapped->total_area_um2();
+  }
+  if (a.placed) ppa.die_area_mm2 = a.placed->floorplan.die_area_mm2();
+  if (a.routed) ppa.wirelength_dbu = a.routed->total_wirelength_dbu;
+  ppa.wns_ps = a.timing.wns_ps;
+  ppa.fmax_mhz = a.timing.fmax_mhz;
+  ppa.timing_met = a.timing.met();
+  ppa.power_uw = a.power.total_uw;
+  ppa.leakage_uw = a.power.leakage_uw;
+  ppa.drc_violations = a.drc.violations.size();
+  ppa.gds_bytes = static_cast<double>(a.gds_bytes.size());
+  if (a.clock_tree) {
+    ppa.clock_skew_ps = a.clock_tree->skew_ps();
+    ppa.clock_buffers = a.clock_tree->buffer_count;
+  }
+  result.artifacts = std::move(ctx.artifacts);
+  return result;
+}
+
+namespace {
+
+void append_detail(FlowContext& ctx, const std::string& name,
+                   std::string detail) {
+  StepRecord rec;
+  rec.name = name;
+  rec.detail = std::move(detail);
+  ctx.steps.push_back(std::move(rec));
+}
+
+util::Status step_library(FlowContext& ctx) {
+  ctx.artifacts.library = std::make_unique<netlist::CellLibrary>(
+      pdk::build_library(ctx.config.node));
+  append_detail(ctx, "library",
+                std::to_string(ctx.artifacts.library->size()) + " cells for " +
+                    ctx.config.node.name);
+  return util::Status::Ok();
+}
+
+util::Status step_elaborate(FlowContext& ctx) {
+  auto aig = synth::elaborate(*ctx.artifacts.design);
+  if (!aig.ok()) return aig.status();
+  ctx.artifacts.aig = std::make_unique<synth::Aig>(std::move(*aig));
+  append_detail(ctx, "elaborate",
+                std::to_string(ctx.artifacts.aig->num_ands()) + " AND nodes, " +
+                    std::to_string(ctx.artifacts.aig->latches().size()) +
+                    " registers");
+  return util::Status::Ok();
+}
+
+util::Status step_synth(FlowContext& ctx) {
+  if (!ctx.artifacts.aig) {
+    return util::Status::FailedPrecondition("synth requires elaborate");
+  }
+  const EffortKnobs k = knobs_for(ctx.config.quality, ctx.config.seed,
+                                  ctx.config.utilization);
+  const int iters =
+      ctx.config.synth_iterations.value_or(k.synth_iterations);
+  synth::OptStats stats;
+  *ctx.artifacts.aig = synth::optimize(*ctx.artifacts.aig, iters, &stats);
+  append_detail(ctx, "synth",
+                std::to_string(stats.initial_ands) + " -> " +
+                    std::to_string(stats.final_ands) + " ANDs, depth " +
+                    std::to_string(stats.initial_depth) + " -> " +
+                    std::to_string(stats.final_depth));
+  return util::Status::Ok();
+}
+
+util::Status step_map(FlowContext& ctx) {
+  if (!ctx.artifacts.aig || !ctx.artifacts.library) {
+    return util::Status::FailedPrecondition("map requires synth + library");
+  }
+  const EffortKnobs k = knobs_for(ctx.config.quality, ctx.config.seed,
+                                  ctx.config.utilization);
+  const synth::MapOptions mo = ctx.config.map_options.value_or(k.map_options);
+  synth::MapStats stats;
+  auto mapped = synth::map_to_library(*ctx.artifacts.aig,
+                                      *ctx.artifacts.library, mo, &stats);
+  if (!mapped.ok()) return mapped.status();
+
+  // Commercial effort: also try the other objective and keep the faster
+  // result (area tie-break) — proprietary flows run multi-objective
+  // mapping trials; the open preset maps once.
+  if (ctx.config.quality == FlowQuality::kCommercial &&
+      !ctx.config.map_options.has_value()) {
+    synth::MapOptions alt = mo;
+    alt.objective = mo.objective == synth::MapObjective::kDelay
+                        ? synth::MapObjective::kArea
+                        : synth::MapObjective::kDelay;
+    synth::MapStats alt_stats;
+    auto alt_mapped = synth::map_to_library(
+        *ctx.artifacts.aig, *ctx.artifacts.library, alt, &alt_stats);
+    if (alt_mapped.ok()) {
+      timing::StaOptions so;
+      so.clock_period_ps = ctx.config.effective_clock_ps();
+      const auto t_main = timing::analyze(*mapped, ctx.config.node, so);
+      const auto t_alt = timing::analyze(*alt_mapped, ctx.config.node, so);
+      if (t_main.ok() && t_alt.ok()) {
+        const bool alt_faster = t_alt->fmax_mhz > t_main->fmax_mhz * 1.001;
+        const bool alt_tied_smaller =
+            t_alt->fmax_mhz >= t_main->fmax_mhz * 0.999 &&
+            alt_stats.area_um2 < stats.area_um2;
+        if (alt_faster || alt_tied_smaller) {
+          mapped = std::move(alt_mapped);
+          stats = alt_stats;
+        }
+      }
+    }
+  }
+
+  ctx.artifacts.mapped =
+      std::make_unique<netlist::Netlist>(std::move(*mapped));
+
+  // Fanout buffering (commercial preset).
+  std::string buffer_note;
+  if (k.buffer_max_fanout >= 2) {
+    synth::BufferStats bstats;
+    if (util::Status s =
+            synth::insert_buffers(*ctx.artifacts.mapped,
+                                  *ctx.artifacts.library,
+                                  k.buffer_max_fanout, &bstats);
+        !s.ok()) {
+      return s;
+    }
+    if (bstats.buffers_inserted > 0) {
+      buffer_note =
+          ", +" + std::to_string(bstats.buffers_inserted) + " fanout buffers";
+    }
+  }
+  append_detail(ctx, "map",
+                std::to_string(ctx.artifacts.mapped->num_cells()) +
+                    " cells, " +
+                    util::fmt(ctx.artifacts.mapped->total_area_um2(), 1) +
+                    " um2" + buffer_note);
+  return util::Status::Ok();
+}
+
+util::Status step_dft(FlowContext& ctx) {
+  if (!ctx.artifacts.mapped) {
+    return util::Status::FailedPrecondition("dft requires map");
+  }
+  if (!ctx.config.insert_scan) {
+    append_detail(ctx, "dft", "scan insertion disabled");
+    return util::Status::Ok();
+  }
+  if (ctx.artifacts.mapped->sequential_cells().empty()) {
+    append_detail(ctx, "dft", "combinational design, no scan chain");
+    return util::Status::Ok();
+  }
+  synth::ScanStats stats;
+  if (util::Status s = synth::insert_scan_chain(
+          *ctx.artifacts.mapped, *ctx.artifacts.library, &stats);
+      !s.ok()) {
+    return s;
+  }
+  append_detail(ctx, "dft",
+                std::to_string(stats.flops_in_chain) +
+                    " flops in scan chain, +" +
+                    std::to_string(stats.muxes_added) + " muxes");
+  return util::Status::Ok();
+}
+
+util::Status step_place(FlowContext& ctx) {
+  if (!ctx.artifacts.mapped) {
+    return util::Status::FailedPrecondition("place requires map");
+  }
+  const EffortKnobs k = knobs_for(ctx.config.quality, ctx.config.seed,
+                                  ctx.config.utilization);
+  const place::PlacementOptions po =
+      ctx.config.place_options.value_or(k.place_options);
+  place::PlaceStats stats;
+  auto placed =
+      place::place(*ctx.artifacts.mapped, ctx.config.node, po, &stats);
+  if (!placed.ok()) return placed.status();
+  ctx.artifacts.placed =
+      std::make_unique<place::PlacedDesign>(std::move(*placed));
+  append_detail(ctx, "place",
+                "HPWL " + util::fmt_si(static_cast<double>(stats.hpwl_final), 2) +
+                    " dbu, " + std::to_string(stats.cells) + " cells");
+  return util::Status::Ok();
+}
+
+util::Status step_cts(FlowContext& ctx) {
+  if (!ctx.artifacts.placed) {
+    return util::Status::FailedPrecondition("cts requires place");
+  }
+  if (ctx.artifacts.mapped->sequential_cells().empty()) {
+    append_detail(ctx, "cts", "combinational design, no clock tree");
+    return util::Status::Ok();
+  }
+  auto tree = cts::build_htree(*ctx.artifacts.placed, ctx.config.node);
+  if (!tree.ok()) return tree.status();
+  ctx.artifacts.clock_tree = std::make_unique<cts::ClockTree>(std::move(*tree));
+  append_detail(ctx, "cts",
+                std::to_string(ctx.artifacts.clock_tree->buffer_count) +
+                    " buffers, skew " +
+                    util::fmt(ctx.artifacts.clock_tree->skew_ps(), 2) + " ps");
+  return util::Status::Ok();
+}
+
+util::Status step_route(FlowContext& ctx) {
+  if (!ctx.artifacts.placed) {
+    return util::Status::FailedPrecondition("route requires place");
+  }
+  const EffortKnobs k = knobs_for(ctx.config.quality, ctx.config.seed,
+                                  ctx.config.utilization);
+  const route::RouteOptions ro =
+      ctx.config.route_options.value_or(k.route_options);
+  route::RouteStats stats;
+  auto routed = route::route(*ctx.artifacts.placed, ctx.config.node, ro, &stats);
+  if (!routed.ok()) return routed.status();
+  ctx.artifacts.routed =
+      std::make_unique<route::RoutedDesign>(std::move(*routed));
+  append_detail(
+      ctx, "route",
+      "wirelength " +
+          util::fmt_si(static_cast<double>(
+                           ctx.artifacts.routed->total_wirelength_dbu), 2) +
+          " dbu, overflow " +
+          std::to_string(ctx.artifacts.routed->overflowed_edges));
+  return util::Status::Ok();
+}
+
+util::Status step_sta(FlowContext& ctx) {
+  if (!ctx.artifacts.mapped) {
+    return util::Status::FailedPrecondition("sta requires map");
+  }
+  timing::StaOptions so;
+  so.clock_period_ps = ctx.config.effective_clock_ps();
+  if (ctx.artifacts.clock_tree) {
+    so.clock_skew_ps = ctx.artifacts.clock_tree->skew_ps();
+  }
+  auto report = timing::analyze(*ctx.artifacts.mapped, ctx.config.node, so,
+                                ctx.artifacts.routed.get());
+  if (!report.ok()) return report.status();
+  ctx.artifacts.timing = std::move(*report);
+  append_detail(ctx, "sta",
+                "WNS " + util::fmt(ctx.artifacts.timing.wns_ps, 1) +
+                    " ps, fmax " + util::fmt(ctx.artifacts.timing.fmax_mhz, 1) +
+                    " MHz, hold " +
+                    (ctx.artifacts.timing.hold_met() ? "clean" : "VIOLATED"));
+  return util::Status::Ok();
+}
+
+util::Status step_power(FlowContext& ctx) {
+  if (!ctx.artifacts.mapped) {
+    return util::Status::FailedPrecondition("power requires map");
+  }
+  power::PowerOptions po = ctx.config.power_options.value_or(power::PowerOptions{});
+  auto report = power::estimate(*ctx.artifacts.mapped, ctx.config.node, po,
+                                ctx.artifacts.routed.get());
+  if (!report.ok()) return report.status();
+  ctx.artifacts.power = std::move(*report);
+  append_detail(ctx, "power",
+                util::fmt(ctx.artifacts.power.total_uw, 1) + " uW total");
+  return util::Status::Ok();
+}
+
+util::Status step_drc(FlowContext& ctx) {
+  if (!ctx.artifacts.placed) {
+    return util::Status::FailedPrecondition("drc requires place");
+  }
+  ctx.artifacts.drc = drc::check(*ctx.artifacts.placed, ctx.config.node,
+                                 ctx.artifacts.routed.get());
+  append_detail(ctx, "drc",
+                std::to_string(ctx.artifacts.drc.violations.size()) +
+                    " violations");
+  return util::Status::Ok();
+}
+
+util::Status step_gds(FlowContext& ctx) {
+  if (!ctx.artifacts.placed) {
+    return util::Status::FailedPrecondition("gds requires place");
+  }
+  const gds::Library lib =
+      gds::layout_to_gds(*ctx.artifacts.placed, ctx.artifacts.design->name());
+  ctx.artifacts.gds_bytes = gds::write(lib);
+  if (!ctx.config.gds_output_path.empty()) {
+    if (util::Status s = gds::write_file(lib, ctx.config.gds_output_path);
+        !s.ok()) {
+      return s;
+    }
+  }
+  append_detail(ctx, "gds",
+                util::fmt_si(static_cast<double>(ctx.artifacts.gds_bytes.size()), 1) +
+                    " bytes");
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+FlowTemplate reference_template() {
+  FlowTemplate t("rtl-to-gds");
+  t.add_step({"library", step_library});
+  t.add_step({"elaborate", step_elaborate});
+  t.add_step({"synth", step_synth});
+  t.add_step({"map", step_map});
+  t.add_step({"dft", step_dft});
+  t.add_step({"place", step_place});
+  t.add_step({"cts", step_cts});
+  t.add_step({"route", step_route});
+  t.add_step({"sta", step_sta});
+  t.add_step({"power", step_power});
+  t.add_step({"drc", step_drc});
+  t.add_step({"gds", step_gds});
+  return t;
+}
+
+util::Result<FlowResult> run_reference_flow(const rtl::Module& design,
+                                            const FlowConfig& config) {
+  return reference_template().execute(design, config);
+}
+
+std::string render_report(const FlowResult& result, const FlowConfig& config) {
+  util::Table steps("Flow steps (" + config.node.name + ", " +
+                    to_string(config.quality) + " preset)");
+  steps.set_header({"step", "runtime_ms", "detail"});
+  for (const auto& s : result.steps) {
+    steps.add_row({s.name, util::fmt(s.runtime_ms, 2), s.detail});
+  }
+
+  const PpaReport& ppa = result.ppa;
+  util::Table summary("PPA summary");
+  summary.set_header({"metric", "value"});
+  summary.add_row({"cells", std::to_string(ppa.cell_count)});
+  summary.add_row({"cell area (um2)", util::fmt(ppa.area_um2, 1)});
+  summary.add_row({"die area (mm2)", util::fmt(ppa.die_area_mm2, 4)});
+  summary.add_row({"clock period (ps)",
+                   util::fmt(config.effective_clock_ps(), 1)});
+  summary.add_row({"WNS (ps)", util::fmt(ppa.wns_ps, 1)});
+  summary.add_row({"fmax (MHz)", util::fmt(ppa.fmax_mhz, 1)});
+  summary.add_row({"timing met", ppa.timing_met ? "yes" : "NO"});
+  summary.add_row({"clock skew (ps)", util::fmt(ppa.clock_skew_ps, 2)});
+  summary.add_row({"clock buffers", std::to_string(ppa.clock_buffers)});
+  summary.add_row({"power (uW)", util::fmt(ppa.power_uw, 1)});
+  summary.add_row({"leakage (uW)", util::fmt(ppa.leakage_uw, 2)});
+  summary.add_row({"wirelength (dbu)",
+                   util::fmt_si(static_cast<double>(ppa.wirelength_dbu), 2)});
+  summary.add_row({"DRC violations", std::to_string(ppa.drc_violations)});
+  summary.add_row({"GDSII bytes", util::fmt_si(ppa.gds_bytes, 1)});
+  summary.add_row({"total runtime (ms)",
+                   util::fmt(result.total_runtime_ms, 1)});
+  return steps.render() + "\n" + summary.render();
+}
+
+}  // namespace eurochip::flow

@@ -1,0 +1,176 @@
+// The EuroChip reference RTL-to-GDSII flow.
+//
+// Implements the paper's Recommendation 4 (vendor- and technology-
+// independent flow templates): a flow is an ordered list of named steps
+// over a shared FlowContext; the reference template instantiates
+// elaborate -> synth -> map -> place -> route -> sta -> power -> drc -> gds
+// for any TechnologyNode. Steps can be replaced or dropped for ablation.
+//
+// Two effort presets model the open-vs-commercial PPA gap the paper
+// discusses (§III-D): FlowQuality::kOpen mirrors an open flow's default
+// effort; kCommercial spends more optimization/iteration effort.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "eurochip/cts/cts.hpp"
+#include "eurochip/drc/checker.hpp"
+#include "eurochip/gds/gds.hpp"
+#include "eurochip/netlist/netlist.hpp"
+#include "eurochip/pdk/node.hpp"
+#include "eurochip/place/placer.hpp"
+#include "eurochip/power/power.hpp"
+#include "eurochip/route/router.hpp"
+#include "eurochip/rtl/ir.hpp"
+#include "eurochip/synth/aig.hpp"
+#include "eurochip/synth/mapper.hpp"
+#include "eurochip/timing/sta.hpp"
+
+namespace eurochip::flow {
+
+/// Effort preset. The same engines run in both; only effort knobs differ —
+/// which is exactly how the open-vs-proprietary PPA gap is reproduced.
+enum class FlowQuality { kOpen, kCommercial };
+
+const char* to_string(FlowQuality q);
+
+struct FlowConfig {
+  pdk::TechnologyNode node;
+  FlowQuality quality = FlowQuality::kOpen;
+  /// 0 = derive a default from the node (40 x FO4).
+  double clock_period_ps = 0.0;
+  double utilization = 0.6;
+  std::uint64_t seed = 1;
+  /// Optional expert overrides (Recommendation 4 customization points).
+  std::optional<int> synth_iterations;
+  std::optional<synth::MapOptions> map_options;
+  std::optional<place::PlacementOptions> place_options;
+  std::optional<route::RouteOptions> route_options;
+  std::optional<power::PowerOptions> power_options;
+  /// Insert a scan chain after mapping (design-for-test).
+  bool insert_scan = false;
+  /// When set, the final GDSII stream is written here.
+  std::string gds_output_path;
+
+  [[nodiscard]] double effective_clock_ps() const {
+    return clock_period_ps > 0.0 ? clock_period_ps
+                                 : 40.0 * node.fo4_delay_ps;
+  }
+};
+
+/// The headline numbers of a completed flow (the "PPA" of the paper).
+struct PpaReport {
+  std::size_t cell_count = 0;
+  double area_um2 = 0.0;
+  double die_area_mm2 = 0.0;
+  double wns_ps = 0.0;
+  double fmax_mhz = 0.0;
+  bool timing_met = false;
+  double power_uw = 0.0;
+  double leakage_uw = 0.0;
+  std::int64_t wirelength_dbu = 0;
+  std::size_t drc_violations = 0;
+  double gds_bytes = 0.0;
+  double clock_skew_ps = 0.0;      ///< 0 for purely combinational designs
+  int clock_buffers = 0;
+};
+
+/// Per-step accounting.
+struct StepRecord {
+  std::string name;
+  double runtime_ms = 0.0;
+  std::string detail;
+};
+
+/// All intermediate artifacts, individually heap-held so cross-references
+/// (netlist -> library, placed -> netlist, ...) survive moves.
+struct FlowArtifacts {
+  const rtl::Module* design = nullptr;
+  std::unique_ptr<netlist::CellLibrary> library;
+  std::unique_ptr<synth::Aig> aig;
+  std::unique_ptr<netlist::Netlist> mapped;
+  std::unique_ptr<place::PlacedDesign> placed;
+  std::unique_ptr<cts::ClockTree> clock_tree;  ///< null for comb designs
+  std::unique_ptr<route::RoutedDesign> routed;
+  timing::TimingReport timing;
+  power::PowerReport power;
+  drc::DrcReport drc;
+  std::vector<std::uint8_t> gds_bytes;
+};
+
+struct FlowResult {
+  PpaReport ppa;
+  std::vector<StepRecord> steps;
+  FlowArtifacts artifacts;
+  double total_runtime_ms = 0.0;
+};
+
+/// Shared state threaded through flow steps.
+struct FlowContext {
+  FlowConfig config;
+  FlowArtifacts artifacts;
+  std::vector<StepRecord> steps;
+};
+
+/// One named step of a flow template.
+struct FlowStep {
+  std::string name;
+  std::function<util::Status(FlowContext&)> run;
+};
+
+/// An ordered, editable step list (Recommendation 4's "template").
+class FlowTemplate {
+ public:
+  explicit FlowTemplate(std::string name) : name_(std::move(name)) {}
+
+  void add_step(FlowStep step) { steps_.push_back(std::move(step)); }
+
+  /// Removes a step by name; returns false if absent (ablation helper).
+  bool remove_step(const std::string& name);
+
+  /// Replaces a step's implementation; returns false if absent.
+  bool replace_step(const std::string& name,
+                    std::function<util::Status(FlowContext&)> run);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<FlowStep>& steps() const { return steps_; }
+
+  /// Executes all steps in order, timing each; stops at the first failure.
+  util::Result<FlowResult> execute(const rtl::Module& design,
+                                   FlowConfig config) const;
+
+ private:
+  std::string name_;
+  std::vector<FlowStep> steps_;
+};
+
+/// Builds the standard RTL-to-GDSII template for the preset in `config`.
+[[nodiscard]] FlowTemplate reference_template();
+
+/// Convenience: reference template end-to-end.
+[[nodiscard]] util::Result<FlowResult> run_reference_flow(
+    const rtl::Module& design, const FlowConfig& config);
+
+/// Effort knobs a preset expands to (exposed for tests/benches).
+struct EffortKnobs {
+  int synth_iterations;
+  synth::MapOptions map_options;
+  place::PlacementOptions place_options;
+  route::RouteOptions route_options;
+  int buffer_max_fanout;  ///< 0 = no fanout buffering
+};
+
+[[nodiscard]] EffortKnobs knobs_for(FlowQuality quality, std::uint64_t seed,
+                                    double utilization);
+
+/// Renders a human-readable report card for a completed flow: per-step log
+/// plus the PPA summary — the text a cloud enablement platform would show
+/// a user after a run.
+[[nodiscard]] std::string render_report(const FlowResult& result,
+                                        const FlowConfig& config);
+
+}  // namespace eurochip::flow

@@ -1,0 +1,308 @@
+#include "eurochip/gds/gds.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace eurochip::gds {
+
+namespace {
+
+// GDSII record types (subset).
+enum Rec : std::uint8_t {
+  kHeader = 0x00,
+  kBgnLib = 0x01,
+  kLibName = 0x02,
+  kUnits = 0x03,
+  kEndLib = 0x04,
+  kBgnStr = 0x05,
+  kStrName = 0x06,
+  kEndStr = 0x07,
+  kBoundary = 0x08,
+  kLayer = 0x0D,
+  kDatatype = 0x0E,
+  kXy = 0x10,
+  kEndEl = 0x11,
+};
+
+// GDSII data types.
+enum Dt : std::uint8_t {
+  kNoData = 0x00,
+  kInt16 = 0x02,
+  kInt32 = 0x03,
+  kReal8 = 0x05,
+  kAscii = 0x06,
+};
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  const auto u = static_cast<std::uint32_t>(v);
+  out.push_back(static_cast<std::uint8_t>(u >> 24));
+  out.push_back(static_cast<std::uint8_t>(u >> 16));
+  out.push_back(static_cast<std::uint8_t>(u >> 8));
+  out.push_back(static_cast<std::uint8_t>(u));
+}
+
+/// Encodes an excess-64 base-16 GDSII 8-byte real.
+void put_real8(std::vector<std::uint8_t>& out, double v) {
+  std::uint8_t bytes[8] = {0};
+  if (v != 0.0) {
+    const bool negative = v < 0;
+    double mant = std::abs(v);
+    int exp16 = 0;
+    while (mant >= 1.0) {
+      mant /= 16.0;
+      ++exp16;
+    }
+    while (mant < 1.0 / 16.0) {
+      mant *= 16.0;
+      --exp16;
+    }
+    bytes[0] = static_cast<std::uint8_t>((negative ? 0x80 : 0x00) |
+                                         ((exp16 + 64) & 0x7F));
+    // 56-bit mantissa.
+    for (int i = 1; i < 8; ++i) {
+      mant *= 256.0;
+      const auto b = static_cast<std::uint8_t>(mant);
+      bytes[i] = b;
+      mant -= b;
+    }
+  }
+  out.insert(out.end(), bytes, bytes + 8);
+}
+
+double get_real8(const std::uint8_t* bytes) {
+  const bool negative = (bytes[0] & 0x80) != 0;
+  const int exp16 = (bytes[0] & 0x7F) - 64;
+  double mant = 0.0;
+  double scale = 1.0 / 256.0;
+  for (int i = 1; i < 8; ++i) {
+    mant += bytes[i] * scale;
+    scale /= 256.0;
+  }
+  const double v = mant * std::pow(16.0, exp16);
+  return negative ? -v : v;
+}
+
+void record(std::vector<std::uint8_t>& out, Rec rec, Dt dt,
+            const std::vector<std::uint8_t>& payload) {
+  put_u16(out, static_cast<std::uint16_t>(4 + payload.size()));
+  out.push_back(rec);
+  out.push_back(dt);
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void record_i16(std::vector<std::uint8_t>& out, Rec rec, std::int16_t v) {
+  std::vector<std::uint8_t> p;
+  put_u16(p, static_cast<std::uint16_t>(v));
+  record(out, rec, kInt16, p);
+}
+
+void record_str(std::vector<std::uint8_t>& out, Rec rec,
+                const std::string& s) {
+  std::vector<std::uint8_t> p(s.begin(), s.end());
+  if (p.size() % 2 != 0) p.push_back(0);  // even-length padding
+  record(out, rec, kAscii, p);
+}
+
+/// Fixed timestamp payload (deterministic output: all zeros).
+std::vector<std::uint8_t> timestamps() {
+  std::vector<std::uint8_t> p;
+  for (int i = 0; i < 12; ++i) put_u16(p, 0);
+  return p;
+}
+
+}  // namespace
+
+Boundary Boundary::from_rect(std::int16_t layer, const util::Rect& r) {
+  Boundary b;
+  b.layer = layer;
+  b.points = {{r.lx, r.ly}, {r.ux, r.ly}, {r.ux, r.uy}, {r.lx, r.uy}};
+  return b;
+}
+
+std::vector<std::uint8_t> write(const Library& lib) {
+  std::vector<std::uint8_t> out;
+  record_i16(out, kHeader, 600);  // GDSII release 6
+  record(out, kBgnLib, kInt16, timestamps());
+  record_str(out, kLibName, lib.name);
+  {
+    std::vector<std::uint8_t> p;
+    put_real8(p, lib.user_unit);
+    put_real8(p, lib.meters_per_dbu);
+    record(out, kUnits, kReal8, p);
+  }
+  for (const Structure& s : lib.structures) {
+    record(out, kBgnStr, kInt16, timestamps());
+    record_str(out, kStrName, s.name);
+    for (const Boundary& b : s.boundaries) {
+      record(out, kBoundary, kNoData, {});
+      record_i16(out, kLayer, b.layer);
+      record_i16(out, kDatatype, b.datatype);
+      std::vector<std::uint8_t> xy;
+      for (const util::Point& pt : b.points) {
+        put_i32(xy, static_cast<std::int32_t>(pt.x));
+        put_i32(xy, static_cast<std::int32_t>(pt.y));
+      }
+      // GDSII closes the polygon by repeating the first point.
+      if (!b.points.empty()) {
+        put_i32(xy, static_cast<std::int32_t>(b.points.front().x));
+        put_i32(xy, static_cast<std::int32_t>(b.points.front().y));
+      }
+      record(out, kXy, kInt32, xy);
+      record(out, kEndEl, kNoData, {});
+    }
+    record(out, kEndStr, kNoData, {});
+  }
+  record(out, kEndLib, kNoData, {});
+  return out;
+}
+
+util::Result<Library> read(const std::vector<std::uint8_t>& bytes) {
+  Library lib;
+  lib.structures.clear();
+  Structure* current_struct = nullptr;
+  Boundary* current_boundary = nullptr;
+  bool saw_header = false;
+
+  std::size_t pos = 0;
+  while (pos + 4 <= bytes.size()) {
+    const std::uint16_t len =
+        static_cast<std::uint16_t>((bytes[pos] << 8) | bytes[pos + 1]);
+    const std::uint8_t rec = bytes[pos + 2];
+    if (len < 4 || pos + len > bytes.size()) {
+      return util::Status::InvalidArgument("corrupt GDSII record framing");
+    }
+    const std::uint8_t* data = bytes.data() + pos + 4;
+    const std::size_t dlen = len - 4u;
+
+    const auto read_i16 = [&]() {
+      return static_cast<std::int16_t>((data[0] << 8) | data[1]);
+    };
+
+    switch (rec) {
+      case kHeader:
+        saw_header = true;
+        break;
+      case kBgnLib:
+      case kBgnStr:
+        if (rec == kBgnStr) {
+          lib.structures.emplace_back();
+          current_struct = &lib.structures.back();
+        }
+        break;
+      case kLibName:
+      case kStrName: {
+        std::string name(reinterpret_cast<const char*>(data), dlen);
+        while (!name.empty() && name.back() == '\0') name.pop_back();
+        if (rec == kLibName) {
+          lib.name = std::move(name);
+        } else if (current_struct != nullptr) {
+          current_struct->name = std::move(name);
+        }
+        break;
+      }
+      case kUnits:
+        if (dlen != 16) {
+          return util::Status::InvalidArgument("bad UNITS record");
+        }
+        lib.user_unit = get_real8(data);
+        lib.meters_per_dbu = get_real8(data + 8);
+        break;
+      case kBoundary:
+        if (current_struct == nullptr) {
+          return util::Status::InvalidArgument("BOUNDARY outside structure");
+        }
+        current_struct->boundaries.emplace_back();
+        current_boundary = &current_struct->boundaries.back();
+        break;
+      case kLayer:
+        if (current_boundary != nullptr) current_boundary->layer = read_i16();
+        break;
+      case kDatatype:
+        if (current_boundary != nullptr) {
+          current_boundary->datatype = read_i16();
+        }
+        break;
+      case kXy: {
+        if (current_boundary == nullptr) break;
+        const std::size_t n = dlen / 8;
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::uint8_t* p = data + i * 8;
+          const auto x = static_cast<std::int32_t>(
+              (p[0] << 24) | (p[1] << 16) | (p[2] << 8) | p[3]);
+          const auto y = static_cast<std::int32_t>(
+              (p[4] << 24) | (p[5] << 16) | (p[6] << 8) | p[7]);
+          current_boundary->points.push_back({x, y});
+        }
+        // Drop the closing point the writer appended.
+        if (current_boundary->points.size() > 1 &&
+            current_boundary->points.front() ==
+                current_boundary->points.back()) {
+          current_boundary->points.pop_back();
+        }
+        break;
+      }
+      case kEndEl:
+        current_boundary = nullptr;
+        break;
+      case kEndStr:
+        current_struct = nullptr;
+        break;
+      case kEndLib:
+        if (!saw_header) {
+          return util::Status::InvalidArgument("missing HEADER record");
+        }
+        return lib;
+      default:
+        return util::Status::Unimplemented("unsupported GDSII record type " +
+                                           std::to_string(rec));
+    }
+    pos += len;
+  }
+  return util::Status::InvalidArgument("stream ended without ENDLIB");
+}
+
+Library layout_to_gds(const place::PlacedDesign& placed,
+                      const std::string& top_name) {
+  Library lib;
+  Structure top;
+  top.name = top_name;
+  top.boundaries.push_back(
+      Boundary::from_rect(kLayerDie, placed.floorplan.die()));
+  for (netlist::CellId id : placed.netlist->all_cells()) {
+    top.boundaries.push_back(
+        Boundary::from_rect(kLayerCells, placed.cell_rect(id)));
+  }
+  const auto pad_rect = [](const util::Point& p) {
+    return util::Rect{p.x - 500, p.y - 500, p.x + 500, p.y + 500};
+  };
+  for (const util::Point& p : placed.input_pad) {
+    top.boundaries.push_back(Boundary::from_rect(kLayerPads, pad_rect(p)));
+  }
+  for (const util::Point& p : placed.output_pad) {
+    top.boundaries.push_back(Boundary::from_rect(kLayerPads, pad_rect(p)));
+  }
+  lib.structures.push_back(std::move(top));
+  return lib;
+}
+
+util::Status write_file(const Library& lib, const std::string& path) {
+  const std::vector<std::uint8_t> bytes = write(lib);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return util::Status::NotFound("cannot open for writing: " + path);
+  }
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) {
+    return util::Status::Internal("short write to " + path);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace eurochip::gds

@@ -1,0 +1,60 @@
+// Minimal GDSII stream format writer/reader.
+//
+// Emits real GDSII records (HEADER/BGNLIB/LIBNAME/UNITS/BGNSTR/STRNAME/
+// BOUNDARY/LAYER/DATATYPE/XY/ENDEL/ENDSTR/ENDLIB) with correct big-endian
+// framing and excess-64 8-byte reals, so the output is parseable by
+// standard layout tools. The reader supports exactly the subset the writer
+// emits and is used for byte-exact round-trip testing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eurochip/place/placer.hpp"
+#include "eurochip/util/geometry.hpp"
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::gds {
+
+/// Conventional layer assignment used by layout_to_gds().
+inline constexpr std::int16_t kLayerDie = 0;
+inline constexpr std::int16_t kLayerCells = 1;
+inline constexpr std::int16_t kLayerPads = 2;
+
+struct Boundary {
+  std::int16_t layer = 0;
+  std::int16_t datatype = 0;
+  /// Closed polygon; first point is NOT repeated here (the writer closes it).
+  std::vector<util::Point> points;
+
+  static Boundary from_rect(std::int16_t layer, const util::Rect& r);
+};
+
+struct Structure {
+  std::string name;
+  std::vector<Boundary> boundaries;
+};
+
+struct Library {
+  std::string name = "EUROCHIP";
+  double user_unit = 1e-3;      ///< DB units per user unit (um)
+  double meters_per_dbu = 1e-9; ///< 1 DBU = 1 nm
+  std::vector<Structure> structures;
+};
+
+/// Serializes a library into a GDSII byte stream.
+[[nodiscard]] std::vector<std::uint8_t> write(const Library& lib);
+
+/// Parses a GDSII byte stream produced by write() (writer subset only).
+[[nodiscard]] util::Result<Library> read(const std::vector<std::uint8_t>& bytes);
+
+/// Builds the tape-out library for a placed design: die outline, one
+/// rectangle per cell, and pad markers.
+[[nodiscard]] Library layout_to_gds(const place::PlacedDesign& placed,
+                                    const std::string& top_name);
+
+/// Writes the stream to a file.
+util::Status write_file(const Library& lib, const std::string& path);
+
+}  // namespace eurochip::gds

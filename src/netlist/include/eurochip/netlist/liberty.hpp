@@ -1,0 +1,32 @@
+// Liberty (.lib) library emission.
+//
+// Serializes a CellLibrary in the Liberty format every synthesis and STA
+// tool consumes: library header with units, per-cell area/leakage, pin
+// direction/capacitance, and lu_table delay/slew templates. A summary
+// reader parses the writer's subset back for round-trip testing — and to
+// let an enablement platform validate uploaded libraries.
+#pragma once
+
+#include <string>
+
+#include "eurochip/netlist/library.hpp"
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::netlist {
+
+/// Serializes the library as Liberty text.
+[[nodiscard]] std::string write_liberty(const CellLibrary& library);
+
+struct LibertySummary {
+  std::string library_name;
+  std::size_t num_cells = 0;
+  std::size_t num_pins = 0;
+  std::size_t num_ff = 0;
+  bool has_units = false;
+};
+
+/// Parses the writer's output subset; validates brace balance.
+[[nodiscard]] util::Result<LibertySummary> read_liberty_summary(
+    const std::string& text);
+
+}  // namespace eurochip::netlist

@@ -1,0 +1,140 @@
+// Standard-cell library model (Liberty-subset): logical function,
+// area/leakage, pin capacitance, and NLDM-style delay/slew lookup tables.
+//
+// Libraries are produced per technology node by pdk::build_library() and
+// consumed by synth (technology mapping), timing (STA), power, and place
+// (physical footprints).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::netlist {
+
+/// Primitive logic functions available for mapping.
+enum class CellFn : std::uint8_t {
+  kTie0,
+  kTie1,
+  kBuf,
+  kInv,
+  kAnd2,
+  kNand2,
+  kOr2,
+  kNor2,
+  kXor2,
+  kXnor2,
+  kAnd3,
+  kNand3,
+  kOr3,
+  kNor3,
+  kAoi21,  ///< !((a & b) | c)
+  kOai21,  ///< !((a | b) & c)
+  kMux2,   ///< s ? b : a  (inputs: a, b, s)
+  kDff,    ///< rising-edge D flip-flop (inputs: d; output: q)
+};
+
+/// Short lowercase mnemonic ("nand2", "dff", ...).
+const char* to_string(CellFn fn);
+
+/// Number of data inputs of a function.
+int fn_num_inputs(CellFn fn);
+
+/// True for the sequential element.
+inline bool fn_is_sequential(CellFn fn) { return fn == CellFn::kDff; }
+
+/// Truth table of a combinational function over its inputs; bit i of the
+/// result is the output when the input bits equal i (input 0 = LSB).
+/// Must not be called for kDff.
+std::uint16_t fn_truth_table(CellFn fn);
+
+/// Evaluates a combinational function on packed input bits.
+bool fn_eval(CellFn fn, unsigned input_bits);
+
+/// Two-dimensional non-linear delay-model table indexed by input slew (ps)
+/// and output load (fF); values in ps. Bilinear interpolation with clamped
+/// extrapolation, matching common STA practice.
+class NldmTable {
+ public:
+  NldmTable() = default;
+  /// `values` is row-major: values[s * load_axis.size() + l].
+  NldmTable(std::vector<double> slew_axis, std::vector<double> load_axis,
+            std::vector<double> values);
+
+  /// Makes a degenerate single-value table.
+  static NldmTable constant(double value);
+
+  [[nodiscard]] double lookup(double slew_ps, double load_ff) const;
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+
+ private:
+  std::vector<double> slew_axis_;
+  std::vector<double> load_axis_;
+  std::vector<double> values_;
+};
+
+/// One library cell. Single-output; `fn` determines pin count and logic.
+struct LibraryCell {
+  std::string name;          ///< e.g. "NAND2_X1"
+  CellFn fn = CellFn::kInv;
+  int drive_strength = 1;    ///< X1 / X2 / X4 ...
+  double area_um2 = 0.0;
+  double leakage_nw = 0.0;
+  double input_cap_ff = 0.0;   ///< per input pin
+  double output_cap_ff = 0.0;  ///< intrinsic output (drain) cap
+  double max_load_ff = 0.0;    ///< max capacitance constraint
+  NldmTable delay_ps;          ///< pin-to-pin delay (worst input)
+  NldmTable output_slew_ps;
+  std::int64_t width_dbu = 0;  ///< placement footprint width (height = row)
+
+  [[nodiscard]] int num_inputs() const { return fn_num_inputs(fn); }
+  [[nodiscard]] bool is_sequential() const { return fn_is_sequential(fn); }
+};
+
+/// Immutable-after-build collection of cells for one technology.
+class CellLibrary {
+ public:
+  CellLibrary(std::string name, std::string node_name,
+              std::int64_t row_height_dbu, std::int64_t site_width_dbu)
+      : name_(std::move(name)),
+        node_name_(std::move(node_name)),
+        row_height_dbu_(row_height_dbu),
+        site_width_dbu_(site_width_dbu) {}
+
+  /// Adds a cell; returns its index. Name must be unique.
+  std::size_t add_cell(LibraryCell cell);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& node_name() const { return node_name_; }
+  [[nodiscard]] std::int64_t row_height_dbu() const { return row_height_dbu_; }
+  [[nodiscard]] std::int64_t site_width_dbu() const { return site_width_dbu_; }
+
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+  [[nodiscard]] const LibraryCell& cell(std::size_t index) const {
+    return cells_.at(index);
+  }
+
+  /// Finds a cell by name.
+  [[nodiscard]] util::Result<std::size_t> find(const std::string& name) const;
+
+  /// All cell indices implementing `fn`, ascending drive strength.
+  [[nodiscard]] std::vector<std::size_t> cells_for(CellFn fn) const;
+
+  /// Smallest-area cell implementing `fn`, if any.
+  [[nodiscard]] std::optional<std::size_t> smallest_for(CellFn fn) const;
+
+  /// Strongest-drive cell implementing `fn`, if any.
+  [[nodiscard]] std::optional<std::size_t> strongest_for(CellFn fn) const;
+
+ private:
+  std::string name_;
+  std::string node_name_;
+  std::int64_t row_height_dbu_;
+  std::int64_t site_width_dbu_;
+  std::vector<LibraryCell> cells_;
+};
+
+}  // namespace eurochip::netlist

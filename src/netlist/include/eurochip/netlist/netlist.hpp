@@ -1,0 +1,164 @@
+// Gate-level netlist: cells instantiating CellLibrary entries, connected by
+// single-driver nets. This is the exchange format between synthesis output
+// and the physical-design / analysis stages.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "eurochip/netlist/library.hpp"
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::netlist {
+
+/// Strongly-typed handles; value is an index into the owning Netlist.
+struct CellId {
+  std::uint32_t value = kInvalid;
+  static constexpr std::uint32_t kInvalid =
+      std::numeric_limits<std::uint32_t>::max();
+  [[nodiscard]] bool valid() const { return value != kInvalid; }
+  friend bool operator==(const CellId&, const CellId&) = default;
+};
+
+struct NetId {
+  std::uint32_t value = kInvalid;
+  static constexpr std::uint32_t kInvalid =
+      std::numeric_limits<std::uint32_t>::max();
+  [[nodiscard]] bool valid() const { return value != kInvalid; }
+  friend bool operator==(const NetId&, const NetId&) = default;
+};
+
+/// A (cell, input-pin) pair — one sink of a net.
+struct PinRef {
+  CellId cell;
+  std::uint8_t pin = 0;
+  friend bool operator==(const PinRef&, const PinRef&) = default;
+};
+
+/// What drives a net.
+enum class DriverKind : std::uint8_t {
+  kNone,    ///< floating (invalid in a checked netlist)
+  kCell,    ///< output of a cell
+  kInput,   ///< primary input
+  kConst0,
+  kConst1,
+};
+
+struct Net {
+  std::string name;
+  DriverKind driver_kind = DriverKind::kNone;
+  CellId driver_cell;          ///< valid iff driver_kind == kCell
+  std::vector<PinRef> sinks;   ///< cell input pins fed by this net
+  bool is_primary_output = false;
+};
+
+struct Cell {
+  std::string name;
+  std::uint32_t lib_index = 0;     ///< into the associated CellLibrary
+  std::vector<NetId> fanin;        ///< ordered input nets (size == num_inputs)
+  NetId output;                    ///< the single output net
+};
+
+/// Primary input/output port.
+struct Port {
+  std::string name;
+  NetId net;
+};
+
+/// A flat, single-clock, gate-level netlist.
+///
+/// Invariants after check(): every net has exactly one driver; every cell
+/// input is connected; fanin sizes match the library function arity; sink
+/// lists are consistent with cell fanins.
+class Netlist {
+ public:
+  explicit Netlist(const CellLibrary* library, std::string name = "top")
+      : library_(library), name_(std::move(name)) {}
+
+  // --- construction -------------------------------------------------------
+
+  /// Creates a floating net.
+  NetId add_net(std::string name);
+
+  /// Creates a primary input port driving a fresh net.
+  NetId add_input(std::string name);
+
+  /// Marks `net` as a primary output named `name`.
+  void add_output(std::string name, NetId net);
+
+  /// Ties a net to constant 0/1.
+  NetId add_const(bool value, std::string name);
+
+  /// Instantiates a library cell driving a fresh output net.
+  /// `fanin.size()` must equal the cell function's arity.
+  util::Result<CellId> add_cell(std::string name, std::uint32_t lib_index,
+                                std::vector<NetId> fanin);
+
+  /// Re-points one input pin of a cell to a different net, keeping sink
+  /// lists consistent.
+  util::Status rewire_input(CellId cell, std::uint8_t pin, NetId new_net);
+
+  /// Swaps a cell's library entry for another implementing the same
+  /// function (used by drive-strength sizing).
+  util::Status replace_cell_lib(CellId cell, std::uint32_t new_lib_index);
+
+  // --- access --------------------------------------------------------------
+
+  [[nodiscard]] const CellLibrary& library() const { return *library_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] std::size_t num_cells() const { return cells_.size(); }
+  [[nodiscard]] std::size_t num_nets() const { return nets_.size(); }
+  [[nodiscard]] const Cell& cell(CellId id) const { return cells_.at(id.value); }
+  [[nodiscard]] const Net& net(NetId id) const { return nets_.at(id.value); }
+  [[nodiscard]] const LibraryCell& lib_cell(CellId id) const {
+    return library_->cell(cells_.at(id.value).lib_index);
+  }
+
+  [[nodiscard]] const std::vector<Port>& inputs() const { return inputs_; }
+  [[nodiscard]] const std::vector<Port>& outputs() const { return outputs_; }
+
+  /// All cell ids, in creation order.
+  [[nodiscard]] std::vector<CellId> all_cells() const;
+
+  /// All net ids, in creation order.
+  [[nodiscard]] std::vector<NetId> all_nets() const;
+
+  /// Sequential (DFF) cells.
+  [[nodiscard]] std::vector<CellId> sequential_cells() const;
+
+  // --- analysis ------------------------------------------------------------
+
+  /// Validates the structural invariants; kInternal status describes the
+  /// first violation found.
+  [[nodiscard]] util::Status check() const;
+
+  /// Combinational cells in topological order (fanin before fanout).
+  /// DFF outputs are treated as sources; DFFs themselves are appended last.
+  /// Fails if a combinational cycle exists.
+  [[nodiscard]] util::Result<std::vector<CellId>> topo_order() const;
+
+  /// Sum of cell areas in um^2.
+  [[nodiscard]] double total_area_um2() const;
+
+  /// Sum of leakage in nW.
+  [[nodiscard]] double total_leakage_nw() const;
+
+  /// Count of cells implementing `fn`.
+  [[nodiscard]] std::size_t count_fn(CellFn fn) const;
+
+  /// Longest combinational path length in cell count (levels).
+  [[nodiscard]] std::size_t logic_depth() const;
+
+ private:
+  const CellLibrary* library_;
+  std::string name_;
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+  std::vector<Port> inputs_;
+  std::vector<Port> outputs_;
+};
+
+}  // namespace eurochip::netlist

@@ -1,0 +1,63 @@
+// Two-state event-free netlist simulator (levelized evaluation).
+// Used for equivalence checking between RTL, AIG, and mapped netlists, and
+// for switching-activity extraction by the power model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eurochip/netlist/netlist.hpp"
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::netlist {
+
+/// Simulates a checked Netlist. Combinational evaluation is levelized over
+/// the topological order; sequential state advances on step().
+class Simulator {
+ public:
+  /// Fails if the netlist does not pass check() or has a combinational cycle.
+  static util::Result<Simulator> create(const Netlist& netlist);
+
+  /// Number of primary inputs / outputs.
+  [[nodiscard]] std::size_t num_inputs() const;
+  [[nodiscard]] std::size_t num_outputs() const;
+
+  /// Sets all DFF states to 0.
+  void reset();
+
+  /// Evaluates combinational logic for the given input values
+  /// (size must equal num_inputs()) and returns primary-output values.
+  /// Does not advance sequential state.
+  std::vector<bool> eval(const std::vector<bool>& input_values);
+
+  /// Evaluates, then clocks all DFFs once (d -> q). Returns outputs
+  /// observed before the clock edge.
+  std::vector<bool> step(const std::vector<bool>& input_values);
+
+  /// Value currently on a net (after the last eval/step).
+  [[nodiscard]] bool net_value(NetId net) const;
+
+  /// Number of value changes observed on each net across all eval/step
+  /// calls since construction — the toggle counts used by power analysis.
+  [[nodiscard]] const std::vector<std::uint64_t>& toggle_counts() const {
+    return toggles_;
+  }
+  [[nodiscard]] std::uint64_t eval_count() const { return evals_; }
+
+ private:
+  explicit Simulator(const Netlist& netlist) : netlist_(&netlist) {}
+
+  void propagate();
+
+  const Netlist* netlist_;
+  std::vector<CellId> order_;          ///< combinational topo order
+  std::vector<CellId> dffs_;
+  std::vector<char> net_values_;       ///< current value per net
+  std::vector<char> dff_state_;        ///< current Q per DFF (index-aligned)
+  std::vector<std::uint64_t> toggles_;
+  std::vector<bool> current_inputs_;
+  std::uint64_t evals_ = 0;
+  bool first_eval_ = true;
+};
+
+}  // namespace eurochip::netlist

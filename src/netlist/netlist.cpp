@@ -1,0 +1,270 @@
+#include "eurochip/netlist/netlist.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace eurochip::netlist {
+
+NetId Netlist::add_net(std::string net_name) {
+  Net n;
+  n.name = std::move(net_name);
+  nets_.push_back(std::move(n));
+  return NetId{static_cast<std::uint32_t>(nets_.size() - 1)};
+}
+
+NetId Netlist::add_input(std::string port_name) {
+  const NetId id = add_net(port_name);
+  nets_[id.value].driver_kind = DriverKind::kInput;
+  inputs_.push_back(Port{std::move(port_name), id});
+  return id;
+}
+
+void Netlist::add_output(std::string port_name, NetId net) {
+  nets_.at(net.value).is_primary_output = true;
+  outputs_.push_back(Port{std::move(port_name), net});
+}
+
+NetId Netlist::add_const(bool value, std::string net_name) {
+  const NetId id = add_net(std::move(net_name));
+  nets_[id.value].driver_kind = value ? DriverKind::kConst1 : DriverKind::kConst0;
+  return id;
+}
+
+util::Result<CellId> Netlist::add_cell(std::string cell_name,
+                                       std::uint32_t lib_index,
+                                       std::vector<NetId> fanin) {
+  if (lib_index >= library_->size()) {
+    return util::Status::InvalidArgument("lib_index out of range");
+  }
+  const LibraryCell& lc = library_->cell(lib_index);
+  if (fanin.size() != static_cast<std::size_t>(lc.num_inputs())) {
+    return util::Status::InvalidArgument(
+        "cell " + cell_name + ": expected " + std::to_string(lc.num_inputs()) +
+        " inputs, got " + std::to_string(fanin.size()));
+  }
+  for (NetId f : fanin) {
+    if (!f.valid() || f.value >= nets_.size()) {
+      return util::Status::InvalidArgument("cell " + cell_name +
+                                           ": invalid fanin net");
+    }
+  }
+  const CellId cid{static_cast<std::uint32_t>(cells_.size())};
+  const NetId out = add_net(cell_name + ".out");
+  nets_[out.value].driver_kind = DriverKind::kCell;
+  nets_[out.value].driver_cell = cid;
+  for (std::size_t pin = 0; pin < fanin.size(); ++pin) {
+    nets_[fanin[pin].value].sinks.push_back(
+        PinRef{cid, static_cast<std::uint8_t>(pin)});
+  }
+  Cell c;
+  c.name = std::move(cell_name);
+  c.lib_index = lib_index;
+  c.fanin = std::move(fanin);
+  c.output = out;
+  cells_.push_back(std::move(c));
+  return cid;
+}
+
+util::Status Netlist::rewire_input(CellId cell, std::uint8_t pin,
+                                   NetId new_net) {
+  if (!cell.valid() || cell.value >= cells_.size()) {
+    return util::Status::InvalidArgument("invalid cell id");
+  }
+  Cell& c = cells_[cell.value];
+  if (pin >= c.fanin.size()) {
+    return util::Status::InvalidArgument("pin index out of range");
+  }
+  if (!new_net.valid() || new_net.value >= nets_.size()) {
+    return util::Status::InvalidArgument("invalid net id");
+  }
+  const NetId old_net = c.fanin[pin];
+  auto& old_sinks = nets_[old_net.value].sinks;
+  old_sinks.erase(std::remove(old_sinks.begin(), old_sinks.end(),
+                              PinRef{cell, pin}),
+                  old_sinks.end());
+  c.fanin[pin] = new_net;
+  nets_[new_net.value].sinks.push_back(PinRef{cell, pin});
+  return util::Status::Ok();
+}
+
+util::Status Netlist::replace_cell_lib(CellId cell,
+                                       std::uint32_t new_lib_index) {
+  if (!cell.valid() || cell.value >= cells_.size()) {
+    return util::Status::InvalidArgument("invalid cell id");
+  }
+  if (new_lib_index >= library_->size()) {
+    return util::Status::InvalidArgument("lib index out of range");
+  }
+  Cell& c = cells_[cell.value];
+  if (library_->cell(new_lib_index).fn != library_->cell(c.lib_index).fn) {
+    return util::Status::InvalidArgument(
+        "replacement cell implements a different function");
+  }
+  c.lib_index = new_lib_index;
+  return util::Status::Ok();
+}
+
+std::vector<CellId> Netlist::all_cells() const {
+  std::vector<CellId> out(cells_.size());
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) out[i] = CellId{i};
+  return out;
+}
+
+std::vector<NetId> Netlist::all_nets() const {
+  std::vector<NetId> out(nets_.size());
+  for (std::uint32_t i = 0; i < nets_.size(); ++i) out[i] = NetId{i};
+  return out;
+}
+
+std::vector<CellId> Netlist::sequential_cells() const {
+  std::vector<CellId> out;
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    if (library_->cell(cells_[i].lib_index).is_sequential()) {
+      out.push_back(CellId{i});
+    }
+  }
+  return out;
+}
+
+util::Status Netlist::check() const {
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    const Net& n = nets_[i];
+    if (n.driver_kind == DriverKind::kNone && !n.sinks.empty()) {
+      return util::Status::Internal("net '" + n.name + "' has sinks but no driver");
+    }
+    if (n.driver_kind == DriverKind::kCell) {
+      if (!n.driver_cell.valid() || n.driver_cell.value >= cells_.size()) {
+        return util::Status::Internal("net '" + n.name + "' has invalid driver");
+      }
+      if (cells_[n.driver_cell.value].output.value != i) {
+        return util::Status::Internal("net '" + n.name +
+                                      "' driver does not point back");
+      }
+    }
+    for (const PinRef& s : n.sinks) {
+      if (!s.cell.valid() || s.cell.value >= cells_.size()) {
+        return util::Status::Internal("net '" + n.name + "' has invalid sink");
+      }
+      const Cell& c = cells_[s.cell.value];
+      if (s.pin >= c.fanin.size() || c.fanin[s.pin].value != i) {
+        return util::Status::Internal("net '" + n.name +
+                                      "' sink list inconsistent with fanin");
+      }
+    }
+  }
+  for (const Cell& c : cells_) {
+    const LibraryCell& lc = library_->cell(c.lib_index);
+    if (c.fanin.size() != static_cast<std::size_t>(lc.num_inputs())) {
+      return util::Status::Internal("cell '" + c.name + "' arity mismatch");
+    }
+    for (NetId f : c.fanin) {
+      if (!f.valid() || f.value >= nets_.size() ||
+          nets_[f.value].driver_kind == DriverKind::kNone) {
+        return util::Status::Internal("cell '" + c.name +
+                                      "' has unconnected input");
+      }
+    }
+  }
+  for (const Port& p : outputs_) {
+    if (!p.net.valid() || p.net.value >= nets_.size()) {
+      return util::Status::Internal("output port '" + p.name + "' unconnected");
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Result<std::vector<CellId>> Netlist::topo_order() const {
+  // Kahn's algorithm over combinational cells. A cell's combinational
+  // predecessors are the driver cells of its fanin nets, excluding DFFs
+  // (whose outputs are cut points).
+  std::vector<std::uint32_t> pending(cells_.size(), 0);
+  std::vector<CellId> order;
+  order.reserve(cells_.size());
+  std::queue<std::uint32_t> ready;
+
+  const auto is_seq = [&](std::uint32_t idx) {
+    return library_->cell(cells_[idx].lib_index).is_sequential();
+  };
+
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    if (is_seq(i)) continue;  // DFFs appended at the end
+    std::uint32_t deps = 0;
+    for (NetId f : cells_[i].fanin) {
+      const Net& n = nets_[f.value];
+      if (n.driver_kind == DriverKind::kCell && !is_seq(n.driver_cell.value)) {
+        ++deps;
+      }
+    }
+    pending[i] = deps;
+    if (deps == 0) ready.push(i);
+  }
+
+  std::size_t comb_total = 0;
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    if (!is_seq(i)) ++comb_total;
+  }
+
+  while (!ready.empty()) {
+    const std::uint32_t idx = ready.front();
+    ready.pop();
+    order.push_back(CellId{idx});
+    for (const PinRef& sink : nets_[cells_[idx].output.value].sinks) {
+      const std::uint32_t s = sink.cell.value;
+      if (is_seq(s)) continue;
+      if (--pending[s] == 0) ready.push(s);
+    }
+  }
+
+  if (order.size() != comb_total) {
+    return util::Status::Internal("combinational cycle detected");
+  }
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    if (is_seq(i)) order.push_back(CellId{i});
+  }
+  return order;
+}
+
+double Netlist::total_area_um2() const {
+  double area = 0.0;
+  for (const Cell& c : cells_) area += library_->cell(c.lib_index).area_um2;
+  return area;
+}
+
+double Netlist::total_leakage_nw() const {
+  double leak = 0.0;
+  for (const Cell& c : cells_) leak += library_->cell(c.lib_index).leakage_nw;
+  return leak;
+}
+
+std::size_t Netlist::count_fn(CellFn fn) const {
+  std::size_t n = 0;
+  for (const Cell& c : cells_) {
+    if (library_->cell(c.lib_index).fn == fn) ++n;
+  }
+  return n;
+}
+
+std::size_t Netlist::logic_depth() const {
+  const auto order = topo_order();
+  if (!order.ok()) return 0;
+  std::vector<std::size_t> level(cells_.size(), 0);
+  std::size_t max_level = 0;
+  for (CellId id : order.value()) {
+    const Cell& c = cells_[id.value];
+    if (library_->cell(c.lib_index).is_sequential()) continue;
+    std::size_t lvl = 1;
+    for (NetId f : c.fanin) {
+      const Net& n = nets_[f.value];
+      if (n.driver_kind == DriverKind::kCell &&
+          !library_->cell(cells_[n.driver_cell.value].lib_index)
+               .is_sequential()) {
+        lvl = std::max(lvl, level[n.driver_cell.value] + 1);
+      }
+    }
+    level[id.value] = lvl;
+    max_level = std::max(max_level, lvl);
+  }
+  return max_level;
+}
+
+}  // namespace eurochip::netlist

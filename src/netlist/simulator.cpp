@@ -1,0 +1,101 @@
+#include "eurochip/netlist/simulator.hpp"
+
+#include <cassert>
+
+namespace eurochip::netlist {
+
+util::Result<Simulator> Simulator::create(const Netlist& netlist) {
+  if (util::Status s = netlist.check(); !s.ok()) return s;
+  auto order = netlist.topo_order();
+  if (!order.ok()) return order.status();
+
+  Simulator sim(netlist);
+  // topo_order() appends DFFs at the end; split them off.
+  for (CellId id : order.value()) {
+    if (netlist.lib_cell(id).is_sequential()) {
+      sim.dffs_.push_back(id);
+    } else {
+      sim.order_.push_back(id);
+    }
+  }
+  sim.net_values_.assign(netlist.num_nets(), 0);
+  sim.dff_state_.assign(sim.dffs_.size(), 0);
+  sim.toggles_.assign(netlist.num_nets(), 0);
+  return sim;
+}
+
+std::size_t Simulator::num_inputs() const { return netlist_->inputs().size(); }
+std::size_t Simulator::num_outputs() const { return netlist_->outputs().size(); }
+
+void Simulator::reset() {
+  dff_state_.assign(dff_state_.size(), 0);
+  first_eval_ = true;
+}
+
+void Simulator::propagate() {
+  std::vector<char> previous;
+  if (!first_eval_) previous = net_values_;
+
+  // Constants and primary inputs.
+  for (NetId id : netlist_->all_nets()) {
+    const Net& n = netlist_->net(id);
+    switch (n.driver_kind) {
+      case DriverKind::kConst0: net_values_[id.value] = 0; break;
+      case DriverKind::kConst1: net_values_[id.value] = 1; break;
+      default: break;
+    }
+  }
+  const auto& inputs = netlist_->inputs();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    net_values_[inputs[i].net.value] = current_inputs_[i] ? 1 : 0;
+  }
+  // DFF outputs from state.
+  for (std::size_t i = 0; i < dffs_.size(); ++i) {
+    net_values_[netlist_->cell(dffs_[i]).output.value] = dff_state_[i];
+  }
+  // Levelized combinational evaluation.
+  for (CellId id : order_) {
+    const Cell& c = netlist_->cell(id);
+    const LibraryCell& lc = netlist_->lib_cell(id);
+    unsigned bits = 0;
+    for (std::size_t pin = 0; pin < c.fanin.size(); ++pin) {
+      if (net_values_[c.fanin[pin].value] != 0) bits |= 1u << pin;
+    }
+    net_values_[c.output.value] = fn_eval(lc.fn, bits) ? 1 : 0;
+  }
+
+  ++evals_;
+  if (!first_eval_) {
+    for (std::size_t i = 0; i < net_values_.size(); ++i) {
+      if (net_values_[i] != previous[i]) ++toggles_[i];
+    }
+  }
+  first_eval_ = false;
+}
+
+std::vector<bool> Simulator::eval(const std::vector<bool>& input_values) {
+  assert(input_values.size() == num_inputs());
+  current_inputs_ = input_values;
+  propagate();
+  std::vector<bool> out;
+  out.reserve(num_outputs());
+  for (const Port& p : netlist_->outputs()) {
+    out.push_back(net_values_[p.net.value] != 0);
+  }
+  return out;
+}
+
+std::vector<bool> Simulator::step(const std::vector<bool>& input_values) {
+  std::vector<bool> out = eval(input_values);
+  for (std::size_t i = 0; i < dffs_.size(); ++i) {
+    const Cell& c = netlist_->cell(dffs_[i]);
+    dff_state_[i] = net_values_[c.fanin[0].value];
+  }
+  return out;
+}
+
+bool Simulator::net_value(NetId net) const {
+  return net_values_.at(net.value) != 0;
+}
+
+}  // namespace eurochip::netlist

@@ -1,0 +1,179 @@
+#include "eurochip/netlist/verilog.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "eurochip/util/strings.hpp"
+
+namespace eurochip::netlist {
+
+namespace {
+
+/// Verilog identifiers cannot contain '[', '.', etc.; escape to '_'.
+std::string sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == '$';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])) != 0) {
+    out = "n_" + out;
+  }
+  return out;
+}
+
+const char* input_pin_name(int index) {
+  switch (index) {
+    case 0: return "A";
+    case 1: return "B";
+    case 2: return "C";
+    default: return "D";
+  }
+}
+
+}  // namespace
+
+std::string write_verilog(const Netlist& nl, const VerilogOptions& opt) {
+  std::string out;
+  const std::string module_name = sanitize(nl.name());
+
+  if (opt.emit_comments) {
+    out += "// Structural netlist emitted by EuroChip\n";
+    out += "// library: " + nl.library().name() + " (" +
+           nl.library().node_name() + ")\n";
+    out += "// cells: " + std::to_string(nl.num_cells()) +
+           ", nets: " + std::to_string(nl.num_nets()) + "\n";
+  }
+
+  const bool sequential = !nl.sequential_cells().empty();
+
+  // Port list.
+  std::vector<std::string> ports;
+  if (sequential) ports.push_back(sanitize(opt.clock_name));
+  for (const Port& p : nl.inputs()) ports.push_back(sanitize(p.name));
+  for (const Port& p : nl.outputs()) ports.push_back(sanitize(p.name));
+  out += "module " + module_name + "(" + util::join(ports, ", ") + ");\n";
+
+  if (sequential) out += "  input " + sanitize(opt.clock_name) + ";\n";
+  for (const Port& p : nl.inputs()) {
+    out += "  input " + sanitize(p.name) + ";\n";
+  }
+  for (const Port& p : nl.outputs()) {
+    out += "  output " + sanitize(p.name) + ";\n";
+  }
+
+  // Net names: ports keep their names; internal nets get w<N>.
+  std::vector<std::string> net_name(nl.num_nets());
+  for (const Port& p : nl.inputs()) net_name[p.net.value] = sanitize(p.name);
+  // Outputs may alias an input-driven net; output assigns handle that below.
+  std::size_t wires = 0;
+  for (NetId id : nl.all_nets()) {
+    if (!net_name[id.value].empty()) continue;
+    const Net& n = nl.net(id);
+    if (n.driver_kind == DriverKind::kNone && n.sinks.empty() &&
+        !n.is_primary_output) {
+      continue;  // unused placeholder net
+    }
+    net_name[id.value] = "w" + std::to_string(id.value);
+    ++wires;
+    out += "  wire " + net_name[id.value] + ";\n";
+  }
+
+  // Constants.
+  for (NetId id : nl.all_nets()) {
+    const Net& n = nl.net(id);
+    if (n.driver_kind == DriverKind::kConst0) {
+      out += "  assign " + net_name[id.value] + " = 1'b0;\n";
+    } else if (n.driver_kind == DriverKind::kConst1) {
+      out += "  assign " + net_name[id.value] + " = 1'b1;\n";
+    }
+  }
+
+  // Cell instances.
+  if (opt.emit_comments) out += "  // --- instances ---\n";
+  for (CellId id : nl.all_cells()) {
+    const Cell& c = nl.cell(id);
+    const LibraryCell& lc = nl.lib_cell(id);
+    out += "  " + sanitize(lc.name) + " " + sanitize(c.name) + " (";
+    std::vector<std::string> conns;
+    if (lc.is_sequential()) {
+      conns.push_back(".D(" + net_name[c.fanin[0].value] + ")");
+      conns.push_back(".CK(" + sanitize(opt.clock_name) + ")");
+      conns.push_back(".Q(" + net_name[c.output.value] + ")");
+    } else {
+      for (std::size_t pin = 0; pin < c.fanin.size(); ++pin) {
+        conns.push_back(std::string(".") + input_pin_name(static_cast<int>(pin)) +
+                        "(" + net_name[c.fanin[pin].value] + ")");
+      }
+      conns.push_back(".Y(" + net_name[c.output.value] + ")");
+    }
+    out += util::join(conns, ", ") + ");\n";
+  }
+
+  // Output assigns.
+  if (opt.emit_comments) out += "  // --- outputs ---\n";
+  for (const Port& p : nl.outputs()) {
+    out += "  assign " + sanitize(p.name) + " = " + net_name[p.net.value] +
+           ";\n";
+  }
+  out += "endmodule\n";
+  return out;
+}
+
+util::Result<VerilogSummary> read_verilog_summary(const std::string& text) {
+  VerilogSummary s;
+  bool in_module = false;
+  bool saw_endmodule = false;
+
+  for (std::string_view line_raw : util::split(text, '\n')) {
+    const std::string_view line = util::trim(line_raw);
+    if (line.empty() || util::starts_with(line, "//")) continue;
+    if (util::starts_with(line, "module ")) {
+      if (in_module) {
+        return util::Status::InvalidArgument("nested module");
+      }
+      in_module = true;
+      const std::size_t name_end = line.find('(');
+      if (name_end == std::string_view::npos) {
+        return util::Status::InvalidArgument("module without port list");
+      }
+      s.module_name =
+          std::string(util::trim(line.substr(7, name_end - 7)));
+      continue;
+    }
+    if (!in_module) {
+      return util::Status::InvalidArgument("statement outside module: " +
+                                           std::string(line));
+    }
+    if (line == "endmodule") {
+      saw_endmodule = true;
+      continue;
+    }
+    if (util::starts_with(line, "input ")) {
+      ++s.num_inputs;
+      if (line.find("clk") != std::string_view::npos) s.has_clock = true;
+    } else if (util::starts_with(line, "output ")) {
+      ++s.num_outputs;
+    } else if (util::starts_with(line, "wire ")) {
+      ++s.num_wires;
+    } else if (util::starts_with(line, "assign ")) {
+      // fine: constant or output alias
+    } else {
+      // Instance: "<CELL> <name> (...);"
+      if (line.find('(') == std::string_view::npos ||
+          line.back() != ';') {
+        return util::Status::InvalidArgument("unrecognized statement: " +
+                                             std::string(line));
+      }
+      ++s.num_instances;
+    }
+  }
+  if (!in_module || !saw_endmodule) {
+    return util::Status::InvalidArgument("missing module/endmodule");
+  }
+  return s;
+}
+
+}  // namespace eurochip::netlist

@@ -1,0 +1,70 @@
+#include "eurochip/pdk/access.hpp"
+
+namespace eurochip::pdk {
+
+const char* to_string(AccessClass ac) {
+  switch (ac) {
+    case AccessClass::kOpen: return "open";
+    case AccessClass::kAcademicNda: return "academic-nda";
+    case AccessClass::kCommercialNda: return "commercial-nda";
+    case AccessClass::kExportControlled: return "export-controlled";
+  }
+  return "?";
+}
+
+const char* to_string(Affiliation a) {
+  switch (a) {
+    case Affiliation::kHighSchool: return "high-school";
+    case Affiliation::kUniversity: return "university";
+    case Affiliation::kResearchInstitute: return "research-institute";
+    case Affiliation::kStartup: return "startup";
+    case Affiliation::kCompany: return "company";
+  }
+  return "?";
+}
+
+AccessDecision check_access(const TechnologyNode& node,
+                            const UserProfile& user) {
+  if (node.access == AccessClass::kOpen) {
+    return {true, "open PDK, no restrictions"};
+  }
+  if (user.affiliation == Affiliation::kHighSchool) {
+    return {false, "restricted PDKs are not available to high schools"};
+  }
+  if (!user.has_signed_nda) {
+    return {false, "NDA required for " + node.name};
+  }
+  if (node.access == AccessClass::kCommercialNda ||
+      node.access == AccessClass::kExportControlled) {
+    if (user.completed_tapeouts < node.required_prior_tapeouts) {
+      return {false,
+              "foundry requires " +
+                  std::to_string(node.required_prior_tapeouts) +
+                  " prior tape-outs (user has " +
+                  std::to_string(user.completed_tapeouts) + ")"};
+    }
+    if (!user.has_secured_funding) {
+      return {false, "fully detailed project description with secured "
+                     "funding required"};
+    }
+  }
+  if (node.access == AccessClass::kExportControlled) {
+    if (user.export_group == ExportGroup::kRestricted) {
+      return {false, "export-control restrictions apply to this user"};
+    }
+    if (!user.has_isolated_it) {
+      return {false, "PDK requires installation in an isolated IT "
+                     "environment"};
+    }
+  }
+  return {true, "all access requirements met"};
+}
+
+util::Status require_access(const TechnologyNode& node,
+                            const UserProfile& user) {
+  const AccessDecision d = check_access(node, user);
+  if (d.granted) return util::Status::Ok();
+  return util::Status::PermissionDenied(node.name + ": " + d.reason);
+}
+
+}  // namespace eurochip::pdk

@@ -1,0 +1,66 @@
+// PDK access policy: models the NDA, export-control, and track-record
+// gates the paper identifies as barriers for universities (§III-C), so the
+// enablement benches can quantify who can reach which node.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "eurochip/pdk/node.hpp"
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::pdk {
+
+/// Kind of requesting institution.
+enum class Affiliation : std::uint8_t {
+  kHighSchool,
+  kUniversity,
+  kResearchInstitute,
+  kStartup,
+  kCompany,
+};
+
+const char* to_string(Affiliation a);
+
+/// Export-control grouping of the requester's residency/visa status.
+/// Deliberately coarse — the model only needs "restricted or not".
+enum class ExportGroup : std::uint8_t {
+  kUnrestricted,
+  kRestricted,
+};
+
+/// A requesting user/institution profile.
+struct UserProfile {
+  std::string name;
+  Affiliation affiliation = Affiliation::kUniversity;
+  ExportGroup export_group = ExportGroup::kUnrestricted;
+  bool has_signed_nda = false;
+  int completed_tapeouts = 0;      ///< prior tape-out track record
+  bool has_secured_funding = false;
+  bool has_isolated_it = false;    ///< isolated IT env for restricted PDKs
+};
+
+/// Result of an access check with the reason recorded.
+struct AccessDecision {
+  bool granted = false;
+  std::string reason;
+};
+
+/// Stateless policy evaluation: can `user` obtain `node`?
+///
+/// Rules (from the paper):
+///  - Open nodes: always granted.
+///  - NDA classes: require a signed NDA.
+///  - Commercial NDA: additionally require `required_prior_tapeouts`
+///    prior tape-outs and secured funding.
+///  - Export-controlled: additionally denied to kRestricted users and
+///    requires an isolated IT environment.
+///  - High schools are granted open nodes only.
+[[nodiscard]] AccessDecision check_access(const TechnologyNode& node,
+                                          const UserProfile& user);
+
+/// Convenience wrapper returning a Status (kPermissionDenied on refusal).
+[[nodiscard]] util::Status require_access(const TechnologyNode& node,
+                                          const UserProfile& user);
+
+}  // namespace eurochip::pdk

@@ -1,0 +1,27 @@
+// Synthetic standard-cell library generation.
+//
+// Given a TechnologyNode, emits an internally consistent CellLibrary whose
+// area / delay / leakage scale with feature size according to published
+// first-order scaling laws (area ~ F^2, delay ~ F, leakage super-linear
+// below 65 nm). Absolute values are synthetic; node-relative ratios — which
+// is what the benches measure — follow the real trend.
+#pragma once
+
+#include "eurochip/netlist/library.hpp"
+#include "eurochip/pdk/node.hpp"
+
+namespace eurochip::pdk {
+
+/// Options controlling library richness.
+struct LibraryGenOptions {
+  /// Drive strengths emitted per combinational function.
+  std::vector<int> drive_strengths = {1, 2, 4};
+  /// Emit the three-input and complex (AOI/OAI/MUX) families.
+  bool include_complex_cells = true;
+};
+
+/// Builds the standard-cell library for `node`.
+[[nodiscard]] netlist::CellLibrary build_library(
+    const TechnologyNode& node, const LibraryGenOptions& options = {});
+
+}  // namespace eurochip::pdk

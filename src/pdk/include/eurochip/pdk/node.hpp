@@ -1,0 +1,73 @@
+// Technology-node model: the subset of a PDK that the EuroChip flow needs —
+// electrical scaling parameters, layer stack, lambda design rules, and
+// licensing metadata.
+//
+// The open nodes (gf180ish / sky130ish / ihp130ish) are synthetic stand-ins
+// for the GF180MCU, SkyWater sky130, and IHP SG13G2 open PDKs the paper
+// cites; the commercial* nodes model NDA- and export-gated advanced nodes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eurochip::pdk {
+
+/// Licensing/access class of a PDK (paper §III-C).
+enum class AccessClass : std::uint8_t {
+  kOpen,              ///< no NDA, freely distributable (gf180/sky130/ihp130)
+  kAcademicNda,       ///< NDA via an academic program (e.g. Europractice)
+  kCommercialNda,     ///< full commercial NDA + track record required
+  kExportControlled,  ///< additionally gated by export-control rules
+};
+
+const char* to_string(AccessClass ac);
+
+/// One routing layer of the back-end-of-line stack.
+struct RoutingLayer {
+  std::string name;          ///< "met1" ...
+  bool horizontal = true;    ///< preferred direction
+  std::int64_t pitch_dbu = 0;
+  std::int64_t min_width_dbu = 0;
+  std::int64_t min_spacing_dbu = 0;
+  double res_ohm_per_um = 0.0;
+  double cap_ff_per_um = 0.0;
+};
+
+/// Lambda-style front-end design rules used by the DRC engine.
+struct DesignRules {
+  std::int64_t cell_spacing_dbu = 0;   ///< min spacing between cell rects
+  std::int64_t core_margin_dbu = 0;    ///< keep-out from die boundary
+  std::int64_t site_width_dbu = 0;     ///< placement site grid
+  std::int64_t row_height_dbu = 0;
+  double max_utilization = 0.85;       ///< placement density cap
+};
+
+/// A complete synthetic technology node. All geometry is in DBU (1 nm).
+struct TechnologyNode {
+  std::string name;            ///< "sky130ish"
+  std::string foundry;         ///< "OpenFab"
+  int feature_nm = 130;
+  AccessClass access = AccessClass::kOpen;
+  double supply_v = 1.8;
+  double fo4_delay_ps = 65.0;          ///< fanout-of-4 inverter delay
+  double gate_cap_ff = 2.0;            ///< typical input pin cap
+  double unit_drive_res_kohm = 5.0;    ///< X1 output resistance
+  double leakage_nw_per_gate = 0.02;   ///< typical X1 gate leakage
+  double track_pitch_dbu = 0;          ///< routing pitch (filled from layers)
+  DesignRules rules;
+  std::vector<RoutingLayer> layers;
+
+  /// Economics anchors carried with the node (consumed by econ::*).
+  double design_cost_musd = 0.0;   ///< full production-design NRE, M$
+  double mpw_cost_keur_mm2 = 0.0;  ///< academic MPW price per mm^2, k€
+  double mpw_turnaround_months = 0.0;
+
+  /// Nodes this recent require a record of prior tape-outs (paper §III-C:
+  /// "completed tape-outs in several previous node generations").
+  int required_prior_tapeouts = 0;
+
+  [[nodiscard]] bool is_open() const { return access == AccessClass::kOpen; }
+};
+
+}  // namespace eurochip::pdk

@@ -1,0 +1,47 @@
+// PDK registry: the catalogue of technology nodes known to an enablement
+// platform, with lookup by name and filtered views (open vs gated).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eurochip/pdk/node.hpp"
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::pdk {
+
+class PdkRegistry {
+ public:
+  /// Registers a node; name must be unique.
+  util::Status register_node(TechnologyNode node);
+
+  [[nodiscard]] util::Result<TechnologyNode> find(const std::string& name) const;
+  [[nodiscard]] const std::vector<TechnologyNode>& nodes() const {
+    return nodes_;
+  }
+  [[nodiscard]] std::vector<TechnologyNode> open_nodes() const;
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+ private:
+  std::vector<TechnologyNode> nodes_;
+};
+
+/// The built-in EuroChip node catalogue:
+///   gf180ish (180 nm, open)       — stand-in for GF180MCU
+///   sky130ish (130 nm, open)      — stand-in for SkyWater sky130
+///   ihp130ish (130 nm, open)      — stand-in for IHP SG13G2
+///   commercial65 (65 nm, academic NDA)
+///   commercial28 (28 nm, commercial NDA)
+///   commercial7  (7 nm, export-controlled)
+///   commercial2  (2 nm, export-controlled)
+/// Cost anchors follow the paper's $5 M (130 nm) .. $725 M (2 nm) curve.
+[[nodiscard]] PdkRegistry standard_registry();
+
+/// Builds a single standard node by name (convenience for examples/tests).
+[[nodiscard]] util::Result<TechnologyNode> standard_node(const std::string& name);
+
+/// All standard nodes, by value — safe to iterate directly
+/// (standard_registry().nodes() would dangle: the registry is a temporary).
+[[nodiscard]] std::vector<TechnologyNode> standard_nodes();
+
+}  // namespace eurochip::pdk

@@ -1,0 +1,144 @@
+#include "eurochip/pdk/library_gen.hpp"
+
+#include <cmath>
+
+namespace eurochip::pdk {
+
+namespace {
+
+using netlist::CellFn;
+using netlist::LibraryCell;
+using netlist::NldmTable;
+
+/// Relative-size/speed factors per function, calibrated against typical
+/// open-library (sky130_fd_sc_hd-like) ratios.
+struct FnFactors {
+  CellFn fn;
+  double area;    ///< area relative to INV_X1
+  double delay;   ///< intrinsic delay relative to the node FO4-derived unit
+  double cap;     ///< input cap relative to the node gate cap
+};
+
+constexpr FnFactors kCombFactors[] = {
+    {CellFn::kBuf, 1.5, 1.6, 1.0},   {CellFn::kInv, 1.0, 0.8, 1.0},
+    {CellFn::kAnd2, 1.6, 1.5, 1.0},  {CellFn::kNand2, 1.3, 1.0, 1.0},
+    {CellFn::kOr2, 1.6, 1.7, 1.0},   {CellFn::kNor2, 1.3, 1.2, 1.0},
+    {CellFn::kXor2, 2.6, 2.2, 1.5},  {CellFn::kXnor2, 2.6, 2.2, 1.5},
+};
+
+constexpr FnFactors kComplexFactors[] = {
+    {CellFn::kAnd3, 2.0, 1.9, 1.0},  {CellFn::kNand3, 1.7, 1.4, 1.1},
+    {CellFn::kOr3, 2.1, 2.1, 1.0},   {CellFn::kNor3, 1.7, 1.8, 1.1},
+    {CellFn::kAoi21, 1.8, 1.5, 1.1}, {CellFn::kOai21, 1.8, 1.6, 1.1},
+    {CellFn::kMux2, 2.9, 2.0, 1.2},
+};
+
+std::string cell_name(CellFn fn, int drive) {
+  std::string base = netlist::to_string(fn);
+  for (char& c : base) c = static_cast<char>(std::toupper(c));
+  return base + "_X" + std::to_string(drive);
+}
+
+/// Area of an X1 inverter for a node, um^2 (sky130-calibrated constant).
+double inv_area_um2(const TechnologyNode& node) {
+  const double f_um = node.feature_nm * 1e-3;
+  return 83.0 * f_um * f_um;
+}
+
+/// Generates a consistent delay/slew table pair from the first-order model
+///   delay = intrinsic + R_drive * C_load + k_slew * slew_in.
+struct TablePair {
+  NldmTable delay;
+  NldmTable slew;
+};
+
+TablePair make_tables(const TechnologyNode& node, double intrinsic_ps,
+                      double drive_res_kohm) {
+  const double unit_slew = node.fo4_delay_ps * 0.4;
+  const std::vector<double> slew_axis = {unit_slew * 0.25, unit_slew,
+                                         unit_slew * 4.0, unit_slew * 16.0};
+  const double c0 = node.gate_cap_ff;
+  const std::vector<double> load_axis = {c0, 4.0 * c0, 16.0 * c0, 64.0 * c0};
+
+  std::vector<double> delays;
+  std::vector<double> slews;
+  delays.reserve(slew_axis.size() * load_axis.size());
+  slews.reserve(delays.capacity());
+  for (double s : slew_axis) {
+    for (double l : load_axis) {
+      const double d = intrinsic_ps + drive_res_kohm * l + 0.15 * s;
+      delays.push_back(d);
+      // Output slew dominated by RC at the driver; mildly input-dependent.
+      slews.push_back(0.7 * drive_res_kohm * l + 0.25 * intrinsic_ps +
+                      0.05 * s);
+    }
+  }
+  return {NldmTable(slew_axis, load_axis, delays),
+          NldmTable(slew_axis, load_axis, std::move(slews))};
+}
+
+LibraryCell make_cell(const TechnologyNode& node, CellFn fn, int drive,
+                      double area_factor, double delay_factor,
+                      double cap_factor) {
+  LibraryCell c;
+  c.name = cell_name(fn, drive);
+  c.fn = fn;
+  c.drive_strength = drive;
+  // Larger drives are wider: ~x1.5 area per doubling.
+  const double drive_area = 1.0 + 0.5 * std::log2(static_cast<double>(drive)) *
+                                      (drive > 1 ? 1.5 : 1.0);
+  c.area_um2 = inv_area_um2(node) * area_factor * drive_area;
+  c.leakage_nw = node.leakage_nw_per_gate * area_factor * drive;
+  c.input_cap_ff = node.gate_cap_ff * cap_factor *
+                   (1.0 + 0.4 * (static_cast<double>(drive) - 1.0));
+  c.output_cap_ff = 0.5 * node.gate_cap_ff * drive;
+  c.max_load_ff = 30.0 * node.gate_cap_ff * drive;
+
+  const double intrinsic = node.fo4_delay_ps * 0.25 * delay_factor;
+  const double drive_res = node.unit_drive_res_kohm / drive;
+  auto tables = make_tables(node, intrinsic, drive_res);
+  c.delay_ps = std::move(tables.delay);
+  c.output_slew_ps = std::move(tables.slew);
+
+  // Physical width: snap area / row-height footprint to the site grid.
+  const double height_um = static_cast<double>(node.rules.row_height_dbu) * 1e-3;
+  const double width_um = c.area_um2 / height_um;
+  const auto sites = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(
+             width_um * 1e3 / static_cast<double>(node.rules.site_width_dbu))));
+  c.width_dbu = sites * node.rules.site_width_dbu;
+  return c;
+}
+
+}  // namespace
+
+netlist::CellLibrary build_library(const TechnologyNode& node,
+                                   const LibraryGenOptions& options) {
+  netlist::CellLibrary lib(node.name + "_stdcells", node.name,
+                           node.rules.row_height_dbu,
+                           node.rules.site_width_dbu);
+
+  // Tie cells: single drive, tiny.
+  lib.add_cell(make_cell(node, CellFn::kTie0, 1, 0.7, 0.1, 0.0));
+  lib.add_cell(make_cell(node, CellFn::kTie1, 1, 0.7, 0.1, 0.0));
+
+  for (const FnFactors& f : kCombFactors) {
+    for (int drive : options.drive_strengths) {
+      lib.add_cell(make_cell(node, f.fn, drive, f.area, f.delay, f.cap));
+    }
+  }
+  if (options.include_complex_cells) {
+    for (const FnFactors& f : kComplexFactors) {
+      for (int drive : options.drive_strengths) {
+        lib.add_cell(make_cell(node, f.fn, drive, f.area, f.delay, f.cap));
+      }
+    }
+  }
+  // Flip-flop: clk-to-q delay; one or two drives suffice.
+  for (int drive : {1, 2}) {
+    lib.add_cell(make_cell(node, CellFn::kDff, drive, 6.0, 2.5, 1.2));
+  }
+  return lib;
+}
+
+}  // namespace eurochip::pdk

@@ -1,0 +1,130 @@
+#include "eurochip/pdk/registry.hpp"
+
+#include <cmath>
+
+namespace eurochip::pdk {
+
+util::Status PdkRegistry::register_node(TechnologyNode node) {
+  for (const auto& n : nodes_) {
+    if (n.name == node.name) {
+      return util::Status::AlreadyExists("node already registered: " +
+                                         node.name);
+    }
+  }
+  nodes_.push_back(std::move(node));
+  return util::Status::Ok();
+}
+
+util::Result<TechnologyNode> PdkRegistry::find(const std::string& name) const {
+  for (const auto& n : nodes_) {
+    if (n.name == name) return n;
+  }
+  return util::Status::NotFound("unknown technology node: " + name);
+}
+
+std::vector<TechnologyNode> PdkRegistry::open_nodes() const {
+  std::vector<TechnologyNode> out;
+  for (const auto& n : nodes_) {
+    if (n.is_open()) out.push_back(n);
+  }
+  return out;
+}
+
+namespace {
+
+/// Builds the BEOL stack: `count` layers with pitch growing up the stack.
+std::vector<RoutingLayer> make_layers(int feature_nm, int count) {
+  std::vector<RoutingLayer> layers;
+  layers.reserve(static_cast<std::size_t>(count));
+  const auto base_pitch = static_cast<std::int64_t>(
+      std::llround(2.6 * static_cast<double>(feature_nm)));
+  for (int i = 0; i < count; ++i) {
+    RoutingLayer l;
+    l.name = "met" + std::to_string(i + 1);
+    l.horizontal = (i % 2) == 0;
+    const double growth = 1.0 + 0.25 * i;
+    l.pitch_dbu = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(base_pitch) * growth));
+    l.min_width_dbu = l.pitch_dbu / 2;
+    l.min_spacing_dbu = l.pitch_dbu - l.min_width_dbu;
+    // Thin lower metals are resistive; upper metals fat and fast.
+    l.res_ohm_per_um = 0.8 * 130.0 / feature_nm / growth;
+    l.cap_ff_per_um = 0.2;
+    layers.push_back(std::move(l));
+  }
+  return layers;
+}
+
+TechnologyNode make_node(std::string name, std::string foundry, int feature_nm,
+                         AccessClass access, double supply_v,
+                         double leakage_nw, int metal_layers,
+                         double design_cost_musd, double mpw_cost_keur_mm2,
+                         double mpw_turnaround_months,
+                         int required_prior_tapeouts) {
+  TechnologyNode n;
+  n.name = std::move(name);
+  n.foundry = std::move(foundry);
+  n.feature_nm = feature_nm;
+  n.access = access;
+  n.supply_v = supply_v;
+  n.fo4_delay_ps = 0.5 * feature_nm;
+  n.gate_cap_ff = std::max(0.1, feature_nm / 45.0);
+  n.unit_drive_res_kohm = n.fo4_delay_ps / (8.0 * n.gate_cap_ff);
+  n.leakage_nw_per_gate = leakage_nw;
+  n.layers = make_layers(feature_nm, metal_layers);
+  n.track_pitch_dbu = static_cast<double>(n.layers.front().pitch_dbu);
+
+  const std::int64_t pitch = n.layers.front().pitch_dbu;
+  n.rules.site_width_dbu = pitch;
+  n.rules.row_height_dbu = 9 * pitch;
+  n.rules.cell_spacing_dbu = 0;  // abutted rows, spacing inside the cell
+  n.rules.core_margin_dbu = 5 * pitch;
+  n.rules.max_utilization = feature_nm >= 65 ? 0.85 : 0.75;
+
+  n.design_cost_musd = design_cost_musd;
+  n.mpw_cost_keur_mm2 = mpw_cost_keur_mm2;
+  n.mpw_turnaround_months = mpw_turnaround_months;
+  n.required_prior_tapeouts = required_prior_tapeouts;
+  return n;
+}
+
+}  // namespace
+
+PdkRegistry standard_registry() {
+  PdkRegistry reg;
+  // Open nodes (the paper: open PDKs exist only at 180/130 nm).
+  (void)reg.register_node(make_node("gf180ish", "OpenFabA", 180,
+                                    AccessClass::kOpen, 3.3, 0.003, 5,
+                                    3.2, 0.60, 5.0, 0));
+  (void)reg.register_node(make_node("sky130ish", "OpenFabB", 130,
+                                    AccessClass::kOpen, 1.8, 0.010, 5,
+                                    5.0, 0.65, 5.0, 0));
+  (void)reg.register_node(make_node("ihp130ish", "OpenFabC", 130,
+                                    AccessClass::kOpen, 1.5, 0.012, 5,
+                                    5.0, 0.70, 4.0, 0));
+  // NDA / export gated commercial nodes. Design-cost anchors follow the
+  // paper's $5M (130nm) -> $725M (2nm) citation (IBS-style curve).
+  (void)reg.register_node(make_node("commercial65", "EuroFoundry", 65,
+                                    AccessClass::kAcademicNda, 1.2, 0.10, 7,
+                                    28.0, 3.0, 6.0, 0));
+  (void)reg.register_node(make_node("commercial28", "EuroFoundry", 28,
+                                    AccessClass::kCommercialNda, 0.9, 0.60, 9,
+                                    51.0, 10.0, 7.0, 1));
+  (void)reg.register_node(make_node("commercial7", "GlobalFoundry", 7,
+                                    AccessClass::kExportControlled, 0.7, 2.0,
+                                    12, 297.0, 60.0, 9.0, 2));
+  (void)reg.register_node(make_node("commercial2", "GlobalFoundry", 2,
+                                    AccessClass::kExportControlled, 0.65, 4.0,
+                                    14, 725.0, 250.0, 12.0, 3));
+  return reg;
+}
+
+util::Result<TechnologyNode> standard_node(const std::string& name) {
+  return standard_registry().find(name);
+}
+
+std::vector<TechnologyNode> standard_nodes() {
+  return standard_registry().nodes();
+}
+
+}  // namespace eurochip::pdk

@@ -1,0 +1,142 @@
+#include "eurochip/place/def.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "eurochip/util/strings.hpp"
+
+namespace eurochip::place {
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    out += std::isspace(static_cast<unsigned char>(c)) != 0 ? '_' : c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string write_def(const PlacedDesign& placed) {
+  const auto& nl = *placed.netlist;
+  const auto& fp = placed.floorplan;
+  std::string out;
+  out += "VERSION 5.8 ;\n";
+  out += "DESIGN " + sanitize(nl.name()) + " ;\n";
+  out += "UNITS DISTANCE MICRONS 1000 ;\n";  // 1 DBU = 1 nm
+  const util::Rect& die = fp.die();
+  out += "DIEAREA ( " + std::to_string(die.lx) + " " + std::to_string(die.ly) +
+         " ) ( " + std::to_string(die.ux) + " " + std::to_string(die.uy) +
+         " ) ;\n";
+
+  for (std::size_t r = 0; r < fp.rows().size(); ++r) {
+    const Row& row = fp.rows()[r];
+    const std::int64_t sites = row.bounds.width() / fp.site_width();
+    out += "ROW row_" + std::to_string(r) + " core " +
+           std::to_string(row.bounds.lx) + " " + std::to_string(row.y()) +
+           " N DO " + std::to_string(sites) + " BY 1 STEP " +
+           std::to_string(fp.site_width()) + " 0 ;\n";
+  }
+
+  out += "COMPONENTS " + std::to_string(nl.num_cells()) + " ;\n";
+  for (netlist::CellId id : nl.all_cells()) {
+    const auto& cell = nl.cell(id);
+    const auto& origin = placed.cell_origin[id.value];
+    out += "- " + sanitize(cell.name) + " " +
+           sanitize(nl.lib_cell(id).name) + " + PLACED ( " +
+           std::to_string(origin.x) + " " + std::to_string(origin.y) +
+           " ) N ;\n";
+  }
+  out += "END COMPONENTS\n";
+
+  const std::size_t num_pins =
+      nl.inputs().size() + nl.outputs().size();
+  out += "PINS " + std::to_string(num_pins) + " ;\n";
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    const auto& p = placed.input_pad[i];
+    out += "- " + sanitize(nl.inputs()[i].name) +
+           " + DIRECTION INPUT + PLACED ( " + std::to_string(p.x) + " " +
+           std::to_string(p.y) + " ) N ;\n";
+  }
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+    const auto& p = placed.output_pad[i];
+    out += "- " + sanitize(nl.outputs()[i].name) +
+           " + DIRECTION OUTPUT + PLACED ( " + std::to_string(p.x) + " " +
+           std::to_string(p.y) + " ) N ;\n";
+  }
+  out += "END PINS\n";
+  out += "END DESIGN\n";
+  return out;
+}
+
+util::Result<DefSummary> read_def_summary(const std::string& text) {
+  DefSummary s;
+  enum class Section { kTop, kComponents, kPins };
+  Section section = Section::kTop;
+  std::size_t declared_components = 0;
+  std::size_t declared_pins = 0;
+  std::size_t placed_components = 0;
+  bool saw_design = false;
+  bool saw_end = false;
+
+  for (std::string_view raw : util::split(text, '\n')) {
+    const std::string_view line = util::trim(raw);
+    if (line.empty()) continue;
+    if (util::starts_with(line, "DESIGN ")) {
+      saw_design = true;
+      const auto parts = util::split(line, ' ');
+      if (parts.size() >= 2) s.design_name = parts[1];
+    } else if (util::starts_with(line, "DIEAREA")) {
+      const auto parts = util::split(line, ' ');
+      // DIEAREA ( lx ly ) ( ux uy ) ;
+      if (parts.size() >= 9) {
+        s.die.lx = std::atoll(parts[2].c_str());
+        s.die.ly = std::atoll(parts[3].c_str());
+        s.die.ux = std::atoll(parts[6].c_str());
+        s.die.uy = std::atoll(parts[7].c_str());
+      }
+    } else if (util::starts_with(line, "ROW ")) {
+      ++s.num_rows;
+    } else if (util::starts_with(line, "COMPONENTS ")) {
+      section = Section::kComponents;
+      declared_components =
+          static_cast<std::size_t>(std::atoll(util::split(line, ' ')[1].c_str()));
+    } else if (util::starts_with(line, "PINS ")) {
+      section = Section::kPins;
+      declared_pins =
+          static_cast<std::size_t>(std::atoll(util::split(line, ' ')[1].c_str()));
+    } else if (line == "END COMPONENTS" || line == "END PINS") {
+      section = Section::kTop;
+    } else if (line == "END DESIGN") {
+      saw_end = true;
+    } else if (util::starts_with(line, "- ")) {
+      if (section == Section::kComponents) {
+        ++s.num_components;
+        if (line.find("+ PLACED") != std::string_view::npos) {
+          ++placed_components;
+        }
+      } else if (section == Section::kPins) {
+        ++s.num_pins;
+      } else {
+        return util::Status::InvalidArgument(
+            "component/pin statement outside a section");
+      }
+    }
+  }
+  if (!saw_design || !saw_end) {
+    return util::Status::InvalidArgument("missing DESIGN/END DESIGN framing");
+  }
+  if (s.num_components != declared_components) {
+    return util::Status::InvalidArgument("COMPONENTS count mismatch");
+  }
+  if (s.num_pins != declared_pins) {
+    return util::Status::InvalidArgument("PINS count mismatch");
+  }
+  s.all_placed = placed_components == s.num_components;
+  return s;
+}
+
+}  // namespace eurochip::place

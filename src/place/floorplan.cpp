@@ -1,0 +1,69 @@
+#include "eurochip/place/floorplan.hpp"
+
+#include <cmath>
+
+#include "eurochip/util/strings.hpp"
+
+namespace eurochip::place {
+
+util::Result<Floorplan> Floorplan::create(const netlist::Netlist& netlist,
+                                          const pdk::TechnologyNode& node,
+                                          double utilization) {
+  if (netlist.num_cells() == 0) {
+    return util::Status::InvalidArgument("cannot floorplan an empty netlist");
+  }
+  if (utilization <= 0.0 || utilization > node.rules.max_utilization) {
+    return util::Status::InvalidArgument(
+        "utilization must be in (0, " +
+        util::fmt(node.rules.max_utilization, 2) + "]");
+  }
+
+  // Total cell footprint in DBU^2.
+  const std::int64_t row_h = node.rules.row_height_dbu;
+  const std::int64_t site_w = node.rules.site_width_dbu;
+  std::int64_t cell_dbu2 = 0;
+  for (netlist::CellId id : netlist.all_cells()) {
+    cell_dbu2 += netlist.lib_cell(id).width_dbu * row_h;
+  }
+
+  const double core_dbu2 = static_cast<double>(cell_dbu2) / utilization;
+  // Square-ish core, snapped to whole rows and sites.
+  const double side = std::sqrt(core_dbu2);
+  const auto num_rows = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(side / static_cast<double>(row_h))));
+  const auto row_sites = std::max<std::int64_t>(
+      1,
+      static_cast<std::int64_t>(std::ceil(
+          core_dbu2 / static_cast<double>(num_rows * row_h * site_w))));
+
+  Floorplan fp;
+  fp.site_width_ = site_w;
+  fp.row_height_ = row_h;
+  fp.utilization_ = utilization;
+  const std::int64_t margin = node.rules.core_margin_dbu;
+  const std::int64_t core_w = row_sites * site_w;
+  const std::int64_t core_h = num_rows * row_h;
+  fp.core_ = util::Rect{margin, margin, margin + core_w, margin + core_h};
+  fp.die_ = util::Rect{0, 0, core_w + 2 * margin, core_h + 2 * margin};
+  fp.rows_.reserve(static_cast<std::size_t>(num_rows));
+  for (std::int64_t r = 0; r < num_rows; ++r) {
+    Row row;
+    row.bounds = util::Rect{fp.core_.lx, fp.core_.ly + r * row_h, fp.core_.ux,
+                            fp.core_.ly + (r + 1) * row_h};
+    fp.rows_.push_back(row);
+  }
+  return fp;
+}
+
+double Floorplan::die_area_mm2() const {
+  // 1 DBU = 1 nm; 1 mm = 1e6 nm.
+  return static_cast<double>(die_.area()) / 1e12;
+}
+
+std::int64_t Floorplan::total_sites() const {
+  std::int64_t sites = 0;
+  for (const Row& r : rows_) sites += r.bounds.width() / site_width_;
+  return sites;
+}
+
+}  // namespace eurochip::place

@@ -1,0 +1,34 @@
+// DEF-subset placement exchange.
+//
+// Writes a placed design in (a subset of) the Design Exchange Format that
+// physical-design tools interchange: DESIGN/UNITS/DIEAREA, ROW statements,
+// COMPONENTS with PLACED locations, and PINS for the I/O pads. The
+// matching summary reader validates structure and recovers counts, so an
+// enablement platform can sanity-check uploaded placements.
+#pragma once
+
+#include <string>
+
+#include "eurochip/place/placer.hpp"
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::place {
+
+/// Serializes a placed design as DEF text.
+[[nodiscard]] std::string write_def(const PlacedDesign& placed);
+
+struct DefSummary {
+  std::string design_name;
+  std::size_t num_rows = 0;
+  std::size_t num_components = 0;
+  std::size_t num_pins = 0;
+  util::Rect die;
+  bool all_placed = false;  ///< every component carries a PLACED location
+};
+
+/// Parses the writer's subset back into counts; validates framing
+/// (DESIGN/END DESIGN, section counts match declarations).
+[[nodiscard]] util::Result<DefSummary> read_def_summary(
+    const std::string& text);
+
+}  // namespace eurochip::place

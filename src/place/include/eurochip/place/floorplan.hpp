@@ -1,0 +1,52 @@
+// Floorplanning: derives a die outline, core area, and standard-cell rows
+// from the netlist's total area and the technology's design rules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eurochip/netlist/netlist.hpp"
+#include "eurochip/pdk/node.hpp"
+#include "eurochip/util/geometry.hpp"
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::place {
+
+/// One standard-cell row (cells abut left-to-right inside it).
+struct Row {
+  util::Rect bounds;
+  [[nodiscard]] std::int64_t y() const { return bounds.ly; }
+};
+
+class Floorplan {
+ public:
+  /// Sizes a square-ish core for `netlist` at `utilization` density and
+  /// wraps it with the node's core margin. Fails on empty netlists or
+  /// utilization outside (0, max_utilization].
+  static util::Result<Floorplan> create(const netlist::Netlist& netlist,
+                                        const pdk::TechnologyNode& node,
+                                        double utilization);
+
+  [[nodiscard]] const util::Rect& die() const { return die_; }
+  [[nodiscard]] const util::Rect& core() const { return core_; }
+  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+  [[nodiscard]] std::int64_t site_width() const { return site_width_; }
+  [[nodiscard]] std::int64_t row_height() const { return row_height_; }
+  [[nodiscard]] double utilization() const { return utilization_; }
+
+  /// Die area in mm^2 (the quantity MPW pricing uses).
+  [[nodiscard]] double die_area_mm2() const;
+
+  /// Total placeable sites across rows.
+  [[nodiscard]] std::int64_t total_sites() const;
+
+ private:
+  util::Rect die_;
+  util::Rect core_;
+  std::vector<Row> rows_;
+  std::int64_t site_width_ = 0;
+  std::int64_t row_height_ = 0;
+  double utilization_ = 0.0;
+};
+
+}  // namespace eurochip::place

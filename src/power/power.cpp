@@ -1,0 +1,77 @@
+#include "eurochip/power/power.hpp"
+
+#include <algorithm>
+
+#include "eurochip/netlist/simulator.hpp"
+
+namespace eurochip::power {
+
+util::Result<PowerReport> estimate(const netlist::Netlist& nl,
+                                   const pdk::TechnologyNode& node,
+                                   const PowerOptions& opt,
+                                   const route::RoutedDesign* routing) {
+  if (util::Status s = nl.check(); !s.ok()) return s;
+
+  // Per-net toggle rate (transitions per cycle).
+  std::vector<double> activity(nl.num_nets(), opt.default_activity);
+  if (opt.simulate_activity && opt.activity_cycles > 0) {
+    auto sim = netlist::Simulator::create(nl);
+    if (!sim.ok()) return sim.status();
+    util::Rng rng(opt.seed);
+    sim->reset();
+    for (int c = 0; c < opt.activity_cycles; ++c) {
+      std::vector<bool> in(sim->num_inputs());
+      for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.chance(0.5);
+      (void)sim->step(in);
+    }
+    const auto& toggles = sim->toggle_counts();
+    for (std::size_t i = 0; i < toggles.size(); ++i) {
+      activity[i] = static_cast<double>(toggles[i]) /
+                    static_cast<double>(opt.activity_cycles);
+    }
+  }
+
+  PowerReport report;
+  const double v2 = node.supply_v * node.supply_v;
+  const double f_hz = opt.clock_mhz * 1e6;
+
+  double activity_sum = 0.0;
+  for (netlist::NetId id : nl.all_nets()) {
+    const auto& net = nl.net(id);
+    if (net.driver_kind == netlist::DriverKind::kNone) continue;
+    // Net capacitance: sink pins + driver drain + wire (if routed).
+    double cap_ff = 0.0;
+    for (const auto& sink : net.sinks) {
+      cap_ff += nl.lib_cell(sink.cell).input_cap_ff;
+    }
+    if (net.driver_kind == netlist::DriverKind::kCell) {
+      cap_ff += nl.lib_cell(net.driver_cell).output_cap_ff;
+    }
+    if (routing != nullptr && id.value < routing->nets.size() &&
+        routing->nets[id.value].routed) {
+      cap_ff += node.layers.front().cap_ff_per_um * routing->net_length_um(id);
+    }
+    // P = 0.5 * alpha * C * V^2 * f ; cap in fF (1e-15), power reported uW.
+    const double p_w = 0.5 * activity[id.value] * cap_ff * 1e-15 * v2 * f_hz;
+    report.dynamic_uw += p_w * 1e6;
+    activity_sum += activity[id.value];
+    ++report.nets_analyzed;
+  }
+
+  // Clock tree: every DFF clock pin toggles twice per cycle (alpha = 2).
+  for (netlist::CellId ff : nl.sequential_cells()) {
+    const double cap_ff = nl.lib_cell(ff).input_cap_ff;
+    report.clock_tree_uw += 0.5 * 2.0 * cap_ff * 1e-15 * v2 * f_hz * 1e6;
+  }
+
+  report.leakage_uw = nl.total_leakage_nw() * 1e-3;
+  report.total_uw =
+      report.dynamic_uw + report.leakage_uw + report.clock_tree_uw;
+  report.average_activity =
+      report.nets_analyzed > 0
+          ? activity_sum / static_cast<double>(report.nets_analyzed)
+          : 0.0;
+  return report;
+}
+
+}  // namespace eurochip::power

@@ -1,0 +1,62 @@
+// Global routing: a congestion-aware A* maze router over a gcell grid.
+//
+// Multi-terminal nets are decomposed into two-pin segments along a Prim
+// spanning topology; segments route with history-based congestion costs and
+// rip-up-and-reroute until overflow converges (PathFinder-style).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eurochip/pdk/node.hpp"
+#include "eurochip/place/placer.hpp"
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::route {
+
+struct RouteOptions {
+  std::int64_t gcell_pitches = 40;  ///< gcell edge length in M1 pitches
+  int max_ripup_iterations = 8;
+  double history_weight = 1.5;      ///< congestion-history cost growth
+  bool congestion_aware = true;     ///< false = plain shortest path (ablation)
+};
+
+/// Route of one net.
+struct NetRoute {
+  netlist::NetId net;
+  std::int64_t wirelength_dbu = 0;
+  int vias = 0;           ///< bend count proxy
+  bool routed = false;    ///< false for unconnected/trivial nets
+};
+
+struct RoutedDesign {
+  const place::PlacedDesign* placed = nullptr;
+  std::vector<NetRoute> nets;            ///< by NetId
+  std::int64_t total_wirelength_dbu = 0;
+  int total_vias = 0;
+  int overflowed_edges = 0;              ///< edges above capacity at the end
+  int iterations_used = 0;
+  double max_congestion = 0.0;           ///< peak edge utilization
+
+  /// Wire length of a net in micrometres.
+  [[nodiscard]] double net_length_um(netlist::NetId id) const {
+    return static_cast<double>(nets.at(id.value).wirelength_dbu) * 1e-3;
+  }
+};
+
+struct RouteStats {
+  int grid_width = 0;
+  int grid_height = 0;
+  std::int64_t edge_capacity = 0;
+  std::size_t segments_routed = 0;
+  std::size_t reroutes = 0;
+};
+
+/// Routes all multi-pin nets of a placed design. Fails with
+/// kResourceExhausted if overflow remains after max_ripup_iterations and
+/// the design is declared unroutable (overflow > 5% of edges).
+[[nodiscard]] util::Result<RoutedDesign> route(
+    const place::PlacedDesign& placed, const pdk::TechnologyNode& node,
+    const RouteOptions& options = {}, RouteStats* stats = nullptr);
+
+}  // namespace eurochip::route

@@ -1,0 +1,474 @@
+#include "eurochip/rtl/designs.hpp"
+
+#include <array>
+#include <cassert>
+#include <stdexcept>
+
+namespace eurochip::rtl::designs {
+
+Module counter(int width) {
+  Module m("counter" + std::to_string(width));
+  const SignalId en = m.input("en", 1);
+  const SignalId q = m.reg("q", width);
+  const ExprId inc = m.add(m.sig(q), m.lit(1, width));
+  m.set_next(q, m.mux(m.sig(en), inc, m.sig(q)));
+  m.output("count", width, m.sig(q));
+  return m;
+}
+
+Module adder(int width) {
+  Module m("adder" + std::to_string(width));
+  const SignalId a = m.input("a", width);
+  const SignalId b = m.input("b", width);
+  const ExprId ax = m.resize(m.sig(a), width + 1 > 64 ? 64 : width + 1);
+  const ExprId bx = m.resize(m.sig(b), width + 1 > 64 ? 64 : width + 1);
+  const ExprId sum = m.add(ax, bx);
+  m.output("sum", width, m.slice(sum, 0, width));
+  if (width + 1 <= 64) m.output("cout", 1, m.slice(sum, static_cast<unsigned>(width), 1));
+  return m;
+}
+
+Module adder_variant(int width, int variant) {
+  if (variant == 0) return adder(width);
+  Module m("adder" + std::to_string(width) + "_v" + std::to_string(variant));
+  const SignalId a = m.input("a", width);
+  const SignalId b = m.input("b", width);
+
+  const auto bit = [&](SignalId s, int i) {
+    return m.slice(m.sig(s), static_cast<unsigned>(i), 1);
+  };
+
+  if (variant == 1) {
+    // Explicit bit-level ripple: sum_i = a^b^c, c' = ab | c(a^b).
+    ExprId carry = m.lit(0, 1);
+    ExprId sum;
+    bool have_sum = false;
+    for (int i = 0; i < width; ++i) {
+      const ExprId ai = bit(a, i);
+      const ExprId bi = bit(b, i);
+      const ExprId axb = m.bxor(ai, bi);
+      const ExprId s = m.bxor(axb, carry);
+      carry = m.bor(m.band(ai, bi), m.band(carry, axb));
+      sum = have_sum ? m.concat(s, sum) : s;
+      have_sum = true;
+    }
+    m.output("sum", width, sum);
+    m.output("cout", 1, carry);
+    return m;
+  }
+
+  if (variant == 2) {
+    // Carry-select: low half plus two speculative high halves.
+    const int lo_w = width / 2;
+    const int hi_w = width - lo_w;
+    if (lo_w == 0) return adder(width);
+    const ExprId alo = m.slice(m.sig(a), 0, lo_w);
+    const ExprId blo = m.slice(m.sig(b), 0, lo_w);
+    const ExprId ahi = m.slice(m.sig(a), static_cast<unsigned>(lo_w), hi_w);
+    const ExprId bhi = m.slice(m.sig(b), static_cast<unsigned>(lo_w), hi_w);
+    const ExprId lo_sum = m.add(m.resize(alo, lo_w + 1), m.resize(blo, lo_w + 1));
+    const ExprId lo_carry = m.slice(lo_sum, static_cast<unsigned>(lo_w), 1);
+    const ExprId hi0 = m.add(m.resize(ahi, hi_w + 1), m.resize(bhi, hi_w + 1));
+    const ExprId hi1 = m.add(hi0, m.lit(1, hi_w + 1));
+    const ExprId hi = m.mux(lo_carry, hi1, hi0);
+    m.output("sum", width, m.concat(m.slice(hi, 0, hi_w), m.slice(lo_sum, 0, lo_w)));
+    m.output("cout", 1, m.slice(hi, static_cast<unsigned>(hi_w), 1));
+    return m;
+  }
+
+  // variant 3: conditional-sum via per-bit mux chains (mux-heavy structure).
+  ExprId carry = m.lit(0, 1);
+  ExprId sum;
+  bool have_sum = false;
+  for (int i = 0; i < width; ++i) {
+    const ExprId ai = bit(a, i);
+    const ExprId bi = bit(b, i);
+    // sum bit if carry==0 / carry==1.
+    const ExprId s0 = m.bxor(ai, bi);
+    const ExprId s1 = m.bnot(s0);
+    const ExprId c0 = m.band(ai, bi);
+    const ExprId c1 = m.bor(ai, bi);
+    const ExprId s = m.mux(carry, s1, s0);
+    carry = m.mux(carry, c1, c0);
+    sum = have_sum ? m.concat(s, sum) : s;
+    have_sum = true;
+  }
+  m.output("sum", width, sum);
+  m.output("cout", 1, carry);
+  return m;
+}
+
+Module alu(int width) {
+  Module m("alu" + std::to_string(width));
+  const SignalId a = m.input("a", width);
+  const SignalId b = m.input("b", width);
+  const SignalId op = m.input("op", 3);
+  const ExprId opx = m.sig(op);
+
+  const ExprId r_add = m.add(m.sig(a), m.sig(b));
+  const ExprId r_sub = m.sub(m.sig(a), m.sig(b));
+  const ExprId r_and = m.band(m.sig(a), m.sig(b));
+  const ExprId r_or = m.bor(m.sig(a), m.sig(b));
+  const ExprId r_xor = m.bxor(m.sig(a), m.sig(b));
+  const ExprId r_slt = m.resize(m.lt(m.sig(a), m.sig(b)), width);
+
+  ExprId result = r_add;
+  const auto select = [&](std::uint64_t code, ExprId value) {
+    result = m.mux(m.eq(opx, m.lit(code, 3)), value, result);
+  };
+  select(1, r_sub);
+  select(2, r_and);
+  select(3, r_or);
+  select(4, r_xor);
+  select(5, r_slt);
+
+  const SignalId out_reg = m.reg("result_q", width);
+  m.set_next(out_reg, result);
+  m.output("result", width, m.sig(out_reg));
+  m.output("zero", 1, m.eq(m.sig(out_reg), m.lit(0, width)));
+  return m;
+}
+
+Module gray_encoder(int width) {
+  Module m("gray" + std::to_string(width));
+  const SignalId x = m.input("bin", width);
+  m.output("gray", width, m.bxor(m.sig(x), m.shr(m.sig(x), 1)));
+  return m;
+}
+
+Module fir_filter(int width, int taps) {
+  assert(taps >= 1);
+  Module m("fir" + std::to_string(width) + "x" + std::to_string(taps));
+  const SignalId x = m.input("x", width);
+  // Constant odd coefficients so no tap degenerates to zero.
+  std::vector<SignalId> delay_line;
+  delay_line.reserve(static_cast<std::size_t>(taps));
+  for (int t = 0; t < taps; ++t) {
+    delay_line.push_back(m.reg("z" + std::to_string(t), width));
+  }
+  m.set_next(delay_line[0], m.sig(x));
+  for (int t = 1; t < taps; ++t) {
+    m.set_next(delay_line[t], m.sig(delay_line[t - 1]));
+  }
+  // Accumulate coeff * tap; coefficients are small shifts+adds to bound
+  // the multiplier width: coeff_t = (t % 3) + 1.
+  const int acc_w = std::min(64, width + 8);
+  ExprId acc = m.lit(0, acc_w);
+  for (int t = 0; t < taps; ++t) {
+    const std::uint64_t coeff = static_cast<std::uint64_t>(t % 3) + 1;
+    ExprId term = m.resize(m.sig(delay_line[t]), acc_w);
+    if (coeff == 2) {
+      term = m.shl(term, 1);
+    } else if (coeff == 3) {
+      term = m.add(m.shl(term, 1), term);
+    }
+    acc = m.add(acc, term);
+  }
+  const SignalId y = m.reg("y_q", acc_w);
+  m.set_next(y, acc);
+  m.output("y", acc_w, m.sig(y));
+  return m;
+}
+
+namespace {
+/// Maximal-length Fibonacci LFSR tap masks (bit i set = x^(i+1) term).
+std::uint64_t lfsr_taps(int width) {
+  switch (width) {
+    case 3: return 0x6;
+    case 4: return 0xC;
+    case 5: return 0x14;
+    case 6: return 0x30;
+    case 7: return 0x60;
+    case 8: return 0xB8;
+    case 9: return 0x110;
+    case 10: return 0x240;
+    case 11: return 0x500;
+    case 12: return 0xE08;
+    case 13: return 0x1C80;
+    case 14: return 0x3802;
+    case 15: return 0x6000;
+    case 16: return 0xD008;
+    default:
+      // Not guaranteed maximal, but a valid LFSR for other widths.
+      return (1uLL << (width - 1)) | (1uLL << (width - 2));
+  }
+}
+}  // namespace
+
+Module lfsr(int width) {
+  assert(width >= 3);
+  Module m("lfsr" + std::to_string(width));
+  const SignalId en = m.input("en", 1);
+  const SignalId state = m.reg("state", width, 1);
+  const ExprId fb =
+      m.red_xor(m.band(m.sig(state), m.lit(lfsr_taps(width), width)));
+  const ExprId shifted = m.concat(m.slice(m.sig(state), 0, width - 1), fb);
+  m.set_next(state, m.mux(m.sig(en), shifted, m.sig(state)));
+  m.output("out", width, m.sig(state));
+  return m;
+}
+
+Module popcount(int width) {
+  Module m("popcount" + std::to_string(width));
+  const SignalId x = m.input("x", width);
+  int out_w = 1;
+  while ((1 << out_w) <= width) ++out_w;
+  ExprId acc = m.lit(0, out_w);
+  for (int i = 0; i < width; ++i) {
+    acc = m.add(acc, m.resize(m.slice(m.sig(x), static_cast<unsigned>(i), 1),
+                              out_w));
+  }
+  m.output("count", out_w, acc);
+  return m;
+}
+
+Module traffic_fsm() {
+  Module m("traffic_fsm");
+  const SignalId go = m.input("go", 1);
+  const SignalId state = m.reg("state", 2);
+  const ExprId s = m.sig(state);
+  // 0 red -> 1 red+yellow -> 2 green -> 3 yellow -> 0, advancing on `go`.
+  const ExprId next = m.add(s, m.lit(1, 2));
+  m.set_next(state, m.mux(m.sig(go), next, s));
+  // Output: 2-bit lamp code; green only in state 2.
+  m.output("lamps", 2, s);
+  m.output("green", 1, m.eq(s, m.lit(2, 2)));
+  return m;
+}
+
+Module multiplier(int width) {
+  assert(2 * width <= 64);
+  Module m("mul" + std::to_string(width));
+  const SignalId a = m.input("a", width);
+  const SignalId b = m.input("b", width);
+  const SignalId p = m.reg("p_q", 2 * width);
+  m.set_next(p, m.mul(m.sig(a), m.sig(b)));
+  m.output("p", 2 * width, m.sig(p));
+  return m;
+}
+
+Module multiplier_variant(int width, int variant) {
+  if (variant == 0) return multiplier(width);
+  assert(2 * width <= 64);
+  Module m("mul" + std::to_string(width) + "_v" + std::to_string(variant));
+  const SignalId a = m.input("a", width);
+  const SignalId b = m.input("b", width);
+  const int pw = 2 * width;
+
+  if (variant == 1) {
+    // Shift-add: sum over bits of b of (b[i] ? a << i : 0).
+    ExprId acc = m.lit(0, pw);
+    for (int i = 0; i < width; ++i) {
+      const ExprId bi = m.slice(m.sig(b), static_cast<unsigned>(i), 1);
+      const ExprId shifted = m.shl(m.resize(m.sig(a), pw), static_cast<unsigned>(i));
+      acc = m.add(acc, m.mux(bi, shifted, m.lit(0, pw)));
+    }
+    const SignalId p = m.reg("p_q", pw);
+    m.set_next(p, acc);
+    m.output("p", pw, m.sig(p));
+    return m;
+  }
+
+  // variant 2: partial products ANDed per bit, added pairwise (tree-ish).
+  std::vector<ExprId> rows;
+  for (int i = 0; i < width; ++i) {
+    const ExprId bi = m.slice(m.sig(b), static_cast<unsigned>(i), 1);
+    // Row = a & {width{b[i]}} then shifted.
+    ExprId row_bits;
+    bool have = false;
+    for (int j = 0; j < width; ++j) {
+      const ExprId aj = m.slice(m.sig(a), static_cast<unsigned>(j), 1);
+      const ExprId pp = m.band(aj, bi);
+      row_bits = have ? m.concat(pp, row_bits) : pp;
+      have = true;
+    }
+    rows.push_back(m.shl(m.resize(row_bits, pw), static_cast<unsigned>(i)));
+  }
+  while (rows.size() > 1) {
+    std::vector<ExprId> next_rows;
+    for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
+      next_rows.push_back(m.add(rows[i], rows[i + 1]));
+    }
+    if (rows.size() % 2 == 1) next_rows.push_back(rows.back());
+    rows = std::move(next_rows);
+  }
+  const SignalId p = m.reg("p_q", pw);
+  m.set_next(p, rows[0]);
+  m.output("p", pw, m.sig(p));
+  return m;
+}
+
+Module mini_cpu_datapath(int width) {
+  Module m("mini_cpu" + std::to_string(width));
+  const SignalId op = m.input("op", 3);
+  const SignalId rs1 = m.input("rs1", 2);
+  const SignalId rs2 = m.input("rs2", 2);
+  const SignalId rd = m.input("rd", 2);
+  const SignalId imm = m.input("imm", width);
+  const SignalId use_imm = m.input("use_imm", 1);
+  const SignalId wen = m.input("wen", 1);
+
+  std::vector<SignalId> regs;
+  for (int i = 0; i < 4; ++i) {
+    regs.push_back(m.reg("x" + std::to_string(i), width));
+  }
+  const auto read_port = [&](SignalId sel) {
+    ExprId v = m.sig(regs[0]);
+    for (std::uint64_t i = 1; i < 4; ++i) {
+      v = m.mux(m.eq(m.sig(sel), m.lit(i, 2)), m.sig(regs[i]), v);
+    }
+    return v;
+  };
+  const ExprId a = read_port(rs1);
+  const ExprId b0 = read_port(rs2);
+  const ExprId b = m.mux(m.sig(use_imm), m.sig(imm), b0);
+
+  const ExprId r_add = m.add(a, b);
+  const ExprId r_sub = m.sub(a, b);
+  const ExprId r_and = m.band(a, b);
+  const ExprId r_or = m.bor(a, b);
+  const ExprId r_xor = m.bxor(a, b);
+  const ExprId r_slt = m.resize(m.lt(a, b), width);
+  ExprId result = r_add;
+  const auto select = [&](std::uint64_t code, ExprId value) {
+    result = m.mux(m.eq(m.sig(op), m.lit(code, 3)), value, result);
+  };
+  select(1, r_sub);
+  select(2, r_and);
+  select(3, r_or);
+  select(4, r_xor);
+  select(5, r_slt);
+
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const ExprId hit = m.band(m.sig(wen), m.eq(m.sig(rd), m.lit(i, 2)));
+    m.set_next(regs[i], m.mux(hit, result, m.sig(regs[i])));
+  }
+  m.output("result", width, result);
+  m.output("x3", width, m.sig(regs[3]));
+  return m;
+}
+
+Module shift_register(int width, int depth) {
+  assert(depth >= 1);
+  Module m("shiftreg" + std::to_string(width) + "x" + std::to_string(depth));
+  const SignalId d = m.input("d", width);
+  std::vector<SignalId> stages;
+  for (int i = 0; i < depth; ++i) {
+    stages.push_back(m.reg("s" + std::to_string(i), width));
+  }
+  m.set_next(stages[0], m.sig(d));
+  for (int i = 1; i < depth; ++i) m.set_next(stages[i], m.sig(stages[i - 1]));
+  m.output("q", width, m.sig(stages.back()));
+  return m;
+}
+
+Module priority_encoder(int width) {
+  Module m("prienc" + std::to_string(width));
+  const SignalId x = m.input("x", width);
+  int out_w = 1;
+  while ((1 << out_w) < width) ++out_w;
+  ExprId idx = m.lit(0, out_w);
+  for (int i = 1; i < width; ++i) {
+    const ExprId bi = m.slice(m.sig(x), static_cast<unsigned>(i), 1);
+    idx = m.mux(bi, m.lit(static_cast<std::uint64_t>(i), out_w), idx);
+  }
+  m.output("idx", out_w, idx);
+  m.output("valid", 1, m.red_or(m.sig(x)));
+  return m;
+}
+
+Module crc8() {
+  Module m("crc8");
+  const SignalId data = m.input("data", 8);
+  const SignalId en = m.input("en", 1);
+  const SignalId crc = m.reg("crc", 8);
+  // Bitwise CRC-8 update (poly 0x07), unrolled over the 8 input bits.
+  ExprId state = m.bxor(m.sig(crc), m.sig(data));
+  for (int i = 0; i < 8; ++i) {
+    const ExprId msb = m.slice(state, 7, 1);
+    const ExprId shifted = m.shl(state, 1);
+    state = m.mux(msb, m.bxor(shifted, m.lit(0x07, 8)), shifted);
+  }
+  m.set_next(crc, m.mux(m.sig(en), state, m.sig(crc)));
+  m.output("crc_out", 8, m.sig(crc));
+  return m;
+}
+
+Module barrel_shifter(int width) {
+  Module m("barrel" + std::to_string(width));
+  int sh_w = 1;
+  while ((1 << sh_w) < width) ++sh_w;
+  const SignalId x = m.input("x", width);
+  const SignalId amount = m.input("amount", sh_w);
+  ExprId value = m.sig(x);
+  for (int stage = 0; stage < sh_w; ++stage) {
+    const ExprId bit = m.slice(m.sig(amount), static_cast<unsigned>(stage), 1);
+    value = m.mux(bit, m.shl(value, 1u << stage), value);
+  }
+  m.output("y", width, value);
+  return m;
+}
+
+Module sorter4(int width) {
+  Module m("sorter4x" + std::to_string(width));
+  std::array<ExprId, 4> v;
+  for (int i = 0; i < 4; ++i) {
+    v[static_cast<std::size_t>(i)] =
+        m.sig(m.input("in" + std::to_string(i), width));
+  }
+  const auto cas = [&m](ExprId& a, ExprId& b) {
+    const ExprId swap_needed = m.lt(b, a);
+    const ExprId lo = m.mux(swap_needed, b, a);
+    const ExprId hi = m.mux(swap_needed, a, b);
+    a = lo;
+    b = hi;
+  };
+  // Batcher's 4-element network: (0,1)(2,3)(0,2)(1,3)(1,2).
+  cas(v[0], v[1]);
+  cas(v[2], v[3]);
+  cas(v[0], v[2]);
+  cas(v[1], v[3]);
+  cas(v[1], v[2]);
+  for (int i = 0; i < 4; ++i) {
+    m.output("out" + std::to_string(i), width, v[static_cast<std::size_t>(i)]);
+  }
+  return m;
+}
+
+Module serializer(int width) {
+  Module m("serializer" + std::to_string(width));
+  const SignalId data = m.input("data", width);
+  const SignalId load = m.input("load", 1);
+  const SignalId shreg = m.reg("shreg", width);
+  const ExprId shifted = m.shr(m.sig(shreg), 1);
+  m.set_next(shreg, m.mux(m.sig(load), m.sig(data), shifted));
+  m.output("tx", 1, m.slice(m.sig(shreg), 0, 1));
+  m.output("state", width, m.sig(shreg));
+  return m;
+}
+
+std::vector<CatalogEntry> standard_catalog(int scale) {
+  if (scale < 1) throw std::invalid_argument("scale must be >= 1");
+  const int w8 = std::min(24, 8 * scale);
+  const int w16 = std::min(28, 16 * scale);
+  std::vector<CatalogEntry> out;
+  out.push_back({"counter", counter(w16)});
+  out.push_back({"adder", adder(w16)});
+  out.push_back({"alu", alu(w16)});
+  out.push_back({"gray", gray_encoder(w16)});
+  out.push_back({"fir", fir_filter(w8, 4 * scale)});
+  out.push_back({"lfsr", lfsr(w16)});
+  out.push_back({"popcount", popcount(w16)});
+  out.push_back({"fsm", traffic_fsm()});
+  out.push_back({"multiplier", multiplier(std::min(16, 8 * scale))});
+  out.push_back({"mini_cpu", mini_cpu_datapath(w8)});
+  out.push_back({"shiftreg", shift_register(w8, 4 * scale)});
+  out.push_back({"prienc", priority_encoder(w16)});
+  out.push_back({"crc8", crc8()});
+  out.push_back({"barrel", barrel_shifter(w16)});
+  out.push_back({"sorter4", sorter4(w8)});
+  out.push_back({"serializer", serializer(w16)});
+  return out;
+}
+
+}  // namespace eurochip::rtl::designs

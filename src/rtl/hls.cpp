@@ -1,0 +1,229 @@
+#include "eurochip/rtl/hls.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace eurochip::rtl::hls {
+
+Program::Program(std::string name, int width)
+    : name_(std::move(name)), width_(width) {
+  if (width < 1 || width > 32) {
+    throw std::invalid_argument("HLS stream width must be in [1, 32]");
+  }
+}
+
+Value Program::push(Node node) {
+  nodes_.push_back(std::move(node));
+  ++hls_lines_;
+  return Value{static_cast<std::uint32_t>(nodes_.size() - 1)};
+}
+
+Value Program::input(const std::string& port_name) {
+  Node n;
+  n.kind = OpKind::kInput;
+  n.name = port_name;
+  return push(std::move(n));
+}
+
+Value Program::constant(std::uint64_t value) {
+  if (width_ < 64 && value >= (1uLL << width_)) {
+    throw std::invalid_argument("constant exceeds stream width");
+  }
+  Node n;
+  n.kind = OpKind::kConst;
+  n.imm0 = value;
+  return push(std::move(n));
+}
+
+#define EUROCHIP_HLS_BINOP(method, opkind)    \
+  Value Program::method(Value a, Value b) {   \
+    Node n;                                   \
+    n.kind = (opkind);                        \
+    n.a = a;                                  \
+    n.b = b;                                  \
+    return push(std::move(n));                \
+  }
+EUROCHIP_HLS_BINOP(add, OpKind::kAdd)
+EUROCHIP_HLS_BINOP(sub, OpKind::kSub)
+EUROCHIP_HLS_BINOP(mul, OpKind::kMul)
+EUROCHIP_HLS_BINOP(min, OpKind::kMin)
+EUROCHIP_HLS_BINOP(max, OpKind::kMax)
+EUROCHIP_HLS_BINOP(abs_diff, OpKind::kAbsDiff)
+#undef EUROCHIP_HLS_BINOP
+
+Value Program::clamp(Value x, std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw std::invalid_argument("clamp: lo > hi");
+  Node n;
+  n.kind = OpKind::kClamp;
+  n.a = x;
+  n.imm0 = lo;
+  n.imm1 = hi;
+  return push(std::move(n));
+}
+
+Value Program::select(Value c, Value a, Value b) {
+  Node n;
+  n.kind = OpKind::kSelect;
+  n.c = c;
+  n.a = a;
+  n.b = b;
+  return push(std::move(n));
+}
+
+Value Program::scale(Value x, std::uint64_t factor) {
+  Node n;
+  n.kind = OpKind::kScale;
+  n.a = x;
+  n.imm0 = factor;
+  return push(std::move(n));
+}
+
+Value Program::delay(Value x, int cycles) {
+  if (cycles < 1) throw std::invalid_argument("delay needs >= 1 cycle");
+  Node n;
+  n.kind = OpKind::kDelay;
+  n.a = x;
+  n.imm0 = static_cast<std::uint64_t>(cycles);
+  return push(std::move(n));
+}
+
+Value Program::sliding_sum(Value x, int taps) {
+  if (taps < 1) throw std::invalid_argument("sliding_sum needs >= 1 tap");
+  Node n;
+  n.kind = OpKind::kSlidingSum;
+  n.a = x;
+  n.imm0 = static_cast<std::uint64_t>(taps);
+  return push(std::move(n));
+}
+
+Value Program::accumulate(Value x) {
+  Node n;
+  n.kind = OpKind::kAccumulate;
+  n.a = x;
+  return push(std::move(n));
+}
+
+Value Program::pipeline(Value x) {
+  Node n;
+  n.kind = OpKind::kPipeline;
+  n.a = x;
+  return push(std::move(n));
+}
+
+void Program::output(const std::string& port_name, Value v) {
+  outputs_.push_back(OutputPort{port_name, v});
+  ++hls_lines_;
+}
+
+util::Result<Module> Program::compile() const {
+  if (outputs_.empty()) {
+    return util::Status::FailedPrecondition("HLS program has no outputs");
+  }
+  Module m(name_);
+  const int w = width_;
+  std::unordered_map<std::uint32_t, ExprId> lowered;
+  std::uint32_t tmp = 0;
+  const auto fresh = [&tmp](const char* tag) {
+    return std::string(tag) + std::to_string(tmp++);
+  };
+
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    const auto val = [&](Value v) { return lowered.at(v.id); };
+    ExprId e;
+    switch (n.kind) {
+      case OpKind::kInput:
+        e = m.sig(m.input(n.name, w));
+        break;
+      case OpKind::kConst:
+        e = m.lit(n.imm0, w);
+        break;
+      case OpKind::kAdd: e = m.add(val(n.a), val(n.b)); break;
+      case OpKind::kSub: e = m.sub(val(n.a), val(n.b)); break;
+      case OpKind::kMul:
+        e = m.slice(m.mul(val(n.a), val(n.b)), 0, w);
+        break;
+      case OpKind::kMin:
+        e = m.mux(m.lt(val(n.a), val(n.b)), val(n.a), val(n.b));
+        break;
+      case OpKind::kMax:
+        e = m.mux(m.lt(val(n.a), val(n.b)), val(n.b), val(n.a));
+        break;
+      case OpKind::kAbsDiff: {
+        const ExprId a_lt_b = m.lt(val(n.a), val(n.b));
+        e = m.mux(a_lt_b, m.sub(val(n.b), val(n.a)),
+                  m.sub(val(n.a), val(n.b)));
+        break;
+      }
+      case OpKind::kClamp: {
+        const ExprId lo = m.lit(n.imm0, w);
+        const ExprId hi = m.lit(n.imm1, w);
+        const ExprId below = m.lt(val(n.a), lo);
+        const ExprId above = m.lt(hi, val(n.a));
+        e = m.mux(below, lo, m.mux(above, hi, val(n.a)));
+        break;
+      }
+      case OpKind::kSelect: {
+        const ExprId cond = m.ne(val(n.c), m.lit(0, w));
+        e = m.mux(cond, val(n.a), val(n.b));
+        break;
+      }
+      case OpKind::kScale: {
+        // Shift-add decomposition of the constant factor.
+        ExprId acc = m.lit(0, w);
+        for (int bit = 0; bit < w && (n.imm0 >> bit) != 0; ++bit) {
+          if (((n.imm0 >> bit) & 1u) != 0) {
+            acc = m.add(acc, m.shl(val(n.a), static_cast<unsigned>(bit)));
+          }
+        }
+        e = acc;
+        break;
+      }
+      case OpKind::kDelay: {
+        ExprId cur = val(n.a);
+        for (std::uint64_t c = 0; c < n.imm0; ++c) {
+          const SignalId r = m.reg(fresh("dly"), w);
+          m.set_next(r, cur);
+          cur = m.sig(r);
+        }
+        e = cur;
+        break;
+      }
+      case OpKind::kSlidingSum: {
+        // taps-1 registers; sum of x and all delayed copies.
+        ExprId sum = val(n.a);
+        ExprId cur = val(n.a);
+        for (std::uint64_t t = 1; t < n.imm0; ++t) {
+          const SignalId r = m.reg(fresh("win"), w);
+          m.set_next(r, cur);
+          cur = m.sig(r);
+          sum = m.add(sum, cur);
+        }
+        e = sum;
+        break;
+      }
+      case OpKind::kAccumulate: {
+        const SignalId r = m.reg(fresh("acc"), w);
+        m.set_next(r, m.add(m.sig(r), val(n.a)));
+        e = m.sig(r);
+        break;
+      }
+      case OpKind::kPipeline: {
+        const SignalId r = m.reg(fresh("pipe"), w);
+        m.set_next(r, val(n.a));
+        e = m.sig(r);
+        break;
+      }
+    }
+    lowered.emplace(i, e);
+  }
+
+  for (const OutputPort& o : outputs_) {
+    m.output(o.name, w, lowered.at(o.value.id));
+  }
+  if (util::Status s = m.check(); !s.ok()) return s;
+  return m;
+}
+
+}  // namespace eurochip::rtl::hls

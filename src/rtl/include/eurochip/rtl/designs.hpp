@@ -1,0 +1,89 @@
+// A library of generated RTL designs: the workloads used by examples,
+// tests, and the benches (the paper's motivating design classes — counters,
+// ALUs, filters, crypto-ish datapaths, small CPU datapaths).
+//
+// Each generator returns a self-contained Module; several expose
+// "equivalent variants" used by the semantic-gap experiment (E3): the
+// variants simulate identically but lower to different structures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eurochip/rtl/ir.hpp"
+
+namespace eurochip::rtl::designs {
+
+/// n-bit up-counter with enable.
+Module counter(int width);
+
+/// Ripple-carry adder (pure combinational), a+b with carry out.
+Module adder(int width);
+
+/// Equivalent adder variants for the semantic-gap experiment:
+/// 0 = builder `add` (lowered as ripple), 1 = explicit bit-level ripple,
+/// 2 = carry-select from two half-width adds, 3 = conditional-sum via muxes.
+Module adder_variant(int width, int variant);
+
+/// Simple ALU: ops add/sub/and/or/xor/slt selected by 3-bit opcode,
+/// registered output.
+Module alu(int width);
+
+/// Gray-code encoder (comb).
+Module gray_encoder(int width);
+
+/// `taps`-tap transposed FIR filter with constant coefficients,
+/// `width`-bit data path.
+Module fir_filter(int width, int taps);
+
+/// Galois LFSR of `width` bits with a fixed primitive-ish polynomial.
+Module lfsr(int width);
+
+/// Population count (comb).
+Module popcount(int width);
+
+/// 4-state Mealy FSM (traffic-light-like) with a 2-bit output.
+Module traffic_fsm();
+
+/// Array multiplier, registered output, result width 2*width (<= 64).
+Module multiplier(int width);
+
+/// Equivalent multiplier variants for E3: 0 = builder `mul` (array),
+/// 1 = shift-add over muxes, 2 = partial-product rows added pairwise.
+Module multiplier_variant(int width, int variant);
+
+/// Small register-file + ALU datapath ("riscv_mini_dp"): 4 registers of
+/// `width` bits, opcode-driven writeback — the CPU-flavored example design.
+Module mini_cpu_datapath(int width);
+
+/// An 8-bit x `depth` shift register (sequential stress).
+Module shift_register(int width, int depth);
+
+/// Priority encoder: index of the highest set bit of an n-bit input.
+Module priority_encoder(int width);
+
+/// CRC-8 (polynomial 0x07) bytewise update stage: state register XOR-folded
+/// with an input byte, one byte per cycle.
+Module crc8();
+
+/// Barrel shifter: logarithmic mux stages, variable left shift.
+Module barrel_shifter(int width);
+
+/// 4-input sorting network (Batcher): outputs the 4 values ascending.
+Module sorter4(int width);
+
+/// Parallel-load serializer: loads `width` bits, shifts one bit per cycle
+/// (UART-style transmit path without framing).
+Module serializer(int width);
+
+/// Named catalogue entry for sweep-style benches.
+struct CatalogEntry {
+  std::string name;
+  Module module;
+};
+
+/// A representative design mix (small to mid-size) for benches; `scale`
+/// multiplies datapath widths (1 = default sizes).
+std::vector<CatalogEntry> standard_catalog(int scale = 1);
+
+}  // namespace eurochip::rtl::designs

@@ -1,0 +1,102 @@
+// A miniature high-level-synthesis frontend (paper Recommendations 1 & 4:
+// raise the abstraction level with HLS-style tools so beginners become
+// productive quickly).
+//
+// An hls::Program is a dataflow description: each builder call is one
+// "HLS line" and may expand into many RTL builder lines (delay lines,
+// adder trees, saturation logic, pipeline registers). compile() lowers
+// the program to a plain rtl::Module, so everything downstream — the
+// simulator, the flow, the benches — works unchanged. The productivity
+// bench compares gates/HLS-line against gates/RTL-line to quantify the
+// abstraction gain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eurochip/rtl/ir.hpp"
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::rtl::hls {
+
+/// Handle to a dataflow value inside a Program.
+struct Value {
+  std::uint32_t id = 0;
+};
+
+/// A single-clock streaming dataflow program over unsigned words of a
+/// fixed width. One method call = one HLS line.
+class Program {
+ public:
+  /// `width` is the data-path width of every stream value (1..32).
+  Program(std::string name, int width);
+
+  // --- sources -----------------------------------------------------------
+  Value input(const std::string& name);
+  Value constant(std::uint64_t value);
+
+  // --- element-wise operators ---------------------------------------------
+  Value add(Value a, Value b);
+  Value sub(Value a, Value b);
+  /// Full-width product truncated back to the stream width.
+  Value mul(Value a, Value b);
+  Value min(Value a, Value b);
+  Value max(Value a, Value b);
+  /// |a - b| without sign logic (works on unsigned streams).
+  Value abs_diff(Value a, Value b);
+  /// Clamps into [lo, hi] (constants).
+  Value clamp(Value x, std::uint64_t lo, std::uint64_t hi);
+  /// c ? a : b with c any value (non-zero = true).
+  Value select(Value c, Value a, Value b);
+  /// Multiply by a small constant via shift-add.
+  Value scale(Value x, std::uint64_t factor);
+
+  // --- stateful operators (each instantiates registers) --------------------
+  /// Value delayed by `cycles` registers.
+  Value delay(Value x, int cycles);
+  /// Sum of the last `taps` samples (delay line + adder tree).
+  Value sliding_sum(Value x, int taps);
+  /// Running accumulator (wrapping).
+  Value accumulate(Value x);
+  /// Registers the value once (explicit pipeline stage).
+  Value pipeline(Value x);
+
+  // --- sinks ---------------------------------------------------------------
+  void output(const std::string& name, Value v);
+
+  /// Number of HLS lines written so far (one per builder call).
+  [[nodiscard]] std::size_t hls_lines() const { return hls_lines_; }
+
+  /// Lowers to an rtl::Module. Fails if the program has no outputs.
+  [[nodiscard]] util::Result<Module> compile() const;
+
+  [[nodiscard]] int width() const { return width_; }
+
+ private:
+  enum class OpKind {
+    kInput, kConst, kAdd, kSub, kMul, kMin, kMax, kAbsDiff, kClamp,
+    kSelect, kScale, kDelay, kSlidingSum, kAccumulate, kPipeline,
+  };
+  struct Node {
+    OpKind kind;
+    std::string name;       ///< inputs
+    std::uint64_t imm0 = 0; ///< constants / factors / lo / cycles / taps
+    std::uint64_t imm1 = 0; ///< hi
+    Value a, b, c;
+  };
+  struct OutputPort {
+    std::string name;
+    Value value;
+  };
+
+  Value push(Node node);
+
+  std::string name_;
+  int width_;
+  std::vector<Node> nodes_;
+  std::vector<OutputPort> outputs_;
+  std::size_t hls_lines_ = 0;
+};
+
+}  // namespace eurochip::rtl::hls

@@ -1,0 +1,157 @@
+// Word-level RTL intermediate representation.
+//
+// A Module is a set of typed signals (inputs, wires, registers, outputs)
+// plus an expression arena. Wires and outputs are bound to expressions;
+// registers have a next-state expression and reset to zero. All values are
+// unsigned with explicit widths up to 64 bits; arithmetic wraps.
+//
+// The builder API on Module doubles as EuroChip's hardware-construction
+// language (paper Recommendation 4: raise the abstraction level): one
+// builder call is one "RTL line" for the productivity accounting in E2.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::rtl {
+
+struct SignalId {
+  std::uint32_t value = std::numeric_limits<std::uint32_t>::max();
+  [[nodiscard]] bool valid() const {
+    return value != std::numeric_limits<std::uint32_t>::max();
+  }
+  friend bool operator==(const SignalId&, const SignalId&) = default;
+};
+
+struct ExprId {
+  std::uint32_t value = std::numeric_limits<std::uint32_t>::max();
+  [[nodiscard]] bool valid() const {
+    return value != std::numeric_limits<std::uint32_t>::max();
+  }
+  friend bool operator==(const ExprId&, const ExprId&) = default;
+};
+
+enum class SignalKind : std::uint8_t { kInput, kWire, kReg, kOutput };
+
+enum class Op : std::uint8_t {
+  kConst,   ///< literal (value, width)
+  kSignal,  ///< reference to a signal
+  kNot,     ///< bitwise not
+  kAnd,
+  kOr,
+  kXor,
+  kAdd,     ///< wrapping add, equal widths
+  kSub,     ///< wrapping sub, equal widths
+  kMul,     ///< result width = min(64, wa + wb)
+  kEq,      ///< 1-bit result
+  kNe,
+  kLt,      ///< unsigned less-than, 1-bit result
+  kMux,     ///< operands: sel (1 bit), then_v, else_v
+  kShl,     ///< shift by constant amount
+  kShr,
+  kSlice,   ///< [lo +: width]
+  kConcat,  ///< {hi, lo}: operand0 is high bits
+  kRedOr,   ///< reduction OR, 1-bit result
+  kRedAnd,  ///< reduction AND, 1-bit result
+  kRedXor,  ///< reduction XOR (parity), 1-bit result
+};
+
+const char* to_string(Op op);
+
+struct Expr {
+  Op op = Op::kConst;
+  int width = 1;
+  std::uint64_t imm = 0;   ///< kConst value; kShl/kShr amount; kSlice lo bit
+  SignalId signal;         ///< kSignal only
+  ExprId a;                ///< first operand
+  ExprId b;                ///< second operand (kMux: then)
+  ExprId c;                ///< kMux: else
+};
+
+struct Signal {
+  std::string name;
+  SignalKind kind = SignalKind::kWire;
+  int width = 1;
+  ExprId binding;   ///< wire/output: combinational source; reg: next-state
+  std::uint64_t reset_value = 0;  ///< registers only
+};
+
+/// A single-clock synchronous RTL module.
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+
+  // --- signal declaration (each call counts as one RTL line) -------------
+
+  SignalId input(const std::string& name, int width);
+  SignalId output(const std::string& name, int width, ExprId source);
+  SignalId wire(const std::string& name, int width, ExprId source);
+  /// Declares a register with reset value; bind its next-state later via
+  /// set_next (counts the set_next as the line).
+  SignalId reg(const std::string& name, int width, std::uint64_t reset = 0);
+  void set_next(SignalId reg, ExprId next);
+
+  // --- expression builders -------------------------------------------------
+
+  ExprId lit(std::uint64_t value, int width);
+  ExprId sig(SignalId signal);
+  ExprId bnot(ExprId a);
+  ExprId band(ExprId a, ExprId b);
+  ExprId bor(ExprId a, ExprId b);
+  ExprId bxor(ExprId a, ExprId b);
+  ExprId add(ExprId a, ExprId b);
+  ExprId sub(ExprId a, ExprId b);
+  ExprId mul(ExprId a, ExprId b);
+  ExprId eq(ExprId a, ExprId b);
+  ExprId ne(ExprId a, ExprId b);
+  ExprId lt(ExprId a, ExprId b);
+  ExprId mux(ExprId sel, ExprId then_v, ExprId else_v);
+  ExprId shl(ExprId a, unsigned amount);
+  ExprId shr(ExprId a, unsigned amount);
+  ExprId slice(ExprId a, unsigned lo, int width);
+  ExprId concat(ExprId hi, ExprId lo);
+  ExprId red_or(ExprId a);
+  ExprId red_and(ExprId a);
+  ExprId red_xor(ExprId a);
+  /// Zero-extends (or truncates) to `width`.
+  ExprId resize(ExprId a, int width);
+
+  // --- access ---------------------------------------------------------------
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Signal>& signals() const { return signals_; }
+  [[nodiscard]] const Signal& signal(SignalId id) const {
+    return signals_.at(id.value);
+  }
+  [[nodiscard]] const Expr& expr(ExprId id) const { return exprs_.at(id.value); }
+  [[nodiscard]] std::size_t num_exprs() const { return exprs_.size(); }
+
+  [[nodiscard]] std::vector<SignalId> inputs() const;
+  [[nodiscard]] std::vector<SignalId> outputs() const;
+  [[nodiscard]] std::vector<SignalId> regs() const;
+
+  /// Count of builder statements — the "lines of RTL" metric used by the
+  /// productivity experiment (E2). One declaration / binding = one line.
+  [[nodiscard]] std::size_t rtl_lines() const { return rtl_lines_; }
+
+  /// Structural sanity: all bindings present, widths coherent, no
+  /// combinational cycles through wires.
+  [[nodiscard]] util::Status check() const;
+
+  /// Total output + register bits (used as a size metric).
+  [[nodiscard]] std::size_t state_bits() const;
+
+ private:
+  ExprId push(Expr e);
+
+  std::string name_;
+  std::vector<Signal> signals_;
+  std::vector<Expr> exprs_;
+  std::size_t rtl_lines_ = 0;
+};
+
+}  // namespace eurochip::rtl

@@ -1,0 +1,330 @@
+#include "eurochip/rtl/ir.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace eurochip::rtl {
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kConst: return "const";
+    case Op::kSignal: return "signal";
+    case Op::kNot: return "not";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kEq: return "eq";
+    case Op::kNe: return "ne";
+    case Op::kLt: return "lt";
+    case Op::kMux: return "mux";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kSlice: return "slice";
+    case Op::kConcat: return "concat";
+    case Op::kRedOr: return "red_or";
+    case Op::kRedAnd: return "red_and";
+    case Op::kRedXor: return "red_xor";
+  }
+  return "?";
+}
+
+namespace {
+void require(bool cond, const char* what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+void require_width(int w) {
+  require(w >= 1 && w <= 64, "RTL widths must be in [1, 64]");
+}
+}  // namespace
+
+ExprId Module::push(Expr e) {
+  exprs_.push_back(e);
+  return ExprId{static_cast<std::uint32_t>(exprs_.size() - 1)};
+}
+
+SignalId Module::input(const std::string& sig_name, int width) {
+  require_width(width);
+  signals_.push_back(Signal{sig_name, SignalKind::kInput, width, {}, 0});
+  ++rtl_lines_;
+  return SignalId{static_cast<std::uint32_t>(signals_.size() - 1)};
+}
+
+SignalId Module::output(const std::string& sig_name, int width,
+                        ExprId source) {
+  require_width(width);
+  require(source.valid(), "output requires a source expression");
+  require(expr(source).width == width, "output width mismatch");
+  signals_.push_back(Signal{sig_name, SignalKind::kOutput, width, source, 0});
+  ++rtl_lines_;
+  return SignalId{static_cast<std::uint32_t>(signals_.size() - 1)};
+}
+
+SignalId Module::wire(const std::string& sig_name, int width, ExprId source) {
+  require_width(width);
+  require(source.valid(), "wire requires a source expression");
+  require(expr(source).width == width, "wire width mismatch");
+  signals_.push_back(Signal{sig_name, SignalKind::kWire, width, source, 0});
+  ++rtl_lines_;
+  return SignalId{static_cast<std::uint32_t>(signals_.size() - 1)};
+}
+
+SignalId Module::reg(const std::string& sig_name, int width,
+                     std::uint64_t reset) {
+  require_width(width);
+  if (width < 64) require(reset < (1uLL << width), "reset value overflows");
+  signals_.push_back(Signal{sig_name, SignalKind::kReg, width, {}, reset});
+  ++rtl_lines_;
+  return SignalId{static_cast<std::uint32_t>(signals_.size() - 1)};
+}
+
+void Module::set_next(SignalId r, ExprId next) {
+  require(r.valid() && r.value < signals_.size(), "invalid register id");
+  Signal& s = signals_[r.value];
+  require(s.kind == SignalKind::kReg, "set_next on non-register");
+  require(next.valid() && expr(next).width == s.width,
+          "next-state width mismatch");
+  s.binding = next;
+  ++rtl_lines_;
+}
+
+ExprId Module::lit(std::uint64_t value, int width) {
+  require_width(width);
+  if (width < 64) require(value < (1uLL << width), "literal overflows width");
+  Expr e;
+  e.op = Op::kConst;
+  e.width = width;
+  e.imm = value;
+  return push(e);
+}
+
+ExprId Module::sig(SignalId signal_id) {
+  require(signal_id.valid() && signal_id.value < signals_.size(),
+          "invalid signal id");
+  Expr e;
+  e.op = Op::kSignal;
+  e.width = signals_[signal_id.value].width;
+  e.signal = signal_id;
+  return push(e);
+}
+
+namespace {
+struct BinCheck {
+  const Module& m;
+  void same_width(ExprId a, ExprId b) const {
+    require(a.valid() && b.valid(), "invalid operand");
+    require(m.expr(a).width == m.expr(b).width, "operand width mismatch");
+  }
+};
+}  // namespace
+
+ExprId Module::bnot(ExprId a) {
+  require(a.valid(), "invalid operand");
+  Expr e;
+  e.op = Op::kNot;
+  e.width = expr(a).width;
+  e.a = a;
+  return push(e);
+}
+
+#define EUROCHIP_BINOP(method, opcode, result_width)                      \
+  ExprId Module::method(ExprId a, ExprId b) {                             \
+    BinCheck{*this}.same_width(a, b);                                     \
+    Expr e;                                                               \
+    e.op = opcode;                                                        \
+    e.width = (result_width);                                             \
+    e.a = a;                                                              \
+    e.b = b;                                                              \
+    return push(e);                                                       \
+  }
+
+EUROCHIP_BINOP(band, Op::kAnd, expr(a).width)
+EUROCHIP_BINOP(bor, Op::kOr, expr(a).width)
+EUROCHIP_BINOP(bxor, Op::kXor, expr(a).width)
+EUROCHIP_BINOP(add, Op::kAdd, expr(a).width)
+EUROCHIP_BINOP(sub, Op::kSub, expr(a).width)
+EUROCHIP_BINOP(eq, Op::kEq, 1)
+EUROCHIP_BINOP(ne, Op::kNe, 1)
+EUROCHIP_BINOP(lt, Op::kLt, 1)
+#undef EUROCHIP_BINOP
+
+ExprId Module::mul(ExprId a, ExprId b) {
+  require(a.valid() && b.valid(), "invalid operand");
+  const int w = expr(a).width + expr(b).width;
+  require(w <= 64, "multiplier result exceeds 64 bits");
+  Expr e;
+  e.op = Op::kMul;
+  e.width = w;
+  e.a = a;
+  e.b = b;
+  return push(e);
+}
+
+ExprId Module::mux(ExprId sel, ExprId then_v, ExprId else_v) {
+  require(sel.valid() && then_v.valid() && else_v.valid(), "invalid operand");
+  require(expr(sel).width == 1, "mux select must be 1 bit");
+  require(expr(then_v).width == expr(else_v).width, "mux arm width mismatch");
+  Expr e;
+  e.op = Op::kMux;
+  e.width = expr(then_v).width;
+  e.a = sel;
+  e.b = then_v;
+  e.c = else_v;
+  return push(e);
+}
+
+ExprId Module::shl(ExprId a, unsigned amount) {
+  require(a.valid(), "invalid operand");
+  Expr e;
+  e.op = Op::kShl;
+  e.width = expr(a).width;
+  e.imm = amount;
+  e.a = a;
+  return push(e);
+}
+
+ExprId Module::shr(ExprId a, unsigned amount) {
+  require(a.valid(), "invalid operand");
+  Expr e;
+  e.op = Op::kShr;
+  e.width = expr(a).width;
+  e.imm = amount;
+  e.a = a;
+  return push(e);
+}
+
+ExprId Module::slice(ExprId a, unsigned lo, int width) {
+  require(a.valid(), "invalid operand");
+  require_width(width);
+  require(static_cast<int>(lo) + width <= expr(a).width,
+          "slice out of range");
+  Expr e;
+  e.op = Op::kSlice;
+  e.width = width;
+  e.imm = lo;
+  e.a = a;
+  return push(e);
+}
+
+ExprId Module::concat(ExprId hi, ExprId lo) {
+  require(hi.valid() && lo.valid(), "invalid operand");
+  const int w = expr(hi).width + expr(lo).width;
+  require(w <= 64, "concat exceeds 64 bits");
+  Expr e;
+  e.op = Op::kConcat;
+  e.width = w;
+  e.a = hi;
+  e.b = lo;
+  return push(e);
+}
+
+ExprId Module::red_or(ExprId a) {
+  require(a.valid(), "invalid operand");
+  Expr e;
+  e.op = Op::kRedOr;
+  e.width = 1;
+  e.a = a;
+  return push(e);
+}
+
+ExprId Module::red_and(ExprId a) {
+  require(a.valid(), "invalid operand");
+  Expr e;
+  e.op = Op::kRedAnd;
+  e.width = 1;
+  e.a = a;
+  return push(e);
+}
+
+ExprId Module::red_xor(ExprId a) {
+  require(a.valid(), "invalid operand");
+  Expr e;
+  e.op = Op::kRedXor;
+  e.width = 1;
+  e.a = a;
+  return push(e);
+}
+
+ExprId Module::resize(ExprId a, int width) {
+  require(a.valid(), "invalid operand");
+  require_width(width);
+  const int aw = expr(a).width;
+  if (aw == width) return a;
+  if (aw > width) return slice(a, 0, width);
+  // Zero-extend: {zeros, a}.
+  return concat(lit(0, width - aw), a);
+}
+
+std::vector<SignalId> Module::inputs() const {
+  std::vector<SignalId> out;
+  for (std::uint32_t i = 0; i < signals_.size(); ++i) {
+    if (signals_[i].kind == SignalKind::kInput) out.push_back(SignalId{i});
+  }
+  return out;
+}
+
+std::vector<SignalId> Module::outputs() const {
+  std::vector<SignalId> out;
+  for (std::uint32_t i = 0; i < signals_.size(); ++i) {
+    if (signals_[i].kind == SignalKind::kOutput) out.push_back(SignalId{i});
+  }
+  return out;
+}
+
+std::vector<SignalId> Module::regs() const {
+  std::vector<SignalId> out;
+  for (std::uint32_t i = 0; i < signals_.size(); ++i) {
+    if (signals_[i].kind == SignalKind::kReg) out.push_back(SignalId{i});
+  }
+  return out;
+}
+
+util::Status Module::check() const {
+  for (const Signal& s : signals_) {
+    const bool needs_binding =
+        s.kind == SignalKind::kWire || s.kind == SignalKind::kOutput ||
+        s.kind == SignalKind::kReg;
+    if (needs_binding && !s.binding.valid()) {
+      return util::Status::Internal("signal '" + s.name + "' has no binding");
+    }
+    if (s.binding.valid()) {
+      if (s.binding.value >= exprs_.size()) {
+        return util::Status::Internal("signal '" + s.name +
+                                      "' binding out of range");
+      }
+      if (exprs_[s.binding.value].width != s.width) {
+        return util::Status::Internal("signal '" + s.name +
+                                      "' binding width mismatch");
+      }
+    }
+  }
+  // Expression arena is append-only and operands must precede users, so the
+  // DAG is acyclic by construction; verify operand ordering as a sanity net.
+  for (std::uint32_t i = 0; i < exprs_.size(); ++i) {
+    const Expr& e = exprs_[i];
+    for (ExprId op_id : {e.a, e.b, e.c}) {
+      if (op_id.valid() && op_id.value >= i) {
+        return util::Status::Internal("expression operand ordering violated");
+      }
+    }
+    if (e.op == Op::kSignal &&
+        (!e.signal.valid() || e.signal.value >= signals_.size())) {
+      return util::Status::Internal("dangling signal reference");
+    }
+  }
+  return util::Status::Ok();
+}
+
+std::size_t Module::state_bits() const {
+  std::size_t bits = 0;
+  for (const Signal& s : signals_) {
+    if (s.kind == SignalKind::kReg || s.kind == SignalKind::kOutput) {
+      bits += static_cast<std::size_t>(s.width);
+    }
+  }
+  return bits;
+}
+
+}  // namespace eurochip::rtl

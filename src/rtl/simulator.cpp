@@ -1,0 +1,158 @@
+#include "eurochip/rtl/simulator.hpp"
+
+#include <cassert>
+
+#include "eurochip/util/rng.hpp"
+
+namespace eurochip::rtl {
+
+namespace {
+std::uint64_t mask(int width) {
+  return width >= 64 ? ~0uLL : (1uLL << width) - 1;
+}
+}  // namespace
+
+Simulator::Simulator(const Module& module) : module_(&module) {
+  input_ids_ = module.inputs();
+  output_ids_ = module.outputs();
+  reg_ids_ = module.regs();
+  signal_values_.assign(module.signals().size(), 0);
+  expr_cache_.assign(module.num_exprs(), 0);
+  expr_valid_.assign(module.num_exprs(), 0);
+  reset();
+}
+
+util::Result<Simulator> Simulator::create(const Module& module) {
+  if (util::Status s = module.check(); !s.ok()) return s;
+  return Simulator(module);
+}
+
+void Simulator::reset() {
+  for (SignalId r : reg_ids_) {
+    signal_values_[r.value] = module_->signal(r).reset_value;
+  }
+}
+
+std::uint64_t Simulator::eval_expr(ExprId id) {
+  if (expr_valid_[id.value] != 0) return expr_cache_[id.value];
+  const Expr& e = module_->expr(id);
+  const std::uint64_t m = mask(e.width);
+  std::uint64_t v = 0;
+  switch (e.op) {
+    case Op::kConst: v = e.imm; break;
+    case Op::kSignal: v = signal_values_[e.signal.value]; break;
+    case Op::kNot: v = ~eval_expr(e.a); break;
+    case Op::kAnd: v = eval_expr(e.a) & eval_expr(e.b); break;
+    case Op::kOr: v = eval_expr(e.a) | eval_expr(e.b); break;
+    case Op::kXor: v = eval_expr(e.a) ^ eval_expr(e.b); break;
+    case Op::kAdd: v = eval_expr(e.a) + eval_expr(e.b); break;
+    case Op::kSub: v = eval_expr(e.a) - eval_expr(e.b); break;
+    case Op::kMul: {
+      // Result width = wa + wb <= 64, so the product cannot overflow u64
+      // beyond its own mask except when wa + wb == 64 (wrap is fine).
+      v = eval_expr(e.a) * eval_expr(e.b);
+      break;
+    }
+    case Op::kEq: v = eval_expr(e.a) == eval_expr(e.b) ? 1 : 0; break;
+    case Op::kNe: v = eval_expr(e.a) != eval_expr(e.b) ? 1 : 0; break;
+    case Op::kLt: v = eval_expr(e.a) < eval_expr(e.b) ? 1 : 0; break;
+    case Op::kMux:
+      v = eval_expr(e.a) != 0 ? eval_expr(e.b) : eval_expr(e.c);
+      break;
+    case Op::kShl: v = e.imm >= 64 ? 0 : eval_expr(e.a) << e.imm; break;
+    case Op::kShr: v = e.imm >= 64 ? 0 : eval_expr(e.a) >> e.imm; break;
+    case Op::kSlice: v = eval_expr(e.a) >> e.imm; break;
+    case Op::kConcat: {
+      const int lo_width = module_->expr(e.b).width;
+      v = (eval_expr(e.a) << lo_width) | eval_expr(e.b);
+      break;
+    }
+    case Op::kRedOr: v = eval_expr(e.a) != 0 ? 1 : 0; break;
+    case Op::kRedAnd: {
+      const std::uint64_t am = mask(module_->expr(e.a).width);
+      v = (eval_expr(e.a) & am) == am ? 1 : 0;
+      break;
+    }
+    case Op::kRedXor: {
+      std::uint64_t x = eval_expr(e.a);
+      x ^= x >> 32;
+      x ^= x >> 16;
+      x ^= x >> 8;
+      x ^= x >> 4;
+      x ^= x >> 2;
+      x ^= x >> 1;
+      v = x & 1;
+      break;
+    }
+  }
+  v &= m;
+  expr_cache_[id.value] = v;
+  expr_valid_[id.value] = 1;
+  return v;
+}
+
+std::vector<std::uint64_t> Simulator::eval(
+    const std::vector<std::uint64_t>& inputs) {
+  assert(inputs.size() == input_ids_.size());
+  expr_valid_.assign(expr_valid_.size(), 0);
+  for (std::size_t i = 0; i < input_ids_.size(); ++i) {
+    const Signal& s = module_->signal(input_ids_[i]);
+    signal_values_[input_ids_[i].value] = inputs[i] & mask(s.width);
+  }
+  // Wires/outputs reference only earlier-declared signals, so one pass in
+  // declaration order settles all combinational values.
+  const auto& signals = module_->signals();
+  for (std::uint32_t i = 0; i < signals.size(); ++i) {
+    const Signal& s = signals[i];
+    if (s.kind == SignalKind::kWire || s.kind == SignalKind::kOutput) {
+      signal_values_[i] = eval_expr(s.binding);
+    }
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(output_ids_.size());
+  for (SignalId o : output_ids_) out.push_back(signal_values_[o.value]);
+  return out;
+}
+
+std::vector<std::uint64_t> Simulator::step(
+    const std::vector<std::uint64_t>& inputs) {
+  std::vector<std::uint64_t> out = eval(inputs);
+  // Compute all next-state values before committing (synchronous update).
+  std::vector<std::uint64_t> next(reg_ids_.size());
+  for (std::size_t i = 0; i < reg_ids_.size(); ++i) {
+    next[i] = eval_expr(module_->signal(reg_ids_[i]).binding);
+  }
+  for (std::size_t i = 0; i < reg_ids_.size(); ++i) {
+    signal_values_[reg_ids_[i].value] = next[i];
+  }
+  return out;
+}
+
+std::uint64_t Simulator::value(SignalId id) const {
+  return signal_values_.at(id.value);
+}
+
+bool lockstep_compare(Simulator& a, Simulator& b,
+                      const std::vector<int>& input_widths, std::uint64_t seed,
+                      int cycles) {
+  if (a.num_inputs() != input_widths.size() ||
+      b.num_inputs() != input_widths.size() ||
+      a.num_outputs() != b.num_outputs()) {
+    return false;
+  }
+  util::Rng rng(seed);
+  a.reset();
+  b.reset();
+  for (int c = 0; c < cycles; ++c) {
+    std::vector<std::uint64_t> in(input_widths.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const std::uint64_t m =
+          input_widths[i] >= 64 ? ~0uLL : (1uLL << input_widths[i]) - 1;
+      in[i] = rng.next() & m;
+    }
+    if (a.step(in) != b.step(in)) return false;
+  }
+  return true;
+}
+
+}  // namespace eurochip::rtl

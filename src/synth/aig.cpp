@@ -1,0 +1,226 @@
+#include "eurochip/synth/aig.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace eurochip::synth {
+
+std::uint32_t Aig::new_node(NodeKind kind, Lit f0, Lit f1) {
+  AigNode n;
+  n.kind = kind;
+  n.fanin0 = f0;
+  n.fanin1 = f1;
+  if (kind == NodeKind::kAnd) {
+    n.level = 1 + std::max(nodes_[lit_node(f0)].level,
+                           nodes_[lit_node(f1)].level);
+    ++nodes_[lit_node(f0)].fanout;
+    ++nodes_[lit_node(f1)].fanout;
+  }
+  nodes_.push_back(n);
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+Lit Aig::add_input(std::string name) {
+  const std::uint32_t id = new_node(NodeKind::kInput, 0, 0);
+  inputs_.push_back(id);
+  input_names_.push_back(std::move(name));
+  return make_lit(id, false);
+}
+
+Lit Aig::add_latch(std::string name, bool init_value) {
+  const std::uint32_t id = new_node(NodeKind::kLatch, 0, 0);
+  latches_.push_back(id);
+  latch_names_.push_back(std::move(name));
+  latch_next_.push_back(kLitFalse);
+  latch_init_.push_back(init_value ? 1 : 0);
+  return make_lit(id, false);
+}
+
+void Aig::set_latch_next(Lit latch_output, Lit next) {
+  const std::uint32_t node_id = lit_node(latch_output);
+  if (lit_compl(latch_output) ||
+      nodes_.at(node_id).kind != NodeKind::kLatch) {
+    throw std::invalid_argument("set_latch_next: not a latch output literal");
+  }
+  for (std::size_t i = 0; i < latches_.size(); ++i) {
+    if (latches_[i] == node_id) {
+      latch_next_[i] = next;
+      ++nodes_[lit_node(next)].fanout;
+      return;
+    }
+  }
+  throw std::logic_error("latch not registered");
+}
+
+Lit Aig::and_(Lit a, Lit b) {
+  // Normalize operand order for hashing.
+  if (a > b) std::swap(a, b);
+  // Constant and trivial cases.
+  if (a == kLitFalse) return kLitFalse;
+  if (a == kLitTrue) return b;
+  if (a == b) return a;
+  if (a == lit_not(b)) return kLitFalse;
+
+  const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+  if (const auto it = strash_.find(key); it != strash_.end()) {
+    return make_lit(it->second, false);
+  }
+  const std::uint32_t id = new_node(NodeKind::kAnd, a, b);
+  ++num_ands_;
+  strash_.emplace(key, id);
+  return make_lit(id, false);
+}
+
+Lit Aig::xor_(Lit a, Lit b) {
+  // a ^ b = !(!(a & !b) & !(!a & b))
+  const Lit t0 = and_(a, lit_not(b));
+  const Lit t1 = and_(lit_not(a), b);
+  return or_(t0, t1);
+}
+
+Lit Aig::mux(Lit sel, Lit then_l, Lit else_l) {
+  const Lit t0 = and_(sel, then_l);
+  const Lit t1 = and_(lit_not(sel), else_l);
+  return or_(t0, t1);
+}
+
+void Aig::add_output(std::string name, Lit l) {
+  ++nodes_[lit_node(l)].fanout;
+  outputs_.push_back(AigOutput{std::move(name), l});
+}
+
+Lit Aig::latch_next(std::uint32_t latch_node) const {
+  for (std::size_t i = 0; i < latches_.size(); ++i) {
+    if (latches_[i] == latch_node) return latch_next_[i];
+  }
+  throw std::invalid_argument("not a latch node");
+}
+
+bool Aig::latch_init(std::uint32_t latch_node) const {
+  for (std::size_t i = 0; i < latches_.size(); ++i) {
+    if (latches_[i] == latch_node) return latch_init_[i] != 0;
+  }
+  throw std::invalid_argument("not a latch node");
+}
+
+std::uint32_t Aig::max_level() const {
+  std::uint32_t lvl = 0;
+  for (const auto& n : nodes_) lvl = std::max(lvl, n.level);
+  return lvl;
+}
+
+std::vector<std::uint32_t> Aig::and_nodes_topo() const {
+  // Nodes are created fanin-first, so creation order is topological.
+  std::vector<std::uint32_t> out;
+  out.reserve(num_ands_);
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == NodeKind::kAnd) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> Aig::simulate(
+    const std::vector<std::uint64_t>& input_words,
+    const std::vector<std::uint64_t>& latch_words) const {
+  assert(input_words.size() == inputs_.size());
+  assert(latch_words.size() == latches_.size());
+  std::vector<std::uint64_t> words(nodes_.size(), 0);
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    words[inputs_[i]] = input_words[i];
+  }
+  for (std::size_t i = 0; i < latches_.size(); ++i) {
+    words[latches_[i]] = latch_words[i];
+  }
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    const AigNode& n = nodes_[i];
+    if (n.kind != NodeKind::kAnd) continue;
+    const std::uint64_t w0 = lit_compl(n.fanin0)
+                                 ? ~words[lit_node(n.fanin0)]
+                                 : words[lit_node(n.fanin0)];
+    const std::uint64_t w1 = lit_compl(n.fanin1)
+                                 ? ~words[lit_node(n.fanin1)]
+                                 : words[lit_node(n.fanin1)];
+    words[i] = w0 & w1;
+  }
+  return words;
+}
+
+namespace {
+std::uint64_t lit_word(const std::vector<std::uint64_t>& words, Lit l) {
+  const std::uint64_t w = words[lit_node(l)];
+  return lit_compl(l) ? ~w : w;
+}
+}  // namespace
+
+std::vector<std::uint64_t> Aig::output_words(
+    const std::vector<std::uint64_t>& node_words) const {
+  std::vector<std::uint64_t> out;
+  out.reserve(outputs_.size());
+  for (const AigOutput& o : outputs_) {
+    out.push_back(lit_word(node_words, o.lit));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> Aig::latch_next_words(
+    const std::vector<std::uint64_t>& node_words) const {
+  std::vector<std::uint64_t> out;
+  out.reserve(latches_.size());
+  for (Lit l : latch_next_) out.push_back(lit_word(node_words, l));
+  return out;
+}
+
+util::Status Aig::check() const {
+  if (nodes_.empty() || nodes_[0].kind != NodeKind::kConst) {
+    return util::Status::Internal("node 0 must be the constant node");
+  }
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    const AigNode& n = nodes_[i];
+    if (n.kind == NodeKind::kAnd) {
+      if (lit_node(n.fanin0) >= i || lit_node(n.fanin1) >= i) {
+        return util::Status::Internal("AND fanin does not precede node");
+      }
+    }
+  }
+  for (std::size_t i = 0; i < latches_.size(); ++i) {
+    if (lit_node(latch_next_[i]) >= nodes_.size()) {
+      return util::Status::Internal("latch next out of range");
+    }
+  }
+  for (const AigOutput& o : outputs_) {
+    if (lit_node(o.lit) >= nodes_.size()) {
+      return util::Status::Internal("output literal out of range");
+    }
+  }
+  return util::Status::Ok();
+}
+
+bool random_equivalent(const Aig& a, const Aig& b, util::Rng& rng, int cycles,
+                       int rounds) {
+  if (a.inputs().size() != b.inputs().size() ||
+      a.latches().size() != b.latches().size() ||
+      a.outputs().size() != b.outputs().size()) {
+    return false;
+  }
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<std::uint64_t> state_a(a.latches().size());
+    std::vector<std::uint64_t> state_b(b.latches().size());
+    for (std::size_t i = 0; i < state_a.size(); ++i) {
+      state_a[i] = a.latch_init(a.latches()[i]) ? ~0uLL : 0uLL;
+      state_b[i] = b.latch_init(b.latches()[i]) ? ~0uLL : 0uLL;
+    }
+    for (int c = 0; c < cycles; ++c) {
+      std::vector<std::uint64_t> in(a.inputs().size());
+      for (auto& w : in) w = rng.next();
+      const auto words_a = a.simulate(in, state_a);
+      const auto words_b = b.simulate(in, state_b);
+      if (a.output_words(words_a) != b.output_words(words_b)) return false;
+      state_a = a.latch_next_words(words_a);
+      state_b = b.latch_next_words(words_b);
+    }
+  }
+  return true;
+}
+
+}  // namespace eurochip::synth

@@ -1,0 +1,252 @@
+#include "eurochip/synth/elaborate.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace eurochip::synth {
+
+namespace {
+
+using rtl::Expr;
+using rtl::ExprId;
+using rtl::Module;
+using rtl::Op;
+using rtl::Signal;
+using rtl::SignalId;
+using rtl::SignalKind;
+
+/// Bit-blasting context: maps RTL signals/exprs to per-bit literals.
+class Elaborator {
+ public:
+  Elaborator(const Module& module, Aig& aig) : m_(module), aig_(aig) {}
+
+  util::Status run() {
+    // Declare inputs and latches first (stable I/O ordering).
+    const auto& signals = m_.signals();
+    signal_bits_.resize(signals.size());
+    for (std::uint32_t i = 0; i < signals.size(); ++i) {
+      const Signal& s = signals[i];
+      if (s.kind == SignalKind::kInput) {
+        signal_bits_[i] = make_port_bits(s.name, s.width,
+                                         /*is_latch=*/false, 0);
+      } else if (s.kind == SignalKind::kReg) {
+        signal_bits_[i] =
+            make_port_bits(s.name, s.width, /*is_latch=*/true, s.reset_value);
+      }
+    }
+    // Combinational bindings in declaration order (wires reference only
+    // earlier signals, so one pass suffices).
+    for (std::uint32_t i = 0; i < signals.size(); ++i) {
+      const Signal& s = signals[i];
+      if (s.kind == SignalKind::kWire || s.kind == SignalKind::kOutput) {
+        signal_bits_[i] = eval(s.binding);
+      }
+    }
+    // Latch next-states.
+    for (std::uint32_t i = 0; i < signals.size(); ++i) {
+      const Signal& s = signals[i];
+      if (s.kind != SignalKind::kReg) continue;
+      const std::vector<Lit> next = eval(s.binding);
+      for (int b = 0; b < s.width; ++b) {
+        aig_.set_latch_next(signal_bits_[i][static_cast<std::size_t>(b)],
+                            next[static_cast<std::size_t>(b)]);
+      }
+    }
+    // Primary outputs.
+    for (std::uint32_t i = 0; i < signals.size(); ++i) {
+      const Signal& s = signals[i];
+      if (s.kind != SignalKind::kOutput) continue;
+      for (int b = 0; b < s.width; ++b) {
+        aig_.add_output(s.name + "[" + std::to_string(b) + "]",
+                        signal_bits_[i][static_cast<std::size_t>(b)]);
+      }
+    }
+    return util::Status::Ok();
+  }
+
+ private:
+  std::vector<Lit> make_port_bits(const std::string& name, int width,
+                                  bool is_latch, std::uint64_t init) {
+    std::vector<Lit> bits;
+    bits.reserve(static_cast<std::size_t>(width));
+    for (int b = 0; b < width; ++b) {
+      const std::string bit_name = name + "[" + std::to_string(b) + "]";
+      bits.push_back(is_latch
+                         ? aig_.add_latch(bit_name, ((init >> b) & 1) != 0)
+                         : aig_.add_input(bit_name));
+    }
+    return bits;
+  }
+
+  const std::vector<Lit>& eval(ExprId id) {
+    if (const auto it = cache_.find(id.value); it != cache_.end()) {
+      return it->second;
+    }
+    std::vector<Lit> bits = compute(id);
+    return cache_.emplace(id.value, std::move(bits)).first->second;
+  }
+
+  std::vector<Lit> compute(ExprId id) {
+    const Expr& e = m_.expr(id);
+    const auto w = static_cast<std::size_t>(e.width);
+    switch (e.op) {
+      case Op::kConst: {
+        std::vector<Lit> bits(w);
+        for (std::size_t b = 0; b < w; ++b) {
+          bits[b] = ((e.imm >> b) & 1) != 0 ? kLitTrue : kLitFalse;
+        }
+        return bits;
+      }
+      case Op::kSignal:
+        return signal_bits_.at(e.signal.value);
+      case Op::kNot: {
+        std::vector<Lit> bits = eval(e.a);
+        for (Lit& l : bits) l = lit_not(l);
+        return bits;
+      }
+      case Op::kAnd:
+      case Op::kOr:
+      case Op::kXor: {
+        const auto& a = eval(e.a);
+        const auto& b = eval(e.b);
+        std::vector<Lit> bits(w);
+        for (std::size_t i = 0; i < w; ++i) {
+          bits[i] = e.op == Op::kAnd   ? aig_.and_(a[i], b[i])
+                    : e.op == Op::kOr ? aig_.or_(a[i], b[i])
+                                       : aig_.xor_(a[i], b[i]);
+        }
+        return bits;
+      }
+      case Op::kAdd:
+        return adder(eval(e.a), eval(e.b), kLitFalse, w);
+      case Op::kSub: {
+        // a - b = a + ~b + 1.
+        std::vector<Lit> nb = eval(e.b);
+        for (Lit& l : nb) l = lit_not(l);
+        return adder(eval(e.a), nb, kLitTrue, w);
+      }
+      case Op::kMul:
+        return multiplier(eval(e.a), eval(e.b), w);
+      case Op::kEq:
+      case Op::kNe: {
+        const auto& a = eval(e.a);
+        const auto& b = eval(e.b);
+        Lit acc = kLitTrue;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          acc = aig_.and_(acc, lit_not(aig_.xor_(a[i], b[i])));
+        }
+        return {e.op == Op::kEq ? acc : lit_not(acc)};
+      }
+      case Op::kLt: {
+        // Unsigned a < b: borrow out of a - b.
+        const auto& a = eval(e.a);
+        const auto& b = eval(e.b);
+        Lit borrow = kLitFalse;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          // borrow' = (!a & b) | (!(a ^ b) & borrow)
+          const Lit not_a_and_b = aig_.and_(lit_not(a[i]), b[i]);
+          const Lit eq_bits = lit_not(aig_.xor_(a[i], b[i]));
+          borrow = aig_.or_(not_a_and_b, aig_.and_(eq_bits, borrow));
+        }
+        return {borrow};
+      }
+      case Op::kMux: {
+        const Lit sel = eval(e.a)[0];
+        const auto& t = eval(e.b);
+        const auto& f = eval(e.c);
+        std::vector<Lit> bits(w);
+        for (std::size_t i = 0; i < w; ++i) bits[i] = aig_.mux(sel, t[i], f[i]);
+        return bits;
+      }
+      case Op::kShl: {
+        const auto& a = eval(e.a);
+        std::vector<Lit> bits(w, kLitFalse);
+        for (std::size_t i = 0; i < w; ++i) {
+          if (i >= e.imm && i - e.imm < a.size()) bits[i] = a[i - e.imm];
+        }
+        return bits;
+      }
+      case Op::kShr: {
+        const auto& a = eval(e.a);
+        std::vector<Lit> bits(w, kLitFalse);
+        for (std::size_t i = 0; i < w; ++i) {
+          if (i + e.imm < a.size()) bits[i] = a[i + e.imm];
+        }
+        return bits;
+      }
+      case Op::kSlice: {
+        const auto& a = eval(e.a);
+        std::vector<Lit> bits(w);
+        for (std::size_t i = 0; i < w; ++i) bits[i] = a[i + e.imm];
+        return bits;
+      }
+      case Op::kConcat: {
+        const auto& hi = eval(e.a);
+        const auto& lo = eval(e.b);
+        std::vector<Lit> bits = lo;
+        bits.insert(bits.end(), hi.begin(), hi.end());
+        return bits;
+      }
+      case Op::kRedOr: {
+        Lit acc = kLitFalse;
+        for (Lit l : eval(e.a)) acc = aig_.or_(acc, l);
+        return {acc};
+      }
+      case Op::kRedAnd: {
+        Lit acc = kLitTrue;
+        for (Lit l : eval(e.a)) acc = aig_.and_(acc, l);
+        return {acc};
+      }
+      case Op::kRedXor: {
+        Lit acc = kLitFalse;
+        for (Lit l : eval(e.a)) acc = aig_.xor_(acc, l);
+        return {acc};
+      }
+    }
+    return std::vector<Lit>(w, kLitFalse);
+  }
+
+  std::vector<Lit> adder(const std::vector<Lit>& a, const std::vector<Lit>& b,
+                         Lit carry_in, std::size_t width) {
+    std::vector<Lit> sum(width);
+    Lit carry = carry_in;
+    for (std::size_t i = 0; i < width; ++i) {
+      const Lit axb = aig_.xor_(a[i], b[i]);
+      sum[i] = aig_.xor_(axb, carry);
+      carry = aig_.or_(aig_.and_(a[i], b[i]), aig_.and_(carry, axb));
+    }
+    return sum;
+  }
+
+  std::vector<Lit> multiplier(const std::vector<Lit>& a,
+                              const std::vector<Lit>& b, std::size_t width) {
+    // Shift-add array multiplier; result width = wa + wb == `width`.
+    std::vector<Lit> acc(width, kLitFalse);
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      std::vector<Lit> row(width, kLitFalse);
+      for (std::size_t j = 0; j < a.size() && i + j < width; ++j) {
+        row[i + j] = aig_.and_(a[j], b[i]);
+      }
+      acc = adder(acc, row, kLitFalse, width);
+    }
+    return acc;
+  }
+
+  const Module& m_;
+  Aig& aig_;
+  std::vector<std::vector<Lit>> signal_bits_;
+  std::unordered_map<std::uint32_t, std::vector<Lit>> cache_;
+};
+
+}  // namespace
+
+util::Result<Aig> elaborate(const rtl::Module& module) {
+  if (util::Status s = module.check(); !s.ok()) return s;
+  Aig aig;
+  Elaborator elab(module, aig);
+  if (util::Status s = elab.run(); !s.ok()) return s;
+  if (util::Status s = aig.check(); !s.ok()) return s;
+  return aig;
+}
+
+}  // namespace eurochip::synth

@@ -1,0 +1,17 @@
+// RTL-to-AIG elaboration (bit-blasting): the synthesis frontend.
+// Word-level operators lower to canonical gate structures (ripple adders,
+// borrow comparators, shift-add multipliers); registers become latches.
+#pragma once
+
+#include "eurochip/rtl/ir.hpp"
+#include "eurochip/synth/aig.hpp"
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::synth {
+
+/// Elaborates `module` into an AIG. Input/latch/output order follows the
+/// module's declaration order; multi-bit ports expand LSB-first with names
+/// "<port>[i]". Fails if module.check() fails.
+[[nodiscard]] util::Result<Aig> elaborate(const rtl::Module& module);
+
+}  // namespace eurochip::synth

@@ -1,0 +1,36 @@
+// AIG optimization passes: dead-node sweep, tree balancing, and local
+// Boolean rewriting. Each pass returns a fresh, re-strashed AIG that is
+// functionally equivalent to its input (property-tested).
+#pragma once
+
+#include "eurochip/synth/aig.hpp"
+
+namespace eurochip::synth {
+
+/// Removes nodes not in the transitive fanin of any output or latch
+/// next-state, re-strashing the survivors.
+[[nodiscard]] Aig sweep(const Aig& aig);
+
+/// Collapses single-fanout AND chains and rebuilds them as balanced trees
+/// (depth reduction), then sweeps.
+[[nodiscard]] Aig balance(const Aig& aig);
+
+/// Local one-level Boolean rewriting (absorption / containment rules:
+/// x & (x & y) = x & y,  x & !(x & y) = x & !y,  x & (!x & y) = 0, ...),
+/// then sweeps.
+[[nodiscard]] Aig rewrite(const Aig& aig);
+
+struct OptStats {
+  std::size_t initial_ands = 0;
+  std::size_t final_ands = 0;
+  std::uint32_t initial_depth = 0;
+  std::uint32_t final_depth = 0;
+  int iterations_run = 0;
+};
+
+/// Iterates {rewrite; balance} up to `iterations` times, stopping early on
+/// a fixed point. Returns the best seen (fewest ANDs, depth tie-break).
+[[nodiscard]] Aig optimize(const Aig& aig, int iterations,
+                           OptStats* stats = nullptr);
+
+}  // namespace eurochip::synth

@@ -1,0 +1,29 @@
+// Scan-chain insertion (design-for-test).
+//
+// The paper's access discussion (§III-C) includes test infrastructure;
+// every real tape-out inserts scan. This pass converts each DFF into a
+// scan cell (a MUX2 in front of D), stitches all flops into one chain in
+// cell order, and exposes scan_en / scan_in / scan_out ports. With
+// scan_en = 0 the design is functionally unchanged (property-tested);
+// with scan_en = 1 the chain is a shift register, so any state can be
+// loaded or observed in `#flops` cycles.
+#pragma once
+
+#include "eurochip/netlist/library.hpp"
+#include "eurochip/netlist/netlist.hpp"
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::synth {
+
+struct ScanStats {
+  std::size_t flops_in_chain = 0;
+  std::size_t muxes_added = 0;
+};
+
+/// Inserts a single scan chain over all DFFs. Requires a MUX2 cell.
+/// Fails with kFailedPrecondition on purely combinational designs.
+util::Status insert_scan_chain(netlist::Netlist& netlist,
+                               const netlist::CellLibrary& library,
+                               ScanStats* stats = nullptr);
+
+}  // namespace eurochip::synth

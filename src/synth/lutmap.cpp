@@ -1,0 +1,135 @@
+#include "eurochip/synth/lutmap.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace eurochip::synth {
+
+namespace {
+
+using CutLeaves = std::vector<std::uint32_t>;  // sorted node ids
+
+/// Merges two sorted leaf sets; empty result = exceeded k.
+CutLeaves merge(const CutLeaves& a, const CutLeaves& b, std::size_t k) {
+  CutLeaves out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  if (out.size() > k) out.clear();
+  return out;
+}
+
+}  // namespace
+
+util::Result<LutMapping> map_to_luts(const Aig& aig,
+                                     const LutMapOptions& opt) {
+  if (opt.k < 2 || opt.k > 6) {
+    return util::Status::InvalidArgument("LUT k must be in [2, 6]");
+  }
+  if (util::Status s = aig.check(); !s.ok()) return s;
+  const auto k = static_cast<std::size_t>(opt.k);
+
+  // Per node: candidate cuts, best (depth-minimal) cut, LUT level.
+  std::vector<std::vector<CutLeaves>> cuts(aig.num_nodes());
+  std::vector<CutLeaves> best_cut(aig.num_nodes());
+  std::vector<int> level(aig.num_nodes(), 0);
+
+  const auto is_leaf_node = [&aig](std::uint32_t n) {
+    const NodeKind kind = aig.node(n).kind;
+    return kind == NodeKind::kInput || kind == NodeKind::kLatch ||
+           kind == NodeKind::kConst;
+  };
+  for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+    if (is_leaf_node(n)) {
+      cuts[n] = {{n}};
+      best_cut[n] = {n};
+      level[n] = 0;
+    }
+  }
+
+  for (std::uint32_t n : aig.and_nodes_topo()) {
+    const AigNode& an = aig.node(n);
+    const std::uint32_t n0 = lit_node(an.fanin0);
+    const std::uint32_t n1 = lit_node(an.fanin1);
+    std::vector<CutLeaves> cand;
+    for (const CutLeaves& c0 : cuts[n0]) {
+      for (const CutLeaves& c1 : cuts[n1]) {
+        CutLeaves m = merge(c0, c1, k);
+        if (m.empty()) continue;
+        if (std::find(cand.begin(), cand.end(), m) == cand.end()) {
+          cand.push_back(std::move(m));
+        }
+      }
+    }
+    // Depth of a cut = 1 + max leaf level; pick depth-minimal, then
+    // smallest cut.
+    int best_level = std::numeric_limits<int>::max();
+    std::size_t best_size = k + 1;
+    CutLeaves chosen;
+    for (const CutLeaves& c : cand) {
+      int lvl = 0;
+      for (std::uint32_t leaf : c) lvl = std::max(lvl, level[leaf]);
+      lvl += 1;
+      if (lvl < best_level || (lvl == best_level && c.size() < best_size)) {
+        best_level = lvl;
+        best_size = c.size();
+        chosen = c;
+      }
+    }
+    best_cut[n] = chosen;
+    level[n] = best_level;
+
+    // Prune the cut set for fanouts: keep the chosen + shallowest few,
+    // plus the trivial cut.
+    std::sort(cand.begin(), cand.end(),
+              [&level](const CutLeaves& a, const CutLeaves& b) {
+                int la = 0;
+                int lb = 0;
+                for (auto x : a) la = std::max(la, level[x]);
+                for (auto x : b) lb = std::max(lb, level[x]);
+                if (la != lb) return la < lb;
+                return a.size() < b.size();
+              });
+    if (static_cast<int>(cand.size()) > opt.cuts_per_node) {
+      cand.resize(static_cast<std::size_t>(opt.cuts_per_node));
+    }
+    cand.push_back({n});
+    cuts[n] = std::move(cand);
+  }
+
+  // Cover extraction from outputs and latch next-states.
+  LutMapping mapping;
+  mapping.num_registers = aig.latches().size();
+  std::vector<char> required(aig.num_nodes(), 0);
+  std::vector<std::uint32_t> stack;
+  const auto require = [&](Lit l) {
+    const std::uint32_t n = lit_node(l);
+    if (required[n] == 0) {
+      required[n] = 1;
+      stack.push_back(n);
+    }
+  };
+  for (const AigOutput& o : aig.outputs()) require(o.lit);
+  for (std::uint32_t latch : aig.latches()) require(aig.latch_next(latch));
+
+  int max_level = 0;
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (is_leaf_node(n)) continue;
+    Lut lut;
+    lut.root = n;
+    lut.inputs = best_cut[n];
+    for (std::uint32_t leaf : lut.inputs) require(make_lit(leaf, false));
+    mapping.luts.push_back(std::move(lut));
+    max_level = std::max(max_level, level[n]);
+  }
+  mapping.depth = max_level;
+  // Typical fabric timing: ~0.45 ns LUT+local-route delay per level.
+  const double lut_delay_ns = 0.35 + 0.05 * opt.k;
+  mapping.estimated_fmax_mhz =
+      1000.0 / (std::max(1, mapping.depth) * lut_delay_ns);
+  return mapping;
+}
+
+}  // namespace eurochip::synth

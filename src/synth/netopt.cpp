@@ -1,0 +1,83 @@
+#include "eurochip/synth/netopt.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace eurochip::synth {
+
+using netlist::CellFn;
+using netlist::CellId;
+using netlist::CellLibrary;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::PinRef;
+
+util::Status insert_buffers(Netlist& nl, const CellLibrary& lib,
+                            int max_fanout, BufferStats* stats) {
+  if (max_fanout < 2) {
+    return util::Status::InvalidArgument("max_fanout must be >= 2");
+  }
+  const auto buf_index = lib.strongest_for(CellFn::kBuf);
+  if (!buf_index) {
+    return util::Status::InvalidArgument("library has no buffer cell");
+  }
+
+  if (stats != nullptr) {
+    for (NetId id : nl.all_nets()) {
+      stats->max_fanout_before =
+          std::max(stats->max_fanout_before, nl.net(id).sinks.size());
+    }
+  }
+
+  // Worklist: newly created buffer-output nets may themselves need another
+  // level (when fanout > max_fanout^2), so process to fixpoint.
+  std::deque<NetId> worklist;
+  for (NetId id : nl.all_nets()) worklist.push_back(id);
+
+  std::size_t inserted = 0;
+  std::size_t rebuffered = 0;
+  while (!worklist.empty()) {
+    const NetId net_id = worklist.front();
+    worklist.pop_front();
+    // Snapshot: sinks mutate as we rewire.
+    const std::vector<PinRef> sinks = nl.net(net_id).sinks;
+    if (static_cast<int>(sinks.size()) <= max_fanout) continue;
+    ++rebuffered;
+
+    // Chunk sinks; each chunk gets one buffer driven by the original net.
+    const auto chunk =
+        static_cast<std::size_t>(max_fanout);
+    for (std::size_t start = 0; start < sinks.size(); start += chunk) {
+      const auto cell = nl.add_cell(
+          "fbuf" + std::to_string(nl.num_cells()),
+          static_cast<std::uint32_t>(*buf_index), {net_id});
+      if (!cell.ok()) return cell.status();
+      const NetId buf_out = nl.cell(cell.value()).output;
+      const std::size_t end = std::min(start + chunk, sinks.size());
+      for (std::size_t s = start; s < end; ++s) {
+        if (util::Status st =
+                nl.rewire_input(sinks[s].cell, sinks[s].pin, buf_out);
+            !st.ok()) {
+          return st;
+        }
+      }
+      ++inserted;
+      worklist.push_back(buf_out);
+    }
+    // The original net now drives only the new buffers; requeue in case
+    // even the buffer count exceeds the bound.
+    worklist.push_back(net_id);
+  }
+
+  if (stats != nullptr) {
+    stats->buffers_inserted = inserted;
+    stats->nets_rebuffered = rebuffered;
+    for (NetId id : nl.all_nets()) {
+      stats->max_fanout_after =
+          std::max(stats->max_fanout_after, nl.net(id).sinks.size());
+    }
+  }
+  return nl.check();
+}
+
+}  // namespace eurochip::synth

@@ -1,0 +1,200 @@
+#include "eurochip/synth/opt.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace eurochip::synth {
+
+namespace {
+
+/// Generic rebuild: copies inputs/latches, rebuilds the reachable AND cone
+/// through `build_and` (which may simplify), reconnects latches/outputs.
+/// `build_and` receives already-translated fanin literals.
+Aig rebuild(const Aig& src,
+            const std::function<Lit(Aig&, Lit, Lit)>& build_and) {
+  Aig dst;
+  std::vector<Lit> node_map(src.num_nodes(), kLitFalse);
+  const auto map_lit = [&node_map](Lit old_lit) {
+    const Lit base = node_map.at(lit_node(old_lit));
+    return lit_compl(old_lit) ? lit_not(base) : base;
+  };
+  const auto set_node = [&node_map](std::uint32_t old_node, Lit new_lit) {
+    node_map.at(old_node) = new_lit;
+  };
+
+  set_node(0, kLitFalse);
+  for (std::size_t i = 0; i < src.inputs().size(); ++i) {
+    set_node(src.inputs()[i], dst.add_input(src.input_names()[i]));
+  }
+  for (std::uint32_t latch : src.latches()) {
+    set_node(latch, dst.add_latch("latch", src.latch_init(latch)));
+  }
+  // Mark reachable AND nodes from outputs and latch next-states.
+  std::vector<char> needed(src.num_nodes(), 0);
+  std::vector<std::uint32_t> stack;
+  const auto require_node = [&](Lit l) {
+    const std::uint32_t n = lit_node(l);
+    if (needed[n] == 0) {
+      needed[n] = 1;
+      stack.push_back(n);
+    }
+  };
+  for (const AigOutput& o : src.outputs()) require_node(o.lit);
+  for (std::uint32_t latch : src.latches()) require_node(src.latch_next(latch));
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (src.node(n).kind != NodeKind::kAnd) continue;
+    require_node(src.node(n).fanin0);
+    require_node(src.node(n).fanin1);
+  }
+  // Rebuild in (topological) creation order.
+  for (std::uint32_t n : src.and_nodes_topo()) {
+    if (needed[n] == 0) continue;
+    const AigNode& an = src.node(n);
+    set_node(n, build_and(dst, map_lit(an.fanin0), map_lit(an.fanin1)));
+  }
+  for (std::uint32_t latch : src.latches()) {
+    // Latch ids in dst follow registration order, same as src.
+    const Lit dst_latch = node_map.at(latch);
+    dst.set_latch_next(dst_latch, map_lit(src.latch_next(latch)));
+  }
+  for (const AigOutput& o : src.outputs()) {
+    dst.add_output(o.name, map_lit(o.lit));
+  }
+  return dst;
+}
+
+/// One-level Boolean rewriting rules applied at construction time.
+Lit smart_and(Aig& aig, Lit a, Lit b) {
+  const auto try_rules = [&aig](Lit x, Lit y) -> std::optional<Lit> {
+    // x structural cases where y = AND(p, q) possibly complemented.
+    const std::uint32_t yn = lit_node(y);
+    if (aig.node(yn).kind != NodeKind::kAnd) return std::nullopt;
+    const Lit p = aig.node(yn).fanin0;
+    const Lit q = aig.node(yn).fanin1;
+    if (!lit_compl(y)) {
+      // x & (p & q)
+      if (x == p || x == q) return aig.and_(p, q);          // absorption
+      if (x == lit_not(p) || x == lit_not(q)) return kLitFalse;
+    } else {
+      // x & !(p & q)
+      if (x == p) return aig.and_(x, lit_not(q));           // substitution
+      if (x == q) return aig.and_(x, lit_not(p));
+      if (x == lit_not(p) || x == lit_not(q)) return std::nullopt;  // x&!(pq)=x
+      // note: x == !p  =>  !p & !(p&q) = !p (p&q is 0 when p=0)... handled:
+    }
+    return std::nullopt;
+  };
+  // x == !p case for complemented y: x & !(p&q) == x when x implies !p.
+  const auto try_identity = [&aig](Lit x, Lit y) -> std::optional<Lit> {
+    const std::uint32_t yn = lit_node(y);
+    if (aig.node(yn).kind != NodeKind::kAnd || !lit_compl(y)) {
+      return std::nullopt;
+    }
+    const Lit p = aig.node(yn).fanin0;
+    const Lit q = aig.node(yn).fanin1;
+    if (x == lit_not(p) || x == lit_not(q)) return x;  // x & !(p&q) = x
+    return std::nullopt;
+  };
+
+  if (auto r = try_identity(a, b)) return *r;
+  if (auto r = try_identity(b, a)) return *r;
+  if (auto r = try_rules(a, b)) return *r;
+  if (auto r = try_rules(b, a)) return *r;
+  return aig.and_(a, b);
+}
+
+}  // namespace
+
+Aig sweep(const Aig& aig) {
+  return rebuild(aig, [](Aig& dst, Lit a, Lit b) { return dst.and_(a, b); });
+}
+
+Aig balance(const Aig& aig) {
+  // Collapse maximal single-output AND trees and rebuild level-balanced.
+  // Implemented inside the rebuild callback: when constructing an AND whose
+  // translated operands are roots of freshly built AND trees, we gather
+  // leaves greedily through non-complemented operands and recombine the
+  // lowest-level pair first (Huffman on levels).
+  const auto build_balanced = [](Aig& dst, Lit a, Lit b) -> Lit {
+    std::vector<Lit> leaves;
+    const auto gather = [&dst, &leaves](Lit l, auto&& self, int depth) -> void {
+      const std::uint32_t n = lit_node(l);
+      if (!lit_compl(l) && dst.node(n).kind == NodeKind::kAnd && depth < 8) {
+        self(dst.node(n).fanin0, self, depth + 1);
+        self(dst.node(n).fanin1, self, depth + 1);
+      } else {
+        leaves.push_back(l);
+      }
+    };
+    gather(a, gather, 0);
+    gather(b, gather, 0);
+    // Deduplicate; complementary pair => constant false.
+    std::sort(leaves.begin(), leaves.end());
+    leaves.erase(std::unique(leaves.begin(), leaves.end()), leaves.end());
+    for (std::size_t i = 0; i + 1 < leaves.size(); ++i) {
+      if (leaves[i] == lit_not(leaves[i + 1])) return kLitFalse;
+    }
+    // Combine two lowest-level operands repeatedly.
+    while (leaves.size() > 1) {
+      std::sort(leaves.begin(), leaves.end(), [&dst](Lit x, Lit y) {
+        return dst.node(lit_node(x)).level > dst.node(lit_node(y)).level;
+      });
+      const Lit x = leaves.back();
+      leaves.pop_back();
+      const Lit y = leaves.back();
+      leaves.pop_back();
+      leaves.push_back(dst.and_(x, y));
+    }
+    return leaves.empty() ? kLitTrue : leaves[0];
+  };
+  // Collapsing rebuilds leave behind the intermediate trees of inner chain
+  // nodes; sweep so they don't count against the optimization objective.
+  return sweep(rebuild(aig, build_balanced));
+}
+
+Aig rewrite(const Aig& aig) {
+  return sweep(rebuild(aig, [](Aig& dst, Lit a, Lit b) {
+    return smart_and(dst, a, b);
+  }));
+}
+
+Aig optimize(const Aig& aig, int iterations, OptStats* stats) {
+  // Scalarized quality: area (AND count) plus weighted depth, so a balance
+  // pass that trades a few duplicated nodes for logarithmic depth is
+  // accepted (deep chains are what kill fmax after mapping).
+  const auto cost = [](const Aig& a) {
+    return static_cast<double>(a.num_ands()) +
+           3.0 * static_cast<double>(a.max_level());
+  };
+  Aig best = sweep(aig);
+  double best_cost = cost(best);
+  if (stats != nullptr) {
+    stats->initial_ands = aig.num_ands();
+    stats->initial_depth = aig.max_level();
+    stats->iterations_run = 0;
+  }
+  Aig current = best;
+  for (int i = 0; i < iterations; ++i) {
+    current = rewrite(current);
+    current = balance(current);
+    if (stats != nullptr) stats->iterations_run = i + 1;
+    const double c = cost(current);
+    if (c < best_cost) {
+      best = current;
+      best_cost = c;
+    } else {
+      break;  // fixed point (or oscillation) — stop early
+    }
+  }
+  if (stats != nullptr) {
+    stats->final_ands = best.num_ands();
+    stats->final_depth = best.max_level();
+  }
+  return best;
+}
+
+}  // namespace eurochip::synth

@@ -1,0 +1,49 @@
+#include "eurochip/synth/scan.hpp"
+
+namespace eurochip::synth {
+
+using netlist::CellFn;
+using netlist::CellId;
+using netlist::CellLibrary;
+using netlist::NetId;
+using netlist::Netlist;
+
+util::Status insert_scan_chain(Netlist& nl, const CellLibrary& lib,
+                               ScanStats* stats) {
+  const auto flops = nl.sequential_cells();
+  if (flops.empty()) {
+    return util::Status::FailedPrecondition(
+        "scan insertion needs sequential cells");
+  }
+  const auto mux_index = lib.smallest_for(CellFn::kMux2);
+  if (!mux_index) {
+    return util::Status::InvalidArgument("library has no MUX2 cell");
+  }
+
+  const NetId scan_en = nl.add_input("scan_en");
+  const NetId scan_in = nl.add_input("scan_in");
+
+  // Chain in cell order: scan_in -> ff0 -> ff1 -> ... -> scan_out.
+  NetId prev = scan_in;
+  for (CellId ff : flops) {
+    const NetId functional_d = nl.cell(ff).fanin[0];
+    // MUX2 pin order (a, b, s): out = s ? b : a.
+    const auto mux = nl.add_cell(
+        "scanmux" + std::to_string(nl.num_cells()),
+        static_cast<std::uint32_t>(*mux_index),
+        {functional_d, prev, scan_en});
+    if (!mux.ok()) return mux.status();
+    if (util::Status s =
+            nl.rewire_input(ff, 0, nl.cell(mux.value()).output);
+        !s.ok()) {
+      return s;
+    }
+    prev = nl.cell(ff).output;
+    if (stats != nullptr) ++stats->muxes_added;
+  }
+  nl.add_output("scan_out", prev);
+  if (stats != nullptr) stats->flops_in_chain = flops.size();
+  return nl.check();
+}
+
+}  // namespace eurochip::synth

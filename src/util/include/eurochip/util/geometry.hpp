@@ -1,0 +1,91 @@
+// Integer geometry primitives for placement, routing, DRC, and GDS.
+// Coordinates are in database units (DBU); 1 DBU = 1 nm by convention.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace eurochip::util {
+
+struct Point {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Manhattan distance between two points.
+inline std::int64_t manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Axis-aligned rectangle, half-open is NOT used: [lo.x, hi.x] x [lo.y, hi.y]
+/// with the convention that a cell of width w at x occupies [x, x+w).
+/// Degenerate (hi < lo) rectangles are treated as empty.
+struct Rect {
+  std::int64_t lx = 0;
+  std::int64_t ly = 0;
+  std::int64_t ux = 0;
+  std::int64_t uy = 0;
+
+  [[nodiscard]] std::int64_t width() const { return ux - lx; }
+  [[nodiscard]] std::int64_t height() const { return uy - ly; }
+  [[nodiscard]] std::int64_t area() const {
+    return empty() ? 0 : width() * height();
+  }
+  [[nodiscard]] bool empty() const { return ux <= lx || uy <= ly; }
+  [[nodiscard]] Point center() const {
+    return {(lx + ux) / 2, (ly + uy) / 2};
+  }
+  [[nodiscard]] bool contains(const Point& p) const {
+    return p.x >= lx && p.x < ux && p.y >= ly && p.y < uy;
+  }
+  /// True if interiors intersect (shared edges do not count as overlap).
+  [[nodiscard]] bool overlaps(const Rect& o) const {
+    return lx < o.ux && o.lx < ux && ly < o.uy && o.ly < uy;
+  }
+  [[nodiscard]] Rect intersection(const Rect& o) const {
+    return {std::max(lx, o.lx), std::max(ly, o.ly), std::min(ux, o.ux),
+            std::min(uy, o.uy)};
+  }
+  /// Smallest rect covering both (empty operands are ignored).
+  [[nodiscard]] Rect bbox_union(const Rect& o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    return {std::min(lx, o.lx), std::min(ly, o.ly), std::max(ux, o.ux),
+            std::max(uy, o.uy)};
+  }
+  /// Grows (or shrinks, if negative) by `margin` on all sides.
+  [[nodiscard]] Rect inflated(std::int64_t margin) const {
+    return {lx - margin, ly - margin, ux + margin, uy + margin};
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return "(" + std::to_string(lx) + "," + std::to_string(ly) + ")-(" +
+           std::to_string(ux) + "," + std::to_string(uy) + ")";
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Accumulates a bounding box over points/rects.
+class BoundingBox {
+ public:
+  void add(const Point& p) {
+    add(Rect{p.x, p.y, p.x + 1, p.y + 1});
+  }
+  void add(const Rect& r) {
+    if (r.empty()) return;
+    box_ = seen_ ? box_.bbox_union(r) : r;
+    seen_ = true;
+  }
+  [[nodiscard]] bool valid() const { return seen_; }
+  [[nodiscard]] const Rect& rect() const { return box_; }
+
+ private:
+  Rect box_;
+  bool seen_ = false;
+};
+
+}  // namespace eurochip::util

@@ -1,0 +1,50 @@
+// Minimal leveled logger. Defaults to warnings-and-above so tests and
+// benches stay quiet; flows raise verbosity when asked.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace eurochip::util {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold (process-wide; not thread-safe by design — set once
+/// at startup).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits `message` to stderr if `level` passes the threshold.
+void log(LogLevel level, const std::string& message);
+
+namespace internal {
+/// Stream-style one-shot log line: LogLine(kInfo) << "x=" << x;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace eurochip::util
+
+#define EUROCHIP_LOG_DEBUG() \
+  ::eurochip::util::internal::LogLine(::eurochip::util::LogLevel::kDebug)
+#define EUROCHIP_LOG_INFO() \
+  ::eurochip::util::internal::LogLine(::eurochip::util::LogLevel::kInfo)
+#define EUROCHIP_LOG_WARN() \
+  ::eurochip::util::internal::LogLine(::eurochip::util::LogLevel::kWarn)
+#define EUROCHIP_LOG_ERROR() \
+  ::eurochip::util::internal::LogLine(::eurochip::util::LogLevel::kError)

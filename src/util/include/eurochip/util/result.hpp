@@ -1,0 +1,141 @@
+// Lightweight Status / Result<T> error-handling vocabulary types.
+//
+// EuroChip uses exceptions only for programming errors and constructor
+// failure; all recoverable, expected error paths (file not found, access
+// denied by a PDK policy, infeasible routing, ...) return Status or
+// Result<T> so callers are forced to look at the outcome.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace eurochip::util {
+
+/// Canonical error categories, loosely modeled after absl::StatusCode.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,   ///< e.g. NDA / export-control gate in pdk::AccessPolicy
+  kFailedPrecondition, ///< e.g. flow step run out of order
+  kResourceExhausted,  ///< e.g. routing capacity exceeded after max iterations
+  kUnimplemented,
+  kInternal,
+};
+
+/// Human-readable name of an ErrorCode ("ok", "invalid_argument", ...).
+const char* to_string(ErrorCode code);
+
+/// A success-or-error outcome with a message. Cheap to copy on success.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs an error status. `code` must not be kOk.
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code_ != ErrorCode::kOk && "error status requires non-OK code");
+  }
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return {ErrorCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status NotFound(std::string msg) {
+    return {ErrorCode::kNotFound, std::move(msg)};
+  }
+  static Status AlreadyExists(std::string msg) {
+    return {ErrorCode::kAlreadyExists, std::move(msg)};
+  }
+  static Status PermissionDenied(std::string msg) {
+    return {ErrorCode::kPermissionDenied, std::move(msg)};
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return {ErrorCode::kFailedPrecondition, std::move(msg)};
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return {ErrorCode::kResourceExhausted, std::move(msg)};
+  }
+  static Status Unimplemented(std::string msg) {
+    return {ErrorCode::kUnimplemented, std::move(msg)};
+  }
+  static Status Internal(std::string msg) {
+    return {ErrorCode::kInternal, std::move(msg)};
+  }
+
+  [[nodiscard]] bool ok() const { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Like absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value — enables `return some_t;`.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit from error status — enables `return Status::NotFound(...);`.
+  /// `status` must be an error.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok() &&
+           "Result constructed from OK status has no value");
+  }
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+
+  [[nodiscard]] Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+  /// Access the value. Throws std::logic_error if this holds an error;
+  /// callers are expected to check ok() first.
+  [[nodiscard]] const T& value() const& {
+    require_value();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    require_value();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    require_value();
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  void require_value() const {
+    if (!ok()) {
+      throw std::logic_error("Result::value() on error: " +
+                             std::get<Status>(data_).to_string());
+    }
+  }
+
+  std::variant<T, Status> data_;
+};
+
+}  // namespace eurochip::util

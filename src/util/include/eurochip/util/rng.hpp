@@ -1,0 +1,76 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// Every stochastic component in EuroChip (placement annealing, cohort
+// simulation, workload generation, ...) takes an explicit Rng so runs are
+// reproducible from a single seed — a prerequisite for the benches that
+// regenerate the paper's numbers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace eurochip::util {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+/// Deterministic across platforms; satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xEC0FFEEuLL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0uLL; }
+
+  result_type operator()() { return next(); }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (deterministic, cached pair).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p);
+
+  /// Binomial(n, p) sample via n Bernoulli trials (n is small in our models).
+  std::uint32_t binomial(std::uint32_t n, double p);
+
+  /// Poisson(lambda) via Knuth's method (lambda modest in our models).
+  std::uint32_t poisson(double lambda);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-thread/per-task use).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace eurochip::util

@@ -1,0 +1,72 @@
+// Streaming and batch statistics used by benches and simulators.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace eurochip::util {
+
+/// Welford streaming mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Linear-interpolated percentile of a sample, p in [0, 100].
+/// Returns 0 for an empty sample. Copies and sorts internally.
+double percentile(std::vector<double> sample, double p);
+
+/// Median convenience wrapper over percentile(50).
+double median(std::vector<double> sample);
+
+/// Pearson correlation of two equal-length series; 0 if degenerate.
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Geometric mean; requires all values > 0. Returns 0 for empty input.
+double geomean(const std::vector<double>& values);
+
+/// Simple fixed-width histogram.
+class Histogram {
+ public:
+  /// Buckets [lo, hi) split into `bins` equal bins plus under/overflow.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count(std::size_t bin) const;
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  /// Inclusive lower edge of a bin.
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace eurochip::util

@@ -1,0 +1,44 @@
+// Small string and CSV helpers shared across the project.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eurochip::util {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Lower-cases ASCII.
+std::string to_lower(std::string_view s);
+
+/// Joins parts with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Formats a double with fixed decimals (locale-independent).
+std::string fmt(double value, int decimals = 2);
+
+/// Formats with SI suffix: 1234567 -> "1.23M". Useful in bench tables.
+std::string fmt_si(double value, int decimals = 2);
+
+/// Minimal CSV emitter. Quotes fields containing separators/quotes.
+class CsvWriter {
+ public:
+  explicit CsvWriter(char sep = ',') : sep_(sep) {}
+
+  void add_row(const std::vector<std::string>& fields);
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  char sep_;
+  std::string out_;
+};
+
+}  // namespace eurochip::util

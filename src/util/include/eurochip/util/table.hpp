@@ -1,0 +1,59 @@
+// ASCII table rendering for bench/example output — the benches print the
+// paper's tables and figure series in this format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace eurochip::util {
+
+/// Column-aligned ASCII table with a header row and optional title.
+/// Numeric-looking cells are right-aligned, text cells left-aligned.
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header) {
+    header_ = std::move(header);
+  }
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders the table, e.g.
+  ///   == Title ==
+  ///   col_a | col_b
+  ///   ------+------
+  ///       1 | foo
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a one-series ASCII line "figure": x label, y value, bar.
+/// Used by benches that regenerate the paper's figure-style claims.
+class AsciiChart {
+ public:
+  AsciiChart(std::string title, std::string x_label, std::string y_label)
+      : title_(std::move(title)),
+        x_label_(std::move(x_label)),
+        y_label_(std::move(y_label)) {}
+
+  void add_point(std::string x, double y) {
+    points_.emplace_back(std::move(x), y);
+  }
+
+  /// Bars scaled to `width` characters; log scale optional for wide ranges.
+  [[nodiscard]] std::string render(int width = 50, bool log_scale = false) const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<std::pair<std::string, double>> points_;
+};
+
+}  // namespace eurochip::util

@@ -1,0 +1,25 @@
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::util {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kAlreadyExists: return "already_exists";
+    case ErrorCode::kPermissionDenied: return "permission_denied";
+    case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kUnimplemented: return "unimplemented";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  return std::string(util::to_string(code_)) + ": " + message_;
+}
+
+}  // namespace eurochip::util

@@ -1,0 +1,91 @@
+#include "eurochip/util/strings.hpp"
+
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace eurochip::util {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view s) {
+  const auto is_space = [](char c) {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+  };
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string fmt(double value, int decimals) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", decimals, value);
+  return buf.data();
+}
+
+std::string fmt_si(double value, int decimals) {
+  static constexpr std::array<const char*, 5> kSuffix = {"", "k", "M", "G", "T"};
+  double v = std::abs(value);
+  std::size_t idx = 0;
+  while (v >= 1000.0 && idx + 1 < kSuffix.size()) {
+    v /= 1000.0;
+    ++idx;
+  }
+  const std::string sign = value < 0 ? "-" : "";
+  return sign + fmt(v, decimals) + kSuffix[idx];
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ += sep_;
+    const std::string& f = fields[i];
+    const bool needs_quote = f.find(sep_) != std::string::npos ||
+                             f.find('"') != std::string::npos ||
+                             f.find('\n') != std::string::npos;
+    if (!needs_quote) {
+      out_ += f;
+      continue;
+    }
+    out_ += '"';
+    for (char c : f) {
+      if (c == '"') out_ += '"';
+      out_ += c;
+    }
+    out_ += '"';
+  }
+  out_ += '\n';
+}
+
+}  // namespace eurochip::util

@@ -1,0 +1,117 @@
+#include "eurochip/util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "eurochip/util/strings.hpp"
+
+namespace eurochip::util {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit_seen = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      digit_seen = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != '%' && c != 'e' &&
+               c != 'E' && c != 'x' && c != ',') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+std::string pad(const std::string& s, std::size_t width, bool right_align) {
+  if (s.size() >= width) return s;
+  const std::string fill(width - s.size(), ' ');
+  return right_align ? fill + s : s + fill;
+}
+
+}  // namespace
+
+std::string Table::render() const {
+  std::vector<std::vector<std::string>> all;
+  if (!header_.empty()) all.push_back(header_);
+  all.insert(all.end(), rows_.begin(), rows_.end());
+  if (all.empty()) return title_.empty() ? "" : "== " + title_ + " ==\n";
+
+  std::size_t cols = 0;
+  for (const auto& row : all) cols = std::max(cols, row.size());
+  std::vector<std::size_t> widths(cols, 0);
+  std::vector<bool> numeric(cols, true);
+  for (const auto& row : all) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+      if (&row != &all.front() || header_.empty()) {
+        if (!row[c].empty() && !looks_numeric(row[c])) numeric[c] = false;
+      }
+    }
+  }
+
+  std::string out;
+  if (!title_.empty()) out += "== " + title_ + " ==\n";
+  const auto emit_row = [&](const std::vector<std::string>& row,
+                            bool force_left) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c != 0) out += " | ";
+      const std::string cell = c < row.size() ? row[c] : "";
+      out += pad(cell, widths[c], !force_left && numeric[c]);
+    }
+    out += '\n';
+  };
+
+  std::size_t row_index = 0;
+  if (!header_.empty()) {
+    emit_row(header_, /*force_left=*/true);
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c != 0) out += "-+-";
+      out += std::string(widths[c], '-');
+    }
+    out += '\n';
+    row_index = 1;
+  }
+  for (; row_index < all.size(); ++row_index) {
+    emit_row(all[row_index], /*force_left=*/false);
+  }
+  return out;
+}
+
+std::string AsciiChart::render(int width, bool log_scale) const {
+  std::string out = "== " + title_ + " ==  (x: " + x_label_ +
+                    ", y: " + y_label_ + ")\n";
+  if (points_.empty()) return out;
+
+  double max_y = 0.0;
+  double min_pos = 0.0;
+  std::size_t label_width = 0;
+  for (const auto& [x, y] : points_) {
+    max_y = std::max(max_y, y);
+    if (y > 0.0 && (min_pos == 0.0 || y < min_pos)) min_pos = y;
+    label_width = std::max(label_width, x.size());
+  }
+  if (max_y <= 0.0) max_y = 1.0;
+  if (min_pos <= 0.0) min_pos = 1.0;
+
+  for (const auto& [x, y] : points_) {
+    double frac = 0.0;
+    if (y > 0.0) {
+      if (log_scale && max_y / min_pos > 10.0) {
+        frac = (std::log10(y) - std::log10(min_pos) + 1.0) /
+               (std::log10(max_y) - std::log10(min_pos) + 1.0);
+      } else {
+        frac = y / max_y;
+      }
+    }
+    frac = std::clamp(frac, 0.0, 1.0);
+    const int bars = static_cast<int>(std::lround(frac * width));
+    out += pad(x, label_width, false) + " | " +
+           std::string(static_cast<std::size_t>(bars), '#') + " " +
+           fmt_si(y, 2) + "\n";
+  }
+  return out;
+}
+
+}  // namespace eurochip::util

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include "eurochip/core/campaign.hpp"
+#include "eurochip/core/enablement.hpp"
+#include "eurochip/rtl/designs.hpp"
+
+namespace eurochip::core {
+namespace {
+
+UniversityProfile typical_university() {
+  UniversityProfile u;
+  u.name = "TU Test";
+  u.support_staff_fte = 0.5;
+  u.experience = 0.2;
+  u.technologies_needed = 2;
+  u.legal.affiliation = pdk::Affiliation::kUniversity;
+  return u;
+}
+
+EnablementHub make_hub() {
+  EnablementHub hub(pdk::standard_registry(), {});
+  for (const char* n :
+       {"sky130ish", "ihp130ish", "gf180ish", "commercial28", "commercial7"}) {
+    EXPECT_TRUE(hub.enable_technology(n).ok()) << n;
+  }
+  return hub;
+}
+
+// --- enablement tasks / DIY -------------------------------------------------
+
+TEST(EnablementTest, CatalogCoversPaperTaskList) {
+  const auto tasks = standard_task_catalog();
+  EXPECT_GE(tasks.size(), 7u);
+  bool has_flow_automation = false;
+  for (const auto& t : tasks) {
+    EXPECT_GT(t.setup_person_days, 0.0) << t.name;
+    EXPECT_GE(t.annual_person_days, 0.0) << t.name;
+    if (t.name == "flow_automation") has_flow_automation = true;
+  }
+  EXPECT_TRUE(has_flow_automation);
+}
+
+TEST(EnablementTest, DiySetupSubstantialForNovice) {
+  const auto est = estimate_diy(typical_university(), false);
+  EXPECT_GT(est.setup_person_days, 60.0);   // months of person-effort
+  EXPECT_GT(est.annual_person_days, 20.0);  // recurring burden
+  EXPECT_GT(est.calendar_days, est.setup_person_days);  // 0.5 FTE stretches it
+}
+
+TEST(EnablementTest, TemplatesReduceDiyEffort) {
+  const auto without = estimate_diy(typical_university(), false);
+  const auto with = estimate_diy(typical_university(), true);
+  EXPECT_LT(with.setup_person_days, without.setup_person_days);
+}
+
+TEST(EnablementTest, ExperienceReducesDiyEffort) {
+  UniversityProfile novice = typical_university();
+  UniversityProfile veteran = typical_university();
+  veteran.experience = 1.0;
+  EXPECT_LT(estimate_diy(veteran, false).setup_person_days,
+            estimate_diy(novice, false).setup_person_days);
+}
+
+TEST(EnablementTest, MoreTechnologiesCostMore) {
+  UniversityProfile one = typical_university();
+  one.technologies_needed = 1;
+  UniversityProfile three = typical_university();
+  three.technologies_needed = 3;
+  EXPECT_GT(estimate_diy(three, false).setup_person_days,
+            estimate_diy(one, false).setup_person_days);
+}
+
+// --- hub ------------------------------------------------------------------
+
+TEST(HubTest, EnableTechnologyOnceOnly) {
+  EnablementHub hub(pdk::standard_registry(), {});
+  EXPECT_TRUE(hub.enable_technology("sky130ish").ok());
+  EXPECT_FALSE(hub.enable_technology("sky130ish").ok());
+  EXPECT_FALSE(hub.enable_technology("no-such-node").ok());
+  EXPECT_EQ(hub.enabled_nodes().size(), 1u);
+  EXPECT_GT(hub.hub_setup_person_days(), 0.0);
+}
+
+TEST(HubTest, TieredAccessRestrictsBeginners) {
+  EnablementHub hub = make_hub();
+  const std::size_t member = hub.add_member(typical_university());
+  const auto beginner_nodes =
+      hub.accessible_nodes(member, edu::LearnerTier::kBeginner);
+  for (const auto& n : beginner_nodes) {
+    EXPECT_TRUE(hub.registry().find(n)->is_open()) << n;
+  }
+  const auto advanced_nodes =
+      hub.accessible_nodes(member, edu::LearnerTier::kAdvanced);
+  EXPECT_GT(advanced_nodes.size(), beginner_nodes.size());
+}
+
+TEST(HubTest, HubWaivesNdaButNotExportControl) {
+  EnablementHub hub = make_hub();
+  UniversityProfile restricted = typical_university();
+  restricted.legal.export_group = pdk::ExportGroup::kRestricted;
+  const std::size_t member = hub.add_member(restricted);
+  // NDA node fine through the hub...
+  EXPECT_TRUE(hub.check_member_access(member, edu::LearnerTier::kAdvanced,
+                                      "commercial28")
+                  .ok());
+  // ...but export-controlled node still denied.
+  const auto s = hub.check_member_access(member, edu::LearnerTier::kAdvanced,
+                                         "commercial7");
+  EXPECT_EQ(s.code(), util::ErrorCode::kPermissionDenied);
+}
+
+TEST(HubTest, NotEnabledNodeNotAccessible) {
+  EnablementHub hub(pdk::standard_registry(), {});
+  ASSERT_TRUE(hub.enable_technology("sky130ish").ok());
+  const std::size_t member = hub.add_member(typical_university());
+  EXPECT_EQ(hub.check_member_access(member, edu::LearnerTier::kAdvanced,
+                                    "commercial28")
+                .code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST(HubTest, AmortizationBeatsDiyForManyMembers) {
+  EnablementHub hub = make_hub();
+  const auto rep = hub.amortization(typical_university(), 20, false);
+  EXPECT_GT(rep.savings_factor, 3.0);
+  EXPECT_LT(rep.hub_total_days, rep.diy_total_days);
+}
+
+TEST(HubTest, MemberOnboardingFastComparedToDiy) {
+  EnablementHub hub = make_hub();
+  const std::size_t member = hub.add_member(typical_university());
+  const auto diy = estimate_diy(typical_university(), false);
+  EXPECT_LT(hub.member_calendar_days(member), diy.calendar_days / 10.0);
+}
+
+TEST(HubQueueTest, FcfsRespectsCapacity) {
+  EnablementHub::Options opt;
+  opt.job_capacity = 2;
+  EnablementHub hub(pdk::standard_registry(), opt);
+  // Three 10h jobs submitted together on 2 servers: third waits 10h.
+  std::vector<EnablementHub::Job> jobs = {
+      {0, 0.0, 10.0}, {1, 0.0, 10.0}, {2, 0.0, 10.0}};
+  const auto rep = hub.simulate_queue(jobs);
+  EXPECT_DOUBLE_EQ(rep.outcomes[0].wait_h, 0.0);
+  EXPECT_DOUBLE_EQ(rep.outcomes[1].wait_h, 0.0);
+  EXPECT_DOUBLE_EQ(rep.outcomes[2].wait_h, 10.0);
+  EXPECT_DOUBLE_EQ(rep.makespan_h, 20.0);
+  EXPECT_NEAR(rep.utilization, 30.0 / 40.0, 1e-9);
+}
+
+TEST(HubQueueTest, MoreCapacityReducesWait) {
+  std::vector<EnablementHub::Job> jobs;
+  for (int i = 0; i < 16; ++i) {
+    jobs.push_back({0, static_cast<double>(i % 4), 5.0});
+  }
+  EnablementHub::Options small;
+  small.job_capacity = 2;
+  EnablementHub::Options large;
+  large.job_capacity = 8;
+  EnablementHub hub_small(pdk::standard_registry(), small);
+  EnablementHub hub_large(pdk::standard_registry(), large);
+  EXPECT_GT(hub_small.simulate_queue(jobs).mean_wait_h,
+            hub_large.simulate_queue(jobs).mean_wait_h);
+}
+
+TEST(HubQueueTest, EmptyQueue) {
+  EnablementHub hub(pdk::standard_registry(), {});
+  const auto rep = hub.simulate_queue({});
+  EXPECT_DOUBLE_EQ(rep.mean_wait_h, 0.0);
+  EXPECT_DOUBLE_EQ(rep.makespan_h, 0.0);
+}
+
+// --- adoption simulation ------------------------------------------------------
+
+TEST(AdoptionTest, SeriesShapesAreSane) {
+  AdoptionParams params;
+  const auto series = simulate_adoption(params, typical_university());
+  ASSERT_EQ(series.size(), static_cast<std::size_t>(params.years));
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].members, series[i - 1].members);
+    EXPECT_GE(series[i].technologies, series[i - 1].technologies);
+    EXPECT_GE(series[i].hub_person_days, series[i - 1].hub_person_days);
+    EXPECT_GE(series[i].campaigns_run, series[i - 1].campaigns_run);
+  }
+}
+
+TEST(AdoptionTest, SavingsGrowWithMembership) {
+  AdoptionParams params;
+  params.years = 12;
+  const auto series = simulate_adoption(params, typical_university());
+  EXPECT_GT(series.back().savings_factor, series.front().savings_factor);
+  EXPECT_GT(series.back().savings_factor, 3.0);
+  EXPECT_LT(series.back().hub_person_days, series.back().diy_person_days);
+}
+
+TEST(AdoptionTest, NoGrowthStillPositiveSavings) {
+  AdoptionParams params;
+  params.member_growth_per_year = 0.0;
+  params.initial_members = 10;
+  const auto series = simulate_adoption(params, typical_university());
+  EXPECT_EQ(series.back().members, 10);
+  EXPECT_GT(series.back().savings_factor, 1.0);
+}
+
+TEST(AdoptionTest, Deterministic) {
+  AdoptionParams params;
+  const auto a = simulate_adoption(params, typical_university());
+  const auto b = simulate_adoption(params, typical_university());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].hub_person_days, b[i].hub_person_days);
+    EXPECT_DOUBLE_EQ(a[i].diy_person_days, b[i].diy_person_days);
+  }
+}
+
+// --- campaigns --------------------------------------------------------------
+
+TEST(CampaignTest, HubCampaignRunsRealFlow) {
+  EnablementHub hub = make_hub();
+  const std::size_t member = hub.add_member(typical_university());
+  const auto design = rtl::designs::counter(8);
+  CampaignConfig cfg;
+  cfg.node_name = "sky130ish";
+  cfg.tier = edu::LearnerTier::kIntermediate;
+  const auto report = run_campaign(hub, member, design, cfg);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_TRUE(report->access_granted);
+  EXPECT_GT(report->ppa.cell_count, 0u);
+  EXPECT_GT(report->ppa.fmax_mhz, 0.0);
+  EXPECT_GT(report->die_area_mm2, 0.0);
+  EXPECT_GT(report->mpw_cost_keur, 0.0);
+  EXPECT_GT(report->turnaround_months, 0.0);
+}
+
+TEST(CampaignTest, BeginnerDeniedCommercialNode) {
+  EnablementHub hub = make_hub();
+  const std::size_t member = hub.add_member(typical_university());
+  const auto design = rtl::designs::counter(8);
+  CampaignConfig cfg;
+  cfg.node_name = "commercial28";
+  cfg.tier = edu::LearnerTier::kBeginner;
+  const auto report = run_campaign(hub, member, design, cfg);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), util::ErrorCode::kPermissionDenied);
+}
+
+TEST(CampaignTest, DiyDeniedWithoutNda) {
+  const auto design = rtl::designs::counter(8);
+  CampaignConfig cfg;
+  cfg.node_name = "commercial28";
+  cfg.tier = edu::LearnerTier::kAdvanced;
+  const auto report = run_campaign_diy(typical_university(), design, cfg);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), util::ErrorCode::kPermissionDenied);
+}
+
+TEST(CampaignTest, HubFasterThanDiy) {
+  EnablementHub hub = make_hub();
+  const std::size_t member = hub.add_member(typical_university());
+  const auto design = rtl::designs::counter(8);
+  CampaignConfig cfg;
+  cfg.node_name = "sky130ish";
+  const auto via_hub = run_campaign(hub, member, design, cfg);
+  cfg.via_hub = false;
+  const auto diy = run_campaign_diy(typical_university(), design, cfg);
+  ASSERT_TRUE(via_hub.ok());
+  ASSERT_TRUE(diy.ok());
+  EXPECT_LT(via_hub->enablement_days, diy->enablement_days);
+  EXPECT_LT(via_hub->total_months, diy->total_months);
+}
+
+TEST(CampaignTest, SponsorshipZeroesCost) {
+  EnablementHub hub = make_hub();
+  const std::size_t member = hub.add_member(typical_university());
+  const auto design = rtl::designs::counter(8);
+  CampaignConfig cfg;
+  cfg.node_name = "sky130ish";
+  cfg.mpw_program = econ::sponsored_open_mpw();
+  const auto report = run_campaign(hub, member, design, cfg);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->mpw_cost_keur, 0.0);
+}
+
+TEST(CampaignTest, ScheduleFeasibilityReported) {
+  EnablementHub hub = make_hub();
+  const std::size_t member = hub.add_member(typical_university());
+  const auto design = rtl::designs::counter(8);
+  CampaignConfig cfg;
+  cfg.node_name = "sky130ish";
+  cfg.available_months = 3.0;  // too short for any shuttle
+  const auto tight = run_campaign(hub, member, design, cfg);
+  ASSERT_TRUE(tight.ok());
+  EXPECT_FALSE(tight->fits_schedule);
+  cfg.available_months = 24.0;
+  const auto roomy = run_campaign(hub, member, design, cfg);
+  ASSERT_TRUE(roomy.ok());
+  EXPECT_TRUE(roomy->fits_schedule);
+}
+
+}  // namespace
+}  // namespace eurochip::core

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "eurochip/cts/cts.hpp"
+#include "eurochip/pdk/library_gen.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/place/placer.hpp"
+#include "eurochip/rtl/designs.hpp"
+#include "eurochip/synth/elaborate.hpp"
+#include "eurochip/synth/mapper.hpp"
+#include "eurochip/synth/opt.hpp"
+
+namespace eurochip::cts {
+namespace {
+
+struct Physical {
+  pdk::TechnologyNode node;
+  std::unique_ptr<netlist::CellLibrary> lib;
+  std::unique_ptr<netlist::Netlist> nl;
+  std::unique_ptr<place::PlacedDesign> placed;
+};
+
+Physical make_physical(const rtl::Module& m) {
+  Physical p;
+  p.node = pdk::standard_node("sky130ish").value();
+  p.lib = std::make_unique<netlist::CellLibrary>(pdk::build_library(p.node));
+  const auto aig = synth::elaborate(m);
+  auto mapped = synth::map_to_library(synth::optimize(*aig, 2), *p.lib);
+  p.nl = std::make_unique<netlist::Netlist>(std::move(*mapped));
+  auto placed = place::place(*p.nl, p.node);
+  p.placed = std::make_unique<place::PlacedDesign>(std::move(*placed));
+  return p;
+}
+
+TEST(CtsTest, BuildsTreeOverAllSinks) {
+  const auto m = rtl::designs::mini_cpu_datapath(8);
+  const Physical p = make_physical(m);
+  const auto tree = build_htree(*p.placed, p.node);
+  ASSERT_TRUE(tree.ok()) << tree.status().to_string();
+  EXPECT_EQ(tree->num_sinks, p.nl->sequential_cells().size());
+  // Every sink appears in exactly one leaf.
+  std::size_t covered = 0;
+  for (const auto& n : tree->nodes) covered += n.sinks.size();
+  EXPECT_EQ(covered, tree->num_sinks);
+  EXPECT_GT(tree->buffer_count, 0);
+  EXPECT_GT(tree->total_wirelength_um, 0.0);
+  EXPECT_GT(tree->clock_cap_ff, 0.0);
+}
+
+TEST(CtsTest, CombinationalDesignRejected) {
+  const auto m = rtl::designs::adder(8);
+  const Physical p = make_physical(m);
+  const auto tree = build_htree(*p.placed, p.node);
+  EXPECT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), util::ErrorCode::kFailedPrecondition);
+}
+
+TEST(CtsTest, LeafSizeRespected) {
+  const auto m = rtl::designs::shift_register(8, 8);  // 64 flops
+  const Physical p = make_physical(m);
+  CtsOptions opt;
+  opt.max_sinks_per_leaf = 4;
+  const auto tree = build_htree(*p.placed, p.node, opt);
+  ASSERT_TRUE(tree.ok());
+  for (const auto& n : tree->nodes) {
+    EXPECT_LE(n.sinks.size(), 4u);
+  }
+  EXPECT_GE(tree->depth, 4);  // 64 sinks / 4 per leaf needs >= 16 leaves
+}
+
+TEST(CtsTest, HtreeSkewBeatsStar) {
+  const auto m = rtl::designs::mini_cpu_datapath(12);
+  const Physical p = make_physical(m);
+  const auto htree = build_htree(*p.placed, p.node);
+  const auto star = build_star(*p.placed, p.node);
+  ASSERT_TRUE(htree.ok());
+  ASSERT_TRUE(star.ok());
+  EXPECT_LT(htree->skew_ps(), star->skew_ps());
+}
+
+TEST(CtsTest, InsertionDelayOrdering) {
+  const auto m = rtl::designs::fir_filter(8, 6);
+  const Physical p = make_physical(m);
+  const auto tree = build_htree(*p.placed, p.node);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GE(tree->max_insertion_delay_ps, tree->min_insertion_delay_ps);
+  EXPECT_GE(tree->min_insertion_delay_ps, 0.0);
+  EXPECT_GE(tree->skew_ps(), 0.0);
+}
+
+TEST(CtsTest, SingleFlopDegenerateTree) {
+  const auto m = rtl::designs::counter(1);
+  const Physical p = make_physical(m);
+  const auto tree = build_htree(*p.placed, p.node);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_sinks, 1u);
+  EXPECT_EQ(tree->buffer_count, 0);  // root is itself the leaf
+  EXPECT_DOUBLE_EQ(tree->skew_ps(), 0.0);
+}
+
+TEST(CtsTest, MoreSinksMoreBuffers) {
+  const auto small = make_physical(rtl::designs::shift_register(4, 4));
+  const auto large = make_physical(rtl::designs::shift_register(8, 16));
+  CtsOptions opt;
+  opt.max_sinks_per_leaf = 4;
+  const auto ts = build_htree(*small.placed, small.node, opt);
+  const auto tl = build_htree(*large.placed, large.node, opt);
+  ASSERT_TRUE(ts.ok());
+  ASSERT_TRUE(tl.ok());
+  EXPECT_GT(tl->buffer_count, ts->buffer_count);
+  EXPECT_GT(tl->clock_cap_ff, ts->clock_cap_ff);
+}
+
+}  // namespace
+}  // namespace eurochip::cts

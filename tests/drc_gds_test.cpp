@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "eurochip/drc/checker.hpp"
+#include "eurochip/gds/gds.hpp"
+#include "eurochip/pdk/library_gen.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/place/placer.hpp"
+#include "eurochip/route/router.hpp"
+#include "eurochip/rtl/designs.hpp"
+#include "eurochip/synth/elaborate.hpp"
+#include "eurochip/synth/mapper.hpp"
+#include "eurochip/synth/opt.hpp"
+
+namespace eurochip {
+namespace {
+
+struct Physical {
+  pdk::TechnologyNode node;
+  std::unique_ptr<netlist::CellLibrary> lib;
+  std::unique_ptr<netlist::Netlist> nl;
+  std::unique_ptr<place::PlacedDesign> placed;
+};
+
+Physical make_physical(const rtl::Module& m) {
+  Physical p;
+  p.node = pdk::standard_node("sky130ish").value();
+  p.lib = std::make_unique<netlist::CellLibrary>(pdk::build_library(p.node));
+  const auto aig = synth::elaborate(m);
+  auto mapped = synth::map_to_library(synth::optimize(*aig, 2), *p.lib);
+  p.nl = std::make_unique<netlist::Netlist>(std::move(*mapped));
+  auto placed = place::place(*p.nl, p.node);
+  p.placed = std::make_unique<place::PlacedDesign>(std::move(*placed));
+  return p;
+}
+
+// --- DRC ---------------------------------------------------------------
+
+TEST(DrcTest, CleanAfterLegalPlacement) {
+  const auto m = rtl::designs::alu(8);
+  const Physical p = make_physical(m);
+  const auto report = drc::check(*p.placed, p.node);
+  EXPECT_TRUE(report.clean()) << report.violations.size() << " violations, first: "
+      << (report.violations.empty() ? "" : report.violations[0].detail);
+  EXPECT_EQ(report.cells_checked, p.nl->num_cells());
+}
+
+TEST(DrcTest, DetectsInjectedOverlap) {
+  const auto m = rtl::designs::counter(8);
+  Physical p = make_physical(m);
+  // Move cell 1 onto cell 0.
+  p.placed->cell_origin[1] = p.placed->cell_origin[0];
+  const auto report = drc::check(*p.placed, p.node);
+  EXPECT_FALSE(report.clean());
+  EXPECT_GE(report.count(drc::ViolationKind::kOverlap), 1u);
+}
+
+TEST(DrcTest, DetectsOffRowAndOffSite) {
+  const auto m = rtl::designs::counter(8);
+  Physical p = make_physical(m);
+  // Move a cell just above the bottom row: inside the core (the design has
+  // several rows) but aligned to none.
+  ASSERT_GE(p.placed->floorplan.rows().size(), 2u);
+  p.placed->cell_origin[0].y = p.placed->floorplan.rows().front().y() + 13;
+  p.placed->cell_origin[2].x += 1;  // off-site
+  const auto report = drc::check(*p.placed, p.node);
+  EXPECT_GE(report.count(drc::ViolationKind::kOffRow), 1u);
+  EXPECT_GE(report.count(drc::ViolationKind::kOffSite), 1u);
+}
+
+TEST(DrcTest, DetectsOutsideCore) {
+  const auto m = rtl::designs::counter(8);
+  Physical p = make_physical(m);
+  p.placed->cell_origin[0] = util::Point{-100000, -100000};
+  const auto report = drc::check(*p.placed, p.node);
+  EXPECT_GE(report.count(drc::ViolationKind::kOutsideCore), 1u);
+}
+
+TEST(DrcTest, ConnectivityCheckedWithRouting) {
+  const auto m = rtl::designs::alu(8);
+  const Physical p = make_physical(m);
+  auto routed = route::route(*p.placed, p.node);
+  ASSERT_TRUE(routed.ok());
+  const auto report = drc::check(*p.placed, p.node, &*routed);
+  EXPECT_GT(report.nets_checked, 0u);
+  EXPECT_EQ(report.count(drc::ViolationKind::kUnrouted), 0u);
+}
+
+TEST(DrcTest, ViolationKindNames) {
+  EXPECT_STREQ(drc::to_string(drc::ViolationKind::kOverlap), "overlap");
+  EXPECT_STREQ(drc::to_string(drc::ViolationKind::kUnrouted), "unrouted");
+}
+
+// --- GDS ---------------------------------------------------------------
+
+TEST(GdsTest, RoundTripPreservesStructure) {
+  gds::Library lib;
+  lib.name = "TESTLIB";
+  gds::Structure s;
+  s.name = "TOP";
+  s.boundaries.push_back(
+      gds::Boundary::from_rect(1, util::Rect{0, 0, 100, 200}));
+  s.boundaries.push_back(
+      gds::Boundary::from_rect(2, util::Rect{-50, -60, 70, 80}));
+  lib.structures.push_back(s);
+
+  const auto bytes = gds::write(lib);
+  const auto parsed = gds::read(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->name, "TESTLIB");
+  ASSERT_EQ(parsed->structures.size(), 1u);
+  EXPECT_EQ(parsed->structures[0].name, "TOP");
+  ASSERT_EQ(parsed->structures[0].boundaries.size(), 2u);
+  EXPECT_EQ(parsed->structures[0].boundaries[0].layer, 1);
+  EXPECT_EQ(parsed->structures[0].boundaries[0].points,
+            s.boundaries[0].points);
+  EXPECT_EQ(parsed->structures[0].boundaries[1].points,
+            s.boundaries[1].points);
+}
+
+TEST(GdsTest, RoundTripByteExact) {
+  gds::Library lib;
+  gds::Structure s;
+  s.name = "X";
+  s.boundaries.push_back(gds::Boundary::from_rect(1, {0, 0, 10, 10}));
+  lib.structures.push_back(s);
+  const auto bytes1 = gds::write(lib);
+  const auto parsed = gds::read(bytes1);
+  ASSERT_TRUE(parsed.ok());
+  const auto bytes2 = gds::write(*parsed);
+  EXPECT_EQ(bytes1, bytes2);
+}
+
+TEST(GdsTest, UnitsSurviveRoundTrip) {
+  gds::Library lib;
+  const auto parsed = gds::read(gds::write(lib));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_NEAR(parsed->user_unit, 1e-3, 1e-12);
+  EXPECT_NEAR(parsed->meters_per_dbu, 1e-9, 1e-18);
+}
+
+TEST(GdsTest, StreamStartsWithHeaderRecord) {
+  gds::Library lib;
+  const auto bytes = gds::write(lib);
+  ASSERT_GE(bytes.size(), 6u);
+  EXPECT_EQ(bytes[2], 0x00);  // HEADER
+  EXPECT_EQ(bytes[3], 0x02);  // int16
+  EXPECT_EQ((bytes[4] << 8) | bytes[5], 600);
+}
+
+TEST(GdsTest, RejectsCorruptStream) {
+  gds::Library lib;
+  auto bytes = gds::write(lib);
+  bytes.pop_back();
+  bytes.pop_back();  // chop ENDLIB body
+  EXPECT_FALSE(gds::read(bytes).ok());
+  std::vector<std::uint8_t> garbage = {0x00, 0x08, 0x77, 0x00, 1, 2, 3, 4};
+  EXPECT_FALSE(gds::read(garbage).ok());
+}
+
+TEST(GdsTest, LayoutExportContainsAllCells) {
+  const auto m = rtl::designs::counter(8);
+  const Physical p = make_physical(m);
+  const gds::Library lib = gds::layout_to_gds(*p.placed, "counter");
+  ASSERT_EQ(lib.structures.size(), 1u);
+  std::size_t cell_rects = 0;
+  for (const auto& b : lib.structures[0].boundaries) {
+    if (b.layer == gds::kLayerCells) ++cell_rects;
+  }
+  EXPECT_EQ(cell_rects, p.nl->num_cells());
+  // Round-trip the whole layout.
+  const auto parsed = gds::read(gds::write(lib));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->structures[0].boundaries.size(),
+            lib.structures[0].boundaries.size());
+}
+
+TEST(GdsTest, WriteFileCreatesNonEmptyFile) {
+  gds::Library lib;
+  gds::Structure s;
+  s.name = "F";
+  s.boundaries.push_back(gds::Boundary::from_rect(1, {0, 0, 5, 5}));
+  lib.structures.push_back(s);
+  const std::string path = "/tmp/eurochip_test.gds";
+  ASSERT_TRUE(gds::write_file(lib, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  EXPECT_GT(std::ftell(f), 0);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace eurochip

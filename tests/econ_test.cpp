@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "eurochip/econ/cost_model.hpp"
+#include "eurochip/econ/value_chain.hpp"
+#include "eurochip/pdk/registry.hpp"
+
+namespace eurochip::econ {
+namespace {
+
+// --- value chain ------------------------------------------------------------
+
+TEST(ValueChainTest, PaperBaselineMatchesCitedShares) {
+  const auto model = ValueChainModel::paper_baseline();
+  EXPECT_DOUBLE_EQ(model.find("design")->share_of_added_value, 0.30);
+  EXPECT_DOUBLE_EQ(model.find("fabrication")->share_of_added_value, 0.34);
+  EXPECT_DOUBLE_EQ(model.find("design")->eu_contribution, 0.10);
+  EXPECT_DOUBLE_EQ(model.find("fabrication")->eu_contribution, 0.08);
+  EXPECT_DOUBLE_EQ(model.find("equipment")->eu_contribution, 0.40);
+  EXPECT_DOUBLE_EQ(model.find("materials")->eu_contribution, 0.20);
+}
+
+TEST(ValueChainTest, SharesSumToOne) {
+  const auto model = ValueChainModel::paper_baseline();
+  EXPECT_NEAR(model.total_share(), 1.0, 1e-9);
+}
+
+TEST(ValueChainTest, OverallEuShareIsWeightedAverage) {
+  const auto model = ValueChainModel::paper_baseline();
+  const double share = model.eu_overall_share();
+  // Europe's overall chain share is low double digits.
+  EXPECT_GT(share, 0.08);
+  EXPECT_LT(share, 0.20);
+}
+
+TEST(ValueChainTest, ScenarioRaisesOverallShare) {
+  const auto model = ValueChainModel::paper_baseline();
+  const auto boosted = model.with_eu_contribution("design", 0.20);
+  ASSERT_TRUE(boosted.ok());
+  EXPECT_GT(boosted->eu_overall_share(), model.eu_overall_share());
+  // Doubling design's contribution adds exactly 0.30 * 0.10.
+  EXPECT_NEAR(boosted->eu_overall_share() - model.eu_overall_share(),
+              0.30 * 0.10, 1e-12);
+}
+
+TEST(ValueChainTest, ScenarioValidation) {
+  const auto model = ValueChainModel::paper_baseline();
+  EXPECT_FALSE(model.with_eu_contribution("design", 1.5).ok());
+  EXPECT_FALSE(model.with_eu_contribution("nonexistent", 0.5).ok());
+}
+
+TEST(ValueChainTest, AbsoluteValueScalesWithWorldMarket) {
+  auto model = ValueChainModel::paper_baseline();
+  const double v600 = model.eu_value_busd();
+  model.set_world_value_busd(1200.0);
+  EXPECT_NEAR(model.eu_value_busd(), 2.0 * v600, 1e-9);
+}
+
+TEST(ValueChainTest, ApplicationAreasIncludePaperClaim) {
+  const auto areas = paper_application_areas();
+  bool found = false;
+  for (const auto& a : areas) {
+    if (a.area == "industrial" || a.area == "automotive") {
+      EXPECT_DOUBLE_EQ(a.eu_share, 0.55);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- design cost ------------------------------------------------------------
+
+TEST(DesignCostTest, AnchorsReproduced) {
+  const auto model = DesignCostModel::paper_baseline();
+  EXPECT_NEAR(model.cost_musd(130), 5.0, 0.01);
+  EXPECT_NEAR(model.cost_musd(2), 725.0, 1.0);
+  EXPECT_NEAR(model.cost_musd(28), 51.0, 0.5);
+  EXPECT_NEAR(model.cost_musd(7), 297.0, 3.0);
+}
+
+TEST(DesignCostTest, MonotoneDecreasingInFeature) {
+  const auto model = DesignCostModel::paper_baseline();
+  double prev = 1e18;
+  for (double f : {2.0, 3.0, 5.0, 7.0, 16.0, 28.0, 65.0, 130.0, 180.0}) {
+    const double c = model.cost_musd(f);
+    EXPECT_LT(c, prev) << f;
+    prev = c;
+  }
+}
+
+TEST(DesignCostTest, PaperEndpointRatio) {
+  // The paper's "145x from 130nm to 2nm" headline ratio.
+  const auto model = DesignCostModel::paper_baseline();
+  EXPECT_NEAR(model.cost_musd(2) / model.cost_musd(130), 145.0, 2.0);
+}
+
+TEST(DesignCostTest, InterpolationBetweenAnchors) {
+  const auto model = DesignCostModel::paper_baseline();
+  const double c16 = model.cost_musd(16);
+  EXPECT_GT(c16, model.cost_musd(28));
+  EXPECT_LT(c16, model.cost_musd(7));
+}
+
+TEST(DesignCostTest, BreakdownSumsToOne) {
+  const auto model = DesignCostModel::paper_baseline();
+  for (double f : {180.0, 65.0, 7.0, 2.0}) {
+    const auto b = model.breakdown(f);
+    const double total = b.architecture + b.rtl_design + b.verification +
+                         b.physical + b.software + b.ip_licensing;
+    EXPECT_NEAR(total, 1.0, 1e-9) << f;
+    EXPECT_GT(b.rtl_design, 0.0) << f;
+  }
+}
+
+TEST(DesignCostTest, VerificationShareGrowsTowardAdvancedNodes) {
+  const auto model = DesignCostModel::paper_baseline();
+  EXPECT_GT(model.breakdown(2).verification,
+            model.breakdown(130).verification);
+  EXPECT_GT(model.breakdown(2).software, model.breakdown(130).software);
+}
+
+TEST(DesignCostTest, RejectsBadInput) {
+  EXPECT_THROW(DesignCostModel({{130.0, 5.0}}), std::invalid_argument);
+  const auto model = DesignCostModel::paper_baseline();
+  EXPECT_THROW((void)model.cost_musd(0.0), std::invalid_argument);
+}
+
+// --- MPW ---------------------------------------------------------------------
+
+TEST(MpwTest, CostScalesWithAreaAndNode) {
+  const MpwCostModel mpw;
+  const auto n130 = pdk::standard_node("sky130ish").value();
+  const auto n7 = pdk::standard_node("commercial7").value();
+  const auto none = no_program();
+  EXPECT_GT(mpw.slot_cost_keur(n130, 4.0, none),
+            mpw.slot_cost_keur(n130, 2.0, none));
+  EXPECT_GT(mpw.slot_cost_keur(n7, 2.0, none),
+            mpw.slot_cost_keur(n130, 2.0, none));
+}
+
+TEST(MpwTest, MinimumSlotGranularity) {
+  const MpwCostModel mpw;
+  const auto node = pdk::standard_node("sky130ish").value();
+  EXPECT_DOUBLE_EQ(mpw.slot_cost_keur(node, 0.2, no_program()),
+                   mpw.slot_cost_keur(node, 1.0, no_program()));
+}
+
+TEST(MpwTest, ProgramsReduceCost) {
+  const MpwCostModel mpw;
+  const auto node = pdk::standard_node("commercial28").value();
+  const double full = mpw.slot_cost_keur(node, 2.0, no_program());
+  const double discounted = mpw.slot_cost_keur(node, 2.0, europractice_like());
+  const double sponsored = mpw.slot_cost_keur(node, 2.0, sponsored_open_mpw());
+  EXPECT_NEAR(discounted, full * 0.6, 1e-9);
+  EXPECT_DOUBLE_EQ(sponsored, 0.0);  // Recommendation 6: fully covered
+}
+
+TEST(MpwTest, TurnaroundExceedsCourseLength) {
+  // Paper claim: "turn-around times from design to packaged chips also
+  // exceed typical course lengths".
+  const MpwCostModel mpw;
+  const AcademicDurations durations;
+  for (const auto& node : pdk::standard_nodes()) {
+    EXPECT_GT(mpw.turnaround_months(node), durations.course)
+        << node.name;
+  }
+}
+
+TEST(MpwTest, PhdProjectFitsAllNodes) {
+  const MpwCostModel mpw;
+  const AcademicDurations durations;
+  for (const auto& node : pdk::standard_nodes()) {
+    EXPECT_TRUE(mpw.fits_schedule(node, 6.0, durations.phd_project))
+        << node.name;
+  }
+}
+
+TEST(MpwTest, ThesisScheduleOnlyFitsNothing) {
+  // 6-month thesis with 3 months of design: no node's shuttle returns
+  // packaged parts in time (the paper's §III-C argument).
+  const MpwCostModel mpw;
+  const AcademicDurations durations;
+  for (const auto& node : pdk::standard_nodes()) {
+    EXPECT_FALSE(mpw.fits_schedule(node, 3.0, durations.msc_thesis))
+        << node.name;
+  }
+}
+
+}  // namespace
+}  // namespace eurochip::econ

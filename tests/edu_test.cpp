@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "eurochip/edu/pipeline.hpp"
+#include "eurochip/edu/productivity.hpp"
+#include "eurochip/edu/tiers.hpp"
+#include "eurochip/pdk/library_gen.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/rtl/designs.hpp"
+#include "eurochip/synth/elaborate.hpp"
+#include "eurochip/synth/mapper.hpp"
+#include "eurochip/synth/opt.hpp"
+
+namespace eurochip::edu {
+namespace {
+
+// --- productivity -----------------------------------------------------------
+
+TEST(ProductivityTest, GatesPerLineInPaperRange) {
+  // Paper: "A single line of RTL code typically generates only 5 to 20
+  // gates." Measure over the catalog; the mean must land in that band.
+  const auto node = pdk::standard_node("sky130ish").value();
+  const auto lib = pdk::build_library(node);
+  double sum = 0.0;
+  int count = 0;
+  for (auto& e : rtl::designs::standard_catalog()) {
+    const auto aig = synth::elaborate(e.module);
+    auto mapped = synth::map_to_library(synth::optimize(*aig, 2), lib);
+    ASSERT_TRUE(mapped.ok()) << e.name;
+    const auto p = measure_frontend(e.module, *mapped);
+    EXPECT_GT(p.gates_per_line, 0.5) << e.name;
+    EXPECT_LT(p.gates_per_line, 200.0) << e.name;
+    sum += p.gates_per_line;
+    ++count;
+  }
+  const double mean = sum / count;
+  EXPECT_GT(mean, 3.0);
+  EXPECT_LT(mean, 40.0);
+}
+
+TEST(ProductivityTest, SoftwareReferencesOrdered) {
+  const auto refs = software_references();
+  ASSERT_GE(refs.size(), 3u);
+  // Python's expansion dwarfs hardware's gates-per-line (paper's point).
+  double python = 0.0;
+  for (const auto& r : refs) {
+    if (std::string(r.language) == "python") python = r.instructions_per_line;
+  }
+  EXPECT_GE(python, 1000.0);
+}
+
+TEST(ProductivityTest, BackendSetupScalesWithNode) {
+  const BackendSetupModel model;
+  const auto open130 = pdk::standard_node("sky130ish").value();
+  const auto com7 = pdk::standard_node("commercial7").value();
+  const double d_open = model.setup_days(open130, 0.0, false);
+  const double d_com = model.setup_days(com7, 0.0, false);
+  EXPECT_GT(d_com, d_open);  // NDA overhead + more layers
+}
+
+TEST(ProductivityTest, ExperienceAndTemplatesReduceSetup) {
+  const BackendSetupModel model;
+  const auto node = pdk::standard_node("sky130ish").value();
+  const double novice = model.setup_days(node, 0.0, false);
+  const double expert = model.setup_days(node, 1.0, false);
+  const double templated = model.setup_days(node, 0.0, true);
+  EXPECT_LT(expert, novice);
+  EXPECT_NEAR(expert, novice * model.experience_factor, 1e-9);
+  EXPECT_NEAR(templated, novice * model.template_factor, 1e-9);
+}
+
+// --- pipeline ----------------------------------------------------------------
+
+PipelineParams base_params() { return PipelineParams{}; }
+
+TEST(PipelineTest, DeterministicForSeed) {
+  TalentPipeline a(base_params(), 5);
+  TalentPipeline b(base_params(), 5);
+  const auto ra = a.run(10);
+  const auto rb = b.run(10);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra[i].msc_graduates, rb[i].msc_graduates);
+  }
+}
+
+TEST(PipelineTest, BaselineStagnatesOrDeclines) {
+  // Paper: graduates stagnate/decline without action (software pull).
+  TalentPipeline p(base_params(), 7);
+  const auto series = p.run(15);
+  // Compare the average of the first vs last 3 settled years (skip the
+  // 5-year pipeline fill).
+  double early = 0.0;
+  double late = 0.0;
+  for (int i = 6; i < 9; ++i) early += series[i].msc_graduates;
+  for (int i = 12; i < 15; ++i) late += series[i].msc_graduates;
+  EXPECT_LT(late, early * 1.02);  // no growth
+}
+
+TEST(PipelineTest, InterventionsGrowGraduates) {
+  TalentPipeline baseline(base_params(), 11);
+  TalentPipeline boosted(base_params(), 11);
+  boosted.add_intervention(low_barrier_programs());
+  boosted.add_intervention(information_campaigns());
+  boosted.add_intervention(coordinated_funding());
+  const auto rb = baseline.run(15);
+  const auto ri = boosted.run(15);
+  EXPECT_GT(TalentPipeline::total_designers(ri),
+            1.3 * TalentPipeline::total_designers(rb));
+}
+
+TEST(PipelineTest, InterventionStartYearRespected) {
+  Intervention late = information_campaigns();
+  late.start_year = 10;
+  TalentPipeline p(base_params(), 3);
+  p.add_intervention(late);
+  TalentPipeline q(base_params(), 3);
+  const auto rp = p.run(10);
+  const auto rq = q.run(10);
+  for (std::size_t i = 0; i < rp.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rp[i].bsc_entrants, rq[i].bsc_entrants) << i;
+  }
+}
+
+TEST(PipelineTest, DiversityBoostRaisesShare) {
+  TalentPipeline p(base_params(), 13);
+  p.add_intervention(low_barrier_programs());
+  const auto series = p.run(5);
+  EXPECT_GT(series.back().diversity_share, base_params().diversity_share);
+}
+
+TEST(PipelineTest, PipelineDelaysAreVisible) {
+  // The first MSc graduates appear only after BSc (3y) + MSc (2y).
+  TalentPipeline p(base_params(), 17);
+  const auto series = p.run(8);
+  EXPECT_DOUBLE_EQ(series[0].msc_graduates, 0.0);
+  EXPECT_DOUBLE_EQ(series[4].msc_graduates, 0.0);
+  EXPECT_GT(series[6].msc_graduates, 0.0);
+}
+
+// --- tiers ---------------------------------------------------------------
+
+TEST(TiersTest, ThreePathwaysMatchingPaper) {
+  const auto pathways = recommended_pathways();
+  ASSERT_EQ(pathways.size(), 3u);
+  EXPECT_EQ(pathway_for(LearnerTier::kBeginner)->node_name, "sky130ish");
+  EXPECT_EQ(pathway_for(LearnerTier::kIntermediate)->node_name, "ihp130ish");
+  EXPECT_EQ(pathway_for(LearnerTier::kAdvanced)->node_name, "commercial28");
+  EXPECT_FALSE(pathway_for(LearnerTier::kBeginner)->needs_commercial_access);
+  EXPECT_TRUE(pathway_for(LearnerTier::kAdvanced)->needs_commercial_access);
+}
+
+TEST(TiersTest, MatchedPathwayBeatsMismatched) {
+  const auto advanced = pathway_for(LearnerTier::kAdvanced).value();
+  const auto beginner = pathway_for(LearnerTier::kBeginner).value();
+  // Beginner on the advanced pathway: heavily penalized.
+  EXPECT_LT(success_probability(LearnerTier::kBeginner, advanced),
+            success_probability(LearnerTier::kBeginner, beginner));
+  // Advanced learner on own pathway beats beginner on it.
+  EXPECT_GT(success_probability(LearnerTier::kAdvanced, advanced),
+            success_probability(LearnerTier::kBeginner, advanced));
+}
+
+TEST(TiersTest, SuccessProbabilityBounded) {
+  for (const auto& pathway : recommended_pathways()) {
+    for (LearnerTier t : {LearnerTier::kBeginner, LearnerTier::kIntermediate,
+                          LearnerTier::kAdvanced}) {
+      const double p = success_probability(t, pathway);
+      EXPECT_GT(p, 0.0);
+      EXPECT_LT(p, 1.0);
+    }
+  }
+}
+
+TEST(TiersTest, TypicalProfilesRespectAccessReality) {
+  // Beginner (high school) cannot access NDA nodes even directly.
+  const auto node28 = pdk::standard_node("commercial28").value();
+  EXPECT_FALSE(
+      pdk::check_access(node28, typical_profile(LearnerTier::kBeginner))
+          .granted);
+  // Advanced PhD profile with one tape-out: ok for 28nm (needs 1), not 2nm.
+  EXPECT_TRUE(
+      pdk::check_access(node28, typical_profile(LearnerTier::kAdvanced))
+          .granted);
+  const auto node2 = pdk::standard_node("commercial2").value();
+  EXPECT_FALSE(
+      pdk::check_access(node2, typical_profile(LearnerTier::kAdvanced))
+          .granted);
+}
+
+TEST(TiersTest, TierNames) {
+  EXPECT_STREQ(to_string(LearnerTier::kBeginner), "beginner");
+  EXPECT_STREQ(to_string(LearnerTier::kAdvanced), "advanced");
+}
+
+}  // namespace
+}  // namespace eurochip::edu

@@ -1,0 +1,150 @@
+// Failure-injection and error-path tests: every layer must refuse bad
+// input with the right ErrorCode instead of crashing or mis-reporting.
+#include <gtest/gtest.h>
+
+#include "eurochip/core/campaign.hpp"
+#include "eurochip/flow/flow.hpp"
+#include "eurochip/pdk/library_gen.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/place/placer.hpp"
+#include "eurochip/route/router.hpp"
+#include "eurochip/rtl/designs.hpp"
+#include "eurochip/synth/elaborate.hpp"
+#include "eurochip/synth/mapper.hpp"
+#include "eurochip/timing/sta.hpp"
+
+namespace eurochip {
+namespace {
+
+TEST(FailureTest, EmptyNetlistCannotBeFloorplanned) {
+  const auto node = pdk::standard_node("sky130ish").value();
+  const auto lib = pdk::build_library(node);
+  netlist::Netlist empty(&lib, "empty");
+  const auto fp = place::Floorplan::create(empty, node, 0.6);
+  EXPECT_FALSE(fp.ok());
+  EXPECT_EQ(fp.status().code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST(FailureTest, MapperRequiresUsableLibrary) {
+  // A library without inverters cannot cover complement edges.
+  netlist::CellLibrary crippled("crippled", "none", 1000, 100);
+  netlist::LibraryCell buf;
+  buf.name = "BUF_X1";
+  buf.fn = netlist::CellFn::kBuf;
+  buf.width_dbu = 100;
+  crippled.add_cell(buf);
+  const auto aig = synth::elaborate(rtl::designs::adder(4));
+  ASSERT_TRUE(aig.ok());
+  const auto mapped = synth::map_to_library(*aig, crippled);
+  EXPECT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST(FailureTest, OverfullFloorplanReportsResourceExhausted) {
+  // Request a floorplan at an impossible utilization for this node.
+  const auto node = pdk::standard_node("sky130ish").value();
+  const auto lib = pdk::build_library(node);
+  const auto aig = synth::elaborate(rtl::designs::alu(8));
+  const auto mapped = synth::map_to_library(*aig, lib);
+  ASSERT_TRUE(mapped.ok());
+  place::PlacementOptions opt;
+  opt.target_utilization = 2.0;  // > max
+  const auto placed = place::place(*mapped, node, opt);
+  EXPECT_FALSE(placed.ok());
+  EXPECT_EQ(placed.status().code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST(FailureTest, StaWithoutEndpointsFails) {
+  const auto node = pdk::standard_node("sky130ish").value();
+  const auto lib = pdk::build_library(node);
+  netlist::Netlist nl(&lib, "no_endpoints");
+  const auto a = nl.add_input("a");
+  const auto inv = lib.find("INV_X1");
+  ASSERT_TRUE(inv.ok());
+  (void)nl.add_cell("g", static_cast<std::uint32_t>(*inv), {a});
+  // No primary output, no DFF: nothing to time.
+  const auto report = timing::analyze(nl, node);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), util::ErrorCode::kFailedPrecondition);
+}
+
+TEST(FailureTest, FlowStopsAtFirstFailingStep) {
+  // A config with an impossible utilization fails in 'place'; later steps
+  // must not run (their artifacts stay empty).
+  const auto m = rtl::designs::counter(8);
+  flow::FlowConfig cfg;
+  cfg.node = pdk::standard_node("sky130ish").value();
+  place::PlacementOptions po;
+  po.target_utilization = 2.0;
+  cfg.place_options = po;
+  const auto result = flow::run_reference_flow(m, cfg);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("place"), std::string::npos);
+}
+
+TEST(FailureTest, CampaignUnknownNode) {
+  core::EnablementHub hub(pdk::standard_registry(), {});
+  (void)hub.enable_technology("sky130ish");
+  core::UniversityProfile uni;
+  const std::size_t member = hub.add_member(uni);
+  const auto design = rtl::designs::counter(4);
+  core::CampaignConfig cfg;
+  cfg.node_name = "tsmc3";  // not in the registry
+  const auto report = core::run_campaign(hub, member, design, cfg);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), util::ErrorCode::kNotFound);
+}
+
+TEST(FailureTest, CampaignInvalidMember) {
+  core::EnablementHub hub(pdk::standard_registry(), {});
+  (void)hub.enable_technology("sky130ish");
+  const auto design = rtl::designs::counter(4);
+  core::CampaignConfig cfg;
+  cfg.node_name = "sky130ish";
+  const auto report = core::run_campaign(hub, /*member=*/99, design, cfg);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST(FailureTest, RouterReportsUnroutableDesign) {
+  // Starve the router: tiny gcells, no negotiation, zero rip-up budget.
+  const auto node = pdk::standard_node("sky130ish").value();
+  const auto lib = pdk::build_library(node);
+  const auto aig = synth::elaborate(rtl::designs::mini_cpu_datapath(16));
+  const auto mapped = synth::map_to_library(*aig, lib);
+  ASSERT_TRUE(mapped.ok());
+  place::PlacementOptions po;
+  po.target_utilization = 0.8;  // dense
+  const auto placed = place::place(*mapped, node, po);
+  ASSERT_TRUE(placed.ok());
+  route::RouteOptions ro;
+  ro.gcell_pitches = 4;
+  ro.congestion_aware = false;
+  ro.max_ripup_iterations = 0;
+  const auto routed = route::route(*placed, node, ro);
+  if (!routed.ok()) {
+    EXPECT_EQ(routed.status().code(), util::ErrorCode::kResourceExhausted);
+  } else {
+    // If it squeaked through, the overflow must at least be visible.
+    EXPECT_GE(routed->overflowed_edges, 0);
+  }
+}
+
+TEST(FailureTest, HubRejectsDoubleEnableAndUnknownNode) {
+  core::EnablementHub hub(pdk::standard_registry(), {});
+  EXPECT_TRUE(hub.enable_technology("gf180ish").ok());
+  EXPECT_EQ(hub.enable_technology("gf180ish").code(),
+            util::ErrorCode::kAlreadyExists);
+  EXPECT_EQ(hub.enable_technology("intel18A").code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST(FailureTest, ResultThrowsOnMisuseOnly) {
+  util::Result<int> bad = util::Status::NotFound("x");
+  EXPECT_THROW((void)bad.value(), std::logic_error);
+  util::Result<int> good = 3;
+  EXPECT_NO_THROW((void)good.value());
+}
+
+}  // namespace
+}  // namespace eurochip

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "eurochip/flow/flow.hpp"
+#include "eurochip/netlist/simulator.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/rtl/designs.hpp"
+#include "eurochip/rtl/simulator.hpp"
+
+namespace eurochip::flow {
+namespace {
+
+FlowConfig open_config(const std::string& node = "sky130ish") {
+  FlowConfig cfg;
+  cfg.node = pdk::standard_node(node).value();
+  cfg.quality = FlowQuality::kOpen;
+  return cfg;
+}
+
+TEST(FlowTest, EndToEndProducesAllArtifacts) {
+  const auto m = rtl::designs::alu(8);
+  const auto result = run_reference_flow(m, open_config());
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  const auto& a = result->artifacts;
+  EXPECT_NE(a.library, nullptr);
+  EXPECT_NE(a.aig, nullptr);
+  EXPECT_NE(a.mapped, nullptr);
+  EXPECT_NE(a.placed, nullptr);
+  EXPECT_NE(a.routed, nullptr);
+  EXPECT_FALSE(a.gds_bytes.empty());
+  EXPECT_GT(result->ppa.cell_count, 0u);
+  EXPECT_GT(result->ppa.area_um2, 0.0);
+  EXPECT_GT(result->ppa.die_area_mm2, 0.0);
+  EXPECT_GT(result->ppa.fmax_mhz, 0.0);
+  EXPECT_GT(result->ppa.power_uw, 0.0);
+  EXPECT_GT(result->ppa.wirelength_dbu, 0);
+  EXPECT_EQ(result->ppa.drc_violations, 0u);
+  EXPECT_EQ(result->steps.size(), 12u);
+  // ALU is sequential: a clock tree must have been built. (Few sinks fit
+  // one leaf cluster, so zero buffers is legal; skew is still reported.)
+  EXPECT_NE(a.clock_tree, nullptr);
+  EXPECT_GE(result->ppa.clock_skew_ps, 0.0);
+  EXPECT_EQ(a.clock_tree->num_sinks, a.mapped->sequential_cells().size());
+}
+
+TEST(FlowTest, MappedNetlistStillMatchesRtl) {
+  const auto m = rtl::designs::counter(8);
+  const auto result = run_reference_flow(m, open_config());
+  ASSERT_TRUE(result.ok());
+  auto rtl_sim = rtl::Simulator::create(m);
+  auto nl_sim = netlist::Simulator::create(*result->artifacts.mapped);
+  ASSERT_TRUE(rtl_sim.ok());
+  ASSERT_TRUE(nl_sim.ok());
+  rtl_sim->reset();
+  nl_sim->reset();
+  for (int c = 0; c < 20; ++c) {
+    const std::uint64_t en = c % 3 == 0 ? 0 : 1;
+    const auto r = rtl_sim->step({en});
+    const auto n = nl_sim->step({en != 0});
+    std::uint64_t v = 0;
+    for (std::size_t b = 0; b < n.size(); ++b) v |= (n[b] ? 1uLL : 0uLL) << b;
+    ASSERT_EQ(v, r[0]) << "cycle " << c;
+  }
+}
+
+TEST(FlowTest, CommercialPresetBeatsOpenOnFmax) {
+  const auto m = rtl::designs::alu(12);
+  FlowConfig open_cfg = open_config();
+  FlowConfig comm_cfg = open_config();
+  comm_cfg.quality = FlowQuality::kCommercial;
+  const auto open_res = run_reference_flow(m, open_cfg);
+  const auto comm_res = run_reference_flow(m, comm_cfg);
+  ASSERT_TRUE(open_res.ok());
+  ASSERT_TRUE(comm_res.ok());
+  EXPECT_GE(comm_res->ppa.fmax_mhz, open_res->ppa.fmax_mhz);
+}
+
+TEST(FlowTest, DefaultClockDerivedFromNode) {
+  FlowConfig cfg = open_config();
+  EXPECT_DOUBLE_EQ(cfg.effective_clock_ps(), 40.0 * cfg.node.fo4_delay_ps);
+  cfg.clock_period_ps = 1234.0;
+  EXPECT_DOUBLE_EQ(cfg.effective_clock_ps(), 1234.0);
+}
+
+TEST(FlowTest, TemplateAblationDropStep) {
+  const auto m = rtl::designs::counter(8);
+  FlowTemplate t = reference_template();
+  ASSERT_TRUE(t.remove_step("synth"));  // skip optimization entirely
+  const auto result = t.execute(m, open_config());
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result->steps.size(), 11u);
+  EXPECT_GT(result->ppa.cell_count, 0u);
+}
+
+TEST(FlowTest, RemoveUnknownStepReturnsFalse) {
+  FlowTemplate t = reference_template();
+  EXPECT_FALSE(t.remove_step("no-such-step"));
+  EXPECT_FALSE(t.replace_step("no-such-step",
+                              [](FlowContext&) { return util::Status::Ok(); }));
+}
+
+TEST(FlowTest, StepOrderViolationFails) {
+  const auto m = rtl::designs::counter(8);
+  FlowTemplate t("broken");
+  t.add_step({"place", [](FlowContext& ctx) {
+    // Placement without mapping must fail with a precondition error.
+    if (!ctx.artifacts.mapped) {
+      return util::Status::FailedPrecondition("place requires map");
+    }
+    return util::Status::Ok();
+  }});
+  const auto result = t.execute(m, open_config());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::ErrorCode::kFailedPrecondition);
+}
+
+TEST(FlowTest, WorksOnOpenAndCommercialNodes) {
+  const auto m = rtl::designs::counter(8);
+  for (const char* node : {"gf180ish", "ihp130ish", "commercial28"}) {
+    const auto result = run_reference_flow(m, open_config(node));
+    ASSERT_TRUE(result.ok()) << node << ": " << result.status().to_string();
+    EXPECT_EQ(result->ppa.drc_violations, 0u) << node;
+  }
+}
+
+TEST(FlowTest, AdvancedNodeSmallerAndFaster) {
+  const auto m = rtl::designs::alu(8);
+  const auto r130 = run_reference_flow(m, open_config("sky130ish"));
+  const auto r7 = run_reference_flow(m, open_config("commercial7"));
+  ASSERT_TRUE(r130.ok());
+  ASSERT_TRUE(r7.ok());
+  EXPECT_LT(r7->ppa.area_um2, r130->ppa.area_um2 / 10.0);
+  EXPECT_GT(r7->ppa.fmax_mhz, r130->ppa.fmax_mhz * 3.0);
+}
+
+TEST(FlowTest, StepRecordsCarryDetails) {
+  const auto m = rtl::designs::counter(8);
+  const auto result = run_reference_flow(m, open_config());
+  ASSERT_TRUE(result.ok());
+  for (const auto& step : result->steps) {
+    EXPECT_FALSE(step.name.empty());
+    EXPECT_FALSE(step.detail.empty()) << step.name;
+    EXPECT_GE(step.runtime_ms, 0.0);
+  }
+  EXPECT_GT(result->total_runtime_ms, 0.0);
+}
+
+TEST(FlowTest, GdsOutputPathWritesFile) {
+  const auto m = rtl::designs::counter(8);
+  FlowConfig cfg = open_config();
+  cfg.gds_output_path = "/tmp/eurochip_flow_test.gds";
+  const auto result = run_reference_flow(m, cfg);
+  ASSERT_TRUE(result.ok());
+  std::FILE* f = std::fopen(cfg.gds_output_path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(cfg.gds_output_path.c_str());
+}
+
+TEST(FlowTest, RenderReportContainsStepsAndPpa) {
+  const auto m = rtl::designs::counter(8);
+  const FlowConfig cfg = open_config();
+  const auto result = run_reference_flow(m, cfg);
+  ASSERT_TRUE(result.ok());
+  const std::string report = render_report(*result, cfg);
+  for (const char* needle :
+       {"Flow steps", "PPA summary", "elaborate", "route", "fmax (MHz)",
+        "DRC violations", "sky130ish"}) {
+    EXPECT_NE(report.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(FlowTest, CommercialPresetBoundsFanout) {
+  const auto m = rtl::designs::mini_cpu_datapath(8);
+  FlowConfig cfg = open_config();
+  cfg.quality = FlowQuality::kCommercial;
+  const auto result = run_reference_flow(m, cfg);
+  ASSERT_TRUE(result.ok());
+  const auto& nl = *result->artifacts.mapped;
+  const int bound = knobs_for(FlowQuality::kCommercial, 1, 0.6).buffer_max_fanout;
+  for (netlist::NetId id : nl.all_nets()) {
+    EXPECT_LE(nl.net(id).sinks.size(), static_cast<std::size_t>(bound));
+  }
+}
+
+TEST(FlowTest, ScanInsertionAddsChainThroughWholeFlow) {
+  const auto m = rtl::designs::counter(8);
+  FlowConfig cfg = open_config();
+  cfg.insert_scan = true;
+  const auto result = run_reference_flow(m, cfg);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  const auto& nl = *result->artifacts.mapped;
+  // scan_en + scan_in inputs and a scan_out output survive to GDSII.
+  bool has_scan_out = false;
+  for (const auto& port : nl.outputs()) {
+    if (port.name == "scan_out") has_scan_out = true;
+  }
+  EXPECT_TRUE(has_scan_out);
+  EXPECT_EQ(result->ppa.drc_violations, 0u);
+  // The scan muxes cost area vs the plain flow.
+  FlowConfig plain = open_config();
+  const auto base = run_reference_flow(m, plain);
+  ASSERT_TRUE(base.ok());
+  EXPECT_GT(result->ppa.cell_count, base->ppa.cell_count);
+}
+
+TEST(FlowTest, KnobsDifferBetweenPresets) {
+  const auto open_knobs = knobs_for(FlowQuality::kOpen, 1, 0.6);
+  const auto comm_knobs = knobs_for(FlowQuality::kCommercial, 1, 0.6);
+  EXPECT_LT(open_knobs.synth_iterations, comm_knobs.synth_iterations);
+  EXPECT_LT(open_knobs.place_options.global_iterations,
+            comm_knobs.place_options.global_iterations);
+  EXPECT_LT(open_knobs.route_options.max_ripup_iterations,
+            comm_knobs.route_options.max_ripup_iterations);
+  EXPECT_FALSE(open_knobs.map_options.size_for_load);
+  EXPECT_TRUE(comm_knobs.map_options.size_for_load);
+}
+
+}  // namespace
+}  // namespace eurochip::flow

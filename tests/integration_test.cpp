@@ -1,0 +1,129 @@
+// Cross-artifact integration tests: the four exchange views of one design
+// (Verilog netlist, DEF placement, Liberty library, GDSII layout) must
+// agree with each other and with the in-memory model — the consistency an
+// enablement platform needs before accepting a submission.
+#include <gtest/gtest.h>
+
+#include "eurochip/core/campaign.hpp"
+#include "eurochip/flow/flow.hpp"
+#include "eurochip/gds/gds.hpp"
+#include "eurochip/netlist/liberty.hpp"
+#include "eurochip/netlist/verilog.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/place/def.hpp"
+#include "eurochip/rtl/designs.hpp"
+#include "eurochip/rtl/hls.hpp"
+
+namespace eurochip {
+namespace {
+
+flow::FlowConfig cfg_for(const char* node) {
+  flow::FlowConfig cfg;
+  cfg.node = pdk::standard_node(node).value();
+  return cfg;
+}
+
+TEST(IntegrationTest, AllExchangeViewsAgree) {
+  const auto m = rtl::designs::alu(8);
+  const auto result = flow::run_reference_flow(m, cfg_for("sky130ish"));
+  ASSERT_TRUE(result.ok());
+  const auto& a = result->artifacts;
+
+  // Verilog instances == netlist cells == DEF components.
+  const auto verilog =
+      netlist::read_verilog_summary(netlist::write_verilog(*a.mapped));
+  const auto def = place::read_def_summary(place::write_def(*a.placed));
+  ASSERT_TRUE(verilog.ok());
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(verilog->num_instances, a.mapped->num_cells());
+  EXPECT_EQ(def->num_components, a.mapped->num_cells());
+
+  // GDSII cell rectangles == netlist cells; die box == DEF die box.
+  const auto gds_lib = gds::read(a.gds_bytes);
+  ASSERT_TRUE(gds_lib.ok());
+  std::size_t gds_cells = 0;
+  for (const auto& b : gds_lib->structures[0].boundaries) {
+    if (b.layer == gds::kLayerCells) ++gds_cells;
+  }
+  EXPECT_EQ(gds_cells, a.mapped->num_cells());
+  EXPECT_EQ(def->die, a.placed->floorplan.die());
+
+  // Liberty cells == library size; every instantiated cell type exists.
+  const auto liberty =
+      netlist::read_liberty_summary(netlist::write_liberty(*a.library));
+  ASSERT_TRUE(liberty.ok());
+  EXPECT_EQ(liberty->num_cells, a.library->size());
+  for (netlist::CellId id : a.mapped->all_cells()) {
+    EXPECT_TRUE(a.library->find(a.mapped->lib_cell(id).name).ok());
+  }
+}
+
+TEST(IntegrationTest, HlsToCampaignEndToEnd) {
+  // The full Recommendation pipeline: HLS program -> hub campaign.
+  rtl::hls::Program prog("edge_detect", 8);
+  const auto x = prog.input("x");
+  const auto d = prog.delay(x, 1);
+  prog.output("edge", prog.abs_diff(x, d));
+  const auto module = prog.compile();
+  ASSERT_TRUE(module.ok());
+
+  core::EnablementHub hub(pdk::standard_registry(), {});
+  ASSERT_TRUE(hub.enable_technology("ihp130ish").ok());
+  core::UniversityProfile uni;
+  const std::size_t member = hub.add_member(uni);
+  core::CampaignConfig cfg;
+  cfg.node_name = "ihp130ish";
+  cfg.tier = edu::LearnerTier::kIntermediate;
+  const auto report = core::run_campaign(hub, member, *module, cfg);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_GT(report->ppa.cell_count, 0u);
+  EXPECT_EQ(report->ppa.drc_violations, 0u);
+}
+
+TEST(IntegrationTest, ScanPlusBufferingPlusFlowStayConsistent) {
+  // Commercial preset (buffering + sizing) with scan insertion: the layout
+  // views must still agree after all netlist surgery.
+  const auto m = rtl::designs::fir_filter(8, 4);
+  flow::FlowConfig cfg = cfg_for("sky130ish");
+  cfg.quality = flow::FlowQuality::kCommercial;
+  cfg.insert_scan = true;
+  const auto result = flow::run_reference_flow(m, cfg);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  const auto& a = result->artifacts;
+  EXPECT_TRUE(a.mapped->check().ok());
+  const auto def = place::read_def_summary(place::write_def(*a.placed));
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->num_components, a.mapped->num_cells());
+  EXPECT_TRUE(def->all_placed);
+  EXPECT_EQ(result->ppa.drc_violations, 0u);
+}
+
+TEST(IntegrationTest, SameSeedSameGds) {
+  // Full-flow determinism: byte-identical GDSII across runs.
+  const auto m = rtl::designs::mini_cpu_datapath(8);
+  const auto r1 = flow::run_reference_flow(m, cfg_for("sky130ish"));
+  const auto r2 = flow::run_reference_flow(m, cfg_for("sky130ish"));
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->artifacts.gds_bytes, r2->artifacts.gds_bytes);
+}
+
+TEST(IntegrationTest, DifferentSeedsDifferentPlacementSameFunction) {
+  const auto m = rtl::designs::alu(8);
+  flow::FlowConfig c1 = cfg_for("sky130ish");
+  flow::FlowConfig c2 = cfg_for("sky130ish");
+  c2.seed = 999;
+  const auto r1 = flow::run_reference_flow(m, c1);
+  const auto r2 = flow::run_reference_flow(m, c2);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  // Same logical netlist, different layout.
+  EXPECT_EQ(r1->ppa.cell_count, r2->ppa.cell_count);
+  EXPECT_NE(r1->artifacts.placed->total_hpwl(),
+            r2->artifacts.placed->total_hpwl());
+  EXPECT_EQ(r1->ppa.drc_violations, 0u);
+  EXPECT_EQ(r2->ppa.drc_violations, 0u);
+}
+
+}  // namespace
+}  // namespace eurochip

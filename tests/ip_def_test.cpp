@@ -1,0 +1,155 @@
+// Tests for the DEF placement exchange and the IP-reuse model.
+#include <gtest/gtest.h>
+
+#include "eurochip/core/ip_reuse.hpp"
+#include "eurochip/pdk/library_gen.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/place/def.hpp"
+#include "eurochip/place/placer.hpp"
+#include "eurochip/rtl/designs.hpp"
+#include "eurochip/synth/elaborate.hpp"
+#include "eurochip/synth/mapper.hpp"
+#include "eurochip/synth/opt.hpp"
+
+namespace eurochip {
+namespace {
+
+// --- DEF ---------------------------------------------------------------
+
+struct Physical {
+  pdk::TechnologyNode node;
+  std::unique_ptr<netlist::CellLibrary> lib;
+  std::unique_ptr<netlist::Netlist> nl;
+  std::unique_ptr<place::PlacedDesign> placed;
+};
+
+Physical make_physical(const rtl::Module& m) {
+  Physical p;
+  p.node = pdk::standard_node("sky130ish").value();
+  p.lib = std::make_unique<netlist::CellLibrary>(pdk::build_library(p.node));
+  const auto aig = synth::elaborate(m);
+  auto mapped = synth::map_to_library(synth::optimize(*aig, 2), *p.lib);
+  p.nl = std::make_unique<netlist::Netlist>(std::move(*mapped));
+  auto placed = place::place(*p.nl, p.node);
+  p.placed = std::make_unique<place::PlacedDesign>(std::move(*placed));
+  return p;
+}
+
+TEST(DefTest, SummaryMatchesDesign) {
+  const auto m = rtl::designs::alu(8);
+  const Physical p = make_physical(m);
+  const auto summary = place::read_def_summary(place::write_def(*p.placed));
+  ASSERT_TRUE(summary.ok()) << summary.status().to_string();
+  EXPECT_EQ(summary->design_name, "mapped");
+  EXPECT_EQ(summary->num_components, p.nl->num_cells());
+  EXPECT_EQ(summary->num_pins,
+            p.nl->inputs().size() + p.nl->outputs().size());
+  EXPECT_EQ(summary->num_rows, p.placed->floorplan.rows().size());
+  EXPECT_EQ(summary->die, p.placed->floorplan.die());
+  EXPECT_TRUE(summary->all_placed);
+}
+
+TEST(DefTest, ContainsStandardSections) {
+  const auto m = rtl::designs::counter(4);
+  const Physical p = make_physical(m);
+  const std::string def = place::write_def(*p.placed);
+  for (const char* needle :
+       {"VERSION 5.8 ;", "UNITS DISTANCE MICRONS 1000 ;", "DIEAREA (",
+        "COMPONENTS ", "END COMPONENTS", "PINS ", "END PINS",
+        "END DESIGN"}) {
+    EXPECT_NE(def.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(DefTest, ReaderRejectsCorruptInput) {
+  EXPECT_FALSE(place::read_def_summary("").ok());
+  EXPECT_FALSE(place::read_def_summary("DESIGN x ;\n").ok());  // no END
+  // Count mismatch.
+  const std::string bad =
+      "DESIGN x ;\nCOMPONENTS 2 ;\n- a INV + PLACED ( 0 0 ) N ;\n"
+      "END COMPONENTS\nPINS 0 ;\nEND PINS\nEND DESIGN\n";
+  EXPECT_FALSE(place::read_def_summary(bad).ok());
+  // Statement outside a section.
+  const std::string stray =
+      "DESIGN x ;\n- a INV + PLACED ( 0 0 ) N ;\nEND DESIGN\n";
+  EXPECT_FALSE(place::read_def_summary(stray).ok());
+}
+
+TEST(DefTest, RoundTripOnCatalogSample) {
+  for (int idx : {0, 4, 9}) {
+    auto catalog = rtl::designs::standard_catalog();
+    const Physical p = make_physical(catalog[static_cast<std::size_t>(idx)].module);
+    const auto summary =
+        place::read_def_summary(place::write_def(*p.placed));
+    ASSERT_TRUE(summary.ok()) << catalog[static_cast<std::size_t>(idx)].name;
+    EXPECT_EQ(summary->num_components, p.nl->num_cells());
+  }
+}
+
+// --- IP reuse ----------------------------------------------------------
+
+TEST(IpReuseTest, QualityWeightsVerificationMost) {
+  core::IpBlock verified;
+  verified.gates = 1000;
+  verified.verification_maturity = 1.0;
+  core::IpBlock documented;
+  documented.gates = 1000;
+  documented.verification_maturity = 0.0;
+  documented.collateral = {true, true, true, true, true};
+  EXPECT_GT(verified.quality(), documented.quality());
+  EXPECT_LE(verified.quality(), 1.0);
+}
+
+TEST(IpReuseTest, HighQualityReuseWins) {
+  const core::ReuseEffortModel model;
+  const auto catalog = core::example_catalog();
+  const auto gold = catalog.find("alu_gold");
+  ASSERT_TRUE(gold.ok());
+  EXPECT_GT(model.savings_days(*gold), 0.0);
+  EXPECT_LT(model.integration_days(*gold), model.scratch_days(*gold));
+}
+
+TEST(IpReuseTest, ThesiswareLoses) {
+  // The paper's warning: unverified IP without collateral costs more than
+  // writing from scratch.
+  const core::ReuseEffortModel model;
+  const auto catalog = core::example_catalog();
+  const auto junk = catalog.find("cpu_thesisware");
+  ASSERT_TRUE(junk.ok());
+  EXPECT_LT(model.savings_days(*junk), 0.0);
+}
+
+TEST(IpReuseTest, NdaFrictionReducesSavings) {
+  const core::ReuseEffortModel model;
+  const auto catalog = core::example_catalog();
+  const auto nda = catalog.find("mult_nda");
+  ASSERT_TRUE(nda.ok());
+  core::IpBlock liberal = *nda;
+  liberal.liberal_license = true;
+  EXPECT_GT(model.savings_days(liberal), model.savings_days(*nda));
+}
+
+TEST(IpReuseTest, BreakevenQualityDecreasesWithSize) {
+  // Bigger blocks amortize integration risk: reuse pays off at lower
+  // quality the larger the block.
+  const core::ReuseEffortModel model;
+  const double be_small = model.breakeven_quality(300);
+  const double be_large = model.breakeven_quality(5000);
+  EXPECT_GE(be_small, be_large);
+  EXPECT_GT(be_small, 0.0);
+  EXPECT_LT(be_large, 1.0);
+}
+
+TEST(IpReuseTest, SystemSavingsComposeAndValidate) {
+  const core::ReuseEffortModel model;
+  const auto catalog = core::example_catalog();
+  const auto ok =
+      catalog.system_savings_days({"alu_gold", "fir_decent"}, model);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_GT(*ok, 0.0);
+  EXPECT_FALSE(
+      catalog.system_savings_days({"alu_gold", "nonexistent"}, model).ok());
+}
+
+}  // namespace
+}  // namespace eurochip

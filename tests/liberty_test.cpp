@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "eurochip/netlist/liberty.hpp"
+#include "eurochip/pdk/library_gen.hpp"
+#include "eurochip/pdk/registry.hpp"
+
+namespace eurochip::netlist {
+namespace {
+
+CellLibrary lib() {
+  return pdk::build_library(pdk::standard_node("sky130ish").value());
+}
+
+TEST(LibertyTest, EmitsHeaderAndUnits) {
+  const std::string text = write_liberty(lib());
+  EXPECT_NE(text.find("library (sky130ish_stdcells)"), std::string::npos);
+  EXPECT_NE(text.find("delay_model : table_lookup;"), std::string::npos);
+  EXPECT_NE(text.find("time_unit : \"1ps\";"), std::string::npos);
+}
+
+TEST(LibertyTest, CellCountMatchesLibrary) {
+  const CellLibrary l = lib();
+  const auto summary = read_liberty_summary(write_liberty(l));
+  ASSERT_TRUE(summary.ok()) << summary.status().to_string();
+  EXPECT_EQ(summary->num_cells, l.size());
+  EXPECT_EQ(summary->library_name, l.name());
+  EXPECT_TRUE(summary->has_units);
+}
+
+TEST(LibertyTest, SequentialCellsEmitFfGroups) {
+  const CellLibrary l = lib();
+  std::size_t expected_ff = 0;
+  for (std::size_t i = 0; i < l.size(); ++i) {
+    if (l.cell(i).is_sequential()) ++expected_ff;
+  }
+  const auto summary = read_liberty_summary(write_liberty(l));
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->num_ff, expected_ff);
+  EXPECT_GE(expected_ff, 1u);
+}
+
+TEST(LibertyTest, PinCountConsistent) {
+  const CellLibrary l = lib();
+  std::size_t expected_pins = 0;
+  for (std::size_t i = 0; i < l.size(); ++i) {
+    const auto& c = l.cell(i);
+    // comb: inputs + Y; seq: D + CK + Q.
+    expected_pins += c.is_sequential()
+                         ? 3
+                         : static_cast<std::size_t>(c.num_inputs()) + 1;
+  }
+  const auto summary = read_liberty_summary(write_liberty(l));
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->num_pins, expected_pins);
+}
+
+TEST(LibertyTest, FunctionsContainPinNames) {
+  const std::string text = write_liberty(lib());
+  EXPECT_NE(text.find("function : \"!(A & B)\""), std::string::npos);  // nand2
+  EXPECT_NE(text.find("function : \"(A ^ B)\""), std::string::npos);   // xor2
+  EXPECT_NE(text.find("function : \"!((A & B) | C)\""), std::string::npos);
+}
+
+TEST(LibertyTest, AllNodesEmitValidLiberty) {
+  for (const auto& node : pdk::standard_nodes()) {
+    const auto l = pdk::build_library(node);
+    const auto summary = read_liberty_summary(write_liberty(l));
+    ASSERT_TRUE(summary.ok()) << node.name;
+    EXPECT_EQ(summary->num_cells, l.size()) << node.name;
+  }
+}
+
+TEST(LibertyTest, ReaderRejectsBrokenInput) {
+  EXPECT_FALSE(read_liberty_summary("").ok());
+  EXPECT_FALSE(read_liberty_summary("cell (X) { }").ok());  // no library
+  std::string text = write_liberty(lib());
+  text.pop_back();
+  text.pop_back();  // drop the closing brace
+  EXPECT_FALSE(read_liberty_summary(text).ok());
+  EXPECT_FALSE(read_liberty_summary("library (x) { } }").ok());
+}
+
+}  // namespace
+}  // namespace eurochip::netlist

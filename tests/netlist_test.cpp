@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include "eurochip/netlist/library.hpp"
+#include "eurochip/netlist/netlist.hpp"
+#include "eurochip/netlist/simulator.hpp"
+#include "eurochip/pdk/library_gen.hpp"
+#include "eurochip/pdk/registry.hpp"
+
+namespace eurochip::netlist {
+namespace {
+
+CellLibrary test_library() {
+  const auto node = pdk::standard_node("sky130ish");
+  return pdk::build_library(node.value());
+}
+
+TEST(CellFnTest, ArityMatchesFunction) {
+  EXPECT_EQ(fn_num_inputs(CellFn::kTie0), 0);
+  EXPECT_EQ(fn_num_inputs(CellFn::kInv), 1);
+  EXPECT_EQ(fn_num_inputs(CellFn::kNand2), 2);
+  EXPECT_EQ(fn_num_inputs(CellFn::kMux2), 3);
+  EXPECT_EQ(fn_num_inputs(CellFn::kDff), 1);
+}
+
+TEST(CellFnTest, TruthTablesEvaluateCorrectly) {
+  // inv
+  EXPECT_TRUE(fn_eval(CellFn::kInv, 0));
+  EXPECT_FALSE(fn_eval(CellFn::kInv, 1));
+  // nand2
+  EXPECT_TRUE(fn_eval(CellFn::kNand2, 0b00));
+  EXPECT_TRUE(fn_eval(CellFn::kNand2, 0b01));
+  EXPECT_FALSE(fn_eval(CellFn::kNand2, 0b11));
+  // xor2
+  EXPECT_FALSE(fn_eval(CellFn::kXor2, 0b00));
+  EXPECT_TRUE(fn_eval(CellFn::kXor2, 0b01));
+  EXPECT_TRUE(fn_eval(CellFn::kXor2, 0b10));
+  EXPECT_FALSE(fn_eval(CellFn::kXor2, 0b11));
+  // aoi21: !((a&b)|c), inputs a=bit0 b=bit1 c=bit2
+  EXPECT_TRUE(fn_eval(CellFn::kAoi21, 0b000));
+  EXPECT_FALSE(fn_eval(CellFn::kAoi21, 0b011));
+  EXPECT_FALSE(fn_eval(CellFn::kAoi21, 0b100));
+  // mux2: s?b:a, a=bit0 b=bit1 s=bit2
+  EXPECT_TRUE(fn_eval(CellFn::kMux2, 0b001));   // s=0 -> a=1
+  EXPECT_FALSE(fn_eval(CellFn::kMux2, 0b101));  // s=1 -> b=0
+  EXPECT_TRUE(fn_eval(CellFn::kMux2, 0b110));   // s=1 -> b=1
+}
+
+TEST(CellFnTest, AllCombinationalTruthTablesConsistentWithArity) {
+  for (CellFn fn :
+       {CellFn::kTie0, CellFn::kTie1, CellFn::kBuf, CellFn::kInv,
+        CellFn::kAnd2, CellFn::kNand2, CellFn::kOr2, CellFn::kNor2,
+        CellFn::kXor2, CellFn::kXnor2, CellFn::kAnd3, CellFn::kNand3,
+        CellFn::kOr3, CellFn::kNor3, CellFn::kAoi21, CellFn::kOai21,
+        CellFn::kMux2}) {
+    const int n = fn_num_inputs(fn);
+    const std::uint16_t tt = fn_truth_table(fn);
+    // Bits above 2^n must be zero (table is exactly 2^n entries wide).
+    if (n < 4) {
+      EXPECT_EQ(tt >> (1 << n), 0) << to_string(fn);
+    }
+  }
+}
+
+TEST(NldmTableTest, ConstantTable) {
+  const NldmTable t = NldmTable::constant(42.0);
+  EXPECT_DOUBLE_EQ(t.lookup(0, 0), 42.0);
+  EXPECT_DOUBLE_EQ(t.lookup(100, 100), 42.0);
+}
+
+TEST(NldmTableTest, BilinearInterpolation) {
+  const NldmTable t({0.0, 10.0}, {0.0, 10.0}, {0.0, 10.0, 10.0, 20.0});
+  EXPECT_DOUBLE_EQ(t.lookup(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t.lookup(10, 10), 20.0);
+  EXPECT_DOUBLE_EQ(t.lookup(5, 5), 10.0);
+  EXPECT_DOUBLE_EQ(t.lookup(0, 5), 5.0);
+}
+
+TEST(NldmTableTest, ClampsOutsideRange) {
+  const NldmTable t({0.0, 10.0}, {0.0, 10.0}, {0.0, 10.0, 10.0, 20.0});
+  EXPECT_DOUBLE_EQ(t.lookup(-5, -5), 0.0);
+  EXPECT_DOUBLE_EQ(t.lookup(100, 100), 20.0);
+}
+
+TEST(NldmTableTest, RejectsInconsistentShape) {
+  EXPECT_THROW(NldmTable({0.0}, {0.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(NldmTable({1.0, 0.0}, {0.0}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(CellLibraryTest, GeneratedLibraryHasAllFunctions) {
+  const CellLibrary lib = test_library();
+  EXPECT_GT(lib.size(), 20u);
+  for (CellFn fn : {CellFn::kInv, CellFn::kNand2, CellFn::kXor2,
+                    CellFn::kMux2, CellFn::kDff}) {
+    EXPECT_TRUE(lib.smallest_for(fn).has_value()) << to_string(fn);
+  }
+}
+
+TEST(CellLibraryTest, FindByName) {
+  const CellLibrary lib = test_library();
+  const auto idx = lib.find("INV_X1");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(lib.cell(*idx).fn, CellFn::kInv);
+  EXPECT_FALSE(lib.find("NO_SUCH_CELL").ok());
+}
+
+TEST(CellLibraryTest, DriveStrengthOrdering) {
+  const CellLibrary lib = test_library();
+  const auto cells = lib.cells_for(CellFn::kNand2);
+  ASSERT_GE(cells.size(), 2u);
+  for (std::size_t i = 1; i < cells.size(); ++i) {
+    EXPECT_LE(lib.cell(cells[i - 1]).drive_strength,
+              lib.cell(cells[i]).drive_strength);
+    EXPECT_LE(lib.cell(cells[i - 1]).area_um2, lib.cell(cells[i]).area_um2);
+  }
+  const auto strongest = lib.strongest_for(CellFn::kNand2);
+  ASSERT_TRUE(strongest.has_value());
+  EXPECT_EQ(lib.cell(*strongest).drive_strength,
+            lib.cell(cells.back()).drive_strength);
+}
+
+TEST(CellLibraryTest, RejectsDuplicateNames) {
+  CellLibrary lib("l", "n", 100, 10);
+  LibraryCell c;
+  c.name = "X";
+  c.fn = CellFn::kInv;
+  lib.add_cell(c);
+  EXPECT_THROW(lib.add_cell(c), std::invalid_argument);
+}
+
+class NetlistFixture : public ::testing::Test {
+ protected:
+  NetlistFixture() : lib_(test_library()), nl_(&lib_, "t") {}
+
+  std::uint32_t idx(const char* name) {
+    return static_cast<std::uint32_t>(lib_.find(name).value());
+  }
+
+  CellLibrary lib_;
+  Netlist nl_;
+};
+
+TEST_F(NetlistFixture, BuildAndCheckSimpleGate) {
+  const NetId a = nl_.add_input("a");
+  const NetId b = nl_.add_input("b");
+  const auto g = nl_.add_cell("g1", idx("NAND2_X1"), {a, b});
+  ASSERT_TRUE(g.ok());
+  nl_.add_output("y", nl_.cell(g.value()).output);
+  EXPECT_TRUE(nl_.check().ok());
+  EXPECT_EQ(nl_.num_cells(), 1u);
+  EXPECT_EQ(nl_.inputs().size(), 2u);
+  EXPECT_EQ(nl_.outputs().size(), 1u);
+}
+
+TEST_F(NetlistFixture, ArityMismatchRejected) {
+  const NetId a = nl_.add_input("a");
+  EXPECT_FALSE(nl_.add_cell("g", idx("NAND2_X1"), {a}).ok());
+}
+
+TEST_F(NetlistFixture, RewireInputMaintainsConsistency) {
+  const NetId a = nl_.add_input("a");
+  const NetId b = nl_.add_input("b");
+  const NetId c = nl_.add_input("c");
+  const auto g = nl_.add_cell("g1", idx("AND2_X1"), {a, b});
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(nl_.rewire_input(g.value(), 1, c).ok());
+  EXPECT_TRUE(nl_.check().ok());
+  EXPECT_TRUE(nl_.net(b).sinks.empty());
+  ASSERT_EQ(nl_.net(c).sinks.size(), 1u);
+  EXPECT_EQ(nl_.cell(g.value()).fanin[1], c);
+}
+
+TEST_F(NetlistFixture, ReplaceCellLibRequiresSameFunction) {
+  const NetId a = nl_.add_input("a");
+  const NetId b = nl_.add_input("b");
+  const auto g = nl_.add_cell("g1", idx("AND2_X1"), {a, b});
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(nl_.replace_cell_lib(g.value(), idx("AND2_X2")).ok());
+  EXPECT_FALSE(nl_.replace_cell_lib(g.value(), idx("NAND2_X1")).ok());
+  EXPECT_EQ(nl_.lib_cell(g.value()).drive_strength, 2);
+}
+
+TEST_F(NetlistFixture, TopoOrderRespectsDependencies) {
+  const NetId a = nl_.add_input("a");
+  const NetId b = nl_.add_input("b");
+  const auto g1 = nl_.add_cell("g1", idx("AND2_X1"), {a, b});
+  const auto g2 =
+      nl_.add_cell("g2", idx("INV_X1"), {nl_.cell(g1.value()).output});
+  const auto g3 = nl_.add_cell(
+      "g3", idx("OR2_X1"), {nl_.cell(g2.value()).output, a});
+  nl_.add_output("y", nl_.cell(g3.value()).output);
+  const auto order = nl_.topo_order();
+  ASSERT_TRUE(order.ok());
+  std::vector<std::uint32_t> pos(nl_.num_cells());
+  for (std::size_t i = 0; i < order->size(); ++i) {
+    pos[(*order)[i].value] = static_cast<std::uint32_t>(i);
+  }
+  EXPECT_LT(pos[g1->value], pos[g2->value]);
+  EXPECT_LT(pos[g2->value], pos[g3->value]);
+}
+
+TEST_F(NetlistFixture, AreaAndLeakageAccumulate) {
+  const NetId a = nl_.add_input("a");
+  const NetId b = nl_.add_input("b");
+  (void)nl_.add_cell("g1", idx("AND2_X1"), {a, b});
+  (void)nl_.add_cell("g2", idx("AND2_X1"), {a, b});
+  EXPECT_NEAR(nl_.total_area_um2(),
+              2 * lib_.cell(idx("AND2_X1")).area_um2, 1e-9);
+  EXPECT_GT(nl_.total_leakage_nw(), 0.0);
+  EXPECT_EQ(nl_.count_fn(CellFn::kAnd2), 2u);
+}
+
+TEST_F(NetlistFixture, LogicDepthCountsLevels) {
+  NetId prev = nl_.add_input("a");
+  for (int i = 0; i < 5; ++i) {
+    const auto g = nl_.add_cell("i" + std::to_string(i), idx("INV_X1"), {prev});
+    prev = nl_.cell(g.value()).output;
+  }
+  nl_.add_output("y", prev);
+  EXPECT_EQ(nl_.logic_depth(), 5u);
+}
+
+// --- simulator -------------------------------------------------------------
+
+TEST_F(NetlistFixture, SimulatorEvaluatesCombinational) {
+  const NetId a = nl_.add_input("a");
+  const NetId b = nl_.add_input("b");
+  const auto g = nl_.add_cell("g", idx("XOR2_X1"), {a, b});
+  nl_.add_output("y", nl_.cell(g.value()).output);
+  auto sim = Simulator::create(nl_);
+  ASSERT_TRUE(sim.ok());
+  EXPECT_EQ(sim->eval({false, false}), std::vector<bool>{false});
+  EXPECT_EQ(sim->eval({true, false}), std::vector<bool>{true});
+  EXPECT_EQ(sim->eval({true, true}), std::vector<bool>{false});
+}
+
+TEST_F(NetlistFixture, SimulatorSequentialToggle) {
+  // DFF whose input is the inverse of its output: toggles every cycle.
+  const auto inv_idx = idx("INV_X1");
+  const auto dff_idx = idx("DFF_X1");
+  const NetId tmp = nl_.add_const(false, "seed");
+  const auto dff = nl_.add_cell("ff", dff_idx, {tmp});
+  const auto inv = nl_.add_cell("nv", inv_idx, {nl_.cell(dff.value()).output});
+  ASSERT_TRUE(nl_.rewire_input(dff.value(), 0, nl_.cell(inv.value()).output).ok());
+  nl_.add_output("q", nl_.cell(dff.value()).output);
+  auto sim = Simulator::create(nl_);
+  ASSERT_TRUE(sim.ok());
+  sim->reset();
+  EXPECT_EQ(sim->step({}), std::vector<bool>{false});
+  EXPECT_EQ(sim->step({}), std::vector<bool>{true});
+  EXPECT_EQ(sim->step({}), std::vector<bool>{false});
+}
+
+TEST_F(NetlistFixture, SimulatorCountsToggles) {
+  const NetId a = nl_.add_input("a");
+  const auto g = nl_.add_cell("g", idx("INV_X1"), {a});
+  nl_.add_output("y", nl_.cell(g.value()).output);
+  auto sim = Simulator::create(nl_);
+  ASSERT_TRUE(sim.ok());
+  (void)sim->eval({false});
+  (void)sim->eval({true});
+  (void)sim->eval({false});
+  const auto& t = sim->toggle_counts();
+  EXPECT_EQ(t[a.value], 2u);
+  EXPECT_EQ(sim->eval_count(), 3u);
+}
+
+TEST_F(NetlistFixture, CheckCatchesDanglingInput) {
+  const NetId floating = nl_.add_net("floating");
+  const NetId a = nl_.add_input("a");
+  const auto g = nl_.add_cell("g", idx("AND2_X1"), {a, floating});
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(nl_.check().ok());
+}
+
+}  // namespace
+}  // namespace eurochip::netlist

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "eurochip/netlist/simulator.hpp"
+#include "eurochip/pdk/library_gen.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/rtl/designs.hpp"
+#include "eurochip/rtl/simulator.hpp"
+#include "eurochip/synth/elaborate.hpp"
+#include "eurochip/synth/mapper.hpp"
+#include "eurochip/synth/netopt.hpp"
+#include "eurochip/synth/opt.hpp"
+#include "eurochip/timing/sta.hpp"
+
+namespace eurochip::synth {
+namespace {
+
+struct Mapped {
+  pdk::TechnologyNode node;
+  std::unique_ptr<netlist::CellLibrary> lib;
+  std::unique_ptr<netlist::Netlist> nl;
+};
+
+Mapped map_design(const rtl::Module& m) {
+  Mapped d;
+  d.node = pdk::standard_node("sky130ish").value();
+  d.lib = std::make_unique<netlist::CellLibrary>(pdk::build_library(d.node));
+  const auto aig = elaborate(m);
+  auto mapped = map_to_library(optimize(*aig, 2), *d.lib);
+  d.nl = std::make_unique<netlist::Netlist>(std::move(*mapped));
+  return d;
+}
+
+std::size_t max_fanout_of(const netlist::Netlist& nl) {
+  std::size_t worst = 0;
+  for (netlist::NetId id : nl.all_nets()) {
+    worst = std::max(worst, nl.net(id).sinks.size());
+  }
+  return worst;
+}
+
+TEST(NetoptTest, BoundsAllFanouts) {
+  // mini_cpu has high-fanout select/result nets.
+  const auto m = rtl::designs::mini_cpu_datapath(8);
+  Mapped d = map_design(m);
+  ASSERT_GT(max_fanout_of(*d.nl), 6u);  // there is something to fix
+  BufferStats stats;
+  ASSERT_TRUE(insert_buffers(*d.nl, *d.lib, 6, &stats).ok());
+  EXPECT_LE(max_fanout_of(*d.nl), 6u);
+  EXPECT_LE(stats.max_fanout_after, 6u);
+  EXPECT_GT(stats.buffers_inserted, 0u);
+  EXPECT_GT(stats.max_fanout_before, stats.max_fanout_after);
+  EXPECT_TRUE(d.nl->check().ok());
+}
+
+TEST(NetoptTest, PreservesFunction) {
+  const auto m = rtl::designs::alu(8);
+  Mapped d = map_design(m);
+  ASSERT_TRUE(insert_buffers(*d.nl, *d.lib, 4).ok());
+
+  auto rtl_sim = rtl::Simulator::create(m);
+  auto nl_sim = netlist::Simulator::create(*d.nl);
+  ASSERT_TRUE(rtl_sim.ok());
+  ASSERT_TRUE(nl_sim.ok());
+  rtl_sim->reset();
+  nl_sim->reset();
+  util::Rng rng(17);
+  for (int c = 0; c < 30; ++c) {
+    const std::uint64_t a = rng.next() & 0xFF;
+    const std::uint64_t b = rng.next() & 0xFF;
+    const std::uint64_t op = rng.index(6);
+    const auto ref = rtl_sim->step({a, b, op});
+    std::vector<bool> bits;
+    for (int i = 0; i < 8; ++i) bits.push_back(((a >> i) & 1) != 0);
+    for (int i = 0; i < 8; ++i) bits.push_back(((b >> i) & 1) != 0);
+    for (int i = 0; i < 3; ++i) bits.push_back(((op >> i) & 1) != 0);
+    const auto out = nl_sim->step(bits);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= (out[static_cast<std::size_t>(i)] ? 1uLL : 0uLL) << i;
+    ASSERT_EQ(v, ref[0]) << "cycle " << c;
+  }
+}
+
+TEST(NetoptTest, NoChangeWhenAlreadyBounded) {
+  const auto m = rtl::designs::counter(4);
+  Mapped d = map_design(m);
+  BufferStats stats;
+  ASSERT_TRUE(insert_buffers(*d.nl, *d.lib, 64, &stats).ok());
+  EXPECT_EQ(stats.buffers_inserted, 0u);
+  EXPECT_EQ(stats.nets_rebuffered, 0u);
+}
+
+TEST(NetoptTest, RecursiveBufferingForHugeFanout) {
+  // Build a net with fanout 64 and bound at 4: needs two buffer levels.
+  const auto node = pdk::standard_node("sky130ish").value();
+  auto lib = pdk::build_library(node);
+  netlist::Netlist nl(&lib, "fanout_bomb");
+  const auto a = nl.add_input("a");
+  const auto inv = static_cast<std::uint32_t>(lib.find("INV_X1").value());
+  std::vector<netlist::NetId> leaves;
+  for (int i = 0; i < 64; ++i) {
+    const auto cell = nl.add_cell("s" + std::to_string(i), inv, {a});
+    leaves.push_back(nl.cell(cell.value()).output);
+  }
+  for (int i = 0; i < 64; ++i) {
+    nl.add_output("o" + std::to_string(i), leaves[static_cast<std::size_t>(i)]);
+  }
+  BufferStats stats;
+  ASSERT_TRUE(insert_buffers(nl, lib, 4, &stats).ok());
+  EXPECT_LE(max_fanout_of(nl), 4u);
+  EXPECT_GE(stats.buffers_inserted, 16u + 4u);  // two levels at least
+  EXPECT_TRUE(nl.check().ok());
+}
+
+TEST(NetoptTest, ImprovesWorstSlackOnFanoutBomb) {
+  const auto m = rtl::designs::mini_cpu_datapath(12);
+  Mapped before = map_design(m);
+  Mapped after = map_design(m);
+  ASSERT_TRUE(insert_buffers(*after.nl, *after.lib, 8).ok());
+  const auto t_before = timing::analyze(*before.nl, before.node);
+  const auto t_after = timing::analyze(*after.nl, after.node);
+  ASSERT_TRUE(t_before.ok());
+  ASSERT_TRUE(t_after.ok());
+  // Bounded loads must not make the design dramatically slower; typically
+  // they help. Allow a small tolerance for the added buffer delay.
+  EXPECT_GT(t_after->fmax_mhz, 0.8 * t_before->fmax_mhz);
+}
+
+TEST(NetoptTest, ValidatesArguments) {
+  const auto m = rtl::designs::counter(4);
+  Mapped d = map_design(m);
+  EXPECT_FALSE(insert_buffers(*d.nl, *d.lib, 1).ok());
+}
+
+}  // namespace
+}  // namespace eurochip::synth

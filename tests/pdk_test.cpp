@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "eurochip/pdk/access.hpp"
+#include "eurochip/pdk/library_gen.hpp"
+#include "eurochip/pdk/node.hpp"
+#include "eurochip/pdk/registry.hpp"
+
+namespace eurochip::pdk {
+namespace {
+
+TEST(RegistryTest, StandardRegistryHasAllNodes) {
+  const PdkRegistry reg = standard_registry();
+  EXPECT_EQ(reg.size(), 7u);
+  for (const char* name :
+       {"gf180ish", "sky130ish", "ihp130ish", "commercial65", "commercial28",
+        "commercial7", "commercial2"}) {
+    EXPECT_TRUE(reg.find(name).ok()) << name;
+  }
+  EXPECT_FALSE(reg.find("tsmc3").ok());
+}
+
+TEST(RegistryTest, OpenNodesAreOnlyMatureNodes) {
+  const PdkRegistry reg = standard_registry();
+  const auto open = reg.open_nodes();
+  EXPECT_EQ(open.size(), 3u);
+  for (const auto& n : open) {
+    EXPECT_GE(n.feature_nm, 130) << n.name;  // paper: open PDKs 180/130nm only
+  }
+}
+
+TEST(RegistryTest, RejectsDuplicateRegistration) {
+  PdkRegistry reg;
+  TechnologyNode n;
+  n.name = "x";
+  EXPECT_TRUE(reg.register_node(n).ok());
+  EXPECT_FALSE(reg.register_node(n).ok());
+}
+
+TEST(RegistryTest, DesignCostAnchorsMatchPaper) {
+  // Paper (III-C): "$5 million for a 130 nm chip to $725 million for 2 nm".
+  const PdkRegistry reg = standard_registry();
+  EXPECT_DOUBLE_EQ(reg.find("sky130ish")->design_cost_musd, 5.0);
+  EXPECT_DOUBLE_EQ(reg.find("commercial2")->design_cost_musd, 725.0);
+}
+
+TEST(RegistryTest, ScalingLawsMonotone) {
+  const PdkRegistry reg = standard_registry();
+  std::vector<TechnologyNode> by_feature = reg.nodes();
+  std::sort(by_feature.begin(), by_feature.end(),
+            [](const auto& a, const auto& b) {
+              return a.feature_nm > b.feature_nm;
+            });
+  for (std::size_t i = 1; i < by_feature.size(); ++i) {
+    const auto& coarse = by_feature[i - 1];
+    const auto& fine = by_feature[i];
+    if (coarse.feature_nm == fine.feature_nm) continue;
+    EXPECT_LT(fine.fo4_delay_ps, coarse.fo4_delay_ps);   // faster
+    EXPECT_GE(fine.leakage_nw_per_gate, coarse.leakage_nw_per_gate);
+    EXPECT_GE(fine.design_cost_musd, coarse.design_cost_musd);
+    EXPECT_GE(fine.mpw_cost_keur_mm2, coarse.mpw_cost_keur_mm2);
+    EXPECT_GE(fine.layers.size(), coarse.layers.size());
+  }
+}
+
+TEST(LibraryGenTest, AreaScalesRoughlyQuadratically) {
+  const auto n180 = standard_node("gf180ish").value();
+  const auto n28 = standard_node("commercial28").value();
+  const auto lib180 = build_library(n180);
+  const auto lib28 = build_library(n28);
+  const double a180 = lib180.cell(lib180.find("INV_X1").value()).area_um2;
+  const double a28 = lib28.cell(lib28.find("INV_X1").value()).area_um2;
+  const double expected_ratio = (180.0 * 180.0) / (28.0 * 28.0);
+  EXPECT_NEAR(a180 / a28, expected_ratio, expected_ratio * 0.05);
+}
+
+TEST(LibraryGenTest, DelayScalesWithFeature) {
+  const auto lib130 = build_library(standard_node("sky130ish").value());
+  const auto lib7 = build_library(standard_node("commercial7").value());
+  const auto& inv130 = lib130.cell(lib130.find("INV_X1").value());
+  const auto& inv7 = lib7.cell(lib7.find("INV_X1").value());
+  const double d130 = inv130.delay_ps.lookup(20.0, 4 * inv130.input_cap_ff);
+  const double d7 = inv7.delay_ps.lookup(2.0, 4 * inv7.input_cap_ff);
+  EXPECT_GT(d130 / d7, 5.0);  // ~130/7 ideally; allow margin
+}
+
+TEST(LibraryGenTest, WidthsSnapToSiteGrid) {
+  const auto node = standard_node("sky130ish").value();
+  const auto lib = build_library(node);
+  for (std::size_t i = 0; i < lib.size(); ++i) {
+    EXPECT_EQ(lib.cell(i).width_dbu % node.rules.site_width_dbu, 0)
+        << lib.cell(i).name;
+    EXPECT_GT(lib.cell(i).width_dbu, 0);
+  }
+}
+
+TEST(LibraryGenTest, StrongerDrivesHaveLowerResistiveDelay) {
+  const auto lib = build_library(standard_node("sky130ish").value());
+  const auto& x1 = lib.cell(lib.find("NAND2_X1").value());
+  const auto& x4 = lib.cell(lib.find("NAND2_X4").value());
+  const double heavy_load = 40.0;
+  EXPECT_LT(x4.delay_ps.lookup(20, heavy_load),
+            x1.delay_ps.lookup(20, heavy_load));
+  EXPECT_GT(x4.max_load_ff, x1.max_load_ff);
+}
+
+TEST(LibraryGenTest, OptionsControlComplexCells) {
+  LibraryGenOptions opt;
+  opt.include_complex_cells = false;
+  const auto lib = build_library(standard_node("sky130ish").value(), opt);
+  EXPECT_FALSE(lib.smallest_for(netlist::CellFn::kMux2).has_value());
+  EXPECT_TRUE(lib.smallest_for(netlist::CellFn::kNand2).has_value());
+}
+
+// --- access policy ---------------------------------------------------------
+
+UserProfile university_with_everything() {
+  UserProfile u;
+  u.name = "TU Test";
+  u.affiliation = Affiliation::kUniversity;
+  u.has_signed_nda = true;
+  u.completed_tapeouts = 5;
+  u.has_secured_funding = true;
+  u.has_isolated_it = true;
+  return u;
+}
+
+TEST(AccessTest, OpenNodeAlwaysGranted) {
+  const auto node = standard_node("sky130ish").value();
+  UserProfile u;
+  u.affiliation = Affiliation::kHighSchool;
+  EXPECT_TRUE(check_access(node, u).granted);
+  EXPECT_TRUE(require_access(node, u).ok());
+}
+
+TEST(AccessTest, NdaRequiredForCommercial) {
+  const auto node = standard_node("commercial65").value();
+  UserProfile u;
+  u.affiliation = Affiliation::kUniversity;
+  EXPECT_FALSE(check_access(node, u).granted);
+  u.has_signed_nda = true;
+  EXPECT_TRUE(check_access(node, u).granted);
+}
+
+TEST(AccessTest, TrackRecordRequiredForAdvanced) {
+  const auto node = standard_node("commercial28").value();
+  UserProfile u = university_with_everything();
+  u.completed_tapeouts = 0;
+  const auto d = check_access(node, u);
+  EXPECT_FALSE(d.granted);
+  EXPECT_NE(d.reason.find("tape-outs"), std::string::npos);
+  u.completed_tapeouts = 1;
+  EXPECT_TRUE(check_access(node, u).granted);
+}
+
+TEST(AccessTest, ExportControlBlocksRestrictedUsers) {
+  const auto node = standard_node("commercial7").value();
+  UserProfile u = university_with_everything();
+  u.export_group = ExportGroup::kRestricted;
+  EXPECT_FALSE(check_access(node, u).granted);
+  u.export_group = ExportGroup::kUnrestricted;
+  EXPECT_TRUE(check_access(node, u).granted);
+}
+
+TEST(AccessTest, IsolatedItRequiredForExportControlled) {
+  const auto node = standard_node("commercial2").value();
+  UserProfile u = university_with_everything();
+  u.has_isolated_it = false;
+  EXPECT_FALSE(check_access(node, u).granted);
+}
+
+TEST(AccessTest, FundingRequiredForAdvanced) {
+  const auto node = standard_node("commercial28").value();
+  UserProfile u = university_with_everything();
+  u.has_secured_funding = false;
+  EXPECT_FALSE(check_access(node, u).granted);
+}
+
+TEST(AccessTest, HighSchoolOnlyOpen) {
+  UserProfile u = university_with_everything();
+  u.affiliation = Affiliation::kHighSchool;
+  EXPECT_FALSE(check_access(standard_node("commercial65").value(), u).granted);
+  EXPECT_TRUE(check_access(standard_node("gf180ish").value(), u).granted);
+}
+
+TEST(AccessTest, RequireAccessReturnsPermissionDenied) {
+  const auto node = standard_node("commercial65").value();
+  UserProfile u;
+  const auto s = require_access(node, u);
+  EXPECT_EQ(s.code(), util::ErrorCode::kPermissionDenied);
+}
+
+}  // namespace
+}  // namespace eurochip::pdk

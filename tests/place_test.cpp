@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "eurochip/pdk/library_gen.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/place/floorplan.hpp"
+#include "eurochip/place/placer.hpp"
+#include "eurochip/rtl/designs.hpp"
+#include "eurochip/synth/elaborate.hpp"
+#include "eurochip/synth/mapper.hpp"
+#include "eurochip/synth/opt.hpp"
+
+namespace eurochip::place {
+namespace {
+
+struct TestDesign {
+  pdk::TechnologyNode node;
+  std::unique_ptr<netlist::CellLibrary> lib;
+  std::unique_ptr<netlist::Netlist> nl;
+};
+
+TestDesign make_design(const rtl::Module& m,
+                       const std::string& node_name = "sky130ish") {
+  TestDesign d;
+  d.node = pdk::standard_node(node_name).value();
+  d.lib = std::make_unique<netlist::CellLibrary>(pdk::build_library(d.node));
+  const auto aig = synth::elaborate(m);
+  auto mapped = synth::map_to_library(synth::optimize(*aig, 2), *d.lib);
+  d.nl = std::make_unique<netlist::Netlist>(std::move(*mapped));
+  return d;
+}
+
+TEST(FloorplanTest, CoreFitsCells) {
+  const auto m = rtl::designs::alu(8);
+  const TestDesign d = make_design(m);
+  auto fp = Floorplan::create(*d.nl, d.node, 0.6);
+  ASSERT_TRUE(fp.ok());
+  // Core must be able to hold the cells at the requested density.
+  std::int64_t cell_area = 0;
+  for (auto id : d.nl->all_cells()) {
+    cell_area += d.nl->lib_cell(id).width_dbu * fp->row_height();
+  }
+  EXPECT_GE(fp->core().area(), cell_area);
+  EXPECT_LE(static_cast<double>(cell_area) /
+                static_cast<double>(fp->core().area()),
+            0.65);
+  EXPECT_FALSE(fp->rows().empty());
+}
+
+TEST(FloorplanTest, RowsTileTheCore) {
+  const auto m = rtl::designs::counter(12);
+  const TestDesign d = make_design(m);
+  const auto fp = Floorplan::create(*d.nl, d.node, 0.5);
+  ASSERT_TRUE(fp.ok());
+  std::int64_t covered = 0;
+  for (const Row& r : fp->rows()) {
+    EXPECT_EQ(r.bounds.height(), fp->row_height());
+    EXPECT_EQ(r.bounds.lx, fp->core().lx);
+    EXPECT_EQ(r.bounds.ux, fp->core().ux);
+    covered += r.bounds.area();
+  }
+  EXPECT_EQ(covered, fp->core().area());
+}
+
+TEST(FloorplanTest, RejectsBadUtilization) {
+  const auto m = rtl::designs::counter(4);
+  const TestDesign d = make_design(m);
+  EXPECT_FALSE(Floorplan::create(*d.nl, d.node, 0.0).ok());
+  EXPECT_FALSE(Floorplan::create(*d.nl, d.node, 0.99).ok());
+}
+
+TEST(FloorplanTest, DieAreaInMm2Positive) {
+  const auto m = rtl::designs::alu(8);
+  const TestDesign d = make_design(m);
+  const auto fp = Floorplan::create(*d.nl, d.node, 0.6);
+  ASSERT_TRUE(fp.ok());
+  EXPECT_GT(fp->die_area_mm2(), 0.0);
+  EXPECT_LT(fp->die_area_mm2(), 10.0);  // small block
+}
+
+TEST(PlaceTest, ProducesLegalPlacement) {
+  const auto m = rtl::designs::alu(8);
+  const TestDesign d = make_design(m);
+  PlaceStats stats;
+  const auto placed = place(*d.nl, d.node, {}, &stats);
+  ASSERT_TRUE(placed.ok()) << placed.status().to_string();
+  EXPECT_TRUE(placed->is_legal());
+  EXPECT_EQ(placed->overlap_count(), 0u);
+  EXPECT_EQ(stats.cells, d.nl->num_cells());
+  EXPECT_GT(stats.hpwl_final, 0);
+}
+
+TEST(PlaceTest, GlobalPlacementBeatsRandom) {
+  const auto m = rtl::designs::mini_cpu_datapath(8);
+  const TestDesign d = make_design(m);
+  PlacementOptions random_opt;
+  random_opt.random_only = true;
+  random_opt.detailed_passes = 0;
+  PlacementOptions global_opt;
+  const auto random_placed = place(*d.nl, d.node, random_opt);
+  const auto global_placed = place(*d.nl, d.node, global_opt);
+  ASSERT_TRUE(random_placed.ok());
+  ASSERT_TRUE(global_placed.ok());
+  EXPECT_LT(global_placed->total_hpwl(), random_placed->total_hpwl());
+}
+
+TEST(PlaceTest, DetailedPassImprovesOrEqual) {
+  const auto m = rtl::designs::fir_filter(8, 4);
+  const TestDesign d = make_design(m);
+  PlacementOptions no_detail;
+  no_detail.detailed_passes = 0;
+  PlacementOptions with_detail;
+  with_detail.detailed_passes = 3;
+  const auto a = place(*d.nl, d.node, no_detail);
+  const auto b = place(*d.nl, d.node, with_detail);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LE(b->total_hpwl(), a->total_hpwl());
+}
+
+TEST(PlaceTest, DeterministicForSeed) {
+  const auto m = rtl::designs::counter(16);
+  const TestDesign d = make_design(m);
+  PlacementOptions opt;
+  opt.seed = 77;
+  const auto a = place(*d.nl, d.node, opt);
+  const auto b = place(*d.nl, d.node, opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->cell_origin.size(), b->cell_origin.size());
+  for (std::size_t i = 0; i < a->cell_origin.size(); ++i) {
+    EXPECT_EQ(a->cell_origin[i], b->cell_origin[i]) << i;
+  }
+}
+
+TEST(PlaceTest, PadsOnDieBoundary) {
+  const auto m = rtl::designs::adder(8);
+  const TestDesign d = make_design(m);
+  const auto placed = place(*d.nl, d.node);
+  ASSERT_TRUE(placed.ok());
+  const auto& die = placed->floorplan.die();
+  for (const auto& p : placed->input_pad) {
+    EXPECT_TRUE(p.x == die.lx || p.y == die.ly) << p.x << "," << p.y;
+  }
+  for (const auto& p : placed->output_pad) {
+    EXPECT_TRUE(p.x == die.ux || p.y == die.uy) << p.x << "," << p.y;
+  }
+}
+
+TEST(PlaceTest, WorksAcrossNodes) {
+  const auto m = rtl::designs::alu(8);
+  for (const char* node_name : {"gf180ish", "commercial28", "commercial7"}) {
+    const TestDesign d = make_design(m, node_name);
+    const auto placed = place(*d.nl, d.node);
+    ASSERT_TRUE(placed.ok()) << node_name;
+    EXPECT_TRUE(placed->is_legal()) << node_name;
+  }
+}
+
+TEST(PlaceTest, HpwlScalesDownWithFeatureSize) {
+  const auto m = rtl::designs::alu(8);
+  const TestDesign d180 = make_design(m, "gf180ish");
+  const TestDesign d7 = make_design(m, "commercial7");
+  const auto p180 = place(*d180.nl, d180.node);
+  const auto p7 = place(*d7.nl, d7.node);
+  ASSERT_TRUE(p180.ok());
+  ASSERT_TRUE(p7.ok());
+  EXPECT_LT(p7->total_hpwl(), p180->total_hpwl());
+}
+
+}  // namespace
+}  // namespace eurochip::place

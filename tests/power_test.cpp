@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eurochip/pdk/library_gen.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/power/power.hpp"
+#include "eurochip/rtl/designs.hpp"
+#include "eurochip/synth/elaborate.hpp"
+#include "eurochip/synth/mapper.hpp"
+#include "eurochip/synth/opt.hpp"
+
+namespace eurochip::power {
+namespace {
+
+struct Mapped {
+  pdk::TechnologyNode node;
+  std::unique_ptr<netlist::CellLibrary> lib;
+  std::unique_ptr<netlist::Netlist> nl;
+};
+
+Mapped make_mapped(const rtl::Module& m,
+                   const std::string& node_name = "sky130ish") {
+  Mapped d;
+  d.node = pdk::standard_node(node_name).value();
+  d.lib = std::make_unique<netlist::CellLibrary>(pdk::build_library(d.node));
+  const auto aig = synth::elaborate(m);
+  auto mapped = synth::map_to_library(synth::optimize(*aig, 2), *d.lib);
+  d.nl = std::make_unique<netlist::Netlist>(std::move(*mapped));
+  return d;
+}
+
+TEST(PowerTest, ReportsPositiveComponents) {
+  const auto m = rtl::designs::alu(8);
+  const Mapped d = make_mapped(m);
+  const auto report = estimate(*d.nl, d.node);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_GT(report->dynamic_uw, 0.0);
+  EXPECT_GT(report->leakage_uw, 0.0);
+  EXPECT_GT(report->clock_tree_uw, 0.0);
+  EXPECT_NEAR(report->total_uw,
+              report->dynamic_uw + report->leakage_uw + report->clock_tree_uw,
+              1e-9);
+  EXPECT_GT(report->nets_analyzed, 0u);
+}
+
+TEST(PowerTest, DynamicPowerScalesWithFrequency) {
+  const auto m = rtl::designs::counter(16);
+  const Mapped d = make_mapped(m);
+  PowerOptions slow;
+  slow.clock_mhz = 50.0;
+  PowerOptions fast;
+  fast.clock_mhz = 500.0;
+  const auto rs = estimate(*d.nl, d.node, slow);
+  const auto rf = estimate(*d.nl, d.node, fast);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rf.ok());
+  EXPECT_NEAR(rf->dynamic_uw / rs->dynamic_uw, 10.0, 0.01);
+  EXPECT_NEAR(rf->leakage_uw, rs->leakage_uw, 1e-9);  // frequency-independent
+}
+
+TEST(PowerTest, SimulatedActivityDiffersFromDefault) {
+  const auto m = rtl::designs::lfsr(12);
+  const Mapped d = make_mapped(m);
+  PowerOptions with_sim;
+  with_sim.simulate_activity = true;
+  PowerOptions without_sim;
+  without_sim.simulate_activity = false;
+  const auto a = estimate(*d.nl, d.node, with_sim);
+  const auto b = estimate(*d.nl, d.node, without_sim);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(std::abs(a->average_activity - b->average_activity), 1e-6);
+  EXPECT_NEAR(b->average_activity, without_sim.default_activity, 1e-9);
+}
+
+TEST(PowerTest, LeakageDominatesAtAdvancedNodesWhenIdle) {
+  // The same design at 7nm leaks far more per gate than at 180nm
+  // (paper-consistent scaling behaviour).
+  const auto m = rtl::designs::alu(8);
+  const Mapped d180 = make_mapped(m, "gf180ish");
+  const Mapped d7 = make_mapped(m, "commercial7");
+  const auto r180 = estimate(*d180.nl, d180.node);
+  const auto r7 = estimate(*d7.nl, d7.node);
+  ASSERT_TRUE(r180.ok());
+  ASSERT_TRUE(r7.ok());
+  const double frac180 = r180->leakage_uw / r180->total_uw;
+  const double frac7 = r7->leakage_uw / r7->total_uw;
+  EXPECT_GT(frac7, frac180);
+}
+
+TEST(PowerTest, DeterministicForSeed) {
+  const auto m = rtl::designs::fir_filter(8, 3);
+  const Mapped d = make_mapped(m);
+  const auto a = estimate(*d.nl, d.node);
+  const auto b = estimate(*d.nl, d.node);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->total_uw, b->total_uw);
+}
+
+TEST(PowerTest, MoreCyclesStillBounded) {
+  const auto m = rtl::designs::counter(8);
+  const Mapped d = make_mapped(m);
+  PowerOptions opt;
+  opt.activity_cycles = 1024;
+  const auto report = estimate(*d.nl, d.node, opt);
+  ASSERT_TRUE(report.ok());
+  // Toggle rate can never exceed 1 per cycle per net.
+  EXPECT_LE(report->average_activity, 1.0);
+  EXPECT_GE(report->average_activity, 0.0);
+}
+
+}  // namespace
+}  // namespace eurochip::power

@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "eurochip/rtl/designs.hpp"
+#include "eurochip/util/rng.hpp"
+#include "eurochip/rtl/ir.hpp"
+#include "eurochip/rtl/simulator.hpp"
+
+namespace eurochip::rtl {
+namespace {
+
+TEST(ModuleTest, CounterStructure) {
+  const Module m = designs::counter(8);
+  EXPECT_TRUE(m.check().ok());
+  EXPECT_EQ(m.inputs().size(), 1u);
+  EXPECT_EQ(m.outputs().size(), 1u);
+  EXPECT_EQ(m.regs().size(), 1u);
+  EXPECT_GT(m.rtl_lines(), 0u);
+}
+
+TEST(ModuleTest, WidthValidation) {
+  Module m("t");
+  EXPECT_THROW(m.input("x", 0), std::invalid_argument);
+  EXPECT_THROW(m.input("x", 65), std::invalid_argument);
+  EXPECT_THROW(m.lit(4, 2), std::invalid_argument);  // 4 needs 3 bits
+}
+
+TEST(ModuleTest, OperandWidthMismatchRejected) {
+  Module m("t");
+  const auto a = m.input("a", 4);
+  const auto b = m.input("b", 5);
+  EXPECT_THROW(m.add(m.sig(a), m.sig(b)), std::invalid_argument);
+  EXPECT_THROW(m.mux(m.sig(a), m.sig(a), m.sig(a)), std::invalid_argument);
+}
+
+TEST(ModuleTest, SliceOutOfRangeRejected) {
+  Module m("t");
+  const auto a = m.input("a", 4);
+  EXPECT_THROW(m.slice(m.sig(a), 2, 3), std::invalid_argument);
+  EXPECT_NO_THROW(m.slice(m.sig(a), 2, 2));
+}
+
+TEST(ModuleTest, ResizeExtendsAndTruncates) {
+  Module m("t");
+  const auto a = m.input("a", 4);
+  EXPECT_EQ(m.expr(m.resize(m.sig(a), 8)).width, 8);
+  EXPECT_EQ(m.expr(m.resize(m.sig(a), 2)).width, 2);
+  EXPECT_EQ(m.expr(m.resize(m.sig(a), 4)).width, 4);
+}
+
+TEST(ModuleTest, RegRequiresBinding) {
+  Module m("t");
+  (void)m.reg("r", 4);
+  EXPECT_FALSE(m.check().ok());  // next-state never set
+}
+
+TEST(SimulatorTest, CounterCounts) {
+  const Module m = designs::counter(8);
+  auto sim = Simulator::create(m);
+  ASSERT_TRUE(sim.ok());
+  sim->reset();
+  EXPECT_EQ(sim->step({1})[0], 0u);  // pre-edge output
+  EXPECT_EQ(sim->step({1})[0], 1u);
+  EXPECT_EQ(sim->step({0})[0], 2u);  // disabled: holds
+  EXPECT_EQ(sim->step({1})[0], 2u);
+  EXPECT_EQ(sim->step({1})[0], 3u);
+}
+
+TEST(SimulatorTest, CounterWraps) {
+  const Module m = designs::counter(3);
+  auto sim = Simulator::create(m);
+  ASSERT_TRUE(sim.ok());
+  sim->reset();
+  std::uint64_t last = 0;
+  for (int i = 0; i < 9; ++i) last = sim->step({1})[0];
+  EXPECT_EQ(last, 0u);  // 8 increments wrapped a 3-bit counter
+}
+
+TEST(SimulatorTest, AdderMatchesReference) {
+  const Module m = designs::adder(8);
+  auto sim = Simulator::create(m);
+  ASSERT_TRUE(sim.ok());
+  for (std::uint64_t a : {0u, 1u, 17u, 255u}) {
+    for (std::uint64_t b : {0u, 3u, 128u, 255u}) {
+      const auto out = sim->eval({a, b});
+      EXPECT_EQ(out[0], (a + b) & 0xFF) << a << "+" << b;
+      EXPECT_EQ(out[1], (a + b) >> 8) << a << "+" << b;
+    }
+  }
+}
+
+TEST(SimulatorTest, AluOperations) {
+  const Module m = designs::alu(8);
+  auto sim = Simulator::create(m);
+  ASSERT_TRUE(sim.ok());
+  sim->reset();
+  // Result registers one cycle later.
+  const auto run = [&](std::uint64_t a, std::uint64_t b, std::uint64_t op) {
+    (void)sim->step({a, b, op});
+    return sim->step({a, b, op})[0];
+  };
+  EXPECT_EQ(run(20, 22, 0), 42u);         // add
+  EXPECT_EQ(run(20, 22, 1), 254u);        // sub (wraps)
+  EXPECT_EQ(run(0xF0, 0x3C, 2), 0x30u);   // and
+  EXPECT_EQ(run(0xF0, 0x3C, 3), 0xFCu);   // or
+  EXPECT_EQ(run(0xF0, 0x3C, 4), 0xCCu);   // xor
+  EXPECT_EQ(run(3, 7, 5), 1u);            // slt
+  EXPECT_EQ(run(7, 3, 5), 0u);
+}
+
+TEST(SimulatorTest, GrayEncoderProperty) {
+  const Module m = designs::gray_encoder(8);
+  auto sim = Simulator::create(m);
+  ASSERT_TRUE(sim.ok());
+  // Successive gray codes differ in exactly one bit.
+  std::uint64_t prev = sim->eval({0})[0];
+  for (std::uint64_t x = 1; x < 256; ++x) {
+    const std::uint64_t g = sim->eval({x})[0];
+    EXPECT_EQ(__builtin_popcountll(prev ^ g), 1) << x;
+    prev = g;
+  }
+}
+
+TEST(SimulatorTest, PopcountMatchesBuiltin) {
+  const Module m = designs::popcount(16);
+  auto sim = Simulator::create(m);
+  ASSERT_TRUE(sim.ok());
+  for (std::uint64_t x : {0uLL, 1uLL, 0xFFFFuLL, 0xAAAAuLL, 0x1234uLL}) {
+    EXPECT_EQ(sim->eval({x})[0],
+              static_cast<std::uint64_t>(__builtin_popcountll(x)));
+  }
+}
+
+TEST(SimulatorTest, PriorityEncoderFindsHighestBit) {
+  const Module m = designs::priority_encoder(16);
+  auto sim = Simulator::create(m);
+  ASSERT_TRUE(sim.ok());
+  EXPECT_EQ(sim->eval({0})[1], 0u);  // invalid
+  for (int hi = 0; hi < 16; ++hi) {
+    const std::uint64_t x = (1uLL << hi) | (hi > 2 ? 0b101uLL : 0uLL);
+    const auto out = sim->eval({x});
+    EXPECT_EQ(out[0], static_cast<std::uint64_t>(hi));
+    EXPECT_EQ(out[1], 1u);
+  }
+}
+
+TEST(SimulatorTest, LfsrVisitsManyStates) {
+  const Module m = designs::lfsr(8);
+  auto sim = Simulator::create(m);
+  ASSERT_TRUE(sim.ok());
+  sim->reset();
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 255; ++i) seen.insert(sim->step({1})[0]);
+  EXPECT_EQ(seen.size(), 255u);  // maximal period for primitive taps
+  for (std::uint64_t s : seen) EXPECT_NE(s, 0u);  // all-zero is absorbing
+}
+
+TEST(SimulatorTest, MultiplierMatchesReference) {
+  const Module m = designs::multiplier(8);
+  auto sim = Simulator::create(m);
+  ASSERT_TRUE(sim.ok());
+  sim->reset();
+  for (std::uint64_t a : {0u, 3u, 15u, 255u}) {
+    for (std::uint64_t b : {0u, 7u, 100u, 255u}) {
+      (void)sim->step({a, b});
+      EXPECT_EQ(sim->step({a, b})[0], a * b);
+    }
+  }
+}
+
+class MultiplierVariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiplierVariantTest, EquivalentToReferenceVariant) {
+  Module ref = designs::multiplier_variant(6, 0);
+  Module var = designs::multiplier_variant(6, GetParam());
+  auto sa = Simulator::create(ref);
+  auto sb = Simulator::create(var);
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  EXPECT_TRUE(lockstep_compare(*sa, *sb, {6, 6}, 99, 200));
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, MultiplierVariantTest,
+                         ::testing::Values(1, 2));
+
+class AdderVariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdderVariantTest, EquivalentToReferenceVariant) {
+  Module ref = designs::adder_variant(10, 0);
+  Module var = designs::adder_variant(10, GetParam());
+  auto sa = Simulator::create(ref);
+  auto sb = Simulator::create(var);
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  EXPECT_TRUE(lockstep_compare(*sa, *sb, {10, 10}, 1234, 500));
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, AdderVariantTest,
+                         ::testing::Values(1, 2, 3));
+
+TEST(SimulatorTest, MiniCpuWritebackAndForwarding) {
+  const Module m = designs::mini_cpu_datapath(8);
+  auto sim = Simulator::create(m);
+  ASSERT_TRUE(sim.ok());
+  sim->reset();
+  // x1 = 0 + 5 (imm)
+  (void)sim->step({0, 0, 0, 1, 5, 1, 1});
+  // x2 = 0 + 7 (imm)
+  (void)sim->step({0, 0, 0, 2, 7, 1, 1});
+  // x3 = x1 + x2
+  (void)sim->step({0, 1, 2, 3, 0, 0, 1});
+  // Read x3 via output port.
+  const auto out = sim->step({0, 0, 0, 0, 0, 0, 0});
+  EXPECT_EQ(out[1], 12u);
+}
+
+TEST(SimulatorTest, ShiftRegisterDelaysByDepth) {
+  const Module m = designs::shift_register(8, 3);
+  auto sim = Simulator::create(m);
+  ASSERT_TRUE(sim.ok());
+  sim->reset();
+  (void)sim->step({42});
+  (void)sim->step({0});
+  (void)sim->step({0});
+  EXPECT_EQ(sim->step({0})[0], 42u);
+}
+
+TEST(SimulatorTest, FirFilterImpulseResponse) {
+  const Module m = designs::fir_filter(8, 4);
+  auto sim = Simulator::create(m);
+  ASSERT_TRUE(sim.ok());
+  sim->reset();
+  // Impulse of 1: the output sequence equals the coefficients (1,2,3,1)
+  // delayed by the pipeline registers.
+  std::vector<std::uint64_t> response;
+  (void)sim->step({1});
+  for (int i = 0; i < 6; ++i) response.push_back(sim->step({0})[0]);
+  // y registers one cycle after the delay line; expect coefficient train.
+  std::vector<std::uint64_t> nonzero;
+  for (auto v : response) {
+    if (v != 0) nonzero.push_back(v);
+  }
+  EXPECT_EQ(nonzero, (std::vector<std::uint64_t>{1, 2, 3, 1}));
+}
+
+TEST(SimulatorTest, TrafficFsmCyclesThroughStates) {
+  Module m = designs::traffic_fsm();
+  auto sim = Simulator::create(m);
+  ASSERT_TRUE(sim.ok());
+  sim->reset();
+  std::vector<std::uint64_t> states;
+  for (int i = 0; i < 5; ++i) states.push_back(sim->step({1})[0]);
+  EXPECT_EQ(states, (std::vector<std::uint64_t>{0, 1, 2, 3, 0}));
+  // Green only in state 2.
+  sim->reset();
+  (void)sim->step({1});
+  (void)sim->step({1});
+  EXPECT_EQ(sim->step({1})[1], 1u);
+}
+
+TEST(SimulatorTest, Crc8MatchesSoftwareReference) {
+  Module m = designs::crc8();
+  auto sim = Simulator::create(m);
+  ASSERT_TRUE(sim.ok());
+  sim->reset();
+  // Software CRC-8 (poly 0x07, init 0) over a byte stream.
+  const std::vector<std::uint64_t> stream = {0x31, 0x32, 0x33, 0xFF, 0x00};
+  std::uint8_t ref = 0;
+  for (std::uint64_t byte : stream) {
+    ref = static_cast<std::uint8_t>(ref ^ byte);
+    for (int i = 0; i < 8; ++i) {
+      ref = (ref & 0x80) != 0
+                ? static_cast<std::uint8_t>((ref << 1) ^ 0x07)
+                : static_cast<std::uint8_t>(ref << 1);
+    }
+    (void)sim->step({byte, 1});
+  }
+  EXPECT_EQ(sim->step({0, 0})[0], ref);
+}
+
+TEST(SimulatorTest, BarrelShifterMatchesShift) {
+  Module m = designs::barrel_shifter(16);
+  auto sim = Simulator::create(m);
+  ASSERT_TRUE(sim.ok());
+  for (std::uint64_t x : {0x1uLL, 0xABCDuLL, 0xFFFFuLL}) {
+    for (std::uint64_t amount = 0; amount < 16; ++amount) {
+      EXPECT_EQ(sim->eval({x, amount})[0], (x << amount) & 0xFFFF)
+          << x << "<<" << amount;
+    }
+  }
+}
+
+TEST(SimulatorTest, Sorter4ProducesSortedOutputs) {
+  Module m = designs::sorter4(8);
+  auto sim = Simulator::create(m);
+  ASSERT_TRUE(sim.ok());
+  util::Rng rng(55);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint64_t> in = {rng.next() & 0xFF, rng.next() & 0xFF,
+                                     rng.next() & 0xFF, rng.next() & 0xFF};
+    const auto out = sim->eval(in);
+    std::vector<std::uint64_t> expect = in;
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(out, expect);
+  }
+}
+
+TEST(SimulatorTest, SerializerShiftsOutLsbFirst) {
+  Module m = designs::serializer(8);
+  auto sim = Simulator::create(m);
+  ASSERT_TRUE(sim.ok());
+  sim->reset();
+  (void)sim->step({0b10110010, 1});  // load
+  std::uint64_t received = 0;
+  for (int bit = 0; bit < 8; ++bit) {
+    received |= sim->step({0, 0})[0] << bit;
+  }
+  EXPECT_EQ(received, 0b10110010u);
+}
+
+TEST(DesignCatalogTest, AllEntriesCheckAndSimulate) {
+  for (auto& entry : designs::standard_catalog()) {
+    EXPECT_TRUE(entry.module.check().ok()) << entry.name;
+    auto sim = Simulator::create(entry.module);
+    ASSERT_TRUE(sim.ok()) << entry.name;
+    std::vector<std::uint64_t> zeros(sim->num_inputs(), 0);
+    (void)sim->step(zeros);  // must not crash
+  }
+}
+
+TEST(DesignCatalogTest, RtlLinesArePositiveAndModest) {
+  for (auto& entry : designs::standard_catalog()) {
+    EXPECT_GT(entry.module.rtl_lines(), 0u) << entry.name;
+    EXPECT_LT(entry.module.rtl_lines(), 2000u) << entry.name;
+  }
+}
+
+}  // namespace
+}  // namespace eurochip::rtl

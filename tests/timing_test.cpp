@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "eurochip/pdk/library_gen.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/place/placer.hpp"
+#include "eurochip/route/router.hpp"
+#include "eurochip/rtl/designs.hpp"
+#include "eurochip/synth/elaborate.hpp"
+#include "eurochip/synth/mapper.hpp"
+#include "eurochip/synth/opt.hpp"
+#include "eurochip/timing/sta.hpp"
+
+namespace eurochip::timing {
+namespace {
+
+struct Mapped {
+  pdk::TechnologyNode node;
+  std::unique_ptr<netlist::CellLibrary> lib;
+  std::unique_ptr<netlist::Netlist> nl;
+};
+
+Mapped make_mapped(const rtl::Module& m,
+                   const std::string& node_name = "sky130ish") {
+  Mapped d;
+  d.node = pdk::standard_node(node_name).value();
+  d.lib = std::make_unique<netlist::CellLibrary>(pdk::build_library(d.node));
+  const auto aig = synth::elaborate(m);
+  auto mapped = synth::map_to_library(synth::optimize(*aig, 2), *d.lib);
+  d.nl = std::make_unique<netlist::Netlist>(std::move(*mapped));
+  return d;
+}
+
+TEST(StaTest, ReportsEndpointsAndPositivePathDelay) {
+  const auto m = rtl::designs::alu(8);
+  const Mapped d = make_mapped(m);
+  const auto report = analyze(*d.nl, d.node);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_GT(report->num_endpoints, 0u);
+  EXPECT_GT(report->critical_path_delay_ps, 0.0);
+  EXPECT_FALSE(report->critical_path.empty());
+}
+
+TEST(StaTest, GenerousClockMeetsTiming) {
+  const auto m = rtl::designs::counter(8);
+  const Mapped d = make_mapped(m);
+  StaOptions opt;
+  opt.clock_period_ps = 1e6;  // 1 us: trivially met
+  const auto report = analyze(*d.nl, d.node, opt);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->met());
+  EXPECT_GT(report->wns_ps, 0.0);
+  EXPECT_DOUBLE_EQ(report->tns_ps, 0.0);
+}
+
+TEST(StaTest, ImpossibleClockFailsTiming) {
+  const auto m = rtl::designs::multiplier(8);
+  const Mapped d = make_mapped(m);
+  StaOptions opt;
+  opt.clock_period_ps = 1.0;  // 1 ps: impossible
+  const auto report = analyze(*d.nl, d.node, opt);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->met());
+  EXPECT_LT(report->wns_ps, 0.0);
+  EXPECT_LT(report->tns_ps, 0.0);
+}
+
+TEST(StaTest, SlackMonotoneInClockPeriod) {
+  const auto m = rtl::designs::fir_filter(8, 4);
+  const Mapped d = make_mapped(m);
+  double prev_wns = -1e18;
+  for (double period : {100.0, 1000.0, 5000.0, 20000.0}) {
+    StaOptions opt;
+    opt.clock_period_ps = period;
+    const auto report = analyze(*d.nl, d.node, opt);
+    ASSERT_TRUE(report.ok());
+    EXPECT_GE(report->wns_ps, prev_wns);
+    prev_wns = report->wns_ps;
+  }
+}
+
+TEST(StaTest, FmaxIndependentOfAnalysisClock) {
+  const auto m = rtl::designs::alu(8);
+  const Mapped d = make_mapped(m);
+  StaOptions a;
+  a.clock_period_ps = 1000.0;
+  StaOptions b;
+  b.clock_period_ps = 9000.0;
+  const auto ra = analyze(*d.nl, d.node, a);
+  const auto rb = analyze(*d.nl, d.node, b);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_NEAR(ra->fmax_mhz, rb->fmax_mhz, ra->fmax_mhz * 0.01);
+}
+
+TEST(StaTest, FasterNodesAreFaster) {
+  const auto m = rtl::designs::alu(8);
+  const Mapped d130 = make_mapped(m, "sky130ish");
+  const Mapped d7 = make_mapped(m, "commercial7");
+  const auto r130 = analyze(*d130.nl, d130.node);
+  const auto r7 = analyze(*d7.nl, d7.node);
+  ASSERT_TRUE(r130.ok());
+  ASSERT_TRUE(r7.ok());
+  EXPECT_GT(r7->fmax_mhz, 3.0 * r130->fmax_mhz);
+}
+
+TEST(StaTest, PostLayoutSlowerThanWireloadOnLargeDesign) {
+  const auto m = rtl::designs::mini_cpu_datapath(8);
+  const Mapped d = make_mapped(m);
+  auto placed = place::place(*d.nl, d.node);
+  ASSERT_TRUE(placed.ok());
+  auto routed = route::route(*placed, d.node);
+  ASSERT_TRUE(routed.ok());
+  const auto pre = analyze(*d.nl, d.node);
+  const auto post = analyze(*d.nl, d.node, {}, &*routed);
+  ASSERT_TRUE(pre.ok());
+  ASSERT_TRUE(post.ok());
+  // Post-layout includes real wire RC; it should not be dramatically faster.
+  EXPECT_GT(post->critical_path_delay_ps,
+            0.5 * pre->critical_path_delay_ps);
+}
+
+TEST(StaTest, EndpointsSortedBySlack) {
+  const auto m = rtl::designs::alu(8);
+  const Mapped d = make_mapped(m);
+  const auto report = analyze(*d.nl, d.node);
+  ASSERT_TRUE(report.ok());
+  for (std::size_t i = 1; i < report->endpoints.size(); ++i) {
+    EXPECT_LE(report->endpoints[i - 1].slack_ps,
+              report->endpoints[i].slack_ps);
+  }
+  EXPECT_DOUBLE_EQ(report->endpoints.front().slack_ps, report->wns_ps);
+}
+
+TEST(StaTest, CriticalPathArrivalsMonotone) {
+  const auto m = rtl::designs::multiplier(6);
+  const Mapped d = make_mapped(m);
+  const auto report = analyze(*d.nl, d.node);
+  ASSERT_TRUE(report.ok());
+  for (std::size_t i = 1; i < report->critical_path.size(); ++i) {
+    EXPECT_GE(report->critical_path[i].arrival_ps,
+              report->critical_path[i - 1].arrival_ps - 1e-9);
+  }
+}
+
+TEST(StaTest, HoldCleanWithoutSkew) {
+  // With zero clock skew, any real gate path beats the (small) hold time.
+  const auto m = rtl::designs::mini_cpu_datapath(8);
+  const Mapped d = make_mapped(m);
+  const auto report = analyze(*d.nl, d.node);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->hold_met());
+  EXPECT_GT(report->worst_hold_slack_ps, 0.0);
+}
+
+TEST(StaTest, LargeSkewCreatesHoldViolations) {
+  // A shift register's reg-to-reg paths are single wires: huge injected
+  // skew must produce hold violations.
+  const auto m = rtl::designs::shift_register(8, 4);
+  const Mapped d = make_mapped(m);
+  StaOptions opt;
+  opt.clock_skew_ps = 1e5;
+  const auto report = analyze(*d.nl, d.node, opt);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->hold_met());
+  EXPECT_LT(report->worst_hold_slack_ps, 0.0);
+}
+
+TEST(StaTest, SkewTightensSetup) {
+  const auto m = rtl::designs::alu(8);
+  const Mapped d = make_mapped(m);
+  StaOptions no_skew;
+  StaOptions skewed;
+  skewed.clock_skew_ps = 200.0;
+  const auto a = analyze(*d.nl, d.node, no_skew);
+  const auto b = analyze(*d.nl, d.node, skewed);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(b->wns_ps, a->wns_ps);
+}
+
+TEST(StaTest, HoldSlackZeroWithoutRegToRegPaths) {
+  const auto m = rtl::designs::adder(8);  // combinational
+  const Mapped d = make_mapped(m);
+  const auto report = analyze(*d.nl, d.node);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->hold_met());
+  EXPECT_DOUBLE_EQ(report->worst_hold_slack_ps, 0.0);
+}
+
+TEST(StaTest, PurelyCombinationalDesignHasOutputsAsEndpoints) {
+  const auto m = rtl::designs::adder(8);
+  const Mapped d = make_mapped(m);
+  const auto report = analyze(*d.nl, d.node);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->num_endpoints, d.nl->outputs().size());
+}
+
+}  // namespace
+}  // namespace eurochip::timing

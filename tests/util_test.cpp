@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eurochip/util/geometry.hpp"
+#include "eurochip/util/result.hpp"
+#include "eurochip/util/rng.hpp"
+#include "eurochip/util/stats.hpp"
+#include "eurochip/util/strings.hpp"
+#include "eurochip/util/table.hpp"
+
+namespace eurochip::util {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.to_string(), "not_found: missing thing");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+  EXPECT_THROW((void)r.value(), std::logic_error);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(4);
+  std::vector<int> hits(6, 0);
+  for (int i = 0; i < 6000; ++i) ++hits[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+  for (int h : hits) EXPECT_GT(h, 700);  // fair-ish
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NormalHasExpectedMoments) {
+  Rng rng(6);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.05);
+}
+
+TEST(RngTest, ChanceEdgeCases) {
+  Rng rng(7);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(RngTest, PoissonMeanRoughlyLambda) {
+  Rng rng(8);
+  RunningStats s;
+  for (int i = 0; i < 5000; ++i) s.add(rng.poisson(3.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.15);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombined) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.7 - 3;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 2.5);
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  for (double& v : y) v = -v;
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(StatsTest, GeomeanOfPowers) {
+  EXPECT_NEAR(geomean({1.0, 100.0}), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(11.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(GeometryTest, RectBasics) {
+  const Rect r{0, 0, 10, 5};
+  EXPECT_EQ(r.width(), 10);
+  EXPECT_EQ(r.height(), 5);
+  EXPECT_EQ(r.area(), 50);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_FALSE(r.contains({10, 0}));
+}
+
+TEST(GeometryTest, OverlapSharedEdgeDoesNotCount) {
+  const Rect a{0, 0, 10, 10};
+  const Rect b{10, 0, 20, 10};
+  EXPECT_FALSE(a.overlaps(b));
+  const Rect c{9, 0, 19, 10};
+  EXPECT_TRUE(a.overlaps(c));
+}
+
+TEST(GeometryTest, UnionAndIntersection) {
+  const Rect a{0, 0, 4, 4};
+  const Rect b{2, 2, 6, 6};
+  EXPECT_EQ(a.intersection(b), (Rect{2, 2, 4, 4}));
+  EXPECT_EQ(a.bbox_union(b), (Rect{0, 0, 6, 6}));
+}
+
+TEST(GeometryTest, BoundingBoxAccumulates) {
+  BoundingBox bb;
+  EXPECT_FALSE(bb.valid());
+  bb.add(Point{3, 4});
+  bb.add(Rect{-1, -2, 0, 0});
+  EXPECT_TRUE(bb.valid());
+  EXPECT_EQ(bb.rect(), (Rect{-1, -2, 4, 5}));
+}
+
+TEST(GeometryTest, ManhattanDistance) {
+  EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan({-1, -1}, {1, 1}), 4);
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, TrimAndLower) {
+  EXPECT_EQ(trim("  x y \t"), "x y");
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_TRUE(starts_with("eurochip", "euro"));
+  EXPECT_FALSE(starts_with("eu", "euro"));
+}
+
+TEST(StringsTest, FormatHelpers) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_si(1234567.0, 2), "1.23M");
+  EXPECT_EQ(fmt_si(-2500.0, 1), "-2.5k");
+  EXPECT_EQ(join({"a", "b"}, "-"), "a-b");
+}
+
+TEST(CsvWriterTest, QuotesSpecialFields) {
+  CsvWriter w;
+  w.add_row({"a", "b,c", "d\"e"});
+  EXPECT_EQ(w.str(), "a,\"b,c\",\"d\"\"e\"\n");
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t("Demo");
+  t.set_header({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"long_name", "23"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long_name"), std::string::npos);
+}
+
+TEST(AsciiChartTest, RendersBars) {
+  AsciiChart c("Growth", "year", "count");
+  c.add_point("2020", 10);
+  c.add_point("2021", 20);
+  const std::string out = c.render(20);
+  EXPECT_NE(out.find("2020"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eurochip::util

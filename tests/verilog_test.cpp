@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "eurochip/netlist/verilog.hpp"
+#include "eurochip/pdk/library_gen.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/rtl/designs.hpp"
+#include "eurochip/synth/elaborate.hpp"
+#include "eurochip/synth/mapper.hpp"
+#include "eurochip/synth/opt.hpp"
+
+namespace eurochip::netlist {
+namespace {
+
+struct Mapped {
+  std::unique_ptr<CellLibrary> lib;
+  std::unique_ptr<Netlist> nl;
+};
+
+Mapped map_design(const rtl::Module& m) {
+  Mapped d;
+  const auto node = pdk::standard_node("sky130ish").value();
+  d.lib = std::make_unique<CellLibrary>(pdk::build_library(node));
+  const auto aig = synth::elaborate(m);
+  auto mapped = synth::map_to_library(synth::optimize(*aig, 2), *d.lib);
+  d.nl = std::make_unique<Netlist>(std::move(*mapped));
+  return d;
+}
+
+TEST(VerilogTest, EmitsModuleWithAllSections) {
+  const auto m = rtl::designs::counter(8);
+  const Mapped d = map_design(m);
+  const std::string v = write_verilog(*d.nl);
+  EXPECT_NE(v.find("module mapped("), std::string::npos);
+  EXPECT_NE(v.find("input clk;"), std::string::npos);  // sequential design
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("DFF_X1"), std::string::npos);
+  EXPECT_NE(v.find(".CK(clk)"), std::string::npos);
+}
+
+TEST(VerilogTest, CombinationalDesignHasNoClock) {
+  const auto m = rtl::designs::adder(8);
+  const Mapped d = map_design(m);
+  const std::string v = write_verilog(*d.nl);
+  EXPECT_EQ(v.find("input clk;"), std::string::npos);
+}
+
+TEST(VerilogTest, SanitizesBracketedNames) {
+  const auto m = rtl::designs::counter(4);
+  const Mapped d = map_design(m);
+  const std::string v = write_verilog(*d.nl);
+  // Ports are named count[0]... -> must be emitted with brackets escaped.
+  EXPECT_EQ(v.find('['), std::string::npos);
+  EXPECT_NE(v.find("count_0_"), std::string::npos);
+}
+
+TEST(VerilogTest, InstanceCountMatchesNetlist) {
+  const auto m = rtl::designs::alu(8);
+  const Mapped d = map_design(m);
+  const auto summary = read_verilog_summary(write_verilog(*d.nl));
+  ASSERT_TRUE(summary.ok()) << summary.status().to_string();
+  EXPECT_EQ(summary->num_instances, d.nl->num_cells());
+  EXPECT_EQ(summary->num_outputs, d.nl->outputs().size());
+  EXPECT_TRUE(summary->has_clock);
+  EXPECT_EQ(summary->module_name, "mapped");
+}
+
+TEST(VerilogTest, SummaryRoundTripOnCatalog) {
+  for (auto& e : rtl::designs::standard_catalog()) {
+    const Mapped d = map_design(e.module);
+    const auto summary = read_verilog_summary(write_verilog(*d.nl));
+    ASSERT_TRUE(summary.ok()) << e.name;
+    EXPECT_EQ(summary->num_instances, d.nl->num_cells()) << e.name;
+    // clk port added for sequential designs only.
+    const bool sequential = !d.nl->sequential_cells().empty();
+    EXPECT_EQ(summary->num_inputs,
+              d.nl->inputs().size() + (sequential ? 1 : 0))
+        << e.name;
+  }
+}
+
+TEST(VerilogTest, ReaderRejectsMalformedText) {
+  EXPECT_FALSE(read_verilog_summary("").ok());
+  EXPECT_FALSE(read_verilog_summary("wire w;\n").ok());
+  EXPECT_FALSE(read_verilog_summary("module m(a);\n").ok());  // no endmodule
+  EXPECT_FALSE(
+      read_verilog_summary("module m(a);\n  garbage statement\nendmodule\n")
+          .ok());
+}
+
+TEST(VerilogTest, CommentsToggle) {
+  const auto m = rtl::designs::adder(4);
+  const Mapped d = map_design(m);
+  VerilogOptions opt;
+  opt.emit_comments = false;
+  const std::string v = write_verilog(*d.nl, opt);
+  EXPECT_EQ(v.find("//"), std::string::npos);
+  EXPECT_TRUE(read_verilog_summary(v).ok());
+}
+
+}  // namespace
+}  // namespace eurochip::netlist

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "eurochip/econ/yield.hpp"
+#include "eurochip/pdk/registry.hpp"
+
+namespace eurochip::econ {
+namespace {
+
+TEST(YieldTest, YieldDecreasesWithArea) {
+  YieldModel y;
+  y.defect_density_per_cm2 = 0.2;
+  double prev = 1.1;
+  for (double area : {1.0, 10.0, 50.0, 100.0, 400.0, 800.0}) {
+    const double v = y.die_yield(area);
+    EXPECT_LT(v, prev) << area;
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(y.die_yield(0.0), 1.0);
+}
+
+TEST(YieldTest, AdvancedNodesDirtier) {
+  const auto n130 = pdk::standard_node("sky130ish").value();
+  const auto n7 = pdk::standard_node("commercial7").value();
+  const auto n2 = pdk::standard_node("commercial2").value();
+  EXPECT_LT(yield_for_node(n130).defect_density_per_cm2,
+            yield_for_node(n7).defect_density_per_cm2);
+  EXPECT_LT(yield_for_node(n7).defect_density_per_cm2,
+            yield_for_node(n2).defect_density_per_cm2);
+}
+
+TEST(DieCostTest, DicePerWaferDecreasesWithArea) {
+  EXPECT_GT(DieCostModel::dice_per_wafer(10.0),
+            DieCostModel::dice_per_wafer(100.0));
+  EXPECT_GE(DieCostModel::dice_per_wafer(10000.0), 1.0);
+}
+
+TEST(DieCostTest, GoodDieCostGrowsSuperlinearlyWithArea) {
+  const auto node = pdk::standard_node("commercial7").value();
+  const auto model = DieCostModel::for_node(node);
+  const double c50 = model.good_die_cost_eur(node, 50.0);
+  const double c200 = model.good_die_cost_eur(node, 200.0);
+  // 4x area -> more than 4x cost (yield loss compounds the area ratio).
+  EXPECT_GT(c200, 4.0 * c50);
+}
+
+TEST(DieCostTest, AdvancedWafersCostMore) {
+  const auto n130 = pdk::standard_node("sky130ish").value();
+  const auto n2 = pdk::standard_node("commercial2").value();
+  EXPECT_GT(DieCostModel::wafer_cost_eur(n2),
+            5.0 * DieCostModel::wafer_cost_eur(n130));
+}
+
+TEST(ChipletTest, SmallDiesStayMonolithic) {
+  const auto node = pdk::standard_node("commercial7").value();
+  const auto model = DieCostModel::for_node(node);
+  // At 20 mm^2, packaging overhead dominates: monolithic wins.
+  EXPECT_LT(model.monolithic_cost_eur(node, 20.0),
+            model.chiplet_cost_eur(node, 20.0, 4));
+}
+
+TEST(ChipletTest, LargeDiesFavorChiplets) {
+  const auto node = pdk::standard_node("commercial7").value();
+  const auto model = DieCostModel::for_node(node);
+  // At reticle-filling sizes, yield loss makes monolithic lose.
+  EXPECT_GT(model.monolithic_cost_eur(node, 600.0),
+            model.chiplet_cost_eur(node, 600.0, 4));
+}
+
+TEST(ChipletTest, CrossoverExistsOnAdvancedNodes) {
+  const auto node = pdk::standard_node("commercial7").value();
+  const auto model = DieCostModel::for_node(node);
+  const double crossover = model.crossover_area_mm2(node, 4);
+  EXPECT_GT(crossover, 20.0);
+  EXPECT_LT(crossover, 1000.0);
+  // At the crossover, chiplets are indeed cheaper just above it.
+  EXPECT_LT(model.chiplet_cost_eur(node, crossover * 1.2, 4),
+            model.monolithic_cost_eur(node, crossover * 1.2));
+}
+
+TEST(ChipletTest, CrossoverLaterOnCleanNodes) {
+  // On a mature, low-defect node, monolithic stays competitive longer.
+  const auto clean = pdk::standard_node("sky130ish").value();
+  const auto dirty = pdk::standard_node("commercial2").value();
+  const auto model_clean = DieCostModel::for_node(clean);
+  const auto model_dirty = DieCostModel::for_node(dirty);
+  const double c_clean = model_clean.crossover_area_mm2(clean, 4);
+  const double c_dirty = model_dirty.crossover_area_mm2(dirty, 4);
+  if (c_clean > 0.0 && c_dirty > 0.0) {
+    EXPECT_GT(c_clean, c_dirty);
+  } else {
+    // Clean node may never cross over within the search range.
+    EXPECT_GT(c_dirty, 0.0);
+  }
+}
+
+TEST(ChipletTest, OneChipletEqualsMonolithic) {
+  const auto node = pdk::standard_node("commercial7").value();
+  const auto model = DieCostModel::for_node(node);
+  EXPECT_DOUBLE_EQ(model.chiplet_cost_eur(node, 100.0, 1),
+                   model.monolithic_cost_eur(node, 100.0));
+}
+
+}  // namespace
+}  // namespace eurochip::econ
