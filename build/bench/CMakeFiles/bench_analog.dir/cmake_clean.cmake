@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analog.dir/bench_analog.cpp.o"
+  "CMakeFiles/bench_analog.dir/bench_analog.cpp.o.d"
+  "bench_analog"
+  "bench_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

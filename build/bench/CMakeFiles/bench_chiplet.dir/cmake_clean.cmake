@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chiplet.dir/bench_chiplet.cpp.o"
+  "CMakeFiles/bench_chiplet.dir/bench_chiplet.cpp.o.d"
+  "bench_chiplet"
+  "bench_chiplet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chiplet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

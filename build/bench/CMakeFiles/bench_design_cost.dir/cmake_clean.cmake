@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_design_cost.dir/bench_design_cost.cpp.o"
+  "CMakeFiles/bench_design_cost.dir/bench_design_cost.cpp.o.d"
+  "bench_design_cost"
+  "bench_design_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_design_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_enablement.dir/bench_enablement.cpp.o"
+  "CMakeFiles/bench_enablement.dir/bench_enablement.cpp.o.d"
+  "bench_enablement"
+  "bench_enablement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_enablement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flow_ppa.dir/bench_flow_ppa.cpp.o"
+  "CMakeFiles/bench_flow_ppa.dir/bench_flow_ppa.cpp.o.d"
+  "bench_flow_ppa"
+  "bench_flow_ppa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flow_ppa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

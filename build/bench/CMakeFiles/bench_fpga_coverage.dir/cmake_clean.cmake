@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fpga_coverage.dir/bench_fpga_coverage.cpp.o"
+  "CMakeFiles/bench_fpga_coverage.dir/bench_fpga_coverage.cpp.o.d"
+  "bench_fpga_coverage"
+  "bench_fpga_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fpga_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

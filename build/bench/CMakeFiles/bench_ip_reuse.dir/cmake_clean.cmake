@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ip_reuse.dir/bench_ip_reuse.cpp.o"
+  "CMakeFiles/bench_ip_reuse.dir/bench_ip_reuse.cpp.o.d"
+  "bench_ip_reuse"
+  "bench_ip_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ip_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mpw.dir/bench_mpw.cpp.o"
+  "CMakeFiles/bench_mpw.dir/bench_mpw.cpp.o.d"
+  "bench_mpw"
+  "bench_mpw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mpw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pdk_access.dir/bench_pdk_access.cpp.o"
+  "CMakeFiles/bench_pdk_access.dir/bench_pdk_access.cpp.o.d"
+  "bench_pdk_access"
+  "bench_pdk_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pdk_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

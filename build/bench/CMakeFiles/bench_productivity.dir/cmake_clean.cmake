@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_productivity.dir/bench_productivity.cpp.o"
+  "CMakeFiles/bench_productivity.dir/bench_productivity.cpp.o.d"
+  "bench_productivity"
+  "bench_productivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_productivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_semantic_gap.dir/bench_semantic_gap.cpp.o"
+  "CMakeFiles/bench_semantic_gap.dir/bench_semantic_gap.cpp.o.d"
+  "bench_semantic_gap"
+  "bench_semantic_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_semantic_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_talent_pipeline.dir/bench_talent_pipeline.cpp.o"
+  "CMakeFiles/bench_talent_pipeline.dir/bench_talent_pipeline.cpp.o.d"
+  "bench_talent_pipeline"
+  "bench_talent_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_talent_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

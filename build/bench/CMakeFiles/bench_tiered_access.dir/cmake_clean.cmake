@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tiered_access.dir/bench_tiered_access.cpp.o"
+  "CMakeFiles/bench_tiered_access.dir/bench_tiered_access.cpp.o.d"
+  "bench_tiered_access"
+  "bench_tiered_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tiered_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

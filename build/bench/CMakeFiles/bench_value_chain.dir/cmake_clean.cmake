@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_value_chain.dir/bench_value_chain.cpp.o"
+  "CMakeFiles/bench_value_chain.dir/bench_value_chain.cpp.o.d"
+  "bench_value_chain"
+  "bench_value_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_value_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

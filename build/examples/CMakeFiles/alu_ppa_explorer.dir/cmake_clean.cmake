@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alu_ppa_explorer.dir/alu_ppa_explorer.cpp.o"
+  "CMakeFiles/alu_ppa_explorer.dir/alu_ppa_explorer.cpp.o.d"
+  "alu_ppa_explorer"
+  "alu_ppa_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alu_ppa_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

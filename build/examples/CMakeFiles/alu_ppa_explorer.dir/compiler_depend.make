@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for alu_ppa_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_shuttle.dir/community_shuttle.cpp.o"
+  "CMakeFiles/community_shuttle.dir/community_shuttle.cpp.o.d"
+  "community_shuttle"
+  "community_shuttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_shuttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_sensor_pipeline.dir/hls_sensor_pipeline.cpp.o"
+  "CMakeFiles/hls_sensor_pipeline.dir/hls_sensor_pipeline.cpp.o.d"
+  "hls_sensor_pipeline"
+  "hls_sensor_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_sensor_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpw_planner.dir/mpw_planner.cpp.o"
+  "CMakeFiles/mpw_planner.dir/mpw_planner.cpp.o.d"
+  "mpw_planner"
+  "mpw_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpw_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_campaign.dir/university_campaign.cpp.o"
+  "CMakeFiles/university_campaign.dir/university_campaign.cpp.o.d"
+  "university_campaign"
+  "university_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("netlist")
+subdirs("rtl")
+subdirs("pdk")
+subdirs("synth")
+subdirs("place")
+subdirs("route")
+subdirs("timing")
+subdirs("power")
+subdirs("drc")
+subdirs("cts")
+subdirs("gds")
+subdirs("flow")
+subdirs("econ")
+subdirs("edu")
+subdirs("analog")
+subdirs("core")

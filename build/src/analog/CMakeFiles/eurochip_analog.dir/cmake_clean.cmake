@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eurochip_analog.dir/device.cpp.o"
+  "CMakeFiles/eurochip_analog.dir/device.cpp.o.d"
+  "CMakeFiles/eurochip_analog.dir/ota.cpp.o"
+  "CMakeFiles/eurochip_analog.dir/ota.cpp.o.d"
+  "libeurochip_analog.a"
+  "libeurochip_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eurochip_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eurochip_core.dir/campaign.cpp.o"
+  "CMakeFiles/eurochip_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/eurochip_core.dir/enablement.cpp.o"
+  "CMakeFiles/eurochip_core.dir/enablement.cpp.o.d"
+  "CMakeFiles/eurochip_core.dir/ip_reuse.cpp.o"
+  "CMakeFiles/eurochip_core.dir/ip_reuse.cpp.o.d"
+  "libeurochip_core.a"
+  "libeurochip_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eurochip_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eurochip_cts.dir/cts.cpp.o"
+  "CMakeFiles/eurochip_cts.dir/cts.cpp.o.d"
+  "libeurochip_cts.a"
+  "libeurochip_cts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eurochip_cts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

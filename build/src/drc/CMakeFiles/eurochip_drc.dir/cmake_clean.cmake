@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eurochip_drc.dir/checker.cpp.o"
+  "CMakeFiles/eurochip_drc.dir/checker.cpp.o.d"
+  "libeurochip_drc.a"
+  "libeurochip_drc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eurochip_drc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

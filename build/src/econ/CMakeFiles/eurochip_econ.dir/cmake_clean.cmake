@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eurochip_econ.dir/cost_model.cpp.o"
+  "CMakeFiles/eurochip_econ.dir/cost_model.cpp.o.d"
+  "CMakeFiles/eurochip_econ.dir/value_chain.cpp.o"
+  "CMakeFiles/eurochip_econ.dir/value_chain.cpp.o.d"
+  "CMakeFiles/eurochip_econ.dir/yield.cpp.o"
+  "CMakeFiles/eurochip_econ.dir/yield.cpp.o.d"
+  "libeurochip_econ.a"
+  "libeurochip_econ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eurochip_econ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eurochip_edu.dir/pipeline.cpp.o"
+  "CMakeFiles/eurochip_edu.dir/pipeline.cpp.o.d"
+  "CMakeFiles/eurochip_edu.dir/productivity.cpp.o"
+  "CMakeFiles/eurochip_edu.dir/productivity.cpp.o.d"
+  "CMakeFiles/eurochip_edu.dir/tiers.cpp.o"
+  "CMakeFiles/eurochip_edu.dir/tiers.cpp.o.d"
+  "libeurochip_edu.a"
+  "libeurochip_edu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eurochip_edu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for eurochip_edu.
+# This may be replaced when dependencies are built.

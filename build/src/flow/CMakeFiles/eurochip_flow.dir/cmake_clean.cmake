@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eurochip_flow.dir/flow.cpp.o"
+  "CMakeFiles/eurochip_flow.dir/flow.cpp.o.d"
+  "libeurochip_flow.a"
+  "libeurochip_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eurochip_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eurochip_gds.dir/gds.cpp.o"
+  "CMakeFiles/eurochip_gds.dir/gds.cpp.o.d"
+  "libeurochip_gds.a"
+  "libeurochip_gds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eurochip_gds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eurochip_netlist.dir/liberty.cpp.o"
+  "CMakeFiles/eurochip_netlist.dir/liberty.cpp.o.d"
+  "CMakeFiles/eurochip_netlist.dir/library.cpp.o"
+  "CMakeFiles/eurochip_netlist.dir/library.cpp.o.d"
+  "CMakeFiles/eurochip_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/eurochip_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/eurochip_netlist.dir/simulator.cpp.o"
+  "CMakeFiles/eurochip_netlist.dir/simulator.cpp.o.d"
+  "CMakeFiles/eurochip_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/eurochip_netlist.dir/verilog.cpp.o.d"
+  "libeurochip_netlist.a"
+  "libeurochip_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eurochip_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

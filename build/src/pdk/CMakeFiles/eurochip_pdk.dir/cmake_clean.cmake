@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eurochip_pdk.dir/access.cpp.o"
+  "CMakeFiles/eurochip_pdk.dir/access.cpp.o.d"
+  "CMakeFiles/eurochip_pdk.dir/library_gen.cpp.o"
+  "CMakeFiles/eurochip_pdk.dir/library_gen.cpp.o.d"
+  "CMakeFiles/eurochip_pdk.dir/registry.cpp.o"
+  "CMakeFiles/eurochip_pdk.dir/registry.cpp.o.d"
+  "libeurochip_pdk.a"
+  "libeurochip_pdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eurochip_pdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

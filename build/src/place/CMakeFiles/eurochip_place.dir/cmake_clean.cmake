@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eurochip_place.dir/def.cpp.o"
+  "CMakeFiles/eurochip_place.dir/def.cpp.o.d"
+  "CMakeFiles/eurochip_place.dir/floorplan.cpp.o"
+  "CMakeFiles/eurochip_place.dir/floorplan.cpp.o.d"
+  "CMakeFiles/eurochip_place.dir/placer.cpp.o"
+  "CMakeFiles/eurochip_place.dir/placer.cpp.o.d"
+  "libeurochip_place.a"
+  "libeurochip_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eurochip_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeurochip_place.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eurochip_power.dir/power.cpp.o"
+  "CMakeFiles/eurochip_power.dir/power.cpp.o.d"
+  "libeurochip_power.a"
+  "libeurochip_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eurochip_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eurochip_route.dir/router.cpp.o"
+  "CMakeFiles/eurochip_route.dir/router.cpp.o.d"
+  "libeurochip_route.a"
+  "libeurochip_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eurochip_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/designs.cpp" "src/rtl/CMakeFiles/eurochip_rtl.dir/designs.cpp.o" "gcc" "src/rtl/CMakeFiles/eurochip_rtl.dir/designs.cpp.o.d"
+  "/root/repo/src/rtl/hls.cpp" "src/rtl/CMakeFiles/eurochip_rtl.dir/hls.cpp.o" "gcc" "src/rtl/CMakeFiles/eurochip_rtl.dir/hls.cpp.o.d"
+  "/root/repo/src/rtl/ir.cpp" "src/rtl/CMakeFiles/eurochip_rtl.dir/ir.cpp.o" "gcc" "src/rtl/CMakeFiles/eurochip_rtl.dir/ir.cpp.o.d"
+  "/root/repo/src/rtl/simulator.cpp" "src/rtl/CMakeFiles/eurochip_rtl.dir/simulator.cpp.o" "gcc" "src/rtl/CMakeFiles/eurochip_rtl.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eurochip_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eurochip_rtl.dir/designs.cpp.o"
+  "CMakeFiles/eurochip_rtl.dir/designs.cpp.o.d"
+  "CMakeFiles/eurochip_rtl.dir/hls.cpp.o"
+  "CMakeFiles/eurochip_rtl.dir/hls.cpp.o.d"
+  "CMakeFiles/eurochip_rtl.dir/ir.cpp.o"
+  "CMakeFiles/eurochip_rtl.dir/ir.cpp.o.d"
+  "CMakeFiles/eurochip_rtl.dir/simulator.cpp.o"
+  "CMakeFiles/eurochip_rtl.dir/simulator.cpp.o.d"
+  "libeurochip_rtl.a"
+  "libeurochip_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eurochip_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

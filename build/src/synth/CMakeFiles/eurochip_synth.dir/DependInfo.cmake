@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/aig.cpp" "src/synth/CMakeFiles/eurochip_synth.dir/aig.cpp.o" "gcc" "src/synth/CMakeFiles/eurochip_synth.dir/aig.cpp.o.d"
+  "/root/repo/src/synth/elaborate.cpp" "src/synth/CMakeFiles/eurochip_synth.dir/elaborate.cpp.o" "gcc" "src/synth/CMakeFiles/eurochip_synth.dir/elaborate.cpp.o.d"
+  "/root/repo/src/synth/lutmap.cpp" "src/synth/CMakeFiles/eurochip_synth.dir/lutmap.cpp.o" "gcc" "src/synth/CMakeFiles/eurochip_synth.dir/lutmap.cpp.o.d"
+  "/root/repo/src/synth/mapper.cpp" "src/synth/CMakeFiles/eurochip_synth.dir/mapper.cpp.o" "gcc" "src/synth/CMakeFiles/eurochip_synth.dir/mapper.cpp.o.d"
+  "/root/repo/src/synth/netopt.cpp" "src/synth/CMakeFiles/eurochip_synth.dir/netopt.cpp.o" "gcc" "src/synth/CMakeFiles/eurochip_synth.dir/netopt.cpp.o.d"
+  "/root/repo/src/synth/opt.cpp" "src/synth/CMakeFiles/eurochip_synth.dir/opt.cpp.o" "gcc" "src/synth/CMakeFiles/eurochip_synth.dir/opt.cpp.o.d"
+  "/root/repo/src/synth/scan.cpp" "src/synth/CMakeFiles/eurochip_synth.dir/scan.cpp.o" "gcc" "src/synth/CMakeFiles/eurochip_synth.dir/scan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/eurochip_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/eurochip_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eurochip_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eurochip_synth.dir/aig.cpp.o"
+  "CMakeFiles/eurochip_synth.dir/aig.cpp.o.d"
+  "CMakeFiles/eurochip_synth.dir/elaborate.cpp.o"
+  "CMakeFiles/eurochip_synth.dir/elaborate.cpp.o.d"
+  "CMakeFiles/eurochip_synth.dir/lutmap.cpp.o"
+  "CMakeFiles/eurochip_synth.dir/lutmap.cpp.o.d"
+  "CMakeFiles/eurochip_synth.dir/mapper.cpp.o"
+  "CMakeFiles/eurochip_synth.dir/mapper.cpp.o.d"
+  "CMakeFiles/eurochip_synth.dir/netopt.cpp.o"
+  "CMakeFiles/eurochip_synth.dir/netopt.cpp.o.d"
+  "CMakeFiles/eurochip_synth.dir/opt.cpp.o"
+  "CMakeFiles/eurochip_synth.dir/opt.cpp.o.d"
+  "CMakeFiles/eurochip_synth.dir/scan.cpp.o"
+  "CMakeFiles/eurochip_synth.dir/scan.cpp.o.d"
+  "libeurochip_synth.a"
+  "libeurochip_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eurochip_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eurochip_timing.dir/sta.cpp.o"
+  "CMakeFiles/eurochip_timing.dir/sta.cpp.o.d"
+  "libeurochip_timing.a"
+  "libeurochip_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eurochip_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eurochip_util.dir/log.cpp.o"
+  "CMakeFiles/eurochip_util.dir/log.cpp.o.d"
+  "CMakeFiles/eurochip_util.dir/result.cpp.o"
+  "CMakeFiles/eurochip_util.dir/result.cpp.o.d"
+  "CMakeFiles/eurochip_util.dir/rng.cpp.o"
+  "CMakeFiles/eurochip_util.dir/rng.cpp.o.d"
+  "CMakeFiles/eurochip_util.dir/stats.cpp.o"
+  "CMakeFiles/eurochip_util.dir/stats.cpp.o.d"
+  "CMakeFiles/eurochip_util.dir/strings.cpp.o"
+  "CMakeFiles/eurochip_util.dir/strings.cpp.o.d"
+  "CMakeFiles/eurochip_util.dir/table.cpp.o"
+  "CMakeFiles/eurochip_util.dir/table.cpp.o.d"
+  "libeurochip_util.a"
+  "libeurochip_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eurochip_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drc_gds_test.dir/drc_gds_test.cpp.o"
+  "CMakeFiles/drc_gds_test.dir/drc_gds_test.cpp.o.d"
+  "drc_gds_test"
+  "drc_gds_test.pdb"
+  "drc_gds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drc_gds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

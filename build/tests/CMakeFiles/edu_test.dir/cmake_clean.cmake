@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edu_test.dir/edu_test.cpp.o"
+  "CMakeFiles/edu_test.dir/edu_test.cpp.o.d"
+  "edu_test"
+  "edu_test.pdb"
+  "edu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

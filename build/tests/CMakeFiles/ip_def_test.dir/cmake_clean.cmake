@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_def_test.dir/ip_def_test.cpp.o"
+  "CMakeFiles/ip_def_test.dir/ip_def_test.cpp.o.d"
+  "ip_def_test"
+  "ip_def_test.pdb"
+  "ip_def_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_def_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

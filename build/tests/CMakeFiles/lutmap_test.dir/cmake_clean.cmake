@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lutmap_test.dir/lutmap_test.cpp.o"
+  "CMakeFiles/lutmap_test.dir/lutmap_test.cpp.o.d"
+  "lutmap_test"
+  "lutmap_test.pdb"
+  "lutmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lutmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netopt_test.dir/netopt_test.cpp.o"
+  "CMakeFiles/netopt_test.dir/netopt_test.cpp.o.d"
+  "netopt_test"
+  "netopt_test.pdb"
+  "netopt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netopt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

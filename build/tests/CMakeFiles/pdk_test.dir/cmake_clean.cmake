@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdk_test.dir/pdk_test.cpp.o"
+  "CMakeFiles/pdk_test.dir/pdk_test.cpp.o.d"
+  "pdk_test"
+  "pdk_test.pdb"
+  "pdk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/property_test.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eurochip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/econ/CMakeFiles/eurochip_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/edu/CMakeFiles/eurochip_edu.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/eurochip_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/eurochip_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cts/CMakeFiles/eurochip_cts.dir/DependInfo.cmake"
+  "/root/repo/build/src/gds/CMakeFiles/eurochip_gds.dir/DependInfo.cmake"
+  "/root/repo/build/src/drc/CMakeFiles/eurochip_drc.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/eurochip_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/eurochip_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/eurochip_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/eurochip_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/eurochip_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdk/CMakeFiles/eurochip_pdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/eurochip_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/eurochip_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eurochip_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

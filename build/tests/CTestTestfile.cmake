@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/rtl_test[1]_include.cmake")
+include("/root/repo/build/tests/pdk_test[1]_include.cmake")
+include("/root/repo/build/tests/synth_test[1]_include.cmake")
+include("/root/repo/build/tests/place_test[1]_include.cmake")
+include("/root/repo/build/tests/route_test[1]_include.cmake")
+include("/root/repo/build/tests/timing_test[1]_include.cmake")
+include("/root/repo/build/tests/power_test[1]_include.cmake")
+include("/root/repo/build/tests/drc_gds_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_test[1]_include.cmake")
+include("/root/repo/build/tests/econ_test[1]_include.cmake")
+include("/root/repo/build/tests/edu_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/verilog_test[1]_include.cmake")
+include("/root/repo/build/tests/cts_test[1]_include.cmake")
+include("/root/repo/build/tests/hls_test[1]_include.cmake")
+include("/root/repo/build/tests/yield_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/liberty_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/netopt_test[1]_include.cmake")
+include("/root/repo/build/tests/scan_test[1]_include.cmake")
+include("/root/repo/build/tests/ip_def_test[1]_include.cmake")
+include("/root/repo/build/tests/analog_test[1]_include.cmake")
+include("/root/repo/build/tests/lutmap_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
