@@ -1,0 +1,184 @@
+// BENCH hub_server — simulated vs measured hub queue (Recommendations 7/8).
+//
+// The same trace of real RTL-to-GDSII flow jobs is (a) executed on
+// hub::JobServer worker pools of capacity {1, 2, 4, 8} and (b) fed to
+// core::EnablementHub::simulate_queue using per-job durations calibrated
+// from a serial warm-up run. Comparing the two answers: how close is the
+// mean-field FCFS model to a real engine with tier scheduling, and how
+// much does added capacity actually buy (jobs/sec, makespan, utilization)?
+//
+// Emits BENCH_hub_server.json so later changes can track the throughput
+// trajectory. Speedup expectations only hold on a multi-core host — on a
+// single hardware thread, CPU-bound flows serialize no matter the pool.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eurochip/hub/job.hpp"
+#include "eurochip/hub/server.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/rtl/designs.hpp"
+#include "eurochip/util/strings.hpp"
+#include "eurochip/util/table.hpp"
+
+namespace {
+
+using namespace eurochip;  // NOLINT(google-build-using-namespace)
+
+struct TraceJob {
+  std::string name;
+  std::shared_ptr<const rtl::Module> design;
+  edu::LearnerTier tier;
+  std::size_t member;
+};
+
+std::vector<TraceJob> build_trace() {
+  // Three member universities, mixed tiers, twelve jobs — the shape of a
+  // busy afternoon on a shared enablement hub.
+  const auto counter = std::make_shared<const rtl::Module>(rtl::designs::counter(8));
+  const auto adder = std::make_shared<const rtl::Module>(rtl::designs::adder(8));
+  const auto alu = std::make_shared<const rtl::Module>(rtl::designs::alu(8));
+  std::vector<TraceJob> trace;
+  for (int i = 0; i < 12; ++i) {
+    TraceJob job;
+    job.name = "job" + std::to_string(i);
+    job.design = i % 3 == 0 ? alu : (i % 3 == 1 ? counter : adder);
+    job.tier = static_cast<edu::LearnerTier>(i % 3);
+    job.member = static_cast<std::size_t>(i % 3);
+    trace.push_back(job);
+  }
+  return trace;
+}
+
+struct CapacityResult {
+  int capacity = 0;
+  core::EnablementHub::QueueReport measured;
+  core::EnablementHub::QueueReport simulated;
+  double jobs_per_sec = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  const auto trace = build_trace();
+  flow::FlowConfig cfg;
+  cfg.node = pdk::standard_node("sky130ish").value();
+  cfg.quality = flow::FlowQuality::kOpen;
+
+  // Calibration: one serial run per job gives the per-job duration the
+  // simulation needs (simulate_queue is unit-agnostic; we feed it ms).
+  std::vector<double> duration_ms(trace.size(), 0.0);
+  {
+    hub::JobServer::Options opt;
+    opt.capacity = 1;
+    hub::JobServer warmup(opt);
+    std::vector<hub::JobId> ids;
+    for (const auto& job : trace) {
+      auto spec = hub::make_flow_job(job.name, job.design, cfg);
+      spec.tier = job.tier;
+      spec.member = job.member;
+      ids.push_back(*warmup.submit(std::move(spec)));
+    }
+    const auto records = warmup.drain();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      duration_ms[i] = records[i].run_ms;
+    }
+  }
+
+  std::vector<CapacityResult> results;
+  for (const int capacity : {1, 2, 4, 8}) {
+    hub::JobServer::Options opt;
+    opt.capacity = capacity;
+    hub::JobServer server(opt);
+    std::vector<core::EnablementHub::Job> sim_jobs;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      auto spec = hub::make_flow_job(trace[i].name, trace[i].design, cfg);
+      spec.tier = trace[i].tier;
+      spec.member = trace[i].member;
+      const auto id = server.submit(std::move(spec));
+      if (!id.ok()) {
+        std::fprintf(stderr, "submit failed: %s\n",
+                     id.status().to_string().c_str());
+        return 1;
+      }
+      core::EnablementHub::Job sim;
+      sim.member = trace[i].member;
+      sim.submit_time_h = 0.0;
+      sim.duration_h = duration_ms[i];
+      sim_jobs.push_back(sim);
+    }
+    const auto records = server.drain();
+    for (const auto& rec : records) {
+      if (rec.state != hub::JobState::kSucceeded) {
+        std::fprintf(stderr, "job %s: %s\n", rec.name.c_str(),
+                     rec.status.to_string().c_str());
+        return 1;
+      }
+    }
+
+    CapacityResult r;
+    r.capacity = capacity;
+    r.measured = server.measured_queue_report();
+    core::EnablementHub::Options hub_opt;
+    hub_opt.job_capacity = capacity;
+    core::EnablementHub sim_hub(pdk::standard_registry(), hub_opt);
+    r.simulated = sim_hub.simulate_queue(sim_jobs);
+    r.jobs_per_sec = r.measured.makespan_h > 0
+                         ? static_cast<double>(trace.size()) /
+                               (r.measured.makespan_h / 1000.0)
+                         : 0.0;
+    results.push_back(r);
+
+    if (capacity == 8) {
+      std::printf("%s\n", server.metrics().render().c_str());
+    }
+  }
+
+  util::Table table(
+      "Hub queue: simulated (simulate_queue) vs measured (JobServer), " +
+      std::to_string(trace.size()) + " flow jobs, times in ms");
+  table.set_header({"capacity", "sim_makespan", "meas_makespan", "sim_wait",
+                    "meas_wait", "sim_util", "meas_util", "jobs_per_sec"});
+  for (const auto& r : results) {
+    table.add_row({std::to_string(r.capacity),
+                   util::fmt(r.simulated.makespan_h, 1),
+                   util::fmt(r.measured.makespan_h, 1),
+                   util::fmt(r.simulated.mean_wait_h, 1),
+                   util::fmt(r.measured.mean_wait_h, 1),
+                   util::fmt(r.simulated.utilization, 3),
+                   util::fmt(r.measured.utilization, 3),
+                   util::fmt(r.jobs_per_sec, 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const double speedup_c4 = results[2].measured.makespan_h > 0
+                                ? results[0].measured.makespan_h /
+                                      results[2].measured.makespan_h
+                                : 0.0;
+  std::printf(
+      "capacity-4 speedup over capacity-1: %.2fx "
+      "(hardware threads available: %u)\n",
+      speedup_c4, std::thread::hardware_concurrency());
+
+  std::ofstream json("BENCH_hub_server.json");
+  json << "{\n  \"bench\": \"hub_server\",\n  \"jobs\": " << trace.size()
+       << ",\n  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n  \"speedup_c4_vs_c1\": " << speedup_c4
+       << ",\n  \"capacities\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    json << "    {\"capacity\": " << r.capacity
+         << ", \"measured_makespan_ms\": " << r.measured.makespan_h
+         << ", \"simulated_makespan_ms\": " << r.simulated.makespan_h
+         << ", \"measured_mean_wait_ms\": " << r.measured.mean_wait_h
+         << ", \"measured_utilization\": " << r.measured.utilization
+         << ", \"jobs_per_sec\": " << r.jobs_per_sec << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote BENCH_hub_server.json\n");
+  return 0;
+}

@@ -131,10 +131,33 @@ EnablementHub::AmortizationReport EnablementHub::amortization(
   return rep;
 }
 
+EnablementHub::QueueReport EnablementHub::summarize_outcomes(
+    const std::vector<Job>& jobs, std::vector<JobOutcome> outcomes,
+    int capacity) {
+  QueueReport rep;
+  rep.outcomes = std::move(outcomes);
+  const std::size_t n = std::min(jobs.size(), rep.outcomes.size());
+  double busy_hours = 0.0;
+  double wait_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    JobOutcome& out = rep.outcomes[i];
+    out.wait_h = out.start_h - jobs[i].submit_time_h;
+    wait_sum += out.wait_h;
+    rep.max_wait_h = std::max(rep.max_wait_h, out.wait_h);
+    busy_hours += out.finish_h - out.start_h;
+    rep.makespan_h = std::max(rep.makespan_h, out.finish_h);
+  }
+  rep.mean_wait_h = n == 0 ? 0.0 : wait_sum / static_cast<double>(n);
+  rep.utilization =
+      rep.makespan_h > 0
+          ? busy_hours / (rep.makespan_h * std::max(1, capacity))
+          : 0.0;
+  return rep;
+}
+
 EnablementHub::QueueReport EnablementHub::simulate_queue(
     std::vector<Job> jobs) const {
-  QueueReport rep;
-  rep.outcomes.resize(jobs.size());
+  std::vector<JobOutcome> outcomes(jobs.size());
   // FCFS by submit time (stable for ties).
   std::vector<std::size_t> order(jobs.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -147,9 +170,6 @@ EnablementHub::QueueReport EnablementHub::simulate_queue(
   for (int s = 0; s < std::max(1, options_.job_capacity); ++s) {
     servers.push(0.0);
   }
-  double busy_hours = 0.0;
-  double makespan = 0.0;
-  double wait_sum = 0.0;
   for (std::size_t idx : order) {
     const Job& job = jobs[idx];
     const double free_at = servers.top();
@@ -157,22 +177,11 @@ EnablementHub::QueueReport EnablementHub::simulate_queue(
     const double start = std::max(free_at, job.submit_time_h);
     const double finish = start + job.duration_h;
     servers.push(finish);
-    JobOutcome& out = rep.outcomes[idx];
-    out.start_h = start;
-    out.finish_h = finish;
-    out.wait_h = start - job.submit_time_h;
-    wait_sum += out.wait_h;
-    rep.max_wait_h = std::max(rep.max_wait_h, out.wait_h);
-    busy_hours += job.duration_h;
-    makespan = std::max(makespan, finish);
+    outcomes[idx].start_h = start;
+    outcomes[idx].finish_h = finish;
   }
-  rep.makespan_h = makespan;
-  rep.mean_wait_h = jobs.empty() ? 0.0 : wait_sum / static_cast<double>(jobs.size());
-  rep.utilization =
-      makespan > 0
-          ? busy_hours / (makespan * std::max(1, options_.job_capacity))
-          : 0.0;
-  return rep;
+  return summarize_outcomes(jobs, std::move(outcomes),
+                            options_.job_capacity);
 }
 
 std::vector<AdoptionYear> simulate_adoption(const AdoptionParams& params,

@@ -105,6 +105,12 @@ class EnablementHub {
       bool with_flow_templates) const;
 
   // --- job queue (discrete-event, deterministic) -------------------------
+  //
+  // The time unit is whatever the caller feeds in ("_h" by convention):
+  // the simulation and the summary arithmetic are unit-agnostic, which is
+  // what lets hub::JobServer reuse QueueReport for *measured* wall-clock
+  // milliseconds (see hub/server.hpp) as the "measured twin" of
+  // simulate_queue.
 
   struct Job {
     std::size_t member = 0;
@@ -123,6 +129,15 @@ class EnablementHub {
     double makespan_h = 0.0;
     double utilization = 0.0;          ///< busy server-hours / capacity
   };
+
+  /// Summarizes per-job outcomes into a QueueReport: mean/max wait,
+  /// makespan, and busy-time utilization over `capacity` servers. Shared by
+  /// simulate_queue (simulated outcomes) and hub::JobServer (measured
+  /// outcomes); wait fields of `outcomes` are recomputed from the matching
+  /// `jobs` submit times.
+  [[nodiscard]] static QueueReport summarize_outcomes(
+      const std::vector<Job>& jobs, std::vector<JobOutcome> outcomes,
+      int capacity);
 
   /// FCFS simulation of flow jobs over the hub's capacity.
   [[nodiscard]] QueueReport simulate_queue(std::vector<Job> jobs) const;

@@ -79,6 +79,14 @@ util::Result<FlowResult> FlowTemplate::execute(const rtl::Module& design,
 
   const auto t_start = std::chrono::steady_clock::now();
   for (const FlowStep& step : steps_) {
+    if (ctx.config.cancel.cancel_requested()) {
+      return util::Status::Cancelled("flow cancelled before step '" +
+                                     step.name + "'");
+    }
+    if (ctx.config.cancel.deadline_passed()) {
+      return util::Status::DeadlineExceeded(
+          "flow deadline passed before step '" + step.name + "'");
+    }
     const auto t0 = std::chrono::steady_clock::now();
     util::Status s = step.run(ctx);
     const auto t1 = std::chrono::steady_clock::now();

@@ -9,6 +9,24 @@
 // Two effort presets model the open-vs-commercial PPA gap the paper
 // discusses (§III-D): FlowQuality::kOpen mirrors an open flow's default
 // effort; kCommercial spends more optimization/iteration effort.
+//
+// Thread-safety contract
+// ----------------------
+// FlowTemplate::execute is const and re-entrant: all per-run state lives in
+// the FlowContext it creates, and every engine it calls (elaborate, synth,
+// map, place, cts, route, sta, power, drc, gds) takes its inputs and
+// randomness (util::Rng, seeded from FlowConfig::seed) by parameter and
+// keeps no mutable globals. Concurrent execute() calls on the same or
+// different templates are therefore safe, provided:
+//   * each call gets its own FlowConfig (configs are copied in, so sharing
+//     a prototype by value is fine);
+//   * concurrent runs use distinct `gds_output_path`s (or leave it empty) —
+//     the filesystem is the one shared sink;
+//   * nobody mutates a FlowTemplate's step list (add/remove/replace_step)
+//     while another thread is executing it.
+// The only process-wide mutable state in the stack is util's log threshold,
+// which is atomic. eurochip::hub::JobServer relies on this contract to run
+// flows on a worker pool.
 #pragma once
 
 #include <functional>
@@ -29,6 +47,7 @@
 #include "eurochip/synth/aig.hpp"
 #include "eurochip/synth/mapper.hpp"
 #include "eurochip/timing/sta.hpp"
+#include "eurochip/util/cancel.hpp"
 
 namespace eurochip::flow {
 
@@ -55,6 +74,11 @@ struct FlowConfig {
   bool insert_scan = false;
   /// When set, the final GDSII stream is written here.
   std::string gds_output_path;
+  /// Cooperative cancellation: checked between flow steps by
+  /// FlowTemplate::execute. A default token never fires. Cancellation
+  /// surfaces as ErrorCode::kCancelled, a passed deadline as
+  /// ErrorCode::kDeadlineExceeded.
+  util::CancelToken cancel;
 
   [[nodiscard]] double effective_clock_ps() const {
     return clock_period_ps > 0.0 ? clock_period_ps

@@ -1,0 +1,110 @@
+// Job vocabulary for the hub execution engine (Recommendation 7 made
+// real): what a member submits, what the worker pool hands the job while
+// it runs, and the record the platform keeps about it.
+//
+// A job's payload is a plain callable so tests and benches can submit
+// synthetic work; make_flow_job wraps the real RTL-to-GDSII reference
+// flow (flow::run_reference_flow) into that shape, threading the hub's
+// cancellation token through FlowConfig so deadlines and cancellation
+// fire between flow steps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eurochip/edu/tiers.hpp"
+#include "eurochip/flow/flow.hpp"
+#include "eurochip/rtl/ir.hpp"
+#include "eurochip/util/cancel.hpp"
+#include "eurochip/util/result.hpp"
+#include "eurochip/util/rng.hpp"
+
+namespace eurochip::hub {
+
+using JobId = std::uint64_t;
+
+/// Lifecycle of a submitted job. Terminal states are kSucceeded and later.
+enum class JobState {
+  kQueued,
+  kRunning,
+  kSucceeded,
+  kFailed,      ///< non-transient error, or transient after max attempts
+  kCancelled,   ///< cancel() while queued or running
+  kTimedOut,    ///< per-job deadline passed while queued or running
+};
+
+const char* to_string(JobState state);
+
+/// True for terminal states (job record will no longer change).
+[[nodiscard]] bool is_terminal(JobState state);
+
+/// What the worker hands a job while it runs. `steps` and `ppa` are output
+/// channels: a flow job fills them from its FlowResult so the server can
+/// harvest per-step durations into the metrics registry without keeping
+/// the heavyweight artifacts alive.
+struct JobContext {
+  util::CancelToken cancel;
+  int attempt = 1;          ///< 1-based attempt number
+  util::Rng* rng = nullptr; ///< per-job deterministic stream (seed ⊕ job id)
+  std::vector<flow::StepRecord> steps;
+  flow::PpaReport ppa;
+};
+
+/// The work payload. Return Ok on success; transient failure codes
+/// (kResourceExhausted, kInternal) are retried up to JobSpec::max_attempts.
+using JobFn = std::function<util::Status(JobContext&)>;
+
+/// A submission. `node_name` is what the tier gate checks: when the server
+/// is bound to a core::EnablementHub and node_name is non-empty,
+/// check_member_access(member, tier, node_name) must pass at submission
+/// (beginners stay on open nodes — Recommendation 8).
+struct JobSpec {
+  std::string name;
+  std::size_t member = 0;
+  edu::LearnerTier tier = edu::LearnerTier::kAdvanced;
+  std::string node_name;
+  JobFn work;
+  /// Retry policy: total attempts (1 = no retry), exponential backoff
+  /// base doubling per retry, capped, with deterministic jitter.
+  int max_attempts = 1;
+  double backoff_base_ms = 1.0;
+  double backoff_cap_ms = 1000.0;
+  /// Wall-clock budget measured from submission; 0 = server default
+  /// (which may itself be 0 = unlimited).
+  double deadline_ms = 0.0;
+};
+
+/// Everything the platform remembers about a job. Times are milliseconds
+/// since the server's epoch (its construction). start/finish are negative
+/// until the corresponding transition happened.
+struct JobRecord {
+  JobId id = 0;
+  std::string name;
+  std::size_t member = 0;
+  edu::LearnerTier tier = edu::LearnerTier::kAdvanced;
+  JobState state = JobState::kQueued;
+  util::Status status;
+  int attempts = 0;
+  double submit_ms = 0.0;
+  double start_ms = -1.0;
+  double finish_ms = -1.0;
+  double queue_wait_ms = 0.0;
+  double run_ms = 0.0;
+  std::vector<flow::StepRecord> steps;
+  flow::PpaReport ppa;
+};
+
+/// Wraps the reference flow into a JobSpec. The design is shared (not
+/// copied) across retries and jobs; rtl::Module is immutable here, which
+/// is what makes the sharing thread-safe. The spec's node_name is taken
+/// from `config.node` so hub-side tier gating applies. Callers running
+/// several flow jobs concurrently must give each config a distinct
+/// gds_output_path (or none) — see the flow.hpp thread-safety contract.
+[[nodiscard]] JobSpec make_flow_job(std::string name,
+                                    std::shared_ptr<const rtl::Module> design,
+                                    flow::FlowConfig config);
+
+}  // namespace eurochip::hub

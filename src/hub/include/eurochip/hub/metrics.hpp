@@ -1,0 +1,71 @@
+// Lock-safe metrics for the hub execution engine: monotonic counters,
+// gauges, and log-bucketed latency histograms. This is the observability
+// surface a shared enablement platform (Recommendation 7) exposes to its
+// operators: queue waits, run times, retries, per-step durations.
+//
+// All methods are thread-safe (one registry-wide mutex — the engine's hot
+// path is flow execution, not metric updates, so a single lock is plenty).
+// Snapshot accessors copy out under the lock; render() produces
+// util::Table text like the rest of the benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace eurochip::hub {
+
+class MetricsRegistry {
+ public:
+  // --- counters (monotonic) ---------------------------------------------
+  void increment(const std::string& name, std::uint64_t delta = 1);
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+
+  // --- gauges (set/add, instantaneous) ----------------------------------
+  void set_gauge(const std::string& name, double value);
+  void add_gauge(const std::string& name, double delta);
+  [[nodiscard]] double gauge(const std::string& name) const;
+
+  // --- histograms (log-spaced buckets; values in milliseconds) ----------
+  void observe(const std::string& name, double value_ms);
+
+  struct HistogramSnapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;   ///< bucket-interpolated; exact min/max clamp it
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+  [[nodiscard]] HistogramSnapshot histogram(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> histogram_names() const;
+
+  /// Renders counters, gauges, and histogram summaries as ASCII tables.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  // Buckets double from 1 us; 42 buckets cover ~1 us .. ~610 h.
+  static constexpr int kBuckets = 42;
+  static constexpr double kFirstBoundMs = 0.001;
+
+  struct Hist {
+    std::uint64_t buckets[kBuckets] = {};
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  static double quantile(const Hist& h, double q);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Hist> hists_;
+};
+
+}  // namespace eurochip::hub

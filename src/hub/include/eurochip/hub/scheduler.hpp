@@ -1,0 +1,78 @@
+// Tier-aware priority scheduling for the hub's job queue
+// (Recommendation 8 applied to shared infrastructure).
+//
+// Policy, in order:
+//   1. Strict tier priority: advanced (class 0) dispatches before
+//      intermediate (1) before beginner (2) — a higher tier never waits
+//      behind a lower-tier backlog.
+//   2. Anti-starvation aging: the oldest job of a lower class is promoted
+//      one class after `starvation_patience` dispatches, so a sustained
+//      high-tier flood delays beginners by a bounded amount instead of
+//      forever.
+//   3. Per-member fairness inside a class: the member with the fewest
+//      dispatches so far goes next (ties broken by submission order), so
+//      one member's batch of 50 jobs cannot lock out a member with one.
+//
+// The scheduler is deterministic (pure function of the push/pop sequence)
+// and deliberately NOT thread-safe: JobServer drives it under its own
+// mutex, and tests drive it single-threaded to pin down exact orderings.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "eurochip/edu/tiers.hpp"
+#include "eurochip/hub/job.hpp"
+
+namespace eurochip::hub {
+
+struct SchedulerOptions {
+  /// Dispatches a lower-class job waits before being promoted one class.
+  /// <= 0 disables aging (pure strict priority).
+  int starvation_patience = 64;
+  /// false = plain FIFO across all tiers (the simulate_queue discipline).
+  bool tier_priority = true;
+};
+
+class TierScheduler {
+ public:
+  explicit TierScheduler(SchedulerOptions options = {});
+
+  /// Priority class for a tier: advanced 0 (highest), beginner 2.
+  [[nodiscard]] static int priority_class(edu::LearnerTier tier);
+
+  void push(JobId id, std::size_t member, edu::LearnerTier tier);
+
+  /// Best job under the policy above, or nullopt if empty.
+  [[nodiscard]] std::optional<JobId> pop();
+
+  /// Removes a queued job (cancellation); false if not queued here.
+  bool remove(JobId id);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+ private:
+  struct Entry {
+    JobId id = 0;
+    std::size_t member = 0;
+    std::uint64_t seq = 0;           ///< submission order
+    std::uint64_t enqueued_at = 0;   ///< pop counter at (re-)enqueue
+  };
+
+  static constexpr int kClasses = 3;
+
+  void age_lower_classes();
+
+  SchedulerOptions options_;
+  std::deque<Entry> classes_[kClasses];
+  std::map<std::size_t, std::uint64_t> dispatched_;  ///< per-member count
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t pops_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace eurochip::hub

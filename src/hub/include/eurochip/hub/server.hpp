@@ -1,0 +1,156 @@
+// JobServer: the hub's concurrent flow-job execution engine.
+//
+// Where core::EnablementHub::simulate_queue *models* the shared platform
+// of Recommendation 7 as a mean-field discrete-event simulation, JobServer
+// *is* that platform in miniature: a fixed-size worker pool (capacity =
+// EnablementHub::Options::job_capacity) executing real
+// flow::run_reference_flow jobs concurrently, with
+//   * tier-aware priority scheduling + per-member fairness (TierScheduler,
+//     Recommendation 8) and beginner open-node gating at submission via
+//     EnablementHub::check_member_access;
+//   * per-job deadlines and cooperative cancellation, checked between flow
+//     steps through util::CancelToken;
+//   * bounded automatic retries with exponential backoff + deterministic
+//     jitter (per-job util::Rng stream derived from the server seed);
+//   * a lock-safe MetricsRegistry recording queue wait, run time, retries,
+//     and per-step durations harvested from FlowResult::steps.
+//
+// measured_queue_report() renders completed work in the same QueueReport
+// shape simulate_queue produces (time unit: milliseconds), so the
+// simulated and measured views of the hub are directly comparable — see
+// bench/bench_hub_server.cpp.
+//
+// Thread-safety: all public methods are safe to call from any thread.
+// Internally one mutex guards the queue/records; metrics have their own
+// lock and are never updated while the server mutex is held by the same
+// thread path that locks them (no lock-order cycles).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "eurochip/core/enablement.hpp"
+#include "eurochip/hub/job.hpp"
+#include "eurochip/hub/metrics.hpp"
+#include "eurochip/hub/scheduler.hpp"
+#include "eurochip/util/result.hpp"
+
+namespace eurochip::hub {
+
+/// Deterministic, pure backoff schedule: min(cap, base * 2^(attempt-1))
+/// scaled by a jitter factor in [1.0, 1.5) drawn from `rng`. `attempt` is
+/// the 1-based attempt that just failed. Exposed for tests.
+[[nodiscard]] double backoff_delay_ms(const JobSpec& spec, int attempt,
+                                      util::Rng& rng);
+
+class JobServer {
+ public:
+  struct Options {
+    int capacity = 4;                  ///< worker threads
+    std::uint64_t seed = 0xEC0FFEEuLL; ///< root of per-job rng/jitter streams
+    /// Workers idle until start() — lets tests submit a full batch first
+    /// so dispatch order is a pure function of the scheduler.
+    bool start_paused = false;
+    SchedulerOptions scheduler;
+    /// Default per-job deadline when JobSpec::deadline_ms == 0;
+    /// 0 = unlimited.
+    double default_deadline_ms = 0.0;
+    /// When set, submissions with a node_name are gated through
+    /// hub->check_member_access (tier gating, NDA/export rules). The hub
+    /// must outlive the server. Its job_capacity does NOT override
+    /// `capacity`; use for_hub() for that.
+    const core::EnablementHub* hub = nullptr;
+  };
+
+  explicit JobServer(Options options);
+
+  /// Convenience: a server sized and gated by an existing EnablementHub
+  /// (capacity = hub.options().job_capacity).
+  [[nodiscard]] static Options options_for(const core::EnablementHub& hub);
+
+  /// Cancels everything still pending and joins the workers.
+  ~JobServer();
+
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  /// Enqueues a job. Fails with kPermissionDenied / kNotFound if the hub
+  /// gate rejects it, kInvalidArgument for a missing work function, and
+  /// kFailedPrecondition after shutdown.
+  util::Result<JobId> submit(JobSpec spec);
+
+  /// Wakes the workers when constructed with start_paused.
+  void start();
+
+  /// Requests cancellation. Queued jobs finalize immediately as
+  /// kCancelled; running jobs get their token flipped and finalize when
+  /// the work function observes it. Returns false for unknown/terminal.
+  bool cancel(JobId id);
+
+  /// Blocks until `id` reaches a terminal state; returns its record.
+  [[nodiscard]] util::Result<JobRecord> wait(JobId id);
+
+  /// Blocks until the queue is empty and all workers are idle (resuming a
+  /// paused server first), then returns every record sorted by id.
+  std::vector<JobRecord> drain();
+
+  enum class DrainMode {
+    kDrain,          ///< finish all queued work, then stop
+    kCancelPending,  ///< cancel queued + running work, stop ASAP
+  };
+
+  /// Graceful shutdown with drain semantics; idempotent. After it
+  /// returns, workers are joined and submit() fails.
+  void shutdown(DrainMode mode = DrainMode::kDrain);
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+
+  /// The measured twin of EnablementHub::simulate_queue: terminal jobs
+  /// rendered as a QueueReport whose time unit is milliseconds since the
+  /// server epoch (QueueReport is unit-agnostic). Jobs still queued or
+  /// running are excluded.
+  [[nodiscard]] core::EnablementHub::QueueReport measured_queue_report();
+
+  [[nodiscard]] std::size_t queued_count();
+  [[nodiscard]] std::size_t running_count();
+  [[nodiscard]] int capacity() const { return options_.capacity; }
+
+ private:
+  struct Entry {
+    JobSpec spec;
+    JobRecord record;
+    util::CancelSource cancel;
+  };
+
+  void worker_loop();
+  double now_ms() const;
+  /// Finalizes under lock; records metrics after unlocking is the
+  /// caller's job (metrics_ has its own lock, but we keep update sites
+  /// consistent by calling with mu_ held — no other lock is taken).
+  void finalize_locked(Entry& entry, JobState state, util::Status status);
+  static bool transient(util::ErrorCode code);
+  void run_job(const std::shared_ptr<Entry>& entry);
+
+  Options options_;
+  MetricsRegistry metrics_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;   ///< workers: queue/stop/pause changes
+  std::condition_variable cv_done_;   ///< waiters: job transitions
+  TierScheduler scheduler_;
+  std::map<JobId, std::shared_ptr<Entry>> entries_;
+  JobId next_id_ = 1;
+  std::size_t running_ = 0;
+  bool paused_ = false;
+  bool stopping_ = false;   ///< no new submissions
+  bool stop_now_ = false;   ///< workers exit even with queued work
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace eurochip::hub

@@ -1,0 +1,44 @@
+#include "eurochip/hub/job.hpp"
+
+namespace eurochip::hub {
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kSucceeded: return "succeeded";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kTimedOut: return "timed_out";
+  }
+  return "?";
+}
+
+bool is_terminal(JobState state) {
+  return state != JobState::kQueued && state != JobState::kRunning;
+}
+
+JobSpec make_flow_job(std::string name,
+                      std::shared_ptr<const rtl::Module> design,
+                      flow::FlowConfig config) {
+  JobSpec spec;
+  spec.name = std::move(name);
+  spec.node_name = config.node.name;
+  spec.work = [design = std::move(design),
+               config = std::move(config)](JobContext& ctx) -> util::Status {
+    flow::FlowConfig cfg = config;
+    cfg.cancel = ctx.cancel;
+    // Retries re-run with a shifted seed so a transiently-failing
+    // stochastic stage (e.g. a congested routing attempt) explores a
+    // different deterministic trajectory.
+    cfg.seed = config.seed + static_cast<std::uint64_t>(ctx.attempt - 1);
+    auto result = flow::run_reference_flow(*design, cfg);
+    if (!result.ok()) return result.status();
+    ctx.steps = std::move(result->steps);
+    ctx.ppa = result->ppa;
+    return util::Status::Ok();
+  };
+  return spec;
+}
+
+}  // namespace eurochip::hub

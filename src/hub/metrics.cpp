@@ -1,0 +1,152 @@
+#include "eurochip/hub/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eurochip/util/strings.hpp"
+#include "eurochip/util/table.hpp"
+
+namespace eurochip::hub {
+
+namespace {
+
+/// Index of the bucket whose upper bound is the first >= value.
+int bucket_index(double value_ms, double first_bound, int buckets) {
+  if (value_ms <= first_bound) return 0;
+  const int idx = static_cast<int>(std::ceil(std::log2(value_ms / first_bound)));
+  return std::min(idx, buckets - 1);
+}
+
+double bucket_upper(double first_bound, int idx) {
+  return first_bound * std::pow(2.0, idx);
+}
+
+}  // namespace
+
+void MetricsRegistry::increment(const std::string& name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::add_gauge(const std::string& name, double delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] += delta;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void MetricsRegistry::observe(const std::string& name, double value_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Hist& h = hists_[name];
+  if (h.count == 0) {
+    h.min = value_ms;
+    h.max = value_ms;
+  } else {
+    h.min = std::min(h.min, value_ms);
+    h.max = std::max(h.max, value_ms);
+  }
+  ++h.count;
+  h.sum += value_ms;
+  ++h.buckets[bucket_index(value_ms, kFirstBoundMs, kBuckets)];
+}
+
+double MetricsRegistry::quantile(const Hist& h, double q) {
+  if (h.count == 0) return 0.0;
+  const double target = q * static_cast<double>(h.count);
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t in_bucket = h.buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      // Linear interpolation inside the bucket, clamped to observed range.
+      const double lo = i == 0 ? 0.0 : bucket_upper(kFirstBoundMs, i - 1);
+      const double hi = bucket_upper(kFirstBoundMs, i);
+      const double frac =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return std::clamp(lo + frac * (hi - lo), h.min, h.max);
+    }
+    cumulative += in_bucket;
+  }
+  return h.max;
+}
+
+MetricsRegistry::HistogramSnapshot MetricsRegistry::histogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot snap;
+  const auto it = hists_.find(name);
+  if (it == hists_.end()) return snap;
+  const Hist& h = it->second;
+  snap.count = h.count;
+  snap.sum = h.sum;
+  snap.min = h.min;
+  snap.max = h.max;
+  snap.mean = h.count ? h.sum / static_cast<double>(h.count) : 0.0;
+  snap.p50 = quantile(h, 0.50);
+  snap.p90 = quantile(h, 0.90);
+  snap.p99 = quantile(h, 0.99);
+  return snap;
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(hists_.size());
+  for (const auto& [name, hist] : hists_) names.push_back(name);
+  return names;
+}
+
+std::string MetricsRegistry::render() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+
+  util::Table counters("Hub counters");
+  counters.set_header({"counter", "value"});
+  for (const auto& [name, value] : counters_) {
+    counters.add_row({name, std::to_string(value)});
+  }
+  if (counters.row_count() > 0) out += counters.render();
+
+  util::Table gauges("Hub gauges");
+  gauges.set_header({"gauge", "value"});
+  for (const auto& [name, value] : gauges_) {
+    gauges.add_row({name, util::fmt(value, 2)});
+  }
+  if (gauges.row_count() > 0) {
+    if (!out.empty()) out += "\n";
+    out += gauges.render();
+  }
+
+  util::Table hists("Hub latency histograms (ms)");
+  hists.set_header({"histogram", "count", "mean", "p50", "p90", "p99", "max"});
+  for (const auto& [name, h] : hists_) {
+    const double mean = h.count ? h.sum / static_cast<double>(h.count) : 0.0;
+    hists.add_row({name, std::to_string(h.count), util::fmt(mean, 2),
+                   util::fmt(quantile(h, 0.50), 2),
+                   util::fmt(quantile(h, 0.90), 2),
+                   util::fmt(quantile(h, 0.99), 2), util::fmt(h.max, 2)});
+  }
+  if (hists.row_count() > 0) {
+    if (!out.empty()) out += "\n";
+    out += hists.render();
+  }
+  return out;
+}
+
+}  // namespace eurochip::hub

@@ -1,0 +1,84 @@
+#include "eurochip/hub/scheduler.hpp"
+
+#include <algorithm>
+
+namespace eurochip::hub {
+
+TierScheduler::TierScheduler(SchedulerOptions options) : options_(options) {}
+
+int TierScheduler::priority_class(edu::LearnerTier tier) {
+  switch (tier) {
+    case edu::LearnerTier::kAdvanced: return 0;
+    case edu::LearnerTier::kIntermediate: return 1;
+    case edu::LearnerTier::kBeginner: return 2;
+  }
+  return kClasses - 1;
+}
+
+void TierScheduler::push(JobId id, std::size_t member, edu::LearnerTier tier) {
+  Entry e;
+  e.id = id;
+  e.member = member;
+  e.seq = next_seq_++;
+  e.enqueued_at = pops_;
+  const int klass = options_.tier_priority ? priority_class(tier) : 0;
+  classes_[klass].push_back(e);
+  ++size_;
+}
+
+void TierScheduler::age_lower_classes() {
+  if (options_.starvation_patience <= 0) return;
+  const auto patience = static_cast<std::uint64_t>(options_.starvation_patience);
+  // Promote the head (oldest entry) of each lower class that has waited
+  // at least `patience` dispatches since it entered its current class.
+  // Front-inserted so a promoted job stays ahead of the class's natives
+  // of the same member.
+  for (int klass = 1; klass < kClasses; ++klass) {
+    while (!classes_[klass].empty() &&
+           pops_ - classes_[klass].front().enqueued_at >= patience) {
+      Entry e = classes_[klass].front();
+      classes_[klass].pop_front();
+      e.enqueued_at = pops_;
+      classes_[klass - 1].push_front(e);
+    }
+  }
+}
+
+std::optional<JobId> TierScheduler::pop() {
+  if (size_ == 0) return std::nullopt;
+  ++pops_;
+  age_lower_classes();
+  for (auto& klass : classes_) {
+    if (klass.empty()) continue;
+    // Per-member fairness: least-dispatched member first; earliest
+    // submission breaks ties. Linear scan — queues are small relative to
+    // flow runtimes, and determinism beats cleverness here.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < klass.size(); ++i) {
+      const std::uint64_t di = dispatched_[klass[i].member];
+      const std::uint64_t db = dispatched_[klass[best].member];
+      if (di < db || (di == db && klass[i].seq < klass[best].seq)) best = i;
+    }
+    const Entry e = klass[best];
+    klass.erase(klass.begin() + static_cast<std::ptrdiff_t>(best));
+    ++dispatched_[e.member];
+    --size_;
+    return e.id;
+  }
+  return std::nullopt;  // unreachable while size_ is kept consistent
+}
+
+bool TierScheduler::remove(JobId id) {
+  for (auto& klass : classes_) {
+    const auto it = std::find_if(klass.begin(), klass.end(),
+                                 [id](const Entry& e) { return e.id == id; });
+    if (it != klass.end()) {
+      klass.erase(it);
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace eurochip::hub

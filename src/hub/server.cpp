@@ -1,0 +1,358 @@
+#include "eurochip/hub/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace eurochip::hub {
+
+namespace {
+constexpr std::uint64_t kSeedMix = 0x9E3779B97F4A7C15uLL;  // golden-ratio odd
+}
+
+double backoff_delay_ms(const JobSpec& spec, int attempt, util::Rng& rng) {
+  const double base = std::max(0.0, spec.backoff_base_ms);
+  const double cap = std::max(base, spec.backoff_cap_ms);
+  const double exponential =
+      base * std::pow(2.0, static_cast<double>(std::max(1, attempt) - 1));
+  // Jitter multiplies in [1.0, 1.5) so the schedule stays >= the
+  // exponential floor and <= 1.5x the cap.
+  return std::min(cap, exponential) * (1.0 + 0.5 * rng.uniform());
+}
+
+JobServer::JobServer(Options options)
+    : options_(options),
+      epoch_(std::chrono::steady_clock::now()),
+      scheduler_(options.scheduler),
+      paused_(options.start_paused) {
+  options_.capacity = std::max(1, options_.capacity);
+  workers_.reserve(static_cast<std::size_t>(options_.capacity));
+  for (int i = 0; i < options_.capacity; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobServer::Options JobServer::options_for(const core::EnablementHub& hub) {
+  Options opt;
+  opt.capacity = hub.options().job_capacity;
+  opt.hub = &hub;
+  return opt;
+}
+
+JobServer::~JobServer() { shutdown(DrainMode::kCancelPending); }
+
+double JobServer::now_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+bool JobServer::transient(util::ErrorCode code) {
+  // Resource exhaustion (e.g. routing congestion at this seed) and
+  // internal hiccups are worth a retry; argument/permission/precondition
+  // failures will fail the same way every time.
+  return code == util::ErrorCode::kResourceExhausted ||
+         code == util::ErrorCode::kInternal;
+}
+
+util::Result<JobId> JobServer::submit(JobSpec spec) {
+  if (!spec.work) {
+    return util::Status::InvalidArgument("job '" + spec.name +
+                                         "' has no work function");
+  }
+  if (options_.hub != nullptr && !spec.node_name.empty()) {
+    util::Status gate = options_.hub->check_member_access(
+        spec.member, spec.tier, spec.node_name);
+    if (!gate.ok()) {
+      metrics_.increment("jobs_rejected");
+      return gate;
+    }
+  }
+  const double deadline_ms =
+      spec.deadline_ms > 0.0 ? spec.deadline_ms : options_.default_deadline_ms;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) {
+    return util::Status::FailedPrecondition("job server is shut down");
+  }
+  const JobId id = next_id_++;
+  auto entry = std::make_shared<Entry>();
+  entry->record.id = id;
+  entry->record.name = spec.name;
+  entry->record.member = spec.member;
+  entry->record.tier = spec.tier;
+  entry->record.submit_ms = now_ms();
+  if (deadline_ms > 0.0) entry->cancel.set_deadline_after_ms(deadline_ms);
+  entry->spec = std::move(spec);
+  scheduler_.push(id, entry->record.member, entry->record.tier);
+  entries_.emplace(id, std::move(entry));
+  metrics_.increment("jobs_submitted");
+  metrics_.set_gauge("queue_depth", static_cast<double>(scheduler_.size()));
+  cv_work_.notify_one();
+  return id;
+}
+
+void JobServer::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = false;
+  cv_work_.notify_all();
+}
+
+void JobServer::finalize_locked(Entry& entry, JobState state,
+                                util::Status status) {
+  JobRecord& rec = entry.record;
+  rec.state = state;
+  rec.status = std::move(status);
+  rec.finish_ms = now_ms();
+  if (rec.start_ms >= 0.0) {
+    rec.queue_wait_ms = rec.start_ms - rec.submit_ms;
+    rec.run_ms = rec.finish_ms - rec.start_ms;
+  } else {
+    rec.queue_wait_ms = rec.finish_ms - rec.submit_ms;
+  }
+
+  switch (state) {
+    case JobState::kSucceeded: metrics_.increment("jobs_succeeded"); break;
+    case JobState::kFailed: metrics_.increment("jobs_failed"); break;
+    case JobState::kCancelled: metrics_.increment("jobs_cancelled"); break;
+    case JobState::kTimedOut: metrics_.increment("jobs_timed_out"); break;
+    default: break;
+  }
+  metrics_.observe("queue_wait_ms", rec.queue_wait_ms);
+  if (rec.start_ms >= 0.0) metrics_.observe("run_ms", rec.run_ms);
+  for (const flow::StepRecord& step : rec.steps) {
+    metrics_.observe("step_" + step.name + "_ms", step.runtime_ms);
+  }
+  metrics_.set_gauge("queue_depth", static_cast<double>(scheduler_.size()));
+}
+
+void JobServer::run_job(const std::shared_ptr<Entry>& entry) {
+  // No server lock held here: this is the parallel section.
+  const JobSpec& spec = entry->spec;
+  const util::CancelToken token = entry->cancel.token();
+  // Per-job deterministic stream: depends on the server seed and job id
+  // only, never on worker interleaving.
+  util::Rng rng(options_.seed ^ (kSeedMix * entry->record.id));
+
+  const int max_attempts = std::max(1, spec.max_attempts);
+  JobState final_state = JobState::kFailed;
+  util::Status final_status;
+  std::vector<flow::StepRecord> steps;
+  flow::PpaReport ppa;
+  int attempts = 0;
+
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    attempts = attempt;
+    JobContext ctx;
+    ctx.cancel = token;
+    ctx.attempt = attempt;
+    ctx.rng = &rng;
+    util::Status s = spec.work(ctx);
+    steps = std::move(ctx.steps);
+    ppa = ctx.ppa;
+
+    if (s.ok()) {
+      final_state = JobState::kSucceeded;
+      final_status = util::Status::Ok();
+      break;
+    }
+    if (token.cancel_requested() || s.code() == util::ErrorCode::kCancelled) {
+      final_state = JobState::kCancelled;
+      final_status =
+          s.code() == util::ErrorCode::kCancelled
+              ? std::move(s)
+              : util::Status::Cancelled("cancelled during attempt " +
+                                        std::to_string(attempt));
+      break;
+    }
+    if (token.deadline_passed() ||
+        s.code() == util::ErrorCode::kDeadlineExceeded) {
+      final_state = JobState::kTimedOut;
+      final_status =
+          s.code() == util::ErrorCode::kDeadlineExceeded
+              ? std::move(s)
+              : util::Status::DeadlineExceeded("deadline passed during attempt " +
+                                               std::to_string(attempt));
+      break;
+    }
+    if (!transient(s.code()) || attempt == max_attempts) {
+      final_state = JobState::kFailed;
+      final_status = std::move(s);
+      break;
+    }
+
+    // Transient failure with attempts left: back off, interruptibly.
+    metrics_.increment("jobs_retried");
+    const double delay_ms = backoff_delay_ms(spec, attempt, rng);
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_work_.wait_for(
+        lock,
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(delay_ms)),
+        [&] { return stop_now_ || token.cancelled(); });
+    if (stop_now_ || token.cancel_requested()) {
+      final_state = JobState::kCancelled;
+      final_status = util::Status::Cancelled("cancelled during retry backoff");
+      break;
+    }
+    if (token.deadline_passed()) {
+      final_state = JobState::kTimedOut;
+      final_status =
+          util::Status::DeadlineExceeded("deadline passed during retry backoff");
+      break;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  entry->record.attempts = attempts;
+  entry->record.steps = std::move(steps);
+  entry->record.ppa = ppa;
+  finalize_locked(*entry, final_state, std::move(final_status));
+}
+
+void JobServer::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_work_.wait(lock, [&] {
+      return stop_now_ || (stopping_ && scheduler_.empty() && !paused_) ||
+             (!paused_ && !scheduler_.empty());
+    });
+    if (stop_now_) break;
+    if (scheduler_.empty()) {
+      if (stopping_) break;
+      continue;
+    }
+    const auto id = scheduler_.pop();
+    if (!id) continue;
+    const auto it = entries_.find(*id);
+    if (it == entries_.end()) continue;
+    std::shared_ptr<Entry> entry = it->second;
+
+    // Deadline may have passed while the job sat in the queue.
+    if (entry->cancel.token().deadline_passed()) {
+      finalize_locked(*entry, JobState::kTimedOut,
+                      util::Status::DeadlineExceeded("timed out in queue"));
+      cv_done_.notify_all();
+      continue;
+    }
+
+    entry->record.state = JobState::kRunning;
+    entry->record.start_ms = now_ms();
+    ++running_;
+    metrics_.set_gauge("queue_depth", static_cast<double>(scheduler_.size()));
+    metrics_.set_gauge("running", static_cast<double>(running_));
+
+    lock.unlock();
+    run_job(entry);
+    lock.lock();
+
+    --running_;
+    metrics_.set_gauge("running", static_cast<double>(running_));
+    cv_done_.notify_all();
+  }
+}
+
+bool JobServer::cancel(JobId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  Entry& entry = *it->second;
+  if (is_terminal(entry.record.state)) return false;
+  if (entry.record.state == JobState::kQueued) {
+    scheduler_.remove(id);
+    finalize_locked(entry, JobState::kCancelled,
+                    util::Status::Cancelled("cancelled while queued"));
+    cv_done_.notify_all();
+    return true;
+  }
+  // Running: flip the token; the worker finalizes when the work function
+  // observes it (between flow steps for flow jobs).
+  entry.cancel.request_cancel();
+  cv_work_.notify_all();  // wake any backoff sleep
+  return true;
+}
+
+util::Result<JobRecord> JobServer::wait(JobId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return util::Status::NotFound("unknown job id " + std::to_string(id));
+  }
+  std::shared_ptr<Entry> entry = it->second;
+  cv_done_.wait(lock, [&] { return is_terminal(entry->record.state); });
+  return entry->record;
+}
+
+std::vector<JobRecord> JobServer::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  paused_ = false;
+  cv_work_.notify_all();
+  cv_done_.wait(lock, [&] { return scheduler_.empty() && running_ == 0; });
+  std::vector<JobRecord> records;
+  records.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) records.push_back(entry->record);
+  return records;  // map order == id order
+}
+
+void JobServer::shutdown(DrainMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopping_ && workers_.empty()) return;  // already fully shut down
+  stopping_ = true;
+  paused_ = false;
+  if (mode == DrainMode::kCancelPending) {
+    for (auto& [id, entry] : entries_) {
+      if (entry->record.state == JobState::kQueued) {
+        scheduler_.remove(id);
+        finalize_locked(*entry, JobState::kCancelled,
+                        util::Status::Cancelled("server shutdown"));
+      } else if (entry->record.state == JobState::kRunning) {
+        entry->cancel.request_cancel();
+      }
+    }
+    stop_now_ = true;
+  }
+  cv_work_.notify_all();
+  cv_done_.notify_all();
+  if (mode == DrainMode::kDrain) {
+    cv_done_.wait(lock, [&] { return scheduler_.empty() && running_ == 0; });
+    stop_now_ = true;
+    cv_work_.notify_all();
+  }
+  std::vector<std::thread> workers = std::move(workers_);
+  workers_.clear();
+  lock.unlock();
+  for (std::thread& t : workers) t.join();
+}
+
+core::EnablementHub::QueueReport JobServer::measured_queue_report() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<core::EnablementHub::Job> jobs;
+  std::vector<core::EnablementHub::JobOutcome> outcomes;
+  for (const auto& [id, entry] : entries_) {
+    const JobRecord& rec = entry->record;
+    if (!is_terminal(rec.state) || rec.start_ms < 0.0) continue;
+    core::EnablementHub::Job job;
+    job.member = rec.member;
+    job.submit_time_h = rec.submit_ms;
+    job.duration_h = rec.run_ms;
+    jobs.push_back(job);
+    core::EnablementHub::JobOutcome out;
+    out.start_h = rec.start_ms;
+    out.finish_h = rec.finish_ms;
+    outcomes.push_back(out);
+  }
+  return core::EnablementHub::summarize_outcomes(jobs, std::move(outcomes),
+                                                 options_.capacity);
+}
+
+std::size_t JobServer::queued_count() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scheduler_.size();
+}
+
+std::size_t JobServer::running_count() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+}  // namespace eurochip::hub

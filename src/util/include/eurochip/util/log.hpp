@@ -9,8 +9,9 @@ namespace eurochip::util {
 
 enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
 
-/// Global log threshold (process-wide; not thread-safe by design — set once
-/// at startup).
+/// Global log threshold (process-wide, atomic — safe to read from worker
+/// threads; still best set once at startup). Each log() call emits a single
+/// fprintf so concurrent lines never interleave mid-line.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 

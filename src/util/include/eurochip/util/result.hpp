@@ -26,6 +26,8 @@ enum class ErrorCode {
   kResourceExhausted,  ///< e.g. routing capacity exceeded after max iterations
   kUnimplemented,
   kInternal,
+  kCancelled,          ///< e.g. hub job cancelled between flow steps
+  kDeadlineExceeded,   ///< e.g. hub job past its per-job deadline
 };
 
 /// Human-readable name of an ErrorCode ("ok", "invalid_argument", ...).
@@ -67,6 +69,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return {ErrorCode::kInternal, std::move(msg)};
+  }
+  static Status Cancelled(std::string msg) {
+    return {ErrorCode::kCancelled, std::move(msg)};
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return {ErrorCode::kDeadlineExceeded, std::move(msg)};
   }
 
   [[nodiscard]] bool ok() const { return code_ == ErrorCode::kOk; }

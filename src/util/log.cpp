@@ -1,11 +1,12 @@
 #include "eurochip/util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace eurochip::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -19,11 +20,14 @@ const char* level_tag(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log(LogLevel level, const std::string& message) {
-  if (level < g_level || g_level == LogLevel::kOff) return;
+  const LogLevel threshold = g_level.load(std::memory_order_relaxed);
+  if (level < threshold || threshold == LogLevel::kOff) return;
   std::fprintf(stderr, "[eurochip %s] %s\n", level_tag(level), message.c_str());
 }
 

@@ -13,6 +13,8 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kResourceExhausted: return "resource_exhausted";
     case ErrorCode::kUnimplemented: return "unimplemented";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
   }
   return "unknown";
 }
