@@ -1,0 +1,260 @@
+#include "eurochip/flow/cache.hpp"
+
+namespace eurochip::flow {
+
+namespace {
+
+// --- resident-size estimation -------------------------------------------
+//
+// The byte budget is enforced against an estimate of the snapshot's heap
+// footprint: container element counts times element sizes plus string
+// payloads. It undercounts allocator slack and overcounts nothing large;
+// good enough to keep a shared cache bounded.
+
+std::size_t approx_bytes(const std::string& s) { return s.size(); }
+
+std::size_t approx_bytes(const netlist::CellLibrary& lib) {
+  // NLDM tables are small fixed grids; 512 bytes/cell is a generous flat
+  // estimate that avoids reaching into NldmTable internals.
+  return lib.size() * (sizeof(netlist::LibraryCell) + 512);
+}
+
+std::size_t approx_bytes(const synth::Aig& aig) {
+  return aig.num_nodes() * (sizeof(synth::AigNode) + 2 * sizeof(std::uint64_t));
+}
+
+std::size_t approx_bytes(const netlist::Netlist& nl) {
+  std::size_t total = sizeof(netlist::Netlist);
+  for (netlist::NetId id : nl.all_nets()) {
+    const netlist::Net& n = nl.net(id);
+    total += sizeof(netlist::Net) + approx_bytes(n.name) +
+             n.sinks.size() * sizeof(netlist::PinRef);
+  }
+  for (netlist::CellId id : nl.all_cells()) {
+    const netlist::Cell& c = nl.cell(id);
+    total += sizeof(netlist::Cell) + approx_bytes(c.name) +
+             c.fanin.size() * sizeof(netlist::NetId);
+  }
+  total += (nl.inputs().size() + nl.outputs().size()) * sizeof(netlist::Port);
+  return total;
+}
+
+std::size_t approx_bytes(const place::PlacedDesign& placed) {
+  return sizeof(place::PlacedDesign) +
+         (placed.cell_origin.size() + placed.input_pad.size() +
+          placed.output_pad.size()) *
+             sizeof(util::Point) +
+         placed.floorplan.rows().size() * 4 * sizeof(std::int64_t);
+}
+
+std::size_t approx_bytes(const cts::ClockTree& tree) {
+  std::size_t total = sizeof(cts::ClockTree);
+  for (const cts::TreeNode& n : tree.nodes) {
+    total += sizeof(cts::TreeNode) + n.children.size() * sizeof(std::uint32_t) +
+             n.sinks.size() * sizeof(netlist::CellId);
+  }
+  return total;
+}
+
+std::size_t approx_bytes(const route::RoutedDesign& routed) {
+  return sizeof(route::RoutedDesign) +
+         routed.nets.size() * sizeof(route::NetRoute);
+}
+
+std::size_t approx_bytes(const timing::TimingReport& t) {
+  std::size_t total = sizeof(timing::TimingReport);
+  for (const timing::Endpoint& e : t.endpoints) {
+    total += sizeof(timing::Endpoint) + approx_bytes(e.name);
+  }
+  for (const timing::PathStep& s : t.critical_path) {
+    total += sizeof(timing::PathStep) + approx_bytes(s.point);
+  }
+  return total;
+}
+
+std::size_t approx_bytes(const drc::DrcReport& d) {
+  std::size_t total = sizeof(drc::DrcReport);
+  for (const drc::Violation& v : d.violations) {
+    total += sizeof(drc::Violation) + approx_bytes(v.detail);
+  }
+  return total;
+}
+
+std::size_t approx_bytes(const std::vector<StepRecord>& steps) {
+  std::size_t total = 0;
+  for (const StepRecord& s : steps) {
+    total += sizeof(StepRecord) + approx_bytes(s.name) + approx_bytes(s.detail);
+  }
+  return total;
+}
+
+}  // namespace
+
+// --- Snapshot ------------------------------------------------------------
+//
+// A deep copy of FlowArtifacts with internal cross-references re-pointed at
+// the copies: mapped -> library (Netlist::rebind_library), placed ->
+// mapped, routed -> placed. `design` is deliberately NOT captured — the
+// content digest in the key already guarantees the caller's design is
+// equivalent, and holding a borrowed pointer would dangle.
+struct FlowCache::Snapshot {
+  std::unique_ptr<netlist::CellLibrary> library;
+  std::unique_ptr<synth::Aig> aig;
+  std::unique_ptr<netlist::Netlist> mapped;
+  std::unique_ptr<place::PlacedDesign> placed;
+  std::unique_ptr<cts::ClockTree> clock_tree;
+  std::unique_ptr<route::RoutedDesign> routed;
+  timing::TimingReport timing;
+  power::PowerReport power;
+  drc::DrcReport drc;
+  std::vector<std::uint8_t> gds_bytes;
+  std::vector<StepRecord> steps;
+  std::size_t bytes = 0;
+};
+
+namespace {
+
+/// Deep-copies `src` artifacts into fresh heap objects with pointer fixups.
+/// Shared by snapshot (ctx -> snapshot) and restore (snapshot -> ctx).
+template <typename Src, typename Dst>
+void clone_artifacts(const Src& src, Dst& dst) {
+  dst.library = src.library
+                    ? std::make_unique<netlist::CellLibrary>(*src.library)
+                    : nullptr;
+  dst.aig = src.aig ? std::make_unique<synth::Aig>(*src.aig) : nullptr;
+  dst.mapped =
+      src.mapped ? std::make_unique<netlist::Netlist>(*src.mapped) : nullptr;
+  if (dst.mapped && dst.library) dst.mapped->rebind_library(dst.library.get());
+  dst.placed = src.placed
+                   ? std::make_unique<place::PlacedDesign>(*src.placed)
+                   : nullptr;
+  if (dst.placed && dst.mapped) dst.placed->netlist = dst.mapped.get();
+  dst.clock_tree = src.clock_tree
+                       ? std::make_unique<cts::ClockTree>(*src.clock_tree)
+                       : nullptr;
+  dst.routed = src.routed
+                   ? std::make_unique<route::RoutedDesign>(*src.routed)
+                   : nullptr;
+  if (dst.routed && dst.placed) dst.routed->placed = dst.placed.get();
+  dst.timing = src.timing;
+  dst.power = src.power;
+  dst.drc = src.drc;
+  dst.gds_bytes = src.gds_bytes;
+}
+
+}  // namespace
+
+FlowCache::FlowCache() : FlowCache(Options{}) {}
+
+FlowCache::FlowCache(Options options) : options_(options) {}
+
+FlowCache::~FlowCache() = default;
+
+std::shared_ptr<const FlowCache::Snapshot> FlowCache::snapshot_of(
+    const FlowContext& ctx) {
+  auto snap = std::make_shared<Snapshot>();
+  clone_artifacts(ctx.artifacts, *snap);
+  snap->steps = ctx.steps;
+  std::size_t bytes = sizeof(Snapshot) + snap->gds_bytes.size() +
+                      approx_bytes(snap->steps) + approx_bytes(snap->timing) +
+                      approx_bytes(snap->drc);
+  if (snap->library) bytes += approx_bytes(*snap->library);
+  if (snap->aig) bytes += approx_bytes(*snap->aig);
+  if (snap->mapped) bytes += approx_bytes(*snap->mapped);
+  if (snap->placed) bytes += approx_bytes(*snap->placed);
+  if (snap->clock_tree) bytes += approx_bytes(*snap->clock_tree);
+  if (snap->routed) bytes += approx_bytes(*snap->routed);
+  snap->bytes = bytes;
+  return snap;
+}
+
+void FlowCache::restore(const Snapshot& snap, FlowContext& ctx) {
+  clone_artifacts(snap, ctx.artifacts);
+  ctx.steps = snap.steps;
+  for (StepRecord& rec : ctx.steps) rec.cached = true;
+}
+
+bool FlowCache::lookup(const util::Digest& key, FlowContext& ctx) {
+  std::shared_ptr<const Snapshot> snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    snap = it->second.snapshot;
+    ++hits_;
+  }
+  // Deep copy outside the lock; `snap` keeps the entry alive even if a
+  // concurrent store evicts it.
+  restore(*snap, ctx);
+  return true;
+}
+
+void FlowCache::store(const util::Digest& key, const FlowContext& ctx) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return;
+    }
+  }
+  // Snapshot outside the lock (it is the expensive part). A racing store
+  // of the same key is resolved below: first writer wins.
+  std::shared_ptr<const Snapshot> snap = snapshot_of(ctx);
+  if (snap->bytes > options_.max_bytes) return;  // would evict everything
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  lru_.push_front(key);
+  bytes_ += snap->bytes;
+  index_.emplace(key, Entry{lru_.begin(), std::move(snap)});
+  ++stores_;
+  evict_to_budget_locked();
+}
+
+void FlowCache::evict_to_budget_locked() {
+  while (bytes_ > options_.max_bytes && !lru_.empty()) {
+    const util::Digest victim = lru_.back();
+    const auto it = index_.find(victim);
+    if (it != index_.end()) {
+      bytes_ -= it->second.snapshot->bytes;
+      index_.erase(it);
+      ++evictions_;
+    }
+    lru_.pop_back();
+  }
+}
+
+bool FlowCache::contains(const util::Digest& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.find(key) != index_.end();
+}
+
+void FlowCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  index_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+FlowCache::Stats FlowCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.stores = stores_;
+  s.evictions = evictions_;
+  s.bytes = bytes_;
+  s.entries = index_.size();
+  return s;
+}
+
+}  // namespace eurochip::flow

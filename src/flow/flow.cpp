@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 
+#include "eurochip/flow/cache.hpp"
+#include "eurochip/flow/fingerprint.hpp"
 #include "eurochip/pdk/library_gen.hpp"
 #include "eurochip/synth/elaborate.hpp"
 #include "eurochip/synth/netopt.hpp"
@@ -65,11 +68,37 @@ bool FlowTemplate::replace_step(
   for (FlowStep& s : steps_) {
     if (s.name == step_name) {
       s.run = std::move(run);
+      // The replacement body is opaque: its inputs are unknown, so the old
+      // fingerprint would produce stale cache hits. Drop it — this step and
+      // everything downstream now run uncached.
+      s.fingerprint = nullptr;
       return true;
     }
   }
   return false;
 }
+
+namespace {
+
+/// Re-materializes a cached GDS stream on disk. A cache hit on the gds
+/// step skips gds::write_file, but the step's observable contract includes
+/// the file; the key contains the path, so this only ever rewrites the
+/// same bytes the original run wrote.
+util::Status rewrite_gds_file(const std::vector<std::uint8_t>& bytes,
+                              const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return util::Status::NotFound("cannot open for writing: " + path);
+  }
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) {
+    return util::Status::Internal("short write to " + path);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
 
 util::Result<FlowResult> FlowTemplate::execute(const rtl::Module& design,
                                                FlowConfig config) const {
@@ -78,7 +107,53 @@ util::Result<FlowResult> FlowTemplate::execute(const rtl::Module& design,
   ctx.artifacts.design = &design;
 
   const auto t_start = std::chrono::steady_clock::now();
-  for (const FlowStep& step : steps_) {
+
+  // Content-addressed step keys: keys[i] digests everything that can
+  // influence the flow state after step i — the upstream chain (which
+  // transitively covers the design and node digests in the base), the step
+  // name, and the step's stage-relevant config knobs. A step without a
+  // fingerprint breaks the chain: it and all downstream steps get no key.
+  FlowCache* cache = ctx.config.cache;
+  std::vector<util::Digest> keys(steps_.size());
+  std::vector<bool> keyable(steps_.size(), false);
+  std::size_t resume_from = 0;
+  if (cache != nullptr && !steps_.empty()) {
+    util::Hasher base;
+    base.str("eurochip.flowcache.v1");
+    base.digest(digest_of(design));
+    base.digest(digest_of(ctx.config.node));
+    util::Digest chain = base.finalize();
+    for (std::size_t i = 0; i < steps_.size(); ++i) {
+      if (!steps_[i].fingerprint) break;
+      util::Hasher h;
+      h.digest(chain).str(steps_[i].name);
+      steps_[i].fingerprint(ctx.config, h);
+      chain = h.finalize();
+      keys[i] = chain;
+      keyable[i] = true;
+    }
+    // Deepest matching prefix wins; a hit restores artifacts + records.
+    for (std::size_t i = steps_.size(); i-- > 0;) {
+      if (keyable[i] && cache->lookup(keys[i], ctx)) {
+        resume_from = i + 1;
+        break;
+      }
+    }
+    if (resume_from > 0 && !ctx.config.gds_output_path.empty() &&
+        !ctx.artifacts.gds_bytes.empty()) {
+      // The restored prefix reached the gds step (gds_bytes only exist
+      // after it); keep its on-disk side effect alive.
+      if (util::Status s = rewrite_gds_file(ctx.artifacts.gds_bytes,
+                                            ctx.config.gds_output_path);
+          !s.ok()) {
+        return s;
+      }
+    }
+  }
+
+  for (std::size_t step_index = resume_from; step_index < steps_.size();
+       ++step_index) {
+    const FlowStep& step = steps_[step_index];
     if (ctx.config.cancel.cancel_requested()) {
       return util::Status::Cancelled("flow cancelled before step '" +
                                      step.name + "'");
@@ -104,11 +179,15 @@ util::Result<FlowResult> FlowTemplate::execute(const rtl::Module& design,
       return util::Status(s.code(),
                           "flow step '" + step.name + "': " + s.message());
     }
+    if (cache != nullptr && keyable[step_index]) {
+      cache->store(keys[step_index], ctx);
+    }
   }
   const auto t_end = std::chrono::steady_clock::now();
 
   FlowResult result;
   result.steps = std::move(ctx.steps);
+  result.cache_hits = resume_from;
   result.total_runtime_ms =
       std::chrono::duration<double, std::milli>(t_end - t_start).count();
 
@@ -405,22 +484,75 @@ util::Status step_gds(FlowContext& ctx) {
   return util::Status::Ok();
 }
 
+// --- cache fingerprints --------------------------------------------------
+//
+// Each fingerprint absorbs exactly the FlowConfig knobs its step consumes
+// (the design and node digests are already in the base key; upstream
+// artifacts are covered transitively by the key chain). Over-inclusion
+// would only cost hit rate; under-inclusion would serve stale artifacts —
+// when in doubt a knob is included.
+
+void fp_const(const FlowConfig&, util::Hasher&) {}
+
+void fp_synth(const FlowConfig& c, util::Hasher& h) {
+  h.u8(static_cast<std::uint8_t>(c.quality));
+  h.boolean(c.synth_iterations.has_value());
+  if (c.synth_iterations.has_value()) h.i64(*c.synth_iterations);
+}
+
+void fp_map(const FlowConfig& c, util::Hasher& h) {
+  h.u8(static_cast<std::uint8_t>(c.quality));
+  hash_optional(h, c.map_options);
+  // The commercial preset's multi-objective trial ranks candidates by STA
+  // at the target clock, and fanout buffering depends on the preset.
+  h.f64(c.effective_clock_ps());
+}
+
+void fp_dft(const FlowConfig& c, util::Hasher& h) { h.boolean(c.insert_scan); }
+
+void fp_place(const FlowConfig& c, util::Hasher& h) {
+  h.u8(static_cast<std::uint8_t>(c.quality));
+  h.u64(c.seed);
+  h.f64(c.utilization);
+  hash_optional(h, c.place_options);
+}
+
+void fp_route(const FlowConfig& c, util::Hasher& h) {
+  h.u8(static_cast<std::uint8_t>(c.quality));
+  hash_optional(h, c.route_options);
+}
+
+void fp_sta(const FlowConfig& c, util::Hasher& h) {
+  // Skew comes from the in-flow clock tree, already covered by the chain.
+  h.f64(c.effective_clock_ps());
+}
+
+void fp_power(const FlowConfig& c, util::Hasher& h) {
+  hash_optional(h, c.power_options);
+}
+
+void fp_gds(const FlowConfig& c, util::Hasher& h) {
+  // The output path is part of the step's observable effect (the written
+  // file), so runs with different paths never share this stage.
+  h.str(c.gds_output_path);
+}
+
 }  // namespace
 
 FlowTemplate reference_template() {
   FlowTemplate t("rtl-to-gds");
-  t.add_step({"library", step_library});
-  t.add_step({"elaborate", step_elaborate});
-  t.add_step({"synth", step_synth});
-  t.add_step({"map", step_map});
-  t.add_step({"dft", step_dft});
-  t.add_step({"place", step_place});
-  t.add_step({"cts", step_cts});
-  t.add_step({"route", step_route});
-  t.add_step({"sta", step_sta});
-  t.add_step({"power", step_power});
-  t.add_step({"drc", step_drc});
-  t.add_step({"gds", step_gds});
+  t.add_step({"library", step_library, fp_const});
+  t.add_step({"elaborate", step_elaborate, fp_const});
+  t.add_step({"synth", step_synth, fp_synth});
+  t.add_step({"map", step_map, fp_map});
+  t.add_step({"dft", step_dft, fp_dft});
+  t.add_step({"place", step_place, fp_place});
+  t.add_step({"cts", step_cts, fp_const});
+  t.add_step({"route", step_route, fp_route});
+  t.add_step({"sta", step_sta, fp_sta});
+  t.add_step({"power", step_power, fp_power});
+  t.add_step({"drc", step_drc, fp_const});
+  t.add_step({"gds", step_gds, fp_gds});
   return t;
 }
 
@@ -434,7 +566,8 @@ std::string render_report(const FlowResult& result, const FlowConfig& config) {
                     to_string(config.quality) + " preset)");
   steps.set_header({"step", "runtime_ms", "detail"});
   for (const auto& s : result.steps) {
-    steps.add_row({s.name, util::fmt(s.runtime_ms, 2), s.detail});
+    steps.add_row({s.name, util::fmt(s.runtime_ms, 2),
+                   s.cached ? s.detail + " [cached]" : s.detail});
   }
 
   const PpaReport& ppa = result.ppa;

@@ -1,0 +1,107 @@
+// FlowCache: a thread-safe, content-addressed, byte-budgeted (LRU) cache
+// of per-stage flow artifacts, shared by all hub::JobServer workers.
+//
+// Motivation (paper Recommendations 4/7): a shared enablement hub runs the
+// same flow templates over and over — campaigns, PPA sweeps, tiered-access
+// traces resubmit identical stage prefixes hundreds of times. Instead of
+// recomputing RTL->GDSII from scratch per job, FlowTemplate::execute keys
+// every step with a stable digest chain
+//
+//   key_0   = H(design digest, node digest)
+//   key_i   = H(key_{i-1}, step name, stage-relevant FlowConfig knobs)
+//
+// and consults the cache deepest-prefix-first: a hit restores the cached
+// FlowContext snapshot (a deep copy — artifacts never alias across jobs)
+// and execution resumes at the first stale step. After each completed step
+// the post-step snapshot is stored under that step's key.
+//
+// Thread-safety: all public methods are safe from any thread. One mutex
+// guards the index/LRU list; snapshots are immutable once stored
+// (shared_ptr<const Snapshot>), so the deep copy out of the cache happens
+// outside the lock and eviction during a concurrent restore is harmless.
+//
+// Eviction: strict LRU over an approximate byte budget (Options::max_bytes,
+// sized via approx_bytes estimates of the artifact containers). A snapshot
+// larger than the whole budget is not admitted. Keys are 128-bit content
+// digests (util::Digest); collisions are cache-poisoning, not correctness
+// hazards the design accepts silently — at 128 bits they are negligible.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "eurochip/flow/flow.hpp"
+#include "eurochip/util/digest.hpp"
+
+namespace eurochip::flow {
+
+class FlowCache {
+ public:
+  struct Options {
+    /// Approximate cap on resident snapshot bytes. LRU entries are evicted
+    /// until the estimate fits.
+    std::size_t max_bytes = 256u << 20;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;        ///< lookup() found the key
+    std::uint64_t misses = 0;      ///< lookup() probes that found nothing
+    std::uint64_t stores = 0;      ///< snapshots admitted
+    std::uint64_t evictions = 0;   ///< entries dropped for the byte budget
+    std::size_t bytes = 0;         ///< current resident estimate
+    std::size_t entries = 0;       ///< current entry count
+  };
+
+  FlowCache();  ///< default Options
+  explicit FlowCache(Options options);
+  ~FlowCache();
+
+  FlowCache(const FlowCache&) = delete;
+  FlowCache& operator=(const FlowCache&) = delete;
+
+  /// On hit, deep-copies the stored snapshot into `ctx` (artifacts + step
+  /// records; `ctx.artifacts.design` is left untouched) and returns true.
+  /// On miss returns false and leaves `ctx` unchanged.
+  bool lookup(const util::Digest& key, FlowContext& ctx);
+
+  /// Admits a deep-copied snapshot of `ctx` under `key`. No-op (LRU touch
+  /// only) if the key is already present; no-op if the snapshot alone
+  /// exceeds the byte budget.
+  void store(const util::Digest& key, const FlowContext& ctx);
+
+  /// True if `key` is resident (no LRU touch, no restore).
+  [[nodiscard]] bool contains(const util::Digest& key) const;
+
+  void clear();
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t max_bytes() const { return options_.max_bytes; }
+
+ private:
+  struct Snapshot;
+
+  static std::shared_ptr<const Snapshot> snapshot_of(const FlowContext& ctx);
+  static void restore(const Snapshot& snap, FlowContext& ctx);
+
+  void evict_to_budget_locked();
+
+  Options options_;
+  mutable std::mutex mu_;
+  /// MRU at front. The map owns iterators into this list.
+  std::list<util::Digest> lru_;
+  struct Entry {
+    std::list<util::Digest>::iterator lru_it;
+    std::shared_ptr<const Snapshot> snapshot;
+  };
+  std::unordered_map<util::Digest, Entry, util::DigestHash> index_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t stores_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace eurochip::flow

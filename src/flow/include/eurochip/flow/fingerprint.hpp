@@ -1,0 +1,56 @@
+// Canonical content digests of flow inputs and artifacts.
+//
+// These are the serialization rules behind FlowCache's content addressing:
+// two objects get the same digest iff the flow would behave identically on
+// them. Digests cover structure and all behaviour-relevant parameters; they
+// deliberately ignore representation details that cannot influence a flow
+// outcome (vector capacities, pointer identities). Every function is pure
+// and thread-safe.
+#pragma once
+
+#include <optional>
+
+#include "eurochip/netlist/netlist.hpp"
+#include "eurochip/pdk/node.hpp"
+#include "eurochip/place/placer.hpp"
+#include "eurochip/power/power.hpp"
+#include "eurochip/route/router.hpp"
+#include "eurochip/rtl/ir.hpp"
+#include "eurochip/synth/mapper.hpp"
+#include "eurochip/util/digest.hpp"
+
+namespace eurochip::flow {
+
+/// Digest of a word-level RTL module: name, every signal (name, kind,
+/// width, binding, reset value) and every expression node.
+[[nodiscard]] util::Digest digest_of(const rtl::Module& module);
+
+/// Digest of a technology node: identity plus every electrical/geometry
+/// parameter the flow consumes (layer stack, design rules, scaling).
+[[nodiscard]] util::Digest digest_of(const pdk::TechnologyNode& node);
+
+/// Digest of a gate-level netlist: cells (lib index, fanin nets), nets
+/// (driver, sinks, PO flag), and port order.
+[[nodiscard]] util::Digest digest_of(const netlist::Netlist& netlist);
+
+/// Digest of a placement: floorplan die plus every cell/pad position.
+[[nodiscard]] util::Digest digest_of(const place::PlacedDesign& placed);
+
+/// Digest of a routing result: per-net lengths/vias plus totals.
+[[nodiscard]] util::Digest digest_of(const route::RoutedDesign& routed);
+
+// --- option-knob hashing (used by per-step cache fingerprints) ----------
+
+void hash_options(util::Hasher& h, const synth::MapOptions& o);
+void hash_options(util::Hasher& h, const place::PlacementOptions& o);
+void hash_options(util::Hasher& h, const route::RouteOptions& o);
+void hash_options(util::Hasher& h, const power::PowerOptions& o);
+
+/// Hashes presence + contents of an optional knob override.
+template <typename T>
+void hash_optional(util::Hasher& h, const std::optional<T>& o) {
+  h.boolean(o.has_value());
+  if (o.has_value()) hash_options(h, *o);
+}
+
+}  // namespace eurochip::flow

@@ -24,9 +24,13 @@
 //     the filesystem is the one shared sink;
 //   * nobody mutates a FlowTemplate's step list (add/remove/replace_step)
 //     while another thread is executing it.
-// The only process-wide mutable state in the stack is util's log threshold,
-// which is atomic. eurochip::hub::JobServer relies on this contract to run
-// flows on a worker pool.
+// A FlowCache (FlowConfig::cache) MAY be shared by any number of
+// concurrent execute() calls: the cache is internally synchronized, and
+// both store and lookup deep-copy the artifacts, so no mutable artifact
+// state is ever aliased between runs or between a run and the cache — see
+// cache.hpp. The only process-wide mutable state in the stack is util's
+// log threshold, which is atomic. eurochip::hub::JobServer relies on this
+// contract to run flows on a worker pool that shares one FlowCache.
 #pragma once
 
 #include <functional>
@@ -48,8 +52,11 @@
 #include "eurochip/synth/mapper.hpp"
 #include "eurochip/timing/sta.hpp"
 #include "eurochip/util/cancel.hpp"
+#include "eurochip/util/digest.hpp"
 
 namespace eurochip::flow {
+
+class FlowCache;  // cache.hpp; FlowConfig only carries a borrowed pointer
 
 /// Effort preset. The same engines run in both; only effort knobs differ —
 /// which is exactly how the open-vs-proprietary PPA gap is reproduced.
@@ -79,6 +86,11 @@ struct FlowConfig {
   /// surfaces as ErrorCode::kCancelled, a passed deadline as
   /// ErrorCode::kDeadlineExceeded.
   util::CancelToken cancel;
+  /// Optional shared per-stage artifact cache (borrowed; must outlive the
+  /// run). When set, execute() resumes from the deepest cached stage whose
+  /// content key matches and stores a snapshot after each completed step.
+  /// Safe to share across concurrent runs — see cache.hpp.
+  FlowCache* cache = nullptr;
 
   [[nodiscard]] double effective_clock_ps() const {
     return clock_period_ps > 0.0 ? clock_period_ps
@@ -108,6 +120,9 @@ struct StepRecord {
   std::string name;
   double runtime_ms = 0.0;
   std::string detail;
+  /// True when the step was satisfied from a FlowCache snapshot instead of
+  /// being executed; runtime_ms then reflects the original run.
+  bool cached = false;
 };
 
 /// All intermediate artifacts, individually heap-held so cross-references
@@ -131,6 +146,9 @@ struct FlowResult {
   std::vector<StepRecord> steps;
   FlowArtifacts artifacts;
   double total_runtime_ms = 0.0;
+  /// Number of leading steps restored from FlowConfig::cache (0 when no
+  /// cache was attached or nothing matched).
+  std::size_t cache_hits = 0;
 };
 
 /// Shared state threaded through flow steps.
@@ -144,6 +162,12 @@ struct FlowContext {
 struct FlowStep {
   std::string name;
   std::function<util::Status(FlowContext&)> run;
+  /// Cache fingerprint: absorbs the stage-relevant FlowConfig knobs into
+  /// `h` (the design/node digests and the upstream chain are added by
+  /// execute()). Steps without a fingerprint — custom steps added via
+  /// add_step/replace_step — are never cached, and neither is anything
+  /// downstream of them (their effect on later stages is unknown).
+  std::function<void(const FlowConfig&, util::Hasher&)> fingerprint;
 };
 
 /// An ordered, editable step list (Recommendation 4's "template").
@@ -156,7 +180,9 @@ class FlowTemplate {
   /// Removes a step by name; returns false if absent (ablation helper).
   bool remove_step(const std::string& name);
 
-  /// Replaces a step's implementation; returns false if absent.
+  /// Replaces a step's implementation; returns false if absent. The
+  /// replaced step loses its cache fingerprint (the new body is opaque),
+  /// so it and all downstream steps run uncached.
   bool replace_step(const std::string& name,
                     std::function<util::Status(FlowContext&)> run);
 

@@ -1,5 +1,6 @@
 #include "eurochip/gds/gds.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -48,29 +49,47 @@ void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
 }
 
 /// Encodes an excess-64 base-16 GDSII 8-byte real.
+///
+/// The format represents sign * mantissa * 16^(E-64) with E in [0, 127],
+/// i.e. magnitudes roughly in [16^-65, 16^63). Values outside that range
+/// must NOT wrap the 7-bit exponent (a wrapped exponent silently corrupts
+/// the stream by orders of magnitude); they saturate explicitly instead:
+/// overflow and +/-inf encode the largest representable magnitude with the
+/// correct sign, underflow flushes to zero, and NaN (which GDSII cannot
+/// express) encodes as zero.
 void put_real8(std::vector<std::uint8_t>& out, double v) {
   std::uint8_t bytes[8] = {0};
-  if (v != 0.0) {
-    const bool negative = v < 0;
+  if (v != 0.0 && !std::isnan(v)) {
+    const bool negative = std::signbit(v);
+    const std::uint8_t sign = negative ? 0x80 : 0x00;
     double mant = std::abs(v);
     int exp16 = 0;
-    while (mant >= 1.0) {
+    // Bounded normalization: once exp16 leaves the representable window we
+    // already know the value saturates, so the loops need not continue
+    // (and must not, for infinities).
+    while (mant >= 1.0 && exp16 <= 64) {
       mant /= 16.0;
       ++exp16;
     }
-    while (mant < 1.0 / 16.0) {
+    while (mant < 1.0 / 16.0 && exp16 >= -65) {
       mant *= 16.0;
       --exp16;
     }
-    bytes[0] = static_cast<std::uint8_t>((negative ? 0x80 : 0x00) |
-                                         ((exp16 + 64) & 0x7F));
-    // 56-bit mantissa.
-    for (int i = 1; i < 8; ++i) {
-      mant *= 256.0;
-      const auto b = static_cast<std::uint8_t>(mant);
-      bytes[i] = b;
-      mant -= b;
+    if (!std::isfinite(v) || exp16 > 63) {
+      // Saturate: exponent field at max, mantissa all ones.
+      bytes[0] = sign | 0x7F;
+      for (int i = 1; i < 8; ++i) bytes[i] = 0xFF;
+    } else if (exp16 >= -64) {
+      bytes[0] = static_cast<std::uint8_t>(sign | (exp16 + 64));
+      // 56-bit mantissa.
+      for (int i = 1; i < 8; ++i) {
+        mant *= 256.0;
+        const auto b = static_cast<std::uint8_t>(mant);
+        bytes[i] = b;
+        mant -= b;
+      }
     }
+    // exp16 < -64: underflow, all-zero bytes already mean 0.0.
   }
   out.insert(out.end(), bytes, bytes + 8);
 }
@@ -88,12 +107,40 @@ double get_real8(const std::uint8_t* bytes) {
   return negative ? -v : v;
 }
 
+// The u16 record length counts the 4-byte header, so a single record can
+// carry at most 65535 - 4 payload bytes; GDSII additionally requires even
+// record lengths, which caps the payload at 65530 bytes (8190 XY points).
+constexpr std::size_t kMaxPayload = 65530;
+
 void record(std::vector<std::uint8_t>& out, Rec rec, Dt dt,
-            const std::vector<std::uint8_t>& payload) {
-  put_u16(out, static_cast<std::uint16_t>(4 + payload.size()));
+            const std::uint8_t* data, std::size_t n) {
+  put_u16(out, static_cast<std::uint16_t>(4 + n));
   out.push_back(rec);
   out.push_back(dt);
-  out.insert(out.end(), payload.begin(), payload.end());
+  out.insert(out.end(), data, data + n);
+}
+
+void record(std::vector<std::uint8_t>& out, Rec rec, Dt dt,
+            const std::vector<std::uint8_t>& payload) {
+  record(out, rec, dt, payload.data(), payload.size());
+}
+
+/// Emits `payload` as one or more records of type `rec`. A boundary with
+/// more than 8190 points does not fit a single XY record (the u16 length
+/// would overflow and wrap, corrupting the stream); the stream format
+/// allows consecutive same-type records inside one element, which readers
+/// reassemble. `stride` keeps chunk boundaries aligned to whole data items
+/// (8 bytes per XY point). An empty payload still emits one empty record.
+void record_split(std::vector<std::uint8_t>& out, Rec rec, Dt dt,
+                  const std::vector<std::uint8_t>& payload,
+                  std::size_t stride) {
+  const std::size_t chunk_max = kMaxPayload - (kMaxPayload % stride);
+  std::size_t off = 0;
+  do {
+    const std::size_t n = std::min(payload.size() - off, chunk_max);
+    record(out, rec, dt, payload.data() + off, n);
+    off += n;
+  } while (off < payload.size());
 }
 
 void record_i16(std::vector<std::uint8_t>& out, Rec rec, std::int16_t v) {
@@ -153,7 +200,7 @@ std::vector<std::uint8_t> write(const Library& lib) {
         put_i32(xy, static_cast<std::int32_t>(b.points.front().x));
         put_i32(xy, static_cast<std::int32_t>(b.points.front().y));
       }
-      record(out, kXy, kInt32, xy);
+      record_split(out, kXy, kInt32, xy, 8);
       record(out, kEndEl, kNoData, {});
     }
     record(out, kEndStr, kNoData, {});
@@ -239,15 +286,21 @@ util::Result<Library> read(const std::vector<std::uint8_t>& bytes) {
               (p[4] << 24) | (p[5] << 16) | (p[6] << 8) | p[7]);
           current_boundary->points.push_back({x, y});
         }
-        // Drop the closing point the writer appended.
-        if (current_boundary->points.size() > 1 &&
+        // Large boundaries are split across several consecutive XY
+        // records (see record_split); points simply accumulate here and
+        // the closing-point cleanup waits for ENDEL, when the element is
+        // known to be complete.
+        break;
+      }
+      case kEndEl:
+        // Drop the closing point the writer appended — only now, after
+        // every XY record of a possibly-split element has been absorbed.
+        if (current_boundary != nullptr &&
+            current_boundary->points.size() > 1 &&
             current_boundary->points.front() ==
                 current_boundary->points.back()) {
           current_boundary->points.pop_back();
         }
-        break;
-      }
-      case kEndEl:
         current_boundary = nullptr;
         break;
       case kEndStr:

@@ -49,8 +49,13 @@ struct JobContext {
   util::CancelToken cancel;
   int attempt = 1;          ///< 1-based attempt number
   util::Rng* rng = nullptr; ///< per-job deterministic stream (seed ⊕ job id)
+  /// Shared per-stage artifact cache (JobServer::Options::cache); flow
+  /// jobs thread it through FlowConfig::cache. Null when caching is off.
+  flow::FlowCache* cache = nullptr;
   std::vector<flow::StepRecord> steps;
   flow::PpaReport ppa;
+  /// Output: leading flow steps satisfied from `cache` (FlowResult::cache_hits).
+  std::size_t cache_hits = 0;
 };
 
 /// The work payload. Return Ok on success; transient failure codes
@@ -95,6 +100,8 @@ struct JobRecord {
   double run_ms = 0.0;
   std::vector<flow::StepRecord> steps;
   flow::PpaReport ppa;
+  /// Flow steps served from the shared FlowCache (0 = cold or no cache).
+  std::size_t cache_hits = 0;
 };
 
 /// Wraps the reference flow into a JobSpec. The design is shared (not

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "eurochip/core/enablement.hpp"
+#include "eurochip/flow/cache.hpp"
 #include "eurochip/hub/job.hpp"
 #include "eurochip/hub/metrics.hpp"
 #include "eurochip/hub/scheduler.hpp"
@@ -65,6 +66,15 @@ class JobServer {
     /// must outlive the server. Its job_capacity does NOT override
     /// `capacity`; use for_hub() for that.
     const core::EnablementHub* hub = nullptr;
+    /// Shared per-stage flow artifact cache, handed to every job through
+    /// JobContext::cache (borrowed; must outlive the server). Cache
+    /// activity observed by this server is mirrored into the metrics as
+    /// flow_cache_{hits,misses,stores,evictions} counters and
+    /// flow_cache_{bytes,entries} gauges after each job. Bind one cache to
+    /// one server at a time for exact counter deltas; sharing a cache
+    /// across servers keeps the cache itself correct but double-counts
+    /// the mirrored metrics.
+    flow::FlowCache* cache = nullptr;
   };
 
   explicit JobServer(Options options);
@@ -135,6 +145,9 @@ class JobServer {
   void finalize_locked(Entry& entry, JobState state, util::Status status);
   static bool transient(util::ErrorCode code);
   void run_job(const std::shared_ptr<Entry>& entry);
+  /// Mirrors FlowCache counters into metrics_ as deltas since the last
+  /// sync. Called with mu_ held (cache_seen_ is guarded by it).
+  void sync_cache_metrics_locked();
 
   Options options_;
   MetricsRegistry metrics_;
@@ -150,6 +163,7 @@ class JobServer {
   bool paused_ = false;
   bool stopping_ = false;   ///< no new submissions
   bool stop_now_ = false;   ///< workers exit even with queued work
+  flow::FlowCache::Stats cache_seen_;  ///< last stats mirrored to metrics
   std::vector<std::thread> workers_;
 };
 

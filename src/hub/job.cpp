@@ -28,6 +28,9 @@ JobSpec make_flow_job(std::string name,
                config = std::move(config)](JobContext& ctx) -> util::Status {
     flow::FlowConfig cfg = config;
     cfg.cancel = ctx.cancel;
+    // The server's shared artifact cache (if any). Safe across workers:
+    // FlowCache is internally synchronized and snapshots are deep copies.
+    cfg.cache = ctx.cache;
     // Retries re-run with a shifted seed so a transiently-failing
     // stochastic stage (e.g. a congested routing attempt) explores a
     // different deterministic trajectory.
@@ -36,6 +39,7 @@ JobSpec make_flow_job(std::string name,
     if (!result.ok()) return result.status();
     ctx.steps = std::move(result->steps);
     ctx.ppa = result->ppa;
+    ctx.cache_hits = result->cache_hits;
     return util::Status::Ok();
   };
   return spec;

@@ -141,15 +141,18 @@ void JobServer::run_job(const std::shared_ptr<Entry>& entry) {
   flow::PpaReport ppa;
   int attempts = 0;
 
+  std::size_t cache_hits = 0;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     attempts = attempt;
     JobContext ctx;
     ctx.cancel = token;
     ctx.attempt = attempt;
     ctx.rng = &rng;
+    ctx.cache = options_.cache;
     util::Status s = spec.work(ctx);
     steps = std::move(ctx.steps);
     ppa = ctx.ppa;
+    cache_hits = ctx.cache_hits;
 
     if (s.ok()) {
       final_state = JobState::kSucceeded;
@@ -207,7 +210,22 @@ void JobServer::run_job(const std::shared_ptr<Entry>& entry) {
   entry->record.attempts = attempts;
   entry->record.steps = std::move(steps);
   entry->record.ppa = ppa;
+  entry->record.cache_hits = cache_hits;
   finalize_locked(*entry, final_state, std::move(final_status));
+  sync_cache_metrics_locked();
+}
+
+void JobServer::sync_cache_metrics_locked() {
+  if (options_.cache == nullptr) return;
+  const flow::FlowCache::Stats s = options_.cache->stats();
+  metrics_.increment("flow_cache_hits", s.hits - cache_seen_.hits);
+  metrics_.increment("flow_cache_misses", s.misses - cache_seen_.misses);
+  metrics_.increment("flow_cache_stores", s.stores - cache_seen_.stores);
+  metrics_.increment("flow_cache_evictions",
+                     s.evictions - cache_seen_.evictions);
+  metrics_.set_gauge("flow_cache_bytes", static_cast<double>(s.bytes));
+  metrics_.set_gauge("flow_cache_entries", static_cast<double>(s.entries));
+  cache_seen_ = s;
 }
 
 void JobServer::worker_loop() {

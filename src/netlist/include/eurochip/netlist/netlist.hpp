@@ -104,6 +104,13 @@ class Netlist {
   /// function (used by drive-strength sizing).
   util::Status replace_cell_lib(CellId cell, std::uint32_t new_lib_index);
 
+  /// Re-points the netlist at a different (but identically laid out)
+  /// CellLibrary. Used when a netlist is deep-copied together with its
+  /// library (flow::FlowCache snapshots): the copy must reference the
+  /// copied library, not the original. `library` must hold the same cells
+  /// at the same indices; nothing else is rewritten.
+  void rebind_library(const CellLibrary* library) { library_ = library; }
+
   // --- access --------------------------------------------------------------
 
   [[nodiscard]] const CellLibrary& library() const { return *library_; }

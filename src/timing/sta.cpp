@@ -35,10 +35,23 @@ WireRc wire_rc(const Netlist& nl, NetId id, const pdk::TechnologyNode& node,
   if (routing != nullptr && id.value < routing->nets.size() &&
       routing->nets[id.value].routed) {
     const double len_um = routing->net_length_um(id);
-    // Average over the lower metal layers that carry signal routing.
-    const auto& layer = node.layers.front();
-    rc.res_kohm = layer.res_ohm_per_um * len_um * 1e-3;
-    rc.cap_ff = layer.cap_ff_per_um * len_um;
+    // Average over the metal layers that carry signal routing: the router
+    // spreads tracks across the whole stack (see router.cpp dir_layers),
+    // so per-um parasitics are the arithmetic mean of all layers, not the
+    // bottom layer alone — upper layers are progressively less resistive,
+    // so front()-only systematically overestimated wire delay.
+    double res_ohm_per_um = 0.0;
+    double cap_ff_per_um = 0.0;
+    if (!node.layers.empty()) {
+      for (const auto& layer : node.layers) {
+        res_ohm_per_um += layer.res_ohm_per_um;
+        cap_ff_per_um += layer.cap_ff_per_um;
+      }
+      res_ohm_per_um /= static_cast<double>(node.layers.size());
+      cap_ff_per_um /= static_cast<double>(node.layers.size());
+    }
+    rc.res_kohm = res_ohm_per_um * len_um * 1e-3;
+    rc.cap_ff = cap_ff_per_um * len_um;
   } else {
     rc.cap_ff = opt.wireload_cap_per_fanout_ff *
                 static_cast<double>(nl.net(id).sinks.size());

@@ -1,0 +1,361 @@
+// FlowCache: content-addressed keying, invalidation, LRU eviction, and
+// concurrent sharing across flow runs and JobServer workers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "eurochip/flow/cache.hpp"
+#include "eurochip/flow/fingerprint.hpp"
+#include "eurochip/flow/flow.hpp"
+#include "eurochip/hub/job.hpp"
+#include "eurochip/hub/server.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/rtl/designs.hpp"
+#include "eurochip/util/digest.hpp"
+
+namespace eurochip {
+namespace {
+
+flow::FlowConfig base_config() {
+  flow::FlowConfig cfg;
+  cfg.node = pdk::standard_node("sky130ish").value();
+  cfg.quality = flow::FlowQuality::kOpen;
+  cfg.seed = 7;
+  return cfg;
+}
+
+// --- digest layer -------------------------------------------------------
+
+TEST(DigestTest, HasherIsDeterministic) {
+  util::Hasher a, b;
+  a.str("hello").u64(42).f64(1.5).boolean(true);
+  b.str("hello").u64(42).f64(1.5).boolean(true);
+  EXPECT_EQ(a.finalize().hex(), b.finalize().hex());
+}
+
+TEST(DigestTest, DifferentInputsDiffer) {
+  util::Hasher a, b, c;
+  a.str("hello");
+  b.str("hellp");
+  c.str("hell").str("o");  // length-prefixing: concatenation != split
+  const auto da = a.finalize(), db = b.finalize(), dc = c.finalize();
+  EXPECT_NE(da, db);
+  EXPECT_NE(da, dc);
+}
+
+TEST(DigestTest, CanonicalDoubles) {
+  util::Hasher a, b;
+  a.f64(0.0);
+  b.f64(-0.0);
+  EXPECT_EQ(a.finalize(), b.finalize());  // -0.0 canonicalized to +0.0
+}
+
+TEST(DigestTest, ModuleDigestIsContentBased) {
+  const auto m1 = rtl::designs::counter(8);
+  const auto m2 = rtl::designs::counter(8);
+  const auto m3 = rtl::designs::counter(9);
+  EXPECT_EQ(flow::digest_of(m1), flow::digest_of(m2));
+  EXPECT_NE(flow::digest_of(m1), flow::digest_of(m3));
+  EXPECT_NE(flow::digest_of(m1), flow::digest_of(rtl::designs::adder(8)));
+}
+
+TEST(DigestTest, NodeDigestDistinguishesNodes) {
+  const auto a = pdk::standard_node("sky130ish").value();
+  const auto b = pdk::standard_node("ihp130ish").value();
+  EXPECT_EQ(flow::digest_of(a), flow::digest_of(a));
+  EXPECT_NE(flow::digest_of(a), flow::digest_of(b));
+}
+
+// --- end-to-end keying through FlowTemplate::execute --------------------
+
+TEST(FlowCacheTest, WarmRerunHitsEveryStep) {
+  flow::FlowCache cache;
+  const auto m = rtl::designs::counter(8);
+  auto cfg = base_config();
+  cfg.cache = &cache;
+
+  const auto cold = flow::run_reference_flow(m, cfg);
+  ASSERT_TRUE(cold.ok()) << cold.status().to_string();
+  EXPECT_EQ(cold->cache_hits, 0u);
+  EXPECT_EQ(cache.stats().stores, cold->steps.size());
+
+  const auto warm = flow::run_reference_flow(m, cfg);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->cache_hits, warm->steps.size());
+  for (const auto& s : warm->steps) EXPECT_TRUE(s.cached) << s.name;
+
+  // Identical results, not just "a" result.
+  EXPECT_EQ(warm->ppa.cell_count, cold->ppa.cell_count);
+  EXPECT_DOUBLE_EQ(warm->ppa.area_um2, cold->ppa.area_um2);
+  EXPECT_DOUBLE_EQ(warm->ppa.wns_ps, cold->ppa.wns_ps);
+  EXPECT_DOUBLE_EQ(warm->ppa.power_uw, cold->ppa.power_uw);
+  EXPECT_EQ(warm->ppa.wirelength_dbu, cold->ppa.wirelength_dbu);
+  EXPECT_EQ(warm->ppa.gds_bytes, cold->ppa.gds_bytes);
+  EXPECT_GE(cache.stats().hits, 1u);
+}
+
+TEST(FlowCacheTest, SeedChangeInvalidatesFromPlace) {
+  flow::FlowCache cache;
+  const auto m = rtl::designs::counter(8);
+  auto cfg = base_config();
+  cfg.cache = &cache;
+  ASSERT_TRUE(flow::run_reference_flow(m, cfg).ok());
+
+  cfg.seed = 8;  // only place's fingerprint includes the seed
+  const auto r = flow::run_reference_flow(m, cfg);
+  ASSERT_TRUE(r.ok());
+  // library, elaborate, synth, map, dft are seed-independent.
+  EXPECT_EQ(r->cache_hits, 5u);
+}
+
+TEST(FlowCacheTest, ClockChangeInvalidatesFromMap) {
+  flow::FlowCache cache;
+  const auto m = rtl::designs::counter(8);
+  auto cfg = base_config();
+  cfg.cache = &cache;
+  ASSERT_TRUE(flow::run_reference_flow(m, cfg).ok());
+
+  cfg.clock_period_ps = cfg.effective_clock_ps() * 2.0;
+  const auto r = flow::run_reference_flow(m, cfg);
+  ASSERT_TRUE(r.ok());
+  // library, elaborate, synth survive; map keys on the effective clock.
+  EXPECT_EQ(r->cache_hits, 3u);
+}
+
+TEST(FlowCacheTest, DesignOrNodeChangeMissesEntirely) {
+  flow::FlowCache cache;
+  auto cfg = base_config();
+  cfg.cache = &cache;
+  ASSERT_TRUE(flow::run_reference_flow(rtl::designs::counter(8), cfg).ok());
+
+  const auto other = flow::run_reference_flow(rtl::designs::adder(8), cfg);
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(other->cache_hits, 0u);
+
+  auto cfg2 = cfg;
+  cfg2.node = pdk::standard_node("ihp130ish").value();
+  const auto r = flow::run_reference_flow(rtl::designs::counter(8), cfg2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->cache_hits, 0u);
+}
+
+TEST(FlowCacheTest, QualityChangeMissesFromSynth) {
+  flow::FlowCache cache;
+  const auto m = rtl::designs::counter(8);
+  auto cfg = base_config();
+  cfg.cache = &cache;
+  ASSERT_TRUE(flow::run_reference_flow(m, cfg).ok());
+
+  cfg.quality = flow::FlowQuality::kCommercial;
+  const auto r = flow::run_reference_flow(m, cfg);
+  ASSERT_TRUE(r.ok());
+  // Only library + elaborate are quality-independent.
+  EXPECT_EQ(r->cache_hits, 2u);
+}
+
+TEST(FlowCacheTest, CustomStepBreaksKeyChain) {
+  flow::FlowCache cache;
+  const auto m = rtl::designs::counter(8);
+  auto cfg = base_config();
+  cfg.cache = &cache;
+
+  auto t = flow::reference_template();
+  ASSERT_TRUE(t.replace_step("synth", [](flow::FlowContext&) {
+    return util::Status::Ok();
+  }));
+  ASSERT_TRUE(t.execute(m, cfg).ok());
+  // Only steps upstream of the opaque step are keyable.
+  EXPECT_EQ(cache.stats().stores, 2u);  // library, elaborate
+
+  const auto warm = t.execute(m, cfg);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->cache_hits, 2u);
+}
+
+TEST(FlowCacheTest, RestoredArtifactsAreRebasedDeepCopies) {
+  flow::FlowCache cache;
+  const auto m = rtl::designs::counter(8);
+  auto cfg = base_config();
+  cfg.cache = &cache;
+  const auto cold = flow::run_reference_flow(m, cfg);
+  ASSERT_TRUE(cold.ok());
+
+  const auto warm = flow::run_reference_flow(m, cfg);
+  ASSERT_TRUE(warm.ok());
+  const auto& a = warm->artifacts;
+  ASSERT_NE(a.mapped, nullptr);
+  ASSERT_NE(a.placed, nullptr);
+  ASSERT_NE(a.routed, nullptr);
+  // No aliasing into the cold run's artifacts...
+  EXPECT_NE(a.mapped.get(), cold->artifacts.mapped.get());
+  EXPECT_NE(a.placed.get(), cold->artifacts.placed.get());
+  // ...and internal cross-references point inside this copy.
+  EXPECT_EQ(&a.mapped->library(), a.library.get());
+  EXPECT_EQ(a.placed->netlist, a.mapped.get());
+  EXPECT_EQ(a.routed->placed, a.placed.get());
+}
+
+// --- direct cache mechanics ---------------------------------------------
+
+flow::FlowContext synthetic_ctx(std::size_t gds_kb) {
+  flow::FlowContext ctx;
+  ctx.artifacts.gds_bytes.assign(gds_kb * 1024, 0xAB);
+  flow::StepRecord rec;
+  rec.name = "gds";
+  ctx.steps.push_back(rec);
+  return ctx;
+}
+
+util::Digest key_of(std::uint64_t i) {
+  util::Hasher h;
+  h.str("test-key").u64(i);
+  return h.finalize();
+}
+
+TEST(FlowCacheTest, LruEvictionRespectsByteBudget) {
+  flow::FlowCache::Options opt;
+  opt.max_bytes = 300 * 1024;  // fits ~3 x 64 KiB snapshots + overhead
+  flow::FlowCache cache(opt);
+
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const auto ctx = synthetic_ctx(64);
+    cache.store(key_of(i), ctx);
+  }
+  const auto st = cache.stats();
+  EXPECT_EQ(st.stores, 8u);
+  EXPECT_GT(st.evictions, 0u);
+  EXPECT_LE(st.bytes, opt.max_bytes);
+  EXPECT_EQ(st.entries, st.stores - st.evictions);
+  // Oldest keys evicted first, newest resident.
+  EXPECT_FALSE(cache.contains(key_of(0)));
+  EXPECT_TRUE(cache.contains(key_of(7)));
+}
+
+TEST(FlowCacheTest, LookupTouchesLruOrder) {
+  flow::FlowCache::Options opt;
+  opt.max_bytes = 300 * 1024;
+  flow::FlowCache cache(opt);
+  cache.store(key_of(1), synthetic_ctx(64));
+  cache.store(key_of(2), synthetic_ctx(64));
+  cache.store(key_of(3), synthetic_ctx(64));
+
+  flow::FlowContext scratch;
+  ASSERT_TRUE(cache.lookup(key_of(1), scratch));  // 1 becomes MRU
+
+  cache.store(key_of(4), synthetic_ctx(64));
+  cache.store(key_of(5), synthetic_ctx(64));
+  EXPECT_TRUE(cache.contains(key_of(1)));   // touched, survived
+  EXPECT_FALSE(cache.contains(key_of(2)));  // LRU victim
+}
+
+TEST(FlowCacheTest, OversizedSnapshotNotAdmitted) {
+  flow::FlowCache::Options opt;
+  opt.max_bytes = 16 * 1024;
+  flow::FlowCache cache(opt);
+  cache.store(key_of(1), synthetic_ctx(64));  // 64 KiB > 16 KiB budget
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_FALSE(cache.contains(key_of(1)));
+}
+
+TEST(FlowCacheTest, MissLeavesContextUntouched) {
+  flow::FlowCache cache;
+  flow::FlowContext ctx = synthetic_ctx(1);
+  EXPECT_FALSE(cache.lookup(key_of(99), ctx));
+  EXPECT_EQ(ctx.artifacts.gds_bytes.size(), 1024u);
+  EXPECT_EQ(ctx.steps.size(), 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(FlowCacheTest, ClearResetsResidency) {
+  flow::FlowCache cache;
+  cache.store(key_of(1), synthetic_ctx(4));
+  ASSERT_TRUE(cache.contains(key_of(1)));
+  cache.clear();
+  EXPECT_FALSE(cache.contains(key_of(1)));
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+// --- concurrency (primary TSan target) ----------------------------------
+
+TEST(FlowCacheTest, ConcurrentRunsShareOneCache) {
+  flow::FlowCache cache;
+  const auto m = rtl::designs::counter(6);
+  auto cfg = base_config();
+  cfg.cache = &cache;
+
+  std::vector<std::thread> threads;
+  std::vector<std::size_t> hits(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      const auto r = flow::run_reference_flow(m, cfg);
+      if (r.ok()) hits[static_cast<std::size_t>(t)] = r->cache_hits + 1;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto h : hits) EXPECT_GT(h, 0u);  // all runs succeeded
+  // At least one run must have seen another's stores (with a single
+  // hardware thread the runs are effectively serialized, so all but the
+  // first hit the full prefix; under real parallelism weaker but nonzero).
+  EXPECT_GT(cache.stats().hits, 0u);
+}
+
+TEST(FlowCacheTest, ConcurrentStoreAndEvictionIsSafe) {
+  flow::FlowCache::Options opt;
+  opt.max_bytes = 200 * 1024;  // force constant eviction churn
+  flow::FlowCache cache(opt);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < 32; ++i) {
+        const std::uint64_t k = static_cast<std::uint64_t>(t) * 100 + i;
+        cache.store(key_of(k), synthetic_ctx(32));
+        flow::FlowContext scratch;
+        cache.lookup(key_of(k), scratch);
+        (void)cache.contains(key_of(k % 7));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(cache.stats().bytes, opt.max_bytes);
+}
+
+// --- hub integration ----------------------------------------------------
+
+TEST(FlowCacheTest, JobServerRecordsCacheHitsAndMetrics) {
+  flow::FlowCache cache;
+  hub::JobServer::Options opt;
+  opt.capacity = 2;
+  opt.cache = &cache;
+  hub::JobServer server(opt);
+
+  auto design = std::make_shared<rtl::Module>(rtl::designs::counter(8));
+  const auto cfg = base_config();
+
+  const auto id1 = server.submit(hub::make_flow_job("cold", design, cfg));
+  ASSERT_TRUE(id1.ok());
+  const auto rec1 = server.wait(*id1);
+  ASSERT_TRUE(rec1.ok());
+  EXPECT_EQ(rec1->state, hub::JobState::kSucceeded);
+  EXPECT_EQ(rec1->cache_hits, 0u);
+
+  const auto id2 = server.submit(hub::make_flow_job("warm", design, cfg));
+  ASSERT_TRUE(id2.ok());
+  const auto rec2 = server.wait(*id2);
+  ASSERT_TRUE(rec2.ok());
+  EXPECT_EQ(rec2->state, hub::JobState::kSucceeded);
+  EXPECT_EQ(rec2->cache_hits, rec2->steps.size());
+
+  // Mirrored metrics: deltas synced after each job.
+  EXPECT_GE(server.metrics().counter("flow_cache_hits"), 1u);
+  EXPECT_GT(server.metrics().counter("flow_cache_stores"), 0u);
+  EXPECT_GT(server.metrics().gauge("flow_cache_entries"), 0.0);
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace eurochip

@@ -1,0 +1,228 @@
+// Round-trip tests for the GDSII edge cases the writer historically got
+// wrong: boundaries too large for one XY record (the u16 record length
+// wrapped), real8 values outside the excess-64 exponent range (the
+// exponent wrapped), and odd-length strings (padding).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "eurochip/gds/gds.hpp"
+
+namespace eurochip {
+namespace {
+
+// Walks the record framing of a GDSII stream; returns false on any
+// inconsistency. Every record length must be >= 4, even, and in-bounds.
+bool framing_ok(const std::vector<std::uint8_t>& bytes,
+                std::size_t* max_record_len = nullptr) {
+  std::size_t pos = 0;
+  std::size_t max_len = 0;
+  while (pos + 4 <= bytes.size()) {
+    const std::size_t len = (bytes[pos] << 8) | bytes[pos + 1];
+    if (len < 4 || len % 2 != 0 || pos + len > bytes.size()) return false;
+    max_len = std::max(max_len, len);
+    const std::uint8_t rec = bytes[pos + 2];
+    pos += len;
+    if (rec == 0x04) {  // ENDLIB
+      if (max_record_len != nullptr) *max_record_len = max_len;
+      return pos == bytes.size();
+    }
+  }
+  return false;
+}
+
+// Counts records of a given type in the stream.
+std::size_t count_records(const std::vector<std::uint8_t>& bytes,
+                          std::uint8_t rec_type) {
+  std::size_t pos = 0, count = 0;
+  while (pos + 4 <= bytes.size()) {
+    const std::size_t len = (bytes[pos] << 8) | bytes[pos + 1];
+    if (len < 4 || pos + len > bytes.size()) break;
+    if (bytes[pos + 2] == rec_type) ++count;
+    pos += len;
+  }
+  return count;
+}
+
+gds::Boundary big_polygon(std::size_t num_points) {
+  gds::Boundary b;
+  b.layer = 7;
+  // A long zig-zag: distinct consecutive points, no accidental closure.
+  for (std::size_t i = 0; i < num_points; ++i) {
+    b.points.push_back({static_cast<std::int64_t>(i),
+                        static_cast<std::int64_t>(i % 2 == 0 ? 0 : 100)});
+  }
+  return b;
+}
+
+TEST(GdsRoundTripTest, LargeBoundarySplitsIntoMultipleXyRecords) {
+  // 8190 points fit one XY record only without the closing point; with it
+  // the writer must split. Use 20000 to force three chunks.
+  constexpr std::size_t kPoints = 20000;
+  gds::Library lib;
+  gds::Structure s;
+  s.name = "BIG";
+  s.boundaries.push_back(big_polygon(kPoints));
+  lib.structures.push_back(s);
+
+  const auto bytes = gds::write(lib);
+  std::size_t max_len = 0;
+  ASSERT_TRUE(framing_ok(bytes, &max_len));
+  EXPECT_LE(max_len, 65534u);
+  // (20000 + 1 closing) * 8 bytes = 160008 -> at least 3 XY records.
+  EXPECT_GE(count_records(bytes, 0x10), 3u);
+
+  const auto parsed = gds::read(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  ASSERT_EQ(parsed->structures.size(), 1u);
+  ASSERT_EQ(parsed->structures[0].boundaries.size(), 1u);
+  EXPECT_EQ(parsed->structures[0].boundaries[0].points,
+            lib.structures[0].boundaries[0].points);
+}
+
+TEST(GdsRoundTripTest, ExactlyMaxPointsStaysSingleRecord) {
+  // 8190 points + 1 closing point = 8191 = the single-record maximum
+  // (8191 * 8 = 65528 payload bytes <= 65530).
+  gds::Library lib;
+  gds::Structure s;
+  s.name = "EDGE";
+  s.boundaries.push_back(big_polygon(8190));
+  lib.structures.push_back(s);
+  const auto bytes = gds::write(lib);
+  ASSERT_TRUE(framing_ok(bytes));
+  EXPECT_EQ(count_records(bytes, 0x10), 1u);
+  const auto parsed = gds::read(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->structures[0].boundaries[0].points.size(), 8190u);
+}
+
+TEST(GdsRoundTripTest, SplitBoundaryChunkBoundaryDoesNotTruncatePoints) {
+  // One past the single-record maximum: 8191 points + closing = 8192,
+  // split as 8191 + 1. The 1-point tail must survive, and the closing
+  // point must still be dropped exactly once.
+  gds::Library lib;
+  gds::Structure s;
+  s.name = "SPLIT1";
+  s.boundaries.push_back(big_polygon(8191));
+  lib.structures.push_back(s);
+  const auto bytes = gds::write(lib);
+  ASSERT_TRUE(framing_ok(bytes));
+  EXPECT_EQ(count_records(bytes, 0x10), 2u);
+  const auto parsed = gds::read(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->structures[0].boundaries[0].points,
+            lib.structures[0].boundaries[0].points);
+}
+
+TEST(GdsRoundTripTest, MixedSmallAndLargeBoundaries) {
+  gds::Library lib;
+  gds::Structure s;
+  s.name = "MIX";
+  s.boundaries.push_back(gds::Boundary::from_rect(1, {0, 0, 10, 10}));
+  s.boundaries.push_back(big_polygon(9001));
+  s.boundaries.push_back(gds::Boundary::from_rect(2, {-5, -5, 5, 5}));
+  lib.structures.push_back(s);
+  const auto bytes = gds::write(lib);
+  ASSERT_TRUE(framing_ok(bytes));
+  const auto parsed = gds::read(bytes);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->structures[0].boundaries.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(parsed->structures[0].boundaries[i].points,
+              lib.structures[0].boundaries[i].points)
+        << "boundary " << i;
+  }
+}
+
+// --- real8 edge cases (via the UNITS record) ---------------------------
+
+double round_trip_user_unit(double v) {
+  gds::Library lib;
+  lib.user_unit = v;
+  const auto parsed = gds::read(gds::write(lib));
+  EXPECT_TRUE(parsed.ok());
+  return parsed.ok() ? parsed->user_unit : std::nan("");
+}
+
+TEST(GdsRoundTripTest, Real8NormalValuesAreExactWithinMantissa) {
+  for (const double v : {1.0, -1.0, 1e-3, 0.5, 3.14159265358979,
+                         1024.0, 6.25e-2, 1e-9, 123456789.0}) {
+    const double got = round_trip_user_unit(v);
+    EXPECT_NEAR(got, v, std::abs(v) * 1e-12) << "v=" << v;
+  }
+}
+
+TEST(GdsRoundTripTest, Real8OverflowSaturatesInsteadOfWrapping) {
+  // 1e80 exceeds the excess-64 range (max ~7.237e75). The old writer
+  // wrapped the exponent, silently producing a tiny number; now it must
+  // saturate near the format maximum, preserving sign and magnitude order.
+  const double max_real8 = (1.0 - std::pow(2.0, -56)) * std::pow(16.0, 63);
+  const double got = round_trip_user_unit(1e80);
+  EXPECT_GT(got, 1e75);
+  EXPECT_NEAR(got, max_real8, max_real8 * 1e-12);
+
+  const double neg = round_trip_user_unit(-1e80);
+  EXPECT_LT(neg, -1e75);
+  EXPECT_NEAR(neg, -max_real8, max_real8 * 1e-12);
+}
+
+TEST(GdsRoundTripTest, Real8InfinitySaturates) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_GT(round_trip_user_unit(inf), 1e75);
+  EXPECT_LT(round_trip_user_unit(-inf), -1e75);
+}
+
+TEST(GdsRoundTripTest, Real8UnderflowFlushesToZero) {
+  // 1e-80 is below the smallest representable magnitude (~16^-65).
+  EXPECT_EQ(round_trip_user_unit(1e-80), 0.0);
+  EXPECT_EQ(round_trip_user_unit(-1e-80), 0.0);
+}
+
+TEST(GdsRoundTripTest, Real8NanEncodesAsZero) {
+  EXPECT_EQ(round_trip_user_unit(std::nan("")), 0.0);
+}
+
+TEST(GdsRoundTripTest, Real8ExtremesKeepFramingValid) {
+  gds::Library lib;
+  lib.user_unit = 1e80;
+  lib.meters_per_dbu = 1e-80;
+  const auto bytes = gds::write(lib);
+  EXPECT_TRUE(framing_ok(bytes));
+}
+
+// --- string padding ----------------------------------------------------
+
+TEST(GdsRoundTripTest, OddLengthNamesRoundTrip) {
+  gds::Library lib;
+  lib.name = "ODD";  // 3 chars -> padded to 4
+  gds::Structure s;
+  s.name = "ALSO_ODD1";  // 9 chars -> padded to 10
+  s.boundaries.push_back(gds::Boundary::from_rect(1, {0, 0, 1, 1}));
+  lib.structures.push_back(s);
+  const auto bytes = gds::write(lib);
+  ASSERT_TRUE(framing_ok(bytes));
+  const auto parsed = gds::read(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->name, "ODD");
+  EXPECT_EQ(parsed->structures[0].name, "ALSO_ODD1");
+}
+
+TEST(GdsRoundTripTest, LargeBoundaryByteExactSecondPass) {
+  // write -> read -> write must be byte-identical even with split records.
+  gds::Library lib;
+  gds::Structure s;
+  s.name = "STABLE";
+  s.boundaries.push_back(big_polygon(10000));
+  lib.structures.push_back(s);
+  const auto bytes1 = gds::write(lib);
+  const auto parsed = gds::read(bytes1);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(bytes1, gds::write(*parsed));
+}
+
+}  // namespace
+}  // namespace eurochip

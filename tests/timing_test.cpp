@@ -187,6 +187,64 @@ TEST(StaTest, HoldSlackZeroWithoutRegToRegPaths) {
   EXPECT_DOUBLE_EQ(report->worst_hold_slack_ps, 0.0);
 }
 
+TEST(StaTest, RoutedWireDelayUsesMultiLayerAverage) {
+  // One inverter driving a primary output over a routed net of known
+  // length. Pins the Elmore wire delay against a hand-computed value using
+  // the arithmetic mean of ALL metal layers' per-um parasitics — the
+  // router spreads tracks across the whole stack, so front()-only RC
+  // (the old behavior) systematically overestimated delay.
+  const auto node = pdk::standard_node("sky130ish").value();
+  ASSERT_GE(node.layers.size(), 2u);
+  const auto lib = pdk::build_library(node);
+  netlist::Netlist nl(&lib, "pin");
+  const auto in = nl.add_input("a");
+  const auto inv_idx = lib.smallest_for(netlist::CellFn::kInv);
+  ASSERT_TRUE(inv_idx.has_value());
+  const auto cell =
+      nl.add_cell("u1", static_cast<std::uint32_t>(*inv_idx), {in});
+  ASSERT_TRUE(cell.ok());
+  const auto out = nl.cell(*cell).output;
+  nl.add_output("y", out);
+  ASSERT_TRUE(nl.check().ok());
+
+  // Synthetic routing: the output net is routed with exactly 100 um of
+  // wire (1 dbu = 1 nm). placed stays null, so analyze skips the
+  // netlist-identity check.
+  route::RoutedDesign routing;
+  routing.nets.resize(nl.num_nets());
+  routing.nets[out.value].routed = true;
+  routing.nets[out.value].wirelength_dbu = 100000;
+
+  StaOptions opt;
+  const auto report = analyze(nl, node, opt, &routing);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+
+  const double len_um = 100.0;
+  double avg_res = 0.0, avg_cap = 0.0;
+  for (const auto& layer : node.layers) {
+    avg_res += layer.res_ohm_per_um;
+    avg_cap += layer.cap_ff_per_um;
+  }
+  avg_res /= static_cast<double>(node.layers.size());
+  avg_cap /= static_cast<double>(node.layers.size());
+  const double wire_cap_ff = avg_cap * len_um;
+  const double res_kohm = avg_res * len_um * 1e-3;
+  const double load_ff = wire_cap_ff + opt.primary_output_load_ff;
+  const auto& lc = lib.cell(*inv_idx);
+  const double gate_ps = lc.delay_ps.lookup(opt.input_slew_ps, load_ff);
+  const double wire_ps =
+      res_kohm * (wire_cap_ff / 2.0 + (load_ff - wire_cap_ff));
+  const double expected_ps = gate_ps + wire_ps;
+
+  EXPECT_NEAR(report->critical_path_delay_ps, expected_ps,
+              1e-9 * expected_ps);
+
+  // Guard that the test pins the fix, not a coincidence: the bottom-layer-
+  // only model must predict a different (larger) delay on this node.
+  const auto& m1 = node.layers.front();
+  EXPECT_GT(m1.res_ohm_per_um, avg_res);
+}
+
 TEST(StaTest, PurelyCombinationalDesignHasOutputsAsEndpoints) {
   const auto m = rtl::designs::adder(8);
   const Mapped d = make_mapped(m);
