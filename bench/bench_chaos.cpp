@@ -1,0 +1,303 @@
+// BENCH chaos — resilience economics of the hub under injected faults.
+//
+// Two questions about the shared platform (Recommendation 7) when flow
+// steps start failing:
+//
+//  1. How much re-executed work does checkpoint-resume save? A campaign of
+//     50 *distinct* designs (so the FlowCache can only help via retry
+//     resume, never across jobs) runs under a "flow.step.*" fault plan at
+//     rates {0, 0.1, 0.2, 0.3}, once without a cache (every retry restarts
+//     at elaboration) and once with one (every retry resumes from the
+//     deepest cached prefix). Steps actually executed are counted at the
+//     fault sites themselves (hits - triggered); wasted = executed minus
+//     the 12 steps each successful job fundamentally needs. At the 0.2
+//     rate, resume must cut wasted re-execution by >= 30%.
+//
+//  2. How fast does the circuit breaker shed doomed work? A (node, design)
+//     pair that fails deterministically trips its breaker; post-trip
+//     submissions are timed against the cost of actually running one of
+//     those doomed jobs, then the breaker is allowed to cool down and a
+//     fixed probe closes it again.
+//
+// Emits BENCH_chaos.json. Exit 2 (warning) if the resume saving falls
+// short of the 30% expectation.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eurochip/flow/cache.hpp"
+#include "eurochip/hub/job.hpp"
+#include "eurochip/hub/server.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/rtl/designs.hpp"
+#include "eurochip/util/fault.hpp"
+#include "eurochip/util/strings.hpp"
+#include "eurochip/util/table.hpp"
+
+namespace {
+
+using namespace eurochip;  // NOLINT(google-build-using-namespace)
+
+constexpr int kJobs = 50;
+constexpr int kMaxAttempts = 3;
+constexpr std::size_t kFlowSteps = 12;  // reference template length
+
+std::vector<std::shared_ptr<const rtl::Module>> build_designs() {
+  // 50 distinct designs: retry resume is then the ONLY source of cache
+  // hits — cross-job sharing (bench_flow_cache's subject) cannot occur.
+  std::vector<std::shared_ptr<const rtl::Module>> designs;
+  for (int w = 2; w <= 14; ++w)
+    designs.push_back(
+        std::make_shared<const rtl::Module>(rtl::designs::counter(w)));
+  for (int w = 2; w <= 14; ++w)
+    designs.push_back(
+        std::make_shared<const rtl::Module>(rtl::designs::adder(w)));
+  for (int w = 2; w <= 9; ++w)
+    designs.push_back(
+        std::make_shared<const rtl::Module>(rtl::designs::alu(w)));
+  for (int w = 3; w <= 18; ++w)
+    designs.push_back(
+        std::make_shared<const rtl::Module>(rtl::designs::lfsr(w)));
+  designs.resize(kJobs);
+  return designs;
+}
+
+struct CampaignResult {
+  double rate = 0.0;
+  bool resume = false;
+  int succeeded = 0;
+  int failed = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t executed_steps = 0;  ///< flow steps that actually ran
+  std::uint64_t resumed_steps = 0;   ///< steps restored from cache on retries
+  double wasted_steps = 0.0;         ///< executed - kFlowSteps * succeeded
+  double wall_ms = 0.0;
+};
+
+CampaignResult run_campaign(
+    const std::vector<std::shared_ptr<const rtl::Module>>& designs,
+    double rate, bool with_cache) {
+  util::FaultInjector fi(0xC4A05uLL);  // same plan seed for every cell
+  util::FaultRule rule;
+  rule.site = "flow.step.*";
+  rule.kind = util::FaultKind::kErrorStatus;
+  rule.probability = rate;
+  fi.add_rule(rule);
+  util::FaultInjector::ScopedInstall install(fi);
+
+  flow::FlowCache cache;
+  hub::JobServer::Options opt;
+  opt.capacity = 4;
+  opt.seed = 0xBADC0DEuLL;
+  if (with_cache) opt.cache = &cache;
+  hub::JobServer server(opt);
+
+  flow::FlowConfig cfg;
+  cfg.node = pdk::standard_node("sky130ish").value();
+  cfg.quality = flow::FlowQuality::kOpen;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kJobs; ++i) {
+    auto spec = hub::make_flow_job("c" + std::to_string(i),
+                                   designs[static_cast<std::size_t>(i)], cfg);
+    spec.max_attempts = kMaxAttempts;
+    spec.backoff_base_ms = 0.1;
+    spec.backoff_cap_ms = 0.5;
+    const auto id = server.submit(std::move(spec));
+    if (!id.ok()) {
+      std::fprintf(stderr, "submit failed: %s\n",
+                   id.status().to_string().c_str());
+      std::exit(1);
+    }
+  }
+  const auto records = server.drain();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  CampaignResult r;
+  r.rate = rate;
+  r.resume = with_cache;
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  for (const auto& rec : records) {
+    r.succeeded += rec.state == hub::JobState::kSucceeded ? 1 : 0;
+    r.failed += rec.state == hub::JobState::kFailed ? 1 : 0;
+    r.attempts += static_cast<std::uint64_t>(rec.attempts);
+    r.resumed_steps += rec.resume_depth;
+  }
+  // A cached restore skips the step loop, so each fault-site hit is one
+  // step genuinely attempted; triggered hits are steps the fault stopped
+  // from running. executed = hits - triggered, straight from the plan.
+  for (const auto& [site, st] : fi.stats_by_prefix("flow.step.")) {
+    (void)site;
+    r.executed_steps += st.hits - st.triggered;
+  }
+  r.wasted_steps = static_cast<double>(r.executed_steps) -
+                   static_cast<double>(kFlowSteps) *
+                       static_cast<double>(r.succeeded);
+  return r;
+}
+
+struct BreakerResult {
+  std::uint64_t trips = 0;
+  double doomed_job_ms = 0.0;    ///< mean wall time of one doomed run
+  double fast_fail_us = 0.0;     ///< mean post-trip submit() rejection time
+  bool recovered = false;        ///< probe closed the breaker after cooldown
+};
+
+BreakerResult run_breaker_demo() {
+  hub::JobServer::Options opt;
+  opt.capacity = 2;
+  opt.breaker_threshold = 3;
+  opt.breaker_cooldown_ms = 50.0;
+  hub::JobServer server(opt);
+
+  const auto doomed = [](const std::string& name) {
+    hub::JobSpec spec;
+    spec.name = name;
+    spec.node_name = "sky130ish";
+    spec.design_name = "doomed";
+    spec.work = [](hub::JobContext&) {
+      // Stand-in for a deterministically broken design: a little real
+      // work, then a permanent failure.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      return util::Status::InvalidArgument("broken constraints");
+    };
+    return spec;
+  };
+
+  BreakerResult r;
+  double doomed_total_ms = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    const auto id = server.submit(doomed("trip" + std::to_string(i)));
+    if (!id.ok()) {
+      std::fprintf(stderr, "breaker tripped early\n");
+      std::exit(1);
+    }
+    const auto rec = server.wait(*id);
+    doomed_total_ms += rec->run_ms;
+  }
+  r.doomed_job_ms = doomed_total_ms / 3.0;
+  r.trips = server.metrics().counter("breaker_trips");
+
+  constexpr int kRejects = 1000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRejects; ++i) {
+    const auto id = server.submit(doomed("shed" + std::to_string(i)));
+    if (id.ok()) {
+      std::fprintf(stderr, "breaker failed to fast-fail\n");
+      std::exit(1);
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.fast_fail_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count() / kRejects;
+
+  // Cool down, then the "fixed" probe closes the breaker again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  hub::JobSpec fixed;
+  fixed.name = "probe";
+  fixed.node_name = "sky130ish";
+  fixed.design_name = "doomed";
+  fixed.work = [](hub::JobContext&) { return util::Status::Ok(); };
+  const auto probe = server.submit(std::move(fixed));
+  if (probe.ok()) {
+    const auto rec = server.wait(*probe);
+    r.recovered = rec->state == hub::JobState::kSucceeded &&
+                  !server.breaker_open("sky130ish", "doomed");
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const auto designs = build_designs();
+  const std::vector<double> rates = {0.0, 0.1, 0.2, 0.3};
+
+  std::vector<CampaignResult> cells;
+  for (const double rate : rates) {
+    cells.push_back(run_campaign(designs, rate, /*with_cache=*/false));
+    cells.push_back(run_campaign(designs, rate, /*with_cache=*/true));
+  }
+
+  util::Table table("Chaos campaign: " + std::to_string(kJobs) +
+                    " distinct designs, max " + std::to_string(kMaxAttempts) +
+                    " attempts, restart vs checkpoint-resume");
+  table.set_header({"rate", "mode", "ok", "fail", "attempts", "exec_steps",
+                    "resumed", "wasted", "wall_ms"});
+  for (const auto& c : cells) {
+    table.add_row({util::fmt(c.rate, 1), c.resume ? "resume" : "restart",
+                   std::to_string(c.succeeded), std::to_string(c.failed),
+                   std::to_string(c.attempts),
+                   std::to_string(c.executed_steps),
+                   std::to_string(c.resumed_steps), util::fmt(c.wasted_steps, 0),
+                   util::fmt(c.wall_ms, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // The acceptance cell: wasted re-execution at the 0.2 fault rate.
+  double wasted_restart = 0.0, wasted_resume = 0.0;
+  for (const auto& c : cells) {
+    if (c.rate == 0.2 && !c.resume) wasted_restart = c.wasted_steps;
+    if (c.rate == 0.2 && c.resume) wasted_resume = c.wasted_steps;
+  }
+  const double reduction =
+      wasted_restart > 0.0 ? 1.0 - wasted_resume / wasted_restart : 0.0;
+  std::printf(
+      "wasted steps at rate 0.2: restart %.0f vs resume %.0f "
+      "(checkpoint-resume saves %.0f%%)\n",
+      wasted_restart, wasted_resume, reduction * 100.0);
+
+  const BreakerResult breaker = run_breaker_demo();
+  std::printf(
+      "breaker: trips=%llu, doomed job %.2f ms vs fast-fail %.2f us "
+      "(%.0fx cheaper), recovered=%s\n",
+      static_cast<unsigned long long>(breaker.trips), breaker.doomed_job_ms,
+      breaker.fast_fail_us,
+      breaker.fast_fail_us > 0.0
+          ? breaker.doomed_job_ms * 1000.0 / breaker.fast_fail_us
+          : 0.0,
+      breaker.recovered ? "yes" : "no");
+
+  std::ofstream json("BENCH_chaos.json");
+  json << "{\n  \"bench\": \"chaos\",\n  \"jobs\": " << kJobs
+       << ",\n  \"max_attempts\": " << kMaxAttempts << ",\n  \"capacity\": 4"
+       << ",\n  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n  \"sweep\": [";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& c = cells[i];
+    json << (i == 0 ? "" : ",") << "\n    {\"rate\": " << c.rate
+         << ", \"mode\": \"" << (c.resume ? "resume" : "restart")
+         << "\", \"succeeded\": " << c.succeeded
+         << ", \"failed\": " << c.failed << ", \"attempts\": " << c.attempts
+         << ", \"executed_steps\": " << c.executed_steps
+         << ", \"resumed_steps\": " << c.resumed_steps
+         << ", \"wasted_steps\": " << c.wasted_steps
+         << ", \"wall_ms\": " << c.wall_ms << "}";
+  }
+  json << "\n  ],\n  \"wasted_restart_at_0.2\": " << wasted_restart
+       << ",\n  \"wasted_resume_at_0.2\": " << wasted_resume
+       << ",\n  \"resume_reduction_at_0.2\": " << reduction
+       << ",\n  \"breaker\": {\"trips\": " << breaker.trips
+       << ", \"doomed_job_ms\": " << breaker.doomed_job_ms
+       << ", \"fast_fail_us\": " << breaker.fast_fail_us << ", \"recovered\": "
+       << (breaker.recovered ? "true" : "false") << "}"
+       << "\n}\n";
+  std::printf("wrote BENCH_chaos.json\n");
+
+  if (!breaker.recovered || breaker.trips == 0) {
+    std::fprintf(stderr, "WARNING: breaker demo did not trip and recover\n");
+    return 2;
+  }
+  if (reduction < 0.30) {
+    std::fprintf(stderr,
+                 "WARNING: resume saved %.0f%% wasted steps, below the 30%% "
+                 "expectation\n",
+                 reduction * 100.0);
+    return 2;
+  }
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "eurochip/flow/cache.hpp"
 
+#include "eurochip/util/fault.hpp"
+
 namespace eurochip::flow {
 
 namespace {
@@ -175,6 +177,16 @@ void FlowCache::restore(const Snapshot& snap, FlowContext& ctx) {
 }
 
 bool FlowCache::lookup(const util::Digest& key, FlowContext& ctx) {
+  // Fault site "flowcache.lookup": the cache is an accelerator, so a
+  // status fault degrades to a miss instead of failing the flow (kThrow
+  // still propagates — that is the exception-isolation scenario).
+  if (util::FaultInjector* fi = util::FaultInjector::installed()) {
+    if (!fi->check("flowcache.lookup").ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++misses_;
+      return false;
+    }
+  }
   std::shared_ptr<const Snapshot> snap;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -194,6 +206,11 @@ bool FlowCache::lookup(const util::Digest& key, FlowContext& ctx) {
 }
 
 void FlowCache::store(const util::Digest& key, const FlowContext& ctx) {
+  // Fault site "flowcache.store": a status fault skips admission — the
+  // flow stays correct, only future lookups lose the snapshot.
+  if (util::FaultInjector* fi = util::FaultInjector::installed()) {
+    if (!fi->check("flowcache.store").ok()) return;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = index_.find(key);

@@ -7,6 +7,7 @@
 #include "eurochip/flow/cache.hpp"
 #include "eurochip/flow/fingerprint.hpp"
 #include "eurochip/pdk/library_gen.hpp"
+#include "eurochip/util/fault.hpp"
 #include "eurochip/synth/elaborate.hpp"
 #include "eurochip/synth/netopt.hpp"
 #include "eurochip/synth/scan.hpp"
@@ -161,6 +162,15 @@ util::Result<FlowResult> FlowTemplate::execute(const rtl::Module& design,
     if (ctx.config.cancel.deadline_passed()) {
       return util::Status::DeadlineExceeded(
           "flow deadline passed before step '" + step.name + "'");
+    }
+    // Fault site "flow.step.<name>": a status fault fails the step (and
+    // thus the run) exactly like an engine failure would; a kThrow fault
+    // models a programming error escaping the step.
+    if (util::FaultInjector* fi = util::FaultInjector::installed()) {
+      if (util::Status fs = fi->check("flow.step." + step.name); !fs.ok()) {
+        return util::Status(
+            fs.code(), "flow step '" + step.name + "': " + fs.message());
+      }
     }
     const auto t0 = std::chrono::steady_clock::now();
     util::Status s = step.run(ctx);

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "eurochip/util/fault.hpp"
+
 namespace eurochip::gds {
 
 namespace {
@@ -210,6 +212,8 @@ std::vector<std::uint8_t> write(const Library& lib) {
 }
 
 util::Result<Library> read(const std::vector<std::uint8_t>& bytes) {
+  // Models a corrupted or unreadable stream handed to the parser.
+  EUROCHIP_FAULT_SITE("gds.read");
   Library lib;
   lib.structures.clear();
   Structure* current_struct = nullptr;
@@ -345,6 +349,9 @@ Library layout_to_gds(const place::PlacedDesign& placed,
 }
 
 util::Status write_file(const Library& lib, const std::string& path) {
+  // Models a full disk / dead NFS mount at the one filesystem sink the
+  // flow has (kDelay here exercises deadline handling on slow storage).
+  EUROCHIP_FAULT_SITE("gds.write_file");
   const std::vector<std::uint8_t> bytes = write(lib);
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {

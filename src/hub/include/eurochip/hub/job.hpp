@@ -52,6 +52,14 @@ struct JobContext {
   /// Shared per-stage artifact cache (JobServer::Options::cache); flow
   /// jobs thread it through FlowConfig::cache. Null when caching is off.
   flow::FlowCache* cache = nullptr;
+  /// Set by the server when the job was admitted above the load-shedding
+  /// watermark: flow jobs downgrade kCommercial -> kOpen effort.
+  bool degraded = false;
+  /// Status of the previous attempt (Ok on the first). Lets the work
+  /// function adapt its retry: flow jobs keep the same seed after a
+  /// deterministic failure (maximizing checkpoint-resume from the cache)
+  /// but reseed after genuine congestion (kResourceExhausted).
+  util::Status last_error;
   std::vector<flow::StepRecord> steps;
   flow::PpaReport ppa;
   /// Output: leading flow steps satisfied from `cache` (FlowResult::cache_hits).
@@ -71,6 +79,14 @@ struct JobSpec {
   std::size_t member = 0;
   edu::LearnerTier tier = edu::LearnerTier::kAdvanced;
   std::string node_name;
+  /// Design identity for the per-(node, design) circuit breaker; set by
+  /// make_flow_job, optional for synthetic jobs. Jobs with both node_name
+  /// and design_name empty are never breaker-tracked.
+  std::string design_name;
+  /// Requested effort. Only consulted by admission control: kCommercial
+  /// submissions above the shedding watermark are downgraded (the work
+  /// function sees JobContext::degraded).
+  flow::FlowQuality quality = flow::FlowQuality::kOpen;
   JobFn work;
   /// Retry policy: total attempts (1 = no retry), exponential backoff
   /// base doubling per retry, capped, with deterministic jitter.
@@ -102,6 +118,13 @@ struct JobRecord {
   flow::PpaReport ppa;
   /// Flow steps served from the shared FlowCache (0 = cold or no cache).
   std::size_t cache_hits = 0;
+  /// True when admission control downgraded this job's effort
+  /// (kCommercial -> kOpen) because the queue crossed the shedding
+  /// watermark at submission.
+  bool degraded = false;
+  /// Deepest cached prefix a *retry* resumed from (max cache_hits over
+  /// attempts >= 2); 0 when the job never retried or restarted cold.
+  std::size_t resume_depth = 0;
 };
 
 /// Wraps the reference flow into a JobSpec. The design is shared (not

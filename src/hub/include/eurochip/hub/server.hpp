@@ -15,6 +15,24 @@
 //   * a lock-safe MetricsRegistry recording queue wait, run time, retries,
 //     and per-step durations harvested from FlowResult::steps.
 //
+// Resilience (DESIGN.md "Failure model"): the platform is shared, so one
+// bad job must never take the hub down and overload must degrade
+// gracefully —
+//   * exception isolation: anything thrown out of a work function is
+//     caught by the worker and finalizes the job as a retryable kInternal
+//     failure carrying the what() text, instead of std::terminate;
+//   * admission control: Options::max_queue_depth bounds the queue
+//     (rejections are kResourceExhausted), and Options::shed_watermark
+//     downgrades kCommercial submissions to open effort under backlog
+//     (JobRecord::degraded, jobs_degraded counter);
+//   * a per-(node, design) circuit breaker that opens after
+//     Options::breaker_threshold consecutive permanent failures and
+//     fast-fails submissions (kUnavailable) until breaker_cooldown_ms
+//     elapses, then lets one probe through (half-open);
+//   * checkpoint-resume retries: with a FlowCache attached, a retry after
+//     a mid-flow failure resumes from the deepest cached step prefix
+//     (JobRecord::resume_depth) instead of restarting at elaboration.
+//
 // measured_queue_report() renders completed work in the same QueueReport
 // shape simulate_queue produces (time unit: milliseconds), so the
 // simulated and measured views of the hub are directly comparable — see
@@ -70,11 +88,27 @@ class JobServer {
     /// JobContext::cache (borrowed; must outlive the server). Cache
     /// activity observed by this server is mirrored into the metrics as
     /// flow_cache_{hits,misses,stores,evictions} counters and
-    /// flow_cache_{bytes,entries} gauges after each job. Bind one cache to
-    /// one server at a time for exact counter deltas; sharing a cache
-    /// across servers keeps the cache itself correct but double-counts
-    /// the mirrored metrics.
+    /// flow_cache_{bytes,entries} gauges after each job. Each server
+    /// baselines the cache's counters at construction and mirrors only
+    /// deltas since then, so servers sharing one cache each report the
+    /// activity observed during their own lifetime (concurrent servers
+    /// attribute interleaved activity to whichever syncs it first — the
+    /// per-server sums stay consistent, nothing is counted twice from a
+    /// fixed observation point).
     flow::FlowCache* cache = nullptr;
+    /// Admission control: reject submissions with kResourceExhausted once
+    /// the queue holds this many jobs. 0 = unbounded (no shedding).
+    std::size_t max_queue_depth = 0;
+    /// Load shedding: at or above this queue depth, kCommercial
+    /// submissions are admitted at open effort instead of being rejected
+    /// (JobContext::degraded / JobRecord::degraded). 0 = disabled.
+    std::size_t shed_watermark = 0;
+    /// Circuit breaker: consecutive *permanent* failures of one
+    /// (node, design) pair before its breaker opens and submissions
+    /// fast-fail with kUnavailable. 0 = disabled.
+    int breaker_threshold = 0;
+    /// How long an open breaker rejects before letting one probe through.
+    double breaker_cooldown_ms = 1000.0;
   };
 
   explicit JobServer(Options options);
@@ -90,9 +124,16 @@ class JobServer {
   JobServer& operator=(const JobServer&) = delete;
 
   /// Enqueues a job. Fails with kPermissionDenied / kNotFound if the hub
-  /// gate rejects it, kInvalidArgument for a missing work function, and
-  /// kFailedPrecondition after shutdown.
+  /// gate rejects it, kInvalidArgument for a missing work function,
+  /// kFailedPrecondition after shutdown, kResourceExhausted when the
+  /// bounded queue is full, and kUnavailable while the (node, design)
+  /// circuit breaker is open.
   util::Result<JobId> submit(JobSpec spec);
+
+  /// Circuit-breaker introspection (tests/benches): true while submissions
+  /// for this (node, design) pair fast-fail.
+  [[nodiscard]] bool breaker_open(const std::string& node_name,
+                                  const std::string& design_name);
 
   /// Wakes the workers when constructed with start_paused.
   void start();
@@ -137,14 +178,29 @@ class JobServer {
     util::CancelSource cancel;
   };
 
+  /// Breaker state machine (per node/design key, guarded by mu_):
+  /// closed -> (threshold consecutive permanent failures) -> open ->
+  /// (cooldown elapses; next submit is the half-open probe) -> closed on
+  /// success, re-open on another permanent failure.
+  struct Breaker {
+    int consecutive_failures = 0;
+    bool open = false;
+    double open_until_ms = 0.0;
+    std::uint64_t trips = 0;
+  };
+
   void worker_loop();
   double now_ms() const;
   /// Finalizes under lock; records metrics after unlocking is the
   /// caller's job (metrics_ has its own lock, but we keep update sites
   /// consistent by calling with mu_ held — no other lock is taken).
   void finalize_locked(Entry& entry, JobState state, util::Status status);
-  static bool transient(util::ErrorCode code);
   void run_job(const std::shared_ptr<Entry>& entry);
+  static std::string breaker_key(const JobSpec& spec);
+  /// Feeds a terminal outcome into the breaker for the job's key.
+  /// Called with mu_ held.
+  void update_breaker_locked(const Entry& entry, JobState state,
+                             util::ErrorCode code);
   /// Mirrors FlowCache counters into metrics_ as deltas since the last
   /// sync. Called with mu_ held (cache_seen_ is guarded by it).
   void sync_cache_metrics_locked();
@@ -163,7 +219,11 @@ class JobServer {
   bool paused_ = false;
   bool stopping_ = false;   ///< no new submissions
   bool stop_now_ = false;   ///< workers exit even with queued work
-  flow::FlowCache::Stats cache_seen_;  ///< last stats mirrored to metrics
+  /// Last cache stats mirrored to metrics; initialized to the cache's
+  /// counters at construction so a server attached to a warm (or shared)
+  /// cache reports only activity from its own lifetime.
+  flow::FlowCache::Stats cache_seen_;
+  std::map<std::string, Breaker> breakers_;  ///< keyed node|design
   std::vector<std::thread> workers_;
 };
 

@@ -24,6 +24,8 @@ JobSpec make_flow_job(std::string name,
   JobSpec spec;
   spec.name = std::move(name);
   spec.node_name = config.node.name;
+  spec.design_name = design->name();
+  spec.quality = config.quality;
   spec.work = [design = std::move(design),
                config = std::move(config)](JobContext& ctx) -> util::Status {
     flow::FlowConfig cfg = config;
@@ -31,10 +33,18 @@ JobSpec make_flow_job(std::string name,
     // The server's shared artifact cache (if any). Safe across workers:
     // FlowCache is internally synchronized and snapshots are deep copies.
     cfg.cache = ctx.cache;
-    // Retries re-run with a shifted seed so a transiently-failing
-    // stochastic stage (e.g. a congested routing attempt) explores a
-    // different deterministic trajectory.
-    cfg.seed = config.seed + static_cast<std::uint64_t>(ctx.attempt - 1);
+    // Load shedding: admitted above the watermark -> run at open effort.
+    if (ctx.degraded) cfg.quality = flow::FlowQuality::kOpen;
+    // Retry seeding policy: after genuine congestion (kResourceExhausted)
+    // re-run with a shifted seed so the stochastic stages explore a
+    // different trajectory. After any other retryable failure (internal
+    // hiccup, injected fault, crash isolated by the server) keep the seed —
+    // the step keys then match the previous attempt's stored prefix and
+    // execute() resumes from the deepest FlowCache checkpoint instead of
+    // restarting at elaboration.
+    if (ctx.last_error.code() == util::ErrorCode::kResourceExhausted) {
+      cfg.seed = config.seed + static_cast<std::uint64_t>(ctx.attempt - 1);
+    }
     auto result = flow::run_reference_flow(*design, cfg);
     if (!result.ok()) return result.status();
     ctx.steps = std::move(result->steps);

@@ -26,6 +26,10 @@ JobServer::JobServer(Options options)
       scheduler_(options.scheduler),
       paused_(options.start_paused) {
   options_.capacity = std::max(1, options_.capacity);
+  // Baseline, not zero: a cache attached mid-life (warm, or shared with
+  // another server) must not have its pre-existing totals mirrored into
+  // this server's metrics as if they happened here.
+  if (options_.cache != nullptr) cache_seen_ = options_.cache->stats();
   workers_.reserve(static_cast<std::size_t>(options_.capacity));
   for (int i = 0; i < options_.capacity; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -47,12 +51,8 @@ double JobServer::now_ms() const {
       .count();
 }
 
-bool JobServer::transient(util::ErrorCode code) {
-  // Resource exhaustion (e.g. routing congestion at this seed) and
-  // internal hiccups are worth a retry; argument/permission/precondition
-  // failures will fail the same way every time.
-  return code == util::ErrorCode::kResourceExhausted ||
-         code == util::ErrorCode::kInternal;
+std::string JobServer::breaker_key(const JobSpec& spec) {
+  return spec.node_name + "|" + spec.design_name;
 }
 
 util::Result<JobId> JobServer::submit(JobSpec spec) {
@@ -75,12 +75,45 @@ util::Result<JobId> JobServer::submit(JobSpec spec) {
   if (stopping_) {
     return util::Status::FailedPrecondition("job server is shut down");
   }
+  // Circuit breaker: fast-fail while open; after the cool-down the next
+  // submission goes through as the half-open probe (the breaker stays
+  // open until that probe's outcome closes or re-opens it).
+  if (options_.breaker_threshold > 0 &&
+      !(spec.node_name.empty() && spec.design_name.empty())) {
+    const auto it = breakers_.find(breaker_key(spec));
+    if (it != breakers_.end() && it->second.open &&
+        now_ms() < it->second.open_until_ms) {
+      metrics_.increment("jobs_breaker_rejected");
+      return util::Status::Unavailable(
+          "circuit breaker open for (" + spec.node_name + ", " +
+          spec.design_name + "): " +
+          std::to_string(it->second.consecutive_failures) +
+          " consecutive permanent failures");
+    }
+  }
+  // Admission control: a bounded queue rejects instead of growing without
+  // limit; a watermark below the bound sheds load by degrading effort.
+  if (options_.max_queue_depth > 0 &&
+      scheduler_.size() >= options_.max_queue_depth) {
+    metrics_.increment("jobs_overload_rejected");
+    return util::Status::ResourceExhausted(
+        "queue full (" + std::to_string(scheduler_.size()) + " of " +
+        std::to_string(options_.max_queue_depth) + " slots)");
+  }
+  bool degraded = false;
+  if (options_.shed_watermark > 0 &&
+      scheduler_.size() >= options_.shed_watermark &&
+      spec.quality == flow::FlowQuality::kCommercial) {
+    degraded = true;
+    metrics_.increment("jobs_degraded");
+  }
   const JobId id = next_id_++;
   auto entry = std::make_shared<Entry>();
   entry->record.id = id;
   entry->record.name = spec.name;
   entry->record.member = spec.member;
   entry->record.tier = spec.tier;
+  entry->record.degraded = degraded;
   entry->record.submit_ms = now_ms();
   if (deadline_ms > 0.0) entry->cancel.set_deadline_after_ms(deadline_ms);
   entry->spec = std::move(spec);
@@ -142,6 +175,8 @@ void JobServer::run_job(const std::shared_ptr<Entry>& entry) {
   int attempts = 0;
 
   std::size_t cache_hits = 0;
+  std::size_t resume_depth = 0;
+  util::Status prev_error;  // previous attempt's failure, Ok on attempt 1
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     attempts = attempt;
     JobContext ctx;
@@ -149,10 +184,31 @@ void JobServer::run_job(const std::shared_ptr<Entry>& entry) {
     ctx.attempt = attempt;
     ctx.rng = &rng;
     ctx.cache = options_.cache;
-    util::Status s = spec.work(ctx);
+    ctx.degraded = entry->record.degraded;
+    ctx.last_error = prev_error;
+    // Exception isolation: the platform is shared, so a work function
+    // throwing (a bug in a flow engine, an injected std::logic_error)
+    // must fail THIS job, not the process. The escape is converted to a
+    // retryable kInternal failure carrying the what() text.
+    util::Status s;
+    try {
+      s = spec.work(ctx);
+    } catch (const std::exception& e) {
+      s = util::Status::Internal(std::string("uncaught exception: ") +
+                                 e.what());
+      metrics_.increment("jobs_exceptions_isolated");
+    } catch (...) {
+      s = util::Status::Internal("uncaught non-standard exception");
+      metrics_.increment("jobs_exceptions_isolated");
+    }
     steps = std::move(ctx.steps);
     ppa = ctx.ppa;
     cache_hits = ctx.cache_hits;
+    if (attempt > 1 && ctx.cache_hits > resume_depth) {
+      // Checkpoint-resume: this retry picked up from a cached step prefix
+      // (the failed attempt stored snapshots after each completed step).
+      resume_depth = ctx.cache_hits;
+    }
 
     if (s.ok()) {
       final_state = JobState::kSucceeded;
@@ -178,13 +234,14 @@ void JobServer::run_job(const std::shared_ptr<Entry>& entry) {
                                                std::to_string(attempt));
       break;
     }
-    if (!transient(s.code()) || attempt == max_attempts) {
+    if (!util::is_retryable(s.code()) || attempt == max_attempts) {
       final_state = JobState::kFailed;
       final_status = std::move(s);
       break;
     }
 
-    // Transient failure with attempts left: back off, interruptibly.
+    // Retryable failure with attempts left: back off, interruptibly.
+    prev_error = std::move(s);
     metrics_.increment("jobs_retried");
     const double delay_ms = backoff_delay_ms(spec, attempt, rng);
     std::unique_lock<std::mutex> lock(mu_);
@@ -211,8 +268,55 @@ void JobServer::run_job(const std::shared_ptr<Entry>& entry) {
   entry->record.steps = std::move(steps);
   entry->record.ppa = ppa;
   entry->record.cache_hits = cache_hits;
+  entry->record.resume_depth = resume_depth;
+  if (resume_depth > 0) {
+    metrics_.increment("steps_resumed", resume_depth);
+    metrics_.observe("resume_depth", static_cast<double>(resume_depth));
+  }
+  update_breaker_locked(*entry, final_state, final_status.code());
   finalize_locked(*entry, final_state, std::move(final_status));
   sync_cache_metrics_locked();
+}
+
+void JobServer::update_breaker_locked(const Entry& entry, JobState state,
+                                      util::ErrorCode code) {
+  if (options_.breaker_threshold <= 0) return;
+  const JobSpec& spec = entry.spec;
+  if (spec.node_name.empty() && spec.design_name.empty()) return;
+  Breaker& b = breakers_[breaker_key(spec)];
+  if (state == JobState::kSucceeded) {
+    b.consecutive_failures = 0;
+    if (b.open) {
+      b.open = false;  // half-open probe succeeded
+      metrics_.increment("breaker_closed");
+    }
+    return;
+  }
+  // Only deterministic failures count toward opening: a congested retry
+  // or a cancelled/timed-out job says nothing about the (node, design)
+  // pair itself.
+  if (state != JobState::kFailed || util::is_retryable(code)) return;
+  ++b.consecutive_failures;
+  if (b.consecutive_failures >= options_.breaker_threshold) {
+    if (!b.open) {
+      ++b.trips;
+      metrics_.increment("breaker_trips");
+    }
+    b.open = true;
+    b.open_until_ms = now_ms() + options_.breaker_cooldown_ms;
+    metrics_.set_gauge("breakers_open",
+                       static_cast<double>(std::count_if(
+                           breakers_.begin(), breakers_.end(),
+                           [](const auto& kv) { return kv.second.open; })));
+  }
+}
+
+bool JobServer::breaker_open(const std::string& node_name,
+                             const std::string& design_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = breakers_.find(node_name + "|" + design_name);
+  return it != breakers_.end() && it->second.open &&
+         now_ms() < it->second.open_until_ms;
 }
 
 void JobServer::sync_cache_metrics_locked() {

@@ -1,0 +1,134 @@
+#include "eurochip/util/fault.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "eurochip/util/digest.hpp"
+
+namespace eurochip::util {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kErrorStatus: return "error_status";
+    case FaultKind::kResourceExhausted: return "resource_exhausted";
+    case FaultKind::kThrow: return "throw";
+    case FaultKind::kDelay: return "delay";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed) : seed_(seed) {}
+
+FaultInjector::~FaultInjector() {
+  FaultInjector* self = this;
+  installed_.compare_exchange_strong(self, nullptr);
+}
+
+void FaultInjector::add_rule(FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(RuleState{std::move(rule)});
+}
+
+void FaultInjector::clear_rules() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+}
+
+bool FaultInjector::matches(const std::string& pattern,
+                            const std::string& site) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    return site.compare(0, pattern.size() - 1, pattern, 0,
+                        pattern.size() - 1) == 0;
+  }
+  return pattern == site;
+}
+
+Status FaultInjector::check(const std::string& site) {
+  FaultKind kind = FaultKind::kErrorStatus;
+  double delay_ms = 0.0;
+  std::string message;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) {
+      // Per-site RNG stream keyed by (seed, site): one site's draws never
+      // shift another's, which is what makes plans replayable per site.
+      Hasher h;
+      h.u64(seed_).str(site);
+      it = sites_.emplace(site, SiteState(h.finalize().lo)).first;
+    }
+    SiteState& st = it->second;
+    ++st.hits;
+    ++total_hits_;
+    for (RuleState& r : rules_) {
+      if (!matches(r.rule.site, site)) continue;
+      ++r.seen;
+      if (r.seen <= static_cast<std::uint64_t>(r.rule.skip_first)) continue;
+      if (r.rule.max_triggers >= 0 &&
+          r.fired >= static_cast<std::uint64_t>(r.rule.max_triggers)) {
+        continue;
+      }
+      if (r.rule.probability < 1.0 && !st.rng.chance(r.rule.probability)) {
+        continue;
+      }
+      ++r.fired;
+      ++st.triggered;
+      ++total_triggered_;
+      fire = true;
+      kind = r.rule.kind;
+      delay_ms = r.rule.delay_ms;
+      message = r.rule.message.empty()
+                    ? "injected fault at '" + site + "'"
+                    : r.rule.message;
+      break;
+    }
+  }
+  if (!fire) return Status::Ok();
+  switch (kind) {
+    case FaultKind::kErrorStatus:
+      return Status::Internal(message);
+    case FaultKind::kResourceExhausted:
+      return Status::ResourceExhausted(message);
+    case FaultKind::kThrow:
+      throw std::logic_error(message);
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+      return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+FaultInjector::SiteStats FaultInjector::site_stats(
+    const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return {};
+  return {it->second.hits, it->second.triggered};
+}
+
+std::uint64_t FaultInjector::total_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_hits_;
+}
+
+std::uint64_t FaultInjector::total_triggered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_triggered_;
+}
+
+std::map<std::string, FaultInjector::SiteStats> FaultInjector::stats_by_prefix(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, SiteStats> out;
+  for (const auto& [name, st] : sites_) {
+    if (name.compare(0, prefix.size(), prefix) == 0) {
+      out.emplace(name, SiteStats{st.hits, st.triggered});
+    }
+  }
+  return out;
+}
+
+}  // namespace eurochip::util

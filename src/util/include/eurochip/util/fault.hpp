@@ -1,0 +1,178 @@
+// FaultInjector: a deterministic, seeded fault-plan engine for chaos
+// testing the hub platform (ROADMAP: "handle as many scenarios as you can
+// imagine" needs a substrate that *creates* those scenarios on demand).
+//
+// Production code declares named fault sites at its failure-prone points
+// (flow steps, cache probes, GDS file I/O) via the EUROCHIP_FAULT_SITE
+// macro or an explicit installed()/check() pair. With no injector
+// installed — the production default — a site costs one relaxed atomic
+// load and a predictable branch: zero allocation, zero locking, zero
+// observable behaviour.
+//
+// A test or bench installs an injector carrying a *fault plan*: an ordered
+// list of rules, each naming a site (exactly, or by prefix with a trailing
+// '*'), a fault kind, and its trigger discipline:
+//   * probability  — Bernoulli trial per matching hit, drawn from a
+//                    per-site RNG stream derived from (seed, site name),
+//                    so one site's draws never perturb another's;
+//   * skip_first   — matching hits to let pass before the rule arms
+//                    (deterministic "fail the Nth call" plans);
+//   * max_triggers — budget of fires, -1 = unlimited.
+// The first matching rule that fires wins. Fault kinds:
+//   * kErrorStatus       — the site returns Status::Internal;
+//   * kResourceExhausted — the site returns Status::ResourceExhausted;
+//   * kThrow             — throws std::logic_error (models a programming
+//                          error escaping a work function — the case the
+//                          hub's exception isolation must contain);
+//   * kDelay             — sleeps delay_ms then passes (models a wedged
+//                          NFS mount or a GC pause; exercises deadlines).
+//
+// Determinism: for a fixed seed and plan, the decision sequence at each
+// site is a pure function of that site's hit order. Single-threaded runs
+// replay exactly; multi-threaded campaigns are statistically stable (the
+// per-site streams are fixed, only their interleaving varies).
+//
+// Thread-safety: all methods are safe from any thread; one mutex guards
+// the plan and per-site state (fault paths are not hot paths).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "eurochip/util/result.hpp"
+#include "eurochip/util/rng.hpp"
+
+namespace eurochip::util {
+
+/// What an armed fault site does when its rule fires.
+enum class FaultKind {
+  kErrorStatus,        ///< Status::Internal (retryable)
+  kResourceExhausted,  ///< Status::ResourceExhausted (retryable)
+  kThrow,              ///< throws std::logic_error
+  kDelay,              ///< sleeps delay_ms, then passes
+};
+
+const char* to_string(FaultKind kind);
+
+/// One entry of a fault plan. `site` matches exactly, or as a prefix when
+/// it ends with '*' ("flow.step.*" matches every flow step).
+struct FaultRule {
+  std::string site;
+  FaultKind kind = FaultKind::kErrorStatus;
+  double probability = 1.0;  ///< per-matching-hit trigger probability
+  int skip_first = 0;        ///< matching hits to pass before arming
+  int max_triggers = -1;     ///< total fires allowed; -1 = unlimited
+  double delay_ms = 0.0;     ///< kDelay only
+  std::string message;       ///< status/exception text; "" = derived
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0xFA017uLL);
+
+  /// Uninstalls itself if it is the installed injector, so a test-scoped
+  /// injector cannot dangle behind the global pointer.
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Appends a rule to the plan. Rules are consulted in insertion order;
+  /// the first one that fires decides the fault.
+  void add_rule(FaultRule rule);
+
+  void clear_rules();
+
+  /// Evaluates one hit of `site` against the plan: Ok when nothing fires,
+  /// an error Status for the status kinds, throws for kThrow, sleeps then
+  /// returns Ok for kDelay.
+  Status check(const std::string& site);
+
+  struct SiteStats {
+    std::uint64_t hits = 0;       ///< check() calls observed at the site
+    std::uint64_t triggered = 0;  ///< faults fired at the site
+  };
+  [[nodiscard]] SiteStats site_stats(const std::string& site) const;
+  [[nodiscard]] std::uint64_t total_hits() const;
+  [[nodiscard]] std::uint64_t total_triggered() const;
+
+  /// Per-site stats for every site whose name starts with `prefix`
+  /// (pass "" for all sites seen so far).
+  [[nodiscard]] std::map<std::string, SiteStats> stats_by_prefix(
+      const std::string& prefix) const;
+
+  // --- global installation ------------------------------------------------
+
+  /// Installs `injector` as the process-wide active injector (nullptr
+  /// disables every site again). Callers own lifetime: the injector must
+  /// outlive its installation.
+  static void install(FaultInjector* injector) {
+    installed_.store(injector, std::memory_order_release);
+  }
+
+  /// The active injector, or nullptr when fault injection is off. This is
+  /// the only cost a fault site pays in production.
+  [[nodiscard]] static FaultInjector* installed() {
+    return installed_.load(std::memory_order_acquire);
+  }
+
+  /// RAII install for tests: installs on construction, restores the
+  /// previous injector on destruction.
+  class ScopedInstall {
+   public:
+    explicit ScopedInstall(FaultInjector& injector)
+        : previous_(installed()) {
+      install(&injector);
+    }
+    ~ScopedInstall() { install(previous_); }
+    ScopedInstall(const ScopedInstall&) = delete;
+    ScopedInstall& operator=(const ScopedInstall&) = delete;
+
+   private:
+    FaultInjector* previous_;
+  };
+
+ private:
+  struct RuleState {
+    FaultRule rule;
+    std::uint64_t seen = 0;   ///< matching hits observed
+    std::uint64_t fired = 0;  ///< faults triggered by this rule
+  };
+  struct SiteState {
+    Rng rng;
+    std::uint64_t hits = 0;
+    std::uint64_t triggered = 0;
+    explicit SiteState(std::uint64_t seed) : rng(seed) {}
+  };
+
+  static bool matches(const std::string& pattern, const std::string& site);
+
+  std::uint64_t seed_;
+  mutable std::mutex mu_;
+  std::vector<RuleState> rules_;
+  std::map<std::string, SiteState> sites_;
+  std::uint64_t total_hits_ = 0;
+  std::uint64_t total_triggered_ = 0;
+
+  inline static std::atomic<FaultInjector*> installed_{nullptr};
+};
+
+/// Declares a fault site inside a function returning util::Status or
+/// util::Result<T>: when the installed plan fires a status fault here, the
+/// enclosing function returns it (kThrow propagates as an exception,
+/// kDelay just stalls). Expands to a single predictable branch when no
+/// injector is installed.
+#define EUROCHIP_FAULT_SITE(site_name)                                      \
+  do {                                                                      \
+    if (::eurochip::util::FaultInjector* eurochip_fi_ =                     \
+            ::eurochip::util::FaultInjector::installed()) {                 \
+      ::eurochip::util::Status eurochip_fs_ = eurochip_fi_->check(site_name); \
+      if (!eurochip_fs_.ok()) return eurochip_fs_;                          \
+    }                                                                       \
+  } while (false)
+
+}  // namespace eurochip::util

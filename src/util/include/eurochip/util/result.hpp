@@ -28,10 +28,19 @@ enum class ErrorCode {
   kInternal,
   kCancelled,          ///< e.g. hub job cancelled between flow steps
   kDeadlineExceeded,   ///< e.g. hub job past its per-job deadline
+  kUnavailable,        ///< e.g. circuit breaker open — try again later
 };
 
 /// Human-readable name of an ErrorCode ("ok", "invalid_argument", ...).
 const char* to_string(ErrorCode code);
+
+/// Structured retry taxonomy: true for failures that may succeed if simply
+/// tried again (congestion, internal hiccups, temporarily unavailable
+/// services); false for deterministic failures (bad arguments, access
+/// denied, missing inputs) that will fail identically every time.
+/// kCancelled/kDeadlineExceeded are neither — callers handle them as
+/// terminal outcomes before consulting this predicate. kOk is not retryable.
+[[nodiscard]] bool is_retryable(ErrorCode code);
 
 /// A success-or-error outcome with a message. Cheap to copy on success.
 class Status {
@@ -75,6 +84,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return {ErrorCode::kDeadlineExceeded, std::move(msg)};
+  }
+  static Status Unavailable(std::string msg) {
+    return {ErrorCode::kUnavailable, std::move(msg)};
   }
 
   [[nodiscard]] bool ok() const { return code_ == ErrorCode::kOk; }

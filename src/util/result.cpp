@@ -15,8 +15,20 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kInternal: return "internal";
     case ErrorCode::kCancelled: return "cancelled";
     case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kUnavailable: return "unavailable";
   }
   return "unknown";
+}
+
+bool is_retryable(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kResourceExhausted:
+    case ErrorCode::kInternal:
+    case ErrorCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
 }
 
 std::string Status::to_string() const {
