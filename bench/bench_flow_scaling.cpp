@@ -1,0 +1,145 @@
+// BENCH flow_scaling — end-to-end flow wall-clock vs thread count.
+//
+// The in-flow kernels (place sweeps, route batches, STA levels, power
+// windows, map trials) borrow workers from the shared util::ThreadPool;
+// this bench sweeps FlowConfig::threads over 1..N on the largest stock
+// designs that route at preset defaults and reports the speedup curve.
+// Because the kernels are bit-deterministic at any thread count, the
+// bench also asserts that every sweep point reproduces the exact
+// single-thread artifacts (GDS bytes + placed/routed digests) — a scaling
+// number that came from a different answer would be meaningless.
+//
+// Emits BENCH_flow_scaling.json: per design, the per-thread-count best-of
+// runtimes, speedups relative to threads=1, and the artifact check.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "eurochip/flow/fingerprint.hpp"
+#include "eurochip/flow/flow.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/rtl/designs.hpp"
+#include "eurochip/util/strings.hpp"
+#include "eurochip/util/table.hpp"
+#include "eurochip/util/thread_pool.hpp"
+
+namespace {
+
+using namespace eurochip;  // NOLINT(google-build-using-namespace)
+
+struct Case {
+  std::string name;
+  rtl::Module design;
+  flow::FlowQuality quality;
+  std::string node;
+};
+
+struct Point {
+  int threads = 0;
+  double ms = 0.0;
+  double speedup = 1.0;
+};
+
+struct Fingerprint {
+  util::Digest placed;
+  util::Digest routed;
+  std::size_t gds_size = 0;
+  double fmax_mhz = 0.0;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+}  // namespace
+
+int main() {
+  std::vector<Case> cases;
+  // mul16 is the largest stock design that routes at commercial defaults;
+  // the commercial preset exercises every parallel kernel including the
+  // dual-objective map trial. alu8/open covers the cheaper preset.
+  cases.push_back({"mul16_commercial28", rtl::designs::multiplier(16),
+                   flow::FlowQuality::kCommercial, "commercial28"});
+  cases.push_back({"alu8_sky130ish_open", rtl::designs::alu(8),
+                   flow::FlowQuality::kOpen, "sky130ish"});
+
+  std::vector<int> sweep = {1, 2, 4, 8};
+  const int hw = util::ThreadPool::default_threads();
+  sweep.erase(std::remove_if(sweep.begin(), sweep.end(),
+                             [hw](int t) { return t > std::max(1, hw); }),
+              sweep.end());
+  if (sweep.empty()) sweep.push_back(1);
+  constexpr int kRepeats = 3;  // best-of, to shed scheduler noise
+
+  std::ofstream json("BENCH_flow_scaling.json");
+  json << "{\n  \"bench\": \"flow_scaling\",\n  \"hardware_threads\": " << hw
+       << ",\n  \"cases\": [\n";
+
+  bool all_identical = true;
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const Case& c = cases[ci];
+    std::vector<Point> points;
+    Fingerprint reference;
+    bool identical = true;
+    for (int threads : sweep) {
+      flow::FlowConfig cfg;
+      cfg.node = pdk::standard_node(c.node).value();
+      cfg.quality = c.quality;
+      cfg.threads = threads;
+      double best_ms = 0.0;
+      Fingerprint fp;
+      for (int rep = 0; rep < kRepeats; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto r = flow::run_reference_flow(c.design, cfg);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!r.ok()) {
+          std::fprintf(stderr, "%s at threads=%d failed: %s\n", c.name.c_str(),
+                       threads, r.status().to_string().c_str());
+          return 1;
+        }
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (rep == 0 || ms < best_ms) best_ms = ms;
+        fp = {flow::digest_of(*r->artifacts.placed),
+              flow::digest_of(*r->artifacts.routed),
+              r->artifacts.gds_bytes.size(), r->artifacts.timing.fmax_mhz};
+      }
+      if (threads == sweep.front()) {
+        reference = fp;
+      } else if (!(fp == reference)) {
+        identical = false;
+      }
+      Point p;
+      p.threads = threads;
+      p.ms = best_ms;
+      points.push_back(p);
+    }
+    for (Point& p : points) p.speedup = points.front().ms / p.ms;
+    all_identical = all_identical && identical;
+
+    util::Table t("flow scaling: " + c.name);
+    t.set_header({"threads", "runtime_ms", "speedup"});
+    for (const Point& p : points) {
+      t.add_row({std::to_string(p.threads), util::fmt(p.ms, 2),
+                 util::fmt(p.speedup, 2)});
+    }
+    std::printf("%s\nartifacts identical across thread counts: %s\n\n",
+                t.render().c_str(), identical ? "yes" : "NO");
+
+    json << "    {\n      \"name\": \"" << c.name
+         << "\",\n      \"baseline_ms\": " << util::fmt(points.front().ms, 3)
+         << ",\n      \"artifacts_identical\": "
+         << (identical ? "true" : "false") << ",\n      \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      json << "        {\"threads\": " << points[i].threads
+           << ", \"ms\": " << util::fmt(points[i].ms, 3)
+           << ", \"speedup\": " << util::fmt(points[i].speedup, 3) << "}"
+           << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    json << "      ]\n    }" << (ci + 1 < cases.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote BENCH_flow_scaling.json\n");
+  return all_identical ? 0 : 1;
+}

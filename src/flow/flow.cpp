@@ -14,6 +14,7 @@
 #include "eurochip/synth/opt.hpp"
 #include "eurochip/util/strings.hpp"
 #include "eurochip/util/table.hpp"
+#include "eurochip/util/thread_pool.hpp"
 
 namespace eurochip::flow {
 
@@ -280,38 +281,57 @@ util::Status step_map(FlowContext& ctx) {
   const EffortKnobs k = knobs_for(ctx.config.quality, ctx.config.seed,
                                   ctx.config.utilization);
   const synth::MapOptions mo = ctx.config.map_options.value_or(k.map_options);
-  synth::MapStats stats;
-  auto mapped = synth::map_to_library(*ctx.artifacts.aig,
-                                      *ctx.artifacts.library, mo, &stats);
-  if (!mapped.ok()) return mapped.status();
 
   // Commercial effort: also try the other objective and keep the faster
   // result (area tie-break) — proprietary flows run multi-objective
-  // mapping trials; the open preset maps once.
-  if (ctx.config.quality == FlowQuality::kCommercial &&
-      !ctx.config.map_options.has_value()) {
-    synth::MapOptions alt = mo;
-    alt.objective = mo.objective == synth::MapObjective::kDelay
-                        ? synth::MapObjective::kArea
-                        : synth::MapObjective::kDelay;
-    synth::MapStats alt_stats;
-    auto alt_mapped = synth::map_to_library(
-        *ctx.artifacts.aig, *ctx.artifacts.library, alt, &alt_stats);
-    if (alt_mapped.ok()) {
-      timing::StaOptions so;
-      so.clock_period_ps = ctx.config.effective_clock_ps();
-      const auto t_main = timing::analyze(*mapped, ctx.config.node, so);
-      const auto t_alt = timing::analyze(*alt_mapped, ctx.config.node, so);
-      if (t_main.ok() && t_alt.ok()) {
-        const bool alt_faster = t_alt->fmax_mhz > t_main->fmax_mhz * 1.001;
-        const bool alt_tied_smaller =
-            t_alt->fmax_mhz >= t_main->fmax_mhz * 0.999 &&
-            alt_stats.area_um2 < stats.area_um2;
-        if (alt_faster || alt_tied_smaller) {
-          mapped = std::move(alt_mapped);
-          stats = alt_stats;
+  // mapping trials; the open preset maps once. The trials (map + trial
+  // STA each) are independent and run concurrently; selection stays a
+  // fixed serial comparison, so the chosen netlist does not depend on the
+  // thread count.
+  const bool dual_trial = ctx.config.quality == FlowQuality::kCommercial &&
+                          !ctx.config.map_options.has_value();
+  struct MapTrial {
+    synth::MapOptions mo;
+    synth::MapStats stats;
+    std::optional<util::Result<netlist::Netlist>> mapped;
+    double fmax_mhz = 0.0;
+    bool timed = false;
+  };
+  std::vector<MapTrial> trials(dual_trial ? 2 : 1);
+  trials[0].mo = mo;
+  if (dual_trial) {
+    trials[1].mo = mo;
+    trials[1].mo.objective = mo.objective == synth::MapObjective::kDelay
+                                 ? synth::MapObjective::kArea
+                                 : synth::MapObjective::kDelay;
+  }
+  util::parallel_for(
+      ctx.config.threads, trials.size(), /*grain=*/1, [&](std::size_t i) {
+        MapTrial& t = trials[i];
+        t.mapped.emplace(synth::map_to_library(
+            *ctx.artifacts.aig, *ctx.artifacts.library, t.mo, &t.stats));
+        if (!dual_trial || !t.mapped->ok()) return;
+        timing::StaOptions so;
+        so.clock_period_ps = ctx.config.effective_clock_ps();
+        so.threads = ctx.config.threads;
+        if (const auto rpt = timing::analyze(**t.mapped, ctx.config.node, so);
+            rpt.ok()) {
+          t.fmax_mhz = rpt->fmax_mhz;
+          t.timed = true;
         }
-      }
+      });
+  if (!trials[0].mapped->ok()) return trials[0].mapped->status();
+  auto mapped = std::move(*trials[0].mapped);
+  synth::MapStats stats = trials[0].stats;
+  if (dual_trial && trials[1].mapped->ok() && trials[0].timed &&
+      trials[1].timed) {
+    const bool alt_faster = trials[1].fmax_mhz > trials[0].fmax_mhz * 1.001;
+    const bool alt_tied_smaller =
+        trials[1].fmax_mhz >= trials[0].fmax_mhz * 0.999 &&
+        trials[1].stats.area_um2 < trials[0].stats.area_um2;
+    if (alt_faster || alt_tied_smaller) {
+      mapped = std::move(*trials[1].mapped);
+      stats = trials[1].stats;
     }
   }
 
@@ -373,8 +393,9 @@ util::Status step_place(FlowContext& ctx) {
   }
   const EffortKnobs k = knobs_for(ctx.config.quality, ctx.config.seed,
                                   ctx.config.utilization);
-  const place::PlacementOptions po =
+  place::PlacementOptions po =
       ctx.config.place_options.value_or(k.place_options);
+  if (po.threads == 0) po.threads = ctx.config.threads;
   place::PlaceStats stats;
   auto placed =
       place::place(*ctx.artifacts.mapped, ctx.config.node, po, &stats);
@@ -411,8 +432,9 @@ util::Status step_route(FlowContext& ctx) {
   }
   const EffortKnobs k = knobs_for(ctx.config.quality, ctx.config.seed,
                                   ctx.config.utilization);
-  const route::RouteOptions ro =
+  route::RouteOptions ro =
       ctx.config.route_options.value_or(k.route_options);
+  if (ro.threads == 0) ro.threads = ctx.config.threads;
   route::RouteStats stats;
   auto routed = route::route(*ctx.artifacts.placed, ctx.config.node, ro, &stats);
   if (!routed.ok()) return routed.status();
@@ -434,6 +456,7 @@ util::Status step_sta(FlowContext& ctx) {
   }
   timing::StaOptions so;
   so.clock_period_ps = ctx.config.effective_clock_ps();
+  so.threads = ctx.config.threads;
   if (ctx.artifacts.clock_tree) {
     so.clock_skew_ps = ctx.artifacts.clock_tree->skew_ps();
   }
@@ -454,6 +477,7 @@ util::Status step_power(FlowContext& ctx) {
     return util::Status::FailedPrecondition("power requires map");
   }
   power::PowerOptions po = ctx.config.power_options.value_or(power::PowerOptions{});
+  if (po.threads == 0) po.threads = ctx.config.threads;
   auto report = power::estimate(*ctx.artifacts.mapped, ctx.config.node, po,
                                 ctx.artifacts.routed.get());
   if (!report.ok()) return report.status();
@@ -500,7 +524,11 @@ util::Status step_gds(FlowContext& ctx) {
 // (the design and node digests are already in the base key; upstream
 // artifacts are covered transitively by the key chain). Over-inclusion
 // would only cost hit rate; under-inclusion would serve stale artifacts —
-// when in doubt a knob is included.
+// when in doubt a knob is included. The one deliberate exception is
+// FlowConfig::threads (and the engine options' `threads` knobs, excluded
+// in fingerprint.cpp): parallel kernels produce bit-identical artifacts at
+// any thread count, so keys must span thread counts — a cache populated
+// single-threaded hits on an 8-thread run.
 
 void fp_const(const FlowConfig&, util::Hasher&) {}
 

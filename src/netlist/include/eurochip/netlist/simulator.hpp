@@ -58,6 +58,19 @@ class Simulator {
   std::vector<bool> current_inputs_;
   std::uint64_t evals_ = 0;
   bool first_eval_ = true;
+
+  // Flattened evaluation program, built once in create(): per cell in
+  // order_, its function, output net, and a slice of flat fanin net
+  // indices. Avoids chasing Cell/LibraryCell structures per cycle.
+  std::vector<CellFn> eval_fn_;
+  std::vector<std::uint32_t> eval_out_;
+  std::vector<std::uint32_t> eval_fanin_begin_;  ///< size order_ + 1
+  std::vector<std::uint32_t> eval_fanin_;
+  /// Constant-driven nets, resolved once: (net index, value).
+  std::vector<std::pair<std::uint32_t, char>> const_nets_;
+  /// DFF output net index per dffs_ entry / D-input net index per entry.
+  std::vector<std::uint32_t> dff_out_net_;
+  std::vector<std::uint32_t> dff_d_net_;
 };
 
 }  // namespace eurochip::netlist

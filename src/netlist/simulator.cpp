@@ -21,6 +21,33 @@ util::Result<Simulator> Simulator::create(const Netlist& netlist) {
   sim.net_values_.assign(netlist.num_nets(), 0);
   sim.dff_state_.assign(sim.dffs_.size(), 0);
   sim.toggles_.assign(netlist.num_nets(), 0);
+
+  // Flatten the evaluation program so propagate() touches contiguous
+  // arrays instead of Cell/LibraryCell structures.
+  sim.eval_fn_.reserve(sim.order_.size());
+  sim.eval_out_.reserve(sim.order_.size());
+  sim.eval_fanin_begin_.reserve(sim.order_.size() + 1);
+  sim.eval_fanin_begin_.push_back(0);
+  for (CellId id : sim.order_) {
+    const Cell& c = netlist.cell(id);
+    sim.eval_fn_.push_back(netlist.lib_cell(id).fn);
+    sim.eval_out_.push_back(c.output.value);
+    for (NetId f : c.fanin) sim.eval_fanin_.push_back(f.value);
+    sim.eval_fanin_begin_.push_back(
+        static_cast<std::uint32_t>(sim.eval_fanin_.size()));
+  }
+  for (NetId id : netlist.all_nets()) {
+    const Net& n = netlist.net(id);
+    if (n.driver_kind == DriverKind::kConst0) {
+      sim.const_nets_.emplace_back(id.value, 0);
+    } else if (n.driver_kind == DriverKind::kConst1) {
+      sim.const_nets_.emplace_back(id.value, 1);
+    }
+  }
+  for (CellId ff : sim.dffs_) {
+    sim.dff_out_net_.push_back(netlist.cell(ff).output.value);
+    sim.dff_d_net_.push_back(netlist.cell(ff).fanin[0].value);
+  }
   return sim;
 }
 
@@ -33,43 +60,38 @@ void Simulator::reset() {
 }
 
 void Simulator::propagate() {
-  std::vector<char> previous;
-  if (!first_eval_) previous = net_values_;
+  // Each net has a single driver and is written at most once per
+  // propagate, so toggles are counted inline at the write (old value vs
+  // new value) instead of diffing a snapshot of all nets — undriven nets
+  // never change and contribute no toggles either way.
+  const bool count = !first_eval_;
+  const auto set_net = [&](std::uint32_t net, char v) {
+    if (count && net_values_[net] != v) ++toggles_[net];
+    net_values_[net] = v;
+  };
 
   // Constants and primary inputs.
-  for (NetId id : netlist_->all_nets()) {
-    const Net& n = netlist_->net(id);
-    switch (n.driver_kind) {
-      case DriverKind::kConst0: net_values_[id.value] = 0; break;
-      case DriverKind::kConst1: net_values_[id.value] = 1; break;
-      default: break;
-    }
-  }
+  for (const auto& [net, v] : const_nets_) set_net(net, v);
   const auto& inputs = netlist_->inputs();
   for (std::size_t i = 0; i < inputs.size(); ++i) {
-    net_values_[inputs[i].net.value] = current_inputs_[i] ? 1 : 0;
+    set_net(inputs[i].net.value, current_inputs_[i] ? 1 : 0);
   }
   // DFF outputs from state.
-  for (std::size_t i = 0; i < dffs_.size(); ++i) {
-    net_values_[netlist_->cell(dffs_[i]).output.value] = dff_state_[i];
+  for (std::size_t i = 0; i < dff_out_net_.size(); ++i) {
+    set_net(dff_out_net_[i], dff_state_[i]);
   }
-  // Levelized combinational evaluation.
-  for (CellId id : order_) {
-    const Cell& c = netlist_->cell(id);
-    const LibraryCell& lc = netlist_->lib_cell(id);
+  // Levelized combinational evaluation over the flattened program.
+  for (std::size_t c = 0; c < eval_fn_.size(); ++c) {
     unsigned bits = 0;
-    for (std::size_t pin = 0; pin < c.fanin.size(); ++pin) {
-      if (net_values_[c.fanin[pin].value] != 0) bits |= 1u << pin;
+    const std::uint32_t begin = eval_fanin_begin_[c];
+    const std::uint32_t end = eval_fanin_begin_[c + 1];
+    for (std::uint32_t k = begin; k < end; ++k) {
+      if (net_values_[eval_fanin_[k]] != 0) bits |= 1u << (k - begin);
     }
-    net_values_[c.output.value] = fn_eval(lc.fn, bits) ? 1 : 0;
+    set_net(eval_out_[c], fn_eval(eval_fn_[c], bits) ? 1 : 0);
   }
 
   ++evals_;
-  if (!first_eval_) {
-    for (std::size_t i = 0; i < net_values_.size(); ++i) {
-      if (net_values_[i] != previous[i]) ++toggles_[i];
-    }
-  }
   first_eval_ = false;
 }
 
@@ -87,9 +109,8 @@ std::vector<bool> Simulator::eval(const std::vector<bool>& input_values) {
 
 std::vector<bool> Simulator::step(const std::vector<bool>& input_values) {
   std::vector<bool> out = eval(input_values);
-  for (std::size_t i = 0; i < dffs_.size(); ++i) {
-    const Cell& c = netlist_->cell(dffs_[i]);
-    dff_state_[i] = net_values_[c.fanin[0].value];
+  for (std::size_t i = 0; i < dff_d_net_.size(); ++i) {
+    dff_state_[i] = net_values_[dff_d_net_[i]];
   }
   return out;
 }

@@ -1,7 +1,9 @@
-// Standard-cell placement: quadratic (Gauss-Seidel) global placement with
-// bin-based spreading, Tetris legalization onto rows, and greedy in-row
-// detailed placement. I/O ports are assigned fixed pad positions on the
-// die boundary.
+// Standard-cell placement: quadratic global placement (parallel Jacobi
+// sweeps over the connectivity star/clique model) with bin-based
+// spreading, Tetris legalization onto rows, and greedy in-row detailed
+// placement. I/O ports are assigned fixed pad positions on the die
+// boundary. All stages are deterministic for a fixed seed at any thread
+// count.
 #pragma once
 
 #include <cstdint>
@@ -17,11 +19,15 @@ namespace eurochip::place {
 
 struct PlacementOptions {
   double target_utilization = 0.65;
-  int global_iterations = 60;     ///< Gauss-Seidel sweeps
+  int global_iterations = 60;     ///< Jacobi wirelength sweeps
   int spreading_rounds = 6;       ///< density-spreading interleaves
   int detailed_passes = 2;        ///< in-row swap passes
   bool random_only = false;       ///< skip global placement (ablation)
   std::uint64_t seed = 1;
+  /// Parallelism for the global-placement sweeps (0 = auto: EUROCHIP_THREADS
+  /// or hardware concurrency; 1 = serial). Results are bit-identical at any
+  /// thread count, so this knob is excluded from cache fingerprints.
+  int threads = 0;
 };
 
 /// A fully placed design: per-cell origins plus fixed pad positions.
@@ -31,6 +37,14 @@ struct PlacedDesign {
   std::vector<util::Point> cell_origin;   ///< by CellId, lower-left corner
   std::vector<util::Point> input_pad;     ///< by input port index
   std::vector<util::Point> output_pad;    ///< by output port index
+  /// Net -> pad points index (derived from input_pad/output_pad; built by
+  /// place() via build_pad_index()). When present, net_pins/net_bbox avoid
+  /// the O(ports) primary-port scan per call.
+  std::vector<std::vector<util::Point>> net_pad_points;
+
+  /// (Re)builds net_pad_points from the current pad positions. Call after
+  /// constructing a PlacedDesign by hand or mutating pad locations.
+  void build_pad_index();
 
   /// Footprint rect of a placed cell.
   [[nodiscard]] util::Rect cell_rect(netlist::CellId id) const;
@@ -40,6 +54,9 @@ struct PlacedDesign {
 
   /// All connection points of a net: driver, sinks, and port pads.
   [[nodiscard]] std::vector<util::Point> net_pins(netlist::NetId id) const;
+
+  /// Bounding box of a net's pins without materializing the pin list.
+  [[nodiscard]] util::BoundingBox net_bbox(netlist::NetId id) const;
 
   /// Half-perimeter wirelength over all nets, DBU.
   [[nodiscard]] std::int64_t total_hpwl() const;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "eurochip/util/thread_pool.hpp"
+
 namespace eurochip::place {
 
 namespace {
@@ -57,15 +59,6 @@ Connectivity build_connectivity(const PlacedDesign& d) {
   conn.cell_neighbors.resize(nl.num_cells());
   conn.fixed_neighbors.resize(nl.num_cells());
 
-  // Port pad lookup by net.
-  std::vector<std::vector<Point>> net_pads(nl.num_nets());
-  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
-    net_pads[nl.inputs()[i].net.value].push_back(d.input_pad[i]);
-  }
-  for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
-    net_pads[nl.outputs()[i].net.value].push_back(d.output_pad[i]);
-  }
-
   for (NetId net_id : nl.all_nets()) {
     const Net& net = nl.net(net_id);
     std::vector<std::uint32_t> members;
@@ -84,7 +77,7 @@ Connectivity build_connectivity(const PlacedDesign& d) {
         if (members.size() > kCliqueLimit && i != 0 && j != 0) continue;
         conn.cell_neighbors[members[i]].push_back(members[j]);
       }
-      for (const Point& p : net_pads[net_id.value]) {
+      for (const Point& p : d.net_pad_points[net_id.value]) {
         conn.fixed_neighbors[members[i]].push_back(p);
       }
     }
@@ -92,8 +85,11 @@ Connectivity build_connectivity(const PlacedDesign& d) {
   return conn;
 }
 
-/// Gauss-Seidel sweeps of the quadratic wirelength objective with periodic
-/// density spreading.
+/// Jacobi sweeps of the quadratic wirelength objective with periodic
+/// density spreading. Each sweep computes every cell's new position from
+/// the previous iteration's positions (double buffer), so cells are
+/// independent and the sweep parallelizes over the pool with bit-identical
+/// results at any thread count.
 void global_place(PlacedDesign& d, const PlacementOptions& opt,
                   util::Rng& rng, PlaceStats* stats) {
   const Netlist& nl = *d.netlist;
@@ -110,38 +106,63 @@ void global_place(PlacedDesign& d, const PlacementOptions& opt,
   const int spread_every =
       std::max(1, opt.global_iterations / std::max(1, opt.spreading_rounds));
 
+  // Pad anchor sums and connection weights never change across sweeps:
+  // fold them into per-cell constants once instead of re-summing per sweep.
+  std::vector<double> fixed_sx(n, 0.0);
+  std::vector<double> fixed_sy(n, 0.0);
+  std::vector<double> weight(n, 0.0);
+  double total_w = 0.0;  // deterministic runtime proxy per sweep
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const Point& p : conn.fixed_neighbors[i]) {
+      fixed_sx[i] += static_cast<double>(p.x);
+      fixed_sy[i] += static_cast<double>(p.y);
+    }
+    weight[i] = static_cast<double>(conn.cell_neighbors[i].size() +
+                                    conn.fixed_neighbors[i].size());
+    total_w += weight[i];
+  }
+
+  std::vector<double> nx(n);
+  std::vector<double> ny(n);
+  std::vector<std::uint32_t> bin_of(n);
+  constexpr std::size_t kSweepGrain = 128;
+
   for (int iter = 0; iter < opt.global_iterations; ++iter) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto& nbrs = conn.cell_neighbors[i];
-      const auto& fixed = conn.fixed_neighbors[i];
-      if (nbrs.empty() && fixed.empty()) continue;
-      double sx = 0.0;
-      double sy = 0.0;
-      double w = 0.0;
-      for (std::uint32_t nb : nbrs) {
+    util::parallel_for(opt.threads, n, kSweepGrain, [&](std::size_t i) {
+      if (weight[i] == 0.0) {
+        nx[i] = x[i];
+        ny[i] = y[i];
+        return;
+      }
+      double sx = fixed_sx[i];
+      double sy = fixed_sy[i];
+      for (std::uint32_t nb : conn.cell_neighbors[i]) {
         sx += x[nb];
         sy += y[nb];
-        w += 1.0;
       }
-      for (const Point& p : fixed) {
-        sx += static_cast<double>(p.x);
-        sy += static_cast<double>(p.y);
-        w += 1.0;
-      }
-      x[i] = sx / w;
-      y[i] = sy / w;
-      if (stats != nullptr) stats->runtime_proxy_ops += w;
-    }
-    // Periodic density spreading on a coarse bin grid.
+      nx[i] = sx / weight[i];
+      ny[i] = sy / weight[i];
+    });
+    x.swap(nx);
+    y.swap(ny);
+    if (stats != nullptr) stats->runtime_proxy_ops += total_w;
+
+    // Periodic density spreading on a coarse bin grid. Bin membership is
+    // computed in parallel; binning and the RNG-driven diffusion stay in
+    // cell order on the calling thread so the random stream (and thus the
+    // result) is independent of the thread count.
     if ((iter + 1) % spread_every == 0) {
       constexpr int kBins = 8;
       const double bw = static_cast<double>(core.width()) / kBins;
       const double bh = static_cast<double>(core.height()) / kBins;
+      util::parallel_for(opt.threads, n, kSweepGrain, [&](std::size_t i) {
+        const int bx = std::clamp(static_cast<int>((x[i] - static_cast<double>(core.lx)) / bw), 0, kBins - 1);
+        const int by = std::clamp(static_cast<int>((y[i] - static_cast<double>(core.ly)) / bh), 0, kBins - 1);
+        bin_of[i] = static_cast<std::uint32_t>(by * kBins + bx);
+      });
       std::vector<std::vector<std::uint32_t>> bins(kBins * kBins);
       for (std::size_t i = 0; i < n; ++i) {
-        int bx = std::clamp(static_cast<int>((x[i] - static_cast<double>(core.lx)) / bw), 0, kBins - 1);
-        int by = std::clamp(static_cast<int>((y[i] - static_cast<double>(core.ly)) / bh), 0, kBins - 1);
-        bins[static_cast<std::size_t>(by * kBins + bx)].push_back(static_cast<std::uint32_t>(i));
+        bins[bin_of[i]].push_back(static_cast<std::uint32_t>(i));
       }
       const double cap = static_cast<double>(n) / (kBins * kBins) * 2.0 + 1.0;
       for (auto& bin : bins) {
@@ -163,12 +184,39 @@ void global_place(PlacedDesign& d, const PlacementOptions& opt,
   }
 }
 
+/// Index of the row nearest to `y`, exploiting the uniform row grid.
+std::size_t nearest_row(const std::vector<Row>& rows, std::int64_t row_h,
+                        std::int64_t y) {
+  if (rows.empty()) return 0;
+  const std::int64_t base = rows.front().y();
+  const std::int64_t r = (y - base + row_h / 2) / row_h;
+  return static_cast<std::size_t>(
+      std::clamp<std::int64_t>(r, 0, static_cast<std::int64_t>(rows.size()) - 1));
+}
+
+/// Index of the row whose y() equals `y` exactly, or rows.size() if the
+/// coordinate is off-grid. O(1) via the uniform row pitch.
+std::size_t row_at_y(const std::vector<Row>& rows, std::int64_t row_h,
+                     std::int64_t y) {
+  if (rows.empty()) return 0;
+  const std::int64_t base = rows.front().y();
+  if (y < base || (y - base) % row_h != 0) return rows.size();
+  const std::int64_t r = (y - base) / row_h;
+  if (r >= static_cast<std::int64_t>(rows.size())) return rows.size();
+  return static_cast<std::size_t>(r);
+}
+
 /// Tetris legalization: cells sorted by x are packed greedily into the
-/// nearest row with space, site-aligned.
+/// nearest row with space, site-aligned. The best-row search expands
+/// outward from the row nearest the cell's wanted y and prunes once the
+/// row-distance term alone exceeds the best cost seen — equivalent to the
+/// full O(rows) scan (ties break toward the lower row index) at a
+/// fraction of the lookups.
 util::Status legalize(PlacedDesign& d) {
   const Netlist& nl = *d.netlist;
   const auto& rows = d.floorplan.rows();
   const std::int64_t site = d.floorplan.site_width();
+  const std::int64_t row_h = d.floorplan.row_height();
   std::vector<std::int64_t> row_cursor(rows.size());
   for (std::size_t r = 0; r < rows.size(); ++r) {
     row_cursor[r] = rows[r].bounds.lx;
@@ -193,17 +241,31 @@ util::Status legalize(PlacedDesign& d) {
     std::size_t best_row = rows.size();
     std::int64_t best_cost = std::numeric_limits<std::int64_t>::max();
     std::int64_t best_x = 0;
-    for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto consider = [&](std::size_t r) -> bool {
+      const std::int64_t dy = std::abs(rows[r].y() - want_y);
+      if (dy > best_cost) return false;  // no farther row can win
       const std::int64_t cx =
           ((row_cursor[r] - rows[r].bounds.lx + site - 1) / site) * site +
           rows[r].bounds.lx;
-      if (cx + width > rows[r].bounds.ux) continue;
-      const std::int64_t cost =
-          std::abs(rows[r].y() - want_y) + std::abs(cx - want_x);
-      if (cost < best_cost) {
+      if (cx + width > rows[r].bounds.ux) return true;  // full; keep looking
+      const std::int64_t cost = dy + std::abs(cx - want_x);
+      if (cost < best_cost || (cost == best_cost && r < best_row)) {
         best_cost = cost;
         best_row = r;
         best_x = cx;
+      }
+      return true;
+    };
+    const std::size_t r0 = nearest_row(rows, row_h, want_y);
+    bool up = true;
+    bool down = true;
+    for (std::size_t dist = 0; up || down; ++dist) {
+      if (up) {
+        const std::size_t r = r0 + dist;
+        up = r < rows.size() && consider(r);
+      }
+      if (down && dist > 0) {
+        down = r0 >= dist && consider(r0 - dist);
       }
     }
     if (best_row == rows.size()) {
@@ -219,34 +281,30 @@ util::Status legalize(PlacedDesign& d) {
 /// In-row greedy swaps of equal-width cells when HPWL improves.
 void detailed_place(PlacedDesign& d, int passes, PlaceStats* stats) {
   const Netlist& nl = *d.netlist;
-  // Net bbox is recomputed per candidate via net_pins; acceptable for the
-  // design sizes EuroChip targets.
+  // Net bbox is recomputed per candidate via net_bbox, which uses the
+  // net -> pad index instead of rescanning all primary ports.
   const auto hpwl_of_cell_nets = [&](std::uint32_t c) {
     std::int64_t total = 0;
     const auto& cell = nl.cell(CellId{c});
-    std::vector<NetId> nets = cell.fanin;
-    nets.push_back(cell.output);
-    for (NetId net : nets) {
-      util::BoundingBox bb;
-      for (const Point& p : d.net_pins(net)) bb.add(p);
+    const auto add_net = [&](NetId net) {
+      const util::BoundingBox bb = d.net_bbox(net);
       if (bb.valid()) {
         total += bb.rect().width() + bb.rect().height();
       }
-    }
+    };
+    for (NetId net : cell.fanin) add_net(net);
+    add_net(cell.output);
     return total;
   };
 
-  // Group cells by row.
+  // Group cells by row (O(1) row lookup on the uniform row grid).
   std::vector<std::vector<std::uint32_t>> by_row;
   const auto& rows = d.floorplan.rows();
+  const std::int64_t row_h = d.floorplan.row_height();
   by_row.resize(rows.size());
   for (std::uint32_t c = 0; c < nl.num_cells(); ++c) {
-    for (std::size_t r = 0; r < rows.size(); ++r) {
-      if (d.cell_origin[c].y == rows[r].y()) {
-        by_row[r].push_back(c);
-        break;
-      }
-    }
+    const std::size_t r = row_at_y(rows, row_h, d.cell_origin[c].y);
+    if (r < rows.size()) by_row[r].push_back(c);
   }
   for (auto& row : by_row) {
     std::sort(row.begin(), row.end(), [&d](std::uint32_t a, std::uint32_t b) {
@@ -290,6 +348,16 @@ Rect PlacedDesign::cell_rect(CellId id) const {
 
 Point PlacedDesign::cell_pin(CellId id) const { return cell_rect(id).center(); }
 
+void PlacedDesign::build_pad_index() {
+  net_pad_points.assign(netlist->num_nets(), {});
+  for (std::size_t i = 0; i < netlist->inputs().size(); ++i) {
+    net_pad_points[netlist->inputs()[i].net.value].push_back(input_pad[i]);
+  }
+  for (std::size_t i = 0; i < netlist->outputs().size(); ++i) {
+    net_pad_points[netlist->outputs()[i].net.value].push_back(output_pad[i]);
+  }
+}
+
 std::vector<Point> PlacedDesign::net_pins(NetId id) const {
   std::vector<Point> pins;
   const Net& net = netlist->net(id);
@@ -297,20 +365,44 @@ std::vector<Point> PlacedDesign::net_pins(NetId id) const {
     pins.push_back(cell_pin(net.driver_cell));
   }
   for (const auto& sink : net.sinks) pins.push_back(cell_pin(sink.cell));
-  for (std::size_t i = 0; i < netlist->inputs().size(); ++i) {
-    if (netlist->inputs()[i].net == id) pins.push_back(input_pad[i]);
-  }
-  for (std::size_t i = 0; i < netlist->outputs().size(); ++i) {
-    if (netlist->outputs()[i].net == id) pins.push_back(output_pad[i]);
+  if (net_pad_points.size() == netlist->num_nets()) {
+    for (const Point& p : net_pad_points[id.value]) pins.push_back(p);
+  } else {
+    // Hand-built design without a pad index: fall back to the port scan.
+    for (std::size_t i = 0; i < netlist->inputs().size(); ++i) {
+      if (netlist->inputs()[i].net == id) pins.push_back(input_pad[i]);
+    }
+    for (std::size_t i = 0; i < netlist->outputs().size(); ++i) {
+      if (netlist->outputs()[i].net == id) pins.push_back(output_pad[i]);
+    }
   }
   return pins;
+}
+
+util::BoundingBox PlacedDesign::net_bbox(NetId id) const {
+  util::BoundingBox bb;
+  const Net& net = netlist->net(id);
+  if (net.driver_kind == DriverKind::kCell) {
+    bb.add(cell_pin(net.driver_cell));
+  }
+  for (const auto& sink : net.sinks) bb.add(cell_pin(sink.cell));
+  if (net_pad_points.size() == netlist->num_nets()) {
+    for (const Point& p : net_pad_points[id.value]) bb.add(p);
+  } else {
+    for (std::size_t i = 0; i < netlist->inputs().size(); ++i) {
+      if (netlist->inputs()[i].net == id) bb.add(input_pad[i]);
+    }
+    for (std::size_t i = 0; i < netlist->outputs().size(); ++i) {
+      if (netlist->outputs()[i].net == id) bb.add(output_pad[i]);
+    }
+  }
+  return bb;
 }
 
 std::int64_t PlacedDesign::total_hpwl() const {
   std::int64_t total = 0;
   for (NetId net : netlist->all_nets()) {
-    util::BoundingBox bb;
-    for (const Point& p : net_pins(net)) bb.add(p);
+    const util::BoundingBox bb = net_bbox(net);
     if (bb.valid()) total += bb.rect().width() + bb.rect().height();
   }
   return total;
@@ -338,16 +430,13 @@ std::size_t PlacedDesign::overlap_count() const {
 
 bool PlacedDesign::is_legal() const {
   const auto& rows = floorplan.rows();
+  const std::int64_t row_h = floorplan.row_height();
   for (netlist::CellId id : netlist->all_cells()) {
     const Rect r = cell_rect(id);
-    bool on_row = false;
-    for (const Row& row : rows) {
-      if (r.ly == row.y() && r.lx >= row.bounds.lx && r.ux <= row.bounds.ux) {
-        on_row = true;
-        break;
-      }
-    }
-    if (!on_row) return false;
+    const std::size_t ri = row_at_y(rows, row_h, r.ly);
+    if (ri >= rows.size()) return false;
+    const Row& row = rows[ri];
+    if (r.lx < row.bounds.lx || r.ux > row.bounds.ux) return false;
     if ((r.lx - floorplan.core().lx) % floorplan.site_width() != 0) {
       return false;
     }
@@ -368,6 +457,7 @@ util::Result<PlacedDesign> place(const Netlist& nl,
   d.floorplan = *fp;
   d.cell_origin.assign(nl.num_cells(), util::Point{});
   assign_pads(d);
+  d.build_pad_index();
 
   util::Rng rng(options.seed);
   if (options.random_only) {

@@ -3,8 +3,19 @@
 #include <algorithm>
 
 #include "eurochip/netlist/simulator.hpp"
+#include "eurochip/util/thread_pool.hpp"
 
 namespace eurochip::power {
+
+namespace {
+
+/// The activity simulation always splits into this many independently
+/// seeded Monte-Carlo windows, regardless of thread count: windows (not
+/// threads) are the unit of work, so the toggle counts — summed in window
+/// order — are identical whether the windows run serially or in parallel.
+constexpr int kActivityWindows = 8;
+
+}  // namespace
 
 util::Result<PowerReport> estimate(const netlist::Netlist& nl,
                                    const pdk::TechnologyNode& node,
@@ -15,16 +26,43 @@ util::Result<PowerReport> estimate(const netlist::Netlist& nl,
   // Per-net toggle rate (transitions per cycle).
   std::vector<double> activity(nl.num_nets(), opt.default_activity);
   if (opt.simulate_activity && opt.activity_cycles > 0) {
-    auto sim = netlist::Simulator::create(nl);
-    if (!sim.ok()) return sim.status();
-    util::Rng rng(opt.seed);
-    sim->reset();
-    for (int c = 0; c < opt.activity_cycles; ++c) {
-      std::vector<bool> in(sim->num_inputs());
-      for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.chance(0.5);
-      (void)sim->step(in);
+    // Validate the netlist once up front so window failures can't differ.
+    if (auto probe = netlist::Simulator::create(nl); !probe.ok()) {
+      return probe.status();
     }
-    const auto& toggles = sim->toggle_counts();
+    // Window seeds come from one serial draw on the base generator.
+    util::Rng base(opt.seed);
+    struct Window {
+      std::uint64_t seed = 0;
+      int cycles = 0;
+      std::vector<std::uint64_t> toggles;
+    };
+    std::vector<Window> windows(kActivityWindows);
+    for (int w = 0; w < kActivityWindows; ++w) {
+      windows[w].seed = base.next();
+      windows[w].cycles = opt.activity_cycles / kActivityWindows +
+                          (w < opt.activity_cycles % kActivityWindows ? 1 : 0);
+    }
+    util::parallel_for(
+        opt.threads, windows.size(), /*grain=*/1, [&](std::size_t w) {
+          Window& win = windows[w];
+          if (win.cycles == 0) return;
+          auto sim = netlist::Simulator::create(nl);
+          util::Rng rng(win.seed);
+          sim->reset();
+          std::vector<bool> in(sim->num_inputs());
+          for (int c = 0; c < win.cycles; ++c) {
+            for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.chance(0.5);
+            (void)sim->step(in);
+          }
+          win.toggles = sim->toggle_counts();
+        });
+    std::vector<std::uint64_t> toggles(nl.num_nets(), 0);
+    for (const Window& win : windows) {
+      for (std::size_t i = 0; i < win.toggles.size(); ++i) {
+        toggles[i] += win.toggles[i];
+      }
+    }
     for (std::size_t i = 0; i < toggles.size(); ++i) {
       activity[i] = static_cast<double>(toggles[i]) /
                     static_cast<double>(opt.activity_cycles);

@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
+
+#include "eurochip/util/thread_pool.hpp"
 
 namespace eurochip::route {
 
@@ -121,40 +122,79 @@ struct Segment {
   std::vector<GPoint> path;  ///< sequence of gcells
 };
 
-/// A* shortest path on the grid. Returns the gcell path (src..dst).
-std::vector<GPoint> astar(const Grid& grid, GPoint src, GPoint dst,
-                          bool congestion_aware) {
-  const int w = grid.width();
-  const int h = grid.height();
-  const auto idx = [w](GPoint p) { return static_cast<std::size_t>(p.y * w + p.x); };
-  std::vector<double> dist(static_cast<std::size_t>(w * h),
-                           std::numeric_limits<double>::infinity());
-  std::vector<std::int32_t> parent(static_cast<std::size_t>(w * h), -1);
-
+/// Reusable per-search state for astar(). Instead of reallocating (and
+/// zero-filling) O(grid) arrays per search, entries carry a generation
+/// stamp: a slot is valid only if its stamp matches the current
+/// generation, so "resetting" between searches is one counter increment.
+/// One scratch per parallel slot lets concurrent searches share nothing.
+struct AstarScratch {
+  std::vector<double> dist;
+  std::vector<std::int32_t> parent;
+  std::vector<std::uint32_t> stamp;
+  std::uint32_t generation = 0;
   struct QEntry {
     double f;
     double g;
     GPoint p;
-    bool operator>(const QEntry& o) const { return f > o.f; }
   };
-  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> open;
+  std::vector<QEntry> open;  ///< binary-heap storage, reused across searches
+
+  void prepare(std::size_t cells) {
+    if (dist.size() != cells) {
+      dist.assign(cells, 0.0);
+      parent.assign(cells, -1);
+      stamp.assign(cells, 0);
+      generation = 0;
+    }
+    if (++generation == 0) {  // wrapped: invalidate everything the slow way
+      std::fill(stamp.begin(), stamp.end(), 0);
+      generation = 1;
+    }
+    open.clear();
+  }
+};
+
+/// A* shortest path on the grid. Returns the gcell path (src..dst).
+/// Reads only the grid (const); all mutable state lives in `scratch`, so
+/// concurrent searches against the same grid snapshot are race-free.
+std::vector<GPoint> astar(const Grid& grid, GPoint src, GPoint dst,
+                          bool congestion_aware, AstarScratch& scratch) {
+  const int w = grid.width();
+  const int h = grid.height();
+  const auto idx = [w](GPoint p) { return static_cast<std::size_t>(p.y * w + p.x); };
+  scratch.prepare(static_cast<std::size_t>(w * h));
+  const std::uint32_t gen = scratch.generation;
+  const auto dist_at = [&scratch, gen](std::size_t i) {
+    return scratch.stamp[i] == gen ? scratch.dist[i]
+                                   : std::numeric_limits<double>::infinity();
+  };
+
+  using QEntry = AstarScratch::QEntry;
+  const auto q_greater = [](const QEntry& a, const QEntry& b) { return a.f > b.f; };
+  auto& open = scratch.open;
   const auto heuristic = [&dst](GPoint p) {
     return static_cast<double>(std::abs(p.x - dst.x) + std::abs(p.y - dst.y));
   };
-  dist[idx(src)] = 0.0;
-  open.push({heuristic(src), 0.0, src});
+  scratch.stamp[idx(src)] = gen;
+  scratch.dist[idx(src)] = 0.0;
+  scratch.parent[idx(src)] = -1;
+  open.push_back({heuristic(src), 0.0, src});
 
   while (!open.empty()) {
-    const QEntry cur = open.top();
-    open.pop();
-    if (cur.g > dist[idx(cur.p)]) continue;
+    const QEntry cur = open.front();
+    std::pop_heap(open.begin(), open.end(), q_greater);
+    open.pop_back();
+    if (cur.g > dist_at(idx(cur.p))) continue;
     if (cur.p == dst) break;
     const auto relax = [&](GPoint next, bool horizontal, int ex, int ey) {
       const double g = cur.g + grid.edge_cost(horizontal, ex, ey, congestion_aware);
-      if (g < dist[idx(next)]) {
-        dist[idx(next)] = g;
-        parent[idx(next)] = static_cast<std::int32_t>(idx(cur.p));
-        open.push({g + heuristic(next), g, next});
+      const std::size_t ni = idx(next);
+      if (g < dist_at(ni)) {
+        scratch.stamp[ni] = gen;
+        scratch.dist[ni] = g;
+        scratch.parent[ni] = static_cast<std::int32_t>(idx(cur.p));
+        open.push_back({g + heuristic(next), g, next});
+        std::push_heap(open.begin(), open.end(), q_greater);
       }
     };
     if (cur.p.x + 1 < w) relax({cur.p.x + 1, cur.p.y}, true, cur.p.x, cur.p.y);
@@ -164,11 +204,11 @@ std::vector<GPoint> astar(const Grid& grid, GPoint src, GPoint dst,
   }
 
   std::vector<GPoint> path;
-  if (!std::isfinite(dist[idx(dst)])) return path;  // unreachable (shouldn't happen)
+  if (!std::isfinite(dist_at(idx(dst)))) return path;  // unreachable (shouldn't happen)
   std::int32_t at = static_cast<std::int32_t>(idx(dst));
   while (at >= 0) {
     path.push_back({at % w, at / w});
-    at = parent[static_cast<std::size_t>(at)];
+    at = scratch.parent[static_cast<std::size_t>(at)];
   }
   std::reverse(path.begin(), path.end());
   return path;
@@ -290,46 +330,83 @@ util::Result<RoutedDesign> route(const PlacedDesign& placed,
     return a.est_length < b.est_length;
   });
 
-  // Initial routing.
-  for (auto& ns : work) {
-    for (std::size_t s = 0; s < ns.pins.size(); ++s) {
-      Segment seg;
-      seg.path = astar(grid, ns.pins[s].first, ns.pins[s].second,
-                       options.congestion_aware);
-      apply_usage(grid, seg, +1);
-      ns.segments[s] = std::move(seg);
-      if (stats != nullptr) ++stats->segments_routed;
+  // Flatten segments into one deterministic work order.
+  struct SegRef {
+    std::uint32_t w;
+    std::uint32_t s;
+  };
+  std::vector<SegRef> refs;
+  for (std::size_t wi = 0; wi < work.size(); ++wi) {
+    for (std::size_t s = 0; s < work[wi].pins.size(); ++s) {
+      refs.push_back({static_cast<std::uint32_t>(wi), static_cast<std::uint32_t>(s)});
     }
   }
 
-  // Rip-up and reroute while overflow persists.
+  // Segments route in fixed batches of kBatch: every search in a batch
+  // reads the same frozen congestion snapshot (the grid is const during
+  // the parallel region), then usage commits serially in segment order.
+  // The batch size is independent of the thread count, so the routed
+  // result is bit-identical whether the batch runs on 1 thread or 8.
+  std::vector<AstarScratch> scratch(
+      static_cast<std::size_t>(util::max_slots(options.threads)));
+  constexpr std::size_t kBatch = 64;
+  const auto route_batch = [&](const std::vector<SegRef>& list,
+                               std::size_t base, std::size_t end) {
+    util::parallel_for_slots(
+        options.threads, end - base, /*grain=*/1, [&](int slot, std::size_t k) {
+          const SegRef r = list[base + k];
+          Segment seg;
+          seg.path = astar(grid, work[r.w].pins[r.s].first,
+                           work[r.w].pins[r.s].second, options.congestion_aware,
+                           scratch[static_cast<std::size_t>(slot)]);
+          work[r.w].segments[r.s] = std::move(seg);
+        });
+    for (std::size_t k = base; k < end; ++k) {
+      const SegRef r = list[k];
+      apply_usage(grid, work[r.w].segments[r.s], +1);
+    }
+  };
+
+  // Initial routing.
+  for (std::size_t base = 0; base < refs.size(); base += kBatch) {
+    route_batch(refs, base, std::min(refs.size(), base + kBatch));
+  }
+  if (stats != nullptr) stats->segments_routed += refs.size();
+
+  // Rip-up and reroute while overflow persists: scan for segments crossing
+  // overflowed edges (read-only, parallel), rip them all up in order, then
+  // reroute them batch-by-batch against the updated congestion state.
   int iterations = 0;
+  std::vector<std::uint8_t> congested(refs.size());
   for (; iterations < options.max_ripup_iterations; ++iterations) {
     if (grid.overflow_count() == 0) break;
     grid.bump_history(options.history_weight);
-    for (auto& ns : work) {
-      for (std::size_t s = 0; s < ns.pins.size(); ++s) {
-        // Only rip up segments crossing overflowed edges.
-        bool congested = false;
-        const Segment& seg = ns.segments[s];
-        for (std::size_t i = 0; i + 1 < seg.path.size() && !congested; ++i) {
-          const GPoint a = seg.path[i];
-          const GPoint b = seg.path[i + 1];
-          const bool horiz = a.y == b.y;
-          const int ex = horiz ? std::min(a.x, b.x) : a.x;
-          const int ey = horiz ? a.y : std::min(a.y, b.y);
-          congested = grid.usage(horiz, ex, ey) > grid.capacity();
-        }
-        if (!congested) continue;
-        apply_usage(grid, ns.segments[s], -1);
-        Segment redo;
-        redo.path = astar(grid, ns.pins[s].first, ns.pins[s].second,
-                          options.congestion_aware);
-        apply_usage(grid, redo, +1);
-        ns.segments[s] = std::move(redo);
-        if (stats != nullptr) ++stats->reroutes;
-      }
+    util::parallel_for(options.threads, refs.size(), /*grain=*/64,
+                       [&](std::size_t k) {
+                         const Segment& seg = work[refs[k].w].segments[refs[k].s];
+                         bool hit = false;
+                         for (std::size_t i = 0; i + 1 < seg.path.size() && !hit; ++i) {
+                           const GPoint a = seg.path[i];
+                           const GPoint b = seg.path[i + 1];
+                           const bool horiz = a.y == b.y;
+                           const int ex = horiz ? std::min(a.x, b.x) : a.x;
+                           const int ey = horiz ? a.y : std::min(a.y, b.y);
+                           hit = grid.usage(horiz, ex, ey) > grid.capacity();
+                         }
+                         congested[k] = hit ? 1 : 0;
+                       });
+    std::vector<SegRef> redo;
+    for (std::size_t k = 0; k < refs.size(); ++k) {
+      if (congested[k] != 0) redo.push_back(refs[k]);
     }
+    if (redo.empty()) break;
+    for (const SegRef& r : redo) {
+      apply_usage(grid, work[r.w].segments[r.s], -1);
+    }
+    for (std::size_t base = 0; base < redo.size(); base += kBatch) {
+      route_batch(redo, base, std::min(redo.size(), base + kBatch));
+    }
+    if (stats != nullptr) stats->reroutes += redo.size();
   }
   out.iterations_used = iterations;
   out.overflowed_edges = grid.overflow_count();

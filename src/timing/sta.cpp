@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "eurochip/util/thread_pool.hpp"
+
 namespace eurochip::timing {
 
 namespace {
@@ -29,29 +31,37 @@ struct WireRc {
   double cap_ff = 0.0;
 };
 
-WireRc wire_rc(const Netlist& nl, NetId id, const pdk::TechnologyNode& node,
+/// Per-um wire parasitics, averaged over the metal stack once per analysis
+/// instead of per net. The router spreads tracks across the whole stack
+/// (see router.cpp dir_layers), so per-um parasitics are the arithmetic
+/// mean of all layers, not the bottom layer alone — upper layers are
+/// progressively less resistive, so front()-only systematically
+/// overestimated wire delay.
+struct RcModel {
+  double res_ohm_per_um = 0.0;
+  double cap_ff_per_um = 0.0;
+
+  static RcModel from_node(const pdk::TechnologyNode& node) {
+    RcModel m;
+    if (node.layers.empty()) return m;
+    for (const auto& layer : node.layers) {
+      m.res_ohm_per_um += layer.res_ohm_per_um;
+      m.cap_ff_per_um += layer.cap_ff_per_um;
+    }
+    m.res_ohm_per_um /= static_cast<double>(node.layers.size());
+    m.cap_ff_per_um /= static_cast<double>(node.layers.size());
+    return m;
+  }
+};
+
+WireRc wire_rc(const Netlist& nl, NetId id, const RcModel& model,
                const StaOptions& opt, const route::RoutedDesign* routing) {
   WireRc rc;
   if (routing != nullptr && id.value < routing->nets.size() &&
       routing->nets[id.value].routed) {
     const double len_um = routing->net_length_um(id);
-    // Average over the metal layers that carry signal routing: the router
-    // spreads tracks across the whole stack (see router.cpp dir_layers),
-    // so per-um parasitics are the arithmetic mean of all layers, not the
-    // bottom layer alone — upper layers are progressively less resistive,
-    // so front()-only systematically overestimated wire delay.
-    double res_ohm_per_um = 0.0;
-    double cap_ff_per_um = 0.0;
-    if (!node.layers.empty()) {
-      for (const auto& layer : node.layers) {
-        res_ohm_per_um += layer.res_ohm_per_um;
-        cap_ff_per_um += layer.cap_ff_per_um;
-      }
-      res_ohm_per_um /= static_cast<double>(node.layers.size());
-      cap_ff_per_um /= static_cast<double>(node.layers.size());
-    }
-    rc.res_kohm = res_ohm_per_um * len_um * 1e-3;
-    rc.cap_ff = cap_ff_per_um * len_um;
+    rc.res_kohm = model.res_ohm_per_um * len_um * 1e-3;
+    rc.cap_ff = model.cap_ff_per_um * len_um;
   } else {
     rc.cap_ff = opt.wireload_cap_per_fanout_ff *
                 static_cast<double>(nl.net(id).sinks.size());
@@ -101,12 +111,14 @@ util::Result<TimingReport> analyze(const Netlist& nl,
       nt[id.value].driven = true;
     }
   }
+  const RcModel rc_model = RcModel::from_node(node);
+
   // DFF outputs launch at clk-to-q.
   double setup_ps = 0.0;
   for (CellId ff : nl.sequential_cells()) {
     const auto& lc = nl.lib_cell(ff);
     const NetId q = nl.cell(ff).output;
-    const WireRc rc = wire_rc(nl, q, node, opt, routing);
+    const WireRc rc = wire_rc(nl, q, rc_model, opt, routing);
     const double load = net_load_ff(nl, q, opt, rc.cap_ff);
     const double clk_q = lc.delay_ps.lookup(opt.input_slew_ps, load);
     const double wire_delay = rc.res_kohm * (rc.cap_ff / 2.0 + load - rc.cap_ff);
@@ -119,11 +131,28 @@ util::Result<TimingReport> analyze(const Netlist& nl,
     setup_ps = std::max(setup_ps, 0.25 * lc.delay_ps.lookup(20.0, 10.0));
   }
 
-  // Propagate through combinational cells.
+  // Propagate through combinational cells, levelized: a cell's level is
+  // 1 + the max level of its fanin nets (sources sit at level 0), so cells
+  // on the same level never feed each other. Each level propagates in
+  // parallel — every cell writes only its own output net's timing — and
+  // the per-cell arithmetic is unchanged from the serial order, so
+  // arrivals are bit-identical at any thread count.
+  std::vector<std::uint32_t> net_level(nl.num_nets(), 0);
+  std::vector<std::vector<CellId>> by_level;
   for (CellId id : order.value()) {
     const auto& cell = nl.cell(id);
+    if (nl.lib_cell(id).is_sequential()) continue;
+    std::uint32_t lvl = 0;
+    for (NetId f : cell.fanin) {
+      lvl = std::max(lvl, net_level[f.value] + 1);
+    }
+    net_level[cell.output.value] = lvl;
+    if (by_level.size() <= lvl) by_level.resize(lvl + 1);
+    by_level[lvl].push_back(id);
+  }
+  const auto propagate_cell = [&](CellId id) {
+    const auto& cell = nl.cell(id);
     const auto& lc = nl.lib_cell(id);
-    if (lc.is_sequential()) continue;
     double in_arrival = 0.0;
     double in_arrival_min = std::numeric_limits<double>::infinity();
     bool min_from_register = false;
@@ -142,7 +171,7 @@ util::Result<TimingReport> analyze(const Netlist& nl,
     }
     if (cell.fanin.empty()) in_arrival_min = 0.0;
     const NetId out = cell.output;
-    const WireRc rc = wire_rc(nl, out, node, opt, routing);
+    const WireRc rc = wire_rc(nl, out, rc_model, opt, routing);
     const double load = net_load_ff(nl, out, opt, rc.cap_ff);
     const double gate_delay =
         lc.delay_ps.empty() ? 0.0 : lc.delay_ps.lookup(in_slew, load);
@@ -156,6 +185,10 @@ util::Result<TimingReport> analyze(const Netlist& nl,
     nt[out.value].pred = pred;
     nt[out.value].via_cell = id;
     nt[out.value].driven = true;
+  };
+  for (const auto& level_cells : by_level) {
+    util::parallel_for(opt.threads, level_cells.size(), /*grain=*/16,
+                       [&](std::size_t i) { propagate_cell(level_cells[i]); });
   }
 
   // Endpoints.

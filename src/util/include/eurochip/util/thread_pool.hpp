@@ -1,0 +1,138 @@
+// Shared work-stealing thread pool for in-flow parallel kernels.
+//
+// One process-wide pool (ThreadPool::shared(), sized by
+// EUROCHIP_THREADS or std::thread::hardware_concurrency) serves every
+// parallel kernel in the stack: the placer's Jacobi sweeps, the router's
+// segment batches, levelized STA propagation, windowed power simulation,
+// and the mapper's objective trials. Kernels never spawn threads of their
+// own — they describe loops, and the pool lends idle workers.
+//
+// Scheduling model (the "token scheme")
+// -------------------------------------
+// parallel_for publishes a loop as a job; the CALLING thread always
+// participates and is the only thread the loop depends on, while idle pool
+// workers join as helpers. Helper participation is bounded by tokens:
+// a job holds at most `width - 1` helper tokens (width = requested
+// parallelism, default pool size), and the pool only ever has size() - 1
+// helpers in total. Because helpers are a shared, fixed-size resource,
+// any number of concurrent or nested parallel regions — e.g. every
+// hub::JobServer worker running a parallel flow at once — degrade to
+// caller-only execution instead of oversubscribing the machine: total
+// running threads never exceed (pool size - 1) + #external callers.
+// Nesting is safe for the same reason: a pool worker that calls
+// parallel_for simply becomes the caller of the inner loop and executes
+// it inline if no helper is free. Work distribution steals chunks of
+// `grain` indices from a shared atomic cursor, so load balances across
+// whoever shows up.
+//
+// Determinism contract
+// --------------------
+// The pool guarantees nothing about WHICH thread runs an index, so
+// deterministic kernels must make index execution order irrelevant:
+// every index writes only its own outputs, and reductions accumulate
+// per-fixed-chunk partials that are combined in index order afterwards.
+// All parallel kernels in EuroChip follow this rule, which is what makes
+// flow artifacts (and therefore FlowCache content keys and
+// checkpoint-resume) bit-identical at any thread count — see DESIGN.md
+// "Parallel execution model".
+//
+// Exceptions thrown by a body are captured (first one wins), the loop
+// finishes draining, and the exception is rethrown on the calling thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eurochip::util {
+
+class ThreadPool {
+ public:
+  /// A pool with `threads` total parallelism (caller + threads-1 helpers).
+  /// threads < 1 is clamped to 1 (helper-less: loops run inline).
+  explicit ThreadPool(int threads);
+
+  /// Joins all helpers. Callers must not be inside parallel_for.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (>= 1), including the calling thread.
+  [[nodiscard]] int size() const { return size_; }
+
+  /// Runs body(i) for every i in [0, n), blocking until all complete.
+  /// The caller participates; up to width-1 idle helpers join (width <= 0
+  /// means pool size). Chunks of `grain` consecutive indices are handed
+  /// to one participant at a time.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t)>& body,
+                    int width = 0);
+
+  /// Slot-aware variant: body(slot, i) where slot identifies the
+  /// participant, is stable for the duration of the loop, and lies in
+  /// [0, max(1, width or size())). Slots let kernels keep per-thread
+  /// scratch (e.g. the router's A* arrays) without thread_local state.
+  void parallel_for_slots(std::size_t n, std::size_t grain,
+                          const std::function<void(int, std::size_t)>& body,
+                          int width = 0);
+
+  /// The process-wide pool, created on first use with default_threads().
+  static ThreadPool& shared();
+
+  /// Pool sizing default: EUROCHIP_THREADS if set (clamped to >= 1),
+  /// otherwise std::thread::hardware_concurrency().
+  static int default_threads();
+
+  /// Resolves a `threads` option knob: 0 = default_threads(), otherwise
+  /// the knob clamped to >= 1. Engine options use 0 for "auto".
+  static int resolve(int threads_knob);
+
+ private:
+  struct Job {
+    std::size_t n = 0;
+    std::size_t grain = 1;
+    const std::function<void(int, std::size_t)>* body = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    int max_participants = 1;  ///< caller + helper tokens
+    // Guarded by the owning pool's mu_:
+    int joined = 1;            ///< participants so far (caller holds slot 0)
+    // Guarded by mu below:
+    std::mutex mu;
+    std::condition_variable cv;
+    int active = 0;            ///< helpers currently executing chunks
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  /// Claims chunks of `job` until exhausted, running the body with `slot`.
+  static void run_chunks(Job& job, int slot);
+  [[nodiscard]] Job* pick_job_locked();
+
+  int size_ = 1;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Job*> jobs_;   ///< published loops with unclaimed work
+  bool stop_ = false;
+  std::vector<std::thread> helpers_;
+};
+
+/// Convenience wrappers used by the kernels: run serially when the
+/// resolved width is 1 (no pool interaction, zero overhead), else on the
+/// shared pool. `threads_knob` follows the options convention
+/// (0 = auto, 1 = serial, N = cap parallelism at N).
+void parallel_for(int threads_knob, std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t)>& body);
+void parallel_for_slots(int threads_knob, std::size_t n, std::size_t grain,
+                        const std::function<void(int, std::size_t)>& body);
+
+/// Upper bound on the slot values parallel_for_slots(threads_knob, ...) can
+/// pass to its body — use it to size per-slot scratch arrays.
+int max_slots(int threads_knob);
+
+}  // namespace eurochip::util

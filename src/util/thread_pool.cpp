@@ -1,0 +1,158 @@
+#include "eurochip/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace eurochip::util {
+
+ThreadPool::ThreadPool(int threads) : size_(std::max(1, threads)) {
+  helpers_.reserve(static_cast<std::size_t>(size_ - 1));
+  for (int i = 0; i + 1 < size_; ++i) {
+    helpers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : helpers_) t.join();
+}
+
+ThreadPool::Job* ThreadPool::pick_job_locked() {
+  for (Job* job : jobs_) {
+    if (job->joined >= job->max_participants) continue;
+    if (job->next.load(std::memory_order_relaxed) >= job->n) continue;
+    return job;
+  }
+  return nullptr;
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || pick_job_locked() != nullptr; });
+    if (stop_) return;
+    Job* job = pick_job_locked();
+    if (job == nullptr) continue;
+    const int slot = job->joined++;
+    {
+      std::lock_guard<std::mutex> job_lock(job->mu);
+      ++job->active;
+    }
+    lock.unlock();
+    run_chunks(*job, slot);
+    {
+      std::lock_guard<std::mutex> job_lock(job->mu);
+      if (--job->active == 0) job->cv.notify_all();
+    }
+    lock.lock();
+  }
+}
+
+void ThreadPool::run_chunks(Job& job, int slot) {
+  for (;;) {
+    const std::size_t begin =
+        job.next.fetch_add(job.grain, std::memory_order_relaxed);
+    if (begin >= job.n) break;
+    const std::size_t end = std::min(job.n, begin + job.grain);
+    if (job.failed.load(std::memory_order_relaxed)) continue;  // drain fast
+    try {
+      for (std::size_t i = begin; i < end; ++i) (*job.body)(slot, i);
+    } catch (...) {
+      std::lock_guard<std::mutex> job_lock(job.mu);
+      if (!job.error) job.error = std::current_exception();
+      job.failed.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::parallel_for_slots(
+    std::size_t n, std::size_t grain,
+    const std::function<void(int, std::size_t)>& body, int width) {
+  if (n == 0) return;
+  if (width <= 0 || width > size_) width = size_;
+  Job job;
+  job.n = n;
+  job.grain = std::max<std::size_t>(1, grain);
+  job.body = &body;
+  job.max_participants = width;
+  const bool publish = width > 1 && n > job.grain;
+  if (publish) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      jobs_.push_back(&job);
+    }
+    cv_.notify_all();
+  }
+  run_chunks(job, /*slot=*/0);
+  if (publish) {
+    // All chunks are claimed; unpublish so no further helper can join,
+    // then wait for the ones already inside to finish their chunk.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &job));
+    }
+    std::unique_lock<std::mutex> job_lock(job.mu);
+    job.cv.wait(job_lock, [&job] { return job.active == 0; });
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
+                              const std::function<void(std::size_t)>& body,
+                              int width) {
+  parallel_for_slots(
+      n, grain, [&body](int, std::size_t i) { body(i); }, width);
+}
+
+int ThreadPool::default_threads() {
+  static const int threads = [] {
+    if (const char* env = std::getenv("EUROCHIP_THREADS")) {
+      const int v = std::atoi(env);
+      if (v >= 1) return v;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }();
+  return threads;
+}
+
+int ThreadPool::resolve(int threads_knob) {
+  return threads_knob <= 0 ? default_threads() : threads_knob;
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(default_threads());
+  return pool;
+}
+
+void parallel_for(int threads_knob, std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t)>& body) {
+  const int width = ThreadPool::resolve(threads_knob);
+  if (width <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool::shared().parallel_for(n, grain, body, width);
+}
+
+int max_slots(int threads_knob) {
+  const int width = ThreadPool::resolve(threads_knob);
+  if (width <= 1) return 1;
+  return std::min(width, ThreadPool::shared().size());
+}
+
+void parallel_for_slots(int threads_knob, std::size_t n, std::size_t grain,
+                        const std::function<void(int, std::size_t)>& body) {
+  const int width = ThreadPool::resolve(threads_knob);
+  if (width <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(0, i);
+    return;
+  }
+  ThreadPool::shared().parallel_for_slots(n, grain, body, width);
+}
+
+}  // namespace eurochip::util

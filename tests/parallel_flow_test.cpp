@@ -1,0 +1,182 @@
+// Determinism contract of the parallel in-flow kernels: flow artifacts,
+// engine outputs, and FlowCache keys are bit-identical at any thread
+// count for a fixed seed.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "eurochip/flow/cache.hpp"
+#include "eurochip/flow/fingerprint.hpp"
+#include "eurochip/flow/flow.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/power/power.hpp"
+#include "eurochip/rtl/designs.hpp"
+#include "eurochip/timing/sta.hpp"
+
+namespace eurochip::flow {
+namespace {
+
+FlowConfig config_for(FlowQuality quality, const std::string& node,
+                      int threads) {
+  FlowConfig cfg;
+  cfg.node = pdk::standard_node(node).value();
+  cfg.quality = quality;
+  cfg.threads = threads;
+  return cfg;
+}
+
+struct Snapshot {
+  util::Digest placed;
+  util::Digest routed;
+  std::vector<std::uint8_t> gds;
+  double wns_ps = 0.0;
+  double fmax_mhz = 0.0;
+  double power_uw = 0.0;
+  double activity = 0.0;
+  std::size_t drc = 0;
+};
+
+Snapshot run_at(const rtl::Module& m, FlowQuality quality,
+                const std::string& node, int threads) {
+  const auto r = run_reference_flow(m, config_for(quality, node, threads));
+  EXPECT_TRUE(r.ok()) << r.status().to_string();
+  Snapshot s;
+  s.placed = digest_of(*r->artifacts.placed);
+  s.routed = digest_of(*r->artifacts.routed);
+  s.gds = r->artifacts.gds_bytes;
+  s.wns_ps = r->artifacts.timing.wns_ps;
+  s.fmax_mhz = r->artifacts.timing.fmax_mhz;
+  s.power_uw = r->artifacts.power.total_uw;
+  s.activity = r->artifacts.power.average_activity;
+  s.drc = r->ppa.drc_violations;
+  return s;
+}
+
+void expect_identical(const Snapshot& a, const Snapshot& b) {
+  EXPECT_TRUE(a.placed == b.placed);
+  EXPECT_TRUE(a.routed == b.routed);
+  EXPECT_EQ(a.gds, b.gds);  // byte-for-byte GDSII
+  EXPECT_EQ(a.wns_ps, b.wns_ps);
+  EXPECT_EQ(a.fmax_mhz, b.fmax_mhz);
+  EXPECT_EQ(a.power_uw, b.power_uw);
+  EXPECT_EQ(a.activity, b.activity);
+  EXPECT_EQ(a.drc, b.drc);
+}
+
+TEST(ParallelFlowTest, OpenFlowArtifactsIdenticalAcrossThreadCounts) {
+  const auto m = rtl::designs::alu(8);
+  const Snapshot t1 = run_at(m, FlowQuality::kOpen, "sky130ish", 1);
+  expect_identical(t1, run_at(m, FlowQuality::kOpen, "sky130ish", 2));
+  expect_identical(t1, run_at(m, FlowQuality::kOpen, "sky130ish", 8));
+}
+
+TEST(ParallelFlowTest, CommercialFlowArtifactsIdenticalAcrossThreadCounts) {
+  // Commercial preset also exercises the parallel dual-objective map trial.
+  const auto m = rtl::designs::multiplier(8);
+  const Snapshot t1 = run_at(m, FlowQuality::kCommercial, "commercial28", 1);
+  expect_identical(t1, run_at(m, FlowQuality::kCommercial, "commercial28", 2));
+  expect_identical(t1, run_at(m, FlowQuality::kCommercial, "commercial28", 8));
+}
+
+TEST(ParallelFlowTest, EngineResultsThreadCountInvariant) {
+  const auto m = rtl::designs::fir_filter(8, 4);
+  const auto base = run_reference_flow(
+      m, config_for(FlowQuality::kOpen, "sky130ish", 1));
+  ASSERT_TRUE(base.ok());
+  const auto& nl = *base->artifacts.mapped;
+  const auto node = pdk::standard_node("sky130ish").value();
+
+  place::PlacementOptions po;
+  po.seed = 7;
+  po.threads = 1;
+  const auto p1 = place::place(nl, node, po);
+  po.threads = 4;
+  const auto p4 = place::place(nl, node, po);
+  ASSERT_TRUE(p1.ok() && p4.ok());
+  EXPECT_TRUE(digest_of(*p1) == digest_of(*p4));
+
+  route::RouteOptions ro;
+  ro.threads = 1;
+  const auto r1 = route::route(*p1, node, ro);
+  ro.threads = 4;
+  const auto r4 = route::route(*p4, node, ro);
+  ASSERT_TRUE(r1.ok() && r4.ok());
+  EXPECT_TRUE(digest_of(*r1) == digest_of(*r4));
+
+  timing::StaOptions so;
+  so.threads = 1;
+  const auto s1 = timing::analyze(nl, node, so, &*r1);
+  so.threads = 4;
+  const auto s4 = timing::analyze(nl, node, so, &*r4);
+  ASSERT_TRUE(s1.ok() && s4.ok());
+  EXPECT_EQ(s1->wns_ps, s4->wns_ps);
+  EXPECT_EQ(s1->tns_ps, s4->tns_ps);
+  EXPECT_EQ(s1->fmax_mhz, s4->fmax_mhz);
+  EXPECT_EQ(s1->worst_hold_slack_ps, s4->worst_hold_slack_ps);
+
+  power::PowerOptions pw;
+  pw.threads = 1;
+  const auto w1 = power::estimate(nl, node, pw, &*r1);
+  pw.threads = 4;
+  const auto w4 = power::estimate(nl, node, pw, &*r4);
+  ASSERT_TRUE(w1.ok() && w4.ok());
+  EXPECT_EQ(w1->total_uw, w4->total_uw);
+  EXPECT_EQ(w1->average_activity, w4->average_activity);
+}
+
+TEST(ParallelFlowTest, CachePopulatedSerialHitsParallel) {
+  // FlowCache keys must span thread counts: threads is excluded from all
+  // fingerprints, so a cache warmed at threads=1 fully hits at threads=8.
+  FlowCache cache;
+  const auto m = rtl::designs::alu(8);
+  FlowConfig cold = config_for(FlowQuality::kOpen, "sky130ish", 1);
+  cold.cache = &cache;
+  const auto first = run_reference_flow(m, cold);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->cache_hits, 0u);
+
+  FlowConfig warm = config_for(FlowQuality::kOpen, "sky130ish", 8);
+  warm.cache = &cache;
+  const auto second = run_reference_flow(m, warm);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->cache_hits, second->steps.size());
+}
+
+TEST(ParallelFlowTest, ThreadsKnobInEngineOptionsExcludedFromKeys) {
+  FlowCache cache;
+  const auto m = rtl::designs::counter(8);
+  FlowConfig a = config_for(FlowQuality::kOpen, "sky130ish", 0);
+  a.place_options = place::PlacementOptions{};
+  a.place_options->threads = 2;
+  a.cache = &cache;
+  ASSERT_TRUE(run_reference_flow(m, a).ok());
+
+  FlowConfig b = a;
+  b.place_options->threads = 4;
+  const auto r = run_reference_flow(m, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->cache_hits, r->steps.size());
+}
+
+// Parallel flows running concurrently, each with parallel kernels inside —
+// the nesting-token scheme must neither deadlock nor oversubscribe, and
+// every run must still produce the canonical artifacts. Also the main
+// TSan stress target for the new kernels.
+TEST(ParallelFlowTest, ConcurrentParallelFlowsStayDeterministic) {
+  const auto m = rtl::designs::alu(8);
+  const Snapshot expected = run_at(m, FlowQuality::kOpen, "sky130ish", 1);
+  constexpr int kRuns = 4;
+  std::vector<Snapshot> got(kRuns);
+  std::vector<std::thread> threads;
+  threads.reserve(kRuns);
+  for (int i = 0; i < kRuns; ++i) {
+    threads.emplace_back(
+        [&, i] { got[i] = run_at(m, FlowQuality::kOpen, "sky130ish", 4); });
+  }
+  for (auto& t : threads) t.join();
+  for (const Snapshot& s : got) expect_identical(expected, s);
+}
+
+}  // namespace
+}  // namespace eurochip::flow

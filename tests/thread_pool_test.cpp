@@ -1,0 +1,160 @@
+// util::ThreadPool: coverage, slot bounds, nesting, exception
+// propagation, concurrent callers, and the deterministic-reduction
+// pattern the parallel kernels rely on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "eurochip/util/thread_pool.hpp"
+
+namespace eurochip::util {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 20000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, 16, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SlotsStayInBounds) {
+  ThreadPool pool(4);
+  std::atomic<bool> bad{false};
+  pool.parallel_for_slots(10000, 8, [&](int slot, std::size_t) {
+    if (slot < 0 || slot >= pool.size()) bad.store(true);
+  });
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(ThreadPoolTest, SerialKnobRunsInOrderOnCallingThread) {
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> seen;
+  parallel_for(/*threads_knob=*/1, 100, 8, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    seen.push_back(i);
+  });
+  ASSERT_EQ(seen.size(), 100u);
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(ThreadPoolTest, ZeroAndTinyLoops) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> acalls{0};
+  pool.parallel_for(1, 4, [&](std::size_t) { ++acalls; });
+  EXPECT_EQ(acalls.load(), 1);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(5000, 4,
+                        [](std::size_t i) {
+                          if (i == 1234) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool is still usable afterwards.
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(1000, 8, [&](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 1000u);
+}
+
+TEST(ThreadPoolTest, NestedLoopsDoNotDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<std::size_t>> inner_sum(8);
+  pool.parallel_for(8, 1, [&](std::size_t outer) {
+    // A worker calling parallel_for becomes the inner loop's caller and
+    // makes progress even if every helper is busy.
+    pool.parallel_for(1000, 16, [&](std::size_t inner) {
+      inner_sum[outer].fetch_add(inner, std::memory_order_relaxed);
+    });
+  });
+  for (auto& s : inner_sum) EXPECT_EQ(s.load(), 999u * 1000u / 2);
+}
+
+TEST(ThreadPoolTest, ManyExternalCallersShareThePool) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 8;
+  std::vector<std::atomic<std::size_t>> sums(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      pool.parallel_for(5000, 32, [&, c](std::size_t i) {
+        sums[c].fetch_add(i, std::memory_order_relaxed);
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (auto& s : sums) EXPECT_EQ(s.load(), 4999u * 5000u / 2);
+}
+
+TEST(ThreadPoolTest, ResolveFollowsKnobConvention) {
+  EXPECT_GE(ThreadPool::resolve(0), 1);
+  EXPECT_EQ(ThreadPool::resolve(1), 1);
+  EXPECT_EQ(ThreadPool::resolve(5), 5);
+  EXPECT_EQ(max_slots(1), 1);
+  EXPECT_GE(max_slots(0), 1);
+  EXPECT_LE(max_slots(4), std::max(4, ThreadPool::shared().size()));
+}
+
+TEST(ThreadPoolTest, WidthOneRunsInlineEvenOnPool) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for(
+      200, 8, [&](std::size_t) { EXPECT_EQ(std::this_thread::get_id(), caller); },
+      /*width=*/1);
+}
+
+// The determinism recipe used by every kernel: per-fixed-chunk partials
+// combined in index order afterwards give the same floating-point result
+// at any width.
+TEST(ThreadPoolTest, FixedChunkReductionIsWidthInvariant) {
+  constexpr std::size_t kN = 4096;
+  constexpr std::size_t kChunk = 64;
+  std::vector<double> values(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    values[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  const auto reduce_with = [&](int knob) {
+    std::vector<double> partial(kN / kChunk, 0.0);
+    parallel_for(knob, partial.size(), 1, [&](std::size_t c) {
+      double s = 0.0;
+      for (std::size_t i = c * kChunk; i < (c + 1) * kChunk; ++i) s += values[i];
+      partial[c] = s;
+    });
+    return std::accumulate(partial.begin(), partial.end(), 0.0);
+  };
+  const double serial = reduce_with(1);
+  EXPECT_EQ(serial, reduce_with(2));
+  EXPECT_EQ(serial, reduce_with(4));
+  EXPECT_EQ(serial, reduce_with(0));
+}
+
+TEST(ThreadPoolTest, DestructionAfterWorkIsClean) {
+  for (int round = 0; round < 10; ++round) {
+    ThreadPool pool(3);
+    std::atomic<std::size_t> count{0};
+    pool.parallel_for(500, 8, [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 500u);
+    // Destructor joins helpers with no pending work.
+  }
+}
+
+}  // namespace
+}  // namespace eurochip::util
