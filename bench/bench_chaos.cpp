@@ -76,7 +76,17 @@ struct CampaignResult {
   std::uint64_t resumed_steps = 0;   ///< steps restored from cache on retries
   double wasted_steps = 0.0;         ///< executed - kFlowSteps * succeeded
   double wall_ms = 0.0;
+  hub::MetricsRegistry::HistogramSnapshot queue_wait;
+  hub::MetricsRegistry::HistogramSnapshot run;
 };
+
+std::string hist_json(const hub::MetricsRegistry::HistogramSnapshot& h) {
+  return "{\"count\": " + std::to_string(h.count) +
+         ", \"p50\": " + util::fmt(h.p50, 3) +
+         ", \"p90\": " + util::fmt(h.p90, 3) +
+         ", \"p99\": " + util::fmt(h.p99, 3) +
+         ", \"max\": " + util::fmt(h.max, 3) + "}";
+}
 
 CampaignResult run_campaign(
     const std::vector<std::shared_ptr<const rtl::Module>>& designs,
@@ -137,6 +147,8 @@ CampaignResult run_campaign(
   r.wasted_steps = static_cast<double>(r.executed_steps) -
                    static_cast<double>(kFlowSteps) *
                        static_cast<double>(r.succeeded);
+  r.queue_wait = server.metrics().histogram("queue_wait_ms");
+  r.run = server.metrics().histogram("run_ms");
   return r;
 }
 
@@ -276,7 +288,9 @@ int main() {
          << ", \"executed_steps\": " << c.executed_steps
          << ", \"resumed_steps\": " << c.resumed_steps
          << ", \"wasted_steps\": " << c.wasted_steps
-         << ", \"wall_ms\": " << c.wall_ms << "}";
+         << ", \"wall_ms\": " << c.wall_ms
+         << ",\n     \"queue_wait_ms\": " << hist_json(c.queue_wait)
+         << ",\n     \"run_ms\": " << hist_json(c.run) << "}";
   }
   json << "\n  ],\n  \"wasted_restart_at_0.2\": " << wasted_restart
        << ",\n  \"wasted_resume_at_0.2\": " << wasted_resume

@@ -58,7 +58,17 @@ struct CapacityResult {
   core::EnablementHub::QueueReport measured;
   core::EnablementHub::QueueReport simulated;
   double jobs_per_sec = 0.0;
+  hub::MetricsRegistry::HistogramSnapshot queue_wait;
+  hub::MetricsRegistry::HistogramSnapshot run;
 };
+
+std::string hist_json(const hub::MetricsRegistry::HistogramSnapshot& h) {
+  return "{\"count\": " + std::to_string(h.count) +
+         ", \"p50\": " + util::fmt(h.p50, 3) +
+         ", \"p90\": " + util::fmt(h.p90, 3) +
+         ", \"p99\": " + util::fmt(h.p99, 3) +
+         ", \"max\": " + util::fmt(h.max, 3) + "}";
+}
 
 }  // namespace
 
@@ -130,10 +140,14 @@ int main() {
                          ? static_cast<double>(trace.size()) /
                                (r.measured.makespan_h / 1000.0)
                          : 0.0;
+    r.queue_wait = server.metrics().histogram("queue_wait_ms");
+    r.run = server.metrics().histogram("run_ms");
     results.push_back(r);
 
     if (capacity == 8) {
       std::printf("%s\n", server.metrics().render().c_str());
+      std::printf("prometheus exposition (capacity 8):\n%s\n",
+                  server.metrics().export_prometheus().c_str());
     }
   }
 
@@ -175,7 +189,9 @@ int main() {
          << ", \"simulated_makespan_ms\": " << r.simulated.makespan_h
          << ", \"measured_mean_wait_ms\": " << r.measured.mean_wait_h
          << ", \"measured_utilization\": " << r.measured.utilization
-         << ", \"jobs_per_sec\": " << r.jobs_per_sec << "}"
+         << ", \"jobs_per_sec\": " << r.jobs_per_sec
+         << ",\n     \"queue_wait_ms\": " << hist_json(r.queue_wait)
+         << ",\n     \"run_ms\": " << hist_json(r.run) << "}"
          << (i + 1 < results.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";

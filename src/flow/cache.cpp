@@ -1,6 +1,7 @@
 #include "eurochip/flow/cache.hpp"
 
 #include "eurochip/util/fault.hpp"
+#include "eurochip/util/trace.hpp"
 
 namespace eurochip::flow {
 
@@ -177,6 +178,8 @@ void FlowCache::restore(const Snapshot& snap, FlowContext& ctx) {
 }
 
 bool FlowCache::lookup(const util::Digest& key, FlowContext& ctx) {
+  util::trace::Span span;
+  if (util::trace::enabled()) span.begin("cache.lookup", "flow.cache");
   // Fault site "flowcache.lookup": the cache is an accelerator, so a
   // status fault degrades to a miss instead of failing the flow (kThrow
   // still propagates — that is the exception-isolation scenario).
@@ -184,6 +187,7 @@ bool FlowCache::lookup(const util::Digest& key, FlowContext& ctx) {
     if (!fi->check("flowcache.lookup").ok()) {
       std::lock_guard<std::mutex> lock(mu_);
       ++misses_;
+      if (span.active()) span.annotate("hit", std::string("degraded-miss"));
       return false;
     }
   }
@@ -193,11 +197,16 @@ bool FlowCache::lookup(const util::Digest& key, FlowContext& ctx) {
     const auto it = index_.find(key);
     if (it == index_.end()) {
       ++misses_;
+      if (span.active()) span.annotate("hit", false);
       return false;
     }
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     snap = it->second.snapshot;
     ++hits_;
+  }
+  if (span.active()) {
+    span.annotate("hit", true);
+    span.annotate("bytes", static_cast<std::uint64_t>(snap->bytes));
   }
   // Deep copy outside the lock; `snap` keeps the entry alive even if a
   // concurrent store evicts it.
@@ -206,23 +215,36 @@ bool FlowCache::lookup(const util::Digest& key, FlowContext& ctx) {
 }
 
 void FlowCache::store(const util::Digest& key, const FlowContext& ctx) {
+  util::trace::Span span;
+  if (util::trace::enabled()) span.begin("cache.store", "flow.cache");
   // Fault site "flowcache.store": a status fault skips admission — the
   // flow stays correct, only future lookups lose the snapshot.
   if (util::FaultInjector* fi = util::FaultInjector::installed()) {
-    if (!fi->check("flowcache.store").ok()) return;
+    if (!fi->check("flowcache.store").ok()) {
+      if (span.active()) span.annotate("admitted", std::string("degraded-skip"));
+      return;
+    }
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = index_.find(key);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      if (span.active()) span.annotate("admitted", std::string("already-present"));
       return;
     }
   }
   // Snapshot outside the lock (it is the expensive part). A racing store
   // of the same key is resolved below: first writer wins.
   std::shared_ptr<const Snapshot> snap = snapshot_of(ctx);
-  if (snap->bytes > options_.max_bytes) return;  // would evict everything
+  if (span.active()) {
+    span.annotate("bytes", static_cast<std::uint64_t>(snap->bytes));
+  }
+  if (snap->bytes > options_.max_bytes) {
+    if (span.active()) span.annotate("admitted", std::string("over-budget"));
+    return;  // would evict everything
+  }
+  if (span.active()) span.annotate("admitted", true);
 
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);

@@ -15,6 +15,7 @@
 #include "eurochip/util/strings.hpp"
 #include "eurochip/util/table.hpp"
 #include "eurochip/util/thread_pool.hpp"
+#include "eurochip/util/trace.hpp"
 
 namespace eurochip::flow {
 
@@ -108,6 +109,16 @@ util::Result<FlowResult> FlowTemplate::execute(const rtl::Module& design,
   ctx.config = std::move(config);
   ctx.artifacts.design = &design;
 
+  // Root span of this run. On a hub worker it nests under the job span via
+  // the worker's ContextScope; standalone runs root their own tree.
+  util::trace::Span flow_span;
+  if (util::trace::enabled()) {
+    flow_span.begin("flow:" + design.name(), "flow");
+    flow_span.annotate("node", ctx.config.node.name);
+    flow_span.annotate("quality", std::string(to_string(ctx.config.quality)));
+    flow_span.annotate("seed", ctx.config.seed);
+  }
+
   const auto t_start = std::chrono::steady_clock::now();
 
   // Content-addressed step keys: keys[i] digests everything that can
@@ -135,10 +146,24 @@ util::Result<FlowResult> FlowTemplate::execute(const rtl::Module& design,
       keyable[i] = true;
     }
     // Deepest matching prefix wins; a hit restores artifacts + records.
-    for (std::size_t i = steps_.size(); i-- > 0;) {
-      if (keyable[i] && cache->lookup(keys[i], ctx)) {
-        resume_from = i + 1;
-        break;
+    {
+      util::trace::Span probe_span;
+      if (util::trace::enabled()) {
+        probe_span.begin("cache.probe", "flow.cache");
+      }
+      for (std::size_t i = steps_.size(); i-- > 0;) {
+        if (keyable[i] && cache->lookup(keys[i], ctx)) {
+          resume_from = i + 1;
+          break;
+        }
+      }
+      if (probe_span.active()) {
+        probe_span.annotate("hit", resume_from > 0);
+        probe_span.annotate("resume_depth",
+                            static_cast<std::uint64_t>(resume_from));
+        if (resume_from > 0) {
+          probe_span.annotate("resumed_at", steps_[resume_from - 1].name);
+        }
       }
     }
     if (resume_from > 0 && !ctx.config.gds_output_path.empty() &&
@@ -173,6 +198,13 @@ util::Result<FlowResult> FlowTemplate::execute(const rtl::Module& design,
             fs.code(), "flow step '" + step.name + "': " + fs.message());
       }
     }
+    // One span per executed step (cached steps are skipped entirely and
+    // appear as the probe span's resume_depth instead). Kernel spans and
+    // pool batches the step spawns nest underneath it.
+    util::trace::Span step_span;
+    if (util::trace::enabled()) {
+      step_span.begin("step:" + step.name, "flow.step");
+    }
     const auto t0 = std::chrono::steady_clock::now();
     util::Status s = step.run(ctx);
     const auto t1 = std::chrono::steady_clock::now();
@@ -186,7 +218,12 @@ util::Result<FlowResult> FlowTemplate::execute(const rtl::Module& design,
     } else {
       ctx.steps.push_back(rec);
     }
+    if (step_span.active() && !ctx.steps.empty() &&
+        ctx.steps.back().name == step.name) {
+      step_span.annotate("detail", ctx.steps.back().detail);
+    }
     if (!s.ok()) {
+      if (step_span.active()) step_span.annotate("error", s.message());
       return util::Status(s.code(),
                           "flow step '" + step.name + "': " + s.message());
     }
@@ -195,6 +232,9 @@ util::Result<FlowResult> FlowTemplate::execute(const rtl::Module& design,
     }
   }
   const auto t_end = std::chrono::steady_clock::now();
+  if (flow_span.active()) {
+    flow_span.annotate("cache_hits", static_cast<std::uint64_t>(resume_from));
+  }
 
   FlowResult result;
   result.steps = std::move(ctx.steps);

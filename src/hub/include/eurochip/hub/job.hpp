@@ -98,6 +98,20 @@ struct JobSpec {
   double deadline_ms = 0.0;
 };
 
+/// One timestamped line of a job's *flight record*: the per-job micro-log
+/// the server keeps alongside its aggregate metrics, so an operator can
+/// reconstruct exactly what happened to one submission — queueing, each
+/// attempt, per-step progress, cache resumes, retry backoffs — without
+/// replaying a whole trace. `t_ms` is milliseconds since the job's
+/// submission (not the server epoch), so records from different jobs are
+/// directly comparable.
+struct FlightEntry {
+  double t_ms = 0.0;
+  std::string kind;    ///< submit | start | attempt | step | cache | retry | finish
+  std::string label;   ///< short identifier (step name, "attempt 2", ...)
+  std::string detail;  ///< free-form: durations, error text, hit counts
+};
+
 /// Everything the platform remembers about a job. Times are milliseconds
 /// since the server's epoch (its construction). start/finish are negative
 /// until the corresponding transition happened.
@@ -125,7 +139,15 @@ struct JobRecord {
   /// Deepest cached prefix a *retry* resumed from (max cache_hits over
   /// attempts >= 2); 0 when the job never retried or restarted cold.
   std::size_t resume_depth = 0;
+  /// Per-job flight record, in event order. Populated by the server:
+  /// submit/start under its lock, the rest spliced in at finalization.
+  std::vector<FlightEntry> flight;
 };
+
+/// Renders a JobRecord's flight record as aligned human-readable text:
+/// a header summarizing the outcome, then one `+<t>ms  <kind>  <label>
+/// <detail>` line per entry.
+[[nodiscard]] std::string render_flight_record(const JobRecord& record);
 
 /// Wraps the reference flow into a JobSpec. The design is shared (not
 /// copied) across retries and jobs; rtl::Module is immutable here, which

@@ -29,6 +29,10 @@ class MetricsRegistry {
   [[nodiscard]] double gauge(const std::string& name) const;
 
   // --- histograms (log-spaced buckets; values in milliseconds) ----------
+  /// Records one observation. Non-finite or negative values would corrupt
+  /// min/sum and feed log2 a non-positive argument, so they are clamped to
+  /// 0 before recording and tallied under the `<name>.invalid` counter —
+  /// the histogram stays usable and the corruption source stays visible.
   void observe(const std::string& name, double value_ms);
 
   struct HistogramSnapshot {
@@ -46,6 +50,14 @@ class MetricsRegistry {
 
   /// Renders counters, gauges, and histogram summaries as ASCII tables.
   [[nodiscard]] std::string render() const;
+
+  /// Prometheus text exposition (version 0.0.4): counters and gauges as
+  /// single samples, histograms as cumulative `_bucket{le=...}` series
+  /// plus `_sum`/`_count`. Metric names are prefixed `eurochip_` and
+  /// sanitized to [a-zA-Z0-9_]; histogram bucket bounds are the registry's
+  /// log-spaced bounds in milliseconds. One canonical scrape format for
+  /// benches, CI, and an operator's Prometheus alike.
+  [[nodiscard]] std::string export_prometheus() const;
 
  private:
   // Buckets double from 1 us; 42 buckets cover ~1 us .. ~610 h.

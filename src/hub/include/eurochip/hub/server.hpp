@@ -13,7 +13,12 @@
 //   * bounded automatic retries with exponential backoff + deterministic
 //     jitter (per-job util::Rng stream derived from the server seed);
 //   * a lock-safe MetricsRegistry recording queue wait, run time, retries,
-//     and per-step durations harvested from FlowResult::steps.
+//     and per-step durations harvested from FlowResult::steps;
+//   * end-to-end tracing: with a util::trace session active, every job
+//     runs under a "job:<name>" span (trace track = JobId) with
+//     per-attempt child spans and enqueue/shed/breaker/retry instants,
+//     and every JobRecord carries a flight record — the per-job
+//     timestamped event log rendered by render_flight_record().
 //
 // Resilience (DESIGN.md "Failure model"): the platform is shared, so one
 // bad job must never take the hub down and overload must degrade
@@ -189,7 +194,7 @@ class JobServer {
     std::uint64_t trips = 0;
   };
 
-  void worker_loop();
+  void worker_loop(int index);
   double now_ms() const;
   /// Finalizes under lock; records metrics after unlocking is the
   /// caller's job (metrics_ has its own lock, but we keep update sites

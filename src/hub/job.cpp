@@ -1,5 +1,8 @@
 #include "eurochip/hub/job.hpp"
 
+#include <algorithm>
+#include <cstdio>
+
 namespace eurochip::hub {
 
 const char* to_string(JobState state) {
@@ -16,6 +19,33 @@ const char* to_string(JobState state) {
 
 bool is_terminal(JobState state) {
   return state != JobState::kQueued && state != JobState::kRunning;
+}
+
+std::string render_flight_record(const JobRecord& record) {
+  char buf[64];
+  std::string out = "flight record: job " + std::to_string(record.id) + " '" +
+                    record.name + "' (" + to_string(record.state) + ", " +
+                    std::to_string(record.attempts) + " attempt" +
+                    (record.attempts == 1 ? "" : "s") + ")\n";
+  std::size_t kind_width = 0;
+  std::size_t label_width = 0;
+  for (const FlightEntry& e : record.flight) {
+    kind_width = std::max(kind_width, e.kind.size());
+    label_width = std::max(label_width, e.label.size());
+  }
+  for (const FlightEntry& e : record.flight) {
+    std::snprintf(buf, sizeof buf, "  %+10.3fms  ", e.t_ms);
+    out += buf;
+    out += e.kind;
+    out.append(kind_width - e.kind.size() + 2, ' ');
+    out += e.label;
+    if (!e.detail.empty()) {
+      out.append(label_width - e.label.size() + 2, ' ');
+      out += e.detail;
+    }
+    out += '\n';
+  }
+  return out;
 }
 
 JobSpec make_flow_job(std::string name,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "eurochip/util/strings.hpp"
 #include "eurochip/util/table.hpp"
@@ -19,6 +20,24 @@ int bucket_index(double value_ms, double first_bound, int buckets) {
 
 double bucket_upper(double first_bound, int idx) {
   return first_bound * std::pow(2.0, idx);
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; internal names use dots
+/// and dashes freely, so squash anything else to '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = "eurochip_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prom_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
 }
 
 }  // namespace
@@ -52,6 +71,13 @@ double MetricsRegistry::gauge(const std::string& name) const {
 
 void MetricsRegistry::observe(const std::string& name, double value_ms) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (!std::isfinite(value_ms) || value_ms < 0.0) {
+    // NaN would poison min/sum forever and negative values would send
+    // bucket_index's log2 out of domain; record a zero instead and keep
+    // an audit trail of how often (and where) garbage arrived.
+    ++counters_[name + ".invalid"];
+    value_ms = 0.0;
+  }
   Hist& h = hists_[name];
   if (h.count == 0) {
     h.min = value_ms;
@@ -145,6 +171,36 @@ std::string MetricsRegistry::render() const {
   if (hists.row_count() > 0) {
     if (!out.empty()) out += "\n";
     out += hists.render();
+  }
+  return out;
+}
+
+std::string MetricsRegistry::export_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+
+  for (const auto& [name, value] : counters_) {
+    const std::string pn = prom_name(name);
+    out += "# TYPE " + pn + " counter\n";
+    out += pn + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges_) {
+    const std::string pn = prom_name(name);
+    out += "# TYPE " + pn + " gauge\n";
+    out += pn + " " + prom_double(value) + "\n";
+  }
+  for (const auto& [name, h] : hists_) {
+    const std::string pn = prom_name(name);
+    out += "# TYPE " + pn + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      cumulative += h.buckets[i];
+      out += pn + "_bucket{le=\"" + prom_double(bucket_upper(kFirstBoundMs, i)) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += pn + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += pn + "_sum " + prom_double(h.sum) + "\n";
+    out += pn + "_count " + std::to_string(h.count) + "\n";
   }
   return out;
 }

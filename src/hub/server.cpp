@@ -3,12 +3,23 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+
+#include "eurochip/util/trace.hpp"
 
 namespace eurochip::hub {
 
 namespace {
+
 constexpr std::uint64_t kSeedMix = 0x9E3779B97F4A7C15uLL;  // golden-ratio odd
+
+std::string fmt_ms(double ms) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3fms", ms);
+  return buf;
 }
+
+}  // namespace
 
 double backoff_delay_ms(const JobSpec& spec, int attempt, util::Rng& rng) {
   const double base = std::max(0.0, spec.backoff_base_ms);
@@ -32,7 +43,7 @@ JobServer::JobServer(Options options)
   if (options_.cache != nullptr) cache_seen_ = options_.cache->stats();
   workers_.reserve(static_cast<std::size_t>(options_.capacity));
   for (int i = 0; i < options_.capacity; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -84,6 +95,10 @@ util::Result<JobId> JobServer::submit(JobSpec spec) {
     if (it != breakers_.end() && it->second.open &&
         now_ms() < it->second.open_until_ms) {
       metrics_.increment("jobs_breaker_rejected");
+      if (util::trace::enabled()) {
+        util::trace::instant("hub.breaker-reject", "hub",
+                             spec.node_name + "|" + spec.design_name);
+      }
       return util::Status::Unavailable(
           "circuit breaker open for (" + spec.node_name + ", " +
           spec.design_name + "): " +
@@ -96,6 +111,9 @@ util::Result<JobId> JobServer::submit(JobSpec spec) {
   if (options_.max_queue_depth > 0 &&
       scheduler_.size() >= options_.max_queue_depth) {
     metrics_.increment("jobs_overload_rejected");
+    if (util::trace::enabled()) {
+      util::trace::instant("hub.overload-reject", "hub", spec.name);
+    }
     return util::Status::ResourceExhausted(
         "queue full (" + std::to_string(scheduler_.size()) + " of " +
         std::to_string(options_.max_queue_depth) + " slots)");
@@ -106,6 +124,9 @@ util::Result<JobId> JobServer::submit(JobSpec spec) {
       spec.quality == flow::FlowQuality::kCommercial) {
     degraded = true;
     metrics_.increment("jobs_degraded");
+    if (util::trace::enabled()) {
+      util::trace::instant("hub.shed-degrade", "hub", spec.name);
+    }
   }
   const JobId id = next_id_++;
   auto entry = std::make_shared<Entry>();
@@ -117,6 +138,14 @@ util::Result<JobId> JobServer::submit(JobSpec spec) {
   entry->record.submit_ms = now_ms();
   if (deadline_ms > 0.0) entry->cancel.set_deadline_after_ms(deadline_ms);
   entry->spec = std::move(spec);
+  entry->record.flight.push_back(
+      {0.0, "submit", entry->spec.name,
+       std::string("tier=") + edu::to_string(entry->record.tier) +
+           (degraded ? ", degraded to open effort" : "")});
+  if (util::trace::enabled()) {
+    util::trace::instant("hub.enqueue", "hub",
+                         entry->spec.name + " id=" + std::to_string(id));
+  }
   scheduler_.push(id, entry->record.member, entry->record.tier);
   entries_.emplace(id, std::move(entry));
   metrics_.increment("jobs_submitted");
@@ -143,6 +172,9 @@ void JobServer::finalize_locked(Entry& entry, JobState state,
   } else {
     rec.queue_wait_ms = rec.finish_ms - rec.submit_ms;
   }
+  rec.flight.push_back({rec.finish_ms - rec.submit_ms, "finish",
+                        to_string(state),
+                        rec.status.ok() ? "" : rec.status.message()});
 
   switch (state) {
     case JobState::kSucceeded: metrics_.increment("jobs_succeeded"); break;
@@ -167,6 +199,23 @@ void JobServer::run_job(const std::shared_ptr<Entry>& entry) {
   // only, never on worker interleaving.
   util::Rng rng(options_.seed ^ (kSeedMix * entry->record.id));
 
+  // Trace lineage: every span this job opens — on this worker or on any
+  // ThreadPool helper its flow publishes work to — carries the JobId as
+  // its track, so one job's activity can be isolated in the export.
+  util::trace::ContextScope trace_scope({0, entry->record.id});
+  util::trace::Span job_span;
+  const double submit_ms = entry->record.submit_ms;
+  if (util::trace::enabled()) {
+    job_span.begin("job:" + spec.name, "hub.job");
+    job_span.annotate("id", entry->record.id);
+    job_span.annotate("member", static_cast<std::uint64_t>(spec.member));
+    job_span.annotate("tier",
+                      std::string(edu::to_string(entry->record.tier)));
+    job_span.annotate("queue_wait_ms", entry->record.start_ms - submit_ms);
+    if (entry->record.degraded) job_span.annotate("degraded", true);
+  }
+  std::vector<FlightEntry> flight;
+
   const int max_attempts = std::max(1, spec.max_attempts);
   JobState final_state = JobState::kFailed;
   util::Status final_status;
@@ -186,6 +235,14 @@ void JobServer::run_job(const std::shared_ptr<Entry>& entry) {
     ctx.cache = options_.cache;
     ctx.degraded = entry->record.degraded;
     ctx.last_error = prev_error;
+    const double t_attempt = now_ms() - submit_ms;
+    flight.push_back({t_attempt, "attempt",
+                      "attempt " + std::to_string(attempt),
+                      attempt > 1 ? "after " + prev_error.to_string() : ""});
+    util::trace::Span attempt_span;
+    if (util::trace::enabled()) {
+      attempt_span.begin("attempt " + std::to_string(attempt), "hub.job");
+    }
     // Exception isolation: the platform is shared, so a work function
     // throwing (a bug in a flow engine, an injected std::logic_error)
     // must fail THIS job, not the process. The escape is converted to a
@@ -208,6 +265,24 @@ void JobServer::run_job(const std::shared_ptr<Entry>& entry) {
       // Checkpoint-resume: this retry picked up from a cached step prefix
       // (the failed attempt stored snapshots after each completed step).
       resume_depth = ctx.cache_hits;
+    }
+    if (attempt_span.active()) {
+      attempt_span.annotate("ok", s.ok());
+      if (!s.ok()) attempt_span.annotate("error", s.to_string());
+      attempt_span.end();
+    }
+    if (ctx.cache_hits > 0) {
+      flight.push_back({t_attempt, "cache", "resume",
+                        std::to_string(ctx.cache_hits) +
+                            " leading steps served from cache"});
+    }
+    // Step entries replay the attempt's internal timeline: each executed
+    // step lands at the attempt start plus the runtime executed so far.
+    double cursor = t_attempt;
+    for (const flow::StepRecord& step : steps) {
+      if (!step.cached) cursor += step.runtime_ms;
+      flight.push_back({cursor, "step", step.name,
+                        step.cached ? "cached" : fmt_ms(step.runtime_ms)});
     }
 
     if (s.ok()) {
@@ -244,6 +319,13 @@ void JobServer::run_job(const std::shared_ptr<Entry>& entry) {
     prev_error = std::move(s);
     metrics_.increment("jobs_retried");
     const double delay_ms = backoff_delay_ms(spec, attempt, rng);
+    flight.push_back({now_ms() - submit_ms, "retry", "backoff",
+                      fmt_ms(delay_ms) + " after " + prev_error.to_string()});
+    if (job_span.active()) {
+      job_span.event("retry-backoff",
+                     fmt_ms(delay_ms) + " before attempt " +
+                         std::to_string(attempt + 1));
+    }
     std::unique_lock<std::mutex> lock(mu_);
     cv_work_.wait_for(
         lock,
@@ -263,12 +345,25 @@ void JobServer::run_job(const std::shared_ptr<Entry>& entry) {
     }
   }
 
+  if (job_span.active()) {
+    job_span.annotate("state", std::string(to_string(final_state)));
+    job_span.annotate("attempts", static_cast<std::int64_t>(attempts));
+    job_span.annotate("cache_hits", static_cast<std::uint64_t>(cache_hits));
+    if (resume_depth > 0) {
+      job_span.annotate("resume_depth",
+                        static_cast<std::uint64_t>(resume_depth));
+    }
+  }
+
   std::lock_guard<std::mutex> lock(mu_);
   entry->record.attempts = attempts;
   entry->record.steps = std::move(steps);
   entry->record.ppa = ppa;
   entry->record.cache_hits = cache_hits;
   entry->record.resume_depth = resume_depth;
+  for (FlightEntry& fe : flight) {
+    entry->record.flight.push_back(std::move(fe));
+  }
   if (resume_depth > 0) {
     metrics_.increment("steps_resumed", resume_depth);
     metrics_.observe("resume_depth", static_cast<double>(resume_depth));
@@ -332,7 +427,8 @@ void JobServer::sync_cache_metrics_locked() {
   cache_seen_ = s;
 }
 
-void JobServer::worker_loop() {
+void JobServer::worker_loop(int index) {
+  util::trace::set_thread_name("hub-worker-" + std::to_string(index));
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     cv_work_.wait(lock, [&] {
@@ -360,6 +456,11 @@ void JobServer::worker_loop() {
 
     entry->record.state = JobState::kRunning;
     entry->record.start_ms = now_ms();
+    entry->record.flight.push_back(
+        {entry->record.start_ms - entry->record.submit_ms, "start",
+         "hub-worker-" + std::to_string(index),
+         "queue_wait=" +
+             fmt_ms(entry->record.start_ms - entry->record.submit_ms)});
     ++running_;
     metrics_.set_gauge("queue_depth", static_cast<double>(scheduler_.size()));
     metrics_.set_gauge("running", static_cast<double>(running_));

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "eurochip/util/thread_pool.hpp"
+#include "eurochip/util/trace.hpp"
 
 namespace eurochip::place {
 
@@ -467,14 +468,21 @@ util::Result<PlacedDesign> place(const Netlist& nl,
                 rng.uniform_int(core.ly, core.uy - 1)};
     }
   } else {
+    EUROCHIP_TRACE_SPAN("place.global", "kernel");
     global_place(d, options, rng, stats);
   }
   if (stats != nullptr) stats->hpwl_after_global = d.total_hpwl();
 
-  if (util::Status s = legalize(d); !s.ok()) return s;
+  {
+    EUROCHIP_TRACE_SPAN("place.legalize", "kernel");
+    if (util::Status s = legalize(d); !s.ok()) return s;
+  }
   if (stats != nullptr) stats->hpwl_after_legal = d.total_hpwl();
 
-  detailed_place(d, options.detailed_passes, stats);
+  {
+    EUROCHIP_TRACE_SPAN("place.detailed", "kernel");
+    detailed_place(d, options.detailed_passes, stats);
+  }
   if (stats != nullptr) {
     stats->hpwl_final = d.total_hpwl();
     stats->cells = nl.num_cells();

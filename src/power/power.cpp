@@ -4,6 +4,7 @@
 
 #include "eurochip/netlist/simulator.hpp"
 #include "eurochip/util/thread_pool.hpp"
+#include "eurochip/util/trace.hpp"
 
 namespace eurochip::power {
 
@@ -26,6 +27,7 @@ util::Result<PowerReport> estimate(const netlist::Netlist& nl,
   // Per-net toggle rate (transitions per cycle).
   std::vector<double> activity(nl.num_nets(), opt.default_activity);
   if (opt.simulate_activity && opt.activity_cycles > 0) {
+    EUROCHIP_TRACE_SPAN("power.activity", "kernel");
     // Validate the netlist once up front so window failures can't differ.
     if (auto probe = netlist::Simulator::create(nl); !probe.ok()) {
       return probe.status();

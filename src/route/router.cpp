@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "eurochip/util/thread_pool.hpp"
+#include "eurochip/util/trace.hpp"
 
 namespace eurochip::route {
 
@@ -368,8 +369,11 @@ util::Result<RoutedDesign> route(const PlacedDesign& placed,
   };
 
   // Initial routing.
-  for (std::size_t base = 0; base < refs.size(); base += kBatch) {
-    route_batch(refs, base, std::min(refs.size(), base + kBatch));
+  {
+    EUROCHIP_TRACE_SPAN("route.initial", "kernel");
+    for (std::size_t base = 0; base < refs.size(); base += kBatch) {
+      route_batch(refs, base, std::min(refs.size(), base + kBatch));
+    }
   }
   if (stats != nullptr) stats->segments_routed += refs.size();
 
@@ -378,6 +382,8 @@ util::Result<RoutedDesign> route(const PlacedDesign& placed,
   // reroute them batch-by-batch against the updated congestion state.
   int iterations = 0;
   std::vector<std::uint8_t> congested(refs.size());
+  util::trace::Span ripup_span;
+  if (util::trace::enabled()) ripup_span.begin("route.ripup", "kernel");
   for (; iterations < options.max_ripup_iterations; ++iterations) {
     if (grid.overflow_count() == 0) break;
     grid.bump_history(options.history_weight);
@@ -407,6 +413,10 @@ util::Result<RoutedDesign> route(const PlacedDesign& placed,
       route_batch(redo, base, std::min(redo.size(), base + kBatch));
     }
     if (stats != nullptr) stats->reroutes += redo.size();
+  }
+  if (ripup_span.active()) {
+    ripup_span.annotate("iterations", static_cast<std::int64_t>(iterations));
+    ripup_span.end();
   }
   out.iterations_used = iterations;
   out.overflowed_edges = grid.overflow_count();

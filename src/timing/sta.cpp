@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "eurochip/util/thread_pool.hpp"
+#include "eurochip/util/trace.hpp"
 
 namespace eurochip::timing {
 
@@ -186,9 +187,12 @@ util::Result<TimingReport> analyze(const Netlist& nl,
     nt[out.value].via_cell = id;
     nt[out.value].driven = true;
   };
-  for (const auto& level_cells : by_level) {
-    util::parallel_for(opt.threads, level_cells.size(), /*grain=*/16,
-                       [&](std::size_t i) { propagate_cell(level_cells[i]); });
+  {
+    EUROCHIP_TRACE_SPAN("sta.arrival", "kernel");
+    for (const auto& level_cells : by_level) {
+      util::parallel_for(opt.threads, level_cells.size(), /*grain=*/16,
+                         [&](std::size_t i) { propagate_cell(level_cells[i]); });
+    }
   }
 
   // Endpoints.

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "eurochip/util/digest.hpp"
+#include "eurochip/util/trace.hpp"
 
 namespace eurochip::util {
 
@@ -86,6 +87,13 @@ Status FaultInjector::check(const std::string& site) {
     }
   }
   if (!fire) return Status::Ok();
+  // Triggered faults show up on the timeline at the exact point they bit:
+  // an injected failure inside a step span explains why the span's job
+  // retried without cross-referencing any other log.
+  if (trace::enabled()) {
+    trace::instant("fault:" + site, "fault",
+                   std::string(to_string(kind)) + ": " + message);
+  }
   switch (kind) {
     case FaultKind::kErrorStatus:
       return Status::Internal(message);

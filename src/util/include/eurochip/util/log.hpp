@@ -15,7 +15,14 @@ enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits `message` to stderr if `level` passes the threshold.
+/// Emits `message` to stderr if `level` passes the threshold. Every line
+/// is prefixed with a monotonic timestamp (ms since process start, the
+/// same clock trace spans use) and the OS thread id, so interleaved worker
+/// output can be ordered and attributed. When a trace session is active
+/// (trace::enabled()), kDebug lines are additionally mirrored into the
+/// trace as instant events — even when the stderr threshold suppresses
+/// them — so a Perfetto timeline carries the debug narrative without
+/// console spam.
 void log(LogLevel level, const std::string& message);
 
 namespace internal {

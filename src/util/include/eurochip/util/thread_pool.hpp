@@ -48,6 +48,8 @@
 #include <thread>
 #include <vector>
 
+#include "eurochip/util/trace.hpp"
+
 namespace eurochip::util {
 
 class ThreadPool {
@@ -100,6 +102,12 @@ class ThreadPool {
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
     int max_participants = 1;  ///< caller + helper tokens
+    /// Lineage of the publishing thread, captured when a trace session is
+    /// active: helper batches open spans parented to the caller's current
+    /// span (typically the kernel/step span), so parallel work is
+    /// attributed to the flow step that spawned it.
+    trace::TraceContext trace_ctx;
+    bool traced = false;
     // Guarded by the owning pool's mu_:
     int joined = 1;            ///< participants so far (caller holds slot 0)
     // Guarded by mu below:

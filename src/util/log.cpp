@@ -3,6 +3,16 @@
 #include <atomic>
 #include <cstdio>
 
+#include "eurochip/util/trace.hpp"
+
+#ifdef __linux__
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#include <functional>
+#include <thread>
+#endif
+
 namespace eurochip::util {
 
 namespace {
@@ -18,6 +28,17 @@ const char* level_tag(LogLevel level) {
   }
   return "?";
 }
+
+unsigned long this_thread_id() {
+#ifdef __linux__
+  thread_local const unsigned long tid =
+      static_cast<unsigned long>(::syscall(SYS_gettid));
+#else
+  thread_local const unsigned long tid = static_cast<unsigned long>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+#endif
+  return tid;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) {
@@ -26,9 +47,16 @@ void set_log_level(LogLevel level) {
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log(LogLevel level, const std::string& message) {
+  // Trace hook: mirror debug lines as instant events whenever a session is
+  // active, regardless of the stderr threshold — the trace is exactly the
+  // place where suppressed debug detail is wanted.
+  if (level == LogLevel::kDebug && trace::enabled()) {
+    trace::instant("log.debug", "log", message);
+  }
   const LogLevel threshold = g_level.load(std::memory_order_relaxed);
   if (level < threshold || threshold == LogLevel::kOff) return;
-  std::fprintf(stderr, "[eurochip %s] %s\n", level_tag(level), message.c_str());
+  std::fprintf(stderr, "[eurochip %s +%.3fms t=%lu] %s\n", level_tag(level),
+               trace::process_now_ms(), this_thread_id(), message.c_str());
 }
 
 }  // namespace eurochip::util

@@ -8,7 +8,10 @@ namespace eurochip::util {
 ThreadPool::ThreadPool(int threads) : size_(std::max(1, threads)) {
   helpers_.reserve(static_cast<std::size_t>(size_ - 1));
   for (int i = 0; i + 1 < size_; ++i) {
-    helpers_.emplace_back([this] { worker_loop(); });
+    helpers_.emplace_back([this, i] {
+      trace::set_thread_name("pool-helper-" + std::to_string(i));
+      worker_loop();
+    });
   }
 }
 
@@ -43,7 +46,16 @@ void ThreadPool::worker_loop() {
       ++job->active;
     }
     lock.unlock();
-    run_chunks(*job, slot);
+    if (job->traced) {
+      // Adopt the publisher's lineage so this batch nests under the
+      // kernel/step span that spawned the loop, on our own thread row.
+      trace::ContextScope scope(job->trace_ctx);
+      trace::Span batch("pool.batch", "pool");
+      batch.annotate("slot", static_cast<std::uint64_t>(slot));
+      run_chunks(*job, slot);
+    } else {
+      run_chunks(*job, slot);
+    }
     {
       std::lock_guard<std::mutex> job_lock(job->mu);
       if (--job->active == 0) job->cv.notify_all();
@@ -80,6 +92,10 @@ void ThreadPool::parallel_for_slots(
   job.body = &body;
   job.max_participants = width;
   const bool publish = width > 1 && n > job.grain;
+  if (publish && trace::enabled()) {
+    job.trace_ctx = trace::current_context();
+    job.traced = true;
+  }
   if (publish) {
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -1,0 +1,348 @@
+#include "eurochip/util/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#ifdef __linux__
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#include <functional>
+#include <thread>
+#endif
+
+namespace eurochip::util::trace {
+
+namespace {
+
+std::uint64_t os_thread_id() {
+#ifdef __linux__
+  return static_cast<std::uint64_t>(::syscall(SYS_gettid));
+#else
+  return static_cast<std::uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+#endif
+}
+
+/// One emitting thread's event store. Owned jointly by the thread (TLS)
+/// and the registry, so events survive thread exit until clear().
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<Event> events;
+  std::uint32_t index = 0;
+  std::string name;
+  std::uint64_t os_tid = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during TLS teardown
+  return *r;
+}
+
+std::atomic<SpanId> g_next_id{1};
+
+std::chrono::steady_clock::time_point process_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - process_epoch())
+      .count();
+}
+
+/// Per-thread lineage + lazily registered buffer. The buffer is only
+/// registered on first emission, so threads in a never-traced process
+/// touch no global state.
+struct ThreadState {
+  SpanId current = 0;
+  std::uint64_t track = 0;
+  std::shared_ptr<ThreadBuffer> buf;
+  std::string pending_name;  ///< set_thread_name before registration
+};
+
+ThreadState& tls() {
+  thread_local ThreadState state;
+  return state;
+}
+
+ThreadBuffer& buffer() {
+  ThreadState& st = tls();
+  if (!st.buf) {
+    auto buf = std::make_shared<ThreadBuffer>();
+    buf->os_tid = os_thread_id();
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    buf->index = static_cast<std::uint32_t>(reg.buffers.size());
+    buf->name = st.pending_name.empty()
+                    ? "thread-" + std::to_string(buf->index)
+                    : st.pending_name;
+    reg.buffers.push_back(buf);
+    st.buf = std::move(buf);
+  }
+  return *st.buf;
+}
+
+void append(Event event) {
+  ThreadBuffer& buf = buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(std::move(event));
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void start() {
+  process_epoch();  // pin the epoch no later than the first session
+  internal::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void stop() { internal::g_enabled.store(false, std::memory_order_relaxed); }
+
+void clear() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+  }
+}
+
+double process_now_ms() { return now_us() / 1000.0; }
+
+TraceContext current_context() {
+  const ThreadState& st = tls();
+  return TraceContext{st.current, st.track};
+}
+
+ContextScope::ContextScope(const TraceContext& ctx) {
+  ThreadState& st = tls();
+  saved_parent_ = st.current;
+  saved_track_ = st.track;
+  st.current = ctx.parent;
+  st.track = ctx.track;
+}
+
+ContextScope::~ContextScope() {
+  ThreadState& st = tls();
+  st.current = saved_parent_;
+  st.track = saved_track_;
+}
+
+void Span::begin(std::string name, std::string cat) {
+  if (active_) return;
+  ThreadState& st = tls();
+  active_ = true;
+  id_ = g_next_id.fetch_add(1, std::memory_order_relaxed);
+  parent_ = st.current;
+  track_ = st.track;
+  start_us_ = now_us();
+  name_ = std::move(name);
+  cat_ = std::move(cat);
+  st.current = id_;
+}
+
+void Span::end() {
+  if (!active_) return;
+  active_ = false;
+  const double end_us = now_us();
+  ThreadState& st = tls();
+  // RAII nesting makes this span the innermost one; restore its parent.
+  if (st.current == id_) st.current = parent_;
+  Event ev;
+  ev.kind = Event::Kind::kSpan;
+  ev.id = id_;
+  ev.parent = parent_;
+  ev.track = track_;
+  ev.start_us = start_us_;
+  ev.dur_us = end_us - start_us_;
+  ev.name = std::move(name_);
+  ev.cat = std::move(cat_);
+  ev.args = std::move(args_);
+  append(std::move(ev));
+}
+
+void Span::annotate(std::string key, std::string value) {
+  if (!active_) return;
+  args_.emplace_back(std::move(key), std::move(value));
+}
+void Span::annotate(std::string key, double value) {
+  annotate(std::move(key), fmt_double(value));
+}
+void Span::annotate(std::string key, std::uint64_t value) {
+  annotate(std::move(key), std::to_string(value));
+}
+void Span::annotate(std::string key, std::int64_t value) {
+  annotate(std::move(key), std::to_string(value));
+}
+void Span::annotate(std::string key, bool value) {
+  annotate(std::move(key), std::string(value ? "true" : "false"));
+}
+
+void Span::event(std::string name, std::string detail) {
+  if (!active_) return;
+  Event ev;
+  ev.kind = Event::Kind::kInstant;
+  ev.id = id_;
+  ev.parent = id_;
+  ev.track = track_;
+  ev.start_us = now_us();
+  ev.name = std::move(name);
+  ev.cat = cat_;
+  if (!detail.empty()) ev.args.emplace_back("detail", std::move(detail));
+  append(std::move(ev));
+}
+
+void instant(std::string name, std::string cat, std::string detail) {
+  if (!enabled()) return;
+  const ThreadState& st = tls();
+  Event ev;
+  ev.kind = Event::Kind::kInstant;
+  ev.id = st.current;
+  ev.parent = st.current;
+  ev.track = st.track;
+  ev.start_us = now_us();
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  if (!detail.empty()) ev.args.emplace_back("detail", std::move(detail));
+  append(std::move(ev));
+}
+
+void set_thread_name(std::string name) {
+  ThreadState& st = tls();
+  if (st.buf) {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    st.buf->name = std::move(name);
+  } else {
+    st.pending_name = std::move(name);
+  }
+}
+
+std::vector<Event> snapshot() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<Event> out;
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    for (const Event& ev : buf->events) {
+      out.push_back(ev);
+      out.back().tid = buf->index;
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.start_us < b.start_us;
+                   });
+  return out;
+}
+
+std::vector<ThreadInfo> threads() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<ThreadInfo> out;
+  out.reserve(reg.buffers.size());
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    ThreadInfo info;
+    info.tid = buf->index;
+    info.name = buf->name;
+    info.os_tid = buf->os_tid;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::string export_chrome_json() {
+  const std::vector<Event> events = snapshot();
+  const std::vector<ThreadInfo> names = threads();
+
+  std::string out;
+  out.reserve(events.size() * 160 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+  };
+  // Stable thread naming: one metadata event per registered thread, in
+  // registration order, so Perfetto rows keep their labels run to run.
+  for (const ThreadInfo& t : names) {
+    comma();
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(t.tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+           json_escape(t.name) + "\"}}";
+  }
+  for (const Event& ev : events) {
+    comma();
+    out += "{\"ph\":\"";
+    out += ev.kind == Event::Kind::kSpan ? "X" : "i";
+    out += "\",\"pid\":1,\"tid\":" + std::to_string(ev.tid) +
+           ",\"ts\":" + fmt_double(ev.start_us);
+    if (ev.kind == Event::Kind::kSpan) {
+      out += ",\"dur\":" + fmt_double(ev.dur_us);
+    } else {
+      out += ",\"s\":\"t\"";
+    }
+    out += ",\"name\":\"" + json_escape(ev.name) + "\"";
+    if (!ev.cat.empty()) out += ",\"cat\":\"" + json_escape(ev.cat) + "\"";
+    out += ",\"args\":{\"span\":" + std::to_string(ev.id) +
+           ",\"parent\":" + std::to_string(ev.parent);
+    if (ev.track != 0) out += ",\"track\":" + std::to_string(ev.track);
+    for (const auto& [key, value] : ev.args) {
+      out += ",\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"";
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool export_chrome_json_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string json = export_chrome_json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+}  // namespace eurochip::util::trace

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -136,6 +137,47 @@ TEST(MetricsTest, RenderListsEveryMetric) {
   EXPECT_NE(text.find("jobs_submitted"), std::string::npos);
   EXPECT_NE(text.find("running"), std::string::npos);
   EXPECT_NE(text.find("run_ms"), std::string::npos);
+}
+
+TEST(MetricsTest, ObserveClampsInvalidValuesAndCountsThem) {
+  MetricsRegistry m;
+  m.observe("lat", std::numeric_limits<double>::quiet_NaN());
+  m.observe("lat", -5.0);
+  m.observe("lat", std::numeric_limits<double>::infinity());
+  m.observe("lat", 2.0);
+  const auto h = m.histogram("lat");
+  EXPECT_EQ(h.count, 4u);  // clamped observations still count
+  EXPECT_DOUBLE_EQ(h.min, 0.0);
+  EXPECT_DOUBLE_EQ(h.max, 2.0);
+  EXPECT_TRUE(std::isfinite(h.sum));
+  EXPECT_DOUBLE_EQ(h.sum, 2.0);
+  EXPECT_EQ(m.counter("lat.invalid"), 3u);
+  EXPECT_EQ(m.counter("other.invalid"), 0u);
+}
+
+TEST(MetricsTest, PrometheusExpositionShape) {
+  MetricsRegistry m;
+  m.increment("jobs_submitted", 3);
+  m.set_gauge("queue_depth", 2.0);
+  m.observe("run_ms", 12.0);
+  m.observe("run_ms", 24.0);
+  const std::string text = m.export_prometheus();
+  EXPECT_NE(text.find("# TYPE eurochip_jobs_submitted counter\n"
+                      "eurochip_jobs_submitted 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE eurochip_queue_depth gauge\n"
+                      "eurochip_queue_depth 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE eurochip_run_ms histogram"), std::string::npos);
+  EXPECT_NE(text.find("eurochip_run_ms_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("eurochip_run_ms_sum 36\n"), std::string::npos);
+  EXPECT_NE(text.find("eurochip_run_ms_count 2\n"), std::string::npos);
+
+  // Internal dotted names sanitize to Prometheus-legal underscores.
+  m.increment("step_synth.map_ms.invalid");
+  EXPECT_NE(m.export_prometheus().find("eurochip_step_synth_map_ms_invalid 1"),
+            std::string::npos);
 }
 
 // --- TierScheduler --------------------------------------------------------
@@ -281,6 +323,54 @@ TEST(JobServerTest, TransientFailureRetriesThenSucceeds) {
   EXPECT_EQ(rec->attempts, 3);
   EXPECT_EQ(server.metrics().counter("jobs_retried"), 2u);
   EXPECT_EQ(server.metrics().counter("jobs_succeeded"), 1u);
+}
+
+TEST(JobServerTest, FlightRecordTellsTheJobsStory) {
+  JobServer::Options opt;
+  opt.capacity = 1;
+  JobServer server(opt);
+  JobSpec spec;
+  spec.name = "flaky";
+  spec.max_attempts = 3;
+  spec.backoff_base_ms = 1.0;
+  spec.backoff_cap_ms = 2.0;
+  spec.work = [](JobContext& ctx) -> util::Status {
+    flow::StepRecord step;
+    step.name = "synth";
+    step.runtime_ms = 0.5;
+    ctx.steps.push_back(step);
+    if (ctx.attempt < 2) {
+      return util::Status::ResourceExhausted("transient congestion");
+    }
+    return util::Status::Ok();
+  };
+  const auto id = server.submit(std::move(spec));
+  ASSERT_TRUE(id.ok());
+  const auto rec = server.wait(*id);
+  ASSERT_TRUE(rec.ok());
+  ASSERT_EQ(rec->state, JobState::kSucceeded);
+
+  // The record replays the whole story in order: submitted, started on a
+  // worker, first attempt (with its step), a retry backoff, the second
+  // attempt, and the terminal transition.
+  std::vector<std::string> kinds;
+  for (const FlightEntry& e : rec->flight) kinds.push_back(e.kind);
+  const std::vector<std::string> expected = {"submit", "start",  "attempt",
+                                             "step",   "retry",  "attempt",
+                                             "step",   "finish"};
+  EXPECT_EQ(kinds, expected);
+  for (std::size_t i = 1; i < rec->flight.size(); ++i) {
+    EXPECT_GE(rec->flight[i].t_ms, 0.0);
+  }
+  EXPECT_EQ(rec->flight.front().t_ms, 0.0);
+  EXPECT_EQ(rec->flight.back().label, "succeeded");
+
+  const std::string text = render_flight_record(*rec);
+  EXPECT_NE(text.find("flight record: job " + std::to_string(rec->id)),
+            std::string::npos);
+  EXPECT_NE(text.find("'flaky' (succeeded, 2 attempts)"), std::string::npos);
+  EXPECT_NE(text.find("backoff"), std::string::npos);
+  EXPECT_NE(text.find("synth"), std::string::npos);
 }
 
 TEST(JobServerTest, NonTransientFailureDoesNotRetry) {
