@@ -21,6 +21,7 @@
 #include "eurochip/hub/server.hpp"
 #include "eurochip/pdk/registry.hpp"
 #include "eurochip/rtl/designs.hpp"
+#include "eurochip/util/stats.hpp"
 #include "eurochip/util/strings.hpp"
 #include "eurochip/util/table.hpp"
 
@@ -63,11 +64,9 @@ struct CapacityResult {
 };
 
 std::string hist_json(const hub::MetricsRegistry::HistogramSnapshot& h) {
-  return "{\"count\": " + std::to_string(h.count) +
-         ", \"p50\": " + util::fmt(h.p50, 3) +
-         ", \"p90\": " + util::fmt(h.p90, 3) +
-         ", \"p99\": " + util::fmt(h.p99, 3) +
-         ", \"max\": " + util::fmt(h.max, 3) + "}";
+  // Shared shape + renderer from util::stats (one formatter, not one per
+  // bench).
+  return util::to_json(hub::to_percentile_summary(h));
 }
 
 }  // namespace

@@ -1,0 +1,398 @@
+#include "eurochip/fed/federation.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace eurochip::fed {
+
+namespace {
+// Golden-ratio stride decorrelates per-hub seed streams (retry jitter,
+// synthetic work) without touching flow determinism: artifact results
+// depend only on the spec's own FlowConfig seed.
+constexpr std::uint64_t kHubSeedStride = 0x9E3779B97F4A7C15uLL;
+}  // namespace
+
+FederatedService::FederatedService(Options options)
+    : options_(std::move(options)),
+      router_(std::max<std::size_t>(1, options_.hubs), options_.router) {
+  const std::size_t n = std::max<std::size_t>(1, options_.hubs);
+  if (options_.enable_remote_cache) {
+    remote_ = std::make_unique<RemoteCache>(options_.remote);
+  }
+  reverse_.resize(n);
+  caches_.reserve(n);
+  hubs_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    flow::FlowCache::Options copts;
+    copts.max_bytes = options_.l1_bytes;
+    copts.second_level = remote_.get();
+    caches_.push_back(std::make_unique<flow::FlowCache>(copts));
+
+    hub::JobServer::Options hopts = options_.hub_options;
+    hopts.seed = options_.hub_options.seed + kHubSeedStride * (i + 1);
+    hopts.cache = caches_.back().get();
+    hopts.on_terminal = [this, i](const hub::JobRecord& record) {
+      on_hub_terminal(i, record);
+    };
+    hubs_.push_back(std::make_unique<hub::JobServer>(std::move(hopts)));
+  }
+  if (options_.steal && n > 1) {
+    rebalancer_ = std::thread([this] { rebalancer_loop(); });
+  }
+}
+
+FederatedService::~FederatedService() {
+  shutdown(hub::JobServer::DrainMode::kCancelPending);
+}
+
+void FederatedService::start() {
+  for (auto& h : hubs_) h->start();
+}
+
+util::Result<FedJobId> FederatedService::submit(hub::JobSpec spec) {
+  if (stopping_.load(std::memory_order_relaxed)) {
+    return util::Status::FailedPrecondition("federation is shut down");
+  }
+  bool charged = false;
+  if (options_.max_commercial_inflight > 0 &&
+      spec.quality == flow::FlowQuality::kCommercial && !spec.degraded) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (commercial_inflight_ >= options_.max_commercial_inflight) {
+      if (options_.quota_degrade) {
+        spec.degraded = true;
+        ++stats_.quota_degraded;
+      } else {
+        ++stats_.quota_rejected;
+        return util::Status::ResourceExhausted(
+            "global commercial quota reached (" +
+            std::to_string(options_.max_commercial_inflight) + " in flight)");
+      }
+    } else {
+      ++commercial_inflight_;
+      charged = true;
+    }
+  }
+  // Shard by (node, design) so one design's history stays on one hub.
+  // Synthetic jobs without a design name shard by job name instead.
+  const std::string& design =
+      spec.design_name.empty() ? spec.name : spec.design_name;
+  const std::size_t home =
+      router_.hub_for(Router::shard_key(spec.node_name, design));
+  auto local = hubs_[home]->submit(std::move(spec));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!local.ok()) {
+    if (charged && commercial_inflight_ > 0) --commercial_inflight_;
+    return local.status();
+  }
+  const FedJobId id = next_id_++;
+  JobRef ref;
+  ref.hub = home;
+  ref.local_id = *local;
+  ref.charged_commercial = charged;
+  ++stats_.submitted;
+  auto [it, inserted] = jobs_.emplace(id, std::move(ref));
+  (void)inserted;
+  register_local_locked(home, *local, id, it->second);
+  return id;
+}
+
+void FederatedService::register_local_locked(std::size_t hub_index,
+                                             hub::JobId local_id, FedJobId id,
+                                             JobRef& ref) {
+  // The hub may have finished the job before we got here (the
+  // notify/register race): its terminal callback parked a note in
+  // early_terminals_ because the reverse mapping did not exist yet.
+  const auto early = early_terminals_.find({hub_index, local_id});
+  if (early != early_terminals_.end()) {
+    early_terminals_.erase(early);
+    settle_locked(ref);
+    return;
+  }
+  reverse_[hub_index][local_id] = id;
+}
+
+void FederatedService::on_hub_terminal(std::size_t hub_index,
+                                       const hub::JobRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& rmap = reverse_[hub_index];
+  const auto rit = rmap.find(record.id);
+  if (rit == rmap.end()) {
+    early_terminals_.insert({hub_index, record.id});
+    return;
+  }
+  const FedJobId id = rit->second;
+  rmap.erase(rit);
+  const auto jit = jobs_.find(id);
+  if (jit != jobs_.end()) settle_locked(jit->second);
+}
+
+void FederatedService::settle_locked(JobRef& ref) {
+  if (ref.settled) return;
+  ref.settled = true;
+  if (ref.charged_commercial && commercial_inflight_ > 0) {
+    --commercial_inflight_;
+  }
+  ++stats_.completed;
+}
+
+util::Result<hub::JobRecord> FederatedService::wait(FedJobId id) {
+  for (;;) {
+    std::size_t home = 0;
+    hub::JobId local = 0;
+    std::uint64_t generation = 0;
+    double prior = 0.0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      const auto it = jobs_.find(id);
+      if (it == jobs_.end()) {
+        return util::Status::NotFound("unknown federation job " +
+                                      std::to_string(id));
+      }
+      if (it->second.orphan) return *it->second.orphan;
+      home = it->second.hub;
+      local = it->second.local_id;
+      generation = it->second.generation;
+      prior = it->second.prior_wait_ms;
+    }
+    auto record = hubs_[home]->wait(local);
+    if (!record.ok()) return record.status();
+    if (record->state != hub::JobState::kMigrated) {
+      hub::JobRecord out = std::move(*record);
+      out.queue_wait_ms += prior;  // wait consumed on previous homes
+      return out;
+    }
+    // Stolen out from under the wait: block until the rebalancer re-homes
+    // (or orphans) the job, then follow the new mapping.
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_moved_.wait(lock, [&] {
+      const auto it = jobs_.find(id);
+      return it == jobs_.end() || it->second.generation != generation ||
+             it->second.orphan != nullptr;
+    });
+  }
+}
+
+bool FederatedService::cancel(FedJobId id) {
+  for (;;) {
+    std::size_t home = 0;
+    hub::JobId local = 0;
+    std::uint64_t generation = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = jobs_.find(id);
+      if (it == jobs_.end() || it->second.orphan) return false;
+      // Sticky: a cancel that races a migration is re-applied by
+      // place_stolen after the job lands on its new home.
+      it->second.cancel_requested = true;
+      home = it->second.hub;
+      local = it->second.local_id;
+      generation = it->second.generation;
+    }
+    if (hubs_[home]->cancel(local)) return true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = jobs_.find(id);
+      if (it == jobs_.end() || it->second.orphan) return false;
+      // Same mapping and the hub refused: genuinely terminal (or mid-
+      // migration, in which case the sticky flag finishes the cancel).
+      if (it->second.generation == generation) return false;
+    }
+    // Migrated between our read and the hub call — retry on the new home.
+  }
+}
+
+std::size_t FederatedService::rebalance_once() {
+  if (stopping_.load(std::memory_order_relaxed) ||
+      draining_.load(std::memory_order_relaxed)) {
+    return 0;
+  }
+  const std::size_t n = hubs_.size();
+  if (n < 2) return 0;
+  // Load snapshot; each probe takes only that hub's lock.
+  std::vector<std::size_t> queued(n), idle(n);
+  std::size_t donor = 0;
+  std::size_t donor_queued = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    queued[i] = hubs_[i]->queued_count();
+    const auto cap = static_cast<std::size_t>(std::max(0, hubs_[i]->capacity()));
+    const std::size_t running = hubs_[i]->running_count();
+    idle[i] = cap > running ? cap - running : 0;
+    if (queued[i] > donor_queued) {
+      donor_queued = queued[i];
+      donor = i;
+    }
+  }
+  if (donor_queued == 0) return 0;
+  std::size_t moved = 0;
+  for (std::size_t t = 0; t < n && donor_queued > 0; ++t) {
+    // Steal only into genuinely idle peers: free workers AND an empty
+    // queue, so migration never makes the recipient's backlog worse.
+    if (t == donor || idle[t] == 0 || queued[t] != 0) continue;
+    const std::size_t want =
+        std::min({idle[t], donor_queued, options_.steal_batch});
+    if (want == 0) continue;
+    auto stolen = hubs_[donor]->export_queued(want);
+    if (stolen.empty()) break;  // queue drained under us
+    donor_queued -= std::min(donor_queued, stolen.size());
+    for (auto& job : stolen) {
+      if (place_stolen(donor, t, std::move(job))) ++moved;
+    }
+  }
+  return moved;
+}
+
+bool FederatedService::place_stolen(std::size_t donor, std::size_t target,
+                                    hub::JobServer::StolenJob job) {
+  FedJobId id = 0;
+  bool tracked = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& rmap = reverse_[donor];
+    const auto rit = rmap.find(job.id);
+    if (rit != rmap.end()) {
+      tracked = true;
+      id = rit->second;
+      rmap.erase(rit);
+    }
+  }
+  if (!tracked) {
+    // Not a federation job (submitted directly to the hub). Hand it back
+    // to the donor so we never lose work we do not track.
+    (void)hubs_[donor]->submit(std::move(job.spec));
+    return false;
+  }
+
+  hub::JobSpec forward = job.spec;  // job.spec kept intact for the fallback
+  bool deadline_spent = false;
+  if (forward.deadline_ms > 0.0) {
+    // The deadline budget is measured from submission; the recipient's
+    // clock restarts, so subtract what the donor's queue already consumed.
+    const double remaining = forward.deadline_ms - job.waited_ms;
+    if (remaining <= 0.0) {
+      deadline_spent = true;
+    } else {
+      forward.deadline_ms = remaining;
+    }
+  }
+
+  util::Result<hub::JobId> placed =
+      util::Status::DeadlineExceeded("deadline consumed while queued");
+  std::size_t home = target;
+  bool landed = false;
+  if (!deadline_spent) {
+    placed = hubs_[target]->submit(forward);
+    landed = placed.ok();
+    if (!landed) {
+      // Recipient refused (queue bound, breaker, gate) — return the job
+      // to the donor under its original spec.
+      placed = hubs_[donor]->submit(std::move(job.spec));
+      home = donor;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto jit = jobs_.find(id);
+  if (jit == jobs_.end()) return landed;
+  JobRef& ref = jit->second;
+  ref.prior_wait_ms += job.waited_ms;
+  if (!placed.ok()) {
+    // No hub holds the job any more: the federation authors the terminal
+    // record (kTimedOut when the deadline ran out in-queue, else kFailed
+    // carrying the resubmission status).
+    auto orphan = std::make_shared<hub::JobRecord>();
+    orphan->name = forward.name;
+    orphan->member = forward.member;
+    orphan->tier = forward.tier;
+    orphan->state = deadline_spent ? hub::JobState::kTimedOut
+                                   : hub::JobState::kFailed;
+    orphan->status = placed.status();
+    orphan->queue_wait_ms = ref.prior_wait_ms;
+    ref.orphan = std::move(orphan);
+    ++ref.generation;
+    ++stats_.orphaned;
+    settle_locked(ref);
+    cv_moved_.notify_all();
+    return false;
+  }
+  ref.hub = home;
+  ref.local_id = *placed;
+  ++ref.generation;
+  register_local_locked(home, *placed, id, ref);
+  if (landed) {
+    ++stats_.stolen;
+  } else {
+    ++stats_.steal_returned;
+  }
+  cv_moved_.notify_all();
+  if (ref.cancel_requested) {
+    // A cancel raced the migration; apply it on the new home. Taking the
+    // hub lock with mu_ held follows the documented fed -> hub order.
+    (void)hubs_[home]->cancel(*placed);
+  }
+  return landed;
+}
+
+std::vector<hub::JobRecord> FederatedService::drain() {
+  draining_.store(true, std::memory_order_relaxed);
+  for (auto& h : hubs_) (void)h->drain();
+  std::vector<FedJobId> ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ids.reserve(jobs_.size());
+    for (const auto& [id, ref] : jobs_) ids.push_back(id);
+  }
+  std::vector<hub::JobRecord> out;
+  out.reserve(ids.size());
+  for (const FedJobId id : ids) {
+    auto record = wait(id);
+    if (record.ok()) out.push_back(std::move(*record));
+  }
+  draining_.store(false, std::memory_order_relaxed);
+  return out;
+}
+
+void FederatedService::shutdown(hub::JobServer::DrainMode mode) {
+  bool expected = false;
+  if (stopping_.compare_exchange_strong(expected, true)) {
+    {
+      std::lock_guard<std::mutex> lock(steal_mu_);
+    }
+    cv_steal_.notify_all();
+    if (rebalancer_.joinable()) rebalancer_.join();
+  }
+  for (auto& h : hubs_) h->shutdown(mode);
+}
+
+void FederatedService::rebalancer_loop() {
+  const auto interval = std::chrono::duration<double, std::milli>(
+      std::max(0.1, options_.steal_interval_ms));
+  std::unique_lock<std::mutex> lock(steal_mu_);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    cv_steal_.wait_for(lock, interval, [this] {
+      return stopping_.load(std::memory_order_relaxed);
+    });
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    lock.unlock();
+    if (!draining_.load(std::memory_order_relaxed)) (void)rebalance_once();
+    lock.lock();
+  }
+}
+
+FederatedService::Stats FederatedService::stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.commercial_inflight = commercial_inflight_;
+  return s;
+}
+
+std::string FederatedService::export_prometheus() {
+  std::string out;
+  for (std::size_t i = 0; i < hubs_.size(); ++i) {
+    out += hubs_[i]->metrics().export_prometheus("hub",
+                                                 "hub-" + std::to_string(i));
+  }
+  return out;
+}
+
+}  // namespace eurochip::fed

@@ -1,0 +1,204 @@
+// FederatedService: several hub::JobServers operated as one platform.
+//
+// The paper argues for *shared* enablement infrastructure (Recommendations
+// 7/8); one JobServer is a single hub. This module federates N of them:
+//
+//   * a sharded front end (Router): submissions route by the
+//     (node, design) identity digest on a consistent-hash ring, so one
+//     design's jobs always land on the same hub — its L1 FlowCache and
+//     circuit breaker accumulate that design's history;
+//   * a shared second-level cache (RemoteCache wired into every hub's
+//     FlowCache as flow::CacheTier): snapshots computed on one hub are
+//     fetched — as verified bytes, over a modeled network — by every
+//     other, so cross-hub duplicate work is only paid once;
+//   * cross-hub work stealing: a background rebalancer moves queued jobs
+//     from the most-backlogged hub onto idle peers (the donor finalizes
+//     them as kMigrated; the federation re-maps the job id), respecting
+//     the recipient's admission control and circuit breakers;
+//   * global tier quotas: a federation-wide cap on concurrently admitted
+//     kCommercial-effort jobs, enforced at submission (degrade-to-open or
+//     reject), on top of each hub's local shedding.
+//
+// Determinism contract: federated execution changes WHERE and WHEN a job
+// runs, never its result. For a fixed spec seed, a job's artifact digest
+// (JobRecord::artifact_digest) is identical on 1 hub or N, with stealing
+// on or off, cold caches or warm — bench_federation enforces this with a
+// hard gate.
+//
+// Lock order: the federation mutex may be held while taking a hub's mutex
+// (submit/export during rebalance); a hub NEVER calls back into the
+// federation while holding its own mutex (Options::on_terminal fires
+// unlocked), so the order fed -> hub is acyclic.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "eurochip/fed/remote_cache.hpp"
+#include "eurochip/fed/router.hpp"
+#include "eurochip/flow/cache.hpp"
+#include "eurochip/hub/server.hpp"
+
+namespace eurochip::fed {
+
+/// Federation-wide job handle. Stable across migrations (the underlying
+/// hub-local JobId changes when a job is stolen).
+using FedJobId = std::uint64_t;
+
+class FederatedService {
+ public:
+  struct Options {
+    /// Member hubs. Each gets its own JobServer + L1 FlowCache.
+    std::size_t hubs = 2;
+    /// Template for every hub's JobServer (capacity, scheduler, admission
+    /// control, ...). Per-hub overrides applied by the federation: `seed`
+    /// is decorrelated per hub, `cache` points at the hub's own L1, and
+    /// `on_terminal` is taken over for quota accounting.
+    hub::JobServer::Options hub_options;
+    /// Per-hub L1 FlowCache byte budget.
+    std::size_t l1_bytes = 64u << 20;
+    /// Shared L2 tier; disable to make hubs cache-islands (ablation).
+    bool enable_remote_cache = true;
+    RemoteCache::Options remote;
+    Router::Options router;
+    /// Cross-hub work stealing by the background rebalancer.
+    bool steal = true;
+    double steal_interval_ms = 5.0;
+    /// Max queued jobs moved per donor per rebalance round.
+    std::size_t steal_batch = 4;
+    /// Global quota: max concurrently admitted (queued or running)
+    /// kCommercial-effort jobs across all hubs. 0 = unlimited.
+    std::size_t max_commercial_inflight = 0;
+    /// At the quota: true = admit degraded to open effort (counts
+    /// quota_degraded), false = reject with kResourceExhausted.
+    bool quota_degrade = true;
+  };
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;       ///< terminal on some hub (not migrated)
+    std::uint64_t stolen = 0;          ///< successful migrations
+    std::uint64_t steal_returned = 0;  ///< steals bounced back to the donor
+    std::uint64_t orphaned = 0;        ///< stolen jobs no hub would take back
+    std::uint64_t quota_degraded = 0;
+    std::uint64_t quota_rejected = 0;
+    std::size_t commercial_inflight = 0;
+  };
+
+  explicit FederatedService(Options options);
+  ~FederatedService();
+
+  FederatedService(const FederatedService&) = delete;
+  FederatedService& operator=(const FederatedService&) = delete;
+
+  /// Wakes hubs constructed with start_paused.
+  void start();
+
+  /// Routes and enqueues. Fails like JobServer::submit, plus
+  /// kResourceExhausted when the global commercial quota rejects.
+  util::Result<FedJobId> submit(hub::JobSpec spec);
+
+  /// Blocks until the job is terminal SOMEWHERE (following migrations);
+  /// the returned record's queue_wait_ms includes time spent queued on
+  /// every hub that held the job.
+  [[nodiscard]] util::Result<hub::JobRecord> wait(FedJobId id);
+
+  /// Cancels wherever the job currently lives; a cancel racing a steal is
+  /// re-applied after the job lands on the recipient.
+  bool cancel(FedJobId id);
+
+  /// Runs one rebalance round synchronously (also what the background
+  /// thread does); returns jobs moved. Exposed for deterministic tests.
+  std::size_t rebalance_once();
+
+  /// Drains every hub (stealing paused) and returns all federation job
+  /// records in FedJobId order.
+  std::vector<hub::JobRecord> drain();
+
+  /// Stops the rebalancer and shuts every hub down; idempotent.
+  void shutdown(
+      hub::JobServer::DrainMode mode = hub::JobServer::DrainMode::kDrain);
+
+  [[nodiscard]] Stats stats();
+
+  /// Concatenated per-hub metrics, each labeled {hub="hub-<i>"}, plus the
+  /// remote tier is NOT included (it has no registry) — callers read
+  /// remote_cache()->stats() directly.
+  [[nodiscard]] std::string export_prometheus();
+
+  [[nodiscard]] std::size_t num_hubs() const { return hubs_.size(); }
+  [[nodiscard]] hub::JobServer& hub(std::size_t i) { return *hubs_.at(i); }
+  [[nodiscard]] flow::FlowCache& l1_cache(std::size_t i) {
+    return *caches_.at(i);
+  }
+  [[nodiscard]] RemoteCache* remote_cache() { return remote_.get(); }
+  [[nodiscard]] const Router& router() const { return router_; }
+
+ private:
+  struct JobRef {
+    std::size_t hub = 0;          ///< current home hub index
+    hub::JobId local_id = 0;      ///< id on that hub
+    std::uint64_t generation = 0; ///< bumped on every migration
+    double prior_wait_ms = 0.0;   ///< queue time consumed on previous hubs
+    bool charged_commercial = false;
+    bool settled = false;         ///< quota released / completion counted
+    bool cancel_requested = false;
+    /// Set when no hub holds the job any more (failed re-admission after a
+    /// steal): the federation-authored terminal record.
+    std::shared_ptr<hub::JobRecord> orphan;
+  };
+
+  void on_hub_terminal(std::size_t hub_index, const hub::JobRecord& record);
+  /// Installs the (hub, local id) -> fed id mapping, or settles the job
+  /// immediately if its terminal notification already arrived (the
+  /// notify/register race). Caller holds mu_.
+  void register_local_locked(std::size_t hub_index, hub::JobId local_id,
+                             FedJobId id, JobRef& ref);
+  /// Releases the quota charge + counts completion. Caller holds mu_.
+  void settle_locked(JobRef& ref);
+  void rebalancer_loop();
+  /// Re-homes one stolen job onto `target` (falling back to the donor,
+  /// then to an orphan record). Returns true if it landed on `target`.
+  bool place_stolen(std::size_t donor, std::size_t target,
+                    hub::JobServer::StolenJob job);
+
+  // Declaration order is destruction-order-critical: hub worker threads
+  // call on_hub_terminal (locks mu_, touches the maps) until each hub is
+  // shut down, so mu_ and the maps are declared BEFORE hubs_ (destroyed
+  // after them); caches_ and remote_ likewise outlive the hubs using them.
+  Options options_;
+  Router router_;
+
+  std::mutex mu_;
+  std::condition_variable cv_moved_;  ///< mapping changed (migration/orphan)
+  std::map<FedJobId, JobRef> jobs_;
+  /// (hub, local id) -> fed id, one map per hub.
+  std::vector<std::unordered_map<hub::JobId, FedJobId>> reverse_;
+  /// Terminal notifications that arrived before submit() registered the
+  /// mapping (the notify/submit race); settled on registration.
+  std::set<std::pair<std::size_t, hub::JobId>> early_terminals_;
+  FedJobId next_id_ = 1;
+  std::size_t commercial_inflight_ = 0;
+  Stats stats_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::unique_ptr<RemoteCache> remote_;
+  std::vector<std::unique_ptr<flow::FlowCache>> caches_;
+  std::vector<std::unique_ptr<hub::JobServer>> hubs_;
+
+  std::mutex steal_mu_;
+  std::condition_variable cv_steal_;
+  std::thread rebalancer_;
+};
+
+}  // namespace eurochip::fed

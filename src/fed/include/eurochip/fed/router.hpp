@@ -1,0 +1,58 @@
+// Consistent-hash front-end router for a federated multi-hub service.
+//
+// The paper's Recommendation 7 platform, scaled out: when one JobServer is
+// not enough, a federation runs several and needs a stable answer to
+// "which hub owns this submission?". The router shards by the
+// (node, design) identity digest on a consistent-hash ring: each hub
+// contributes `vnodes` virtual points, a key maps to the first point at or
+// after its hash. Adding/removing one hub remaps only the keys whose
+// nearest point changed — about 1/N of the space — so a hub joining or
+// leaving does not reshuffle every design's cache locality.
+//
+// Sharding by (node, design) is deliberate: all submissions of one design
+// on one node land on the same hub, so that hub's L1 FlowCache collects
+// the design's step snapshots and its circuit breaker sees the design's
+// full failure history. Work stealing (federation.hpp) then smooths the
+// load imbalance this locality costs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eurochip/util/digest.hpp"
+
+namespace eurochip::fed {
+
+class Router {
+ public:
+  struct Options {
+    /// Virtual points per hub. More points = smoother key distribution at
+    /// the cost of a larger ring (lookup stays O(log(hubs * vnodes))).
+    int vnodes = 64;
+    /// Absorbed into every ring-point hash, so two federations with the
+    /// same hub count still shard differently when seeded apart.
+    std::uint64_t seed = 0;
+  };
+
+  explicit Router(std::size_t num_hubs) : Router(num_hubs, Options{}) {}
+  Router(std::size_t num_hubs, Options options);
+
+  /// The shard key of a submission: H(node_name, design_name). Stable
+  /// across processes (util::Hasher is platform-independent).
+  [[nodiscard]] static util::Digest shard_key(const std::string& node_name,
+                                              const std::string& design_name);
+
+  /// Hub index owning `key` — deterministic for a fixed (hub count,
+  /// options).
+  [[nodiscard]] std::size_t hub_for(const util::Digest& key) const;
+
+  [[nodiscard]] std::size_t num_hubs() const { return num_hubs_; }
+
+ private:
+  std::size_t num_hubs_;
+  /// Ring points sorted by position; each carries its hub index.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+};
+
+}  // namespace eurochip::fed

@@ -1,0 +1,41 @@
+#include "eurochip/fed/router.hpp"
+
+#include <algorithm>
+
+namespace eurochip::fed {
+
+Router::Router(std::size_t num_hubs, Options options)
+    : num_hubs_(std::max<std::size_t>(1, num_hubs)) {
+  const int vnodes = std::max(1, options.vnodes);
+  ring_.reserve(num_hubs_ * static_cast<std::size_t>(vnodes));
+  for (std::uint32_t hub = 0; hub < num_hubs_; ++hub) {
+    for (int v = 0; v < vnodes; ++v) {
+      util::Hasher h;
+      h.str("fed.ring");
+      h.u64(options.seed);
+      h.u32(hub);
+      h.u32(static_cast<std::uint32_t>(v));
+      ring_.emplace_back(h.finalize().lo, hub);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+util::Digest Router::shard_key(const std::string& node_name,
+                               const std::string& design_name) {
+  util::Hasher h;
+  h.str("fed.shard");
+  h.str(node_name);
+  h.str(design_name);
+  return h.finalize();
+}
+
+std::size_t Router::hub_for(const util::Digest& key) const {
+  // First ring point at or after the key's position; wrap to the start.
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(),
+      std::make_pair(key.lo, std::uint32_t{0}));
+  return it != ring_.end() ? it->second : ring_.front().second;
+}
+
+}  // namespace eurochip::fed

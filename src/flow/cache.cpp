@@ -1,5 +1,6 @@
 #include "eurochip/flow/cache.hpp"
 
+#include "eurochip/flow/serialize.hpp"
 #include "eurochip/util/fault.hpp"
 #include "eurochip/util/trace.hpp"
 
@@ -196,13 +197,56 @@ bool FlowCache::lookup(const util::Digest& key, FlowContext& ctx) {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = index_.find(key);
     if (it == index_.end()) {
+      // Local miss: try the second-level tier (outside the lock, below)
+      // before deciding between remote_hits_ and misses_.
+      if (options_.second_level == nullptr) {
+        ++misses_;
+        if (span.active()) span.annotate("hit", false);
+        return false;
+      }
+    } else {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      snap = it->second.snapshot;
+      ++hits_;
+    }
+  }
+  if (!snap) {
+    // Second-level probe. The tier hands back serialize_snapshot() bytes;
+    // anything that fails to decode (truncation, corruption, version skew)
+    // degrades to a miss — the tier is an optimization, never trusted.
+    std::vector<std::uint8_t> bytes;
+    if (!options_.second_level->fetch(key, &bytes)) {
+      std::lock_guard<std::mutex> lock(mu_);
       ++misses_;
       if (span.active()) span.annotate("hit", false);
       return false;
     }
-    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-    snap = it->second.snapshot;
-    ++hits_;
+    FlowContext tmp;
+    if (!deserialize_snapshot(bytes, tmp).ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++remote_errors_;
+      ++misses_;
+      if (span.active()) span.annotate("hit", std::string("remote-error"));
+      return false;
+    }
+    // Re-admit locally so the next lookup skips the network. admit_local
+    // does not publish back — the tier just served these bytes.
+    std::shared_ptr<const Snapshot> fetched = snapshot_of(tmp);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++remote_hits_;
+    }
+    if (span.active()) {
+      span.annotate("hit", std::string("remote"));
+      span.annotate("bytes", static_cast<std::uint64_t>(fetched->bytes));
+    }
+    const rtl::Module* design = ctx.artifacts.design;
+    ctx.artifacts = std::move(tmp.artifacts);
+    ctx.artifacts.design = design;
+    ctx.steps = std::move(tmp.steps);
+    for (StepRecord& rec : ctx.steps) rec.cached = true;
+    admit_local(key, std::move(fetched));
+    return true;
   }
   if (span.active()) {
     span.annotate("hit", true);
@@ -235,17 +279,30 @@ void FlowCache::store(const util::Digest& key, const FlowContext& ctx) {
     }
   }
   // Snapshot outside the lock (it is the expensive part). A racing store
-  // of the same key is resolved below: first writer wins.
+  // of the same key is resolved in admit_local: first writer wins.
   std::shared_ptr<const Snapshot> snap = snapshot_of(ctx);
   if (span.active()) {
     span.annotate("bytes", static_cast<std::uint64_t>(snap->bytes));
   }
-  if (snap->bytes > options_.max_bytes) {
-    if (span.active()) span.annotate("admitted", std::string("over-budget"));
-    return;  // would evict everything
+  const bool over_budget = snap->bytes > options_.max_bytes;
+  if (span.active()) {
+    if (over_budget) {
+      span.annotate("admitted", std::string("over-budget"));
+    } else {
+      span.annotate("admitted", true);
+    }
   }
-  if (span.active()) span.annotate("admitted", true);
+  if (!over_budget) admit_local(key, std::move(snap));
+  // Publish to the second-level tier even when over the local budget: the
+  // tier has its own (typically larger) budget and serves every peer.
+  if (options_.second_level != nullptr) {
+    options_.second_level->publish(key, serialize_snapshot(ctx));
+  }
+}
 
+void FlowCache::admit_local(const util::Digest& key,
+                            std::shared_ptr<const Snapshot> snap) {
+  if (snap->bytes > options_.max_bytes) return;  // would evict everything
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
@@ -291,6 +348,8 @@ FlowCache::Stats FlowCache::stats() const {
   s.misses = misses_;
   s.stores = stores_;
   s.evictions = evictions_;
+  s.remote_hits = remote_hits_;
+  s.remote_errors = remote_errors_;
   s.bytes = bytes_;
   s.entries = index_.size();
   return s;

@@ -38,19 +38,49 @@
 
 namespace eurochip::flow {
 
+/// A second-level snapshot store behind a FlowCache — in a federation, the
+/// remote cache tier shared by all hubs (fed::RemoteCache). Keys are the
+/// same content digests as the L1; values are flow::serialize_snapshot()
+/// byte streams. Implementations must be safe to call from any thread.
+///
+/// The contract is deliberately lossy: fetch() may miss for any reason
+/// (eviction, network fault, corruption) and publish() is fire-and-forget —
+/// FlowCache treats the tier as an optimization, never as ground truth.
+class CacheTier {
+ public:
+  virtual ~CacheTier() = default;
+
+  /// On hit, fills `out` with the stored bytes and returns true.
+  virtual bool fetch(const util::Digest& key,
+                     std::vector<std::uint8_t>* out) = 0;
+
+  /// Offers `bytes` for storage under `key`. May be dropped silently.
+  virtual void publish(const util::Digest& key,
+                       const std::vector<std::uint8_t>& bytes) = 0;
+};
+
 class FlowCache {
  public:
   struct Options {
     /// Approximate cap on resident snapshot bytes. LRU entries are evicted
     /// until the estimate fits.
     std::size_t max_bytes = 256u << 20;
+    /// Optional second-level tier (borrowed; must outlive the cache). On a
+    /// local miss, lookup() tries the tier and — if the fetched bytes
+    /// deserialize cleanly — re-admits the snapshot locally; store()
+    /// publishes every admitted snapshot to the tier. Bytes that fail to
+    /// deserialize (truncation, corruption, version skew) count as
+    /// remote_errors and degrade to a plain miss.
+    CacheTier* second_level = nullptr;
   };
 
   struct Stats {
-    std::uint64_t hits = 0;        ///< lookup() found the key
+    std::uint64_t hits = 0;        ///< lookup() found the key locally
     std::uint64_t misses = 0;      ///< lookup() probes that found nothing
     std::uint64_t stores = 0;      ///< snapshots admitted
     std::uint64_t evictions = 0;   ///< entries dropped for the byte budget
+    std::uint64_t remote_hits = 0;    ///< misses rescued by second_level
+    std::uint64_t remote_errors = 0;  ///< tier bytes that failed to decode
     std::size_t bytes = 0;         ///< current resident estimate
     std::size_t entries = 0;       ///< current entry count
   };
@@ -86,6 +116,12 @@ class FlowCache {
   static std::shared_ptr<const Snapshot> snapshot_of(const FlowContext& ctx);
   static void restore(const Snapshot& snap, FlowContext& ctx);
 
+  /// Admits an already-built snapshot under the L1 policy (presence check,
+  /// budget check, LRU insert). Shared by store() and the L2 re-admission
+  /// path; does NOT publish to second_level.
+  void admit_local(const util::Digest& key,
+                   std::shared_ptr<const Snapshot> snap);
+
   void evict_to_budget_locked();
 
   Options options_;
@@ -102,6 +138,8 @@ class FlowCache {
   std::uint64_t misses_ = 0;
   std::uint64_t stores_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t remote_hits_ = 0;
+  std::uint64_t remote_errors_ = 0;
 };
 
 }  // namespace eurochip::flow

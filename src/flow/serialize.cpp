@@ -1,0 +1,728 @@
+#include "eurochip/flow/serialize.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "eurochip/util/digest.hpp"
+
+namespace eurochip::flow {
+
+namespace {
+
+util::Status bad(const std::string& what) {
+  return util::Status::Internal("wire: " + what);
+}
+
+void write_point(util::WireWriter& w, const util::Point& p) {
+  w.i64(p.x).i64(p.y);
+}
+
+util::Point read_point(util::WireReader& r) {
+  util::Point p;
+  p.x = r.i64();
+  p.y = r.i64();
+  return p;
+}
+
+void write_rect(util::WireWriter& w, const util::Rect& rect) {
+  w.i64(rect.lx).i64(rect.ly).i64(rect.ux).i64(rect.uy);
+}
+
+util::Rect read_rect(util::WireReader& r) {
+  util::Rect rect;
+  rect.lx = r.i64();
+  rect.ly = r.i64();
+  rect.ux = r.i64();
+  rect.uy = r.i64();
+  return rect;
+}
+
+void write_doubles(util::WireWriter& w, const std::vector<double>& v) {
+  w.size(v.size());
+  for (const double x : v) w.f64(x);
+}
+
+std::vector<double> read_doubles(util::WireReader& r) {
+  const std::size_t n = r.size();
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n && r.ok(); ++i) v.push_back(r.f64());
+  return v;
+}
+
+void write_table(util::WireWriter& w, const netlist::NldmTable& t) {
+  write_doubles(w, t.slew_axis());
+  write_doubles(w, t.load_axis());
+  write_doubles(w, t.values());
+}
+
+/// NldmTable's constructor throws on inconsistent grids, so the vectors
+/// are validated here first and a corrupt stream fails the reader instead.
+util::Result<netlist::NldmTable> read_table(util::WireReader& r) {
+  std::vector<double> slew = read_doubles(r);
+  std::vector<double> load = read_doubles(r);
+  std::vector<double> values = read_doubles(r);
+  if (!r.ok()) return bad("truncated NLDM table");
+  if (slew.empty() && load.empty() && values.empty()) {
+    return netlist::NldmTable();  // default-constructed empty table
+  }
+  if (slew.empty() || load.empty() ||
+      values.size() != slew.size() * load.size() ||
+      !std::is_sorted(slew.begin(), slew.end()) ||
+      !std::is_sorted(load.begin(), load.end())) {
+    r.fail();
+    return bad("inconsistent NLDM table");
+  }
+  return netlist::NldmTable(std::move(slew), std::move(load),
+                            std::move(values));
+}
+
+}  // namespace
+
+// --- CellLibrary ----------------------------------------------------------
+
+void serialize(util::WireWriter& w, const netlist::CellLibrary& lib) {
+  w.str(lib.name()).str(lib.node_name());
+  w.i64(lib.row_height_dbu()).i64(lib.site_width_dbu());
+  w.size(lib.size());
+  for (std::size_t i = 0; i < lib.size(); ++i) {
+    const netlist::LibraryCell& c = lib.cell(i);
+    w.str(c.name).u8(static_cast<std::uint8_t>(c.fn));
+    w.i64(c.drive_strength);
+    w.f64(c.area_um2).f64(c.leakage_nw).f64(c.input_cap_ff);
+    w.f64(c.output_cap_ff).f64(c.max_load_ff);
+    w.i64(c.width_dbu);
+    write_table(w, c.delay_ps);
+    write_table(w, c.output_slew_ps);
+  }
+}
+
+util::Result<netlist::CellLibrary> deserialize_library(util::WireReader& r) {
+  std::string name = r.str();
+  std::string node_name = r.str();
+  const std::int64_t row_height = r.i64();
+  const std::int64_t site_width = r.i64();
+  netlist::CellLibrary lib(std::move(name), std::move(node_name), row_height,
+                           site_width);
+  const std::size_t n = r.size();
+  for (std::size_t i = 0; i < n && r.ok(); ++i) {
+    netlist::LibraryCell c;
+    c.name = r.str();
+    const std::uint8_t fn = r.u8();
+    if (fn > static_cast<std::uint8_t>(netlist::CellFn::kDff)) {
+      return bad("unknown cell function");
+    }
+    c.fn = static_cast<netlist::CellFn>(fn);
+    c.drive_strength = static_cast<int>(r.i64());
+    c.area_um2 = r.f64();
+    c.leakage_nw = r.f64();
+    c.input_cap_ff = r.f64();
+    c.output_cap_ff = r.f64();
+    c.max_load_ff = r.f64();
+    c.width_dbu = r.i64();
+    auto delay = read_table(r);
+    if (!delay.ok()) return delay.status();
+    c.delay_ps = std::move(*delay);
+    auto slew = read_table(r);
+    if (!slew.ok()) return slew.status();
+    c.output_slew_ps = std::move(*slew);
+    lib.add_cell(std::move(c));
+  }
+  if (!r.ok()) return bad("truncated library");
+  return lib;
+}
+
+// --- Aig ------------------------------------------------------------------
+
+void serialize(util::WireWriter& w, const synth::Aig& aig) {
+  // Names live in parallel vectors keyed by position; index them by node
+  // id once so the node loop stays O(1) per node.
+  std::unordered_map<std::uint32_t, const std::string*> name_of;
+  for (std::size_t i = 0; i < aig.inputs().size(); ++i) {
+    name_of[aig.inputs()[i]] = &aig.input_names()[i];
+  }
+  for (std::size_t i = 0; i < aig.latches().size(); ++i) {
+    name_of[aig.latches()[i]] = &aig.latch_names()[i];
+  }
+  w.size(aig.num_nodes());
+  for (std::uint32_t id = 1; id < aig.num_nodes(); ++id) {
+    const synth::AigNode& node = aig.node(id);
+    w.u8(static_cast<std::uint8_t>(node.kind));
+    switch (node.kind) {
+      case synth::NodeKind::kInput:
+        w.str(*name_of.at(id));
+        break;
+      case synth::NodeKind::kLatch:
+        w.str(*name_of.at(id)).boolean(aig.latch_init(id));
+        break;
+      case synth::NodeKind::kAnd:
+        w.u32(node.fanin0).u32(node.fanin1);
+        break;
+      case synth::NodeKind::kConst:
+        break;  // only node 0; never reached for id >= 1
+    }
+  }
+  w.size(aig.latches().size());
+  for (const std::uint32_t latch : aig.latches()) {
+    w.u32(aig.latch_next(latch));
+  }
+  w.size(aig.outputs().size());
+  for (const synth::AigOutput& out : aig.outputs()) {
+    w.str(out.name).u32(out.lit);
+  }
+}
+
+util::Result<synth::Aig> deserialize_aig(util::WireReader& r) {
+  synth::Aig aig;
+  const std::size_t num_nodes = r.size();
+  if (r.ok() && num_nodes == 0) return bad("AIG without constant node");
+  for (std::uint32_t id = 1; id < num_nodes && r.ok(); ++id) {
+    const std::uint8_t kind = r.u8();
+    switch (static_cast<synth::NodeKind>(kind)) {
+      case synth::NodeKind::kInput: {
+        const synth::Lit lit = aig.add_input(r.str());
+        if (synth::lit_node(lit) != id) return bad("AIG input id drift");
+        break;
+      }
+      case synth::NodeKind::kLatch: {
+        std::string name = r.str();
+        const bool init = r.boolean();
+        const synth::Lit lit = aig.add_latch(std::move(name), init);
+        if (synth::lit_node(lit) != id) return bad("AIG latch id drift");
+        break;
+      }
+      case synth::NodeKind::kAnd: {
+        const synth::Lit f0 = r.u32();
+        const synth::Lit f1 = r.u32();
+        if (synth::lit_node(f0) >= id || synth::lit_node(f1) >= id) {
+          return bad("AIG fanin ahead of node");
+        }
+        // Replay through the structural hash: the original graph already
+        // survived folding, so and_() must recreate this exact node. Any
+        // drift means the stream and this strash disagree — reject rather
+        // than return a structurally different graph under the same key.
+        const synth::Lit lit = aig.and_(f0, f1);
+        if (lit != synth::make_lit(id, false)) {
+          return bad("AIG strash replay mismatch");
+        }
+        break;
+      }
+      default:
+        return bad("unknown AIG node kind");
+    }
+  }
+  const std::size_t num_latches = r.size();
+  if (r.ok() && num_latches != aig.latches().size()) {
+    return bad("AIG latch count mismatch");
+  }
+  for (std::size_t i = 0; i < num_latches && r.ok(); ++i) {
+    const synth::Lit next = r.u32();
+    if (synth::lit_node(next) >= aig.num_nodes()) {
+      return bad("AIG latch next out of range");
+    }
+    aig.set_latch_next(synth::make_lit(aig.latches()[i], false), next);
+  }
+  const std::size_t num_outputs = r.size();
+  for (std::size_t i = 0; i < num_outputs && r.ok(); ++i) {
+    std::string name = r.str();
+    const synth::Lit lit = r.u32();
+    if (synth::lit_node(lit) >= aig.num_nodes()) {
+      return bad("AIG output out of range");
+    }
+    aig.add_output(std::move(name), lit);
+  }
+  if (!r.ok()) return bad("truncated AIG");
+  return aig;
+}
+
+// --- Netlist --------------------------------------------------------------
+
+void serialize(util::WireWriter& w, const netlist::Netlist& nl) {
+  w.str(nl.name());
+  w.size(nl.num_cells());
+  for (const netlist::CellId id : nl.all_cells()) {
+    const netlist::Cell& c = nl.cell(id);
+    w.str(c.name).u32(c.lib_index);
+    w.size(c.fanin.size());
+    for (const netlist::NetId f : c.fanin) w.u32(f.value);
+    w.u32(c.output.value);
+  }
+  w.size(nl.num_nets());
+  for (const netlist::NetId id : nl.all_nets()) {
+    const netlist::Net& n = nl.net(id);
+    w.str(n.name).u8(static_cast<std::uint8_t>(n.driver_kind));
+    w.u32(n.driver_cell.value);
+    w.size(n.sinks.size());
+    for (const netlist::PinRef& s : n.sinks) {
+      w.u32(s.cell.value).u8(s.pin);
+    }
+    w.boolean(n.is_primary_output);
+  }
+  const auto write_ports = [&w](const std::vector<netlist::Port>& ports) {
+    w.size(ports.size());
+    for (const netlist::Port& p : ports) w.str(p.name).u32(p.net.value);
+  };
+  write_ports(nl.inputs());
+  write_ports(nl.outputs());
+}
+
+util::Result<netlist::Netlist> deserialize_netlist(
+    util::WireReader& r, const netlist::CellLibrary* library) {
+  if (library == nullptr) return bad("netlist without library");
+  std::string name = r.str();
+  const std::size_t num_cells = r.size();
+  std::vector<netlist::Cell> cells;
+  cells.reserve(num_cells);
+  for (std::size_t i = 0; i < num_cells && r.ok(); ++i) {
+    netlist::Cell c;
+    c.name = r.str();
+    c.lib_index = r.u32();
+    if (r.ok() && c.lib_index >= library->size()) {
+      return bad("cell library index out of range");
+    }
+    const std::size_t fanins = r.size();
+    c.fanin.reserve(fanins);
+    for (std::size_t k = 0; k < fanins && r.ok(); ++k) {
+      c.fanin.push_back(netlist::NetId{r.u32()});
+    }
+    c.output = netlist::NetId{r.u32()};
+    cells.push_back(std::move(c));
+  }
+  const std::size_t num_nets = r.size();
+  std::vector<netlist::Net> nets;
+  nets.reserve(num_nets);
+  for (std::size_t i = 0; i < num_nets && r.ok(); ++i) {
+    netlist::Net n;
+    n.name = r.str();
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(netlist::DriverKind::kConst1)) {
+      return bad("unknown net driver kind");
+    }
+    n.driver_kind = static_cast<netlist::DriverKind>(kind);
+    n.driver_cell = netlist::CellId{r.u32()};
+    const std::size_t sinks = r.size();
+    n.sinks.reserve(sinks);
+    for (std::size_t k = 0; k < sinks && r.ok(); ++k) {
+      netlist::PinRef s;
+      s.cell = netlist::CellId{r.u32()};
+      s.pin = r.u8();
+      n.sinks.push_back(s);
+    }
+    n.is_primary_output = r.boolean();
+    nets.push_back(std::move(n));
+  }
+  const auto read_ports = [&r](std::vector<netlist::Port>& ports) {
+    const std::size_t n = r.size();
+    ports.reserve(n);
+    for (std::size_t i = 0; i < n && r.ok(); ++i) {
+      netlist::Port p;
+      p.name = r.str();
+      p.net = netlist::NetId{r.u32()};
+      ports.push_back(std::move(p));
+    }
+  };
+  std::vector<netlist::Port> inputs;
+  std::vector<netlist::Port> outputs;
+  read_ports(inputs);
+  read_ports(outputs);
+  if (!r.ok()) return bad("truncated netlist");
+  // Referential validation: every id either valid-in-range or kInvalid.
+  const auto net_ok = [&](netlist::NetId id) {
+    return !id.valid() || id.value < nets.size();
+  };
+  const auto cell_ok = [&](netlist::CellId id) {
+    return !id.valid() || id.value < cells.size();
+  };
+  for (const netlist::Cell& c : cells) {
+    if (!net_ok(c.output)) return bad("cell output net out of range");
+    for (const netlist::NetId f : c.fanin) {
+      if (!net_ok(f)) return bad("cell fanin net out of range");
+    }
+  }
+  for (const netlist::Net& n : nets) {
+    if (!cell_ok(n.driver_cell)) return bad("net driver out of range");
+    for (const netlist::PinRef& s : n.sinks) {
+      if (!cell_ok(s.cell)) return bad("net sink out of range");
+    }
+  }
+  for (const netlist::Port& p : inputs) {
+    if (!net_ok(p.net)) return bad("input port net out of range");
+  }
+  for (const netlist::Port& p : outputs) {
+    if (!net_ok(p.net)) return bad("output port net out of range");
+  }
+  return netlist::Netlist::from_raw(library, std::move(name),
+                                    std::move(cells), std::move(nets),
+                                    std::move(inputs), std::move(outputs));
+}
+
+// --- PlacedDesign ---------------------------------------------------------
+
+void serialize(util::WireWriter& w, const place::PlacedDesign& placed) {
+  const place::Floorplan& fp = placed.floorplan;
+  write_rect(w, fp.die());
+  write_rect(w, fp.core());
+  w.size(fp.rows().size());
+  for (const place::Row& row : fp.rows()) write_rect(w, row.bounds);
+  w.i64(fp.site_width()).i64(fp.row_height()).f64(fp.utilization());
+  const auto write_points = [&w](const std::vector<util::Point>& pts) {
+    w.size(pts.size());
+    for (const util::Point& p : pts) write_point(w, p);
+  };
+  write_points(placed.cell_origin);
+  write_points(placed.input_pad);
+  write_points(placed.output_pad);
+  // net_pad_points is derived; the reader rebuilds it via build_pad_index.
+}
+
+util::Result<place::PlacedDesign> deserialize_placed(
+    util::WireReader& r, const netlist::Netlist* netlist) {
+  place::PlacedDesign placed;
+  placed.netlist = netlist;
+  const util::Rect die = read_rect(r);
+  const util::Rect core = read_rect(r);
+  const std::size_t num_rows = r.size();
+  std::vector<place::Row> rows;
+  rows.reserve(num_rows);
+  for (std::size_t i = 0; i < num_rows && r.ok(); ++i) {
+    rows.push_back(place::Row{read_rect(r)});
+  }
+  const std::int64_t site_width = r.i64();
+  const std::int64_t row_height = r.i64();
+  const double utilization = r.f64();
+  placed.floorplan = place::Floorplan::from_raw(
+      die, core, std::move(rows), site_width, row_height, utilization);
+  const auto read_points = [&r](std::vector<util::Point>& pts) {
+    const std::size_t n = r.size();
+    pts.reserve(n);
+    for (std::size_t i = 0; i < n && r.ok(); ++i) {
+      pts.push_back(read_point(r));
+    }
+  };
+  read_points(placed.cell_origin);
+  read_points(placed.input_pad);
+  read_points(placed.output_pad);
+  if (!r.ok()) return bad("truncated placement");
+  if (netlist != nullptr) {
+    if (placed.cell_origin.size() != netlist->num_cells() ||
+        placed.input_pad.size() != netlist->inputs().size() ||
+        placed.output_pad.size() != netlist->outputs().size()) {
+      return bad("placement does not match netlist shape");
+    }
+    placed.build_pad_index();
+  }
+  return placed;
+}
+
+// --- ClockTree ------------------------------------------------------------
+
+void serialize(util::WireWriter& w, const cts::ClockTree& tree) {
+  w.size(tree.nodes.size());
+  for (const cts::TreeNode& n : tree.nodes) {
+    write_point(w, n.location);
+    w.size(n.children.size());
+    for (const std::uint32_t c : n.children) w.u32(c);
+    w.size(n.sinks.size());
+    for (const netlist::CellId s : n.sinks) w.u32(s.value);
+    w.i64(n.level).f64(n.segment_length_um);
+  }
+  w.u64(tree.num_sinks);  // scalar count, not a container prefix
+  w.i64(tree.buffer_count).i64(tree.depth);
+  w.f64(tree.total_wirelength_um);
+  w.f64(tree.max_insertion_delay_ps).f64(tree.min_insertion_delay_ps);
+  w.f64(tree.clock_cap_ff);
+}
+
+util::Result<cts::ClockTree> deserialize_clock_tree(util::WireReader& r) {
+  cts::ClockTree tree;
+  const std::size_t num_nodes = r.size();
+  tree.nodes.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes && r.ok(); ++i) {
+    cts::TreeNode n;
+    n.location = read_point(r);
+    const std::size_t children = r.size();
+    n.children.reserve(children);
+    for (std::size_t k = 0; k < children && r.ok(); ++k) {
+      const std::uint32_t c = r.u32();
+      if (c >= num_nodes) return bad("clock-tree child out of range");
+      n.children.push_back(c);
+    }
+    const std::size_t sinks = r.size();
+    n.sinks.reserve(sinks);
+    for (std::size_t k = 0; k < sinks && r.ok(); ++k) {
+      n.sinks.push_back(netlist::CellId{r.u32()});
+    }
+    n.level = static_cast<int>(r.i64());
+    n.segment_length_um = r.f64();
+    tree.nodes.push_back(std::move(n));
+  }
+  tree.num_sinks = static_cast<std::size_t>(r.u64());
+  tree.buffer_count = static_cast<int>(r.i64());
+  tree.depth = static_cast<int>(r.i64());
+  tree.total_wirelength_um = r.f64();
+  tree.max_insertion_delay_ps = r.f64();
+  tree.min_insertion_delay_ps = r.f64();
+  tree.clock_cap_ff = r.f64();
+  if (!r.ok()) return bad("truncated clock tree");
+  return tree;
+}
+
+// --- RoutedDesign ---------------------------------------------------------
+
+void serialize(util::WireWriter& w, const route::RoutedDesign& routed) {
+  w.size(routed.nets.size());
+  for (const route::NetRoute& n : routed.nets) {
+    w.u32(n.net.value).i64(n.wirelength_dbu).i64(n.vias).boolean(n.routed);
+  }
+  w.i64(routed.total_wirelength_dbu).i64(routed.total_vias);
+  w.i64(routed.overflowed_edges).i64(routed.iterations_used);
+  w.f64(routed.max_congestion);
+}
+
+util::Result<route::RoutedDesign> deserialize_routed(
+    util::WireReader& r, const place::PlacedDesign* placed) {
+  route::RoutedDesign routed;
+  routed.placed = placed;
+  const std::size_t num_nets = r.size();
+  routed.nets.reserve(num_nets);
+  for (std::size_t i = 0; i < num_nets && r.ok(); ++i) {
+    route::NetRoute n;
+    n.net = netlist::NetId{r.u32()};
+    n.wirelength_dbu = r.i64();
+    n.vias = static_cast<int>(r.i64());
+    n.routed = r.boolean();
+    routed.nets.push_back(n);
+  }
+  routed.total_wirelength_dbu = r.i64();
+  routed.total_vias = static_cast<int>(r.i64());
+  routed.overflowed_edges = static_cast<int>(r.i64());
+  routed.iterations_used = static_cast<int>(r.i64());
+  routed.max_congestion = r.f64();
+  if (!r.ok()) return bad("truncated routing");
+  return routed;
+}
+
+// --- reports --------------------------------------------------------------
+
+void serialize(util::WireWriter& w, const timing::TimingReport& t) {
+  w.f64(t.wns_ps).f64(t.tns_ps).f64(t.clock_period_ps);
+  w.f64(t.critical_path_delay_ps).f64(t.fmax_mhz);
+  w.size(t.endpoints.size());
+  for (const timing::Endpoint& e : t.endpoints) {
+    w.str(e.name).f64(e.arrival_ps).f64(e.required_ps).f64(e.slack_ps);
+  }
+  w.size(t.critical_path.size());
+  for (const timing::PathStep& s : t.critical_path) {
+    w.str(s.point).f64(s.arrival_ps).f64(s.incr_ps);
+  }
+  w.u64(t.num_endpoints);  // scalar count
+  w.f64(t.worst_hold_slack_ps);
+  w.u64(t.hold_violations);  // scalar count
+}
+
+util::Result<timing::TimingReport> deserialize_timing(util::WireReader& r) {
+  timing::TimingReport t;
+  t.wns_ps = r.f64();
+  t.tns_ps = r.f64();
+  t.clock_period_ps = r.f64();
+  t.critical_path_delay_ps = r.f64();
+  t.fmax_mhz = r.f64();
+  const std::size_t endpoints = r.size();
+  t.endpoints.reserve(endpoints);
+  for (std::size_t i = 0; i < endpoints && r.ok(); ++i) {
+    timing::Endpoint e;
+    e.name = r.str();
+    e.arrival_ps = r.f64();
+    e.required_ps = r.f64();
+    e.slack_ps = r.f64();
+    t.endpoints.push_back(std::move(e));
+  }
+  const std::size_t path = r.size();
+  t.critical_path.reserve(path);
+  for (std::size_t i = 0; i < path && r.ok(); ++i) {
+    timing::PathStep s;
+    s.point = r.str();
+    s.arrival_ps = r.f64();
+    s.incr_ps = r.f64();
+    t.critical_path.push_back(std::move(s));
+  }
+  t.num_endpoints = static_cast<std::size_t>(r.u64());
+  t.worst_hold_slack_ps = r.f64();
+  t.hold_violations = static_cast<std::size_t>(r.u64());
+  if (!r.ok()) return bad("truncated timing report");
+  return t;
+}
+
+void serialize(util::WireWriter& w, const power::PowerReport& p) {
+  w.f64(p.dynamic_uw).f64(p.leakage_uw).f64(p.clock_tree_uw);
+  w.f64(p.total_uw).f64(p.average_activity);
+  w.u64(p.nets_analyzed);  // scalar count
+}
+
+util::Result<power::PowerReport> deserialize_power(util::WireReader& r) {
+  power::PowerReport p;
+  p.dynamic_uw = r.f64();
+  p.leakage_uw = r.f64();
+  p.clock_tree_uw = r.f64();
+  p.total_uw = r.f64();
+  p.average_activity = r.f64();
+  p.nets_analyzed = static_cast<std::size_t>(r.u64());
+  if (!r.ok()) return bad("truncated power report");
+  return p;
+}
+
+void serialize(util::WireWriter& w, const drc::DrcReport& d) {
+  w.size(d.violations.size());
+  for (const drc::Violation& v : d.violations) {
+    w.u8(static_cast<std::uint8_t>(v.kind)).str(v.detail);
+  }
+  w.u64(d.cells_checked);  // scalar count
+  w.u64(d.nets_checked);  // scalar count
+}
+
+util::Result<drc::DrcReport> deserialize_drc(util::WireReader& r) {
+  drc::DrcReport d;
+  const std::size_t n = r.size();
+  d.violations.reserve(n);
+  for (std::size_t i = 0; i < n && r.ok(); ++i) {
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(drc::ViolationKind::kOverflow)) {
+      return bad("unknown DRC violation kind");
+    }
+    drc::Violation v;
+    v.kind = static_cast<drc::ViolationKind>(kind);
+    v.detail = r.str();
+    d.violations.push_back(std::move(v));
+  }
+  d.cells_checked = static_cast<std::size_t>(r.u64());
+  d.nets_checked = static_cast<std::size_t>(r.u64());
+  if (!r.ok()) return bad("truncated DRC report");
+  return d;
+}
+
+void serialize(util::WireWriter& w, const std::vector<StepRecord>& steps) {
+  w.size(steps.size());
+  for (const StepRecord& s : steps) {
+    w.str(s.name).f64(s.runtime_ms).str(s.detail).boolean(s.cached);
+  }
+}
+
+util::Result<std::vector<StepRecord>> deserialize_steps(util::WireReader& r) {
+  const std::size_t n = r.size();
+  std::vector<StepRecord> steps;
+  steps.reserve(n);
+  for (std::size_t i = 0; i < n && r.ok(); ++i) {
+    StepRecord s;
+    s.name = r.str();
+    s.runtime_ms = r.f64();
+    s.detail = r.str();
+    s.cached = r.boolean();
+    steps.push_back(std::move(s));
+  }
+  if (!r.ok()) return bad("truncated step records");
+  return steps;
+}
+
+// --- snapshot -------------------------------------------------------------
+
+std::vector<std::uint8_t> serialize_snapshot(const FlowContext& ctx) {
+  util::WireWriter w;
+  w.u32(kWireMagic).u32(kWireVersion);
+  const FlowArtifacts& a = ctx.artifacts;
+  w.boolean(a.library != nullptr);
+  if (a.library) serialize(w, *a.library);
+  w.boolean(a.aig != nullptr);
+  if (a.aig) serialize(w, *a.aig);
+  w.boolean(a.mapped != nullptr);
+  if (a.mapped) serialize(w, *a.mapped);
+  w.boolean(a.placed != nullptr);
+  if (a.placed) serialize(w, *a.placed);
+  w.boolean(a.clock_tree != nullptr);
+  if (a.clock_tree) serialize(w, *a.clock_tree);
+  w.boolean(a.routed != nullptr);
+  if (a.routed) serialize(w, *a.routed);
+  serialize(w, a.timing);
+  serialize(w, a.power);
+  serialize(w, a.drc);
+  w.blob(a.gds_bytes);
+  serialize(w, ctx.steps);
+
+  std::vector<std::uint8_t> payload = w.take();
+  // Self-verification trailer: the transfer path (a remote cache, someday
+  // a real network) is the one place bytes can rot undetected.
+  util::Hasher h;
+  h.bytes(payload.data(), payload.size());
+  const util::Digest d = h.finalize();
+  util::WireWriter tail;
+  tail.u64(d.hi).u64(d.lo);
+  const std::vector<std::uint8_t>& tb = tail.buffer();
+  payload.insert(payload.end(), tb.begin(), tb.end());
+  return payload;
+}
+
+util::Status deserialize_snapshot(const std::vector<std::uint8_t>& bytes,
+                                  FlowContext& ctx) {
+  if (bytes.size() < 16 + 8 + 1) return bad("snapshot too short");
+  const std::size_t payload_size = bytes.size() - 16;
+  util::Hasher h;
+  h.bytes(bytes.data(), payload_size);
+  const util::Digest computed = h.finalize();
+  util::WireReader trailer(bytes.data() + payload_size, 16);
+  const util::Digest stored{trailer.u64(), trailer.u64()};
+  if (!(computed == stored)) return bad("snapshot digest mismatch");
+
+  util::WireReader r(bytes.data(), payload_size);
+  if (r.u32() != kWireMagic) return bad("bad snapshot magic");
+  if (r.u32() != kWireVersion) return bad("unsupported snapshot version");
+  FlowArtifacts& a = ctx.artifacts;
+  if (r.boolean()) {
+    auto lib = deserialize_library(r);
+    if (!lib.ok()) return lib.status();
+    a.library = std::make_unique<netlist::CellLibrary>(std::move(*lib));
+  }
+  if (r.boolean()) {
+    auto aig = deserialize_aig(r);
+    if (!aig.ok()) return aig.status();
+    a.aig = std::make_unique<synth::Aig>(std::move(*aig));
+  }
+  if (r.boolean()) {
+    auto nl = deserialize_netlist(r, a.library.get());
+    if (!nl.ok()) return nl.status();
+    a.mapped = std::make_unique<netlist::Netlist>(std::move(*nl));
+  }
+  if (r.boolean()) {
+    if (!a.mapped) return bad("placement without netlist");
+    auto placed = deserialize_placed(r, a.mapped.get());
+    if (!placed.ok()) return placed.status();
+    a.placed = std::make_unique<place::PlacedDesign>(std::move(*placed));
+  }
+  if (r.boolean()) {
+    auto tree = deserialize_clock_tree(r);
+    if (!tree.ok()) return tree.status();
+    a.clock_tree = std::make_unique<cts::ClockTree>(std::move(*tree));
+  }
+  if (r.boolean()) {
+    if (!a.placed) return bad("routing without placement");
+    auto routed = deserialize_routed(r, a.placed.get());
+    if (!routed.ok()) return routed.status();
+    a.routed = std::make_unique<route::RoutedDesign>(std::move(*routed));
+  }
+  auto timing = deserialize_timing(r);
+  if (!timing.ok()) return timing.status();
+  a.timing = std::move(*timing);
+  auto power = deserialize_power(r);
+  if (!power.ok()) return power.status();
+  a.power = std::move(*power);
+  auto drc = deserialize_drc(r);
+  if (!drc.ok()) return drc.status();
+  a.drc = std::move(*drc);
+  a.gds_bytes = r.blob();
+  auto steps = deserialize_steps(r);
+  if (!steps.ok()) return steps.status();
+  ctx.steps = std::move(*steps);
+  if (!r.ok()) return bad("truncated snapshot");
+  return util::Status::Ok();
+}
+
+}  // namespace eurochip::flow

@@ -34,6 +34,8 @@ enum class JobState {
   kFailed,      ///< non-transient error, or transient after max attempts
   kCancelled,   ///< cancel() while queued or running
   kTimedOut,    ///< per-job deadline passed while queued or running
+  kMigrated,    ///< exported to a peer hub (fed work stealing); terminal
+                ///< *for this server* — the federation tracks the new home
 };
 
 const char* to_string(JobState state);
@@ -64,6 +66,10 @@ struct JobContext {
   flow::PpaReport ppa;
   /// Output: leading flow steps satisfied from `cache` (FlowResult::cache_hits).
   std::size_t cache_hits = 0;
+  /// Output: content digest of the final artifacts (mapped/placed/routed +
+  /// GDS bytes). Zero for synthetic jobs. The federation bench uses it to
+  /// prove bit-identical results across hub counts and stealing modes.
+  util::Digest artifact_digest;
 };
 
 /// The work payload. Return Ok on success; transient failure codes
@@ -88,6 +94,11 @@ struct JobSpec {
   /// function sees JobContext::degraded).
   flow::FlowQuality quality = flow::FlowQuality::kOpen;
   JobFn work;
+  /// Force open-effort execution regardless of queue depth: the submitter
+  /// (e.g. a federation router enforcing a global kCommercial quota) has
+  /// already decided to degrade this job. ORed with the server's own
+  /// shedding decision into JobContext::degraded.
+  bool degraded = false;
   /// Retry policy: total attempts (1 = no retry), exponential backoff
   /// base doubling per retry, capped, with deterministic jitter.
   int max_attempts = 1;
@@ -132,6 +143,9 @@ struct JobRecord {
   flow::PpaReport ppa;
   /// Flow steps served from the shared FlowCache (0 = cold or no cache).
   std::size_t cache_hits = 0;
+  /// Content digest of the final artifacts (JobContext::artifact_digest);
+  /// zero for synthetic jobs and non-succeeded outcomes.
+  util::Digest artifact_digest;
   /// True when admission control downgraded this job's effort
   /// (kCommercial -> kOpen) because the queue crossed the shedding
   /// watermark at submission.

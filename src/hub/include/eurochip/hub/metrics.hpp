@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "eurochip/util/stats.hpp"
+
 namespace eurochip::hub {
 
 class MetricsRegistry {
@@ -59,6 +61,15 @@ class MetricsRegistry {
   /// benches, CI, and an operator's Prometheus alike.
   [[nodiscard]] std::string export_prometheus() const;
 
+  /// Federated exposition: like export_prometheus(), but every sample
+  /// carries an instance label `{<key>="<value>"}` (merged with the `le`
+  /// label on histogram buckets), so N hubs scraped into one registry
+  /// don't collide on metric names. `value` is escaped per the Prometheus
+  /// text format (backslash, quote, newline).
+  [[nodiscard]] std::string export_prometheus(const std::string& label_key,
+                                              const std::string& label_value)
+      const;
+
  private:
   // Buckets double from 1 us; 42 buckets cover ~1 us .. ~610 h.
   static constexpr int kBuckets = 42;
@@ -79,5 +90,11 @@ class MetricsRegistry {
   std::map<std::string, double> gauges_;
   std::map<std::string, Hist> hists_;
 };
+
+/// Bridges a histogram snapshot into the shared bench summary shape
+/// (util::PercentileSummary), so every bench renders latency JSON through
+/// one util::to_json instead of a private formatter per bench.
+[[nodiscard]] util::PercentileSummary to_percentile_summary(
+    const MetricsRegistry::HistogramSnapshot& h);
 
 }  // namespace eurochip::hub

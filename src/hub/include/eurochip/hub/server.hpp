@@ -49,8 +49,10 @@
 // thread path that locks them (no lock-order cycles).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -114,6 +116,13 @@ class JobServer {
     int breaker_threshold = 0;
     /// How long an open breaker rejects before letting one probe through.
     double breaker_cooldown_ms = 1000.0;
+    /// Invoked (outside the server lock, with a copy of the record) every
+    /// time a job reaches a terminal state — except kMigrated, whose
+    /// lifecycle continues on another server. A federation uses this to
+    /// release global quota charges without polling. Must not call back
+    /// into this server synchronously with blocking intent (submit/cancel
+    /// are fine; wait would deadlock the worker).
+    std::function<void(const JobRecord&)> on_terminal;
   };
 
   explicit JobServer(Options options);
@@ -176,6 +185,28 @@ class JobServer {
   [[nodiscard]] std::size_t running_count();
   [[nodiscard]] int capacity() const { return options_.capacity; }
 
+  /// A queued job plucked out of this server by export_queued: everything
+  /// a peer needs to resubmit it, plus how long it already waited here.
+  struct StolenJob {
+    JobId id = 0;           ///< id ON THE DONOR (terminal as kMigrated)
+    JobSpec spec;           ///< the original submission, work fn included
+    double waited_ms = 0.0; ///< donor queue time already consumed
+  };
+
+  /// Work stealing (donor side): pops up to `max_jobs` queued jobs off the
+  /// scheduler and finalizes them here as kMigrated (jobs_exported
+  /// counter; queue-wait/run histograms are NOT observed — the job's wait
+  /// continues on the recipient). Returns the stolen specs; wait()ers on
+  /// an exported id wake and see kMigrated. Running jobs are never stolen.
+  /// Returns empty after shutdown.
+  [[nodiscard]] std::vector<StolenJob> export_queued(std::size_t max_jobs);
+
+  /// Swaps the shared FlowCache (or detaches with nullptr) and re-baselines
+  /// the metrics mirror so the new cache's pre-existing totals are not
+  /// attributed to this server. Safe while jobs are running: in-flight
+  /// jobs keep the pointer they started with.
+  void set_cache(flow::FlowCache* cache);
+
  private:
   struct Entry {
     JobSpec spec;
@@ -209,8 +240,14 @@ class JobServer {
   /// Mirrors FlowCache counters into metrics_ as deltas since the last
   /// sync. Called with mu_ held (cache_seen_ is guarded by it).
   void sync_cache_metrics_locked();
+  /// Fires Options::on_terminal for a non-migrated terminal record. Must
+  /// be called WITHOUT mu_ held.
+  void notify_terminal(const JobRecord& record);
 
   Options options_;
+  /// Live cache pointer (seeded from Options::cache, swapped by
+  /// set_cache). Atomic because run_job reads it without the lock.
+  std::atomic<flow::FlowCache*> cache_;
   MetricsRegistry metrics_;
   std::chrono::steady_clock::time_point epoch_;
 

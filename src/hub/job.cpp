@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "eurochip/flow/fingerprint.hpp"
+
 namespace eurochip::hub {
 
 const char* to_string(JobState state) {
@@ -13,6 +15,7 @@ const char* to_string(JobState state) {
     case JobState::kFailed: return "failed";
     case JobState::kCancelled: return "cancelled";
     case JobState::kTimedOut: return "timed_out";
+    case JobState::kMigrated: return "migrated";
   }
   return "?";
 }
@@ -80,6 +83,17 @@ JobSpec make_flow_job(std::string name,
     ctx.steps = std::move(result->steps);
     ctx.ppa = result->ppa;
     ctx.cache_hits = result->cache_hits;
+    // Artifact identity: lets the federation bench prove that results are
+    // bit-identical regardless of which hub ran the job or whether it was
+    // resumed from the shared cache tier.
+    util::Hasher h;
+    h.str("eurochip.artifact.v1");
+    const flow::FlowArtifacts& a = result->artifacts;
+    if (a.mapped) h.digest(flow::digest_of(*a.mapped));
+    if (a.placed) h.digest(flow::digest_of(*a.placed));
+    if (a.routed) h.digest(flow::digest_of(*a.routed));
+    h.bytes(a.gds_bytes.data(), a.gds_bytes.size());
+    ctx.artifact_digest = h.finalize();
     return util::Status::Ok();
   };
   return spec;

@@ -176,18 +176,42 @@ std::string MetricsRegistry::render() const {
 }
 
 std::string MetricsRegistry::export_prometheus() const {
+  return export_prometheus("", "");
+}
+
+std::string MetricsRegistry::export_prometheus(
+    const std::string& label_key, const std::string& label_value) const {
+  // Instance label, rendered once: `{key="value"}` for plain samples and
+  // `key="value",` to prepend inside an existing label set (`le` buckets).
+  std::string plain;
+  std::string inner;
+  if (!label_key.empty()) {
+    std::string escaped;
+    for (const char c : label_value) {
+      if (c == '\\' || c == '"') escaped += '\\';
+      if (c == '\n') {
+        escaped += "\\n";
+        continue;
+      }
+      escaped += c;
+    }
+    inner = prom_name(label_key).substr(std::string("eurochip_").size()) +
+            "=\"" + escaped + "\",";
+    plain = "{" + inner.substr(0, inner.size() - 1) + "}";
+  }
+
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
 
   for (const auto& [name, value] : counters_) {
     const std::string pn = prom_name(name);
     out += "# TYPE " + pn + " counter\n";
-    out += pn + " " + std::to_string(value) + "\n";
+    out += pn + plain + " " + std::to_string(value) + "\n";
   }
   for (const auto& [name, value] : gauges_) {
     const std::string pn = prom_name(name);
     out += "# TYPE " + pn + " gauge\n";
-    out += pn + " " + prom_double(value) + "\n";
+    out += pn + plain + " " + prom_double(value) + "\n";
   }
   for (const auto& [name, h] : hists_) {
     const std::string pn = prom_name(name);
@@ -195,14 +219,27 @@ std::string MetricsRegistry::export_prometheus() const {
     std::uint64_t cumulative = 0;
     for (int i = 0; i < kBuckets; ++i) {
       cumulative += h.buckets[i];
-      out += pn + "_bucket{le=\"" + prom_double(bucket_upper(kFirstBoundMs, i)) +
-             "\"} " + std::to_string(cumulative) + "\n";
+      out += pn + "_bucket{" + inner + "le=\"" +
+             prom_double(bucket_upper(kFirstBoundMs, i)) + "\"} " +
+             std::to_string(cumulative) + "\n";
     }
-    out += pn + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
-    out += pn + "_sum " + prom_double(h.sum) + "\n";
-    out += pn + "_count " + std::to_string(h.count) + "\n";
+    out += pn + "_bucket{" + inner + "le=\"+Inf\"} " +
+           std::to_string(h.count) + "\n";
+    out += pn + "_sum" + plain + " " + prom_double(h.sum) + "\n";
+    out += pn + "_count" + plain + " " + std::to_string(h.count) + "\n";
   }
   return out;
+}
+
+util::PercentileSummary to_percentile_summary(
+    const MetricsRegistry::HistogramSnapshot& h) {
+  util::PercentileSummary s;
+  s.count = h.count;
+  s.p50 = h.p50;
+  s.p90 = h.p90;
+  s.p99 = h.p99;
+  s.max = h.max;
+  return s;
 }
 
 }  // namespace eurochip::hub

@@ -32,10 +32,11 @@ double backoff_delay_ms(const JobSpec& spec, int attempt, util::Rng& rng) {
 }
 
 JobServer::JobServer(Options options)
-    : options_(options),
+    : options_(std::move(options)),
+      cache_(options_.cache),
       epoch_(std::chrono::steady_clock::now()),
-      scheduler_(options.scheduler),
-      paused_(options.start_paused) {
+      scheduler_(options_.scheduler),
+      paused_(options_.start_paused) {
   options_.capacity = std::max(1, options_.capacity);
   // Baseline, not zero: a cache attached mid-life (warm, or shared with
   // another server) must not have its pre-existing totals mirrored into
@@ -118,16 +119,18 @@ util::Result<JobId> JobServer::submit(JobSpec spec) {
         "queue full (" + std::to_string(scheduler_.size()) + " of " +
         std::to_string(options_.max_queue_depth) + " slots)");
   }
-  bool degraded = false;
-  if (options_.shed_watermark > 0 &&
+  // Degrade when the submitter already decided to (JobSpec::degraded — a
+  // federation quota) OR the local queue crossed the shedding watermark.
+  bool degraded = spec.degraded;
+  if (!degraded && options_.shed_watermark > 0 &&
       scheduler_.size() >= options_.shed_watermark &&
       spec.quality == flow::FlowQuality::kCommercial) {
     degraded = true;
-    metrics_.increment("jobs_degraded");
     if (util::trace::enabled()) {
       util::trace::instant("hub.shed-degrade", "hub", spec.name);
     }
   }
+  if (degraded) metrics_.increment("jobs_degraded");
   const JobId id = next_id_++;
   auto entry = std::make_shared<Entry>();
   entry->record.id = id;
@@ -181,14 +184,25 @@ void JobServer::finalize_locked(Entry& entry, JobState state,
     case JobState::kFailed: metrics_.increment("jobs_failed"); break;
     case JobState::kCancelled: metrics_.increment("jobs_cancelled"); break;
     case JobState::kTimedOut: metrics_.increment("jobs_timed_out"); break;
+    case JobState::kMigrated: metrics_.increment("jobs_exported"); break;
     default: break;
   }
-  metrics_.observe("queue_wait_ms", rec.queue_wait_ms);
-  if (rec.start_ms >= 0.0) metrics_.observe("run_ms", rec.run_ms);
-  for (const flow::StepRecord& step : rec.steps) {
-    metrics_.observe("step_" + step.name + "_ms", step.runtime_ms);
+  // Migrated jobs are terminal here but their life continues on a peer:
+  // observing a partial queue wait would skew the latency histograms.
+  if (state != JobState::kMigrated) {
+    metrics_.observe("queue_wait_ms", rec.queue_wait_ms);
+    if (rec.start_ms >= 0.0) metrics_.observe("run_ms", rec.run_ms);
+    for (const flow::StepRecord& step : rec.steps) {
+      metrics_.observe("step_" + step.name + "_ms", step.runtime_ms);
+    }
   }
   metrics_.set_gauge("queue_depth", static_cast<double>(scheduler_.size()));
+}
+
+void JobServer::notify_terminal(const JobRecord& record) {
+  if (options_.on_terminal && record.state != JobState::kMigrated) {
+    options_.on_terminal(record);
+  }
 }
 
 void JobServer::run_job(const std::shared_ptr<Entry>& entry) {
@@ -225,6 +239,7 @@ void JobServer::run_job(const std::shared_ptr<Entry>& entry) {
 
   std::size_t cache_hits = 0;
   std::size_t resume_depth = 0;
+  util::Digest artifact_digest;
   util::Status prev_error;  // previous attempt's failure, Ok on attempt 1
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     attempts = attempt;
@@ -232,7 +247,7 @@ void JobServer::run_job(const std::shared_ptr<Entry>& entry) {
     ctx.cancel = token;
     ctx.attempt = attempt;
     ctx.rng = &rng;
-    ctx.cache = options_.cache;
+    ctx.cache = cache_.load(std::memory_order_relaxed);
     ctx.degraded = entry->record.degraded;
     ctx.last_error = prev_error;
     const double t_attempt = now_ms() - submit_ms;
@@ -261,6 +276,7 @@ void JobServer::run_job(const std::shared_ptr<Entry>& entry) {
     steps = std::move(ctx.steps);
     ppa = ctx.ppa;
     cache_hits = ctx.cache_hits;
+    artifact_digest = ctx.artifact_digest;
     if (attempt > 1 && ctx.cache_hits > resume_depth) {
       // Checkpoint-resume: this retry picked up from a cached step prefix
       // (the failed attempt stored snapshots after each completed step).
@@ -355,22 +371,28 @@ void JobServer::run_job(const std::shared_ptr<Entry>& entry) {
     }
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
-  entry->record.attempts = attempts;
-  entry->record.steps = std::move(steps);
-  entry->record.ppa = ppa;
-  entry->record.cache_hits = cache_hits;
-  entry->record.resume_depth = resume_depth;
-  for (FlightEntry& fe : flight) {
-    entry->record.flight.push_back(std::move(fe));
+  JobRecord done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry->record.attempts = attempts;
+    entry->record.steps = std::move(steps);
+    entry->record.ppa = ppa;
+    entry->record.cache_hits = cache_hits;
+    entry->record.resume_depth = resume_depth;
+    entry->record.artifact_digest = artifact_digest;
+    for (FlightEntry& fe : flight) {
+      entry->record.flight.push_back(std::move(fe));
+    }
+    if (resume_depth > 0) {
+      metrics_.increment("steps_resumed", resume_depth);
+      metrics_.observe("resume_depth", static_cast<double>(resume_depth));
+    }
+    update_breaker_locked(*entry, final_state, final_status.code());
+    finalize_locked(*entry, final_state, std::move(final_status));
+    sync_cache_metrics_locked();
+    done = entry->record;
   }
-  if (resume_depth > 0) {
-    metrics_.increment("steps_resumed", resume_depth);
-    metrics_.observe("resume_depth", static_cast<double>(resume_depth));
-  }
-  update_breaker_locked(*entry, final_state, final_status.code());
-  finalize_locked(*entry, final_state, std::move(final_status));
-  sync_cache_metrics_locked();
+  notify_terminal(done);
 }
 
 void JobServer::update_breaker_locked(const Entry& entry, JobState state,
@@ -415,8 +437,9 @@ bool JobServer::breaker_open(const std::string& node_name,
 }
 
 void JobServer::sync_cache_metrics_locked() {
-  if (options_.cache == nullptr) return;
-  const flow::FlowCache::Stats s = options_.cache->stats();
+  flow::FlowCache* cache = cache_.load(std::memory_order_relaxed);
+  if (cache == nullptr) return;
+  const flow::FlowCache::Stats s = cache->stats();
   metrics_.increment("flow_cache_hits", s.hits - cache_seen_.hits);
   metrics_.increment("flow_cache_misses", s.misses - cache_seen_.misses);
   metrics_.increment("flow_cache_stores", s.stores - cache_seen_.stores);
@@ -451,6 +474,12 @@ void JobServer::worker_loop(int index) {
       finalize_locked(*entry, JobState::kTimedOut,
                       util::Status::DeadlineExceeded("timed out in queue"));
       cv_done_.notify_all();
+      if (options_.on_terminal) {
+        const JobRecord done = entry->record;
+        lock.unlock();
+        notify_terminal(done);
+        lock.lock();
+      }
       continue;
     }
 
@@ -476,7 +505,7 @@ void JobServer::worker_loop(int index) {
 }
 
 bool JobServer::cancel(JobId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   const auto it = entries_.find(id);
   if (it == entries_.end()) return false;
   Entry& entry = *it->second;
@@ -486,6 +515,11 @@ bool JobServer::cancel(JobId id) {
     finalize_locked(entry, JobState::kCancelled,
                     util::Status::Cancelled("cancelled while queued"));
     cv_done_.notify_all();
+    if (options_.on_terminal) {
+      const JobRecord done = entry.record;
+      lock.unlock();
+      notify_terminal(done);
+    }
     return true;
   }
   // Running: flip the token; the worker finalizes when the work function
@@ -522,12 +556,14 @@ void JobServer::shutdown(DrainMode mode) {
   if (stopping_ && workers_.empty()) return;  // already fully shut down
   stopping_ = true;
   paused_ = false;
+  std::vector<JobRecord> cancelled;
   if (mode == DrainMode::kCancelPending) {
     for (auto& [id, entry] : entries_) {
       if (entry->record.state == JobState::kQueued) {
         scheduler_.remove(id);
         finalize_locked(*entry, JobState::kCancelled,
                         util::Status::Cancelled("server shutdown"));
+        if (options_.on_terminal) cancelled.push_back(entry->record);
       } else if (entry->record.state == JobState::kRunning) {
         entry->cancel.request_cancel();
       }
@@ -544,6 +580,7 @@ void JobServer::shutdown(DrainMode mode) {
   std::vector<std::thread> workers = std::move(workers_);
   workers_.clear();
   lock.unlock();
+  for (const JobRecord& rec : cancelled) notify_terminal(rec);
   for (std::thread& t : workers) t.join();
 }
 
@@ -566,6 +603,47 @@ core::EnablementHub::QueueReport JobServer::measured_queue_report() {
   }
   return core::EnablementHub::summarize_outcomes(jobs, std::move(outcomes),
                                                  options_.capacity);
+}
+
+std::vector<JobServer::StolenJob> JobServer::export_queued(
+    std::size_t max_jobs) {
+  std::vector<StolenJob> stolen;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return stolen;
+  while (stolen.size() < max_jobs && !scheduler_.empty()) {
+    const auto id = scheduler_.pop();
+    if (!id) break;
+    const auto it = entries_.find(*id);
+    if (it == entries_.end()) continue;
+    Entry& entry = *it->second;
+    StolenJob job;
+    job.id = *id;
+    job.spec = entry.spec;  // work fn is a shared std::function — copyable
+    job.waited_ms = now_ms() - entry.record.submit_ms;
+    stolen.push_back(std::move(job));
+    entry.record.flight.push_back(
+        {job.waited_ms, "migrate", "exported",
+         "stolen after " + fmt_ms(stolen.back().waited_ms) + " queued"});
+    finalize_locked(entry, JobState::kMigrated,
+                    util::Status::Ok());
+    if (util::trace::enabled()) {
+      util::trace::instant("hub.export", "hub",
+                           entry.spec.name + " id=" + std::to_string(*id));
+    }
+  }
+  // Wake wait()ers: an exported id is terminal here (kMigrated); the
+  // federation re-reads its mapping and follows the job to its new home.
+  if (!stolen.empty()) cv_done_.notify_all();
+  return stolen;
+}
+
+void JobServer::set_cache(flow::FlowCache* cache) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.store(cache, std::memory_order_relaxed);
+  options_.cache = cache;
+  // Re-baseline: a cache attached mid-life (warm, or shared) must not
+  // have its pre-existing totals mirrored into this server's metrics.
+  cache_seen_ = cache != nullptr ? cache->stats() : flow::FlowCache::Stats{};
 }
 
 std::size_t JobServer::queued_count() {

@@ -70,6 +70,15 @@ class NldmTable {
   [[nodiscard]] double lookup(double slew_ps, double load_ff) const;
   [[nodiscard]] bool empty() const { return values_.empty(); }
 
+  // Raw grid access (wire-format serialization; flow::serialize).
+  [[nodiscard]] const std::vector<double>& slew_axis() const {
+    return slew_axis_;
+  }
+  [[nodiscard]] const std::vector<double>& load_axis() const {
+    return load_axis_;
+  }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
  private:
   std::vector<double> slew_axis_;
   std::vector<double> load_axis_;

@@ -111,6 +111,17 @@ class Netlist {
   /// at the same indices; nothing else is rewritten.
   void rebind_library(const CellLibrary* library) { library_ = library; }
 
+  /// Reassembles a netlist from raw components (wire-format
+  /// deserialization; flow::serialize). The vectors are adopted as-is —
+  /// ids must already be internally consistent; callers that read them
+  /// from an untrusted stream run check() afterwards.
+  [[nodiscard]] static Netlist from_raw(const CellLibrary* library,
+                                        std::string name,
+                                        std::vector<Cell> cells,
+                                        std::vector<Net> nets,
+                                        std::vector<Port> inputs,
+                                        std::vector<Port> outputs);
+
   // --- access --------------------------------------------------------------
 
   [[nodiscard]] const CellLibrary& library() const { return *library_; }

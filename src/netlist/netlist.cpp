@@ -267,4 +267,16 @@ std::size_t Netlist::logic_depth() const {
   return max_level;
 }
 
+Netlist Netlist::from_raw(const CellLibrary* library, std::string name,
+                          std::vector<Cell> cells, std::vector<Net> nets,
+                          std::vector<Port> inputs,
+                          std::vector<Port> outputs) {
+  Netlist nl(library, std::move(name));
+  nl.cells_ = std::move(cells);
+  nl.nets_ = std::move(nets);
+  nl.inputs_ = std::move(inputs);
+  nl.outputs_ = std::move(outputs);
+  return nl;
+}
+
 }  // namespace eurochip::netlist

@@ -27,6 +27,24 @@ class Floorplan {
                                         const pdk::TechnologyNode& node,
                                         double utilization);
 
+  /// Reassembles a floorplan from raw components (wire-format
+  /// deserialization; flow::serialize). No validation beyond what the
+  /// accessors imply — callers feed back values a create() once produced.
+  [[nodiscard]] static Floorplan from_raw(util::Rect die, util::Rect core,
+                                          std::vector<Row> rows,
+                                          std::int64_t site_width,
+                                          std::int64_t row_height,
+                                          double utilization) {
+    Floorplan fp;
+    fp.die_ = die;
+    fp.core_ = core;
+    fp.rows_ = std::move(rows);
+    fp.site_width_ = site_width;
+    fp.row_height_ = row_height;
+    fp.utilization_ = utilization;
+    return fp;
+  }
+
   [[nodiscard]] const util::Rect& die() const { return die_; }
   [[nodiscard]] const util::Rect& core() const { return core_; }
   [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }

@@ -89,6 +89,10 @@ class Aig {
   [[nodiscard]] const std::vector<std::uint32_t>& latches() const {
     return latches_;
   }
+  /// Latch names, parallel to latches() (wire-format serialization).
+  [[nodiscard]] const std::vector<std::string>& latch_names() const {
+    return latch_names_;
+  }
   [[nodiscard]] Lit latch_next(std::uint32_t latch_node) const;
   [[nodiscard]] bool latch_init(std::uint32_t latch_node) const;
   [[nodiscard]] const std::vector<AigOutput>& outputs() const {

@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 namespace eurochip::util {
@@ -44,6 +46,27 @@ double pearson(const std::vector<double>& x, const std::vector<double>& y);
 
 /// Geometric mean; requires all values > 0. Returns 0 for empty input.
 double geomean(const std::vector<double>& values);
+
+/// The five-number latency summary every bench reports: count, tail
+/// percentiles, max. One shared shape (and one shared JSON rendering)
+/// instead of a private copy per bench.
+struct PercentileSummary {
+  std::uint64_t count = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Summarizes raw samples with percentile() interpolation. Empty input
+/// yields an all-zero summary.
+[[nodiscard]] PercentileSummary summarize_percentiles(
+    std::vector<double> samples);
+
+/// Renders a summary as a JSON object:
+/// {"count": N, "p50": x, "p90": x, "p99": x, "max": x}
+[[nodiscard]] std::string to_json(const PercentileSummary& s,
+                                  int decimals = 3);
 
 /// Simple fixed-width histogram.
 class Histogram {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 
 namespace eurochip::util {
 
@@ -84,6 +85,39 @@ double geomean(const std::vector<double>& values) {
     log_sum += std::log(v);
   }
   return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+PercentileSummary summarize_percentiles(std::vector<double> samples) {
+  PercentileSummary s;
+  if (samples.empty()) return s;
+  s.count = samples.size();
+  std::sort(samples.begin(), samples.end());
+  // percentile() on pre-sorted data re-sorts; inline the interpolation so
+  // one sort serves all three quantiles.
+  const auto at = [&](double p) {
+    const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    if (lo == hi) return samples[lo];
+    const double frac = rank - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  };
+  s.p50 = at(50.0);
+  s.p90 = at(90.0);
+  s.p99 = at(99.0);
+  s.max = samples.back();
+  return s;
+}
+
+std::string to_json(const PercentileSummary& s, int decimals) {
+  char buf[64];
+  const auto num = [&](double v) {
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+    return std::string(buf);
+  };
+  return "{\"count\": " + std::to_string(s.count) +
+         ", \"p50\": " + num(s.p50) + ", \"p90\": " + num(s.p90) +
+         ", \"p99\": " + num(s.p99) + ", \"max\": " + num(s.max) + "}";
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)

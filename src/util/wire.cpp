@@ -1,0 +1,117 @@
+#include "eurochip/util/wire.hpp"
+
+#include <cstring>
+
+namespace eurochip::util {
+
+WireWriter& WireWriter::u8(std::uint8_t v) {
+  buf_.push_back(v);
+  return *this;
+}
+
+WireWriter& WireWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  return *this;
+}
+
+WireWriter& WireWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  return *this;
+}
+
+WireWriter& WireWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  return u64(bits);
+}
+
+WireWriter& WireWriter::str(const std::string& s) {
+  u64(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+  return *this;
+}
+
+WireWriter& WireWriter::blob(const std::vector<std::uint8_t>& b) {
+  u64(b.size());
+  buf_.insert(buf_.end(), b.begin(), b.end());
+  return *this;
+}
+
+bool WireReader::take(std::size_t n) {
+  if (!ok_ || n > size_ - pos_) {
+    ok_ = false;
+    return false;
+  }
+  pos_ += n;
+  return true;
+}
+
+std::uint8_t WireReader::u8() {
+  if (!take(1)) return 0;
+  return data_[pos_ - 1];
+}
+
+std::uint32_t WireReader::u32() {
+  if (!take(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ - 4 + i]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  if (!take(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ - 8 + i]) << (8 * i);
+  }
+  return v;
+}
+
+double WireReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint64_t n = u64();
+  // The length prefix itself is attacker/corruption-controlled: validate
+  // it against the remaining bytes before allocating or copying.
+  if (!ok_ || n > size_ - pos_) {
+    ok_ = false;
+    return {};
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
+  return s;
+}
+
+std::vector<std::uint8_t> WireReader::blob() {
+  const std::uint64_t n = u64();
+  if (!ok_ || n > size_ - pos_) {
+    ok_ = false;
+    return {};
+  }
+  std::vector<std::uint8_t> b(data_ + pos_, data_ + pos_ + n);
+  pos_ += static_cast<std::size_t>(n);
+  return b;
+}
+
+std::size_t WireReader::size() {
+  const std::uint64_t n = u64();
+  // A size prefix describes elements that occupy at least one byte each;
+  // anything larger than the remaining stream is corrupt. Rejecting here
+  // keeps `for (i < reader.size())` loops from spinning on garbage.
+  if (!ok_ || n > size_ - pos_) {
+    ok_ = false;
+    return 0;
+  }
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace eurochip::util

@@ -357,5 +357,48 @@ TEST(FlowCacheTest, JobServerRecordsCacheHitsAndMetrics) {
   server.shutdown();
 }
 
+TEST(FlowCacheTest, SetCacheRebaselinesTheMetricsMirror) {
+  // Regression: a cache attached AFTER construction (set_cache) must be
+  // re-baselined exactly like one attached at construction — a server
+  // joining a warm shared cache must not claim the pre-existing totals
+  // as its own activity.
+  flow::FlowCache cache;
+  auto design = std::make_shared<rtl::Module>(rtl::designs::counter(8));
+  auto warm_cfg = base_config();
+  warm_cfg.cache = &cache;
+  ASSERT_TRUE(flow::run_reference_flow(*design, warm_cfg).ok());
+  const auto warm = cache.stats();
+  ASSERT_GT(warm.stores, 0u);
+
+  hub::JobServer::Options opt;
+  opt.capacity = 1;  // constructed WITHOUT a cache
+  hub::JobServer server(opt);
+  server.set_cache(&cache);
+
+  const auto id = server.submit(hub::make_flow_job("warm", design,
+                                                   base_config()));
+  ASSERT_TRUE(id.ok());
+  const auto rec = server.wait(*id);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->state, hub::JobState::kSucceeded);
+  EXPECT_EQ(rec->cache_hits, rec->steps.size()) << "cache must be attached";
+
+  // The fully warm job stored nothing new: without re-baselining the
+  // mirror would report the warm-up run's stores here.
+  EXPECT_EQ(server.metrics().counter("flow_cache_stores"), 0u);
+  EXPECT_GE(server.metrics().counter("flow_cache_hits"), 1u);
+
+  // Detaching re-baselines too; later jobs run uncached.
+  server.set_cache(nullptr);
+  const auto id2 = server.submit(hub::make_flow_job("cold", design,
+                                                    base_config()));
+  ASSERT_TRUE(id2.ok());
+  const auto rec2 = server.wait(*id2);
+  ASSERT_TRUE(rec2.ok());
+  EXPECT_EQ(rec2->state, hub::JobState::kSucceeded);
+  EXPECT_EQ(rec2->cache_hits, 0u);
+  server.shutdown();
+}
+
 }  // namespace
 }  // namespace eurochip
