@@ -1,0 +1,230 @@
+// BENCH netlist_scale — SoA netlist core at 100k/500k/1M cells.
+//
+// The paper's enablement argument needs an open flow whose data model
+// survives realistic design sizes; this bench is the regression gate for
+// the arena/struct-of-arrays netlist core. For each synthetic design size
+// it measures:
+//   * build      — cells/s through the normal add_net/add_cell path
+//   * traverse   — fanin edges/s for a topo_order + full fanin sweep
+//   * snapshot   — wire-codec round trip (serialize + deserialize) MB/s,
+//                  with a digest-equality check on the reloaded netlist
+// and enforces a HARD bytes-per-cell budget on Netlist::memory_bytes():
+// any size over budget makes the bench exit non-zero, failing CI.
+//
+// --smoke runs only the smallest size (tier-1 CI); the full run includes
+// the 1M-cell design. Emits BENCH_netlist_scale.json either way.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "eurochip/flow/fingerprint.hpp"
+#include "eurochip/flow/serialize.hpp"
+#include "eurochip/netlist/netlist.hpp"
+#include "eurochip/pdk/library_gen.hpp"
+#include "eurochip/pdk/registry.hpp"
+#include "eurochip/util/strings.hpp"
+#include "eurochip/util/table.hpp"
+#include "eurochip/util/wire.hpp"
+
+namespace {
+
+using namespace eurochip;  // NOLINT(google-build-using-namespace)
+
+// Hard gate. The SoA layout costs ~65 B/cell of graph arrays plus ~45 B/cell
+// of interned names and sink chains at this fanin mix; 128 leaves headroom
+// for allocator rounding without letting a pointer-rich regression through
+// (the previous object-per-node layout sat well above 250 B/cell).
+constexpr double kBytesPerCellBudget = 128.0;
+
+constexpr std::size_t kNumInputs = 64;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Deterministic synthetic design: a DFF-sprinkled random logic cone whose
+/// fanins come from a sliding window of recent nets (mimicking the
+/// locality of mapped designs). Same seed -> same netlist, any run.
+netlist::Netlist build_synthetic(const netlist::CellLibrary& lib,
+                                 std::size_t n_cells) {
+  const auto lib_for = [&](netlist::CellFn fn) {
+    return static_cast<std::uint32_t>(lib.cells_for(fn).front());
+  };
+  const std::uint32_t nand2 = lib_for(netlist::CellFn::kNand2);
+  const std::uint32_t xor2 = lib_for(netlist::CellFn::kXor2);
+  const std::uint32_t inv = lib_for(netlist::CellFn::kInv);
+  const std::uint32_t mux2 = lib_for(netlist::CellFn::kMux2);
+  const std::uint32_t dff = lib_for(netlist::CellFn::kDff);
+
+  netlist::Netlist nl(&lib, "scale" + std::to_string(n_cells));
+  nl.reserve(n_cells, n_cells + kNumInputs, n_cells * 2 + n_cells / 4,
+             n_cells * 22);
+  std::vector<netlist::NetId> pool;
+  pool.reserve(n_cells + kNumInputs);
+  for (std::size_t i = 0; i < kNumInputs; ++i) {
+    pool.push_back(nl.add_input("in" + std::to_string(i)));
+  }
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  const auto next = [&rng]() {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>(rng >> 33);
+  };
+  const auto pick = [&]() {
+    // Sliding window over the most recent 4096 nets.
+    const std::size_t window = pool.size() < 4096 ? pool.size() : 4096;
+    return pool[pool.size() - 1 - next() % window];
+  };
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    const std::uint32_t roll = next() % 100;
+    const std::string name = "c" + std::to_string(i);
+    util::Result<netlist::CellId> cell = [&] {
+      if (roll < 60) return nl.add_cell(name, nand2, {pick(), pick()});
+      if (roll < 80) return nl.add_cell(name, xor2, {pick(), pick()});
+      if (roll < 90) return nl.add_cell(name, inv, {pick()});
+      if (roll < 95) return nl.add_cell(name, mux2, {pick(), pick(), pick()});
+      return nl.add_cell(name, dff, {pick()});
+    }();
+    if (!cell.ok()) {
+      std::fprintf(stderr, "add_cell failed: %s\n",
+                   cell.status().to_string().c_str());
+      std::exit(1);
+    }
+    pool.push_back(nl.output(cell.value()));
+  }
+  for (std::size_t i = 0; i < 32; ++i) {
+    nl.add_output("out" + std::to_string(i), pick());
+  }
+  return nl;
+}
+
+struct SizeResult {
+  std::size_t cells = 0;
+  double build_s = 0.0;
+  double traverse_s = 0.0;
+  double snapshot_s = 0.0;
+  std::size_t memory_bytes = 0;
+  std::size_t wire_bytes = 0;
+  std::size_t edges = 0;
+  double bytes_per_cell = 0.0;
+  bool over_budget = false;
+};
+
+SizeResult run_size(const netlist::CellLibrary& lib, std::size_t n_cells) {
+  SizeResult r;
+  r.cells = n_cells;
+
+  auto t0 = std::chrono::steady_clock::now();
+  const netlist::Netlist nl = build_synthetic(lib, n_cells);
+  r.build_s = seconds_since(t0);
+
+  r.memory_bytes = nl.memory_bytes();
+  r.bytes_per_cell =
+      static_cast<double>(r.memory_bytes) / static_cast<double>(n_cells);
+  r.over_budget = r.bytes_per_cell > kBytesPerCellBudget;
+  r.edges = nl.num_fanin_edges();
+
+  // Traverse: topological order plus a full fanin sweep — the access
+  // pattern of every analysis kernel (STA, power, simulation).
+  t0 = std::chrono::steady_clock::now();
+  const auto order = nl.topo_order();
+  if (!order.ok()) {
+    std::fprintf(stderr, "topo_order failed: %s\n",
+                 order.status().to_string().c_str());
+    std::exit(1);
+  }
+  std::uint64_t touched = 0;
+  for (const netlist::CellId id : order.value()) {
+    for (const netlist::NetId f : nl.fanin(id)) touched += f.value;
+  }
+  r.traverse_s = seconds_since(t0);
+  if (touched == 0) std::fprintf(stderr, "(unreachable checksum)\n");
+
+  // Snapshot: wire-codec round trip, digest-checked.
+  t0 = std::chrono::steady_clock::now();
+  util::WireWriter w;
+  flow::serialize(w, nl);
+  util::WireReader reader(w.buffer().data(), w.buffer().size());
+  const auto loaded = flow::deserialize_netlist(reader, &lib);
+  r.snapshot_s = seconds_since(t0);
+  r.wire_bytes = w.buffer().size();
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "round trip failed: %s\n",
+                 loaded.status().to_string().c_str());
+    std::exit(1);
+  }
+  if (!(flow::digest_of(*loaded) == flow::digest_of(nl))) {
+    std::fprintf(stderr, "round trip digest mismatch at %zu cells\n", n_cells);
+    std::exit(1);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const auto node = pdk::standard_node("sky130ish");
+  if (!node.ok()) {
+    std::fprintf(stderr, "no sky130ish node\n");
+    return 1;
+  }
+  const netlist::CellLibrary lib = pdk::build_library(node.value());
+
+  std::vector<std::size_t> sizes = {100'000, 500'000, 1'000'000};
+  if (smoke) sizes = {100'000};
+
+  std::vector<SizeResult> results;
+  for (const std::size_t n : sizes) results.push_back(run_size(lib, n));
+
+  util::Table table("netlist scale: SoA core, bytes/cell budget " +
+                    std::to_string(static_cast<int>(kBytesPerCellBudget)));
+  table.set_header({"cells", "build Mcells/s", "traverse Medges/s",
+                    "snapshot MB/s", "bytes/cell", "status"});
+  bool failed = false;
+  for (const SizeResult& r : results) {
+    failed = failed || r.over_budget;
+    table.add_row(
+        {std::to_string(r.cells),
+         util::fmt(static_cast<double>(r.cells) / r.build_s / 1e6, 2),
+         util::fmt(static_cast<double>(r.edges) / r.traverse_s / 1e6, 2),
+         util::fmt(static_cast<double>(r.wire_bytes) / r.snapshot_s / 1e6, 1),
+         util::fmt(r.bytes_per_cell, 1), r.over_budget ? "OVER" : "ok"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::ofstream json("BENCH_netlist_scale.json");
+  json << "{\n  \"bench\": \"netlist_scale\",\n  \"smoke\": "
+       << (smoke ? "true" : "false")
+       << ",\n  \"bytes_per_cell_budget\": " << kBytesPerCellBudget
+       << ",\n  \"sizes\": [";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SizeResult& r = results[i];
+    json << (i == 0 ? "" : ", ") << "{\"cells\": " << r.cells
+         << ", \"build_cells_per_s\": "
+         << static_cast<double>(r.cells) / r.build_s
+         << ", \"traverse_edges_per_s\": "
+         << static_cast<double>(r.edges) / r.traverse_s
+         << ", \"snapshot_bytes_per_s\": "
+         << static_cast<double>(r.wire_bytes) / r.snapshot_s
+         << ", \"wire_bytes\": " << r.wire_bytes
+         << ", \"memory_bytes\": " << r.memory_bytes
+         << ", \"bytes_per_cell\": " << r.bytes_per_cell
+         << ", \"over_budget\": " << (r.over_budget ? "true" : "false") << "}";
+  }
+  json << "]\n}\n";
+  std::printf("wrote BENCH_netlist_scale.json\n");
+
+  if (failed) {
+    std::fprintf(stderr, "FAIL: bytes-per-cell budget (%.0f) exceeded\n",
+                 kBytesPerCellBudget);
+    return 2;
+  }
+  return 0;
+}

@@ -36,7 +36,7 @@ DrcReport check(const place::PlacedDesign& placed,
   for (netlist::CellId id : nl.all_cells()) {
     ++report.cells_checked;
     const util::Rect r = placed.cell_rect(id);
-    const std::string& name = nl.cell(id).name;
+    const std::string name(nl.cell_name(id));
     if (r.lx < fp.core().lx || r.ux > fp.core().ux || r.ly < fp.core().ly ||
         r.uy > fp.core().uy) {
       report.violations.push_back(
@@ -73,8 +73,9 @@ DrcReport check(const place::PlacedDesign& placed,
     if (pa.y != pb.y) continue;
     if (placed.cell_rect(sorted[i]).overlaps(placed.cell_rect(sorted[i + 1]))) {
       report.violations.push_back(
-          {ViolationKind::kOverlap, nl.cell(sorted[i]).name + " / " +
-                                        nl.cell(sorted[i + 1]).name});
+          {ViolationKind::kOverlap,
+           std::string(nl.cell_name(sorted[i])) + " / " +
+               std::string(nl.cell_name(sorted[i + 1]))});
     }
   }
 
@@ -99,7 +100,7 @@ DrcReport check(const place::PlacedDesign& placed,
       ++report.nets_checked;
       if (id.value >= routing->nets.size() || !routing->nets[id.value].routed) {
         report.violations.push_back(
-            {ViolationKind::kUnrouted, nl.net(id).name});
+            {ViolationKind::kUnrouted, std::string(nl.net_name(id))});
       }
     }
     if (routing->overflowed_edges > 0) {

@@ -291,7 +291,7 @@ bool FederatedService::place_stolen(std::size_t donor, std::size_t target,
     }
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   const auto jit = jobs_.find(id);
   if (jit == jobs_.end()) return landed;
   JobRef& ref = jit->second;
@@ -325,9 +325,15 @@ bool FederatedService::place_stolen(std::size_t donor, std::size_t target,
     ++stats_.steal_returned;
   }
   cv_moved_.notify_all();
-  if (ref.cancel_requested) {
-    // A cancel raced the migration; apply it on the new home. Taking the
-    // hub lock with mu_ held follows the documented fed -> hub order.
+  const bool reapply_cancel = ref.cancel_requested;
+  lock.unlock();
+  if (reapply_cancel) {
+    // A cancel raced the migration; apply it on the new home. mu_ must be
+    // released first: cancelling a queued job fires the hub's on_terminal
+    // callback synchronously on this thread, and that callback
+    // (on_hub_terminal) takes mu_ — holding it here self-deadlocks. If the
+    // job migrates again before this lands, the hub refuses (kMigrated is
+    // terminal) and the sticky flag re-applies on the next placement.
     (void)hubs_[home]->cancel(*placed);
   }
   return landed;

@@ -28,19 +28,8 @@ std::size_t approx_bytes(const synth::Aig& aig) {
 }
 
 std::size_t approx_bytes(const netlist::Netlist& nl) {
-  std::size_t total = sizeof(netlist::Netlist);
-  for (netlist::NetId id : nl.all_nets()) {
-    const netlist::Net& n = nl.net(id);
-    total += sizeof(netlist::Net) + approx_bytes(n.name) +
-             n.sinks.size() * sizeof(netlist::PinRef);
-  }
-  for (netlist::CellId id : nl.all_cells()) {
-    const netlist::Cell& c = nl.cell(id);
-    total += sizeof(netlist::Cell) + approx_bytes(c.name) +
-             c.fanin.size() * sizeof(netlist::NetId);
-  }
-  total += (nl.inputs().size() + nl.outputs().size()) * sizeof(netlist::Port);
-  return total;
+  // The SoA netlist accounts for its own flat arrays exactly.
+  return sizeof(netlist::Netlist) + nl.memory_bytes();
 }
 
 std::size_t approx_bytes(const place::PlacedDesign& placed) {

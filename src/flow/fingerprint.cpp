@@ -57,7 +57,7 @@ util::Digest digest_of(const netlist::Netlist& netlist) {
   h.str("netlist.v1").str(netlist.name()).str(netlist.library().name());
   h.u64(netlist.num_cells());
   for (netlist::CellId id : netlist.all_cells()) {
-    const netlist::Cell& c = netlist.cell(id);
+    const netlist::CellView c = netlist.cell(id);
     h.str(c.name).u32(c.lib_index);
     h.u64(c.fanin.size());
     for (netlist::NetId f : c.fanin) hash_id(h, f);
@@ -65,7 +65,7 @@ util::Digest digest_of(const netlist::Netlist& netlist) {
   }
   h.u64(netlist.num_nets());
   for (netlist::NetId id : netlist.all_nets()) {
-    const netlist::Net& n = netlist.net(id);
+    const netlist::NetView n = netlist.net(id);
     h.str(n.name).u8(static_cast<std::uint8_t>(n.driver_kind));
     hash_id(h, n.driver_cell);
     h.boolean(n.is_primary_output);

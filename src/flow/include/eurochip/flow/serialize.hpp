@@ -36,7 +36,7 @@ namespace eurochip::flow {
 /// change; readers reject unknown versions (a federation can then roll
 /// hubs forward without poisoning the shared cache).
 inline constexpr std::uint32_t kWireMagic = 0x53464345u;  // "ECFS" LE
-inline constexpr std::uint32_t kWireVersion = 1;
+inline constexpr std::uint32_t kWireVersion = 2;  // v2: SoA netlist image
 
 // --- per-artifact encoders ------------------------------------------------
 

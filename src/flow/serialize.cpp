@@ -238,27 +238,33 @@ util::Result<synth::Aig> deserialize_aig(util::WireReader& r) {
 
 // --- Netlist --------------------------------------------------------------
 
+// v2 codec: the netlist ships as its raw SoA image — one interned-name
+// arena plus flat arrays (see netlist::RawNetlist) — so encode/decode is a
+// handful of tight loops over PODs instead of per-object string and vector
+// traffic. Sinks are written explicitly in chain order rather than rebuilt
+// from fanins on load: rewire history leaves sinks ordered differently
+// than pin-order reconstruction would, and digests hash sink order, so a
+// round trip must preserve it to stay digest-equal.
+
 void serialize(util::WireWriter& w, const netlist::Netlist& nl) {
+  const netlist::RawNetlist raw = nl.to_raw();
   w.str(nl.name());
-  w.size(nl.num_cells());
-  for (const netlist::CellId id : nl.all_cells()) {
-    const netlist::Cell& c = nl.cell(id);
-    w.str(c.name).u32(c.lib_index);
-    w.size(c.fanin.size());
-    for (const netlist::NetId f : c.fanin) w.u32(f.value);
-    w.u32(c.output.value);
+  w.str(raw.name_arena);
+  w.size(raw.cell_lib.size());
+  for (const netlist::NameRef n : raw.cell_name) w.u32(n.offset).u32(n.size);
+  for (const std::uint32_t lib : raw.cell_lib) w.u32(lib);
+  for (const std::uint32_t off : raw.cell_fanin_begin) w.u32(off);
+  for (const netlist::NetId f : raw.fanin_pool) w.u32(f.value);
+  for (const netlist::NetId o : raw.cell_output) w.u32(o.value);
+  w.size(raw.net_driver_kind.size());
+  for (const netlist::NameRef n : raw.net_name) w.u32(n.offset).u32(n.size);
+  for (const netlist::DriverKind k : raw.net_driver_kind) {
+    w.u8(static_cast<std::uint8_t>(k));
   }
-  w.size(nl.num_nets());
-  for (const netlist::NetId id : nl.all_nets()) {
-    const netlist::Net& n = nl.net(id);
-    w.str(n.name).u8(static_cast<std::uint8_t>(n.driver_kind));
-    w.u32(n.driver_cell.value);
-    w.size(n.sinks.size());
-    for (const netlist::PinRef& s : n.sinks) {
-      w.u32(s.cell.value).u8(s.pin);
-    }
-    w.boolean(n.is_primary_output);
-  }
+  for (const netlist::CellId c : raw.net_driver_cell) w.u32(c.value);
+  for (const std::uint8_t b : raw.net_is_output) w.u8(b);
+  for (const std::uint32_t off : raw.sink_begin) w.u32(off);
+  for (const netlist::PinRef& s : raw.sink_pool) w.u32(s.cell.value).u8(s.pin);
   const auto write_ports = [&w](const std::vector<netlist::Port>& ports) {
     w.size(ports.size());
     for (const netlist::Port& p : ports) w.str(p.name).u32(p.net.value);
@@ -271,46 +277,69 @@ util::Result<netlist::Netlist> deserialize_netlist(
     util::WireReader& r, const netlist::CellLibrary* library) {
   if (library == nullptr) return bad("netlist without library");
   std::string name = r.str();
+  netlist::RawNetlist raw;
+  raw.name_arena = r.str();
   const std::size_t num_cells = r.size();
-  std::vector<netlist::Cell> cells;
-  cells.reserve(num_cells);
+  raw.cell_name.reserve(num_cells);
   for (std::size_t i = 0; i < num_cells && r.ok(); ++i) {
-    netlist::Cell c;
-    c.name = r.str();
-    c.lib_index = r.u32();
-    if (r.ok() && c.lib_index >= library->size()) {
+    const std::uint32_t off = r.u32();
+    raw.cell_name.push_back(netlist::NameRef{off, r.u32()});
+  }
+  raw.cell_lib.reserve(num_cells);
+  for (std::size_t i = 0; i < num_cells && r.ok(); ++i) {
+    raw.cell_lib.push_back(r.u32());
+    if (r.ok() && raw.cell_lib.back() >= library->size()) {
       return bad("cell library index out of range");
     }
-    const std::size_t fanins = r.size();
-    c.fanin.reserve(fanins);
-    for (std::size_t k = 0; k < fanins && r.ok(); ++k) {
-      c.fanin.push_back(netlist::NetId{r.u32()});
-    }
-    c.output = netlist::NetId{r.u32()};
-    cells.push_back(std::move(c));
+  }
+  raw.cell_fanin_begin.reserve(num_cells + 1);
+  for (std::size_t i = 0; i < num_cells + 1 && r.ok(); ++i) {
+    raw.cell_fanin_begin.push_back(r.u32());
+  }
+  const std::size_t num_fanins =
+      r.ok() && !raw.cell_fanin_begin.empty() ? raw.cell_fanin_begin.back() : 0;
+  raw.fanin_pool.reserve(num_fanins);
+  for (std::size_t i = 0; i < num_fanins && r.ok(); ++i) {
+    raw.fanin_pool.push_back(netlist::NetId{r.u32()});
+  }
+  raw.cell_output.reserve(num_cells);
+  for (std::size_t i = 0; i < num_cells && r.ok(); ++i) {
+    raw.cell_output.push_back(netlist::NetId{r.u32()});
   }
   const std::size_t num_nets = r.size();
-  std::vector<netlist::Net> nets;
-  nets.reserve(num_nets);
+  raw.net_name.reserve(num_nets);
   for (std::size_t i = 0; i < num_nets && r.ok(); ++i) {
-    netlist::Net n;
-    n.name = r.str();
+    const std::uint32_t off = r.u32();
+    raw.net_name.push_back(netlist::NameRef{off, r.u32()});
+  }
+  raw.net_driver_kind.reserve(num_nets);
+  for (std::size_t i = 0; i < num_nets && r.ok(); ++i) {
     const std::uint8_t kind = r.u8();
-    if (kind > static_cast<std::uint8_t>(netlist::DriverKind::kConst1)) {
+    if (r.ok() &&
+        kind > static_cast<std::uint8_t>(netlist::DriverKind::kConst1)) {
       return bad("unknown net driver kind");
     }
-    n.driver_kind = static_cast<netlist::DriverKind>(kind);
-    n.driver_cell = netlist::CellId{r.u32()};
-    const std::size_t sinks = r.size();
-    n.sinks.reserve(sinks);
-    for (std::size_t k = 0; k < sinks && r.ok(); ++k) {
-      netlist::PinRef s;
-      s.cell = netlist::CellId{r.u32()};
-      s.pin = r.u8();
-      n.sinks.push_back(s);
-    }
-    n.is_primary_output = r.boolean();
-    nets.push_back(std::move(n));
+    raw.net_driver_kind.push_back(static_cast<netlist::DriverKind>(kind));
+  }
+  raw.net_driver_cell.reserve(num_nets);
+  for (std::size_t i = 0; i < num_nets && r.ok(); ++i) {
+    raw.net_driver_cell.push_back(netlist::CellId{r.u32()});
+  }
+  raw.net_is_output.reserve(num_nets);
+  for (std::size_t i = 0; i < num_nets && r.ok(); ++i) {
+    raw.net_is_output.push_back(r.u8());
+  }
+  raw.sink_begin.reserve(num_nets + 1);
+  for (std::size_t i = 0; i < num_nets + 1 && r.ok(); ++i) {
+    raw.sink_begin.push_back(r.u32());
+  }
+  const std::size_t num_sinks =
+      r.ok() && !raw.sink_begin.empty() ? raw.sink_begin.back() : 0;
+  raw.sink_pool.reserve(num_sinks);
+  for (std::size_t i = 0; i < num_sinks && r.ok(); ++i) {
+    const std::uint32_t cell = r.u32();
+    raw.sink_pool.push_back(
+        netlist::PinRef{netlist::CellId{cell}, r.u8()});
   }
   const auto read_ports = [&r](std::vector<netlist::Port>& ports) {
     const std::size_t n = r.size();
@@ -322,39 +351,22 @@ util::Result<netlist::Netlist> deserialize_netlist(
       ports.push_back(std::move(p));
     }
   };
-  std::vector<netlist::Port> inputs;
-  std::vector<netlist::Port> outputs;
-  read_ports(inputs);
-  read_ports(outputs);
+  read_ports(raw.inputs);
+  read_ports(raw.outputs);
   if (!r.ok()) return bad("truncated netlist");
-  // Referential validation: every id either valid-in-range or kInvalid.
-  const auto net_ok = [&](netlist::NetId id) {
-    return !id.valid() || id.value < nets.size();
-  };
-  const auto cell_ok = [&](netlist::CellId id) {
-    return !id.valid() || id.value < cells.size();
-  };
-  for (const netlist::Cell& c : cells) {
-    if (!net_ok(c.output)) return bad("cell output net out of range");
-    for (const netlist::NetId f : c.fanin) {
-      if (!net_ok(f)) return bad("cell fanin net out of range");
+  for (const netlist::Port& p : raw.inputs) {
+    if (p.net.valid() && p.net.value >= num_nets) {
+      return bad("input port net out of range");
     }
   }
-  for (const netlist::Net& n : nets) {
-    if (!cell_ok(n.driver_cell)) return bad("net driver out of range");
-    for (const netlist::PinRef& s : n.sinks) {
-      if (!cell_ok(s.cell)) return bad("net sink out of range");
+  for (const netlist::Port& p : raw.outputs) {
+    if (p.net.valid() && p.net.value >= num_nets) {
+      return bad("output port net out of range");
     }
   }
-  for (const netlist::Port& p : inputs) {
-    if (!net_ok(p.net)) return bad("input port net out of range");
-  }
-  for (const netlist::Port& p : outputs) {
-    if (!net_ok(p.net)) return bad("output port net out of range");
-  }
-  return netlist::Netlist::from_raw(library, std::move(name),
-                                    std::move(cells), std::move(nets),
-                                    std::move(inputs), std::move(outputs));
+  // from_raw validates the shape (CSR monotonicity, name refs inside the
+  // arena, ids in range); callers run check() for semantic invariants.
+  return netlist::Netlist::from_raw(library, std::move(name), std::move(raw));
 }
 
 // --- PlacedDesign ---------------------------------------------------------

@@ -1,0 +1,53 @@
+// Dense per-id annotation maps for netlist consumers (abc-zz `WMap` idiom).
+//
+// Analysis kernels frequently need "one T per cell" or "one T per net".
+// A hash map keyed by id costs a hash + probe per access and scatters the
+// values across the heap; because CellId/NetId are dense 32-bit indices, a
+// flat vector indexed by id is both smaller and faster. IdMap wraps that
+// vector with typed-id indexing and a default value for ids beyond the
+// populated range, so kernels can annotate lazily without pre-sizing.
+//
+//   netlist::IdMap<netlist::CellId, double> level(0.0);
+//   level[cell] = 3.5;            // grows on demand, fills with default
+//   double l = level[cell];       // const access never grows
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "eurochip/netlist/netlist.hpp"
+
+namespace eurochip::netlist {
+
+template <typename Id, typename T>
+class IdMap {
+ public:
+  IdMap() = default;
+  explicit IdMap(T default_value) : default_(std::move(default_value)) {}
+  IdMap(std::size_t size, T default_value)
+      : default_(std::move(default_value)) {
+    data_.assign(size, default_);
+  }
+
+  /// Mutable access; grows (default-filled) to cover `id`.
+  T& operator[](Id id) {
+    if (id.value >= data_.size()) data_.resize(id.value + 1, default_);
+    return data_[id.value];
+  }
+
+  /// Const access; ids beyond the populated range read as the default.
+  const T& operator[](Id id) const {
+    return id.value < data_.size() ? data_[id.value] : default_;
+  }
+
+  void reserve(std::size_t n) { data_.reserve(n); }
+  void assign(std::size_t n, const T& value) { data_.assign(n, value); }
+  void clear() { data_.clear(); }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+ private:
+  T default_{};
+  std::vector<T> data_;
+};
+
+}  // namespace eurochip::netlist

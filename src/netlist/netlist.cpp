@@ -5,169 +5,296 @@
 
 namespace eurochip::netlist {
 
-NetId Netlist::add_net(std::string net_name) {
-  Net n;
-  n.name = std::move(net_name);
-  nets_.push_back(std::move(n));
-  return NetId{static_cast<std::uint32_t>(nets_.size() - 1)};
+namespace {
+std::string str(std::string_view sv) { return std::string(sv); }
+}  // namespace
+
+NameRef Netlist::intern(std::string_view name) {
+  const NameRef ref{static_cast<std::uint32_t>(name_arena_.size()),
+                    static_cast<std::uint32_t>(name.size())};
+  name_arena_.append(name);
+  return ref;
+}
+
+void Netlist::append_sink(NetId net, PinRef ref) {
+  const auto node = static_cast<std::uint32_t>(sink_pool_.size());
+  sink_pool_.push_back(SinkNode{ref, SinkNode::kNullSink});
+  if (sink_head_[net.value] == SinkNode::kNullSink) {
+    sink_head_[net.value] = node;
+  } else {
+    sink_pool_[sink_tail_[net.value]].next = node;
+  }
+  sink_tail_[net.value] = node;
+  ++sink_count_[net.value];
+}
+
+void Netlist::reserve(std::size_t cells, std::size_t nets,
+                      std::size_t fanin_edges, std::size_t name_bytes) {
+  name_arena_.reserve(name_bytes);
+  cell_name_.reserve(cells);
+  cell_lib_.reserve(cells);
+  cell_fanin_begin_.reserve(cells + 1);
+  cell_output_.reserve(cells);
+  fanin_pool_.reserve(fanin_edges);
+  net_name_.reserve(nets);
+  net_driver_kind_.reserve(nets);
+  net_driver_cell_.reserve(nets);
+  net_is_output_.reserve(nets);
+  sink_head_.reserve(nets);
+  sink_tail_.reserve(nets);
+  sink_count_.reserve(nets);
+  sink_pool_.reserve(fanin_edges);
+}
+
+NetId Netlist::add_net(std::string_view net_name) {
+  const NetId id{static_cast<std::uint32_t>(net_name_.size())};
+  net_name_.push_back(intern(net_name));
+  net_driver_kind_.push_back(DriverKind::kNone);
+  net_driver_cell_.push_back(CellId{});
+  net_is_output_.push_back(0);
+  sink_head_.push_back(SinkNode::kNullSink);
+  sink_tail_.push_back(SinkNode::kNullSink);
+  sink_count_.push_back(0);
+  return id;
 }
 
 NetId Netlist::add_input(std::string port_name) {
   const NetId id = add_net(port_name);
-  nets_[id.value].driver_kind = DriverKind::kInput;
+  net_driver_kind_[id.value] = DriverKind::kInput;
   inputs_.push_back(Port{std::move(port_name), id});
   return id;
 }
 
 void Netlist::add_output(std::string port_name, NetId net) {
-  nets_.at(net.value).is_primary_output = true;
+  net_is_output_.at(net.value) = 1;
   outputs_.push_back(Port{std::move(port_name), net});
 }
 
-NetId Netlist::add_const(bool value, std::string net_name) {
-  const NetId id = add_net(std::move(net_name));
-  nets_[id.value].driver_kind = value ? DriverKind::kConst1 : DriverKind::kConst0;
+NetId Netlist::add_const(bool value, std::string_view net_name) {
+  const NetId id = add_net(net_name);
+  net_driver_kind_[id.value] =
+      value ? DriverKind::kConst1 : DriverKind::kConst0;
   return id;
 }
 
-util::Result<CellId> Netlist::add_cell(std::string cell_name,
+util::Result<CellId> Netlist::add_cell(std::string_view cell_name,
                                        std::uint32_t lib_index,
-                                       std::vector<NetId> fanin) {
+                                       std::span<const NetId> fanin) {
   if (lib_index >= library_->size()) {
     return util::Status::InvalidArgument("lib_index out of range");
   }
   const LibraryCell& lc = library_->cell(lib_index);
   if (fanin.size() != static_cast<std::size_t>(lc.num_inputs())) {
     return util::Status::InvalidArgument(
-        "cell " + cell_name + ": expected " + std::to_string(lc.num_inputs()) +
-        " inputs, got " + std::to_string(fanin.size()));
+        "cell " + str(cell_name) + ": expected " +
+        std::to_string(lc.num_inputs()) + " inputs, got " +
+        std::to_string(fanin.size()));
   }
   for (NetId f : fanin) {
-    if (!f.valid() || f.value >= nets_.size()) {
-      return util::Status::InvalidArgument("cell " + cell_name +
+    if (!f.valid() || f.value >= num_nets()) {
+      return util::Status::InvalidArgument("cell " + str(cell_name) +
                                            ": invalid fanin net");
     }
   }
-  const CellId cid{static_cast<std::uint32_t>(cells_.size())};
-  const NetId out = add_net(cell_name + ".out");
-  nets_[out.value].driver_kind = DriverKind::kCell;
-  nets_[out.value].driver_cell = cid;
+  const CellId cid{static_cast<std::uint32_t>(cell_lib_.size())};
+  // The cell's output-net name is derived, not stored twice: "<cell>.out".
+  const NetId out = add_net(str(cell_name) + ".out");
+  net_driver_kind_[out.value] = DriverKind::kCell;
+  net_driver_cell_[out.value] = cid;
+  if (cell_fanin_begin_.empty()) cell_fanin_begin_.push_back(0);
   for (std::size_t pin = 0; pin < fanin.size(); ++pin) {
-    nets_[fanin[pin].value].sinks.push_back(
-        PinRef{cid, static_cast<std::uint8_t>(pin)});
+    fanin_pool_.push_back(fanin[pin]);
+    append_sink(fanin[pin], PinRef{cid, static_cast<std::uint8_t>(pin)});
   }
-  Cell c;
-  c.name = std::move(cell_name);
-  c.lib_index = lib_index;
-  c.fanin = std::move(fanin);
-  c.output = out;
-  cells_.push_back(std::move(c));
+  cell_fanin_begin_.push_back(static_cast<std::uint32_t>(fanin_pool_.size()));
+  cell_name_.push_back(intern(cell_name));
+  cell_lib_.push_back(lib_index);
+  cell_output_.push_back(out);
   return cid;
 }
 
 util::Status Netlist::rewire_input(CellId cell, std::uint8_t pin,
                                    NetId new_net) {
-  if (!cell.valid() || cell.value >= cells_.size()) {
+  if (!cell.valid() || cell.value >= num_cells()) {
     return util::Status::InvalidArgument("invalid cell id");
   }
-  Cell& c = cells_[cell.value];
-  if (pin >= c.fanin.size()) {
+  const std::uint32_t begin = cell_fanin_begin_[cell.value];
+  const std::uint32_t arity = cell_fanin_begin_[cell.value + 1] - begin;
+  if (pin >= arity) {
     return util::Status::InvalidArgument("pin index out of range");
   }
-  if (!new_net.valid() || new_net.value >= nets_.size()) {
+  if (!new_net.valid() || new_net.value >= num_nets()) {
     return util::Status::InvalidArgument("invalid net id");
   }
-  const NetId old_net = c.fanin[pin];
-  auto& old_sinks = nets_[old_net.value].sinks;
-  old_sinks.erase(std::remove(old_sinks.begin(), old_sinks.end(),
-                              PinRef{cell, pin}),
-                  old_sinks.end());
-  c.fanin[pin] = new_net;
-  nets_[new_net.value].sinks.push_back(PinRef{cell, pin});
+  const NetId old_net = fanin_pool_[begin + pin];
+  // Unlink (cell, pin) from the old net's chain; relative order of the
+  // remaining sinks is preserved (matches the old vector-erase semantics).
+  // The unlinked node is abandoned in the pool — the pool only ever grows
+  // by the number of rewires, which mutation passes keep small.
+  std::uint32_t* link = &sink_head_[old_net.value];
+  std::uint32_t prev = SinkNode::kNullSink;
+  while (*link != SinkNode::kNullSink) {
+    SinkNode& node = sink_pool_[*link];
+    if (node.ref == PinRef{cell, pin}) {
+      if (sink_tail_[old_net.value] == *link) sink_tail_[old_net.value] = prev;
+      *link = node.next;
+      --sink_count_[old_net.value];
+      break;
+    }
+    prev = *link;
+    link = &node.next;
+  }
+  fanin_pool_[begin + pin] = new_net;
+  append_sink(new_net, PinRef{cell, pin});
   return util::Status::Ok();
 }
 
 util::Status Netlist::replace_cell_lib(CellId cell,
                                        std::uint32_t new_lib_index) {
-  if (!cell.valid() || cell.value >= cells_.size()) {
+  if (!cell.valid() || cell.value >= num_cells()) {
     return util::Status::InvalidArgument("invalid cell id");
   }
   if (new_lib_index >= library_->size()) {
     return util::Status::InvalidArgument("lib index out of range");
   }
-  Cell& c = cells_[cell.value];
-  if (library_->cell(new_lib_index).fn != library_->cell(c.lib_index).fn) {
+  if (library_->cell(new_lib_index).fn !=
+      library_->cell(cell_lib_[cell.value]).fn) {
     return util::Status::InvalidArgument(
         "replacement cell implements a different function");
   }
-  c.lib_index = new_lib_index;
+  cell_lib_[cell.value] = new_lib_index;
   return util::Status::Ok();
 }
 
+CellView Netlist::cell(CellId id) const {
+  const std::uint32_t begin = cell_fanin_begin_.at(id.value);
+  return CellView{
+      sv(cell_name_[id.value]), cell_lib_[id.value],
+      std::span<const NetId>(fanin_pool_.data() + begin,
+                             cell_fanin_begin_[id.value + 1] - begin),
+      cell_output_[id.value]};
+}
+
+NetView Netlist::net(NetId id) const {
+  return NetView{sv(net_name_.at(id.value)), net_driver_kind_[id.value],
+                 net_driver_cell_[id.value], net_is_output_[id.value] != 0,
+                 SinkRange(sink_pool_.data(), sink_head_[id.value],
+                           sink_count_[id.value])};
+}
+
+std::vector<PinRef> Netlist::sink_snapshot(NetId id) const {
+  std::vector<PinRef> out;
+  out.reserve(sink_count_.at(id.value));
+  for (const PinRef& s : sinks(id)) out.push_back(s);
+  return out;
+}
+
 std::vector<CellId> Netlist::all_cells() const {
-  std::vector<CellId> out(cells_.size());
-  for (std::uint32_t i = 0; i < cells_.size(); ++i) out[i] = CellId{i};
+  std::vector<CellId> out(num_cells());
+  for (std::uint32_t i = 0; i < out.size(); ++i) out[i] = CellId{i};
   return out;
 }
 
 std::vector<NetId> Netlist::all_nets() const {
-  std::vector<NetId> out(nets_.size());
-  for (std::uint32_t i = 0; i < nets_.size(); ++i) out[i] = NetId{i};
+  std::vector<NetId> out(num_nets());
+  for (std::uint32_t i = 0; i < out.size(); ++i) out[i] = NetId{i};
   return out;
 }
 
 std::vector<CellId> Netlist::sequential_cells() const {
   std::vector<CellId> out;
-  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
-    if (library_->cell(cells_[i].lib_index).is_sequential()) {
-      out.push_back(CellId{i});
-    }
+  for (std::uint32_t i = 0; i < num_cells(); ++i) {
+    if (library_->cell(cell_lib_[i]).is_sequential()) out.push_back(CellId{i});
   }
   return out;
 }
 
 util::Status Netlist::check() const {
-  for (std::size_t i = 0; i < nets_.size(); ++i) {
-    const Net& n = nets_[i];
-    if (n.driver_kind == DriverKind::kNone && !n.sinks.empty()) {
-      return util::Status::Internal("net '" + n.name + "' has sinks but no driver");
+  const std::size_t n_cells = num_cells();
+  const std::size_t n_nets = num_nets();
+  // Each connected (cell, pin) must appear exactly once across all sink
+  // chains; a pin's slot in the fanin pool doubles as its counter index.
+  std::vector<std::uint8_t> pin_seen(fanin_pool_.size(), 0);
+  for (std::size_t i = 0; i < n_nets; ++i) {
+    const DriverKind kind = net_driver_kind_[i];
+    if (kind == DriverKind::kNone && sink_count_[i] != 0) {
+      return util::Status::Internal("net '" + str(sv(net_name_[i])) +
+                                    "' has sinks but no driver");
     }
-    if (n.driver_kind == DriverKind::kCell) {
-      if (!n.driver_cell.valid() || n.driver_cell.value >= cells_.size()) {
-        return util::Status::Internal("net '" + n.name + "' has invalid driver");
+    if (kind == DriverKind::kCell) {
+      const CellId drv = net_driver_cell_[i];
+      if (!drv.valid() || drv.value >= n_cells) {
+        return util::Status::Internal("net '" + str(sv(net_name_[i])) +
+                                      "' has invalid driver");
       }
-      if (cells_[n.driver_cell.value].output.value != i) {
-        return util::Status::Internal("net '" + n.name +
+      if (cell_output_[drv.value].value != i) {
+        return util::Status::Internal("net '" + str(sv(net_name_[i])) +
                                       "' driver does not point back");
       }
     }
-    for (const PinRef& s : n.sinks) {
-      if (!s.cell.valid() || s.cell.value >= cells_.size()) {
-        return util::Status::Internal("net '" + n.name + "' has invalid sink");
+    for (const PinRef& s : sinks(NetId{static_cast<std::uint32_t>(i)})) {
+      if (!s.cell.valid() || s.cell.value >= n_cells) {
+        return util::Status::Internal("net '" + str(sv(net_name_[i])) +
+                                      "' has invalid sink");
       }
-      const Cell& c = cells_[s.cell.value];
-      if (s.pin >= c.fanin.size() || c.fanin[s.pin].value != i) {
-        return util::Status::Internal("net '" + n.name +
+      const std::uint32_t begin = cell_fanin_begin_[s.cell.value];
+      const std::uint32_t arity = cell_fanin_begin_[s.cell.value + 1] - begin;
+      if (s.pin >= arity || fanin_pool_[begin + s.pin].value != i) {
+        return util::Status::Internal("net '" + str(sv(net_name_[i])) +
                                       "' sink list inconsistent with fanin");
+      }
+      if (pin_seen[begin + s.pin]++ != 0) {
+        return util::Status::Internal(
+            "net '" + str(sv(net_name_[i])) + "' lists sink (" +
+            str(sv(cell_name_[s.cell.value])) + ", pin " +
+            std::to_string(s.pin) + ") more than once");
       }
     }
   }
-  for (const Cell& c : cells_) {
-    const LibraryCell& lc = library_->cell(c.lib_index);
-    if (c.fanin.size() != static_cast<std::size_t>(lc.num_inputs())) {
-      return util::Status::Internal("cell '" + c.name + "' arity mismatch");
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    const LibraryCell& lc = library_->cell(cell_lib_[i]);
+    const std::uint32_t begin = cell_fanin_begin_[i];
+    const std::uint32_t arity = cell_fanin_begin_[i + 1] - begin;
+    if (arity != static_cast<std::uint32_t>(lc.num_inputs())) {
+      return util::Status::Internal("cell '" + str(sv(cell_name_[i])) +
+                                    "' arity mismatch");
     }
-    for (NetId f : c.fanin) {
-      if (!f.valid() || f.value >= nets_.size() ||
-          nets_[f.value].driver_kind == DriverKind::kNone) {
-        return util::Status::Internal("cell '" + c.name +
+    for (std::uint32_t p = 0; p < arity; ++p) {
+      const NetId f = fanin_pool_[begin + p];
+      if (!f.valid() || f.value >= n_nets ||
+          net_driver_kind_[f.value] == DriverKind::kNone) {
+        return util::Status::Internal("cell '" + str(sv(cell_name_[i])) +
                                       "' has unconnected input");
       }
     }
   }
   for (const Port& p : outputs_) {
-    if (!p.net.valid() || p.net.value >= nets_.size()) {
+    if (!p.net.valid() || p.net.value >= n_nets) {
       return util::Status::Internal("output port '" + p.name + "' unconnected");
+    }
+  }
+  // Primary-input ports and kInput-driven nets must be in bijection: every
+  // input port references a distinct kInput net, and no kInput net floats
+  // without a port (the gap that mattered once from_raw started adopting
+  // wire-format images).
+  std::vector<std::uint8_t> input_port_seen(n_nets, 0);
+  for (const Port& p : inputs_) {
+    if (!p.net.valid() || p.net.value >= n_nets) {
+      return util::Status::Internal("input port '" + p.name + "' unconnected");
+    }
+    if (net_driver_kind_[p.net.value] != DriverKind::kInput) {
+      return util::Status::Internal("input port '" + p.name +
+                                    "' net is not input-driven");
+    }
+    if (input_port_seen[p.net.value]++ != 0) {
+      return util::Status::Internal("input port '" + p.name +
+                                    "' net claimed by multiple ports");
+    }
+  }
+  for (std::size_t i = 0; i < n_nets; ++i) {
+    if (net_driver_kind_[i] == DriverKind::kInput && !input_port_seen[i]) {
+      return util::Status::Internal("net '" + str(sv(net_name_[i])) +
+                                    "' is input-driven but has no input port");
     }
   }
   return util::Status::Ok();
@@ -177,21 +304,22 @@ util::Result<std::vector<CellId>> Netlist::topo_order() const {
   // Kahn's algorithm over combinational cells. A cell's combinational
   // predecessors are the driver cells of its fanin nets, excluding DFFs
   // (whose outputs are cut points).
-  std::vector<std::uint32_t> pending(cells_.size(), 0);
+  const std::size_t n_cells = num_cells();
+  std::vector<std::uint32_t> pending(n_cells, 0);
   std::vector<CellId> order;
-  order.reserve(cells_.size());
+  order.reserve(n_cells);
   std::queue<std::uint32_t> ready;
 
   const auto is_seq = [&](std::uint32_t idx) {
-    return library_->cell(cells_[idx].lib_index).is_sequential();
+    return library_->cell(cell_lib_[idx]).is_sequential();
   };
 
-  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+  for (std::uint32_t i = 0; i < n_cells; ++i) {
     if (is_seq(i)) continue;  // DFFs appended at the end
     std::uint32_t deps = 0;
-    for (NetId f : cells_[i].fanin) {
-      const Net& n = nets_[f.value];
-      if (n.driver_kind == DriverKind::kCell && !is_seq(n.driver_cell.value)) {
+    for (NetId f : fanin(CellId{i})) {
+      if (net_driver_kind_[f.value] == DriverKind::kCell &&
+          !is_seq(net_driver_cell_[f.value].value)) {
         ++deps;
       }
     }
@@ -200,7 +328,7 @@ util::Result<std::vector<CellId>> Netlist::topo_order() const {
   }
 
   std::size_t comb_total = 0;
-  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+  for (std::uint32_t i = 0; i < n_cells; ++i) {
     if (!is_seq(i)) ++comb_total;
   }
 
@@ -208,7 +336,7 @@ util::Result<std::vector<CellId>> Netlist::topo_order() const {
     const std::uint32_t idx = ready.front();
     ready.pop();
     order.push_back(CellId{idx});
-    for (const PinRef& sink : nets_[cells_[idx].output.value].sinks) {
+    for (const PinRef& sink : sinks(cell_output_[idx])) {
       const std::uint32_t s = sink.cell.value;
       if (is_seq(s)) continue;
       if (--pending[s] == 0) ready.push(s);
@@ -218,7 +346,7 @@ util::Result<std::vector<CellId>> Netlist::topo_order() const {
   if (order.size() != comb_total) {
     return util::Status::Internal("combinational cycle detected");
   }
-  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+  for (std::uint32_t i = 0; i < n_cells; ++i) {
     if (is_seq(i)) order.push_back(CellId{i});
   }
   return order;
@@ -226,20 +354,20 @@ util::Result<std::vector<CellId>> Netlist::topo_order() const {
 
 double Netlist::total_area_um2() const {
   double area = 0.0;
-  for (const Cell& c : cells_) area += library_->cell(c.lib_index).area_um2;
+  for (std::uint32_t lib : cell_lib_) area += library_->cell(lib).area_um2;
   return area;
 }
 
 double Netlist::total_leakage_nw() const {
   double leak = 0.0;
-  for (const Cell& c : cells_) leak += library_->cell(c.lib_index).leakage_nw;
+  for (std::uint32_t lib : cell_lib_) leak += library_->cell(lib).leakage_nw;
   return leak;
 }
 
 std::size_t Netlist::count_fn(CellFn fn) const {
   std::size_t n = 0;
-  for (const Cell& c : cells_) {
-    if (library_->cell(c.lib_index).fn == fn) ++n;
+  for (std::uint32_t lib : cell_lib_) {
+    if (library_->cell(lib).fn == fn) ++n;
   }
   return n;
 }
@@ -247,18 +375,16 @@ std::size_t Netlist::count_fn(CellFn fn) const {
 std::size_t Netlist::logic_depth() const {
   const auto order = topo_order();
   if (!order.ok()) return 0;
-  std::vector<std::size_t> level(cells_.size(), 0);
+  std::vector<std::size_t> level(num_cells(), 0);
   std::size_t max_level = 0;
   for (CellId id : order.value()) {
-    const Cell& c = cells_[id.value];
-    if (library_->cell(c.lib_index).is_sequential()) continue;
+    if (library_->cell(cell_lib_[id.value]).is_sequential()) continue;
     std::size_t lvl = 1;
-    for (NetId f : c.fanin) {
-      const Net& n = nets_[f.value];
-      if (n.driver_kind == DriverKind::kCell &&
-          !library_->cell(cells_[n.driver_cell.value].lib_index)
+    for (NetId f : fanin(id)) {
+      if (net_driver_kind_[f.value] == DriverKind::kCell &&
+          !library_->cell(cell_lib_[net_driver_cell_[f.value].value])
                .is_sequential()) {
-        lvl = std::max(lvl, level[n.driver_cell.value] + 1);
+        lvl = std::max(lvl, level[net_driver_cell_[f.value].value] + 1);
       }
     }
     level[id.value] = lvl;
@@ -267,15 +393,137 @@ std::size_t Netlist::logic_depth() const {
   return max_level;
 }
 
-Netlist Netlist::from_raw(const CellLibrary* library, std::string name,
-                          std::vector<Cell> cells, std::vector<Net> nets,
-                          std::vector<Port> inputs,
-                          std::vector<Port> outputs) {
+std::size_t Netlist::memory_bytes() const {
+  std::size_t bytes = name_arena_.size();
+  bytes += cell_name_.size() * sizeof(NameRef);
+  bytes += cell_lib_.size() * sizeof(std::uint32_t);
+  bytes += cell_fanin_begin_.size() * sizeof(std::uint32_t);
+  bytes += cell_output_.size() * sizeof(NetId);
+  bytes += fanin_pool_.size() * sizeof(NetId);
+  bytes += net_name_.size() * sizeof(NameRef);
+  bytes += net_driver_kind_.size() * sizeof(DriverKind);
+  bytes += net_driver_cell_.size() * sizeof(CellId);
+  bytes += net_is_output_.size() * sizeof(std::uint8_t);
+  bytes += (sink_head_.size() + sink_tail_.size() + sink_count_.size()) *
+           sizeof(std::uint32_t);
+  bytes += sink_pool_.size() * sizeof(SinkNode);
+  bytes += (inputs_.size() + outputs_.size()) * sizeof(Port);
+  return bytes;
+}
+
+RawNetlist Netlist::to_raw() const {
+  RawNetlist raw;
+  raw.name_arena = name_arena_;
+  raw.cell_name = cell_name_;
+  raw.cell_lib = cell_lib_;
+  raw.cell_fanin_begin = cell_fanin_begin_;
+  if (raw.cell_fanin_begin.empty()) raw.cell_fanin_begin.push_back(0);
+  raw.fanin_pool = fanin_pool_;
+  raw.cell_output = cell_output_;
+  raw.net_name = net_name_;
+  raw.net_driver_kind = net_driver_kind_;
+  raw.net_driver_cell = net_driver_cell_;
+  raw.net_is_output = net_is_output_;
+  // Sink chains flatten to CSR in chain (= insertion) order. The order is
+  // semantic — rewire history reorders sinks relative to pin-order
+  // reconstruction, and digests hash sinks in order — so it must survive
+  // the round trip rather than be rebuilt from fanins.
+  raw.sink_begin.reserve(num_nets() + 1);
+  raw.sink_begin.push_back(0);
+  std::size_t live_sinks = 0;
+  for (std::size_t i = 0; i < num_nets(); ++i) live_sinks += sink_count_[i];
+  raw.sink_pool.reserve(live_sinks);
+  for (std::size_t i = 0; i < num_nets(); ++i) {
+    for (const PinRef& s : sinks(NetId{static_cast<std::uint32_t>(i)})) {
+      raw.sink_pool.push_back(s);
+    }
+    raw.sink_begin.push_back(static_cast<std::uint32_t>(raw.sink_pool.size()));
+  }
+  raw.inputs = inputs_;
+  raw.outputs = outputs_;
+  return raw;
+}
+
+util::Result<Netlist> Netlist::from_raw(const CellLibrary* library,
+                                        std::string name, RawNetlist raw) {
+  const auto bad = [](const char* what) {
+    return util::Status::InvalidArgument(std::string("raw netlist: ") + what);
+  };
+  const std::size_t n_cells = raw.cell_lib.size();
+  const std::size_t n_nets = raw.net_driver_kind.size();
+  if (raw.cell_name.size() != n_cells || raw.cell_output.size() != n_cells) {
+    return bad("cell array lengths disagree");
+  }
+  if (raw.cell_fanin_begin.size() != n_cells + 1 ||
+      raw.cell_fanin_begin.front() != 0 ||
+      raw.cell_fanin_begin.back() != raw.fanin_pool.size()) {
+    return bad("fanin CSR malformed");
+  }
+  if (raw.net_name.size() != n_nets || raw.net_driver_cell.size() != n_nets ||
+      raw.net_is_output.size() != n_nets) {
+    return bad("net array lengths disagree");
+  }
+  if (raw.sink_begin.size() != n_nets + 1 || raw.sink_begin.front() != 0 ||
+      raw.sink_begin.back() != raw.sink_pool.size()) {
+    return bad("sink CSR malformed");
+  }
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    if (raw.cell_fanin_begin[i] > raw.cell_fanin_begin[i + 1]) {
+      return bad("fanin CSR not monotonic");
+    }
+  }
+  for (std::size_t i = 0; i < n_nets; ++i) {
+    if (raw.sink_begin[i] > raw.sink_begin[i + 1]) {
+      return bad("sink CSR not monotonic");
+    }
+  }
+  const auto name_ok = [&](NameRef r) {
+    return static_cast<std::size_t>(r.offset) + r.size <=
+           raw.name_arena.size();
+  };
+  for (NameRef r : raw.cell_name) {
+    if (!name_ok(r)) return bad("cell name outside arena");
+  }
+  for (NameRef r : raw.net_name) {
+    if (!name_ok(r)) return bad("net name outside arena");
+  }
+  for (NetId f : raw.fanin_pool) {
+    if (!f.valid() || f.value >= n_nets) return bad("fanin net out of range");
+  }
+  for (NetId o : raw.cell_output) {
+    if (!o.valid() || o.value >= n_nets) return bad("output net out of range");
+  }
+  for (const PinRef& s : raw.sink_pool) {
+    if (!s.cell.valid() || s.cell.value >= n_cells) {
+      return bad("sink cell out of range");
+    }
+  }
+  for (const CellId d : raw.net_driver_cell) {
+    if (d.valid() && d.value >= n_cells) return bad("driver cell out of range");
+  }
+
   Netlist nl(library, std::move(name));
-  nl.cells_ = std::move(cells);
-  nl.nets_ = std::move(nets);
-  nl.inputs_ = std::move(inputs);
-  nl.outputs_ = std::move(outputs);
+  nl.name_arena_ = std::move(raw.name_arena);
+  nl.cell_name_ = std::move(raw.cell_name);
+  nl.cell_lib_ = std::move(raw.cell_lib);
+  nl.cell_fanin_begin_ = std::move(raw.cell_fanin_begin);
+  nl.fanin_pool_ = std::move(raw.fanin_pool);
+  nl.cell_output_ = std::move(raw.cell_output);
+  nl.net_name_ = std::move(raw.net_name);
+  nl.net_driver_kind_ = std::move(raw.net_driver_kind);
+  nl.net_driver_cell_ = std::move(raw.net_driver_cell);
+  nl.net_is_output_ = std::move(raw.net_is_output);
+  nl.sink_head_.assign(n_nets, SinkNode::kNullSink);
+  nl.sink_tail_.assign(n_nets, SinkNode::kNullSink);
+  nl.sink_count_.assign(n_nets, 0);
+  nl.sink_pool_.reserve(raw.sink_pool.size());
+  for (std::size_t i = 0; i < n_nets; ++i) {
+    for (std::uint32_t s = raw.sink_begin[i]; s < raw.sink_begin[i + 1]; ++s) {
+      nl.append_sink(NetId{static_cast<std::uint32_t>(i)}, raw.sink_pool[s]);
+    }
+  }
+  nl.inputs_ = std::move(raw.inputs);
+  nl.outputs_ = std::move(raw.outputs);
   return nl;
 }
 

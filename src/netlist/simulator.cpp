@@ -29,24 +29,23 @@ util::Result<Simulator> Simulator::create(const Netlist& netlist) {
   sim.eval_fanin_begin_.reserve(sim.order_.size() + 1);
   sim.eval_fanin_begin_.push_back(0);
   for (CellId id : sim.order_) {
-    const Cell& c = netlist.cell(id);
     sim.eval_fn_.push_back(netlist.lib_cell(id).fn);
-    sim.eval_out_.push_back(c.output.value);
-    for (NetId f : c.fanin) sim.eval_fanin_.push_back(f.value);
+    sim.eval_out_.push_back(netlist.output(id).value);
+    for (NetId f : netlist.fanin(id)) sim.eval_fanin_.push_back(f.value);
     sim.eval_fanin_begin_.push_back(
         static_cast<std::uint32_t>(sim.eval_fanin_.size()));
   }
   for (NetId id : netlist.all_nets()) {
-    const Net& n = netlist.net(id);
-    if (n.driver_kind == DriverKind::kConst0) {
+    const DriverKind kind = netlist.driver_kind(id);
+    if (kind == DriverKind::kConst0) {
       sim.const_nets_.emplace_back(id.value, 0);
-    } else if (n.driver_kind == DriverKind::kConst1) {
+    } else if (kind == DriverKind::kConst1) {
       sim.const_nets_.emplace_back(id.value, 1);
     }
   }
   for (CellId ff : sim.dffs_) {
-    sim.dff_out_net_.push_back(netlist.cell(ff).output.value);
-    sim.dff_d_net_.push_back(netlist.cell(ff).fanin[0].value);
+    sim.dff_out_net_.push_back(netlist.output(ff).value);
+    sim.dff_d_net_.push_back(netlist.fanin(ff)[0].value);
   }
   return sim;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <unordered_set>
 
 #include "eurochip/util/strings.hpp"
 
@@ -10,7 +11,7 @@ namespace eurochip::netlist {
 namespace {
 
 /// Verilog identifiers cannot contain '[', '.', etc.; escape to '_'.
-std::string sanitize(const std::string& name) {
+std::string sanitize(std::string_view name) {
   std::string out;
   out.reserve(name.size());
   for (char c : name) {
@@ -24,13 +25,30 @@ std::string sanitize(const std::string& name) {
   return out;
 }
 
-const char* input_pin_name(int index) {
-  switch (index) {
-    case 0: return "A";
-    case 1: return "B";
-    case 2: return "C";
-    default: return "D";
+/// Sanitizes and uniquifies within one module's identifier namespace.
+/// Sanitization is lossy ("a.b" and "a[b]" both become "a_b"), so distinct
+/// source names can collide after escaping; a "_2"/"_3"... suffix keeps the
+/// emitted Verilog legal. Names that were already unique are unchanged.
+class Namer {
+ public:
+  std::string unique(std::string_view name) {
+    const std::string base = sanitize(name);
+    std::string candidate = base;
+    for (int suffix = 2; !used_.insert(candidate).second; ++suffix) {
+      candidate = base + "_" + std::to_string(suffix);
+    }
+    return candidate;
   }
+
+ private:
+  std::unordered_set<std::string> used_;
+};
+
+/// Combinational input pins are A, B, C, ... X; Y is the output pin, so
+/// the alphabet stops before it and wider cells continue as I24, I25, ...
+std::string input_pin_name(int index) {
+  if (index < 24) return std::string(1, static_cast<char>('A' + index));
+  return "I" + std::to_string(index);
 }
 
 }  // namespace
@@ -49,44 +67,55 @@ std::string write_verilog(const Netlist& nl, const VerilogOptions& opt) {
 
   const bool sequential = !nl.sequential_cells().empty();
 
+  // One identifier namespace per module: clock, ports, wires, and instance
+  // names all uniquify through the same Namer, in emission order, so the
+  // result is deterministic and collision-free.
+  Namer namer;
+  const std::string clock_name =
+      sequential ? namer.unique(opt.clock_name) : std::string();
+  std::vector<std::string> input_names;
+  input_names.reserve(nl.inputs().size());
+  for (const Port& p : nl.inputs()) input_names.push_back(namer.unique(p.name));
+  std::vector<std::string> output_names;
+  output_names.reserve(nl.outputs().size());
+  for (const Port& p : nl.outputs()) {
+    output_names.push_back(namer.unique(p.name));
+  }
+
   // Port list.
   std::vector<std::string> ports;
-  if (sequential) ports.push_back(sanitize(opt.clock_name));
-  for (const Port& p : nl.inputs()) ports.push_back(sanitize(p.name));
-  for (const Port& p : nl.outputs()) ports.push_back(sanitize(p.name));
+  if (sequential) ports.push_back(clock_name);
+  ports.insert(ports.end(), input_names.begin(), input_names.end());
+  ports.insert(ports.end(), output_names.begin(), output_names.end());
   out += "module " + module_name + "(" + util::join(ports, ", ") + ");\n";
 
-  if (sequential) out += "  input " + sanitize(opt.clock_name) + ";\n";
-  for (const Port& p : nl.inputs()) {
-    out += "  input " + sanitize(p.name) + ";\n";
-  }
-  for (const Port& p : nl.outputs()) {
-    out += "  output " + sanitize(p.name) + ";\n";
-  }
+  if (sequential) out += "  input " + clock_name + ";\n";
+  for (const std::string& p : input_names) out += "  input " + p + ";\n";
+  for (const std::string& p : output_names) out += "  output " + p + ";\n";
 
   // Net names: ports keep their names; internal nets get w<N>.
   std::vector<std::string> net_name(nl.num_nets());
-  for (const Port& p : nl.inputs()) net_name[p.net.value] = sanitize(p.name);
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    net_name[nl.inputs()[i].net.value] = input_names[i];
+  }
   // Outputs may alias an input-driven net; output assigns handle that below.
-  std::size_t wires = 0;
   for (NetId id : nl.all_nets()) {
     if (!net_name[id.value].empty()) continue;
-    const Net& n = nl.net(id);
+    const NetView n = nl.net(id);
     if (n.driver_kind == DriverKind::kNone && n.sinks.empty() &&
         !n.is_primary_output) {
       continue;  // unused placeholder net
     }
-    net_name[id.value] = "w" + std::to_string(id.value);
-    ++wires;
+    net_name[id.value] = namer.unique("w" + std::to_string(id.value));
     out += "  wire " + net_name[id.value] + ";\n";
   }
 
   // Constants.
   for (NetId id : nl.all_nets()) {
-    const Net& n = nl.net(id);
-    if (n.driver_kind == DriverKind::kConst0) {
+    const DriverKind kind = nl.driver_kind(id);
+    if (kind == DriverKind::kConst0) {
       out += "  assign " + net_name[id.value] + " = 1'b0;\n";
-    } else if (n.driver_kind == DriverKind::kConst1) {
+    } else if (kind == DriverKind::kConst1) {
       out += "  assign " + net_name[id.value] + " = 1'b1;\n";
     }
   }
@@ -94,18 +123,18 @@ std::string write_verilog(const Netlist& nl, const VerilogOptions& opt) {
   // Cell instances.
   if (opt.emit_comments) out += "  // --- instances ---\n";
   for (CellId id : nl.all_cells()) {
-    const Cell& c = nl.cell(id);
+    const CellView c = nl.cell(id);
     const LibraryCell& lc = nl.lib_cell(id);
-    out += "  " + sanitize(lc.name) + " " + sanitize(c.name) + " (";
+    out += "  " + sanitize(lc.name) + " " + namer.unique(c.name) + " (";
     std::vector<std::string> conns;
     if (lc.is_sequential()) {
       conns.push_back(".D(" + net_name[c.fanin[0].value] + ")");
-      conns.push_back(".CK(" + sanitize(opt.clock_name) + ")");
+      conns.push_back(".CK(" + clock_name + ")");
       conns.push_back(".Q(" + net_name[c.output.value] + ")");
     } else {
       for (std::size_t pin = 0; pin < c.fanin.size(); ++pin) {
-        conns.push_back(std::string(".") + input_pin_name(static_cast<int>(pin)) +
-                        "(" + net_name[c.fanin[pin].value] + ")");
+        conns.push_back("." + input_pin_name(static_cast<int>(pin)) + "(" +
+                        net_name[c.fanin[pin].value] + ")");
       }
       conns.push_back(".Y(" + net_name[c.output.value] + ")");
     }
@@ -114,9 +143,9 @@ std::string write_verilog(const Netlist& nl, const VerilogOptions& opt) {
 
   // Output assigns.
   if (opt.emit_comments) out += "  // --- outputs ---\n";
-  for (const Port& p : nl.outputs()) {
-    out += "  assign " + sanitize(p.name) + " = " + net_name[p.net.value] +
-           ";\n";
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+    out += "  assign " + output_names[i] + " = " +
+           net_name[nl.outputs()[i].net.value] + ";\n";
   }
   out += "endmodule\n";
   return out;

@@ -9,7 +9,7 @@ namespace eurochip::place {
 
 namespace {
 
-std::string sanitize(const std::string& name) {
+std::string sanitize(std::string_view name) {
   std::string out;
   out.reserve(name.size());
   for (char c : name) {

@@ -13,8 +13,8 @@ namespace {
 
 using netlist::CellId;
 using netlist::DriverKind;
-using netlist::Net;
 using netlist::NetId;
+using netlist::NetView;
 using netlist::Netlist;
 using util::Point;
 using util::Rect;
@@ -61,7 +61,7 @@ Connectivity build_connectivity(const PlacedDesign& d) {
   conn.fixed_neighbors.resize(nl.num_cells());
 
   for (NetId net_id : nl.all_nets()) {
-    const Net& net = nl.net(net_id);
+    const NetView net = nl.net(net_id);
     std::vector<std::uint32_t> members;
     if (net.driver_kind == DriverKind::kCell) {
       members.push_back(net.driver_cell.value);
@@ -361,7 +361,7 @@ void PlacedDesign::build_pad_index() {
 
 std::vector<Point> PlacedDesign::net_pins(NetId id) const {
   std::vector<Point> pins;
-  const Net& net = netlist->net(id);
+  const NetView net = netlist->net(id);
   if (net.driver_kind == DriverKind::kCell) {
     pins.push_back(cell_pin(net.driver_cell));
   }
@@ -382,7 +382,7 @@ std::vector<Point> PlacedDesign::net_pins(NetId id) const {
 
 util::BoundingBox PlacedDesign::net_bbox(NetId id) const {
   util::BoundingBox bb;
-  const Net& net = netlist->net(id);
+  const NetView net = netlist->net(id);
   if (net.driver_kind == DriverKind::kCell) {
     bb.add(cell_pin(net.driver_cell));
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "eurochip/netlist/side_table.hpp"
 #include "eurochip/netlist/simulator.hpp"
 #include "eurochip/util/thread_pool.hpp"
 #include "eurochip/util/trace.hpp"
@@ -25,7 +26,8 @@ util::Result<PowerReport> estimate(const netlist::Netlist& nl,
   if (util::Status s = nl.check(); !s.ok()) return s;
 
   // Per-net toggle rate (transitions per cycle).
-  std::vector<double> activity(nl.num_nets(), opt.default_activity);
+  netlist::IdMap<netlist::NetId, double> activity(nl.num_nets(),
+                                                  opt.default_activity);
   if (opt.simulate_activity && opt.activity_cycles > 0) {
     EUROCHIP_TRACE_SPAN("power.activity", "kernel");
     // Validate the netlist once up front so window failures can't differ.
@@ -66,8 +68,9 @@ util::Result<PowerReport> estimate(const netlist::Netlist& nl,
       }
     }
     for (std::size_t i = 0; i < toggles.size(); ++i) {
-      activity[i] = static_cast<double>(toggles[i]) /
-                    static_cast<double>(opt.activity_cycles);
+      activity[netlist::NetId{static_cast<std::uint32_t>(i)}] =
+          static_cast<double>(toggles[i]) /
+          static_cast<double>(opt.activity_cycles);
     }
   }
 
@@ -92,9 +95,9 @@ util::Result<PowerReport> estimate(const netlist::Netlist& nl,
       cap_ff += node.layers.front().cap_ff_per_um * routing->net_length_um(id);
     }
     // P = 0.5 * alpha * C * V^2 * f ; cap in fF (1e-15), power reported uW.
-    const double p_w = 0.5 * activity[id.value] * cap_ff * 1e-15 * v2 * f_hz;
+    const double p_w = 0.5 * activity[id] * cap_ff * 1e-15 * v2 * f_hz;
     report.dynamic_uw += p_w * 1e6;
-    activity_sum += activity[id.value];
+    activity_sum += activity[id];
     ++report.nets_analyzed;
   }
 

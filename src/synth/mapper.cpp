@@ -439,7 +439,7 @@ class Mapper {
 
   void size_for_load() {
     for (netlist::CellId id : netlist_.all_cells()) {
-      const netlist::Cell& c = netlist_.cell(id);
+      const netlist::CellView c = netlist_.cell(id);
       const LibraryCell& lc = lib_.cell(c.lib_index);
       double load = 0.0;
       for (const netlist::PinRef& sink : netlist_.net(c.output).sinks) {

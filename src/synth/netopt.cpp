@@ -40,7 +40,7 @@ util::Status insert_buffers(Netlist& nl, const CellLibrary& lib,
     const NetId net_id = worklist.front();
     worklist.pop_front();
     // Snapshot: sinks mutate as we rewire.
-    const std::vector<PinRef> sinks = nl.net(net_id).sinks;
+    const std::vector<PinRef> sinks = nl.sink_snapshot(net_id);
     if (static_cast<int>(sinks.size()) <= max_fanout) continue;
     ++rebuffered;
 

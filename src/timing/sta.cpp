@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "eurochip/netlist/side_table.hpp"
 #include "eurochip/util/thread_pool.hpp"
 #include "eurochip/util/trace.hpp"
 
@@ -138,16 +139,16 @@ util::Result<TimingReport> analyze(const Netlist& nl,
   // parallel — every cell writes only its own output net's timing — and
   // the per-cell arithmetic is unchanged from the serial order, so
   // arrivals are bit-identical at any thread count.
-  std::vector<std::uint32_t> net_level(nl.num_nets(), 0);
+  netlist::IdMap<NetId, std::uint32_t> net_level(nl.num_nets(), 0);
   std::vector<std::vector<CellId>> by_level;
   for (CellId id : order.value()) {
     const auto& cell = nl.cell(id);
     if (nl.lib_cell(id).is_sequential()) continue;
     std::uint32_t lvl = 0;
     for (NetId f : cell.fanin) {
-      lvl = std::max(lvl, net_level[f.value] + 1);
+      lvl = std::max(lvl, net_level[f] + 1);
     }
-    net_level[cell.output.value] = lvl;
+    net_level[cell.output] = lvl;
     if (by_level.size() <= lvl) by_level.resize(lvl + 1);
     by_level[lvl].push_back(id);
   }
@@ -227,7 +228,7 @@ util::Result<TimingReport> analyze(const Netlist& nl,
   report.worst_hold_slack_ps = std::numeric_limits<double>::infinity();
   for (CellId ff : nl.sequential_cells()) {
     const NetId d = nl.cell(ff).fanin[0];
-    add_endpoint(nl.cell(ff).name + "/D", d, required_ff);
+    add_endpoint(std::string(nl.cell_name(ff)) + "/D", d, required_ff);
     // Hold: only register-to-register min paths race the captured clock.
     if (nt[d.value].from_register) {
       const double hold_slack =

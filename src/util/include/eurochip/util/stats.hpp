@@ -44,7 +44,9 @@ double median(std::vector<double> sample);
 /// Pearson correlation of two equal-length series; 0 if degenerate.
 double pearson(const std::vector<double>& x, const std::vector<double>& y);
 
-/// Geometric mean; requires all values > 0. Returns 0 for empty input.
+/// Geometric mean of the positive values; non-positive entries are
+/// skipped. Returns 0 when no positive value remains (including empty
+/// input). Identical behavior in all build types.
 double geomean(const std::vector<double>& values);
 
 /// The five-number latency summary every bench reports: count, tail
@@ -71,7 +73,8 @@ struct PercentileSummary {
 /// Simple fixed-width histogram.
 class Histogram {
  public:
-  /// Buckets [lo, hi) split into `bins` equal bins plus under/overflow.
+  /// Buckets [lo, hi] split into `bins` equal bins plus under/overflow;
+  /// a sample exactly at `hi` counts in the top bin, not overflow.
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x);
@@ -85,6 +88,7 @@ class Histogram {
 
  private:
   double lo_;
+  double hi_;
   double width_;
   std::vector<std::size_t> counts_;
   std::size_t underflow_ = 0;

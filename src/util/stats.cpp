@@ -78,13 +78,18 @@ double pearson(const std::vector<double>& x, const std::vector<double>& y) {
 }
 
 double geomean(const std::vector<double>& values) {
-  if (values.empty()) return 0.0;
+  // Non-positive values have no logarithm; skip them so the result is the
+  // same in every build type (the previous assert made debug builds abort
+  // where release builds silently computed log of a non-positive value).
   double log_sum = 0.0;
+  std::size_t used = 0;
   for (double v : values) {
-    assert(v > 0.0 && "geomean requires positive values");
+    if (v <= 0.0) continue;
     log_sum += std::log(v);
+    ++used;
   }
-  return std::exp(log_sum / static_cast<double>(values.size()));
+  if (used == 0) return 0.0;
+  return std::exp(log_sum / static_cast<double>(used));
 }
 
 PercentileSummary summarize_percentiles(std::vector<double> samples) {
@@ -121,7 +126,10 @@ std::string to_json(const PercentileSummary& s, int decimals) {
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+    : lo_(lo),
+      hi_(hi),
+      width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
   assert(hi > lo && bins > 0);
 }
 
@@ -131,11 +139,14 @@ void Histogram::add(double x) {
     ++underflow_;
     return;
   }
-  const auto bin = static_cast<std::size_t>((x - lo_) / width_);
-  if (bin >= counts_.size()) {
+  if (x > hi_) {
     ++overflow_;
     return;
   }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  // x == hi (and edge values whose division rounds up) belongs to the top
+  // bin: the range is [lo, hi], not [lo, hi) with hi counted as overflow.
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
   ++counts_[bin];
 }
 

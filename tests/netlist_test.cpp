@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include "eurochip/flow/fingerprint.hpp"
+#include "eurochip/flow/serialize.hpp"
 #include "eurochip/netlist/library.hpp"
 #include "eurochip/netlist/netlist.hpp"
 #include "eurochip/netlist/simulator.hpp"
 #include "eurochip/pdk/library_gen.hpp"
 #include "eurochip/pdk/registry.hpp"
+#include "eurochip/util/wire.hpp"
 
 namespace eurochip::netlist {
 namespace {
@@ -271,6 +274,247 @@ TEST_F(NetlistFixture, CheckCatchesDanglingInput) {
   const auto g = nl_.add_cell("g", idx("AND2_X1"), {a, floating});
   ASSERT_TRUE(g.ok());
   EXPECT_FALSE(nl_.check().ok());
+}
+
+// --- check() gap regressions (validation added with the SoA core) ----------
+
+TEST_F(NetlistFixture, CheckRejectsInputPortOnNonInputNet) {
+  (void)nl_.add_input("a");
+  RawNetlist raw = nl_.to_raw();
+  // Tamper: the port stays, but its net is no longer input-driven.
+  raw.net_driver_kind[raw.inputs[0].net.value] = DriverKind::kNone;
+  auto nl = Netlist::from_raw(&lib_, "t", std::move(raw));
+  ASSERT_TRUE(nl.ok());
+  EXPECT_FALSE(nl->check().ok());
+}
+
+TEST_F(NetlistFixture, CheckRejectsInputNetWithoutPort) {
+  (void)nl_.add_input("a");
+  RawNetlist raw = nl_.to_raw();
+  raw.inputs.clear();  // kInput-driven net left behind with no port
+  auto nl = Netlist::from_raw(&lib_, "t", std::move(raw));
+  ASSERT_TRUE(nl.ok());
+  EXPECT_FALSE(nl->check().ok());
+}
+
+TEST_F(NetlistFixture, CheckRejectsTwoPortsClaimingOneNet) {
+  (void)nl_.add_input("a");
+  RawNetlist raw = nl_.to_raw();
+  raw.inputs.push_back(raw.inputs[0]);
+  auto nl = Netlist::from_raw(&lib_, "t", std::move(raw));
+  ASSERT_TRUE(nl.ok());
+  EXPECT_FALSE(nl->check().ok());
+}
+
+TEST_F(NetlistFixture, CheckRejectsDuplicateSinkForSamePin) {
+  const NetId a = nl_.add_input("a");
+  const auto g = nl_.add_cell("g", idx("INV_X1"), {a});
+  ASSERT_TRUE(g.ok());
+  RawNetlist raw = nl_.to_raw();
+  // Duplicate net a's (g, pin 0) sink; the image shape stays legal, so
+  // from_raw accepts it and check() must be the one to reject.
+  const std::uint32_t pos = raw.sink_begin[a.value];
+  raw.sink_pool.insert(raw.sink_pool.begin() + pos, raw.sink_pool[pos]);
+  for (std::size_t i = a.value + 1; i < raw.sink_begin.size(); ++i) {
+    ++raw.sink_begin[i];
+  }
+  auto nl = Netlist::from_raw(&lib_, "t", std::move(raw));
+  ASSERT_TRUE(nl.ok());
+  EXPECT_FALSE(nl->check().ok());
+}
+
+TEST_F(NetlistFixture, FromRawRejectsMalformedShapes) {
+  const NetId a = nl_.add_input("a");
+  ASSERT_TRUE(nl_.add_cell("g", idx("INV_X1"), {a}).ok());
+  {
+    RawNetlist raw = nl_.to_raw();
+    raw.cell_fanin_begin.back() += 1;  // CSR end past the pool
+    EXPECT_FALSE(Netlist::from_raw(&lib_, "t", std::move(raw)).ok());
+  }
+  {
+    RawNetlist raw = nl_.to_raw();
+    raw.cell_name[0].offset = 1u << 30;  // name outside the arena
+    EXPECT_FALSE(Netlist::from_raw(&lib_, "t", std::move(raw)).ok());
+  }
+  {
+    RawNetlist raw = nl_.to_raw();
+    raw.fanin_pool[0] = NetId{999};  // dangling net id
+    EXPECT_FALSE(Netlist::from_raw(&lib_, "t", std::move(raw)).ok());
+  }
+}
+
+// --- SoA core properties ----------------------------------------------------
+
+TEST_F(NetlistFixture, RewirePreservesRelativeSinkOrder) {
+  const NetId a = nl_.add_input("a");
+  const NetId b = nl_.add_input("b");
+  std::vector<CellId> gs;
+  for (int i = 0; i < 3; ++i) {
+    gs.push_back(
+        nl_.add_cell("g" + std::to_string(i), idx("INV_X1"), {a}).value());
+  }
+  // Remove the middle sink: survivors keep their relative order (the
+  // contract the old vector-erase storage gave analysis kernels).
+  ASSERT_TRUE(nl_.rewire_input(gs[1], 0, b).ok());
+  auto sinks = nl_.sink_snapshot(a);
+  ASSERT_EQ(sinks.size(), 2u);
+  EXPECT_EQ(sinks[0].cell, gs[0]);
+  EXPECT_EQ(sinks[1].cell, gs[2]);
+  // Re-adding appends at the tail.
+  ASSERT_TRUE(nl_.rewire_input(gs[1], 0, a).ok());
+  sinks = nl_.sink_snapshot(a);
+  ASSERT_EQ(sinks.size(), 3u);
+  EXPECT_EQ(sinks[2].cell, gs[1]);
+  EXPECT_TRUE(nl_.check().ok());
+}
+
+TEST_F(NetlistFixture, RandomEditSequenceKeepsIdsAndAdjacencyConsistent) {
+  // Property test: a long randomized add_cell / rewire_input /
+  // replace_cell_lib sequence against a naive shadow model. Verifies ID
+  // stability (a CellId keeps naming the same cell across later edits),
+  // fanin contents, and exactly-once sink membership.
+  struct ShadowCell {
+    std::string name;
+    std::uint32_t lib;
+    std::vector<NetId> fanin;
+  };
+  std::vector<ShadowCell> shadow;
+  std::vector<NetId> nets;
+  for (int i = 0; i < 8; ++i) {
+    nets.push_back(nl_.add_input("in" + std::to_string(i)));
+  }
+  const std::uint32_t and_x1 = idx("AND2_X1");
+  const std::uint32_t and_x2 = idx("AND2_X2");
+  const std::uint32_t inv_x1 = idx("INV_X1");
+
+  std::uint64_t rng = 12345;
+  const auto next = [&rng]() {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>(rng >> 33);
+  };
+  const auto rand_net = [&]() { return nets[next() % nets.size()]; };
+
+  for (int step = 0; step < 1500; ++step) {
+    const std::uint32_t roll = next() % 100;
+    if (roll < 50 || shadow.empty()) {
+      const std::string name = "c" + std::to_string(shadow.size());
+      ShadowCell sc;
+      sc.lib = (next() % 2 == 0) ? and_x1 : inv_x1;
+      sc.name = name;
+      sc.fanin.push_back(rand_net());
+      if (sc.lib == and_x1) sc.fanin.push_back(rand_net());
+      const auto cell = nl_.add_cell(name, sc.lib, sc.fanin);
+      ASSERT_TRUE(cell.ok());
+      ASSERT_EQ(cell.value().value, shadow.size());  // dense, stable ids
+      nets.push_back(nl_.output(cell.value()));
+      shadow.push_back(std::move(sc));
+    } else if (roll < 85) {
+      const CellId cell{next() % static_cast<std::uint32_t>(shadow.size())};
+      const auto pin =
+          static_cast<std::uint8_t>(next() % shadow[cell.value].fanin.size());
+      const NetId to = rand_net();
+      ASSERT_TRUE(nl_.rewire_input(cell, pin, to).ok());
+      shadow[cell.value].fanin[pin] = to;
+    } else {
+      const CellId cell{next() % static_cast<std::uint32_t>(shadow.size())};
+      if (shadow[cell.value].lib == and_x1 ||
+          shadow[cell.value].lib == and_x2) {
+        const std::uint32_t to =
+            shadow[cell.value].lib == and_x1 ? and_x2 : and_x1;
+        ASSERT_TRUE(nl_.replace_cell_lib(cell, to).ok());
+        shadow[cell.value].lib = to;
+      }
+    }
+  }
+
+  ASSERT_TRUE(nl_.check().ok());
+  ASSERT_EQ(nl_.num_cells(), shadow.size());
+  for (std::uint32_t i = 0; i < shadow.size(); ++i) {
+    const CellView c = nl_.cell(CellId{i});
+    EXPECT_EQ(c.name, shadow[i].name);
+    EXPECT_EQ(c.lib_index, shadow[i].lib);
+    ASSERT_EQ(c.fanin.size(), shadow[i].fanin.size());
+    for (std::size_t p = 0; p < c.fanin.size(); ++p) {
+      EXPECT_EQ(c.fanin[p], shadow[i].fanin[p]);
+    }
+  }
+  // Exactly-once adjacency: every connected (cell, pin) appears in
+  // precisely its fanin net's sink chain; per-net counts match the shadow.
+  std::vector<std::size_t> expected_count(nl_.num_nets(), 0);
+  for (std::uint32_t i = 0; i < shadow.size(); ++i) {
+    for (std::size_t p = 0; p < shadow[i].fanin.size(); ++p) {
+      ++expected_count[shadow[i].fanin[p].value];
+      std::size_t hits = 0;
+      for (const PinRef& s : nl_.sinks(shadow[i].fanin[p])) {
+        if (s.cell.value == i && s.pin == p) ++hits;
+      }
+      EXPECT_EQ(hits, 1u) << "cell " << i << " pin " << p;
+    }
+  }
+  for (NetId id : nl_.all_nets()) {
+    EXPECT_EQ(nl_.num_sinks(id), expected_count[id.value]);
+  }
+  // The raw SoA image survives a round trip with identical structure.
+  auto rt = Netlist::from_raw(&lib_, "t", nl_.to_raw());
+  ASSERT_TRUE(rt.ok());
+  EXPECT_TRUE(rt->check().ok());
+  ASSERT_EQ(rt->num_cells(), nl_.num_cells());
+  for (NetId id : nl_.all_nets()) {
+    EXPECT_EQ(rt->sink_snapshot(id), nl_.sink_snapshot(id));
+  }
+}
+
+TEST_F(NetlistFixture, MemoryBytesTracksGrowth) {
+  const std::size_t empty = nl_.memory_bytes();
+  const NetId a = nl_.add_input("a");
+  ASSERT_TRUE(nl_.add_cell("g", idx("INV_X1"), {a}).ok());
+  EXPECT_GT(nl_.memory_bytes(), empty);
+}
+
+TEST(NetlistScaleTest, SerializeRoundTrip100kCells) {
+  // 100k-cell synthetic design through the v2 SoA wire codec: the reload
+  // must be digest-equal (including sink order) and pass check().
+  const CellLibrary lib = test_library();
+  const std::uint32_t nand2 =
+      static_cast<std::uint32_t>(lib.cells_for(CellFn::kNand2).front());
+  const std::uint32_t dff =
+      static_cast<std::uint32_t>(lib.cells_for(CellFn::kDff).front());
+  Netlist nl(&lib, "scale100k");
+  constexpr std::size_t kCells = 100'000;
+  nl.reserve(kCells, kCells + 16, 2 * kCells, 24 * kCells);
+  std::vector<NetId> nets;
+  for (int i = 0; i < 16; ++i) {
+    nets.push_back(nl.add_input("in" + std::to_string(i)));
+  }
+  std::uint64_t rng = 7;
+  const auto next = [&rng]() {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>(rng >> 33);
+  };
+  const auto pick = [&]() { return nets[next() % nets.size()]; };
+  for (std::size_t i = 0; i < kCells; ++i) {
+    const std::string name = "c" + std::to_string(i);
+    const auto cell = next() % 16 == 0
+                          ? nl.add_cell(name, dff, {pick()})
+                          : nl.add_cell(name, nand2, {pick(), pick()});
+    ASSERT_TRUE(cell.ok());
+    nets.push_back(nl.output(cell.value()));
+  }
+  nl.add_output("out", nets.back());
+  // A few rewires so the serialized sink order differs from the
+  // pin-order reconstruction a naive codec would produce.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(nl.rewire_input(CellId{next() % kCells}, 0, pick()).ok());
+  }
+  ASSERT_TRUE(nl.check().ok());
+
+  util::WireWriter w;
+  flow::serialize(w, nl);
+  util::WireReader r(w.buffer());
+  const auto loaded = flow::deserialize_netlist(r, &lib);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->check().ok());
+  EXPECT_TRUE(flow::digest_of(*loaded) == flow::digest_of(nl));
 }
 
 }  // namespace

@@ -157,6 +157,14 @@ TEST(StatsTest, GeomeanOfPowers) {
   EXPECT_DOUBLE_EQ(geomean({}), 0.0);
 }
 
+TEST(StatsTest, GeomeanSkipsNonPositiveValues) {
+  // Zeros and negatives are skipped, not asserted on: same result in
+  // debug and release builds.
+  EXPECT_NEAR(geomean({0.0, 1.0, 100.0}), 10.0, 1e-9);
+  EXPECT_NEAR(geomean({-5.0, 1.0, 100.0}), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(geomean({0.0, -1.0}), 0.0);
+}
+
 TEST(HistogramTest, BucketsAndOverflow) {
   Histogram h(0.0, 10.0, 5);
   h.add(-1);
@@ -168,6 +176,15 @@ TEST(HistogramTest, BucketsAndOverflow) {
   EXPECT_EQ(h.bin_count(0), 1u);
   EXPECT_EQ(h.bin_count(4), 1u);
   EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, SampleAtUpperBoundLandsInTopBin) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(10.0);  // exactly hi: top bin, not overflow
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  h.add(10.0 + 1e-9);
+  EXPECT_EQ(h.overflow(), 1u);
 }
 
 TEST(GeometryTest, RectBasics) {

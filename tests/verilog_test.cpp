@@ -87,6 +87,86 @@ TEST(VerilogTest, ReaderRejectsMalformedText) {
           .ok());
 }
 
+TEST(VerilogTest, UniquifiesCollidingSanitizedNames) {
+  // Sanitization is lossy: "a.b" and "a[b" both escape to "a_b", and the
+  // emitter used to let them collide into one identifier. Distinct source
+  // names must stay distinct in the emitted module.
+  const auto node = pdk::standard_node("sky130ish").value();
+  const CellLibrary lib = pdk::build_library(node);
+  const auto and2 = static_cast<std::uint32_t>(lib.find("AND2_X1").value());
+  Netlist nl(&lib, "t");
+  const NetId a = nl.add_input("a.b");
+  const NetId b = nl.add_input("a[b");
+  const auto g1 = nl.add_cell("g.1", and2, {a, b});
+  const auto g2 = nl.add_cell("g[1", and2, {a, b});
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  nl.add_output("y", nl.cell(g2.value()).output);
+  const std::string v = write_verilog(nl);
+
+  const auto count = [&v](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t at = v.find(needle); at != std::string::npos;
+         at = v.find(needle, at + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  // Each port declared exactly once, under distinct names.
+  EXPECT_EQ(count("input a_b;"), 1u);
+  EXPECT_EQ(count("input a_b_2;"), 1u);
+  // Both instances present, under distinct names.
+  EXPECT_EQ(count(" g_1 ("), 1u);
+  EXPECT_EQ(count(" g_1_2 ("), 1u);
+  EXPECT_TRUE(read_verilog_summary(v).ok());
+}
+
+TEST(VerilogTest, WideCellPinsStayDistinct) {
+  // The emitter once mapped every input pin >= 3 to ".D", emitting
+  // duplicate named connections on wide instances. Assemble a 5-input
+  // instance through from_raw (the emitter reads fanin spans as-is) and
+  // require one connection per pin letter A..E.
+  const auto node = pdk::standard_node("sky130ish").value();
+  const CellLibrary lib = pdk::build_library(node);
+  RawNetlist raw;
+  const auto name = [&raw](const std::string& s) {
+    const NameRef r{static_cast<std::uint32_t>(raw.name_arena.size()),
+                    static_cast<std::uint32_t>(s.size())};
+    raw.name_arena += s;
+    return r;
+  };
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    raw.net_name.push_back(name("in" + std::to_string(i)));
+    raw.net_driver_kind.push_back(DriverKind::kInput);
+    raw.net_driver_cell.push_back(CellId{});
+    raw.net_is_output.push_back(0);
+    raw.sink_begin.push_back(i);
+    raw.sink_pool.push_back(PinRef{CellId{0}, static_cast<std::uint8_t>(i)});
+    raw.inputs.push_back(Port{"in" + std::to_string(i), NetId{i}});
+    raw.fanin_pool.push_back(NetId{i});
+  }
+  raw.net_name.push_back(name("wide.out"));
+  raw.net_driver_kind.push_back(DriverKind::kCell);
+  raw.net_driver_cell.push_back(CellId{0});
+  raw.net_is_output.push_back(1);
+  raw.sink_begin.push_back(5);
+  raw.sink_begin.push_back(5);
+  raw.cell_name.push_back(name("wide"));
+  raw.cell_lib.push_back(
+      static_cast<std::uint32_t>(lib.find("NAND2_X1").value()));
+  raw.cell_fanin_begin = {0, 5};
+  raw.cell_output.push_back(NetId{5});
+  raw.outputs.push_back(Port{"y", NetId{5}});
+
+  const auto nl = Netlist::from_raw(&lib, "wide_test", std::move(raw));
+  ASSERT_TRUE(nl.ok()) << nl.status().to_string();
+  const std::string v = write_verilog(*nl);
+  EXPECT_NE(v.find(".C(in2)"), std::string::npos);
+  EXPECT_NE(v.find(".D(in3)"), std::string::npos);
+  EXPECT_NE(v.find(".E(in4)"), std::string::npos);
+  // Exactly one .D connection — no duplicates from the pin >= 3 fallback.
+  EXPECT_EQ(v.find(".D("), v.rfind(".D("));
+}
+
 TEST(VerilogTest, CommentsToggle) {
   const auto m = rtl::designs::adder(4);
   const Mapped d = map_design(m);
