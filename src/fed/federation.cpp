@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "eurochip/util/fault.hpp"
+
 namespace eurochip::fed {
 
 namespace {
@@ -11,35 +13,61 @@ namespace {
 // synthetic work) without touching flow determinism: artifact results
 // depend only on the spec's own FlowConfig seed.
 constexpr std::uint64_t kHubSeedStride = 0x9E3779B97F4A7C15uLL;
+
+double steady_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 }  // namespace
 
 FederatedService::FederatedService(Options options)
     : options_(std::move(options)),
-      router_(std::max<std::size_t>(1, options_.hubs), options_.router) {
-  const std::size_t n = std::max<std::size_t>(1, options_.hubs);
+      num_hubs_(std::max<std::size_t>(1, options_.hubs)),
+      router_(std::max<std::size_t>(1, options_.hubs), options_.router),
+      clock_(options_.clock != nullptr ? options_.clock
+                                       : util::Clock::system()) {
+  const std::size_t n = num_hubs_;
   if (options_.enable_remote_cache) {
     remote_ = std::make_unique<RemoteCache>(options_.remote);
   }
+  monitor_ =
+      std::make_unique<HealthMonitor>(n, options_.monitor, clock_->now_ms());
   reverse_.resize(n);
-  caches_.reserve(n);
-  hubs_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    flow::FlowCache::Options copts;
-    copts.max_bytes = options_.l1_bytes;
-    copts.second_level = remote_.get();
-    caches_.push_back(std::make_unique<flow::FlowCache>(copts));
-
-    hub::JobServer::Options hopts = options_.hub_options;
-    hopts.seed = options_.hub_options.seed + kHubSeedStride * (i + 1);
-    hopts.cache = caches_.back().get();
-    hopts.on_terminal = [this, i](const hub::JobRecord& record) {
-      on_hub_terminal(i, record);
-    };
-    hubs_.push_back(std::make_unique<hub::JobServer>(std::move(hopts)));
-  }
+  hub_epochs_.assign(n, 1);
+  crashed_.assign(n, 0);
+  partitioned_.assign(n, 0);
+  hung_.assign(n, 0);
+  caches_.resize(n);
+  hubs_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) build_hub_locked(i, 1);
   if (options_.steal && n > 1) {
     rebalancer_ = std::thread([this] { rebalancer_loop(); });
   }
+  if (options_.health) {
+    heartbeat_ = std::thread([this] { heartbeat_loop(); });
+  }
+}
+
+void FederatedService::build_hub_locked(std::size_t i, std::uint64_t epoch) {
+  flow::FlowCache::Options copts;
+  copts.max_bytes = options_.l1_bytes;
+  copts.second_level = remote_.get();
+  caches_[i] = std::make_shared<flow::FlowCache>(copts);
+
+  hub::JobServer::Options hopts = options_.hub_options;
+  // The epoch joins the seed so a rebuilt incarnation's jitter streams do
+  // not replay its predecessor's; artifact determinism is untouched (it
+  // depends only on each spec's own FlowConfig seed).
+  hopts.seed = options_.hub_options.seed + kHubSeedStride * (i + 1) +
+               (epoch - 1) * 0x10001uLL;
+  hopts.cache = caches_[i].get();
+  hopts.epoch = epoch;
+  if (started_) hopts.start_paused = false;
+  hopts.on_terminal = [this, i](const hub::JobRecord& record) {
+    on_hub_terminal(i, record);
+  };
+  hubs_[i] = std::make_shared<hub::JobServer>(std::move(hopts));
 }
 
 FederatedService::~FederatedService() {
@@ -47,7 +75,41 @@ FederatedService::~FederatedService() {
 }
 
 void FederatedService::start() {
-  for (auto& h : hubs_) h->start();
+  std::vector<std::shared_ptr<hub::JobServer>> hubs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+    hubs = hubs_;
+  }
+  for (auto& h : hubs) h->start();
+}
+
+std::shared_ptr<hub::JobServer> FederatedService::hub_ptr(std::size_t i) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return i < hubs_.size() ? hubs_[i] : nullptr;
+}
+
+hub::JobServer& FederatedService::hub(std::size_t i) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return *hubs_.at(i);
+}
+
+flow::FlowCache& FederatedService::l1_cache(std::size_t i) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return *caches_.at(i);
+}
+
+std::uint64_t FederatedService::hub_epoch(std::size_t i) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return i < hub_epochs_.size() ? hub_epochs_[i] : 0;
+}
+
+std::size_t FederatedService::route_for(const hub::JobSpec& spec) const {
+  // Shard by (node, design) so one design's history stays on one hub.
+  // Synthetic jobs without a design name shard by job name instead.
+  const std::string& design =
+      spec.design_name.empty() ? spec.name : spec.design_name;
+  return router_.hub_for(Router::shard_key(spec.node_name, design));
 }
 
 util::Result<FedJobId> FederatedService::submit(hub::JobSpec spec) {
@@ -73,23 +135,45 @@ util::Result<FedJobId> FederatedService::submit(hub::JobSpec spec) {
       charged = true;
     }
   }
-  // Shard by (node, design) so one design's history stays on one hub.
-  // Synthetic jobs without a design name shard by job name instead.
-  const std::string& design =
-      spec.design_name.empty() ? spec.name : spec.design_name;
-  const std::size_t home =
-      router_.hub_for(Router::shard_key(spec.node_name, design));
-  auto local = hubs_[home]->submit(std::move(spec));
+  const std::size_t n = num_hubs_;
+  const std::size_t home0 = route_for(spec);
+  util::Result<hub::JobId> local =
+      util::Status::Internal("federation routed to no hub");
+  std::size_t home = home0;
+  bool rerouted = false;
+  // The weighted ring already avoids hubs *declared* down; a hub that died
+  // in the detection window answers kFailedPrecondition, and the
+  // submission walks to the next survivor instead of bouncing the error
+  // back to the member.
+  //
+  // mu_ is held across hub placement so the book's local-id mapping is
+  // atomic w.r.t. the rebalancer: a steal landing between the hub
+  // accepting the job and register_local_locked would miss in reverse_
+  // and misread a federation job as untracked (fed -> hub is the
+  // sanctioned lock order, and JobServer::submit never fires on_terminal
+  // synchronously, so this cannot deadlock).
   std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t attempt = 0; attempt < n; ++attempt) {
+    const std::size_t cand = (home0 + attempt) % n;
+    if (attempt > 0 && monitor_->state(cand) == HubHealth::kDown) continue;
+    local = hubs_[cand]->submit(spec);  // spec intact for the next attempt
+    home = cand;
+    if (local.ok()) break;
+    if (local.status().code() != util::ErrorCode::kFailedPrecondition) break;
+    rerouted = true;
+  }
   if (!local.ok()) {
     if (charged && commercial_inflight_ > 0) --commercial_inflight_;
     return local.status();
   }
+  if (rerouted) ++stats_.rerouted;
   const FedJobId id = next_id_++;
   JobRef ref;
   ref.hub = home;
   ref.local_id = *local;
   ref.charged_commercial = charged;
+  ref.spec = std::move(spec);
+  ref.submit_ms = clock_->now_ms();
   ++stats_.submitted;
   auto [it, inserted] = jobs_.emplace(id, std::move(ref));
   (void)inserted;
@@ -105,6 +189,7 @@ void FederatedService::register_local_locked(std::size_t hub_index,
   // early_terminals_ because the reverse mapping did not exist yet.
   const auto early = early_terminals_.find({hub_index, local_id});
   if (early != early_terminals_.end()) {
+    ref.final_record = early->second;
     early_terminals_.erase(early);
     settle_locked(ref);
     return;
@@ -115,33 +200,96 @@ void FederatedService::register_local_locked(std::size_t hub_index,
 void FederatedService::on_hub_terminal(std::size_t hub_index,
                                        const hub::JobRecord& record) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Fencing, outermost first. (1) A crashing hub's shutdown fires a
+  // cancel storm for everything it still held; those terminals describe
+  // the crash, not the jobs' fates — the book stays intact so failover
+  // can re-home them. (2) A record stamped with a stale epoch comes from
+  // a dead incarnation that was since rebuilt. (3) A fenced (hub, local)
+  // pair is a same-incarnation zombie: the job was already re-homed when
+  // this hub was declared down, and this late terminal must not settle
+  // it a second time.
+  if (hub_index < crashed_.size() && crashed_[hub_index]) {
+    ++stats_.crash_terminals_dropped;
+    return;
+  }
+  if (hub_index < hub_epochs_.size() &&
+      record.hub_epoch != hub_epochs_[hub_index]) {
+    ++stats_.stale_terminals_dropped;
+    return;
+  }
+  const auto fit = fenced_.find({hub_index, record.id});
+  if (fit != fenced_.end()) {
+    fenced_.erase(fit);
+    ++stats_.stale_terminals_dropped;
+    return;
+  }
   auto& rmap = reverse_[hub_index];
   const auto rit = rmap.find(record.id);
   if (rit == rmap.end()) {
-    early_terminals_.insert({hub_index, record.id});
+    early_terminals_.emplace(std::make_pair(hub_index, record.id),
+                             std::make_shared<hub::JobRecord>(record));
     return;
   }
   const FedJobId id = rit->second;
   rmap.erase(rit);
   const auto jit = jobs_.find(id);
-  if (jit != jobs_.end()) settle_locked(jit->second);
+  if (jit != jobs_.end()) {
+    jit->second.final_record = std::make_shared<hub::JobRecord>(record);
+    settle_locked(jit->second);
+  }
 }
 
 void FederatedService::settle_locked(JobRef& ref) {
-  if (ref.settled) return;
+  if (ref.settled) {
+    // Exactly-once settlement is the availability layer's core invariant;
+    // any arrival here means a fence failed. Counted so the chaos soak
+    // can hard-gate on zero.
+    ++stats_.duplicate_settlements;
+    return;
+  }
   ref.settled = true;
   if (ref.charged_commercial && commercial_inflight_ > 0) {
     --commercial_inflight_;
   }
+  // The book-kept work function is no longer needed (no further failover
+  // resubmits a settled job); drop it to release the captured design.
+  ref.spec.work = nullptr;
   ++stats_.completed;
 }
 
+void FederatedService::merge_fed_story_locked(hub::JobRecord& out,
+                                              const JobRef& ref) {
+  out.failovers = ref.failovers;
+  if (!ref.fed_flight.empty()) {
+    // Federation entries precede the final hub's own timeline (their t_ms
+    // is measured from the federation submission; the hub's entries
+    // restart at its local submit).
+    out.flight.insert(out.flight.begin(), ref.fed_flight.begin(),
+                      ref.fed_flight.end());
+  }
+}
+
 util::Result<hub::JobRecord> FederatedService::wait(FedJobId id) {
+  return wait_for(id, -1.0);
+}
+
+util::Result<hub::JobRecord> FederatedService::wait_for(FedJobId id,
+                                                        double timeout_ms) {
+  const double t0 = steady_ms();
+  const auto remaining = [&]() -> double {
+    return timeout_ms < 0.0 ? -1.0 : timeout_ms - (steady_ms() - t0);
+  };
+  const auto timed_out = [&](const char* where) {
+    return util::Status::DeadlineExceeded(
+        "federation job " + std::to_string(id) + " not terminal after " +
+        std::to_string(timeout_ms) + " ms (" + where + ")");
+  };
   for (;;) {
     std::size_t home = 0;
     hub::JobId local = 0;
     std::uint64_t generation = 0;
-    double prior = 0.0;
+    bool recovery_pending = false;
+    std::shared_ptr<hub::JobServer> hub_sp;
     {
       std::unique_lock<std::mutex> lock(mu_);
       const auto it = jobs_.find(id);
@@ -149,27 +297,104 @@ util::Result<hub::JobRecord> FederatedService::wait(FedJobId id) {
         return util::Status::NotFound("unknown federation job " +
                                       std::to_string(id));
       }
-      if (it->second.orphan) return *it->second.orphan;
-      home = it->second.hub;
-      local = it->second.local_id;
-      generation = it->second.generation;
-      prior = it->second.prior_wait_ms;
+      JobRef& ref = it->second;
+      if (ref.orphan) {
+        hub::JobRecord out = *ref.orphan;
+        merge_fed_story_locked(out, ref);
+        return out;
+      }
+      // Serve settled jobs from the federation's own book: the hub that
+      // ran the job may have crashed and been rebuilt since, taking its
+      // record memory with it.
+      if (ref.settled && ref.final_record) {
+        hub::JobRecord out = *ref.final_record;
+        out.queue_wait_ms += ref.prior_wait_ms;
+        merge_fed_story_locked(out, ref);
+        return out;
+      }
+      home = ref.hub;
+      local = ref.local_id;
+      generation = ref.generation;
+      // A crashed or fenced home cannot finish the job any more and its
+      // settle will never arrive; block until failover re-homes it
+      // instead of waiting on a corpse.
+      recovery_pending = !ref.settled &&
+                         (crashed_[home] || fenced_.count({home, local}) > 0);
+      hub_sp = hubs_[home];
     }
-    auto record = hubs_[home]->wait(local);
-    if (!record.ok()) return record.status();
-    if (record->state != hub::JobState::kMigrated) {
-      hub::JobRecord out = std::move(*record);
-      out.queue_wait_ms += prior;  // wait consumed on previous homes
-      return out;
-    }
-    // Stolen out from under the wait: block until the rebalancer re-homes
-    // (or orphans) the job, then follow the new mapping.
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_moved_.wait(lock, [&] {
+
+    if (!recovery_pending) {
+      const double rem = remaining();
+      if (timeout_ms >= 0.0 && rem <= 0.0) return timed_out("hub wait");
+      auto record = hub_sp->wait_for(local, rem);
+      if (!record.ok()) {
+        if (record.status().code() == util::ErrorCode::kDeadlineExceeded) {
+          return timed_out("hub wait");
+        }
+        return record.status();
+      }
+      std::unique_lock<std::mutex> lock(mu_);
       const auto it = jobs_.find(id);
-      return it == jobs_.end() || it->second.generation != generation ||
-             it->second.orphan != nullptr;
-    });
+      if (it == jobs_.end()) return *record;
+      JobRef& ref = it->second;
+      if (ref.orphan) {
+        hub::JobRecord out = *ref.orphan;
+        merge_fed_story_locked(out, ref);
+        return out;
+      }
+      if (ref.generation == generation &&
+          record->state != hub::JobState::kMigrated &&
+          (ref.settled ||
+           (!crashed_[home] && fenced_.count({home, local}) == 0))) {
+        hub::JobRecord out = std::move(*record);
+        out.queue_wait_ms += ref.prior_wait_ms;
+        merge_fed_story_locked(out, ref);
+        return out;
+      }
+      // Re-homed (or about to be) out from under the wait: fall through
+      // and block until the mapping changes, then follow it.
+      if (ref.generation != generation) continue;
+      const auto moved = [&] {
+        const auto jit = jobs_.find(id);
+        return jit == jobs_.end() || jit->second.generation != generation ||
+               jit->second.orphan != nullptr;
+      };
+      if (timeout_ms < 0.0) {
+        cv_moved_.wait(lock, moved);
+      } else {
+        const double rem2 = remaining();
+        if (rem2 <= 0.0 ||
+            !cv_moved_.wait_for(
+                lock,
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(rem2)),
+                moved)) {
+          return timed_out("re-home wait");
+        }
+      }
+      continue;
+    }
+
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto moved = [&] {
+      const auto jit = jobs_.find(id);
+      return jit == jobs_.end() || jit->second.generation != generation ||
+             jit->second.orphan != nullptr;
+    };
+    if (timeout_ms < 0.0) {
+      cv_moved_.wait(lock, moved);
+    } else {
+      const double rem = remaining();
+      if (rem <= 0.0 ||
+          !cv_moved_.wait_for(
+              lock,
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(rem)),
+              moved)) {
+        return timed_out("failover wait");
+      }
+    }
   }
 }
 
@@ -178,18 +403,21 @@ bool FederatedService::cancel(FedJobId id) {
     std::size_t home = 0;
     hub::JobId local = 0;
     std::uint64_t generation = 0;
+    std::shared_ptr<hub::JobServer> hub_sp;
     {
       std::lock_guard<std::mutex> lock(mu_);
       const auto it = jobs_.find(id);
       if (it == jobs_.end() || it->second.orphan) return false;
-      // Sticky: a cancel that races a migration is re-applied by
-      // place_stolen after the job lands on its new home.
+      // Sticky: a cancel that races a migration or failover is re-applied
+      // after the job lands on its new home.
       it->second.cancel_requested = true;
       home = it->second.hub;
       local = it->second.local_id;
       generation = it->second.generation;
+      if (crashed_[home]) return true;  // applied when failover re-homes it
+      hub_sp = hubs_[home];
     }
-    if (hubs_[home]->cancel(local)) return true;
+    if (hub_sp->cancel(local)) return true;
     {
       std::lock_guard<std::mutex> lock(mu_);
       const auto it = jobs_.find(id);
@@ -207,16 +435,30 @@ std::size_t FederatedService::rebalance_once() {
       draining_.load(std::memory_order_relaxed)) {
     return 0;
   }
-  const std::size_t n = hubs_.size();
+  const std::size_t n = num_hubs_;
   if (n < 2) return 0;
-  // Load snapshot; each probe takes only that hub's lock.
+  std::vector<std::shared_ptr<hub::JobServer>> hubs;
+  std::vector<char> skip(n, 0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hubs = hubs_;
+    for (std::size_t i = 0; i < n; ++i) skip[i] = crashed_[i];
+  }
+  // Load snapshot; each probe takes only that hub's lock. Hubs declared
+  // down neither donate nor receive; a kRejoining hub is a prime
+  // recipient (idle, empty, cold L1 over a warm L2) — this is the
+  // backfill that re-warms a returning hub.
   std::vector<std::size_t> queued(n), idle(n);
   std::size_t donor = 0;
   std::size_t donor_queued = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    queued[i] = hubs_[i]->queued_count();
-    const auto cap = static_cast<std::size_t>(std::max(0, hubs_[i]->capacity()));
-    const std::size_t running = hubs_[i]->running_count();
+    if (skip[i] || monitor_->state(i) == HubHealth::kDown) {
+      skip[i] = 1;
+      continue;
+    }
+    queued[i] = hubs[i]->queued_count();
+    const auto cap = static_cast<std::size_t>(std::max(0, hubs[i]->capacity()));
+    const std::size_t running = hubs[i]->running_count();
     idle[i] = cap > running ? cap - running : 0;
     if (queued[i] > donor_queued) {
       donor_queued = queued[i];
@@ -228,11 +470,11 @@ std::size_t FederatedService::rebalance_once() {
   for (std::size_t t = 0; t < n && donor_queued > 0; ++t) {
     // Steal only into genuinely idle peers: free workers AND an empty
     // queue, so migration never makes the recipient's backlog worse.
-    if (t == donor || idle[t] == 0 || queued[t] != 0) continue;
+    if (t == donor || skip[t] || idle[t] == 0 || queued[t] != 0) continue;
     const std::size_t want =
         std::min({idle[t], donor_queued, options_.steal_batch});
     if (want == 0) continue;
-    auto stolen = hubs_[donor]->export_queued(want);
+    auto stolen = hubs[donor]->export_queued(want);
     if (stolen.empty()) break;  // queue drained under us
     donor_queued -= std::min(donor_queued, stolen.size());
     for (auto& job : stolen) {
@@ -259,7 +501,7 @@ bool FederatedService::place_stolen(std::size_t donor, std::size_t target,
   if (!tracked) {
     // Not a federation job (submitted directly to the hub). Hand it back
     // to the donor so we never lose work we do not track.
-    (void)hubs_[donor]->submit(std::move(job.spec));
+    (void)hub_ptr(donor)->submit(std::move(job.spec));
     return false;
   }
 
@@ -281,13 +523,26 @@ bool FederatedService::place_stolen(std::size_t donor, std::size_t target,
   std::size_t home = target;
   bool landed = false;
   if (!deadline_spent) {
-    placed = hubs_[target]->submit(forward);
+    placed = hub_ptr(target)->submit(forward);
     landed = placed.ok();
     if (!landed) {
       // Recipient refused (queue bound, breaker, gate) — return the job
-      // to the donor under its original spec.
-      placed = hubs_[donor]->submit(std::move(job.spec));
+      // to the donor under its original spec; if the donor died in the
+      // meantime, any survivor will do before we orphan tracked work.
+      placed = hub_ptr(donor)->submit(job.spec);
       home = donor;
+      if (!placed.ok() &&
+          placed.status().code() == util::ErrorCode::kFailedPrecondition) {
+        for (std::size_t a = 0; a < num_hubs_ && !placed.ok(); ++a) {
+          if (a == donor || a == target) continue;
+          auto h = hub_ptr(a);
+          std::unique_lock<std::mutex> lock(mu_);
+          if (crashed_[a]) continue;
+          lock.unlock();
+          placed = h->submit(job.spec);
+          home = a;
+        }
+      }
     }
   }
 
@@ -318,6 +573,13 @@ bool FederatedService::place_stolen(std::size_t donor, std::size_t target,
   ref.hub = home;
   ref.local_id = *placed;
   ++ref.generation;
+  ref.fed_flight.push_back(
+      {clock_->now_ms() - ref.submit_ms, "steal",
+       "hub-" + std::to_string(donor) + " -> hub-" + std::to_string(home),
+       landed ? "stolen by idle peer after " +
+                    std::to_string(static_cast<int>(job.waited_ms)) +
+                    " ms queued"
+              : "recipient refused; returned"});
   register_local_locked(home, *placed, id, ref);
   if (landed) {
     ++stats_.stolen;
@@ -334,14 +596,308 @@ bool FederatedService::place_stolen(std::size_t donor, std::size_t target,
     // (on_hub_terminal) takes mu_ — holding it here self-deadlocks. If the
     // job migrates again before this lands, the hub refuses (kMigrated is
     // terminal) and the sticky flag re-applies on the next placement.
-    (void)hubs_[home]->cancel(*placed);
+    (void)hub_ptr(home)->cancel(*placed);
   }
   return landed;
 }
 
+// --- Availability layer ----------------------------------------------------
+
+bool FederatedService::probe_hub(std::size_t i) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_[i] || partitioned_[i]) return false;
+  }
+  // Injectable failure modes, evaluated once per hub per heartbeat round
+  // (hub-index order keeps the fault streams deterministic when rounds
+  // are driven manually):
+  //   crash     — kill the hub outright (workers cancelled + joined);
+  //   hang      — hub stops dispatching but stays allocated (paused);
+  //   partition — only the probe is black-holed; the hub keeps executing
+  //               (the zombie case the epoch/fence machinery exists for).
+  if (util::FaultInjector* fi = util::FaultInjector::installed()) {
+    if (!fi->check("fed.hub.crash").ok()) {
+      crash_hub(i);
+      return false;
+    }
+    if (!fi->check("fed.hub.hang").ok()) {
+      auto h = hub_ptr(i);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        hung_[i] = 1;
+      }
+      if (h) h->pause();
+      return false;
+    }
+    if (!fi->check("fed.hub.partition").ok()) return false;
+  }
+  auto h = hub_ptr(i);
+  if (!h) return false;
+  (void)h->queued_count();  // the RPC-analog liveness call
+  bool resume = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (hung_[i]) {
+      hung_[i] = 0;
+      resume = true;
+    }
+  }
+  if (resume) h->start();  // hang cleared: resume dispatch
+  return true;
+}
+
+std::size_t FederatedService::heartbeat_once() {
+  const double now = clock_->now_ms();
+  std::vector<HealthMonitor::Transition> all;
+  for (std::size_t i = 0; i < num_hubs_; ++i) {
+    const bool ok = probe_hub(i);
+    auto ts = monitor_->observe(i, ok, now);
+    all.insert(all.end(), ts.begin(), ts.end());
+  }
+  auto ticked = monitor_->tick(now);
+  all.insert(all.end(), ticked.begin(), ticked.end());
+  apply_transitions(all);
+  // Ramp rejoining hubs back into the ring: every healthy beat unmasks
+  // another slice of vnodes (rejoin_progress) until kUp restores all.
+  for (std::size_t i = 0; i < num_hubs_; ++i) {
+    if (monitor_->state(i) == HubHealth::kRejoining) {
+      router_.set_weight(i, monitor_->rejoin_progress(i));
+    }
+  }
+  return all.size();
+}
+
+void FederatedService::apply_transitions(
+    const std::vector<HealthMonitor::Transition>& ts) {
+  for (const auto& t : ts) {
+    switch (t.to) {
+      case HubHealth::kDown:
+        if (t.from != HubHealth::kDown) declare_down(t.hub, t.at_ms);
+        break;
+      case HubHealth::kRejoining:
+        router_.set_weight(t.hub, monitor_->rejoin_progress(t.hub));
+        // A healed (not rebuilt) hub may still hold fenced zombies;
+        // reap them now that we can talk to it again.
+        reconcile_zombies(t.hub);
+        break;
+      case HubHealth::kUp:
+        router_.set_weight(t.hub, 1.0);
+        if (t.from == HubHealth::kRejoining) {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.hub_rejoins;
+        }
+        break;
+      case HubHealth::kSuspect:
+        break;  // advisory: still routed, still trusted
+    }
+  }
+}
+
+void FederatedService::declare_down(std::size_t i, double now_ms) {
+  // Mask first: nothing new routes to the dead hub while we re-home.
+  router_.set_weight(i, 0.0);
+  std::vector<std::pair<std::size_t, hub::JobId>> reapply;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.hub_down_events;
+    auto& rmap = reverse_[i];
+    std::vector<FedJobId> to_move;
+    to_move.reserve(rmap.size());
+    for (const auto& [local, fid] : rmap) {
+      fenced_.insert({i, local});
+      to_move.push_back(fid);
+    }
+    rmap.clear();
+    // unordered_map iteration order is not deterministic; failover in
+    // FedJobId order so recovery placement is reproducible.
+    std::sort(to_move.begin(), to_move.end());
+    for (const FedJobId fid : to_move) {
+      fail_over_locked(i, fid, now_ms, &reapply);
+    }
+    cv_moved_.notify_all();
+  }
+  for (const auto& [h, local] : reapply) {
+    // Sticky cancels re-applied outside mu_ (a queued-job cancel fires
+    // on_hub_terminal synchronously on this thread).
+    (void)hub_ptr(h)->cancel(local);
+  }
+}
+
+void FederatedService::fail_over_locked(
+    std::size_t from, FedJobId id, double now_ms,
+    std::vector<std::pair<std::size_t, hub::JobId>>* reapply) {
+  const auto jit = jobs_.find(id);
+  if (jit == jobs_.end()) return;
+  JobRef& ref = jit->second;
+  if (ref.orphan != nullptr || ref.settled) return;
+
+  hub::JobSpec spec = ref.spec;  // copy: the work fn is shared, not cloned
+  bool deadline_spent = false;
+  if (spec.deadline_ms > 0.0) {
+    const double remaining = spec.deadline_ms - (now_ms - ref.submit_ms);
+    if (remaining <= 0.0) {
+      deadline_spent = true;
+    } else {
+      spec.deadline_ms = remaining;
+    }
+  }
+
+  util::Result<hub::JobId> placed = util::Status::DeadlineExceeded(
+      "deadline consumed before failover could re-home the job");
+  std::size_t target = from;
+  if (!deadline_spent) {
+    // Preferred new home: wherever the masked ring now says — survivors
+    // keep shard locality, and every future submission of this design
+    // agrees with the failover's choice. Walk the remaining hubs if the
+    // preferred one refuses.
+    // `from` is not special-cased: in the declare_down paths it is always
+    // filtered out here (crashed, or just transitioned to kDown), while in
+    // the restart path its NEW incarnation is a legitimate home.
+    const std::size_t pref = route_for(spec);
+    for (std::size_t a = 0; a < num_hubs_ && !placed.ok(); ++a) {
+      const std::size_t cand = (pref + a) % num_hubs_;
+      if (crashed_[cand]) continue;
+      if (monitor_->state(cand) == HubHealth::kDown) continue;
+      // Lock order fed -> hub permits submitting with mu_ held.
+      placed = hubs_[cand]->submit(spec);
+      if (placed.ok()) target = cand;
+    }
+  }
+
+  ++ref.failovers;
+  ++ref.generation;
+  if (!placed.ok()) {
+    auto orphan = std::make_shared<hub::JobRecord>();
+    orphan->name = ref.spec.name;
+    orphan->member = ref.spec.member;
+    orphan->tier = ref.spec.tier;
+    orphan->state = deadline_spent ? hub::JobState::kTimedOut
+                                   : hub::JobState::kFailed;
+    orphan->status = placed.status();
+    orphan->queue_wait_ms = ref.prior_wait_ms;
+    ref.orphan = std::move(orphan);
+    ref.fed_flight.push_back({now_ms - ref.submit_ms, "failover",
+                              "hub-" + std::to_string(from) + " -> none",
+                              "no surviving hub accepted the job"});
+    ++stats_.orphaned;
+    settle_locked(ref);
+    return;
+  }
+  ref.hub = target;
+  ref.local_id = *placed;
+  ref.fed_flight.push_back(
+      {now_ms - ref.submit_ms, "failover",
+       "hub-" + std::to_string(from) + " -> hub-" + std::to_string(target),
+       "home declared down; resubmitted (same seed, resumes from the "
+       "deepest shared-cache prefix)"});
+  ++stats_.failed_over;
+  register_local_locked(target, *placed, id, ref);
+  if (ref.cancel_requested && reapply != nullptr) {
+    reapply->push_back({target, *placed});
+  }
+}
+
+void FederatedService::reconcile_zombies(std::size_t i) {
+  std::vector<hub::JobId> locals;
+  std::shared_ptr<hub::JobServer> h;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [hub_index, local] : fenced_) {
+      if (hub_index == i) locals.push_back(local);
+    }
+    h = i < hubs_.size() ? hubs_[i] : nullptr;
+  }
+  if (!h) return;
+  std::size_t reaped = 0;
+  for (const hub::JobId local : locals) {
+    // Best effort: a zombie that already finished answers false (its
+    // terminal was — or will be — dropped by the fence); a still-queued
+    // or running duplicate is cancelled so the healed hub does not burn
+    // capacity on work that lives elsewhere now.
+    if (h->cancel(local)) ++reaped;
+  }
+  if (reaped > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.zombies_reaped += reaped;
+  }
+}
+
+void FederatedService::crash_hub(std::size_t i) {
+  if (i >= num_hubs_) return;
+  std::shared_ptr<hub::JobServer> victim;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_[i]) return;
+    // Flag BEFORE shutdown: the dying hub cancels everything it holds and
+    // fires a terminal storm; black-holing it keeps the book intact so
+    // declare_down can fail the jobs over instead of settling them as
+    // cancelled.
+    crashed_[i] = 1;
+    victim = hubs_[i];
+  }
+  victim->shutdown(hub::JobServer::DrainMode::kCancelPending);
+}
+
+void FederatedService::restart_hub(std::size_t i) {
+  if (i >= num_hubs_) return;
+  std::vector<std::pair<std::size_t, hub::JobId>> reapply;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!crashed_[i]) return;
+    const std::uint64_t epoch = ++hub_epochs_[i];
+    // Jobs still booked to the dead incarnation — the crash may not have
+    // been *detected* yet (no declare_down ran), in which case their
+    // terminals can never arrive. Collect them for re-homing below.
+    std::vector<FedJobId> strays;
+    strays.reserve(reverse_[i].size());
+    for (const auto& [local, fid] : reverse_[i]) strays.push_back(fid);
+    std::sort(strays.begin(), strays.end());
+    // The new incarnation reuses local job ids from 1; purge every
+    // per-hub keying of the old incarnation so they cannot collide.
+    for (auto it = fenced_.begin(); it != fenced_.end();) {
+      it = it->first == i ? fenced_.erase(it) : std::next(it);
+    }
+    for (auto it = early_terminals_.begin(); it != early_terminals_.end();) {
+      it = it->first.first == i ? early_terminals_.erase(it) : std::next(it);
+    }
+    reverse_[i].clear();
+    // Cold L1 (the crash lost it), warm shared L2: the rebuilt hub's first
+    // jobs fast-forward through whatever prefixes the federation already
+    // computed. The ring keeps the hub masked until the health monitor
+    // walks it kDown -> kRejoining -> kUp.
+    build_hub_locked(i, epoch);
+    crashed_[i] = 0;
+    // Epoch fencing (not the fenced_ set) covers any zombie terminal the
+    // old incarnation managed to emit; the strays just need a live home —
+    // survivors, or the new incarnation itself when the ring still trusts
+    // this hub.
+    const double now = clock_->now_ms();
+    for (const FedJobId fid : strays) {
+      fail_over_locked(i, fid, now, &reapply);
+    }
+    if (!strays.empty()) cv_moved_.notify_all();
+  }
+  for (const auto& [h, local] : reapply) {
+    (void)hub_ptr(h)->cancel(local);  // sticky cancels, applied unlocked
+  }
+}
+
+void FederatedService::partition_hub(std::size_t i, bool partitioned) {
+  if (i >= num_hubs_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  partitioned_[i] = partitioned ? 1 : 0;
+}
+
+// --- Drain / shutdown / background threads ---------------------------------
+
 std::vector<hub::JobRecord> FederatedService::drain() {
   draining_.store(true, std::memory_order_relaxed);
-  for (auto& h : hubs_) (void)h->drain();
+  std::vector<std::shared_ptr<hub::JobServer>> hubs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hubs = hubs_;
+  }
+  for (auto& h : hubs) (void)h->drain();
   std::vector<FedJobId> ids;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -366,8 +922,18 @@ void FederatedService::shutdown(hub::JobServer::DrainMode mode) {
     }
     cv_steal_.notify_all();
     if (rebalancer_.joinable()) rebalancer_.join();
+    {
+      std::lock_guard<std::mutex> lock(health_mu_);
+    }
+    cv_health_.notify_all();
+    if (heartbeat_.joinable()) heartbeat_.join();
   }
-  for (auto& h : hubs_) h->shutdown(mode);
+  std::vector<std::shared_ptr<hub::JobServer>> hubs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hubs = hubs_;
+  }
+  for (auto& h : hubs) h->shutdown(mode);
 }
 
 void FederatedService::rebalancer_loop() {
@@ -385,6 +951,21 @@ void FederatedService::rebalancer_loop() {
   }
 }
 
+void FederatedService::heartbeat_loop() {
+  const auto interval = std::chrono::duration<double, std::milli>(
+      std::max(0.1, options_.heartbeat_interval_ms));
+  std::unique_lock<std::mutex> lock(health_mu_);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    cv_health_.wait_for(lock, interval, [this] {
+      return stopping_.load(std::memory_order_relaxed);
+    });
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    lock.unlock();
+    (void)heartbeat_once();
+    lock.lock();
+  }
+}
+
 FederatedService::Stats FederatedService::stats() {
   std::lock_guard<std::mutex> lock(mu_);
   Stats s = stats_;
@@ -393,10 +974,47 @@ FederatedService::Stats FederatedService::stats() {
 }
 
 std::string FederatedService::export_prometheus() {
+  std::vector<std::shared_ptr<hub::JobServer>> hubs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hubs = hubs_;
+  }
   std::string out;
-  for (std::size_t i = 0; i < hubs_.size(); ++i) {
-    out += hubs_[i]->metrics().export_prometheus("hub",
-                                                 "hub-" + std::to_string(i));
+  for (std::size_t i = 0; i < hubs.size(); ++i) {
+    out += hubs[i]->metrics().export_prometheus("hub",
+                                                "hub-" + std::to_string(i));
+  }
+  if (remote_) {
+    const RemoteCache::Stats rs = remote_->stats();
+    const auto counter = [&out](const char* name, std::uint64_t v) {
+      const std::string pn = std::string("eurochip_fed_remote_") + name;
+      out += "# TYPE " + pn + " counter\n";
+      out += pn + " " + std::to_string(v) + "\n";
+    };
+    const auto gauge = [&out](const char* name, double v) {
+      const std::string pn = std::string("eurochip_fed_remote_") + name;
+      out += "# TYPE " + pn + " gauge\n";
+      out += pn + " " + std::to_string(v) + "\n";
+    };
+    counter("fetch_hits", rs.fetch_hits);
+    counter("fetch_misses", rs.fetch_misses);
+    counter("publishes", rs.publishes);
+    counter("publish_dupes", rs.publish_dupes);
+    counter("evictions", rs.evictions);
+    counter("bytes_fetched", rs.bytes_fetched);
+    counter("bytes_published", rs.bytes_published);
+    gauge("simulated_network_ms", rs.simulated_network_ms);
+    gauge("bytes", static_cast<double>(rs.bytes));
+    gauge("entries", static_cast<double>(rs.entries));
+  }
+  for (std::size_t i = 0; i < num_hubs_; ++i) {
+    const std::string label = "{hub=\"hub-" + std::to_string(i) + "\"}";
+    out += "# TYPE eurochip_fed_hub_health gauge\n";
+    out += "eurochip_fed_hub_health" + label + " " +
+           std::to_string(static_cast<int>(monitor_->state(i))) + "\n";
+    out += "# TYPE eurochip_fed_hub_epoch gauge\n";
+    out += "eurochip_fed_hub_epoch" + label + " " +
+           std::to_string(hub_epoch(i)) + "\n";
   }
   return out;
 }

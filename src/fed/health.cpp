@@ -1,0 +1,116 @@
+#include "eurochip/fed/health.hpp"
+
+#include <algorithm>
+
+namespace eurochip::fed {
+
+const char* to_string(HubHealth h) {
+  switch (h) {
+    case HubHealth::kUp:
+      return "up";
+    case HubHealth::kSuspect:
+      return "suspect";
+    case HubHealth::kDown:
+      return "down";
+    case HubHealth::kRejoining:
+      return "rejoining";
+  }
+  return "?";
+}
+
+HealthMonitor::HealthMonitor(std::size_t hubs, Options opts, double now_ms)
+    : opts_(opts) {
+  opts_.down_after_ms = std::max(opts_.down_after_ms, opts_.suspect_after_ms);
+  opts_.rejoin_beats = std::max<std::uint32_t>(opts_.rejoin_beats, 1);
+  slots_.resize(hubs);
+  for (auto& s : slots_) s.last_ok_ms = now_ms;
+}
+
+void HealthMonitor::transition_locked(std::size_t hub, HubHealth to,
+                                      double now_ms,
+                                      std::vector<Transition>& out) {
+  Slot& s = slots_[hub];
+  out.push_back(Transition{hub, s.state, to, now_ms});
+  s.state = to;
+}
+
+std::vector<HealthMonitor::Transition> HealthMonitor::observe(std::size_t hub,
+                                                              bool ok,
+                                                              double now_ms) {
+  std::vector<Transition> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (hub >= slots_.size()) return out;
+  Slot& s = slots_[hub];
+  if (!ok) {
+    // A rejoining hub must prove an unbroken healthy streak; one failed
+    // beat sends it straight back down. Up/suspect hubs fail by silence
+    // (tick), not by a single missed beat.
+    if (s.state == HubHealth::kRejoining) {
+      s.healthy_beats = 0;
+      transition_locked(hub, HubHealth::kDown, now_ms, out);
+    }
+    return out;
+  }
+  s.last_ok_ms = now_ms;
+  switch (s.state) {
+    case HubHealth::kUp:
+      break;
+    case HubHealth::kSuspect:
+      transition_locked(hub, HubHealth::kUp, now_ms, out);
+      break;
+    case HubHealth::kDown:
+      s.healthy_beats = 1;
+      transition_locked(hub, HubHealth::kRejoining, now_ms, out);
+      if (s.healthy_beats >= opts_.rejoin_beats)
+        transition_locked(hub, HubHealth::kUp, now_ms, out);
+      break;
+    case HubHealth::kRejoining:
+      ++s.healthy_beats;
+      if (s.healthy_beats >= opts_.rejoin_beats)
+        transition_locked(hub, HubHealth::kUp, now_ms, out);
+      break;
+  }
+  return out;
+}
+
+std::vector<HealthMonitor::Transition> HealthMonitor::tick(double now_ms) {
+  std::vector<Transition> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t hub = 0; hub < slots_.size(); ++hub) {
+    Slot& s = slots_[hub];
+    const double silent = now_ms - s.last_ok_ms;
+    if (s.state == HubHealth::kUp && silent >= opts_.suspect_after_ms)
+      transition_locked(hub, HubHealth::kSuspect, now_ms, out);
+    if (s.state == HubHealth::kSuspect && silent >= opts_.down_after_ms)
+      transition_locked(hub, HubHealth::kDown, now_ms, out);
+    if (s.state == HubHealth::kRejoining && silent >= opts_.down_after_ms) {
+      s.healthy_beats = 0;
+      transition_locked(hub, HubHealth::kDown, now_ms, out);
+    }
+  }
+  return out;
+}
+
+HubHealth HealthMonitor::state(std::size_t hub) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hub < slots_.size() ? slots_[hub].state : HubHealth::kDown;
+}
+
+double HealthMonitor::rejoin_progress(std::size_t hub) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (hub >= slots_.size()) return 0.0;
+  const Slot& s = slots_[hub];
+  switch (s.state) {
+    case HubHealth::kUp:
+    case HubHealth::kSuspect:
+      return 1.0;
+    case HubHealth::kDown:
+      return 0.0;
+    case HubHealth::kRejoining:
+      return std::min(1.0, static_cast<double>(s.healthy_beats) /
+                               static_cast<double>(opts_.rejoin_beats));
+  }
+  return 0.0;
+}
+
+}  // namespace eurochip::fed

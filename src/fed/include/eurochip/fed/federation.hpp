@@ -17,18 +17,23 @@
 //     the recipient's admission control and circuit breakers;
 //   * global tier quotas: a federation-wide cap on concurrently admitted
 //     kCommercial-effort jobs, enforced at submission (degrade-to-open or
-//     reject), on top of each hub's local shedding.
+//     reject), on top of each hub's local shedding;
+//   * an availability layer (HealthMonitor + epoch fencing): heartbeat
+//     probes classify each hub kUp/kSuspect/kDown/kRejoining; a hub
+//     declared down is masked off the ring and its book-kept jobs are
+//     failed over to survivors (queued jobs verbatim, running jobs with
+//     their original seeds, resuming from the deepest snapshot prefix
+//     still in the shared L2); zombie terminals from a declared-dead hub
+//     are fenced so nothing settles twice; a restarted hub rejoins the
+//     ring gradually while the rebalancer backfills it. See DESIGN.md
+//     "Availability & failure domains" for the full protocol, including
+//     the federation/hub lock-order contract.
 //
 // Determinism contract: federated execution changes WHERE and WHEN a job
 // runs, never its result. For a fixed spec seed, a job's artifact digest
 // (JobRecord::artifact_digest) is identical on 1 hub or N, with stealing
-// on or off, cold caches or warm — bench_federation enforces this with a
-// hard gate.
-//
-// Lock order: the federation mutex may be held while taking a hub's mutex
-// (submit/export during rebalance); a hub NEVER calls back into the
-// federation while holding its own mutex (Options::on_terminal fires
-// unlocked), so the order fed -> hub is acyclic.
+// on or off, cold caches or warm, hubs crashing and rejoining or not —
+// bench_federation and bench_failover enforce this with hard gates.
 #pragma once
 
 #include <atomic>
@@ -43,15 +48,17 @@
 #include <unordered_map>
 #include <vector>
 
+#include "eurochip/fed/health.hpp"
 #include "eurochip/fed/remote_cache.hpp"
 #include "eurochip/fed/router.hpp"
 #include "eurochip/flow/cache.hpp"
 #include "eurochip/hub/server.hpp"
+#include "eurochip/util/clock.hpp"
 
 namespace eurochip::fed {
 
-/// Federation-wide job handle. Stable across migrations (the underlying
-/// hub-local JobId changes when a job is stolen).
+/// Federation-wide job handle. Stable across migrations and failovers (the
+/// underlying hub-local JobId changes when a job is re-homed).
 using FedJobId = std::uint64_t;
 
 class FederatedService {
@@ -61,8 +68,9 @@ class FederatedService {
     std::size_t hubs = 2;
     /// Template for every hub's JobServer (capacity, scheduler, admission
     /// control, ...). Per-hub overrides applied by the federation: `seed`
-    /// is decorrelated per hub, `cache` points at the hub's own L1, and
-    /// `on_terminal` is taken over for quota accounting.
+    /// is decorrelated per hub, `cache` points at the hub's own L1,
+    /// `epoch` carries the hub's incarnation number, and `on_terminal` is
+    /// taken over for quota accounting.
     hub::JobServer::Options hub_options;
     /// Per-hub L1 FlowCache byte budget.
     std::size_t l1_bytes = 64u << 20;
@@ -81,6 +89,17 @@ class FederatedService {
     /// At the quota: true = admit degraded to open effort (counts
     /// quota_degraded), false = reject with kResourceExhausted.
     bool quota_degrade = true;
+    /// Availability: run the background heartbeat thread (probe every hub
+    /// each heartbeat_interval_ms, apply HealthMonitor transitions —
+    /// masking, failover, rejoin ramp). Disable to drive detection
+    /// manually with heartbeat_once(); deterministic tests do that with a
+    /// FakeClock.
+    bool health = true;
+    double heartbeat_interval_ms = 5.0;
+    HealthMonitor::Options monitor;
+    /// Time source for heartbeat timestamps and failover bookkeeping
+    /// (borrowed; must outlive the service). Null = util::Clock::system().
+    util::Clock* clock = nullptr;
   };
 
   struct Stats {
@@ -88,10 +107,21 @@ class FederatedService {
     std::uint64_t completed = 0;       ///< terminal on some hub (not migrated)
     std::uint64_t stolen = 0;          ///< successful migrations
     std::uint64_t steal_returned = 0;  ///< steals bounced back to the donor
-    std::uint64_t orphaned = 0;        ///< stolen jobs no hub would take back
+    std::uint64_t orphaned = 0;        ///< re-homed jobs no hub would take
     std::uint64_t quota_degraded = 0;
     std::uint64_t quota_rejected = 0;
     std::size_t commercial_inflight = 0;
+    // Availability counters.
+    std::uint64_t failed_over = 0;     ///< jobs re-homed off a down hub
+    std::uint64_t rerouted = 0;        ///< submissions re-routed off a dead home
+    std::uint64_t stale_terminals_dropped = 0;  ///< zombie terminals fenced
+    std::uint64_t crash_terminals_dropped = 0;  ///< black-holed by a crash
+    /// settle attempts on an already-settled job. The exactly-once
+    /// invariant says this stays 0 — bench_failover hard-gates on it.
+    std::uint64_t duplicate_settlements = 0;
+    std::uint64_t hub_down_events = 0;  ///< kDown declarations
+    std::uint64_t hub_rejoins = 0;      ///< kRejoining -> kUp completions
+    std::uint64_t zombies_reaped = 0;   ///< fenced jobs cancelled on heal
   };
 
   explicit FederatedService(Options options);
@@ -104,16 +134,27 @@ class FederatedService {
   void start();
 
   /// Routes and enqueues. Fails like JobServer::submit, plus
-  /// kResourceExhausted when the global commercial quota rejects.
+  /// kResourceExhausted when the global commercial quota rejects. A home
+  /// hub that turns out to be dead (kFailedPrecondition) is skipped: the
+  /// submission re-routes to the next surviving hub (stats.rerouted).
   util::Result<FedJobId> submit(hub::JobSpec spec);
 
-  /// Blocks until the job is terminal SOMEWHERE (following migrations);
-  /// the returned record's queue_wait_ms includes time spent queued on
-  /// every hub that held the job.
+  /// Blocks until the job is terminal SOMEWHERE (following migrations and
+  /// failovers); the returned record's queue_wait_ms includes time spent
+  /// queued on every hub that held the job, its failovers field counts
+  /// re-homings off dead hubs, and its flight record carries the
+  /// federation's steal/failover entries. Equivalent to wait_for(id, -1).
   [[nodiscard]] util::Result<hub::JobRecord> wait(FedJobId id);
 
-  /// Cancels wherever the job currently lives; a cancel racing a steal is
-  /// re-applied after the job lands on the recipient.
+  /// Bounded wait: like wait() but gives up with kDeadlineExceeded after
+  /// `timeout_ms` (the job itself is unaffected). Negative = wait forever.
+  /// Once hubs can die, an unbounded wait is the wrong default for
+  /// callers that cannot tolerate operator intervention windows.
+  [[nodiscard]] util::Result<hub::JobRecord> wait_for(FedJobId id,
+                                                     double timeout_ms);
+
+  /// Cancels wherever the job currently lives; a cancel racing a steal or
+  /// failover is re-applied after the job lands on its new home.
   bool cancel(FedJobId id);
 
   /// Runs one rebalance round synchronously (also what the background
@@ -124,22 +165,61 @@ class FederatedService {
   /// records in FedJobId order.
   std::vector<hub::JobRecord> drain();
 
-  /// Stops the rebalancer and shuts every hub down; idempotent.
+  /// Stops the heartbeat + rebalancer threads and shuts every hub down;
+  /// idempotent.
   void shutdown(
       hub::JobServer::DrainMode mode = hub::JobServer::DrainMode::kDrain);
 
   [[nodiscard]] Stats stats();
 
-  /// Concatenated per-hub metrics, each labeled {hub="hub-<i>"}, plus the
-  /// remote tier is NOT included (it has no registry) — callers read
-  /// remote_cache()->stats() directly.
+  /// Concatenated per-hub metrics, each labeled {hub="hub-<i>"}, followed
+  /// by the shared remote tier's stats as eurochip_fed_remote_* samples
+  /// and per-hub health/epoch gauges (eurochip_fed_hub_health encodes
+  /// HubHealth as 0=up 1=suspect 2=down 3=rejoining).
   [[nodiscard]] std::string export_prometheus();
 
-  [[nodiscard]] std::size_t num_hubs() const { return hubs_.size(); }
-  [[nodiscard]] hub::JobServer& hub(std::size_t i) { return *hubs_.at(i); }
-  [[nodiscard]] flow::FlowCache& l1_cache(std::size_t i) {
-    return *caches_.at(i);
-  }
+  // --- Availability & chaos surface --------------------------------------
+  // crash/restart/partition are the operator/chaos controls bench_failover
+  // scripts; probe faults can also be injected with the FaultInjector
+  // sites fed.hub.crash / fed.hub.hang / fed.hub.partition, evaluated per
+  // hub (in index order) on every heartbeat round.
+
+  /// One synchronous heartbeat round: probes every hub, feeds outcomes and
+  /// a timeout tick into the HealthMonitor at the current clock time, and
+  /// applies the resulting transitions (vnode masking, failover, zombie
+  /// reconciliation, rejoin ramp). Returns the number of transitions.
+  /// This is exactly what the background heartbeat thread runs.
+  std::size_t heartbeat_once();
+
+  /// Chaos: kills hub `i` — cancels its work, joins its workers, loses its
+  /// L1. Terminal callbacks from the dying incarnation are black-holed
+  /// (stats.crash_terminals_dropped), leaving the book intact for
+  /// failover. Detection still flows through heartbeats. No-op if already
+  /// crashed.
+  void crash_hub(std::size_t i);
+
+  /// Chaos: rebuilds a crashed hub — fresh JobServer under a bumped epoch,
+  /// cold L1 over the still-warm shared L2. The hub stays masked until
+  /// the monitor walks it kDown -> kRejoining -> kUp. No-op unless
+  /// crashed.
+  void restart_hub(std::size_t i);
+
+  /// Chaos: black-holes hub `i`'s heartbeat probes WITHOUT stopping its
+  /// workers — the canonical zombie: jobs keep finishing on a hub the
+  /// federation has declared dead. Their terminals are fenced, not
+  /// settled. `partitioned = false` heals the link.
+  void partition_hub(std::size_t i, bool partitioned);
+
+  [[nodiscard]] HealthMonitor& health() { return *monitor_; }
+  /// Current incarnation number of hub `i` (starts at 1; bumped by
+  /// restart_hub).
+  [[nodiscard]] std::uint64_t hub_epoch(std::size_t i);
+
+  [[nodiscard]] std::size_t num_hubs() const { return num_hubs_; }
+  /// Current server/cache for hub `i`. The reference is invalidated by
+  /// restart_hub(i) — do not hold it across a restart.
+  [[nodiscard]] hub::JobServer& hub(std::size_t i);
+  [[nodiscard]] flow::FlowCache& l1_cache(std::size_t i);
   [[nodiscard]] RemoteCache* remote_cache() { return remote_.get(); }
   [[nodiscard]] const Router& router() const { return router_; }
 
@@ -147,14 +227,27 @@ class FederatedService {
   struct JobRef {
     std::size_t hub = 0;          ///< current home hub index
     hub::JobId local_id = 0;      ///< id on that hub
-    std::uint64_t generation = 0; ///< bumped on every migration
+    std::uint64_t generation = 0; ///< bumped on every migration/failover
     double prior_wait_ms = 0.0;   ///< queue time consumed on previous hubs
     bool charged_commercial = false;
     bool settled = false;         ///< quota released / completion counted
     bool cancel_requested = false;
     /// Set when no hub holds the job any more (failed re-admission after a
-    /// steal): the federation-authored terminal record.
+    /// steal or failover): the federation-authored terminal record.
     std::shared_ptr<hub::JobRecord> orphan;
+    /// The terminal record, booked at settlement. Hubs also keep records,
+    /// but a hub's memory dies with its incarnation (crash + restart_hub),
+    /// so a wait() arriving after a restart must be served from here.
+    std::shared_ptr<hub::JobRecord> final_record;
+    /// Book-kept copy of the submission, exactly as admitted (post-quota
+    /// degrade) — what failover resubmits verbatim. The work function is
+    /// dropped at settlement to release captured artifacts.
+    hub::JobSpec spec;
+    double submit_ms = 0.0;  ///< federation clock at submission
+    int failovers = 0;       ///< re-homings off a down hub
+    /// Federation-level flight entries (steal/failover), t_ms measured
+    /// from the federation submission; merged into returned records.
+    std::vector<hub::FlightEntry> fed_flight;
   };
 
   void on_hub_terminal(std::size_t hub_index, const hub::JobRecord& record);
@@ -163,20 +256,48 @@ class FederatedService {
   /// notify/register race). Caller holds mu_.
   void register_local_locked(std::size_t hub_index, hub::JobId local_id,
                              FedJobId id, JobRef& ref);
-  /// Releases the quota charge + counts completion. Caller holds mu_.
+  /// Releases the quota charge + counts completion; counts (and ignores)
+  /// duplicate attempts. Caller holds mu_.
   void settle_locked(JobRef& ref);
   void rebalancer_loop();
+  void heartbeat_loop();
   /// Re-homes one stolen job onto `target` (falling back to the donor,
-  /// then to an orphan record). Returns true if it landed on `target`.
+  /// then any survivor, then an orphan record). Returns true if it landed
+  /// on `target`.
   bool place_stolen(std::size_t donor, std::size_t target,
                     hub::JobServer::StolenJob job);
+  /// RPC-analog liveness probe of hub `i`, gated by the chaos state and
+  /// the fed.hub.{crash,hang,partition} fault sites.
+  bool probe_hub(std::size_t i);
+  void apply_transitions(const std::vector<HealthMonitor::Transition>& ts);
+  /// Masks hub `i` off the ring, fences its book-kept jobs, and fails
+  /// them over to survivors.
+  void declare_down(std::size_t i, double now_ms);
+  /// Resubmits one fenced job to a surviving hub (or orphans it). Caller
+  /// holds mu_; hubs needing a sticky-cancel re-application are appended
+  /// to `reapply` (the caller cancels them after unlocking).
+  void fail_over_locked(std::size_t from, FedJobId id, double now_ms,
+                        std::vector<std::pair<std::size_t, hub::JobId>>* reapply);
+  /// Best-effort cancel of fenced zombies on a healed (not rebuilt) hub.
+  void reconcile_zombies(std::size_t i);
+  [[nodiscard]] std::size_t route_for(const hub::JobSpec& spec) const;
+  [[nodiscard]] std::shared_ptr<hub::JobServer> hub_ptr(std::size_t i);
+  /// Builds the JobServer for hub `i` at `epoch`. Caller holds mu_ (or is
+  /// the constructor).
+  void build_hub_locked(std::size_t i, std::uint64_t epoch);
+  /// Stamps the federation's story (failovers, fed flight, prior wait)
+  /// onto an outgoing record. Caller holds mu_.
+  static void merge_fed_story_locked(hub::JobRecord& out, const JobRef& ref);
 
   // Declaration order is destruction-order-critical: hub worker threads
   // call on_hub_terminal (locks mu_, touches the maps) until each hub is
   // shut down, so mu_ and the maps are declared BEFORE hubs_ (destroyed
   // after them); caches_ and remote_ likewise outlive the hubs using them.
   Options options_;
+  std::size_t num_hubs_ = 0;
   Router router_;
+  util::Clock* clock_ = nullptr;
+  std::unique_ptr<HealthMonitor> monitor_;
 
   std::mutex mu_;
   std::condition_variable cv_moved_;  ///< mapping changed (migration/orphan)
@@ -184,21 +305,41 @@ class FederatedService {
   /// (hub, local id) -> fed id, one map per hub.
   std::vector<std::unordered_map<hub::JobId, FedJobId>> reverse_;
   /// Terminal notifications that arrived before submit() registered the
-  /// mapping (the notify/submit race); settled on registration.
-  std::set<std::pair<std::size_t, hub::JobId>> early_terminals_;
+  /// mapping (the notify/submit race), keyed (hub, local id) and carrying
+  /// the record; consumed (and the job settled) on registration.
+  std::map<std::pair<std::size_t, hub::JobId>,
+           std::shared_ptr<hub::JobRecord>>
+      early_terminals_;
+  /// Fencing tombstones: (hub, local id) of jobs re-homed off a hub that
+  /// was declared down while their original copies may still run there.
+  /// A terminal arriving for a fenced pair is dropped, not settled.
+  std::set<std::pair<std::size_t, hub::JobId>> fenced_;
+  /// Per-hub incarnation number (starts at 1; bumped by restart_hub and
+  /// stamped into records via JobServer::Options::epoch).
+  std::vector<std::uint64_t> hub_epochs_;
+  std::vector<char> crashed_;  ///< chaos: hub killed, callbacks black-holed
+  std::vector<char> partitioned_;  ///< chaos: probes black-holed, hub alive
+  std::vector<char> hung_;     ///< fed.hub.hang fired: dispatch paused
   FedJobId next_id_ = 1;
   std::size_t commercial_inflight_ = 0;
   Stats stats_;
+  bool started_ = false;  ///< start() called (restarted hubs must not pause)
   std::atomic<bool> draining_{false};
   std::atomic<bool> stopping_{false};
 
   std::unique_ptr<RemoteCache> remote_;
-  std::vector<std::unique_ptr<flow::FlowCache>> caches_;
-  std::vector<std::unique_ptr<hub::JobServer>> hubs_;
+  /// Hub slots are shared_ptr so restart_hub can swap an incarnation while
+  /// concurrent submit/wait/rebalance calls keep the old one alive (they
+  /// copy the pointer under mu_ and never index the vectors unlocked).
+  std::vector<std::shared_ptr<flow::FlowCache>> caches_;
+  std::vector<std::shared_ptr<hub::JobServer>> hubs_;
 
   std::mutex steal_mu_;
   std::condition_variable cv_steal_;
+  std::mutex health_mu_;
+  std::condition_variable cv_health_;
   std::thread rebalancer_;
+  std::thread heartbeat_;
 };
 
 }  // namespace eurochip::fed

@@ -1,0 +1,93 @@
+// Heartbeat-driven liveness state machine for federation hubs.
+//
+// The monitor is deliberately passive: it owns no threads and never reads a
+// clock. The federation probes each hub ("can I make an RPC-analog call?")
+// and reports the outcome via observe(); timeout-driven transitions happen
+// in tick(). Both take explicit timestamps, so the full state trajectory is
+// a deterministic function of the driven (hub, ok, t) sequence — unit tests
+// use util::FakeClock and never sleep.
+//
+// Per-hub lifecycle:
+//
+//   kUp ──(no ok beat for suspect_after_ms)──▶ kSuspect
+//   kSuspect ──(ok beat)──▶ kUp
+//   kSuspect ──(no ok beat for down_after_ms total)──▶ kDown
+//   kDown ──(ok beat)──▶ kRejoining
+//   kRejoining ──(rejoin_beats consecutive ok beats)──▶ kUp
+//   kRejoining ──(failed beat, or silence past down_after_ms)──▶ kDown
+//
+// kSuspect is advisory (the hub stays routable); kDown is the trigger for
+// vnode masking + failover; kRejoining drives the gradual ring re-entry
+// ramp via rejoin_progress(). See DESIGN.md "Availability & failure
+// domains".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace eurochip::fed {
+
+enum class HubHealth : std::uint8_t { kUp, kSuspect, kDown, kRejoining };
+
+[[nodiscard]] const char* to_string(HubHealth h);
+
+class HealthMonitor {
+ public:
+  struct Options {
+    /// Silence before an up hub becomes suspect.
+    double suspect_after_ms = 50.0;
+    /// Total silence (from last ok beat) before a hub is declared down.
+    /// Must be > suspect_after_ms.
+    double down_after_ms = 150.0;
+    /// Consecutive ok beats a rejoining hub must deliver before it is
+    /// trusted as up again (also the denominator of the re-entry ramp).
+    std::uint32_t rejoin_beats = 4;
+  };
+
+  struct Transition {
+    std::size_t hub = 0;
+    HubHealth from = HubHealth::kUp;
+    HubHealth to = HubHealth::kUp;
+    double at_ms = 0.0;
+  };
+
+  /// All hubs start kUp with an implicit ok beat at `now_ms`.
+  HealthMonitor(std::size_t hubs, Options opts, double now_ms);
+
+  /// Reports one heartbeat probe outcome. Returns the transitions this
+  /// beat caused (at most one per call).
+  [[nodiscard]] std::vector<Transition> observe(std::size_t hub, bool ok,
+                                                double now_ms);
+
+  /// Applies timeout-driven transitions for every hub at `now_ms`. A hub
+  /// that slept through both thresholds emits kUp→kSuspect and
+  /// kSuspect→kDown in order.
+  [[nodiscard]] std::vector<Transition> tick(double now_ms);
+
+  [[nodiscard]] HubHealth state(std::size_t hub) const;
+
+  /// Re-entry ramp weight in [0, 1]: 0 when down, healthy_beats /
+  /// rejoin_beats while rejoining, 1 when up or (still) suspect.
+  [[nodiscard]] double rejoin_progress(std::size_t hub) const;
+
+  [[nodiscard]] std::size_t hubs() const { return slots_.size(); }
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+ private:
+  struct Slot {
+    HubHealth state = HubHealth::kUp;
+    double last_ok_ms = 0.0;
+    std::uint32_t healthy_beats = 0;  // consecutive, while kRejoining
+  };
+
+  void transition_locked(std::size_t hub, HubHealth to, double now_ms,
+                         std::vector<Transition>& out);
+
+  Options opts_;
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace eurochip::fed

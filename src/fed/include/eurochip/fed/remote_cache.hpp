@@ -76,7 +76,7 @@ class RemoteCache : public flow::CacheTier {
   void publish(const util::Digest& key,
                const std::vector<std::uint8_t>& bytes) override;
 
-  [[nodiscard]] bool contains(const util::Digest& key) const;
+  [[nodiscard]] bool contains(const util::Digest& key) const override;
   void clear();
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t max_bytes() const { return options_.max_bytes; }

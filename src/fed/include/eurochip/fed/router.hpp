@@ -14,9 +14,18 @@
 // the design's step snapshots and its circuit breaker sees the design's
 // full failure history. Work stealing (federation.hpp) then smooths the
 // load imbalance this locality costs.
+//
+// Availability: each hub carries a weight in [0, 1] controlling how many of
+// its vnodes are active. The health layer sets weight 0 when a hub is
+// declared down (its keys fall through to the next live point on the ring)
+// and ramps the weight back up as a rejoining hub proves consecutive
+// healthy heartbeats, so a cold-L1 returner takes traffic gradually
+// instead of all at once. At full weight the mapping is identical to the
+// unweighted ring, so cross-topology determinism is unaffected.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -44,15 +53,38 @@ class Router {
                                               const std::string& design_name);
 
   /// Hub index owning `key` — deterministic for a fixed (hub count,
-  /// options).
+  /// options, weights). Points of masked vnodes are skipped; if every
+  /// vnode of every hub is masked (total outage) the unweighted mapping
+  /// is used as a last resort so the answer stays well-defined.
   [[nodiscard]] std::size_t hub_for(const util::Digest& key) const;
+
+  /// Sets `hub`'s routing weight in [0, 1]: ceil(weight * vnodes) of its
+  /// points stay active. 0 removes the hub from the ring (failover), 1
+  /// restores the full unweighted mapping. Thread-safe.
+  void set_weight(std::size_t hub, double weight);
+
+  /// Fraction of `hub`'s vnodes currently active.
+  [[nodiscard]] double weight(std::size_t hub) const;
 
   [[nodiscard]] std::size_t num_hubs() const { return num_hubs_; }
 
  private:
+  struct Point {
+    std::uint64_t pos = 0;
+    std::uint32_t hub = 0;
+    /// Per-hub vnode ordinal; active iff vnode < active_[hub].
+    std::uint32_t vnode = 0;
+  };
+
   std::size_t num_hubs_;
-  /// Ring points sorted by position; each carries its hub index.
-  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+  int vnodes_ = 0;
+  /// Ring points sorted by position.
+  std::vector<Point> ring_;
+  /// Guards active_ against concurrent set_weight/hub_for (the ring
+  /// itself is immutable after construction).
+  mutable std::mutex mu_;
+  /// Active vnode count per hub.
+  std::vector<int> active_;
 };
 
 }  // namespace eurochip::fed

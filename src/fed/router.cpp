@@ -1,24 +1,27 @@
 #include "eurochip/fed/router.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace eurochip::fed {
 
 Router::Router(std::size_t num_hubs, Options options)
-    : num_hubs_(std::max<std::size_t>(1, num_hubs)) {
-  const int vnodes = std::max(1, options.vnodes);
-  ring_.reserve(num_hubs_ * static_cast<std::size_t>(vnodes));
+    : num_hubs_(std::max<std::size_t>(1, num_hubs)),
+      vnodes_(std::max(1, options.vnodes)) {
+  ring_.reserve(num_hubs_ * static_cast<std::size_t>(vnodes_));
   for (std::uint32_t hub = 0; hub < num_hubs_; ++hub) {
-    for (int v = 0; v < vnodes; ++v) {
+    for (int v = 0; v < vnodes_; ++v) {
       util::Hasher h;
       h.str("fed.ring");
       h.u64(options.seed);
       h.u32(hub);
       h.u32(static_cast<std::uint32_t>(v));
-      ring_.emplace_back(h.finalize().lo, hub);
+      ring_.push_back(Point{h.finalize().lo, hub, static_cast<std::uint32_t>(v)});
     }
   }
-  std::sort(ring_.begin(), ring_.end());
+  std::sort(ring_.begin(), ring_.end(),
+            [](const Point& a, const Point& b) { return a.pos < b.pos; });
+  active_.assign(num_hubs_, vnodes_);
 }
 
 util::Digest Router::shard_key(const std::string& node_name,
@@ -31,11 +34,37 @@ util::Digest Router::shard_key(const std::string& node_name,
 }
 
 std::size_t Router::hub_for(const util::Digest& key) const {
-  // First ring point at or after the key's position; wrap to the start.
-  const auto it = std::lower_bound(
-      ring_.begin(), ring_.end(),
-      std::make_pair(key.lo, std::uint32_t{0}));
-  return it != ring_.end() ? it->second : ring_.front().second;
+  const auto start = std::lower_bound(
+      ring_.begin(), ring_.end(), key.lo,
+      [](const Point& p, std::uint64_t pos) { return p.pos < pos; });
+  const std::size_t begin =
+      start != ring_.end() ? static_cast<std::size_t>(start - ring_.begin())
+                           : 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  // First active point at or after the key's position; wrap to the start.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const Point& p = ring_[(begin + i) % ring_.size()];
+    if (p.vnode < static_cast<std::uint32_t>(active_[p.hub])) return p.hub;
+  }
+  // Total outage: every vnode masked. Fall back to the unweighted mapping
+  // so callers still get a stable owner.
+  return ring_[begin].hub;
+}
+
+void Router::set_weight(std::size_t hub, double weight) {
+  if (hub >= num_hubs_) return;
+  const double w = std::clamp(weight, 0.0, 1.0);
+  const int active =
+      w <= 0.0 ? 0
+               : std::min(vnodes_, static_cast<int>(std::ceil(w * vnodes_)));
+  std::lock_guard<std::mutex> lock(mu_);
+  active_[hub] = active;
+}
+
+double Router::weight(std::size_t hub) const {
+  if (hub >= num_hubs_) return 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<double>(active_[hub]) / static_cast<double>(vnodes_);
 }
 
 }  // namespace eurochip::fed

@@ -131,20 +131,7 @@ util::Result<FlowResult> FlowTemplate::execute(const rtl::Module& design,
   std::vector<bool> keyable(steps_.size(), false);
   std::size_t resume_from = 0;
   if (cache != nullptr && !steps_.empty()) {
-    util::Hasher base;
-    base.str("eurochip.flowcache.v1");
-    base.digest(digest_of(design));
-    base.digest(digest_of(ctx.config.node));
-    util::Digest chain = base.finalize();
-    for (std::size_t i = 0; i < steps_.size(); ++i) {
-      if (!steps_[i].fingerprint) break;
-      util::Hasher h;
-      h.digest(chain).str(steps_[i].name);
-      steps_[i].fingerprint(ctx.config, h);
-      chain = h.finalize();
-      keys[i] = chain;
-      keyable[i] = true;
-    }
+    step_keys(design, ctx.config, &keys, &keyable);
     // Deepest matching prefix wins; a hit restores artifacts + records.
     {
       util::trace::Span probe_span;
@@ -264,6 +251,44 @@ util::Result<FlowResult> FlowTemplate::execute(const rtl::Module& design,
   }
   result.artifacts = std::move(ctx.artifacts);
   return result;
+}
+
+void FlowTemplate::step_keys(const rtl::Module& design,
+                             const FlowConfig& config,
+                             std::vector<util::Digest>* keys,
+                             std::vector<bool>* keyable) const {
+  keys->assign(steps_.size(), util::Digest{});
+  keyable->assign(steps_.size(), false);
+  if (steps_.empty()) return;
+  util::Hasher base;
+  base.str("eurochip.flowcache.v1");
+  base.digest(digest_of(design));
+  base.digest(digest_of(config.node));
+  util::Digest chain = base.finalize();
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    if (!steps_[i].fingerprint) break;
+    util::Hasher h;
+    h.digest(chain).str(steps_[i].name);
+    steps_[i].fingerprint(config, h);
+    chain = h.finalize();
+    (*keys)[i] = chain;
+    (*keyable)[i] = true;
+  }
+}
+
+std::size_t FlowTemplate::cached_prefix_depth(const rtl::Module& design,
+                                              const FlowConfig& config,
+                                              const FlowCache& cache) const {
+  std::vector<util::Digest> keys;
+  std::vector<bool> keyable;
+  step_keys(design, config, &keys, &keyable);
+  const CacheTier* tier = cache.second_level();
+  for (std::size_t i = steps_.size(); i-- > 0;) {
+    if (!keyable[i]) continue;
+    if (cache.contains(keys[i])) return i + 1;
+    if (tier != nullptr && tier->contains(keys[i])) return i + 1;
+  }
+  return 0;
 }
 
 namespace {

@@ -57,6 +57,14 @@ class CacheTier {
   /// Offers `bytes` for storage under `key`. May be dropped silently.
   virtual void publish(const util::Digest& key,
                        const std::vector<std::uint8_t>& bytes) = 0;
+
+  /// True if `key` is resident, without fetching (no side effects). The
+  /// default says no — a tier that cannot answer cheaply just makes
+  /// resumability probes (FlowTemplate::cached_prefix_depth) conservative.
+  [[nodiscard]] virtual bool contains(const util::Digest& key) const {
+    (void)key;
+    return false;
+  }
 };
 
 class FlowCache {
@@ -104,6 +112,11 @@ class FlowCache {
 
   /// True if `key` is resident (no LRU touch, no restore).
   [[nodiscard]] bool contains(const util::Digest& key) const;
+
+  /// The second-level tier this cache was built over (null if none).
+  [[nodiscard]] CacheTier* second_level() const {
+    return options_.second_level;
+  }
 
   void clear();
 

@@ -208,6 +208,24 @@ class FlowTemplate {
   util::Result<FlowResult> execute(const rtl::Module& design,
                                    FlowConfig config) const;
 
+  /// Recomputes the content-addressed cache-key chain execute() would use
+  /// for (design, config): keys[i] digests everything influencing the flow
+  /// state after step i. Exposed so callers can probe resumability without
+  /// running anything. Both outputs are resized to steps().size();
+  /// keyable[i] is false from the first fingerprint-less step onwards.
+  void step_keys(const rtl::Module& design, const FlowConfig& config,
+                 std::vector<util::Digest>* keys,
+                 std::vector<bool>* keyable) const;
+
+  /// How many leading steps of a (design, config) run could resume from
+  /// `cache` — counting its second-level tier — without executing
+  /// anything: the depth of the deepest resident prefix snapshot. The
+  /// federation uses it to measure how far a failed-over job fast-forwards
+  /// on its new hub (cold L1, warm shared L2) before real work starts.
+  [[nodiscard]] std::size_t cached_prefix_depth(const rtl::Module& design,
+                                                const FlowConfig& config,
+                                                const FlowCache& cache) const;
+
  private:
   std::string name_;
   std::vector<FlowStep> steps_;

@@ -116,6 +116,13 @@ struct JobSpec {
 /// replaying a whole trace. `t_ms` is milliseconds since the job's
 /// submission (not the server epoch), so records from different jobs are
 /// directly comparable.
+/// `kind` values authored by the server: submit | start | attempt | step |
+/// cache | retry | finish | migrate. The federation adds cross-hub entries
+/// when a job is re-homed: `steal` (work stealing, donor -> recipient) and
+/// `failover` (home hub declared down); their t_ms is measured from the
+/// *federation-level* submission, so a re-homed job's record tells the
+/// whole story even though the final hub's own entries restart at its
+/// local submit.
 struct FlightEntry {
   double t_ms = 0.0;
   std::string kind;    ///< submit | start | attempt | step | cache | retry | finish
@@ -153,6 +160,15 @@ struct JobRecord {
   /// Deepest cached prefix a *retry* resumed from (max cache_hits over
   /// attempts >= 2); 0 when the job never retried or restarted cold.
   std::size_t resume_depth = 0;
+  /// Times the federation re-homed this job off a hub that was declared
+  /// down (0 for jobs that never saw a failure). Stamped by the
+  /// federation, not the server.
+  int failovers = 0;
+  /// Incarnation number of the server that authored this record
+  /// (JobServer::Options::epoch). The federation fences with it: a
+  /// terminal stamped with a stale epoch comes from a dead hub's zombie
+  /// incarnation and must not settle the job a second time.
+  std::uint64_t hub_epoch = 0;
   /// Per-job flight record, in event order. Populated by the server:
   /// submit/start under its lock, the rest spliced in at finalization.
   std::vector<FlightEntry> flight;

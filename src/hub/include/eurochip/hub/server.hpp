@@ -123,6 +123,11 @@ class JobServer {
     /// into this server synchronously with blocking intent (submit/cancel
     /// are fine; wait would deadlock the worker).
     std::function<void(const JobRecord&)> on_terminal;
+    /// Incarnation number stamped into every JobRecord::hub_epoch. A
+    /// federation bumps it each time it rebuilds a crashed hub, and drops
+    /// terminal records carrying a stale epoch (zombie fencing). 0 is a
+    /// valid epoch for standalone servers.
+    std::uint64_t epoch = 0;
   };
 
   explicit JobServer(Options options);
@@ -152,13 +157,24 @@ class JobServer {
   /// Wakes the workers when constructed with start_paused.
   void start();
 
+  /// Pauses dispatch: workers finish their current job but pick up no new
+  /// ones until start(). Submissions still enqueue. The federation's
+  /// chaos layer uses this to model a hung hub (fed.hub.hang).
+  void pause();
+
   /// Requests cancellation. Queued jobs finalize immediately as
   /// kCancelled; running jobs get their token flipped and finalize when
   /// the work function observes it. Returns false for unknown/terminal.
   bool cancel(JobId id);
 
   /// Blocks until `id` reaches a terminal state; returns its record.
+  /// Equivalent to wait_for(id, -1).
   [[nodiscard]] util::Result<JobRecord> wait(JobId id);
+
+  /// Bounded wait: like wait() but gives up with kDeadlineExceeded after
+  /// `timeout_ms` (the job itself is unaffected — it stays queued or
+  /// running). Negative timeout = wait forever.
+  [[nodiscard]] util::Result<JobRecord> wait_for(JobId id, double timeout_ms);
 
   /// Blocks until the queue is empty and all workers are idle (resuming a
   /// paused server first), then returns every record sorted by id.

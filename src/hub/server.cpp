@@ -138,6 +138,7 @@ util::Result<JobId> JobServer::submit(JobSpec spec) {
   entry->record.member = spec.member;
   entry->record.tier = spec.tier;
   entry->record.degraded = degraded;
+  entry->record.hub_epoch = options_.epoch;
   entry->record.submit_ms = now_ms();
   if (deadline_ms > 0.0) entry->cancel.set_deadline_after_ms(deadline_ms);
   entry->spec = std::move(spec);
@@ -161,6 +162,11 @@ void JobServer::start() {
   std::lock_guard<std::mutex> lock(mu_);
   paused_ = false;
   cv_work_.notify_all();
+}
+
+void JobServer::pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
 }
 
 void JobServer::finalize_locked(Entry& entry, JobState state,
@@ -530,13 +536,29 @@ bool JobServer::cancel(JobId id) {
 }
 
 util::Result<JobRecord> JobServer::wait(JobId id) {
+  return wait_for(id, -1.0);
+}
+
+util::Result<JobRecord> JobServer::wait_for(JobId id, double timeout_ms) {
   std::unique_lock<std::mutex> lock(mu_);
   const auto it = entries_.find(id);
   if (it == entries_.end()) {
     return util::Status::NotFound("unknown job id " + std::to_string(id));
   }
   std::shared_ptr<Entry> entry = it->second;
-  cv_done_.wait(lock, [&] { return is_terminal(entry->record.state); });
+  const auto done = [&] { return is_terminal(entry->record.state); };
+  if (timeout_ms < 0.0) {
+    cv_done_.wait(lock, done);
+  } else if (!cv_done_.wait_for(
+                 lock,
+                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double, std::milli>(timeout_ms)),
+                 done)) {
+    return util::Status::DeadlineExceeded(
+        "job " + std::to_string(id) + " not terminal after " +
+        std::to_string(timeout_ms) + " ms (state " +
+        std::string(to_string(entry->record.state)) + ")");
+  }
   return entry->record;
 }
 

@@ -1,0 +1,42 @@
+#include "eurochip/util/clock.hpp"
+
+#include <chrono>
+
+namespace eurochip::util {
+
+namespace {
+double steady_now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+Clock::~Clock() = default;
+
+Clock* Clock::system() {
+  static SteadyClock clock;
+  return &clock;
+}
+
+SteadyClock::SteadyClock() : epoch_ms_(steady_now_ms()) {}
+
+double SteadyClock::now_ms() { return steady_now_ms() - epoch_ms_; }
+
+double FakeClock::now_ms() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_ms_;
+}
+
+void FakeClock::advance_ms(double delta_ms) {
+  if (delta_ms <= 0.0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  now_ms_ += delta_ms;
+}
+
+void FakeClock::set_ms(double t_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (t_ms > now_ms_) now_ms_ = t_ms;
+}
+
+}  // namespace eurochip::util

@@ -1,0 +1,58 @@
+// Injectable monotonic time source.
+//
+// Availability logic (heartbeats, suspicion timeouts, rejoin ramps) must be
+// testable without sleeping. Production code reads time through a Clock*;
+// tests swap in a FakeClock and advance it explicitly, making every
+// state-machine transition a pure function of the driven timestamps.
+//
+// Times are milliseconds on an arbitrary monotonic epoch (the process steady
+// clock for SteadyClock, 0 for a fresh FakeClock). Only differences are
+// meaningful; never compare timestamps across clock instances.
+#pragma once
+
+#include <mutex>
+
+namespace eurochip::util {
+
+class Clock {
+ public:
+  virtual ~Clock();
+
+  /// Monotonic milliseconds since this clock's epoch.
+  [[nodiscard]] virtual double now_ms() = 0;
+
+  /// Process-wide steady-clock-backed singleton. Never null.
+  [[nodiscard]] static Clock* system();
+};
+
+/// Real time, based on std::chrono::steady_clock, re-based so the first
+/// conceivable reading is near zero (epoch = construction).
+class SteadyClock final : public Clock {
+ public:
+  SteadyClock();
+  [[nodiscard]] double now_ms() override;
+
+ private:
+  double epoch_ms_ = 0.0;
+};
+
+/// Manually driven clock for deterministic tests. Starts at 0 ms and only
+/// moves when told to. Thread-safe: heartbeat threads may read now_ms()
+/// while a test advances it.
+class FakeClock final : public Clock {
+ public:
+  [[nodiscard]] double now_ms() override;
+
+  /// Moves time forward by `delta_ms` (negative deltas are ignored — the
+  /// clock is monotonic by contract).
+  void advance_ms(double delta_ms);
+
+  /// Jumps to an absolute time. Ignored if it would move time backwards.
+  void set_ms(double t_ms);
+
+ private:
+  mutable std::mutex mu_;
+  double now_ms_ = 0.0;
+};
+
+}  // namespace eurochip::util
