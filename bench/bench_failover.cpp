@@ -37,6 +37,7 @@
 #include "eurochip/rtl/designs.hpp"
 #include "eurochip/util/stats.hpp"
 #include "eurochip/util/strings.hpp"
+#include "eurochip/util/trace.hpp"
 
 namespace {
 
@@ -233,12 +234,15 @@ struct Gate {
 
 int main(int argc, char** argv) {
   BenchConfig bc;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       bc.smoke = true;
       bc.jobs = 160;
       bc.designs = 16;
       bc.crash_cycles = 1;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     }
   }
   std::printf("failover soak: %zu hubs x %d workers, %zu jobs, "
@@ -251,7 +255,18 @@ int main(int argc, char** argv) {
               base.submitted, util::fmt(base.wall_ms, 0).c_str());
 
   std::printf("  chaos run ...\n");
+  // With --trace-out, the chaos run (the interesting one: crash, failover,
+  // zombie window, rejoin) runs under a trace session exported as Chrome
+  // trace-event JSON (Perfetto).
+  if (!trace_out.empty()) util::trace::start();
   const auto soak = run_trace(bc, true);
+  if (!trace_out.empty()) {
+    util::trace::stop();
+    const bool written = util::trace::export_chrome_json_file(trace_out);
+    std::printf("  trace: %s %s\n", trace_out.c_str(),
+                written ? "written" : "WRITE FAILED");
+    util::trace::clear();
+  }
   std::printf(
       "    %zu/%zu succeeded in %s ms; failed_over=%llu rerouted=%llu "
       "down_events=%llu rejoins=%llu fenced=%llu crash_dropped=%llu "

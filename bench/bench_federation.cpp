@@ -32,6 +32,7 @@
 #include "eurochip/rtl/designs.hpp"
 #include "eurochip/util/stats.hpp"
 #include "eurochip/util/strings.hpp"
+#include "eurochip/util/trace.hpp"
 
 namespace {
 
@@ -244,6 +245,7 @@ std::string summary_json(std::vector<double> samples) {
 
 int main(int argc, char** argv) {
   BenchConfig bc;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       bc.smoke = true;
@@ -252,13 +254,25 @@ int main(int argc, char** argv) {
       bc.members = 200;
       bc.designs = 24;
       bc.gate_jobs = 120;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     }
   }
   std::printf("federation soak: %zu hubs x %d workers, %zu jobs, "
               "%zu members, %zu designs\n",
               bc.hubs, bc.capacity, bc.jobs, bc.members, bc.designs);
 
+  // With --trace-out, the soak runs under a trace session and the full
+  // span/instant stream is exported as Chrome trace-event JSON (Perfetto).
+  if (!trace_out.empty()) util::trace::start();
   const auto soak = run_soak(bc);
+  if (!trace_out.empty()) {
+    util::trace::stop();
+    const bool written = util::trace::export_chrome_json_file(trace_out);
+    std::printf("  trace: %s %s\n", trace_out.c_str(),
+                written ? "written" : "WRITE FAILED");
+    util::trace::clear();
+  }
 
   std::size_t succeeded = 0;
   std::vector<double> queue_wait, run_ms;

@@ -1,0 +1,61 @@
+#include "eurochip/dbg/symbols.hpp"
+
+namespace eurochip::dbg {
+
+const char* to_string(CellOrigin origin) {
+  switch (origin) {
+    case CellOrigin::kMapped: return "mapped";
+    case CellOrigin::kTie: return "tie";
+    case CellOrigin::kBuffer: return "buffer";
+    case CellOrigin::kScan: return "scan";
+  }
+  return "?";
+}
+
+netlist::NameRef SymbolTable::intern(std::string_view name) {
+  netlist::NameRef ref;
+  ref.offset = static_cast<std::uint32_t>(arena_.size());
+  ref.size = static_cast<std::uint32_t>(name.size());
+  arena_.append(name);
+  return ref;
+}
+
+std::vector<const SymbolTable::Bit*> SymbolTable::find_bits(
+    std::string_view rtl_name) const {
+  std::vector<const Bit*> out;
+  for (const Bit& bit : bits) {
+    if (sv(bit.name) == rtl_name) out.push_back(&bit);
+  }
+  if (!out.empty()) return out;
+  // Whole-signal query: collect "name[b]" in ascending bit order. Bits are
+  // recorded port-by-port in bit order, so a linear prefix scan preserves it.
+  const std::string prefix = std::string(rtl_name) + "[";
+  for (const Bit& bit : bits) {
+    const std::string_view name = sv(bit.name);
+    if (name.size() > prefix.size() && name.substr(0, prefix.size()) == prefix &&
+        name.back() == ']') {
+      out.push_back(&bit);
+    }
+  }
+  return out;
+}
+
+const SymbolTable::RtlSignal* SymbolTable::find_rtl_signal(
+    std::string_view rtl_name) const {
+  for (const RtlSignal& sig : rtl_signals) {
+    if (sv(sig.name) == rtl_name) return &sig;
+  }
+  return nullptr;
+}
+
+std::size_t SymbolTable::memory_bytes() const {
+  return arena_.size() + rtl_signals.size() * sizeof(RtlSignal) +
+         bits.size() * sizeof(Bit) + cell_origin.size() +
+         (input_names.size() + output_names.size() + net_names.size() +
+          instance_names.size()) *
+             sizeof(netlist::NameRef) +
+         (arrival_ps.size() + arrival_min_ps.size()) * sizeof(double) +
+         net_driven.size();
+}
+
+}  // namespace eurochip::dbg

@@ -430,6 +430,119 @@ bool FederatedService::cancel(FedJobId id) {
   }
 }
 
+bool FederatedService::job_parked(FedJobId id) {
+  std::shared_ptr<flow::BreakController> bp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    bp = it->second.spec.breakpoint;
+  }
+  return bp != nullptr && bp->parked();
+}
+
+bool FederatedService::wait_parked(FedJobId id, double timeout_ms) {
+  std::shared_ptr<flow::BreakController> bp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    bp = it->second.spec.breakpoint;
+  }
+  if (bp == nullptr) return false;
+  // Sliced wait (the controller has no unbounded wait) so a job that
+  // settles or orphans without ever parking unblocks the caller.
+  const double t0 = steady_ms();
+  for (;;) {
+    double slice = 20.0;
+    if (timeout_ms >= 0.0) {
+      const double remaining = timeout_ms - (steady_ms() - t0);
+      if (remaining <= 0.0) return bp->parked();
+      slice = std::min(slice, remaining);
+    }
+    if (bp->wait_parked(slice)) return true;
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end() || it->second.settled || it->second.orphan) {
+      return bp->parked();
+    }
+  }
+}
+
+bool FederatedService::resume(FedJobId id) {
+  std::shared_ptr<flow::BreakController> bp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    bp = it->second.spec.breakpoint;
+  }
+  if (bp == nullptr) return false;
+  // Resuming on the controller (not through any one hub) releases every
+  // parked attempt at once — the re-homed copy and a zombie original alike.
+  bp->resume();
+  return true;
+}
+
+util::Result<dbg::QueryResult> FederatedService::query(FedJobId id,
+                                                       const dbg::Query& q) {
+  for (;;) {
+    std::size_t home = 0;
+    hub::JobId local = 0;
+    std::uint64_t generation = 0;
+    std::shared_ptr<hub::JobServer> hub_sp;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = jobs_.find(id);
+      if (it == jobs_.end()) {
+        return util::Status::NotFound("unknown federation job " +
+                                      std::to_string(id));
+      }
+      JobRef& ref = it->second;
+      // Settled or orphaned: serve the flight record from the federation's
+      // book with the cross-hub story merged in. (Artifact queries fall
+      // through to the last home hub — its cache may still answer.)
+      const std::shared_ptr<hub::JobRecord> rec =
+          ref.orphan != nullptr ? ref.orphan
+                                : (ref.settled ? ref.final_record : nullptr);
+      if (rec != nullptr && q.kind == dbg::QueryKind::kFlight) {
+        hub::JobRecord out = *rec;
+        out.queue_wait_ms += ref.prior_wait_ms;
+        merge_fed_story_locked(out, ref);
+        dbg::QueryResult r;
+        r.kind = q.kind;
+        r.found = true;
+        r.text = hub::render_flight_record(out);
+        return r;
+      }
+      if (ref.orphan != nullptr) {
+        return util::Status::FailedPrecondition(
+            "federation job " + std::to_string(id) +
+            " was orphaned; only its flight record survives");
+      }
+      home = ref.hub;
+      local = ref.local_id;
+      generation = ref.generation;
+      hub_sp = hubs_[home];
+    }
+    // A crashed-but-not-restarted hub is a shut-down JobServer whose
+    // records (and the shared controller) are still reachable — querying
+    // it is safe; a restarted incarnation answers NotFound and the retry
+    // below follows the failover re-homing.
+    auto r = hub_sp->query(local, q);
+    if (r.ok()) return r;
+    if (r.status().code() != util::ErrorCode::kNotFound) return r.status();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = jobs_.find(id);
+      if (it == jobs_.end() || it->second.generation == generation) {
+        return r.status();
+      }
+    }
+    // Re-homed between our read and the hub call — retry on the new home.
+  }
+}
+
 std::size_t FederatedService::rebalance_once() {
   if (stopping_.load(std::memory_order_relaxed) ||
       draining_.load(std::memory_order_relaxed)) {

@@ -157,6 +157,32 @@ class FederatedService {
   /// failover is re-applied after the job lands on its new home.
   bool cancel(FedJobId id);
 
+  // --- design-debug service ----------------------------------------------
+  // The breakpoint controller (hub::JobSpec::breakpoint) travels with the
+  // book-kept spec across steals and failovers, so these work wherever the
+  // job currently lives — including a zombie hub the federation has
+  // already declared dead (the park is on the shared controller, not on
+  // any one incarnation).
+
+  /// True while the job's flow thread is parked at its breakpoint.
+  [[nodiscard]] bool job_parked(FedJobId id);
+
+  /// Blocks until the job parks (negative = forever). False for unknown
+  /// ids, jobs without a breakpoint, and jobs that settle without ever
+  /// reaching the break step.
+  [[nodiscard]] bool wait_parked(FedJobId id, double timeout_ms);
+
+  /// Releases the job from its breakpoint, wherever it is parked.
+  bool resume(FedJobId id);
+
+  /// Routes a debug query to the job's current home hub, following
+  /// migrations and failovers like wait_for does. kFlight on a settled or
+  /// orphaned job is served from the federation's own book with the
+  /// steal/failover story merged in — a hub's record memory dies with its
+  /// incarnation, the federation's does not.
+  [[nodiscard]] util::Result<dbg::QueryResult> query(FedJobId id,
+                                                     const dbg::Query& q);
+
   /// Runs one rebalance round synchronously (also what the background
   /// thread does); returns jobs moved. Exposed for deterministic tests.
   std::size_t rebalance_once();

@@ -1,0 +1,95 @@
+#include "eurochip/flow/breakpoint.hpp"
+
+#include <chrono>
+
+namespace eurochip::flow {
+
+namespace {
+/// Cancellation poll interval while parked. Short enough that cancel and
+/// shutdown stay responsive; resume() additionally notifies the condition
+/// variable, so the common path never waits a full interval.
+constexpr std::chrono::milliseconds kParkPoll{5};
+}  // namespace
+
+void BreakController::set_hooks(std::function<void()> on_park,
+                                std::function<void(double)> on_resume) {
+  std::lock_guard<std::mutex> lock(mu_);
+  on_park_ = std::move(on_park);
+  on_resume_ = std::move(on_resume);
+}
+
+double BreakController::park(const FlowContext& ctx,
+                             const util::CancelToken& cancel) {
+  const auto t0 = std::chrono::steady_clock::now();
+  // The owner hook fires BEFORE the parked context is published: once
+  // wait_parked()/parked() observe the park, the owner's bookkeeping
+  // (gauges, flight entries) is already in place.
+  std::function<void()> on_park;
+  std::uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = resume_epoch_;
+    on_park = on_park_;
+  }
+  if (on_park) on_park();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    parked_.push_back(&ctx);
+  }
+  cv_.notify_all();
+
+  std::function<void(double)> on_resume;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Deadline deliberately ignored: only resume() or an explicit cancel
+    // ends the park. The parked duration is credited back via on_resume.
+    while (resume_epoch_ == epoch && !cancel.cancel_requested()) {
+      cv_.wait_for(lock, kParkPoll);
+    }
+    for (auto it = parked_.begin(); it != parked_.end(); ++it) {
+      if (*it == &ctx) {
+        parked_.erase(it);
+        break;
+      }
+    }
+    on_resume = on_resume_;
+  }
+  cv_.notify_all();
+  const double parked_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  if (on_resume) on_resume(parked_ms);
+  return parked_ms;
+}
+
+void BreakController::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++resume_epoch_;
+  }
+  cv_.notify_all();
+}
+
+bool BreakController::wait_parked(double timeout_ms) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock,
+                      std::chrono::nanoseconds(
+                          static_cast<std::int64_t>(timeout_ms * 1e6)),
+                      [this] { return !parked_.empty(); });
+}
+
+bool BreakController::parked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !parked_.empty();
+}
+
+bool BreakController::inspect(
+    const std::function<void(const FlowContext&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (parked_.empty()) return false;
+  fn(*parked_.back());
+  return true;
+}
+
+}  // namespace eurochip::flow

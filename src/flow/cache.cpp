@@ -50,8 +50,13 @@ std::size_t approx_bytes(const cts::ClockTree& tree) {
 }
 
 std::size_t approx_bytes(const route::RoutedDesign& routed) {
-  return sizeof(route::RoutedDesign) +
-         routed.nets.size() * sizeof(route::NetRoute);
+  std::size_t total = sizeof(route::RoutedDesign) +
+                      routed.nets.size() * sizeof(route::NetRoute);
+  for (const route::NetRoute& n : routed.nets) {
+    total += n.waypoints.size() * sizeof(route::RoutePoint) +
+             n.seg_begin.size() * sizeof(std::uint32_t);
+  }
+  return total;
 }
 
 std::size_t approx_bytes(const timing::TimingReport& t) {
@@ -101,6 +106,7 @@ struct FlowCache::Snapshot {
   power::PowerReport power;
   drc::DrcReport drc;
   std::vector<std::uint8_t> gds_bytes;
+  std::unique_ptr<dbg::SymbolTable> symbols;
   std::vector<StepRecord> steps;
   std::size_t bytes = 0;
 };
@@ -133,6 +139,9 @@ void clone_artifacts(const Src& src, Dst& dst) {
   dst.power = src.power;
   dst.drc = src.drc;
   dst.gds_bytes = src.gds_bytes;
+  dst.symbols = src.symbols
+                    ? std::make_unique<dbg::SymbolTable>(*src.symbols)
+                    : nullptr;
 }
 
 }  // namespace
@@ -157,6 +166,7 @@ std::shared_ptr<const FlowCache::Snapshot> FlowCache::snapshot_of(
   if (snap->placed) bytes += approx_bytes(*snap->placed);
   if (snap->clock_tree) bytes += approx_bytes(*snap->clock_tree);
   if (snap->routed) bytes += approx_bytes(*snap->routed);
+  if (snap->symbols) bytes += snap->symbols->memory_bytes();
   snap->bytes = bytes;
   return snap;
 }

@@ -105,12 +105,17 @@ util::Digest digest_of(const place::PlacedDesign& placed) {
 
 util::Digest digest_of(const route::RoutedDesign& routed) {
   util::Hasher h;
-  h.str("routed.v1");
+  h.str("routed.v2");  // v2: per-net geometry (waypoints + segment CSR)
   h.u64(routed.nets.size());
   for (const route::NetRoute& n : routed.nets) {
     hash_id(h, n.net);
     h.i64(n.wirelength_dbu).i64(n.vias).boolean(n.routed);
+    h.u64(n.waypoints.size());
+    for (const route::RoutePoint& p : n.waypoints) h.i64(p.x).i64(p.y);
+    h.u64(n.seg_begin.size());
+    for (const std::uint32_t s : n.seg_begin) h.u32(s);
   }
+  h.i64(routed.gcell_dbu);
   h.i64(routed.total_wirelength_dbu).i64(routed.total_vias);
   h.i64(routed.overflowed_edges).i64(routed.iterations_used);
   h.f64(routed.max_congestion);

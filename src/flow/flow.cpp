@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <unordered_map>
 
+#include "eurochip/flow/breakpoint.hpp"
 #include "eurochip/flow/cache.hpp"
 #include "eurochip/flow/fingerprint.hpp"
+#include "eurochip/netlist/verilog.hpp"
 #include "eurochip/pdk/library_gen.hpp"
 #include "eurochip/util/fault.hpp"
 #include "eurochip/synth/elaborate.hpp"
@@ -165,6 +168,22 @@ util::Result<FlowResult> FlowTemplate::execute(const rtl::Module& design,
     }
   }
 
+  // A restored prefix that already covers the break step still honors the
+  // breakpoint: park on the restored context so inspectors see the same
+  // post-step state a cold run would expose.
+  if (ctx.config.breakpoint && !ctx.config.break_after.empty()) {
+    for (std::size_t i = 0; i < resume_from; ++i) {
+      if (steps_[i].name == ctx.config.break_after) {
+        ctx.config.breakpoint->park(ctx, ctx.config.cancel);
+        if (ctx.config.cancel.cancel_requested()) {
+          return util::Status::Cancelled("flow cancelled at breakpoint '" +
+                                         ctx.config.break_after + "'");
+        }
+        break;
+      }
+    }
+  }
+
   for (std::size_t step_index = resume_from; step_index < steps_.size();
        ++step_index) {
     const FlowStep& step = steps_[step_index];
@@ -216,6 +235,13 @@ util::Result<FlowResult> FlowTemplate::execute(const rtl::Module& design,
     }
     if (cache != nullptr && keyable[step_index]) {
       cache->store(keys[step_index], ctx);
+    }
+    if (ctx.config.breakpoint && step.name == ctx.config.break_after) {
+      ctx.config.breakpoint->park(ctx, ctx.config.cancel);
+      if (ctx.config.cancel.cancel_requested()) {
+        return util::Status::Cancelled("flow cancelled at breakpoint '" +
+                                       step.name + "'");
+      }
     }
   }
   const auto t_end = std::chrono::steady_clock::now();
@@ -301,6 +327,144 @@ void append_detail(FlowContext& ctx, const std::string& name,
   ctx.steps.push_back(std::move(rec));
 }
 
+// --- symbol provenance (dbg::SymbolTable) --------------------------------
+//
+// Each recorder is a pure overlay: it reads the artifacts the step just
+// produced and never writes back, so a run with symbols is bit-identical
+// to one without. Recording is deterministic (fixed iteration orders), so
+// cache snapshots of the same prefix carry identical tables.
+
+/// elaborate: the RTL declarations, straight from the design.
+void record_rtl_symbols(FlowContext& ctx) {
+  auto sym = std::make_unique<dbg::SymbolTable>();
+  for (const rtl::Signal& s : ctx.artifacts.design->signals()) {
+    dbg::SymbolTable::RtlSignal rs;
+    rs.name = sym->intern(s.name);
+    rs.kind = static_cast<std::uint8_t>(s.kind);
+    rs.width = s.width;
+    sym->rtl_signals.push_back(rs);
+  }
+  sym->stage_mask |= dbg::kStageElab;
+  ctx.artifacts.symbols = std::move(sym);
+}
+
+/// map: bind every RTL bit to its mapped net/cell and tag cell origins.
+/// Port names ARE the elaborator's bit-blast names ("a[3]"); register bits
+/// come from the AIG's latch_names(), parallel to latches(), whose DFFs the
+/// mapper deterministically names "dff<latch-node-id>".
+void record_map_symbols(FlowContext& ctx,
+                        const std::vector<netlist::CellId>& buffer_cells) {
+  if (!ctx.artifacts.symbols || !ctx.artifacts.mapped) return;
+  dbg::SymbolTable& sym = *ctx.artifacts.symbols;
+  const netlist::Netlist& nl = *ctx.artifacts.mapped;
+  sym.bits.clear();
+  for (const netlist::Port& p : nl.inputs()) {
+    dbg::SymbolTable::Bit bit;
+    bit.name = sym.intern(p.name);
+    bit.kind = dbg::SymbolTable::BitKind::kInput;
+    bit.net = p.net;
+    sym.bits.push_back(bit);
+  }
+  for (const netlist::Port& p : nl.outputs()) {
+    dbg::SymbolTable::Bit bit;
+    bit.name = sym.intern(p.name);
+    bit.kind = dbg::SymbolTable::BitKind::kOutput;
+    bit.net = p.net;
+    if (nl.driver_kind(p.net) == netlist::DriverKind::kCell) {
+      bit.cell = nl.driver_cell(p.net);
+    }
+    sym.bits.push_back(bit);
+  }
+  if (ctx.artifacts.aig) {
+    std::unordered_map<std::string, netlist::CellId> by_name;
+    for (netlist::CellId id : nl.all_cells()) {
+      by_name.emplace(std::string(nl.cell_name(id)), id);
+    }
+    const auto& latches = ctx.artifacts.aig->latches();
+    const auto& latch_names = ctx.artifacts.aig->latch_names();
+    const std::size_t n = std::min(latches.size(), latch_names.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto it = by_name.find("dff" + std::to_string(latches[i]));
+      if (it == by_name.end()) continue;
+      dbg::SymbolTable::Bit bit;
+      bit.name = sym.intern(latch_names[i]);
+      bit.kind = dbg::SymbolTable::BitKind::kReg;
+      bit.cell = it->second;
+      bit.net = nl.cell(it->second).output;
+      sym.bits.push_back(bit);
+    }
+  }
+  sym.cell_origin.assign(
+      nl.num_cells(), static_cast<std::uint8_t>(dbg::CellOrigin::kMapped));
+  for (netlist::CellId id : nl.all_cells()) {
+    const std::string_view name = nl.cell_name(id);
+    if (name == "tie0" || name == "tie1") {
+      sym.cell_origin[id.value] =
+          static_cast<std::uint8_t>(dbg::CellOrigin::kTie);
+    }
+  }
+  for (netlist::CellId id : buffer_cells) {
+    if (id.value < sym.cell_origin.size()) {
+      sym.cell_origin[id.value] =
+          static_cast<std::uint8_t>(dbg::CellOrigin::kBuffer);
+    }
+  }
+  sym.stage_mask |= dbg::kStageMap;
+}
+
+/// dft: tag scan cells, then freeze the verilog writer's uniquified names
+/// for the now-final netlist (place/route/sta never rename anything).
+void record_final_symbols(FlowContext& ctx,
+                          const std::vector<netlist::CellId>& scan_cells) {
+  if (!ctx.artifacts.symbols || !ctx.artifacts.mapped) return;
+  dbg::SymbolTable& sym = *ctx.artifacts.symbols;
+  const netlist::Netlist& nl = *ctx.artifacts.mapped;
+  sym.cell_origin.resize(
+      nl.num_cells(), static_cast<std::uint8_t>(dbg::CellOrigin::kMapped));
+  for (netlist::CellId id : scan_cells) {
+    if (id.value < sym.cell_origin.size()) {
+      sym.cell_origin[id.value] =
+          static_cast<std::uint8_t>(dbg::CellOrigin::kScan);
+    }
+  }
+  const netlist::VerilogNames names = netlist::verilog_names(nl);
+  sym.module_name = sym.intern(names.module_name);
+  sym.clock_name = sym.intern(names.clock);
+  sym.input_names.clear();
+  for (const std::string& s : names.input_names) {
+    sym.input_names.push_back(sym.intern(s));
+  }
+  sym.output_names.clear();
+  for (const std::string& s : names.output_names) {
+    sym.output_names.push_back(sym.intern(s));
+  }
+  sym.net_names.clear();
+  for (const std::string& s : names.net_names) {
+    sym.net_names.push_back(sym.intern(s));
+  }
+  sym.instance_names.clear();
+  for (const std::string& s : names.instance_names) {
+    sym.instance_names.push_back(sym.intern(s));
+  }
+  sym.stage_mask |= dbg::kStageNames;
+}
+
+/// sta: per-net arrival windows.
+void record_sta_symbols(FlowContext& ctx,
+                        const std::vector<timing::NetArrival>& arrivals) {
+  if (!ctx.artifacts.symbols) return;
+  dbg::SymbolTable& sym = *ctx.artifacts.symbols;
+  sym.arrival_ps.resize(arrivals.size());
+  sym.arrival_min_ps.resize(arrivals.size());
+  sym.net_driven.resize(arrivals.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    sym.arrival_ps[i] = arrivals[i].arrival_ps;
+    sym.arrival_min_ps[i] = arrivals[i].arrival_min_ps;
+    sym.net_driven[i] = arrivals[i].driven ? 1 : 0;
+  }
+  sym.stage_mask |= dbg::kStageSta;
+}
+
 util::Status step_library(FlowContext& ctx) {
   ctx.artifacts.library = std::make_unique<netlist::CellLibrary>(
       pdk::build_library(ctx.config.node));
@@ -314,6 +478,7 @@ util::Status step_elaborate(FlowContext& ctx) {
   auto aig = synth::elaborate(*ctx.artifacts.design);
   if (!aig.ok()) return aig.status();
   ctx.artifacts.aig = std::make_unique<synth::Aig>(std::move(*aig));
+  record_rtl_symbols(ctx);
   append_detail(ctx, "elaborate",
                 std::to_string(ctx.artifacts.aig->num_ands()) + " AND nodes, " +
                     std::to_string(ctx.artifacts.aig->latches().size()) +
@@ -405,8 +570,8 @@ util::Status step_map(FlowContext& ctx) {
 
   // Fanout buffering (commercial preset).
   std::string buffer_note;
+  synth::BufferStats bstats;
   if (k.buffer_max_fanout >= 2) {
-    synth::BufferStats bstats;
     if (util::Status s =
             synth::insert_buffers(*ctx.artifacts.mapped,
                                   *ctx.artifacts.library,
@@ -419,6 +584,7 @@ util::Status step_map(FlowContext& ctx) {
           ", +" + std::to_string(bstats.buffers_inserted) + " fanout buffers";
     }
   }
+  record_map_symbols(ctx, bstats.cells);
   append_detail(ctx, "map",
                 std::to_string(ctx.artifacts.mapped->num_cells()) +
                     " cells, " +
@@ -432,10 +598,12 @@ util::Status step_dft(FlowContext& ctx) {
     return util::Status::FailedPrecondition("dft requires map");
   }
   if (!ctx.config.insert_scan) {
+    record_final_symbols(ctx, {});
     append_detail(ctx, "dft", "scan insertion disabled");
     return util::Status::Ok();
   }
   if (ctx.artifacts.mapped->sequential_cells().empty()) {
+    record_final_symbols(ctx, {});
     append_detail(ctx, "dft", "combinational design, no scan chain");
     return util::Status::Ok();
   }
@@ -445,6 +613,7 @@ util::Status step_dft(FlowContext& ctx) {
       !s.ok()) {
     return s;
   }
+  record_final_symbols(ctx, stats.cells);
   append_detail(ctx, "dft",
                 std::to_string(stats.flops_in_chain) +
                     " flops in scan chain, +" +
@@ -525,10 +694,12 @@ util::Status step_sta(FlowContext& ctx) {
   if (ctx.artifacts.clock_tree) {
     so.clock_skew_ps = ctx.artifacts.clock_tree->skew_ps();
   }
+  std::vector<timing::NetArrival> arrivals;
   auto report = timing::analyze(*ctx.artifacts.mapped, ctx.config.node, so,
-                                ctx.artifacts.routed.get());
+                                ctx.artifacts.routed.get(), &arrivals);
   if (!report.ok()) return report.status();
   ctx.artifacts.timing = std::move(*report);
+  record_sta_symbols(ctx, arrivals);
   append_detail(ctx, "sta",
                 "WNS " + util::fmt(ctx.artifacts.timing.wns_ps, 1) +
                     " ps, fmax " + util::fmt(ctx.artifacts.timing.fmax_mhz, 1) +

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "eurochip/cts/cts.hpp"
+#include "eurochip/dbg/symbols.hpp"
 #include "eurochip/drc/checker.hpp"
 #include "eurochip/gds/gds.hpp"
 #include "eurochip/netlist/netlist.hpp"
@@ -64,6 +65,7 @@
 namespace eurochip::flow {
 
 class FlowCache;  // cache.hpp; FlowConfig only carries a borrowed pointer
+class BreakController;  // breakpoint.hpp; shared park/inspect/resume state
 
 /// Effort preset. The same engines run in both; only effort knobs differ —
 /// which is exactly how the open-vs-proprietary PPA gap is reproduced.
@@ -106,6 +108,15 @@ struct FlowConfig {
   /// content key matches and stores a snapshot after each completed step.
   /// Safe to share across concurrent runs — see cache.hpp.
   FlowCache* cache = nullptr;
+  /// Flow breakpoint: when `break_after` names a step and `breakpoint` is
+  /// set, execute() parks on the controller after that step completes (or
+  /// immediately after a cache restore that already covers it) and blocks
+  /// until BreakController::resume() or cancellation. While parked the
+  /// deadline clock is suspended — see breakpoint.hpp. Parking changes
+  /// WHEN the flow finishes, never its artifacts, and neither knob enters
+  /// any cache fingerprint.
+  std::string break_after;
+  std::shared_ptr<BreakController> breakpoint;
 
   [[nodiscard]] double effective_clock_ps() const {
     return clock_period_ps > 0.0 ? clock_period_ps
@@ -154,6 +165,11 @@ struct FlowArtifacts {
   power::PowerReport power;
   drc::DrcReport drc;
   std::vector<std::uint8_t> gds_bytes;
+  /// Cross-stage symbol provenance (dbg). Created by the elaborate step and
+  /// extended by map/dft/sta; an overlay that never feeds back into any
+  /// artifact or the artifact digest, so runs are bit-identical with or
+  /// without consumers. Carried in cache snapshots (serialize v3).
+  std::unique_ptr<dbg::SymbolTable> symbols;
 };
 
 struct FlowResult {

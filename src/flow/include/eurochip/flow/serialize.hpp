@@ -36,7 +36,8 @@ namespace eurochip::flow {
 /// change; readers reject unknown versions (a federation can then roll
 /// hubs forward without poisoning the shared cache).
 inline constexpr std::uint32_t kWireMagic = 0x53464345u;  // "ECFS" LE
-inline constexpr std::uint32_t kWireVersion = 2;  // v2: SoA netlist image
+inline constexpr std::uint32_t kWireVersion =
+    3;  // v2: SoA netlist image; v3: routed geometry + dbg::SymbolTable
 
 // --- per-artifact encoders ------------------------------------------------
 
@@ -84,6 +85,12 @@ void serialize(util::WireWriter& w, const drc::DrcReport& d);
 
 void serialize(util::WireWriter& w, const std::vector<StepRecord>& steps);
 [[nodiscard]] util::Result<std::vector<StepRecord>> deserialize_steps(
+    util::WireReader& r);
+
+void serialize(util::WireWriter& w, const dbg::SymbolTable& sym);
+/// Every NameRef is validated against the shipped arena, so a corrupt
+/// stream cannot produce out-of-range string views.
+[[nodiscard]] util::Result<dbg::SymbolTable> deserialize_symbols(
     util::WireReader& r);
 
 // --- whole-snapshot convenience (what RemoteCache stores) -----------------

@@ -486,7 +486,16 @@ void serialize(util::WireWriter& w, const route::RoutedDesign& routed) {
   w.size(routed.nets.size());
   for (const route::NetRoute& n : routed.nets) {
     w.u32(n.net.value).i64(n.wirelength_dbu).i64(n.vias).boolean(n.routed);
+    // v3: the per-net geometry (bend waypoints in gcell coordinates plus
+    // the CSR segment index) the debug service renders net_route from.
+    w.size(n.waypoints.size());
+    for (const route::RoutePoint& p : n.waypoints) {
+      w.i64(p.x).i64(p.y);
+    }
+    w.size(n.seg_begin.size());
+    for (const std::uint32_t s : n.seg_begin) w.u32(s);
   }
+  w.i64(routed.gcell_dbu);
   w.i64(routed.total_wirelength_dbu).i64(routed.total_vias);
   w.i64(routed.overflowed_edges).i64(routed.iterations_used);
   w.f64(routed.max_congestion);
@@ -504,8 +513,26 @@ util::Result<route::RoutedDesign> deserialize_routed(
     n.wirelength_dbu = r.i64();
     n.vias = static_cast<int>(r.i64());
     n.routed = r.boolean();
-    routed.nets.push_back(n);
+    const std::size_t num_waypoints = r.size();
+    n.waypoints.reserve(num_waypoints);
+    for (std::size_t k = 0; k < num_waypoints && r.ok(); ++k) {
+      route::RoutePoint p;
+      p.x = static_cast<std::int32_t>(r.i64());
+      p.y = static_cast<std::int32_t>(r.i64());
+      n.waypoints.push_back(p);
+    }
+    const std::size_t num_segs = r.size();
+    n.seg_begin.reserve(num_segs);
+    for (std::size_t k = 0; k < num_segs && r.ok(); ++k) {
+      const std::uint32_t s = r.u32();
+      if (r.ok() && s > n.waypoints.size()) {
+        return bad("routing segment index out of range");
+      }
+      n.seg_begin.push_back(s);
+    }
+    routed.nets.push_back(std::move(n));
   }
+  routed.gcell_dbu = r.i64();
   routed.total_wirelength_dbu = r.i64();
   routed.total_vias = static_cast<int>(r.i64());
   routed.overflowed_edges = static_cast<int>(r.i64());
@@ -636,6 +663,124 @@ util::Result<std::vector<StepRecord>> deserialize_steps(util::WireReader& r) {
   return steps;
 }
 
+// --- SymbolTable (wire v3) ------------------------------------------------
+
+namespace {
+
+void write_nameref(util::WireWriter& w, const netlist::NameRef& n) {
+  w.u32(n.offset).u32(n.size);
+}
+
+void write_namerefs(util::WireWriter& w,
+                    const std::vector<netlist::NameRef>& v) {
+  w.size(v.size());
+  for (const netlist::NameRef& n : v) write_nameref(w, n);
+}
+
+/// Reads a NameRef and bounds-checks it against the already-read arena, so
+/// a corrupt stream can never mint a view outside it.
+netlist::NameRef read_nameref(util::WireReader& r, std::size_t arena_size) {
+  netlist::NameRef n;
+  n.offset = r.u32();
+  n.size = r.u32();
+  if (r.ok() && (n.offset > arena_size || n.size > arena_size - n.offset)) {
+    r.fail();
+  }
+  return n;
+}
+
+std::vector<netlist::NameRef> read_namerefs(util::WireReader& r,
+                                            std::size_t arena_size) {
+  const std::size_t n = r.size();
+  std::vector<netlist::NameRef> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n && r.ok(); ++i) {
+    v.push_back(read_nameref(r, arena_size));
+  }
+  return v;
+}
+
+}  // namespace
+
+void serialize(util::WireWriter& w, const dbg::SymbolTable& sym) {
+  w.str(sym.arena());
+  w.u8(sym.stage_mask);
+  w.size(sym.rtl_signals.size());
+  for (const dbg::SymbolTable::RtlSignal& s : sym.rtl_signals) {
+    write_nameref(w, s.name);
+    w.u8(s.kind).i64(s.width);
+  }
+  w.size(sym.bits.size());
+  for (const dbg::SymbolTable::Bit& b : sym.bits) {
+    write_nameref(w, b.name);
+    w.u8(static_cast<std::uint8_t>(b.kind));
+    w.u32(b.net.value).u32(b.cell.value);
+  }
+  w.size(sym.cell_origin.size());
+  for (const std::uint8_t o : sym.cell_origin) w.u8(o);
+  write_nameref(w, sym.module_name);
+  write_nameref(w, sym.clock_name);
+  write_namerefs(w, sym.input_names);
+  write_namerefs(w, sym.output_names);
+  write_namerefs(w, sym.net_names);
+  write_namerefs(w, sym.instance_names);
+  write_doubles(w, sym.arrival_ps);
+  write_doubles(w, sym.arrival_min_ps);
+  w.size(sym.net_driven.size());
+  for (const std::uint8_t d : sym.net_driven) w.u8(d);
+}
+
+util::Result<dbg::SymbolTable> deserialize_symbols(util::WireReader& r) {
+  dbg::SymbolTable sym;
+  sym.set_arena(r.str());
+  const std::size_t arena_size = sym.arena().size();
+  sym.stage_mask = r.u8();
+  const std::size_t num_signals = r.size();
+  sym.rtl_signals.reserve(num_signals);
+  for (std::size_t i = 0; i < num_signals && r.ok(); ++i) {
+    dbg::SymbolTable::RtlSignal s;
+    s.name = read_nameref(r, arena_size);
+    s.kind = r.u8();
+    s.width = static_cast<std::int32_t>(r.i64());
+    sym.rtl_signals.push_back(s);
+  }
+  const std::size_t num_bits = r.size();
+  sym.bits.reserve(num_bits);
+  for (std::size_t i = 0; i < num_bits && r.ok(); ++i) {
+    dbg::SymbolTable::Bit b;
+    b.name = read_nameref(r, arena_size);
+    const std::uint8_t kind = r.u8();
+    if (r.ok() &&
+        kind > static_cast<std::uint8_t>(dbg::SymbolTable::BitKind::kReg)) {
+      return bad("unknown symbol bit kind");
+    }
+    b.kind = static_cast<dbg::SymbolTable::BitKind>(kind);
+    b.net = netlist::NetId{r.u32()};
+    b.cell = netlist::CellId{r.u32()};
+    sym.bits.push_back(b);
+  }
+  const std::size_t num_origins = r.size();
+  sym.cell_origin.reserve(num_origins);
+  for (std::size_t i = 0; i < num_origins && r.ok(); ++i) {
+    sym.cell_origin.push_back(r.u8());
+  }
+  sym.module_name = read_nameref(r, arena_size);
+  sym.clock_name = read_nameref(r, arena_size);
+  sym.input_names = read_namerefs(r, arena_size);
+  sym.output_names = read_namerefs(r, arena_size);
+  sym.net_names = read_namerefs(r, arena_size);
+  sym.instance_names = read_namerefs(r, arena_size);
+  sym.arrival_ps = read_doubles(r);
+  sym.arrival_min_ps = read_doubles(r);
+  const std::size_t num_driven = r.size();
+  sym.net_driven.reserve(num_driven);
+  for (std::size_t i = 0; i < num_driven && r.ok(); ++i) {
+    sym.net_driven.push_back(r.u8());
+  }
+  if (!r.ok()) return bad("truncated symbol table");
+  return sym;
+}
+
 // --- snapshot -------------------------------------------------------------
 
 std::vector<std::uint8_t> serialize_snapshot(const FlowContext& ctx) {
@@ -654,6 +799,8 @@ std::vector<std::uint8_t> serialize_snapshot(const FlowContext& ctx) {
   if (a.clock_tree) serialize(w, *a.clock_tree);
   w.boolean(a.routed != nullptr);
   if (a.routed) serialize(w, *a.routed);
+  w.boolean(a.symbols != nullptr);
+  if (a.symbols) serialize(w, *a.symbols);
   serialize(w, a.timing);
   serialize(w, a.power);
   serialize(w, a.drc);
@@ -719,6 +866,11 @@ util::Status deserialize_snapshot(const std::vector<std::uint8_t>& bytes,
     auto routed = deserialize_routed(r, a.placed.get());
     if (!routed.ok()) return routed.status();
     a.routed = std::make_unique<route::RoutedDesign>(std::move(*routed));
+  }
+  if (r.boolean()) {
+    auto sym = deserialize_symbols(r);
+    if (!sym.ok()) return sym.status();
+    a.symbols = std::make_unique<dbg::SymbolTable>(std::move(*sym));
   }
   auto timing = deserialize_timing(r);
   if (!timing.ok()) return timing.status();

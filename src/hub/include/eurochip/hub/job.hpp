@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "eurochip/edu/tiers.hpp"
+#include "eurochip/flow/breakpoint.hpp"
 #include "eurochip/flow/flow.hpp"
 #include "eurochip/rtl/ir.hpp"
 #include "eurochip/util/cancel.hpp"
@@ -76,6 +77,17 @@ struct JobContext {
 /// (kResourceExhausted, kInternal) are retried up to JobSpec::max_attempts.
 using JobFn = std::function<util::Status(JobContext&)>;
 
+/// What the debug service needs to answer artifact queries about a job
+/// that is NOT parked at a breakpoint: the design plus the exact flow
+/// config it ran under (cancel/cache/breakpoint stripped), enough to
+/// recompute the FlowCache key chain and restore the deepest snapshot
+/// prefix. Immutable after make_flow_job builds it; shared (not copied)
+/// when a job migrates between hubs.
+struct JobDebugInfo {
+  std::shared_ptr<const rtl::Module> design;
+  flow::FlowConfig config;
+};
+
 /// A submission. `node_name` is what the tier gate checks: when the server
 /// is bound to a core::EnablementHub and node_name is non-empty,
 /// check_member_access(member, tier, node_name) must pass at submission
@@ -107,6 +119,16 @@ struct JobSpec {
   /// Wall-clock budget measured from submission; 0 = server default
   /// (which may itself be 0 = unlimited).
   double deadline_ms = 0.0;
+  /// Flow breakpoint rendezvous, set by make_flow_job when
+  /// FlowConfig::break_after names a step. The controller travels WITH the
+  /// spec across work stealing and failover, so JobServer::resume and
+  /// debug queries keep working wherever the job lands. Null for jobs
+  /// without a breakpoint (and all synthetic jobs).
+  std::shared_ptr<flow::BreakController> breakpoint;
+  /// Debug-query context (design + config), set by make_flow_job. Lets
+  /// JobServer::query answer artifact questions from FlowCache snapshots
+  /// when the job is not parked. Null for synthetic jobs.
+  std::shared_ptr<const JobDebugInfo> debug;
 };
 
 /// One timestamped line of a job's *flight record*: the per-job micro-log
@@ -117,7 +139,8 @@ struct JobSpec {
 /// submission (not the server epoch), so records from different jobs are
 /// directly comparable.
 /// `kind` values authored by the server: submit | start | attempt | step |
-/// cache | retry | finish | migrate. The federation adds cross-hub entries
+/// cache | retry | finish | migrate, plus park | resume when the job hits
+/// a flow breakpoint. The federation adds cross-hub entries
 /// when a job is re-homed: `steal` (work stealing, donor -> recipient) and
 /// `failover` (home hub declared down); their t_ms is measured from the
 /// *federation-level* submission, so a re-homed job's record tells the
@@ -176,14 +199,20 @@ struct JobRecord {
 
 /// Renders a JobRecord's flight record as aligned human-readable text:
 /// a header summarizing the outcome, then one `+<t>ms  <kind>  <label>
-/// <detail>` line per entry.
+/// <detail>` line per entry, in strictly nondecreasing t_ms order (entries
+/// are stably sorted by timestamp first — park/resume entries and
+/// federation steal/failover splices arrive out of append order).
 [[nodiscard]] std::string render_flight_record(const JobRecord& record);
 
 /// Wraps the reference flow into a JobSpec. The design is shared (not
 /// copied) across retries and jobs; rtl::Module is immutable here, which
 /// is what makes the sharing thread-safe. The spec's node_name is taken
-/// from `config.node` so hub-side tier gating applies. Callers running
-/// several flow jobs concurrently must give each config a distinct
+/// from `config.node` so hub-side tier gating applies. When
+/// config.break_after names a step, a BreakController is minted into
+/// spec.breakpoint (unless config.breakpoint already carries one) and
+/// threaded into every attempt's FlowConfig; spec.debug always carries the
+/// design + sanitized config for cache-backed debug queries. Callers
+/// running several flow jobs concurrently must give each config a distinct
 /// gds_output_path (or none) — see the flow.hpp thread-safety contract.
 [[nodiscard]] JobSpec make_flow_job(std::string name,
                                     std::shared_ptr<const rtl::Module> design,

@@ -60,6 +60,7 @@
 #include <vector>
 
 #include "eurochip/core/enablement.hpp"
+#include "eurochip/dbg/debug.hpp"
 #include "eurochip/flow/cache.hpp"
 #include "eurochip/hub/job.hpp"
 #include "eurochip/hub/metrics.hpp"
@@ -223,6 +224,40 @@ class JobServer {
   /// jobs keep the pointer they started with.
   void set_cache(flow::FlowCache* cache);
 
+  // --- design-debug service ----------------------------------------------
+  // A job submitted with a breakpoint (JobSpec::breakpoint, minted by
+  // make_flow_job from FlowConfig::break_after) parks its flow thread
+  // after the named step. The server records park/resume in the flight
+  // record, exports a jobs_parked gauge, suspends the job's deadline for
+  // the parked duration, and answers queries against the parked context.
+  // Parked jobs still occupy their worker (they are running, not queued),
+  // are never stolen, and honor cancel() promptly.
+
+  /// True while job `id`'s flow thread is parked at its breakpoint.
+  [[nodiscard]] bool job_parked(JobId id);
+
+  /// Blocks until job `id` parks (or `timeout_ms` elapses; negative =
+  /// forever). False for unknown jobs, jobs without a breakpoint, and
+  /// jobs that reach a terminal state without parking.
+  [[nodiscard]] bool wait_parked(JobId id, double timeout_ms);
+
+  /// Releases job `id` from its breakpoint. Safe before the park (the
+  /// flow simply never waits for that epoch) and after terminal states.
+  /// False only for unknown jobs or jobs without a breakpoint.
+  bool resume(JobId id);
+
+  /// Currently parked jobs (== the jobs_parked gauge).
+  [[nodiscard]] std::size_t parked_count();
+
+  /// Answers a debug query about job `id`. kFlight/kTrace are served from
+  /// the server's own records in any state. Artifact queries (where_is /
+  /// why_slack / net_route / cone_of) are answered from the live parked
+  /// FlowContext when the job is parked; otherwise from the deepest
+  /// FlowCache snapshot prefix via JobSpec::debug (kNotFound when neither
+  /// source exists — e.g. a synthetic job, or a flow job with no cache).
+  [[nodiscard]] util::Result<dbg::QueryResult> query(JobId id,
+                                                     const dbg::Query& q);
+
  private:
   struct Entry {
     JobSpec spec;
@@ -259,6 +294,12 @@ class JobServer {
   /// Fires Options::on_terminal for a non-migrated terminal record. Must
   /// be called WITHOUT mu_ held.
   void notify_terminal(const JobRecord& record);
+  /// Installs park/resume hooks on `entry`'s breakpoint controller (flight
+  /// entries, jobs_parked gauge, deadline credit). Called at submission
+  /// and re-called by the recipient when a stolen job is resubmitted —
+  /// latest owner wins, which is correct because the donor's copy is
+  /// terminal (kMigrated) by then.
+  void install_breakpoint_hooks(const std::shared_ptr<Entry>& entry);
 
   Options options_;
   /// Live cache pointer (seeded from Options::cache, swapped by
@@ -274,6 +315,7 @@ class JobServer {
   std::map<JobId, std::shared_ptr<Entry>> entries_;
   JobId next_id_ = 1;
   std::size_t running_ = 0;
+  std::size_t parked_ = 0;  ///< jobs currently parked at a breakpoint
   bool paused_ = false;
   bool stopping_ = false;   ///< no new submissions
   bool stop_now_ = false;   ///< workers exit even with queued work

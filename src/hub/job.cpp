@@ -30,13 +30,22 @@ std::string render_flight_record(const JobRecord& record) {
                     record.name + "' (" + to_string(record.state) + ", " +
                     std::to_string(record.attempts) + " attempt" +
                     (record.attempts == 1 ? "" : "s") + ")\n";
+  // Entries are appended from several sources (server lock sites, the
+  // run_job splice, breakpoint hooks, federation steal/failover merges),
+  // so stored order is not time order. Render strictly by timestamp;
+  // stable so same-instant entries keep their append order.
+  std::vector<FlightEntry> flight = record.flight;
+  std::stable_sort(flight.begin(), flight.end(),
+                   [](const FlightEntry& a, const FlightEntry& b) {
+                     return a.t_ms < b.t_ms;
+                   });
   std::size_t kind_width = 0;
   std::size_t label_width = 0;
-  for (const FlightEntry& e : record.flight) {
+  for (const FlightEntry& e : flight) {
     kind_width = std::max(kind_width, e.kind.size());
     label_width = std::max(label_width, e.label.size());
   }
-  for (const FlightEntry& e : record.flight) {
+  for (const FlightEntry& e : flight) {
     std::snprintf(buf, sizeof buf, "  %+10.3fms  ", e.t_ms);
     out += buf;
     out += e.kind;
@@ -59,6 +68,26 @@ JobSpec make_flow_job(std::string name,
   spec.node_name = config.node.name;
   spec.design_name = design->name();
   spec.quality = config.quality;
+  // Breakpoint rendezvous: minted here (not per attempt) so the controller
+  // identity survives retries, stealing, and failover — everyone who ever
+  // runs this job parks on the same controller.
+  if (!config.break_after.empty() && config.breakpoint == nullptr) {
+    config.breakpoint = std::make_shared<flow::BreakController>();
+  }
+  spec.breakpoint = config.breakpoint;
+  // Debug-query context: the exact config the job runs under, minus the
+  // per-run plumbing (cancel token, cache pointer, controller) that
+  // answer_from_cache supplies itself. break_after is kept — it names the
+  // break step for flight-record labels and does not enter any cache key.
+  {
+    auto dbg_info = std::make_shared<JobDebugInfo>();
+    dbg_info->design = design;
+    dbg_info->config = config;
+    dbg_info->config.cancel = util::CancelToken{};
+    dbg_info->config.cache = nullptr;
+    dbg_info->config.breakpoint = nullptr;
+    spec.debug = std::move(dbg_info);
+  }
   spec.work = [design = std::move(design),
                config = std::move(config)](JobContext& ctx) -> util::Status {
     flow::FlowConfig cfg = config;

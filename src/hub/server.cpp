@@ -42,6 +42,11 @@ JobServer::JobServer(Options options)
   // another server) must not have its pre-existing totals mirrored into
   // this server's metrics as if they happened here.
   if (options_.cache != nullptr) cache_seen_ = options_.cache->stats();
+  // Live load gauges exist from birth so a scrape of an idle server shows
+  // explicit zeros instead of absent series.
+  metrics_.set_gauge("queue_depth", 0.0);
+  metrics_.set_gauge("running", 0.0);
+  metrics_.set_gauge("jobs_parked", 0.0);
   workers_.reserve(static_cast<std::size_t>(options_.capacity));
   for (int i = 0; i < options_.capacity; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -142,6 +147,7 @@ util::Result<JobId> JobServer::submit(JobSpec spec) {
   entry->record.submit_ms = now_ms();
   if (deadline_ms > 0.0) entry->cancel.set_deadline_after_ms(deadline_ms);
   entry->spec = std::move(spec);
+  install_breakpoint_hooks(entry);
   entry->record.flight.push_back(
       {0.0, "submit", entry->spec.name,
        std::string("tier=") + edu::to_string(entry->record.tier) +
@@ -209,6 +215,51 @@ void JobServer::notify_terminal(const JobRecord& record) {
   if (options_.on_terminal && record.state != JobState::kMigrated) {
     options_.on_terminal(record);
   }
+}
+
+void JobServer::install_breakpoint_hooks(const std::shared_ptr<Entry>& entry) {
+  if (entry->spec.breakpoint == nullptr) return;
+  // The break step's name lives in the debug-info config.
+  const std::string step =
+      entry->spec.debug != nullptr && !entry->spec.debug->config.break_after.empty()
+          ? entry->spec.debug->config.break_after
+          : std::string("breakpoint");
+  // weak_ptr, not shared: hooks live inside the controller, which the spec
+  // owns — a shared_ptr would make Entry immortal through its own spec.
+  std::weak_ptr<Entry> weak = entry;
+  entry->spec.breakpoint->set_hooks(
+      // on_park: runs on the flow thread right after it published the
+      // parked context. Outside the controller lock, so taking mu_ here
+      // cannot deadlock against inspect()/set_hooks() callers under mu_.
+      [this, weak, step] {
+        const auto e = weak.lock();
+        if (!e) return;
+        if (util::trace::enabled()) {
+          util::trace::instant("hub.park", "hub",
+                               e->spec.name + " after " + step);
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        ++parked_;
+        metrics_.set_gauge("jobs_parked", static_cast<double>(parked_));
+        e->record.flight.push_back({now_ms() - e->record.submit_ms, "park",
+                                    step, "flow parked at breakpoint"});
+      },
+      // on_resume: credit the parked wall time back to the deadline before
+      // anything else — the flow re-checks the token immediately after.
+      [this, weak, step](double parked_ms) {
+        const auto e = weak.lock();
+        if (!e) return;
+        e->cancel.extend_deadline_ms(parked_ms);
+        if (util::trace::enabled()) {
+          util::trace::instant("hub.resume", "hub",
+                               e->spec.name + " after " + fmt_ms(parked_ms));
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        if (parked_ > 0) --parked_;
+        metrics_.set_gauge("jobs_parked", static_cast<double>(parked_));
+        e->record.flight.push_back({now_ms() - e->record.submit_ms, "resume",
+                                    step, "parked " + fmt_ms(parked_ms)});
+      });
 }
 
 void JobServer::run_job(const std::shared_ptr<Entry>& entry) {
@@ -676,6 +727,156 @@ std::size_t JobServer::queued_count() {
 std::size_t JobServer::running_count() {
   std::lock_guard<std::mutex> lock(mu_);
   return running_;
+}
+
+bool JobServer::job_parked(JobId id) {
+  std::shared_ptr<flow::BreakController> bp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) return false;
+    bp = it->second->spec.breakpoint;
+  }
+  return bp != nullptr && bp->parked();
+}
+
+std::size_t JobServer::parked_count() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return parked_;
+}
+
+bool JobServer::wait_parked(JobId id, double timeout_ms) {
+  std::shared_ptr<flow::BreakController> bp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) return false;
+    bp = it->second->spec.breakpoint;
+  }
+  if (bp == nullptr) return false;
+  // Wait in slices so a job that goes terminal without ever parking
+  // (cancelled in the queue, failed before the break step) unblocks the
+  // caller instead of burning the whole timeout.
+  const auto t0 = std::chrono::steady_clock::now();
+  for (;;) {
+    double slice = 20.0;
+    if (timeout_ms >= 0.0) {
+      const double elapsed = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+      const double remaining = timeout_ms - elapsed;
+      if (remaining <= 0.0) return bp->parked();
+      slice = std::min(slice, remaining);
+    }
+    if (bp->wait_parked(slice)) return true;
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(id);
+    if (it == entries_.end() || is_terminal(it->second->record.state)) {
+      return bp->parked();
+    }
+  }
+}
+
+bool JobServer::resume(JobId id) {
+  std::shared_ptr<flow::BreakController> bp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) return false;
+    bp = it->second->spec.breakpoint;
+  }
+  if (bp == nullptr) return false;
+  bp->resume();
+  return true;
+}
+
+util::Result<dbg::QueryResult> JobServer::query(JobId id,
+                                                const dbg::Query& q) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) {
+      return util::Status::NotFound("unknown job id " + std::to_string(id));
+    }
+    entry = it->second;
+  }
+
+  // The hub-owned records: answerable in any job state.
+  if (q.kind == dbg::QueryKind::kFlight) {
+    dbg::QueryResult r;
+    r.kind = q.kind;
+    r.found = true;
+    JobRecord snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      snapshot = entry->record;
+    }
+    r.text = render_flight_record(snapshot);
+    return r;
+  }
+  if (q.kind == dbg::QueryKind::kTrace) {
+    dbg::QueryResult r;
+    r.kind = q.kind;
+    char buf[64];
+    std::string lines;
+    std::size_t n = 0;
+    for (const util::trace::Event& e : util::trace::snapshot()) {
+      if (e.track != id) continue;
+      ++n;
+      std::snprintf(buf, sizeof buf, "  %+12.3fus  ", e.start_us);
+      lines += buf;
+      if (e.kind == util::trace::Event::Kind::kSpan) {
+        std::snprintf(buf, sizeof buf, "span %10.3fus  ", e.dur_us);
+        lines += buf;
+      } else {
+        lines += "instant            ";
+      }
+      lines += e.name;
+      lines += '\n';
+    }
+    r.found = n > 0;
+    r.text = r.found
+                 ? "trace slice: job " + std::to_string(id) + " (" +
+                       std::to_string(n) + " events)\n" + lines
+                 : "no trace events for job " + std::to_string(id) +
+                       " (no trace session, or the job has not run yet)";
+    return r;
+  }
+
+  // Artifact queries: prefer the live parked context — inspect() holds the
+  // controller lock, so the flow thread cannot resume mid-answer. mu_ is
+  // deliberately NOT held here (the park/resume hooks take mu_ on the flow
+  // thread; holding both here would couple the lock orders).
+  if (entry->spec.breakpoint != nullptr) {
+    dbg::QueryResult out;
+    const bool answered = entry->spec.breakpoint->inspect(
+        [&](const flow::FlowContext& ctx) { out = dbg::answer(q, ctx); });
+    if (answered) return out;
+  }
+
+  // Not parked: answer from the deepest FlowCache snapshot prefix.
+  const std::shared_ptr<const JobDebugInfo> debug = entry->spec.debug;
+  if (debug == nullptr || debug->design == nullptr) {
+    return util::Status::NotFound(
+        "job " + std::to_string(id) +
+        " is not parked and carries no debug info (synthetic job?)");
+  }
+  flow::FlowCache* cache = cache_.load(std::memory_order_relaxed);
+  if (cache == nullptr) {
+    return util::Status::NotFound(
+        "job " + std::to_string(id) +
+        " is not parked and this server has no FlowCache to answer from");
+  }
+  flow::FlowConfig cfg = debug->config;
+  {
+    // Degraded admission reruns the flow at open effort — the snapshots in
+    // the cache were keyed under that effective config, not the requested
+    // one.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entry->record.degraded) cfg.quality = flow::FlowQuality::kOpen;
+  }
+  return dbg::answer_from_cache(q, *debug->design, cfg, *cache);
 }
 
 }  // namespace eurochip::hub

@@ -19,6 +19,23 @@ struct VerilogOptions {
   std::string clock_name = "clk";
 };
 
+/// The writer's uniquified identifier assignment, exposed so the design-
+/// debug symbol table can line query answers up with the emitted netlist:
+/// write_verilog() computes exactly these names (same sanitize + "_2"/"_3"
+/// uniquification, same order — clock, inputs, outputs, internal wires by
+/// net id, instances by cell id).
+struct VerilogNames {
+  std::string module_name;
+  std::string clock;                        ///< empty for comb designs
+  std::vector<std::string> input_names;     ///< by input port index
+  std::vector<std::string> output_names;    ///< by output port index
+  std::vector<std::string> net_names;       ///< by NetId; "" = unused net
+  std::vector<std::string> instance_names;  ///< by CellId
+};
+
+[[nodiscard]] VerilogNames verilog_names(const Netlist& netlist,
+                                         const VerilogOptions& options = {});
+
 /// Serializes `netlist` as a structural Verilog module. Cell pins follow
 /// the EuroChip convention: inputs A, B, C (by position), output Y; DFFs
 /// use D, CK, Q.

@@ -53,9 +53,53 @@ std::string input_pin_name(int index) {
 
 }  // namespace
 
+VerilogNames verilog_names(const Netlist& nl, const VerilogOptions& opt) {
+  VerilogNames names;
+  names.module_name = sanitize(nl.name());
+  const bool sequential = !nl.sequential_cells().empty();
+
+  // One identifier namespace per module: clock, ports, wires, and instance
+  // names all uniquify through the same Namer, in emission order, so the
+  // result is deterministic and collision-free.
+  Namer namer;
+  if (sequential) names.clock = namer.unique(opt.clock_name);
+  names.input_names.reserve(nl.inputs().size());
+  for (const Port& p : nl.inputs()) {
+    names.input_names.push_back(namer.unique(p.name));
+  }
+  names.output_names.reserve(nl.outputs().size());
+  for (const Port& p : nl.outputs()) {
+    names.output_names.push_back(namer.unique(p.name));
+  }
+
+  // Net names: input-port nets keep their port names; internal nets get
+  // w<N>. (Outputs may alias an input-driven net; the writer's output
+  // assigns handle that.)
+  names.net_names.resize(nl.num_nets());
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    names.net_names[nl.inputs()[i].net.value] = names.input_names[i];
+  }
+  for (NetId id : nl.all_nets()) {
+    if (!names.net_names[id.value].empty()) continue;
+    const NetView n = nl.net(id);
+    if (n.driver_kind == DriverKind::kNone && n.sinks.empty() &&
+        !n.is_primary_output) {
+      continue;  // unused placeholder net
+    }
+    names.net_names[id.value] = namer.unique("w" + std::to_string(id.value));
+  }
+
+  names.instance_names.reserve(nl.num_cells());
+  for (CellId id : nl.all_cells()) {
+    names.instance_names.push_back(namer.unique(nl.cell(id).name));
+  }
+  return names;
+}
+
 std::string write_verilog(const Netlist& nl, const VerilogOptions& opt) {
   std::string out;
-  const std::string module_name = sanitize(nl.name());
+  const VerilogNames names = verilog_names(nl, opt);
+  const std::string& module_name = names.module_name;
 
   if (opt.emit_comments) {
     out += "// Structural netlist emitted by EuroChip\n";
@@ -66,21 +110,9 @@ std::string write_verilog(const Netlist& nl, const VerilogOptions& opt) {
   }
 
   const bool sequential = !nl.sequential_cells().empty();
-
-  // One identifier namespace per module: clock, ports, wires, and instance
-  // names all uniquify through the same Namer, in emission order, so the
-  // result is deterministic and collision-free.
-  Namer namer;
-  const std::string clock_name =
-      sequential ? namer.unique(opt.clock_name) : std::string();
-  std::vector<std::string> input_names;
-  input_names.reserve(nl.inputs().size());
-  for (const Port& p : nl.inputs()) input_names.push_back(namer.unique(p.name));
-  std::vector<std::string> output_names;
-  output_names.reserve(nl.outputs().size());
-  for (const Port& p : nl.outputs()) {
-    output_names.push_back(namer.unique(p.name));
-  }
+  const std::string& clock_name = names.clock;
+  const std::vector<std::string>& input_names = names.input_names;
+  const std::vector<std::string>& output_names = names.output_names;
 
   // Port list.
   std::vector<std::string> ports;
@@ -93,20 +125,12 @@ std::string write_verilog(const Netlist& nl, const VerilogOptions& opt) {
   for (const std::string& p : input_names) out += "  input " + p + ";\n";
   for (const std::string& p : output_names) out += "  output " + p + ";\n";
 
-  // Net names: ports keep their names; internal nets get w<N>.
-  std::vector<std::string> net_name(nl.num_nets());
-  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
-    net_name[nl.inputs()[i].net.value] = input_names[i];
-  }
-  // Outputs may alias an input-driven net; output assigns handle that below.
+  // Wire declarations: every named net that is not an input-port net.
+  const std::vector<std::string>& net_name = names.net_names;
+  std::vector<bool> is_input_net(nl.num_nets(), false);
+  for (const Port& p : nl.inputs()) is_input_net[p.net.value] = true;
   for (NetId id : nl.all_nets()) {
-    if (!net_name[id.value].empty()) continue;
-    const NetView n = nl.net(id);
-    if (n.driver_kind == DriverKind::kNone && n.sinks.empty() &&
-        !n.is_primary_output) {
-      continue;  // unused placeholder net
-    }
-    net_name[id.value] = namer.unique("w" + std::to_string(id.value));
+    if (net_name[id.value].empty() || is_input_net[id.value]) continue;
     out += "  wire " + net_name[id.value] + ";\n";
   }
 
@@ -125,7 +149,8 @@ std::string write_verilog(const Netlist& nl, const VerilogOptions& opt) {
   for (CellId id : nl.all_cells()) {
     const CellView c = nl.cell(id);
     const LibraryCell& lc = nl.lib_cell(id);
-    out += "  " + sanitize(lc.name) + " " + namer.unique(c.name) + " (";
+    out += "  " + sanitize(lc.name) + " " + names.instance_names[id.value] +
+           " (";
     std::vector<std::string> conns;
     if (lc.is_sequential()) {
       conns.push_back(".D(" + net_name[c.fanin[0].value] + ")");

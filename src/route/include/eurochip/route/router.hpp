@@ -29,12 +29,29 @@ struct RouteOptions {
   int threads = 0;
 };
 
+/// One corner of a routed segment, in gcell grid coordinates (multiply by
+/// RoutedDesign::gcell_dbu for DBU).
+struct RoutePoint {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  friend bool operator==(const RoutePoint&, const RoutePoint&) = default;
+};
+
 /// Route of one net.
 struct NetRoute {
   netlist::NetId net;
   std::int64_t wirelength_dbu = 0;
   int vias = 0;           ///< bend count proxy
   bool routed = false;    ///< false for unconnected/trivial nets
+  /// Bend-compressed geometry: per two-pin segment, the endpoints plus
+  /// every direction change (a single point for a same-gcell connection).
+  /// Consecutive waypoints of a segment are colinear spans, so the
+  /// Manhattan distance between them times gcell_dbu reproduces
+  /// wirelength_dbu exactly (same-gcell segments count gcell_dbu / 2).
+  std::vector<RoutePoint> waypoints;
+  /// CSR offsets into `waypoints`: segment s spans
+  /// [seg_begin[s], seg_begin[s + 1]); size = segment count + 1 when routed.
+  std::vector<std::uint32_t> seg_begin;
 };
 
 struct RoutedDesign {
@@ -44,6 +61,7 @@ struct RoutedDesign {
   int total_vias = 0;
   int overflowed_edges = 0;              ///< edges above capacity at the end
   int iterations_used = 0;
+  std::int64_t gcell_dbu = 0;            ///< gcell edge length, DBU
   double max_congestion = 0.0;           ///< peak edge utilization
 
   /// Wire length of a net in micrometres.

@@ -422,19 +422,37 @@ util::Result<RoutedDesign> route(const PlacedDesign& placed,
   out.overflowed_edges = grid.overflow_count();
   out.max_congestion = grid.max_utilization();
 
-  // Collect per-net metrics.
+  // Collect per-net metrics and bend-compressed geometry (the endpoints
+  // plus every direction change; colinear interior gcells are implied).
+  out.gcell_dbu = gcell;
   for (const auto& ns : work) {
     NetRoute& nr = out.nets[ns.net.value];
     nr.routed = true;
+    nr.seg_begin.push_back(0);
     for (const Segment& seg : ns.segments) {
       if (seg.path.size() < 2) {
         // Same gcell: local connection, count half a gcell of wire.
         nr.wirelength_dbu += gcell / 2;
+        if (!seg.path.empty()) {
+          nr.waypoints.push_back({seg.path[0].x, seg.path[0].y});
+        }
+        nr.seg_begin.push_back(
+            static_cast<std::uint32_t>(nr.waypoints.size()));
         continue;
       }
       nr.wirelength_dbu +=
           static_cast<std::int64_t>(seg.path.size() - 1) * gcell;
       nr.vias += count_bends(seg) + 2;
+      nr.waypoints.push_back({seg.path[0].x, seg.path[0].y});
+      for (std::size_t i = 2; i < seg.path.size(); ++i) {
+        const bool h1 = seg.path[i - 1].y == seg.path[i - 2].y;
+        const bool h2 = seg.path[i].y == seg.path[i - 1].y;
+        if (h1 != h2) {
+          nr.waypoints.push_back({seg.path[i - 1].x, seg.path[i - 1].y});
+        }
+      }
+      nr.waypoints.push_back({seg.path.back().x, seg.path.back().y});
+      nr.seg_begin.push_back(static_cast<std::uint32_t>(nr.waypoints.size()));
     }
     out.total_wirelength_dbu += nr.wirelength_dbu;
     out.total_vias += nr.vias;

@@ -18,6 +18,9 @@ struct BufferStats {
   std::size_t nets_rebuffered = 0;
   std::size_t max_fanout_before = 0;
   std::size_t max_fanout_after = 0;
+  /// Ids of the inserted buffer cells, in insertion order — the debug
+  /// symbol table tags these as CellOrigin::kBuffer.
+  std::vector<netlist::CellId> cells;
 };
 
 /// Buffers every net whose sink count exceeds `max_fanout`.

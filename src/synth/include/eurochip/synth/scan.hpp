@@ -18,6 +18,9 @@ namespace eurochip::synth {
 struct ScanStats {
   std::size_t flops_in_chain = 0;
   std::size_t muxes_added = 0;
+  /// Ids of the inserted scan muxes, in chain order — the debug symbol
+  /// table tags these as CellOrigin::kScan.
+  std::vector<netlist::CellId> cells;
 };
 
 /// Inserts a single scan chain over all DFFs. Requires a MUX2 cell.

@@ -52,6 +52,7 @@ util::Status insert_buffers(Netlist& nl, const CellLibrary& lib,
           "fbuf" + std::to_string(nl.num_cells()),
           static_cast<std::uint32_t>(*buf_index), {net_id});
       if (!cell.ok()) return cell.status();
+      if (stats != nullptr) stats->cells.push_back(cell.value());
       const NetId buf_out = nl.cell(cell.value()).output;
       const std::size_t end = std::min(start + chunk, sinks.size());
       for (std::size_t s = start; s < end; ++s) {

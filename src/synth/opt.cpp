@@ -28,8 +28,10 @@ Aig rebuild(const Aig& src,
   for (std::size_t i = 0; i < src.inputs().size(); ++i) {
     set_node(src.inputs()[i], dst.add_input(src.input_names()[i]));
   }
-  for (std::uint32_t latch : src.latches()) {
-    set_node(latch, dst.add_latch("latch", src.latch_init(latch)));
+  for (std::size_t i = 0; i < src.latches().size(); ++i) {
+    const std::uint32_t latch = src.latches()[i];
+    set_node(latch,
+             dst.add_latch(src.latch_names()[i], src.latch_init(latch)));
   }
   // Mark reachable AND nodes from outputs and latch next-states.
   std::vector<char> needed(src.num_nodes(), 0);

@@ -33,6 +33,7 @@ util::Status insert_scan_chain(Netlist& nl, const CellLibrary& lib,
         static_cast<std::uint32_t>(*mux_index),
         {functional_d, prev, scan_en});
     if (!mux.ok()) return mux.status();
+    if (stats != nullptr) stats->cells.push_back(mux.value());
     if (util::Status s =
             nl.rewire_input(ff, 0, nl.cell(mux.value()).output);
         !s.ok()) {

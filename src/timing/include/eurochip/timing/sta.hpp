@@ -73,11 +73,22 @@ struct TimingReport {
   [[nodiscard]] bool hold_met() const { return hold_violations == 0; }
 };
 
+/// Per-net arrival summary, exported for the design-debug symbol table
+/// (dbg::SymbolTable): the full per-net view the TimingReport's endpoint
+/// list compresses away.
+struct NetArrival {
+  double arrival_ps = 0.0;      ///< latest arrival at the net
+  double arrival_min_ps = 0.0;  ///< earliest arrival (hold analysis)
+  bool driven = false;          ///< false for floating/unreached nets
+};
+
 /// Runs STA. `routing` may be null for pre-layout (wireload) analysis; when
-/// provided it must belong to the same netlist.
+/// provided it must belong to the same netlist. When `arrivals` is non-null
+/// it is resized to num_nets() and filled with every net's arrival window.
 [[nodiscard]] util::Result<TimingReport> analyze(
     const netlist::Netlist& netlist, const pdk::TechnologyNode& node,
     const StaOptions& options = {},
-    const route::RoutedDesign* routing = nullptr);
+    const route::RoutedDesign* routing = nullptr,
+    std::vector<NetArrival>* arrivals = nullptr);
 
 }  // namespace eurochip::timing

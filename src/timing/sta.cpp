@@ -87,7 +87,8 @@ double net_load_ff(const Netlist& nl, NetId id, const StaOptions& opt,
 util::Result<TimingReport> analyze(const Netlist& nl,
                                    const pdk::TechnologyNode& node,
                                    const StaOptions& opt,
-                                   const route::RoutedDesign* routing) {
+                                   const route::RoutedDesign* routing,
+                                   std::vector<NetArrival>* arrivals) {
   if (util::Status s = nl.check(); !s.ok()) return s;
   if (routing != nullptr && routing->placed != nullptr &&
       routing->placed->netlist != &nl) {
@@ -274,6 +275,15 @@ util::Result<TimingReport> analyze(const Netlist& nl,
   }
   std::reverse(path.begin(), path.end());
   report.critical_path = std::move(path);
+
+  if (arrivals != nullptr) {
+    arrivals->resize(nt.size());
+    for (std::size_t i = 0; i < nt.size(); ++i) {
+      (*arrivals)[i].arrival_ps = nt[i].arrival_ps;
+      (*arrivals)[i].arrival_min_ps = nt[i].arrival_min_ps;
+      (*arrivals)[i].driven = nt[i].driven;
+    }
+  }
   return report;
 }
 

@@ -76,6 +76,18 @@ class CancelSource {
         std::memory_order_relaxed);
   }
 
+  /// Pushes an existing deadline `ms` milliseconds further out; no-op when
+  /// no deadline is set. Used to suspend the deadline clock while a job is
+  /// parked at a flow breakpoint: the parked duration is credited back on
+  /// resume, so wall time spent inspecting never counts against the job.
+  void extend_deadline_ms(double ms) {
+    const std::int64_t ns =
+        state_->deadline_ns.load(std::memory_order_relaxed);
+    if (ns == std::numeric_limits<std::int64_t>::max()) return;
+    state_->deadline_ns.store(ns + static_cast<std::int64_t>(ms * 1e6),
+                              std::memory_order_relaxed);
+  }
+
   /// Deadline `ms` milliseconds from now.
   void set_deadline_after_ms(double ms) {
     set_deadline(std::chrono::steady_clock::now() +
